@@ -1,0 +1,383 @@
+//! The intra-slice scheduler ABI.
+//!
+//! Every slot, the gNB's inter-slice scheduler hands each slice plugin the
+//! resources it was granted plus a snapshot of the slice's UEs (§4.A of the
+//! paper: "channel quality, buffer status, long-term throughput, and UE
+//! identifiers"), and the plugin answers with per-UE allocations and
+//! priorities.
+//!
+//! The encoding is a fixed-layout little-endian binary format so PlugC
+//! plugins can parse it with plain `load_*` intrinsics at documented
+//! offsets — no dynamic parsing inside the 1 ms slot budget.
+//!
+//! ## Request layout (`SchedRequest`)
+//!
+//! | offset | size | field |
+//! |---|---|---|
+//! | 0  | 2 | magic `0x5752` (`"RW"` LE) |
+//! | 2  | 2 | version (currently 1) |
+//! | 4  | 2 | number of UE records |
+//! | 6  | 2 | reserved (0) |
+//! | 8  | 8 | slot number |
+//! | 16 | 4 | PRBs granted to the slice this slot |
+//! | 20 | 4 | slice id |
+//! | 24 | 32×n | UE records |
+//!
+//! ## UE record layout (`UeInfo`, 32 bytes)
+//!
+//! | offset | size | field |
+//! |---|---|---|
+//! | 0  | 4 | UE id (RNTI) |
+//! | 4  | 1 | CQI (1–15) |
+//! | 5  | 1 | MCS (0–28) |
+//! | 6  | 2 | flags (bit 0: retransmission pending) |
+//! | 8  | 4 | DL buffer occupancy, bytes |
+//! | 12 | 4 | reserved (0) |
+//! | 16 | 8 | long-term average throughput, bit/s (f64) |
+//! | 24 | 8 | transport bits one PRB carries this slot at current MCS (f64) |
+//!
+//! ## Response layout (`SchedResponse`)
+//!
+//! | offset | size | field |
+//! |---|---|---|
+//! | 0 | 2 | magic `0x5752` |
+//! | 2 | 2 | version |
+//! | 4 | 2 | number of allocations |
+//! | 6 | 2 | reserved |
+//! | 8 | 8×n | allocation records |
+//!
+//! ## Allocation record (`Allocation`, 8 bytes)
+//!
+//! | offset | size | field |
+//! |---|---|---|
+//! | 0 | 4 | UE id |
+//! | 4 | 2 | PRBs allocated |
+//! | 6 | 1 | priority (0 = highest; ties broken by record order) |
+//! | 7 | 1 | reserved |
+
+use crate::CodecError;
+
+/// ABI magic: `"RW"` little-endian.
+pub const MAGIC: u16 = 0x5752;
+/// Current ABI version.
+pub const VERSION: u16 = 1;
+/// Size of the request header in bytes.
+pub const REQUEST_HEADER_LEN: usize = 24;
+/// Size of one UE record in bytes.
+pub const UE_RECORD_LEN: usize = 32;
+/// Size of the response header in bytes.
+pub const RESPONSE_HEADER_LEN: usize = 8;
+/// Size of one allocation record in bytes.
+pub const ALLOC_RECORD_LEN: usize = 8;
+
+/// Flag bit: the UE has a pending retransmission.
+pub const FLAG_RETX: u16 = 1 << 0;
+
+/// Snapshot of one UE handed to the intra-slice scheduler.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UeInfo {
+    /// UE identifier (RNTI).
+    pub ue_id: u32,
+    /// Channel quality indicator, 1–15.
+    pub cqi: u8,
+    /// Modulation and coding scheme, 0–28.
+    pub mcs: u8,
+    /// Flags (see `FLAG_*`).
+    pub flags: u16,
+    /// Downlink buffer occupancy in bytes.
+    pub buffer_bytes: u32,
+    /// Long-term average throughput in bit/s (EWMA; the PF denominator).
+    pub avg_tput_bps: f64,
+    /// Transport bits one PRB carries for this UE in the current slot
+    /// (already reflects MCS and overhead).
+    pub prb_capacity_bits: f64,
+}
+
+impl UeInfo {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.ue_id.to_le_bytes());
+        out.push(self.cqi);
+        out.push(self.mcs);
+        out.extend_from_slice(&self.flags.to_le_bytes());
+        out.extend_from_slice(&self.buffer_bytes.to_le_bytes());
+        out.extend_from_slice(&0u32.to_le_bytes());
+        out.extend_from_slice(&self.avg_tput_bps.to_le_bytes());
+        out.extend_from_slice(&self.prb_capacity_bits.to_le_bytes());
+    }
+
+    fn decode_from(buf: &[u8]) -> Result<UeInfo, CodecError> {
+        if buf.len() < UE_RECORD_LEN {
+            return Err(CodecError::UnexpectedEof);
+        }
+        Ok(UeInfo {
+            ue_id: u32::from_le_bytes(buf[0..4].try_into().expect("sized")),
+            cqi: buf[4],
+            mcs: buf[5],
+            flags: u16::from_le_bytes(buf[6..8].try_into().expect("sized")),
+            buffer_bytes: u32::from_le_bytes(buf[8..12].try_into().expect("sized")),
+            avg_tput_bps: f64::from_le_bytes(buf[16..24].try_into().expect("sized")),
+            prb_capacity_bits: f64::from_le_bytes(buf[24..32].try_into().expect("sized")),
+        })
+    }
+}
+
+/// The per-slot request handed to an intra-slice scheduler plugin.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SchedRequest {
+    /// Slot number (monotone).
+    pub slot: u64,
+    /// PRBs the inter-slice scheduler granted to this slice.
+    pub prbs_granted: u32,
+    /// Slice identifier.
+    pub slice_id: u32,
+    /// UEs currently subscribed to the slice.
+    pub ues: Vec<UeInfo>,
+}
+
+impl SchedRequest {
+    /// Encode to the wire layout.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(REQUEST_HEADER_LEN + self.ues.len() * UE_RECORD_LEN);
+        out.extend_from_slice(&MAGIC.to_le_bytes());
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.extend_from_slice(&(self.ues.len() as u16).to_le_bytes());
+        out.extend_from_slice(&0u16.to_le_bytes());
+        out.extend_from_slice(&self.slot.to_le_bytes());
+        out.extend_from_slice(&self.prbs_granted.to_le_bytes());
+        out.extend_from_slice(&self.slice_id.to_le_bytes());
+        for ue in &self.ues {
+            ue.encode_into(&mut out);
+        }
+        out
+    }
+
+    /// Decode from the wire layout (what a Rust-side "plugin" or test does;
+    /// PlugC plugins read the same bytes with `load_*`).
+    pub fn decode(buf: &[u8]) -> Result<SchedRequest, CodecError> {
+        if buf.len() < REQUEST_HEADER_LEN {
+            return Err(CodecError::UnexpectedEof);
+        }
+        let magic = u16::from_le_bytes(buf[0..2].try_into().expect("sized"));
+        if magic != MAGIC {
+            return Err(CodecError::Malformed(format!("bad magic {magic:#06x}")));
+        }
+        let version = u16::from_le_bytes(buf[2..4].try_into().expect("sized"));
+        if version != VERSION {
+            return Err(CodecError::VersionMismatch { expected: VERSION, found: version });
+        }
+        let n_ues = u16::from_le_bytes(buf[4..6].try_into().expect("sized")) as usize;
+        let need = REQUEST_HEADER_LEN + n_ues * UE_RECORD_LEN;
+        if buf.len() < need {
+            return Err(CodecError::BadLength { need, have: buf.len() });
+        }
+        let slot = u64::from_le_bytes(buf[8..16].try_into().expect("sized"));
+        let prbs_granted = u32::from_le_bytes(buf[16..20].try_into().expect("sized"));
+        let slice_id = u32::from_le_bytes(buf[20..24].try_into().expect("sized"));
+        let mut ues = Vec::with_capacity(n_ues);
+        for i in 0..n_ues {
+            let off = REQUEST_HEADER_LEN + i * UE_RECORD_LEN;
+            ues.push(UeInfo::decode_from(&buf[off..])?);
+        }
+        Ok(SchedRequest { slot, prbs_granted, slice_id, ues })
+    }
+}
+
+/// One allocation decision returned by the plugin.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Allocation {
+    /// UE to serve.
+    pub ue_id: u32,
+    /// PRBs granted to the UE.
+    pub prbs: u16,
+    /// Priority (0 = highest) used by the resource allocator when the sum
+    /// of requests exceeds the grant.
+    pub priority: u8,
+}
+
+/// The plugin's response for one slot.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SchedResponse {
+    /// Allocations, at most one per UE.
+    pub allocs: Vec<Allocation>,
+}
+
+impl SchedResponse {
+    /// Encode to the wire layout.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(RESPONSE_HEADER_LEN + self.allocs.len() * ALLOC_RECORD_LEN);
+        out.extend_from_slice(&MAGIC.to_le_bytes());
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.extend_from_slice(&(self.allocs.len() as u16).to_le_bytes());
+        out.extend_from_slice(&0u16.to_le_bytes());
+        for a in &self.allocs {
+            out.extend_from_slice(&a.ue_id.to_le_bytes());
+            out.extend_from_slice(&a.prbs.to_le_bytes());
+            out.push(a.priority);
+            out.push(0);
+        }
+        out
+    }
+
+    /// Decode and structurally validate a plugin response.
+    ///
+    /// `max_allocs` bounds how many records a (possibly hostile) plugin may
+    /// return — the fault policy treats violations as plugin faults.
+    pub fn decode(buf: &[u8], max_allocs: usize) -> Result<SchedResponse, CodecError> {
+        if buf.len() < RESPONSE_HEADER_LEN {
+            return Err(CodecError::UnexpectedEof);
+        }
+        let magic = u16::from_le_bytes(buf[0..2].try_into().expect("sized"));
+        if magic != MAGIC {
+            return Err(CodecError::Malformed(format!("bad magic {magic:#06x}")));
+        }
+        let version = u16::from_le_bytes(buf[2..4].try_into().expect("sized"));
+        if version != VERSION {
+            return Err(CodecError::VersionMismatch { expected: VERSION, found: version });
+        }
+        let n = u16::from_le_bytes(buf[4..6].try_into().expect("sized")) as usize;
+        if n > max_allocs {
+            return Err(CodecError::Malformed(format!(
+                "plugin returned {n} allocations, limit is {max_allocs}"
+            )));
+        }
+        let need = RESPONSE_HEADER_LEN + n * ALLOC_RECORD_LEN;
+        if buf.len() < need {
+            return Err(CodecError::BadLength { need, have: buf.len() });
+        }
+        let mut allocs = Vec::with_capacity(n);
+        for i in 0..n {
+            let off = RESPONSE_HEADER_LEN + i * ALLOC_RECORD_LEN;
+            allocs.push(Allocation {
+                ue_id: u32::from_le_bytes(buf[off..off + 4].try_into().expect("sized")),
+                prbs: u16::from_le_bytes(buf[off + 4..off + 6].try_into().expect("sized")),
+                priority: buf[off + 6],
+            });
+        }
+        Ok(SchedResponse { allocs })
+    }
+
+    /// Total PRBs requested across all allocations.
+    pub fn total_prbs(&self) -> u32 {
+        self.allocs.iter().map(|a| a.prbs as u32).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_request() -> SchedRequest {
+        SchedRequest {
+            slot: 123456,
+            prbs_granted: 52,
+            slice_id: 3,
+            ues: vec![
+                UeInfo {
+                    ue_id: 70,
+                    cqi: 12,
+                    mcs: 24,
+                    flags: 0,
+                    buffer_bytes: 150_000,
+                    avg_tput_bps: 12.5e6,
+                    prb_capacity_bits: 350_000.0,
+                },
+                UeInfo {
+                    ue_id: 71,
+                    cqi: 7,
+                    mcs: 13,
+                    flags: FLAG_RETX,
+                    buffer_bytes: 9_000,
+                    avg_tput_bps: 2.5e6,
+                    prb_capacity_bits: 160_000.0,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn request_roundtrip() {
+        let req = sample_request();
+        let bytes = req.encode();
+        assert_eq!(bytes.len(), REQUEST_HEADER_LEN + 2 * UE_RECORD_LEN);
+        assert_eq!(SchedRequest::decode(&bytes).unwrap(), req);
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        let resp = SchedResponse {
+            allocs: vec![
+                Allocation { ue_id: 70, prbs: 40, priority: 0 },
+                Allocation { ue_id: 71, prbs: 12, priority: 1 },
+            ],
+        };
+        let bytes = resp.encode();
+        assert_eq!(SchedResponse::decode(&bytes, 16).unwrap(), resp);
+        assert_eq!(resp.total_prbs(), 52);
+    }
+
+    #[test]
+    fn empty_request_and_response() {
+        let req = SchedRequest { slot: 0, prbs_granted: 0, slice_id: 0, ues: vec![] };
+        assert_eq!(SchedRequest::decode(&req.encode()).unwrap(), req);
+        let resp = SchedResponse::default();
+        assert_eq!(SchedResponse::decode(&resp.encode(), 0).unwrap(), resp);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut bytes = sample_request().encode();
+        bytes[0] = 0;
+        assert!(matches!(SchedRequest::decode(&bytes), Err(CodecError::Malformed(_))));
+    }
+
+    #[test]
+    fn rejects_version_mismatch() {
+        let mut bytes = sample_request().encode();
+        bytes[2] = 9;
+        assert_eq!(
+            SchedRequest::decode(&bytes),
+            Err(CodecError::VersionMismatch { expected: 1, found: 9 })
+        );
+    }
+
+    #[test]
+    fn rejects_truncated_records() {
+        let bytes = sample_request().encode();
+        let cut = &bytes[..bytes.len() - 1];
+        assert!(matches!(SchedRequest::decode(cut), Err(CodecError::BadLength { .. })));
+    }
+
+    #[test]
+    fn rejects_oversized_response() {
+        let resp = SchedResponse {
+            allocs: (0..10)
+                .map(|i| Allocation { ue_id: i, prbs: 1, priority: 0 })
+                .collect(),
+        };
+        let bytes = resp.encode();
+        assert!(matches!(
+            SchedResponse::decode(&bytes, 5),
+            Err(CodecError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn layout_offsets_match_documentation() {
+        // PlugC plugins hard-code these offsets; lock them down.
+        let req = sample_request();
+        let bytes = req.encode();
+        assert_eq!(u16::from_le_bytes([bytes[4], bytes[5]]), 2); // n_ues at 4
+        assert_eq!(
+            u32::from_le_bytes(bytes[16..20].try_into().unwrap()),
+            52 // prbs_granted at 16
+        );
+        let ue0 = REQUEST_HEADER_LEN;
+        assert_eq!(u32::from_le_bytes(bytes[ue0..ue0 + 4].try_into().unwrap()), 70);
+        assert_eq!(bytes[ue0 + 4], 12); // cqi
+        assert_eq!(bytes[ue0 + 5], 24); // mcs
+        assert_eq!(
+            f64::from_le_bytes(bytes[ue0 + 16..ue0 + 24].try_into().unwrap()),
+            12.5e6 // avg_tput at +16
+        );
+    }
+}

@@ -1,0 +1,398 @@
+//! A small JSON encoder/decoder.
+//!
+//! The human-readable option on the §4.B wire menu. Self-contained (no
+//! external parser deps), strict (rejects trailing garbage, bad escapes,
+//! unterminated structures), with objects kept in insertion order so
+//! encodings are deterministic.
+
+use crate::CodecError;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true`/`false`
+    Bool(bool),
+    /// Any number (f64 per classic JSON).
+    Num(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Arr(Vec<Json>),
+    /// Object, insertion-ordered.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Build an object from pairs.
+    pub fn obj(pairs: Vec<(&str, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Get an object member.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Number accessor.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// String accessor.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Array accessor.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Serialize to a compact string.
+    pub fn encode(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(true) => out.push_str("true"),
+            Json::Bool(false) => out.push_str("false"),
+            Json::Num(v) => {
+                if v.fract() == 0.0 && v.abs() < 1e15 {
+                    out.push_str(&format!("{}", *v as i64));
+                } else {
+                    out.push_str(&format!("{v}"));
+                }
+            }
+            Json::Str(s) => write_string(out, s),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_string(out, k);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parse a complete JSON document (rejects trailing garbage).
+    pub fn decode(src: &str) -> Result<Json, CodecError> {
+        let mut p = JsonParser { bytes: src.as_bytes(), pos: 0 };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(CodecError::Malformed(format!(
+                "trailing garbage at byte {}",
+                p.pos
+            )));
+        }
+        Ok(v)
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct JsonParser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> JsonParser<'a> {
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, CodecError> {
+        Err(CodecError::Malformed(format!("{} at byte {}", msg.into(), self.pos)))
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> bool {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_word(&mut self, word: &str) -> Result<(), CodecError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(())
+        } else {
+            self.err(format!("expected `{word}`"))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, CodecError> {
+        match self.peek() {
+            Some(b'n') => {
+                self.expect_word("null")?;
+                Ok(Json::Null)
+            }
+            Some(b't') => {
+                self.expect_word("true")?;
+                Ok(Json::Bool(true))
+            }
+            Some(b'f') => {
+                self.expect_word("false")?;
+                Ok(Json::Bool(false))
+            }
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.eat(b']') {
+                    return Ok(Json::Arr(items));
+                }
+                loop {
+                    self.skip_ws();
+                    items.push(self.value()?);
+                    self.skip_ws();
+                    if self.eat(b']') {
+                        return Ok(Json::Arr(items));
+                    }
+                    if !self.eat(b',') {
+                        return self.err("expected ',' or ']'");
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                let mut pairs = Vec::new();
+                self.skip_ws();
+                if self.eat(b'}') {
+                    return Ok(Json::Obj(pairs));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.string()?;
+                    self.skip_ws();
+                    if !self.eat(b':') {
+                        return self.err("expected ':'");
+                    }
+                    self.skip_ws();
+                    let value = self.value()?;
+                    pairs.push((key, value));
+                    self.skip_ws();
+                    if self.eat(b'}') {
+                        return Ok(Json::Obj(pairs));
+                    }
+                    if !self.eat(b',') {
+                        return self.err("expected ',' or '}'");
+                    }
+                }
+            }
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(other) => self.err(format!("unexpected byte {:#04x}", other)),
+            None => Err(CodecError::UnexpectedEof),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, CodecError> {
+        if !self.eat(b'"') {
+            return self.err("expected '\"'");
+        }
+        let mut out = String::new();
+        loop {
+            let Some(b) = self.peek() else {
+                return Err(CodecError::UnexpectedEof);
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(esc) = self.peek() else {
+                        return Err(CodecError::UnexpectedEof);
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            if self.pos + 4 > self.bytes.len() {
+                                return Err(CodecError::UnexpectedEof);
+                            }
+                            let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+                                .map_err(|_| CodecError::Malformed("bad \\u escape".into()))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| CodecError::Malformed("bad \\u escape".into()))?;
+                            self.pos += 4;
+                            // Surrogate pairs are out of scope; BMP only.
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| CodecError::Malformed("bad codepoint".into()))?,
+                            );
+                        }
+                        other => {
+                            return self.err(format!("bad escape '\\{}'", other as char));
+                        }
+                    }
+                }
+                b if b < 0x20 => return self.err("control character in string"),
+                b if b < 0x80 => out.push(b as char),
+                _ => {
+                    // Multi-byte UTF-8: re-decode from the source slice.
+                    let start = self.pos - 1;
+                    let s = std::str::from_utf8(&self.bytes[start..])
+                        .map_err(|_| CodecError::Malformed("invalid UTF-8".into()))?;
+                    let c = s.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos = start + c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, CodecError> {
+        let start = self.pos;
+        if self.eat(b'-') {}
+        while matches!(self.peek(), Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii digits");
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| CodecError::Malformed(format!("bad number `{text}`")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_scalars() {
+        for src in ["null", "true", "false", "42", "-7", "2.5", "\"hi\""] {
+            let v = Json::decode(src).unwrap();
+            assert_eq!(Json::decode(&v.encode()).unwrap(), v, "src={src}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_structures() {
+        let v = Json::obj(vec![
+            ("name", Json::Str("slice-sla".into())),
+            ("targets", Json::Arr(vec![Json::Num(3.0), Json::Num(12.0), Json::Num(15.0)])),
+            ("nested", Json::obj(vec![("on", Json::Bool(true)), ("x", Json::Null)])),
+        ]);
+        let text = v.encode();
+        assert_eq!(Json::decode(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn accessors() {
+        let v = Json::decode(r#"{"a": 1, "b": "x", "c": [1,2]}"#).unwrap();
+        assert_eq!(v.get("a").unwrap().as_num(), Some(1.0));
+        assert_eq!(v.get("b").unwrap().as_str(), Some("x"));
+        assert_eq!(v.get("c").unwrap().as_arr().unwrap().len(), 2);
+        assert!(v.get("zz").is_none());
+    }
+
+    #[test]
+    fn string_escapes() {
+        let v = Json::decode(r#""line\nquote\" back\\ tab\t uA""#).unwrap();
+        assert_eq!(v.as_str().unwrap(), "line\nquote\" back\\ tab\t uA");
+        // Re-encoding escapes correctly.
+        let enc = v.encode();
+        assert_eq!(Json::decode(&enc).unwrap(), v);
+    }
+
+    #[test]
+    fn unicode_passthrough() {
+        let v = Json::decode("\"héllo → wörld\"").unwrap();
+        assert_eq!(v.as_str().unwrap(), "héllo → wörld");
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        for bad in [
+            "", "{", "[1,", "{\"a\"}", "{\"a\":}", "tru", "1.2.3", "\"unterminated",
+            "[1] trailing", "{\"a\":1,}",
+        ] {
+            assert!(Json::decode(bad).is_err(), "should reject: {bad}");
+        }
+    }
+
+    #[test]
+    fn whitespace_tolerated() {
+        let v = Json::decode(" {\n\t\"a\" :\r [ 1 , 2 ] } ").unwrap();
+        assert_eq!(v.get("a").unwrap().as_arr().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn integers_encode_without_decimal_point() {
+        assert_eq!(Json::Num(42.0).encode(), "42");
+        assert_eq!(Json::Num(2.5).encode(), "2.5");
+    }
+
+    #[test]
+    fn insertion_order_preserved() {
+        let v = Json::obj(vec![("z", Json::Num(1.0)), ("a", Json::Num(2.0))]);
+        assert_eq!(v.encode(), r#"{"z":1,"a":2}"#);
+    }
+}

@@ -1,0 +1,250 @@
+//! Tag-length-value codec.
+//!
+//! The simplest wire choice on the §4.B menu: each field is `tag: u16 (LE)`,
+//! `len: u32 (LE)`, `value: [u8; len]`. Nested structures are encoded as
+//! TLV inside a TLV value. Unknown tags are skippable by construction,
+//! giving the forward compatibility the paper's interface-evolution story
+//! needs.
+
+use crate::CodecError;
+
+/// A writer producing a TLV byte stream.
+#[derive(Debug, Default, Clone)]
+pub struct TlvWriter {
+    buf: Vec<u8>,
+}
+
+impl TlvWriter {
+    /// Empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a raw-bytes field.
+    pub fn bytes(&mut self, tag: u16, value: &[u8]) -> &mut Self {
+        self.buf.extend_from_slice(&tag.to_le_bytes());
+        self.buf.extend_from_slice(&(value.len() as u32).to_le_bytes());
+        self.buf.extend_from_slice(value);
+        self
+    }
+
+    /// Append a u32 field.
+    pub fn u32(&mut self, tag: u16, value: u32) -> &mut Self {
+        self.bytes(tag, &value.to_le_bytes())
+    }
+
+    /// Append a u64 field.
+    pub fn u64(&mut self, tag: u16, value: u64) -> &mut Self {
+        self.bytes(tag, &value.to_le_bytes())
+    }
+
+    /// Append an f64 field.
+    pub fn f64(&mut self, tag: u16, value: f64) -> &mut Self {
+        self.bytes(tag, &value.to_le_bytes())
+    }
+
+    /// Append a UTF-8 string field.
+    pub fn str(&mut self, tag: u16, value: &str) -> &mut Self {
+        self.bytes(tag, value.as_bytes())
+    }
+
+    /// Append a nested TLV structure.
+    pub fn nested(&mut self, tag: u16, build: impl FnOnce(&mut TlvWriter)) -> &mut Self {
+        let mut inner = TlvWriter::new();
+        build(&mut inner);
+        let inner = inner.finish();
+        self.bytes(tag, &inner)
+    }
+
+    /// Take the encoded bytes.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// One decoded field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TlvField<'a> {
+    /// Field tag.
+    pub tag: u16,
+    /// Raw value bytes.
+    pub value: &'a [u8],
+}
+
+impl<'a> TlvField<'a> {
+    /// Interpret the value as u32.
+    pub fn as_u32(&self) -> Result<u32, CodecError> {
+        self.value
+            .try_into()
+            .map(u32::from_le_bytes)
+            .map_err(|_| CodecError::Malformed(format!("tag {}: expected 4 bytes", self.tag)))
+    }
+
+    /// Interpret the value as u64.
+    pub fn as_u64(&self) -> Result<u64, CodecError> {
+        self.value
+            .try_into()
+            .map(u64::from_le_bytes)
+            .map_err(|_| CodecError::Malformed(format!("tag {}: expected 8 bytes", self.tag)))
+    }
+
+    /// Interpret the value as f64.
+    pub fn as_f64(&self) -> Result<f64, CodecError> {
+        self.value
+            .try_into()
+            .map(f64::from_le_bytes)
+            .map_err(|_| CodecError::Malformed(format!("tag {}: expected 8 bytes", self.tag)))
+    }
+
+    /// Interpret the value as UTF-8.
+    pub fn as_str(&self) -> Result<&'a str, CodecError> {
+        std::str::from_utf8(self.value)
+            .map_err(|_| CodecError::Malformed(format!("tag {}: invalid UTF-8", self.tag)))
+    }
+
+    /// Iterate the value as nested TLV.
+    pub fn nested(&self) -> TlvReader<'a> {
+        TlvReader::new(self.value)
+    }
+}
+
+/// An iterator over TLV fields.
+#[derive(Debug, Clone)]
+pub struct TlvReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> TlvReader<'a> {
+    /// Read fields from `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        TlvReader { buf, pos: 0 }
+    }
+
+    /// Remaining unread bytes.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Find the first field with `tag` (scanning from the start).
+    pub fn find(&self, tag: u16) -> Result<Option<TlvField<'a>>, CodecError> {
+        let mut r = TlvReader::new(self.buf);
+        while let Some(field) = r.next_field()? {
+            if field.tag == tag {
+                return Ok(Some(field));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Like [`Self::find`] but an absent field is an error.
+    pub fn require(&self, tag: u16) -> Result<TlvField<'a>, CodecError> {
+        self.find(tag)?
+            .ok_or_else(|| CodecError::Malformed(format!("required tag {tag} missing")))
+    }
+
+    /// Pull the next field, or `None` at end of input.
+    pub fn next_field(&mut self) -> Result<Option<TlvField<'a>>, CodecError> {
+        if self.pos == self.buf.len() {
+            return Ok(None);
+        }
+        if self.buf.len() - self.pos < 6 {
+            return Err(CodecError::UnexpectedEof);
+        }
+        let tag = u16::from_le_bytes(self.buf[self.pos..self.pos + 2].try_into().expect("sized"));
+        let len =
+            u32::from_le_bytes(self.buf[self.pos + 2..self.pos + 6].try_into().expect("sized"))
+                as usize;
+        self.pos += 6;
+        if self.buf.len() - self.pos < len {
+            return Err(CodecError::BadLength { need: len, have: self.buf.len() - self.pos });
+        }
+        let value = &self.buf[self.pos..self.pos + len];
+        self.pos += len;
+        Ok(Some(TlvField { tag, value }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_flat_fields() {
+        let mut w = TlvWriter::new();
+        w.u32(1, 42).f64(2, 2.5).str(3, "hello").u64(4, u64::MAX);
+        let bytes = w.finish();
+        let r = TlvReader::new(&bytes);
+        assert_eq!(r.require(1).unwrap().as_u32().unwrap(), 42);
+        assert_eq!(r.require(2).unwrap().as_f64().unwrap(), 2.5);
+        assert_eq!(r.require(3).unwrap().as_str().unwrap(), "hello");
+        assert_eq!(r.require(4).unwrap().as_u64().unwrap(), u64::MAX);
+        assert!(r.find(9).unwrap().is_none());
+    }
+
+    #[test]
+    fn nested_structures() {
+        let mut w = TlvWriter::new();
+        w.nested(10, |inner| {
+            inner.u32(1, 7);
+            inner.nested(2, |deep| {
+                deep.str(1, "deep");
+            });
+        });
+        let bytes = w.finish();
+        let outer = TlvReader::new(&bytes).require(10).unwrap();
+        let inner = outer.nested();
+        assert_eq!(inner.require(1).unwrap().as_u32().unwrap(), 7);
+        let deep = inner.require(2).unwrap().nested();
+        assert_eq!(deep.require(1).unwrap().as_str().unwrap(), "deep");
+    }
+
+    #[test]
+    fn unknown_tags_are_skippable() {
+        let mut w = TlvWriter::new();
+        w.u32(1, 1).bytes(999, &[0xde, 0xad]).u32(2, 2);
+        let bytes = w.finish();
+        let r = TlvReader::new(&bytes);
+        // A reader that only knows tags 1 and 2 still finds both.
+        assert_eq!(r.require(1).unwrap().as_u32().unwrap(), 1);
+        assert_eq!(r.require(2).unwrap().as_u32().unwrap(), 2);
+    }
+
+    #[test]
+    fn sequential_iteration() {
+        let mut w = TlvWriter::new();
+        w.u32(5, 50).u32(5, 51).u32(5, 52);
+        let bytes = w.finish();
+        let mut r = TlvReader::new(&bytes);
+        let mut got = Vec::new();
+        while let Some(f) = r.next_field().unwrap() {
+            got.push(f.as_u32().unwrap());
+        }
+        assert_eq!(got, vec![50, 51, 52]);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let mut w = TlvWriter::new();
+        w.str(1, "hello world");
+        let bytes = w.finish();
+        // Cut into the value.
+        let cut = &bytes[..bytes.len() - 3];
+        let mut r = TlvReader::new(cut);
+        assert!(matches!(r.next_field(), Err(CodecError::BadLength { .. })));
+        // Cut into the header.
+        let cut = &bytes[..3];
+        let mut r = TlvReader::new(cut);
+        assert_eq!(r.next_field(), Err(CodecError::UnexpectedEof));
+    }
+
+    #[test]
+    fn wrong_width_rejected() {
+        let mut w = TlvWriter::new();
+        w.bytes(1, &[1, 2, 3]); // 3 bytes is not a u32
+        let bytes = w.finish();
+        let f = TlvReader::new(&bytes).require(1).unwrap();
+        assert!(f.as_u32().is_err());
+    }
+}

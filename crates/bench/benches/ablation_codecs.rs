@@ -1,0 +1,50 @@
+//! Ablation A3 — the §4.B wire-format choice: encode+decode round trips of
+//! E2-style indications through each communication codec, for growing KPI
+//! batch sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use waran_ric::comm::{CommCodec, JsonCodec, PbCodec, TlvCodec};
+use waran_ric::e2::{Indication, KpiReport};
+
+fn indication(n: usize) -> Indication {
+    Indication {
+        slot: 123456,
+        reports: (0..n)
+            .map(|i| KpiReport {
+                ue_id: 70 + i as u32,
+                slice_id: (i % 3) as u32,
+                cqi: 1 + (i % 15) as u8,
+                mcs: (i % 29) as u8,
+                buffer_bytes: 1000 * i as u32,
+                tput_bps: 1e6 * (i as f64 + 0.5),
+            })
+            .collect(),
+    }
+}
+
+fn bench_codecs(c: &mut Criterion) {
+    let codecs: [&dyn CommCodec; 3] = [&TlvCodec, &PbCodec, &JsonCodec];
+    for n in [1usize, 10, 100] {
+        let ind = indication(n);
+        let mut group = c.benchmark_group(format!("a3_codec_roundtrip/{n}reports"));
+        for codec in codecs {
+            // The wire size rides along in the bench id.
+            let size = codec.encode_indication(&ind).len();
+            group.bench_with_input(
+                BenchmarkId::new(codec.name(), format!("{size}B")),
+                &ind,
+                |b, ind| {
+                    b.iter(|| {
+                        let bytes = codec.encode_indication(std::hint::black_box(ind));
+                        codec.decode_indication(&bytes).expect("roundtrips")
+                    })
+                },
+            );
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_codecs);
+criterion_main!(benches);

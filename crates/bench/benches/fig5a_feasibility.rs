@@ -1,0 +1,54 @@
+//! Criterion bench behind Fig. 5a: throughput of the full simulation loop
+//! with three plugin-backed MVNO slices (one simulated second per
+//! iteration). Tracks regressions in the end-to-end gNB + sandbox path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use waran_core::{ScenarioBuilder, SchedKind, SliceSpec};
+
+fn bench_three_mvnos(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5a_sim_loop");
+    group.sample_size(10);
+    group.bench_function("three_wasm_mvnos_1s", |b| {
+        b.iter(|| {
+            let mut scenario = ScenarioBuilder::new()
+                .slice(SliceSpec::new("mt", SchedKind::MaxThroughput).target_mbps(3.0).ues(2))
+                .slice(SliceSpec::new("rr", SchedKind::RoundRobin).target_mbps(12.0).ues(3))
+                .slice(SliceSpec::new("pf", SchedKind::ProportionalFair).target_mbps(15.0).ues(3))
+                .seconds(1.0)
+                .build()
+                .expect("scenario builds");
+            let report = scenario.run().expect("runs");
+            assert!(report.slice("rr").expect("slice").mean_rate_mbps() > 5.0);
+            report
+        })
+    });
+    group.bench_function("three_native_mvnos_1s", |b| {
+        b.iter(|| {
+            let mut scenario = ScenarioBuilder::new()
+                .slice(
+                    SliceSpec::new("mt", SchedKind::MaxThroughput)
+                        .target_mbps(3.0)
+                        .ues(2)
+                        .native(),
+                )
+                .slice(
+                    SliceSpec::new("rr", SchedKind::RoundRobin).target_mbps(12.0).ues(3).native(),
+                )
+                .slice(
+                    SliceSpec::new("pf", SchedKind::ProportionalFair)
+                        .target_mbps(15.0)
+                        .ues(3)
+                        .native(),
+                )
+                .seconds(1.0)
+                .build()
+                .expect("scenario builds");
+            scenario.run().expect("runs")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_three_mvnos);
+criterion_main!(benches);

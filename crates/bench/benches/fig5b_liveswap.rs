@@ -1,0 +1,52 @@
+//! Criterion bench behind Fig. 5b: the cost of a live plugin swap itself —
+//! compile-free hot swap of an installed scheduler slot while a scenario
+//! is mid-flight. The paper's claim is zero downtime; this measures how
+//! far from zero the swap operation is.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use waran_core::plugins;
+use waran_core::{ScenarioBuilder, SchedKind, SliceSpec};
+use waran_host::plugin::{Plugin, SandboxPolicy};
+use waran_wasm::instance::Linker;
+
+fn bench_swap(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5b_live_swap");
+
+    // The swap operation alone: instantiate-from-validated-bytes + atomic
+    // slot replacement (what happens between two 1 ms slots).
+    group.bench_function("swap_installed_plugin", |b| {
+        let mut scenario = ScenarioBuilder::new()
+            .slice(SliceSpec::new("s", SchedKind::MaxThroughput).ues(3))
+            .seconds(3600.0)
+            .build()
+            .expect("scenario builds");
+        scenario.run_slots(10);
+        let mut flip = false;
+        b.iter(|| {
+            flip = !flip;
+            let kind = if flip { SchedKind::ProportionalFair } else { SchedKind::MaxThroughput };
+            scenario.swap_plugin("s", kind).expect("swap works");
+            scenario.run_slots(1);
+        })
+    });
+
+    // Module load path in isolation: decode + validate + instantiate.
+    group.bench_function("load_and_instantiate", |b| {
+        let wasm = plugins::pf_wasm();
+        b.iter(|| {
+            Plugin::new(
+                std::hint::black_box(wasm),
+                &Linker::<()>::new(),
+                (),
+                SandboxPolicy::default(),
+            )
+            .expect("instantiates")
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_swap);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion bench behind Fig. 5d: one full scheduler-plugin call
+//! (serialize → sandbox → deserialize) per iteration, for each policy and
+//! UE count. The figure binary reports quantiles; this bench tracks mean
+//! latency regressions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use waran_abi::sched::{SchedRequest, UeInfo};
+use waran_core::plugins;
+use waran_host::plugin::{Plugin, SandboxPolicy};
+use waran_wasm::instance::Linker;
+
+fn request(n_ues: usize) -> SchedRequest {
+    SchedRequest {
+        slot: 1,
+        prbs_granted: 52,
+        slice_id: 0,
+        ues: (0..n_ues)
+            .map(|i| UeInfo {
+                ue_id: 70 + i as u32,
+                cqi: 8 + (i % 8) as u8,
+                mcs: 12 + (i % 16) as u8,
+                flags: 0,
+                buffer_bytes: 50_000,
+                avg_tput_bps: 1e6 * (1.0 + i as f64),
+                prb_capacity_bits: 300.0 + 20.0 * i as f64,
+            })
+            .collect(),
+    }
+}
+
+fn bench_plugins(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5d_plugin_call");
+    for (name, wasm) in [
+        ("mt", plugins::mt_wasm()),
+        ("pf", plugins::pf_wasm()),
+        ("rr", plugins::rr_wasm()),
+    ] {
+        for n_ues in [1usize, 10, 20] {
+            let mut plugin =
+                Plugin::new(wasm, &Linker::<()>::new(), (), SandboxPolicy::default())
+                    .expect("plugin instantiates");
+            let req = request(n_ues);
+            group.bench_with_input(BenchmarkId::new(name, n_ues), &req, |b, req| {
+                b.iter(|| plugin.call_sched(std::hint::black_box(req)).expect("schedules"))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_plugins);
+criterion_main!(benches);

@@ -1,0 +1,131 @@
+//! Fig. 5b — Live swap of the MVNO scheduler.
+//!
+//! Paper setup (§5.C): one MVNO with a 22 Mb/s target and three UEs pinned
+//! at MCS 20 / 24 / 28. The MVNO's plugin is hot-swapped MT → PF → RR
+//! without stopping the gNB or disconnecting any UE. Expected shape:
+//!
+//! * MT phase — the MCS-28 UE takes (almost) everything, MCS-24 picks up
+//!   leftovers, MCS-20 is starved;
+//! * PF phase (large time constant) — the starved MCS-20 UE is prioritized
+//!   first, then MCS-24 re-enters, converging to PF sharing;
+//! * RR phase — all three share PRBs equally (unequal rates only through
+//!   their MCS difference).
+//!
+//! Run with: `cargo run -p waran-bench --release --bin fig5b`
+
+use waran_bench::{banner, downsample, f2, sparkline, table, write_csv};
+use waran_core::{ChannelSpec, ScenarioBuilder, SchedKind, SliceSpec, TrafficSpec};
+
+fn main() {
+    banner("Fig. 5b", "Live swap MT → PF → RR (3 UEs at MCS 20/24/28, 22 Mb/s slice)");
+
+    let phase_secs = 20.0;
+    let mut scenario = ScenarioBuilder::new()
+        // Each UE offers 22 Mb/s (the paper's per-UE target rate); the sum
+        // exceeds the carrier, so the intra-slice policy decides who wins.
+        .slice(
+            SliceSpec::new("mvno", SchedKind::MaxThroughput)
+                .ue(ChannelSpec::FixedMcs(20), TrafficSpec::CbrMbps(22.0))
+                .ue(ChannelSpec::FixedMcs(24), TrafficSpec::CbrMbps(22.0))
+                .ue(ChannelSpec::FixedMcs(28), TrafficSpec::CbrMbps(22.0)),
+        )
+        .seconds(3.0 * phase_secs)
+        // "To stress the PF nature of the scheduler, we intentionally chose
+        // a large time constant" (§5.C).
+        .pf_time_constant(8000.0)
+        .seed(3)
+        .build()
+        .expect("scenario builds");
+
+    let ues = scenario.slice_ues("mvno").to_vec();
+    let labels = ["MCS 20", "MCS 24", "MCS 28"];
+
+    println!("phase 1 (0–{phase_secs} s): MT plugin…");
+    scenario.run_seconds(phase_secs);
+    println!("phase 2 ({phase_secs}–{} s): hot swap to PF (gNB keeps running)…", 2.0 * phase_secs);
+    scenario.swap_plugin("mvno", SchedKind::ProportionalFair).expect("swap works");
+    scenario.run_seconds(phase_secs);
+    println!("phase 3 ({}–{} s): hot swap to RR…", 2.0 * phase_secs, 3.0 * phase_secs);
+    scenario.swap_plugin("mvno", SchedKind::RoundRobin).expect("swap works");
+    scenario.run_seconds(phase_secs);
+
+    let report = scenario.report();
+
+    // Per-UE series, one row per second.
+    let windows_per_sec = (1.0 / report.window_seconds).round() as usize;
+    let total_secs = (3.0 * phase_secs) as usize;
+    let mut rows = Vec::new();
+    for sec in 0..total_secs {
+        let mut cells = vec![format!("{sec}")];
+        for ue in &ues {
+            let series = &report.ue(*ue).expect("ue exists").series_mbps;
+            let lo = sec * windows_per_sec;
+            let hi = ((sec + 1) * windows_per_sec).min(series.len());
+            let mean =
+                if lo < hi { series[lo..hi].iter().sum::<f64>() / (hi - lo) as f64 } else { 0.0 };
+            cells.push(f2(mean));
+        }
+        let phase = match sec as f64 {
+            s if s < phase_secs => "MT",
+            s if s < 2.0 * phase_secs => "PF",
+            _ => "RR",
+        };
+        cells.push(phase.to_string());
+        rows.push(cells);
+    }
+    let header = ["t[s]", labels[0], labels[1], labels[2], "plugin"];
+    let printed: Vec<Vec<String>> = rows.iter().step_by(3).cloned().collect();
+    table(&header, &printed);
+    write_csv("fig5b.csv", &header, &rows);
+
+    println!("\nshape check (one char per ~2 s):");
+    for (ue, label) in ues.iter().zip(labels) {
+        let series = &report.ue(*ue).expect("ue exists").series_mbps;
+        println!("  {label:<7} {}", sparkline(&downsample(series, 30)));
+    }
+
+    // Phase means for the verdict.
+    let phase_mean = |ue: u32, phase: usize| -> f64 {
+        let series = &report.ue(ue).expect("ue exists").series_mbps;
+        let per_phase = series.len() / 3;
+        // Skip the first quarter of each phase (transient).
+        let lo = phase * per_phase + per_phase / 4;
+        let hi = (phase + 1) * per_phase;
+        series[lo..hi].iter().sum::<f64>() / (hi - lo) as f64
+    };
+
+    println!("\nper-phase steady-state means [Mb/s]:");
+    let mut rows = Vec::new();
+    for (i, (ue, label)) in ues.iter().zip(labels).enumerate() {
+        let _ = i;
+        rows.push(vec![
+            label.to_string(),
+            f2(phase_mean(*ue, 0)),
+            f2(phase_mean(*ue, 1)),
+            f2(phase_mean(*ue, 2)),
+        ]);
+    }
+    table(&["UE", "MT", "PF", "RR"], &rows);
+
+    let mt = [phase_mean(ues[0], 0), phase_mean(ues[1], 0), phase_mean(ues[2], 0)];
+    let pf = [phase_mean(ues[0], 1), phase_mean(ues[1], 1), phase_mean(ues[2], 1)];
+    let rr = [phase_mean(ues[0], 2), phase_mean(ues[1], 2), phase_mean(ues[2], 2)];
+
+    // Best UE reaches its 22 Mb/s target, second-best uses the leftovers,
+    // worst is (mostly) not scheduled — the paper's exact description.
+    let mt_ok = mt[2] > 20.0 && mt[1] > 2.0 && mt[0] < mt[1] * 0.5;
+    let pf_ok = pf[0] > 1.0 && pf[1] > 1.0 && pf[2] > 1.0; // everyone served
+    let rr_spread = (rr[2] - rr[0]) / rr[2].max(1e-9);
+    let rr_ok = rr[0] > 1.0 && rr_spread < 0.5; // near-equal PRB shares
+    let no_faults = report.slice("mvno").expect("slice").scheduler_faults == 0;
+
+    println!(
+        "\nresult: {}",
+        if mt_ok && pf_ok && rr_ok && no_faults {
+            "REPRODUCED — MT starves MCS-20, PF re-serves it, RR equalizes; \
+             swaps happened live with zero faults (paper Fig. 5b)"
+        } else {
+            "MISMATCH — see phase means above"
+        }
+    );
+}

@@ -1,0 +1,114 @@
+//! Fig. 5d — Plugin execution time vs the slot budget.
+//!
+//! Paper setup (§5.E): measure the execution time of the MT/PF/RR
+//! scheduler plugins with 1, 10 and 20 UEs connected, including the
+//! serialization/deserialization overhead on the gNB host, and report the
+//! 50th and 99th percentiles against the 1000 µs slot duration.
+//!
+//! Run with: `cargo run -p waran-bench --release --bin fig5d`
+
+use std::time::Instant;
+
+use waran_abi::sched::{SchedRequest, UeInfo};
+use waran_bench::{banner, f1, table, write_csv};
+use waran_core::plugins;
+use waran_host::plugin::{Plugin, SandboxPolicy};
+use waran_host::ExactQuantiles;
+use waran_wasm::instance::Linker;
+
+fn make_request(slot: u64, n_ues: usize) -> SchedRequest {
+    SchedRequest {
+        slot,
+        prbs_granted: 52,
+        slice_id: 0,
+        ues: (0..n_ues)
+            .map(|i| UeInfo {
+                ue_id: 70 + i as u32,
+                cqi: 8 + (i % 8) as u8,
+                mcs: 12 + (i % 16) as u8,
+                flags: 0,
+                buffer_bytes: 50_000 + 1000 * i as u32,
+                avg_tput_bps: 1e6 * (1.0 + i as f64),
+                prb_capacity_bits: 300.0 + 20.0 * i as f64,
+            })
+            .collect(),
+    }
+}
+
+fn main() {
+    banner("Fig. 5d", "Plugin execution time incl. serialization (slot budget: 1000 µs)");
+
+    let policies: [(&str, &'static [u8]); 3] = [
+        ("MT", plugins::mt_wasm()),
+        ("PF", plugins::pf_wasm()),
+        ("RR", plugins::rr_wasm()),
+    ];
+    let ue_counts = [1usize, 10, 20];
+    let iterations = 20_000u64;
+    let warmup = 1_000u64;
+
+    println!(
+        "measuring {iterations} scheduled slots per (plugin, UE-count) configuration…\n"
+    );
+
+    let mut rows = Vec::new();
+    let mut worst_p99: f64 = 0.0;
+    for (name, wasm) in policies {
+        for &n_ues in &ue_counts {
+            // Fresh instance per configuration; metering as in production.
+            // Fuel metering on (production setting); the wall-clock
+            // deadline is left at 10 ms so OS preemption of the harness
+            // itself cannot abort a measurement run.
+            let mut plugin = Plugin::new(
+                wasm,
+                &Linker::<()>::new(),
+                (),
+                SandboxPolicy::default(),
+            )
+            .expect("plugin instantiates");
+            let mut acc = ExactQuantiles::new();
+            for slot in 0..(warmup + iterations) {
+                let req = make_request(slot, n_ues);
+                // Measured exactly as the paper: host-side encode, sandbox
+                // call, host-side decode.
+                let start = Instant::now();
+                let resp = plugin.call_sched(&req).expect("plugin schedules");
+                let elapsed = start.elapsed();
+                assert!(resp.total_prbs() <= 52);
+                if slot >= warmup {
+                    acc.record_duration(elapsed);
+                }
+            }
+            let p50 = acc.quantile(0.50);
+            let p99 = acc.quantile(0.99);
+            worst_p99 = worst_p99.max(p99);
+            rows.push(vec![
+                name.to_string(),
+                format!("{n_ues}"),
+                f1(p50),
+                f1(p99),
+                f1(acc.mean()),
+                f1(acc.max()),
+                f1(100.0 * p99 / 1000.0),
+            ]);
+        }
+    }
+
+    let header = ["plugin", "UEs", "p50[µs]", "p99[µs]", "mean[µs]", "max[µs]", "p99 %slot"];
+    table(&header, &rows);
+    write_csv("fig5d.csv", &header, &rows);
+
+    println!(
+        "\nresult: {}",
+        if worst_p99 < 1000.0 {
+            "REPRODUCED — every configuration's p99 is far below the 1000 µs slot, \
+             even at 20 UEs (paper Fig. 5d: Wasm plugins meet 5G real-time budgets)"
+        } else {
+            "MISMATCH — a configuration exceeded the slot budget"
+        }
+    );
+    println!(
+        "note: absolute numbers differ from the paper's testbed (interpreter vs \
+         Extism-on-NUC); the claim under test is p99 ≪ slot duration and growth with UE count."
+    );
+}

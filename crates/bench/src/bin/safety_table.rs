@@ -1,0 +1,95 @@
+//! §5.D table — Memory safety: improper instructions trap in the sandbox.
+//!
+//! Paper setup: deliberately run unsafe code — null-pointer dereference,
+//! out-of-bounds memory access, double free — inside a plugin. In all
+//! cases the gNB host catches the exception and continues running; the
+//! same code run natively crashes the process.
+//!
+//! Run with: `cargo run -p waran-bench --release --bin safety_table`
+
+use waran_abi::sched::{SchedRequest, UeInfo};
+use waran_bench::{banner, table};
+use waran_core::plugins::{self, faulty};
+use waran_host::plugin::{Plugin, PluginError, SandboxPolicy};
+use waran_wasm::instance::Linker;
+
+fn request() -> SchedRequest {
+    SchedRequest {
+        slot: 0,
+        prbs_granted: 52,
+        slice_id: 0,
+        ues: vec![UeInfo {
+            ue_id: 70,
+            cqi: 10,
+            mcs: 15,
+            flags: 0,
+            buffer_bytes: 100_000,
+            avg_tput_bps: 1e6,
+            prb_capacity_bits: 400.0,
+        }],
+    }
+}
+
+fn main() {
+    banner("§5.D", "Memory safety: unsafe plugin code is caught, the host survives");
+
+    let cases: [(&str, &str, &str); 3] = [
+        ("null pointer dereference", faulty::NULL_DEREF, "segfault (SIGSEGV)"),
+        ("out-of-bounds access", faulty::OOB_ACCESS, "segfault / heap corruption"),
+        ("double free", faulty::DOUBLE_FREE, "abort (glibc: double free or corruption)"),
+    ];
+
+    let mut rows = Vec::new();
+    let mut all_caught = true;
+    for (name, source, native_outcome) in cases {
+        let wasm = plugins::compile_faulty(source);
+        let mut plugin =
+            Plugin::new(&wasm, &Linker::<()>::new(), (), SandboxPolicy::slot_budget())
+                .expect("fault plugin instantiates");
+
+        // Run the unsafe code. The call must return an error — not crash.
+        let outcome = plugin.call_sched(&request());
+        let caught = match &outcome {
+            Err(PluginError::Trap(t)) => format!("trap caught: {t}"),
+            Err(other) => format!("fault caught: {other}"),
+            Ok(_) => "NOT CAUGHT (plugin completed!)".to_string(),
+        };
+        all_caught &= outcome.is_err();
+
+        // "…and the gNB continues running": the host object is fully usable;
+        // install a healthy plugin into the same slot and keep scheduling.
+        let mut healthy = Plugin::new(
+            plugins::rr_wasm(),
+            &Linker::<()>::new(),
+            (),
+            SandboxPolicy::slot_budget(),
+        )
+        .expect("healthy plugin instantiates");
+        let continues = healthy.call_sched(&request()).is_ok();
+        all_caught &= continues;
+
+        rows.push(vec![
+            name.to_string(),
+            caught,
+            native_outcome.to_string(),
+            if continues { "yes".into() } else { "NO".into() },
+        ]);
+    }
+
+    table(&["improper instruction", "in WA-RAN sandbox", "native outcome", "gNB continues"], &rows);
+
+    println!(
+        "\nnote: the native column is the documented behaviour of the same code \
+         outside a sandbox (the paper crashed a real gNB; deliberately \
+         segfaulting this harness would end the table early)."
+    );
+    println!(
+        "\nresult: {}",
+        if all_caught {
+            "REPRODUCED — all three unsafe behaviours trap inside the sandbox and \
+             scheduling continues (paper §5.D)"
+        } else {
+            "MISMATCH — an unsafe behaviour was not contained"
+        }
+    );
+}

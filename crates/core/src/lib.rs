@@ -1,0 +1,27 @@
+//! # waran-core — WA-RAN assembled
+//!
+//! The paper's contribution, put together from the substrates:
+//!
+//! * [`plugins`] — the standard plugin library: RR/PF/MT intra-slice
+//!   schedulers authored in PlugC and compiled to genuine `.wasm`
+//!   modules, plus the §5.D fault-demonstration plugins (null-pointer
+//!   dereference, out-of-bounds access, double free, memory leak).
+//! * [`wasm_sched`] — the [`wasm_sched::WasmSliceScheduler`] adapter that
+//!   plugs a sandboxed module into the gNB's scheduler seam through a
+//!   hot-swappable [`waran_host::PluginHost`] slot.
+//! * [`scenario`] — the declarative driver used by examples and benches:
+//!   slices, UEs, channels, traffic, duration → run → [`scenario::Report`].
+//! * [`ric_glue`] — the gNB↔near-RT-RIC loop over plugin-wrapped
+//!   communication, with xApps steering traffic and assuring slice SLAs.
+
+pub mod plugins;
+pub mod ric_glue;
+pub mod scenario;
+pub mod wasm_sched;
+
+pub use ric_glue::{HandoverModel, RicLoop};
+pub use scenario::{
+    Backend, ChannelSpec, Report, Scenario, ScenarioBuilder, ScenarioError, SchedKind,
+    SliceReport, SliceSpec, TrafficSpec, UeReport,
+};
+pub use wasm_sched::{install_plugin, WasmSliceScheduler};

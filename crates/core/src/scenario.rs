@@ -1,0 +1,607 @@
+//! Scenario driver: declarative setup of a WA-RAN gNB with plugin-backed
+//! MVNO slices, used by the examples and the figure-regeneration benches.
+//!
+//! ```
+//! use waran_core::{ScenarioBuilder, SliceSpec, SchedKind};
+//!
+//! let mut scenario = ScenarioBuilder::new()
+//!     .slice(SliceSpec::new("iot", SchedKind::RoundRobin).target_mbps(3.0).ues(2))
+//!     .seconds(0.5)
+//!     .build()
+//!     .unwrap();
+//! let report = scenario.run().unwrap();
+//! assert!(report.slice("iot").unwrap().mean_rate_mbps() > 1.0);
+//! ```
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use waran_host::plugin::{PluginError, SandboxPolicy};
+use waran_host::{ExecTimeStats, PluginHost};
+use waran_ransim::channel::{
+    ChannelModel, DistanceChannel, FixedMcsChannel, MarkovFadingChannel, StaticChannel,
+};
+use waran_ransim::gnb::{Gnb, GnbConfig, SliceConfig};
+use waran_ransim::sched::{MaxThroughput, ProportionalFair, RoundRobin, SliceScheduler};
+use waran_ransim::traffic::{Cbr, FullBuffer, PoissonPackets, TrafficSource};
+
+use crate::plugins;
+use crate::wasm_sched::{install_plugin, WasmSliceScheduler};
+
+/// Scheduling policy for a slice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedKind {
+    /// Round robin.
+    RoundRobin,
+    /// Proportional fair.
+    ProportionalFair,
+    /// Maximum throughput.
+    MaxThroughput,
+}
+
+impl SchedKind {
+    /// Short name (matches the paper's MT/RR/PF labels).
+    pub fn label(self) -> &'static str {
+        match self {
+            SchedKind::RoundRobin => "RR",
+            SchedKind::ProportionalFair => "PF",
+            SchedKind::MaxThroughput => "MT",
+        }
+    }
+
+    fn wasm_bytes(self) -> &'static [u8] {
+        match self {
+            SchedKind::RoundRobin => plugins::rr_wasm(),
+            SchedKind::ProportionalFair => plugins::pf_wasm(),
+            SchedKind::MaxThroughput => plugins::mt_wasm(),
+        }
+    }
+
+    fn native(self) -> Box<dyn SliceScheduler> {
+        match self {
+            SchedKind::RoundRobin => Box::new(RoundRobin::new()),
+            SchedKind::ProportionalFair => Box::new(ProportionalFair::new()),
+            SchedKind::MaxThroughput => Box::new(MaxThroughput::new()),
+        }
+    }
+}
+
+/// Where a slice's scheduler executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Backend {
+    /// As a Wasm plugin under the sandbox policy (WA-RAN's path).
+    #[default]
+    Wasm,
+    /// As native Rust (the baseline comparator).
+    Native,
+}
+
+/// Channel model specification for one UE.
+#[derive(Debug, Clone, Copy)]
+pub enum ChannelSpec {
+    /// Constant CQI.
+    Static(u8),
+    /// Locked to an MCS (the Fig. 5b setup).
+    FixedMcs(u8),
+    /// Gauss-Markov fading, good cell-center profile.
+    FadingGood,
+    /// Gauss-Markov fading, cell-edge profile.
+    FadingCellEdge,
+    /// Distance-based, meters from the gNB.
+    Distance(f64),
+}
+
+impl ChannelSpec {
+    fn build(self) -> Box<dyn ChannelModel> {
+        match self {
+            ChannelSpec::Static(cqi) => Box::new(StaticChannel::new(cqi)),
+            ChannelSpec::FixedMcs(mcs) => Box::new(FixedMcsChannel::new(mcs)),
+            ChannelSpec::FadingGood => Box::new(MarkovFadingChannel::good()),
+            ChannelSpec::FadingCellEdge => Box::new(MarkovFadingChannel::cell_edge()),
+            ChannelSpec::Distance(m) => Box::new(DistanceChannel::new(m)),
+        }
+    }
+}
+
+/// Traffic specification for one UE.
+#[derive(Debug, Clone, Copy)]
+pub enum TrafficSpec {
+    /// Saturating DL traffic (iperf-style).
+    FullBuffer,
+    /// Constant bit rate, Mb/s.
+    CbrMbps(f64),
+    /// Poisson IoT bursts: packets/s of the given size.
+    Poisson {
+        /// Mean packets per second.
+        pps: f64,
+        /// Bytes per packet.
+        bytes: u64,
+    },
+}
+
+impl TrafficSpec {
+    fn build(self) -> Box<dyn TrafficSource> {
+        match self {
+            TrafficSpec::FullBuffer => Box::new(FullBuffer),
+            TrafficSpec::CbrMbps(mbps) => Box::new(Cbr::new(mbps * 1e6)),
+            TrafficSpec::Poisson { pps, bytes } => Box::new(PoissonPackets::new(pps, bytes)),
+        }
+    }
+}
+
+/// Declarative slice description.
+#[derive(Debug, Clone)]
+pub struct SliceSpec {
+    /// Slice name.
+    pub name: String,
+    /// Scheduling policy.
+    pub kind: SchedKind,
+    /// Execution backend.
+    pub backend: Backend,
+    /// Target rate, Mb/s.
+    pub target: Option<f64>,
+    ues: Vec<(ChannelSpec, TrafficSpec)>,
+}
+
+impl SliceSpec {
+    /// A slice with the given policy (Wasm backend, best effort, no UEs).
+    pub fn new(name: &str, kind: SchedKind) -> Self {
+        SliceSpec { name: name.to_string(), kind, backend: Backend::Wasm, target: None, ues: Vec::new() }
+    }
+
+    /// Set the target cumulative DL rate.
+    pub fn target_mbps(mut self, mbps: f64) -> Self {
+        self.target = Some(mbps);
+        self
+    }
+
+    /// Execute the scheduler natively instead of as a Wasm plugin.
+    pub fn native(mut self) -> Self {
+        self.backend = Backend::Native;
+        self
+    }
+
+    /// Add `n` default UEs (static CQI 12, full-buffer traffic).
+    pub fn ues(mut self, n: usize) -> Self {
+        for _ in 0..n {
+            self.ues.push((ChannelSpec::Static(12), TrafficSpec::FullBuffer));
+        }
+        self
+    }
+
+    /// Add one UE with explicit channel and traffic.
+    pub fn ue(mut self, channel: ChannelSpec, traffic: TrafficSpec) -> Self {
+        self.ues.push((channel, traffic));
+        self
+    }
+}
+
+/// Scenario construction errors.
+#[derive(Debug)]
+pub enum ScenarioError {
+    /// A plugin failed to load/instantiate.
+    Plugin(PluginError),
+    /// Structural problem with the specification.
+    Invalid(String),
+}
+
+impl std::fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScenarioError::Plugin(e) => write!(f, "plugin: {e}"),
+            ScenarioError::Invalid(m) => write!(f, "invalid scenario: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+impl From<PluginError> for ScenarioError {
+    fn from(e: PluginError) -> Self {
+        ScenarioError::Plugin(e)
+    }
+}
+
+/// Builds a [`Scenario`].
+pub struct ScenarioBuilder {
+    slices: Vec<SliceSpec>,
+    seconds: f64,
+    seed: u64,
+    gnb_config: GnbConfig,
+    policy: SandboxPolicy,
+}
+
+impl Default for ScenarioBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ScenarioBuilder {
+    /// Paper-testbed defaults: 10 MHz / 15 kHz / 52 PRBs / 1 ms slots.
+    pub fn new() -> Self {
+        ScenarioBuilder {
+            slices: Vec::new(),
+            seconds: 1.0,
+            seed: 1,
+            gnb_config: GnbConfig::default(),
+            policy: SandboxPolicy::slot_budget(),
+        }
+    }
+
+    /// Add a slice.
+    pub fn slice(mut self, spec: SliceSpec) -> Self {
+        self.slices.push(spec);
+        self
+    }
+
+    /// Simulated duration.
+    pub fn seconds(mut self, seconds: f64) -> Self {
+        self.seconds = seconds;
+        self
+    }
+
+    /// RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// PF time constant in slots.
+    pub fn pf_time_constant(mut self, slots: f64) -> Self {
+        self.gnb_config.pf_time_constant_slots = slots;
+        self
+    }
+
+    /// Metrics window in slots.
+    pub fn metrics_window(mut self, slots: u64) -> Self {
+        self.gnb_config.metrics_window_slots = slots;
+        self
+    }
+
+    /// Sandbox policy for plugin-backed slices.
+    pub fn sandbox_policy(mut self, policy: SandboxPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Instantiate everything: gNB, slices, UEs, plugins.
+    pub fn build(self) -> Result<Scenario, ScenarioError> {
+        if self.slices.is_empty() {
+            return Err(ScenarioError::Invalid("a scenario needs at least one slice".into()));
+        }
+        let mut config = self.gnb_config.clone();
+        config.seed = self.seed;
+        let mut gnb = Gnb::new(config);
+        let host: Arc<PluginHost<()>> = Arc::new(PluginHost::new());
+        let mut slice_ids = HashMap::new();
+        let mut slice_order = Vec::new();
+        let mut ue_ids: HashMap<String, Vec<u32>> = HashMap::new();
+
+        for spec in &self.slices {
+            if slice_ids.contains_key(&spec.name) {
+                return Err(ScenarioError::Invalid(format!("duplicate slice `{}`", spec.name)));
+            }
+            let config = match spec.target {
+                Some(mbps) => SliceConfig::with_target_mbps(&spec.name, mbps),
+                None => SliceConfig::best_effort(&spec.name),
+            };
+            let scheduler: Box<dyn SliceScheduler> = match spec.backend {
+                Backend::Native => spec.kind.native(),
+                Backend::Wasm => Box::new(WasmSliceScheduler::from_wasm(
+                    host.clone(),
+                    &spec.name,
+                    spec.kind.wasm_bytes(),
+                    self.policy,
+                )?),
+            };
+            let slice_id = gnb.add_slice(config, scheduler);
+            slice_ids.insert(spec.name.clone(), slice_id);
+            slice_order.push(spec.name.clone());
+            let ues = ue_ids.entry(spec.name.clone()).or_default();
+            for (channel, traffic) in &spec.ues {
+                ues.push(gnb.add_ue(slice_id, channel.build(), traffic.build()));
+            }
+        }
+
+        let total_slots = (self.seconds / gnb.slot_seconds()).round() as u64;
+        Ok(Scenario {
+            gnb,
+            host,
+            policy: self.policy,
+            slice_ids,
+            slice_order,
+            ue_ids,
+            remaining_slots: total_slots,
+        })
+    }
+}
+
+/// A built, runnable scenario.
+pub struct Scenario {
+    /// The simulated gNB (public for advanced drivers like the RIC glue).
+    pub gnb: Gnb,
+    host: Arc<PluginHost<()>>,
+    policy: SandboxPolicy,
+    slice_ids: HashMap<String, u32>,
+    slice_order: Vec<String>,
+    ue_ids: HashMap<String, Vec<u32>>,
+    remaining_slots: u64,
+}
+
+impl Scenario {
+    /// Run to the configured end; returns the final report.
+    pub fn run(&mut self) -> Result<Report, ScenarioError> {
+        let n = self.remaining_slots;
+        self.run_slots(n);
+        Ok(self.report())
+    }
+
+    /// Run a bounded number of slots (clamped to what remains).
+    pub fn run_slots(&mut self, slots: u64) {
+        let n = slots.min(self.remaining_slots);
+        self.gnb.run(n);
+        self.remaining_slots -= n;
+    }
+
+    /// Run for `seconds` of simulated time.
+    pub fn run_seconds(&mut self, seconds: f64) {
+        let slots = (seconds / self.gnb.slot_seconds()).round() as u64;
+        self.run_slots(slots);
+    }
+
+    /// Slots left before the configured end.
+    pub fn remaining_slots(&self) -> u64 {
+        self.remaining_slots
+    }
+
+    /// The plugin host backing Wasm slices (stats, health, manual swaps).
+    pub fn plugin_host(&self) -> &Arc<PluginHost<()>> {
+        &self.host
+    }
+
+    /// Numeric slice id for a name.
+    pub fn slice_id(&self, name: &str) -> Option<u32> {
+        self.slice_ids.get(name).copied()
+    }
+
+    /// UE ids of a slice.
+    pub fn slice_ues(&self, name: &str) -> &[u32] {
+        self.ue_ids.get(name).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Hot-swap a Wasm slice's scheduler to another standard policy (the
+    /// Fig. 5b move): the gNB keeps running, no UE detaches.
+    pub fn swap_plugin(&mut self, slice: &str, kind: SchedKind) -> Result<(), ScenarioError> {
+        if !self.slice_ids.contains_key(slice) {
+            return Err(ScenarioError::Invalid(format!("no slice `{slice}`")));
+        }
+        install_plugin(&self.host, slice, kind.wasm_bytes(), self.policy)?;
+        Ok(())
+    }
+
+    /// Hot-swap a Wasm slice's scheduler to arbitrary module bytes (e.g. a
+    /// custom MVNO plugin or one of the §5.D fault plugins).
+    pub fn swap_plugin_bytes(&mut self, slice: &str, wasm: &[u8]) -> Result<(), ScenarioError> {
+        if !self.slice_ids.contains_key(slice) {
+            return Err(ScenarioError::Invalid(format!("no slice `{slice}`")));
+        }
+        install_plugin(&self.host, slice, wasm, self.policy)?;
+        Ok(())
+    }
+
+    /// Plugin execution-time stats for a Wasm slice.
+    pub fn plugin_stats(&self, slice: &str) -> Option<ExecTimeStats> {
+        self.host.stats(slice)
+    }
+
+    /// Snapshot report of everything measured so far.
+    pub fn report(&self) -> Report {
+        let metrics = self.gnb.metrics();
+        let slices = self
+            .slice_order
+            .iter()
+            .map(|name| {
+                let id = self.slice_ids[name];
+                let ues = self
+                    .ue_ids
+                    .get(name)
+                    .map(|ids| {
+                        ids.iter()
+                            .map(|ue| UeReport {
+                                ue_id: *ue,
+                                mean_rate_mbps: metrics.ue_mean_mbps(*ue),
+                                series_mbps: metrics.ue_series_mbps(*ue).to_vec(),
+                            })
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                let health = self.gnb.slice_health(id).unwrap_or_default();
+                SliceReport {
+                    name: name.clone(),
+                    slice_id: id,
+                    mean_rate_mbps: metrics.slice_mean_mbps(id),
+                    series_mbps: metrics.slice_series_mbps(id).to_vec(),
+                    scheduler_faults: health.faults,
+                    fallback_slots: health.fallback_slots,
+                    ues,
+                }
+            })
+            .collect();
+        Report {
+            slices,
+            window_seconds: metrics.window_seconds(),
+            utilization: metrics.utilization_series().to_vec(),
+            slots: metrics.slots(),
+        }
+    }
+}
+
+/// Per-UE results.
+#[derive(Debug, Clone)]
+pub struct UeReport {
+    /// UE id.
+    pub ue_id: u32,
+    /// Lifetime mean rate, Mb/s.
+    pub mean_rate_mbps: f64,
+    /// Windowed rate series, Mb/s.
+    pub series_mbps: Vec<f64>,
+}
+
+/// Per-slice results.
+#[derive(Debug, Clone)]
+pub struct SliceReport {
+    /// Slice name.
+    pub name: String,
+    /// Numeric id.
+    pub slice_id: u32,
+    /// Lifetime mean rate, Mb/s.
+    pub mean_rate_mbps: f64,
+    /// Windowed rate series, Mb/s.
+    pub series_mbps: Vec<f64>,
+    /// Scheduler faults observed.
+    pub scheduler_faults: u64,
+    /// Slots served by the native fallback.
+    pub fallback_slots: u64,
+    /// Per-UE breakdown.
+    pub ues: Vec<UeReport>,
+}
+
+impl SliceReport {
+    /// Lifetime mean rate, Mb/s.
+    pub fn mean_rate_mbps(&self) -> f64 {
+        self.mean_rate_mbps
+    }
+
+    /// Mean over the last `n` windows, Mb/s.
+    pub fn recent_rate_mbps(&self, n: usize) -> f64 {
+        if self.series_mbps.is_empty() {
+            return 0.0;
+        }
+        let k = n.min(self.series_mbps.len()).max(1);
+        self.series_mbps[self.series_mbps.len() - k..].iter().sum::<f64>() / k as f64
+    }
+}
+
+/// The scenario's measurement snapshot.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Slices in declaration order.
+    pub slices: Vec<SliceReport>,
+    /// Seconds per series window.
+    pub window_seconds: f64,
+    /// PRB utilization per window.
+    pub utilization: Vec<f64>,
+    /// Slots simulated.
+    pub slots: u64,
+}
+
+impl Report {
+    /// Look up a slice by name.
+    pub fn slice(&self, name: &str) -> Option<&SliceReport> {
+        self.slices.iter().find(|s| s.name == name)
+    }
+
+    /// Look up a UE across slices.
+    pub fn ue(&self, ue_id: u32) -> Option<&UeReport> {
+        self.slices.iter().flat_map(|s| s.ues.iter()).find(|u| u.ue_id == ue_id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_rejects_empty() {
+        assert!(matches!(ScenarioBuilder::new().build(), Err(ScenarioError::Invalid(_))));
+    }
+
+    #[test]
+    fn builder_rejects_duplicate_slices() {
+        let result = ScenarioBuilder::new()
+            .slice(SliceSpec::new("a", SchedKind::RoundRobin))
+            .slice(SliceSpec::new("a", SchedKind::MaxThroughput))
+            .build();
+        assert!(matches!(result, Err(ScenarioError::Invalid(_))));
+    }
+
+    #[test]
+    fn wasm_scenario_hits_target() {
+        let mut s = ScenarioBuilder::new()
+            .slice(SliceSpec::new("mvno", SchedKind::RoundRobin).target_mbps(12.0).ues(3))
+            .seconds(2.0)
+            .build()
+            .unwrap();
+        let report = s.run().unwrap();
+        let slice = report.slice("mvno").unwrap();
+        assert!((slice.mean_rate_mbps() - 12.0).abs() < 1.5, "rate {}", slice.mean_rate_mbps());
+        assert_eq!(slice.scheduler_faults, 0);
+        assert_eq!(slice.ues.len(), 3);
+    }
+
+    #[test]
+    fn native_and_wasm_backends_agree_on_rates() {
+        let run = |native: bool| {
+            let spec = SliceSpec::new("s", SchedKind::ProportionalFair).target_mbps(10.0).ues(2);
+            let spec = if native { spec.native() } else { spec };
+            let mut s = ScenarioBuilder::new().slice(spec).seconds(2.0).seed(7).build().unwrap();
+            s.run().unwrap().slice("s").unwrap().mean_rate_mbps()
+        };
+        let native = run(true);
+        let wasm = run(false);
+        assert!((native - wasm).abs() < 0.2, "native {native} vs wasm {wasm}");
+    }
+
+    #[test]
+    fn swap_mid_run() {
+        let mut s = ScenarioBuilder::new()
+            .slice(
+                SliceSpec::new("s", SchedKind::MaxThroughput)
+                    .ue(ChannelSpec::FixedMcs(28), TrafficSpec::FullBuffer)
+                    .ue(ChannelSpec::FixedMcs(16), TrafficSpec::FullBuffer),
+            )
+            .seconds(2.0)
+            .build()
+            .unwrap();
+        s.run_seconds(1.0);
+        let weak = s.slice_ues("s")[1];
+        let before = s.report().ue(weak).unwrap().mean_rate_mbps;
+        assert!(before < 0.5, "MT starves the weak UE: {before}");
+        s.swap_plugin("s", SchedKind::RoundRobin).unwrap();
+        s.run_seconds(1.0);
+        let report = s.report();
+        let series = &report.ue(weak).unwrap().series_mbps;
+        let late = series[series.len() - 3..].iter().sum::<f64>() / 3.0;
+        assert!(late > 1.0, "RR revives the weak UE: {late}");
+    }
+
+    #[test]
+    fn faulty_plugin_triggers_fallback_and_service_continues() {
+        let mut s = ScenarioBuilder::new()
+            .slice(SliceSpec::new("s", SchedKind::RoundRobin).ues(1))
+            .seconds(1.0)
+            .build()
+            .unwrap();
+        let bad = plugins::compile_faulty(plugins::faulty::NULL_DEREF);
+        s.swap_plugin_bytes("s", &bad).unwrap();
+        let report = s.run().unwrap();
+        let slice = report.slice("s").unwrap();
+        // Faults recorded, fallback kept the UEs served.
+        assert!(slice.scheduler_faults > 0);
+        assert!(slice.mean_rate_mbps() > 10.0, "rate {}", slice.mean_rate_mbps());
+    }
+
+    #[test]
+    fn plugin_stats_collected() {
+        let mut s = ScenarioBuilder::new()
+            .slice(SliceSpec::new("s", SchedKind::ProportionalFair).ues(5))
+            .seconds(0.5)
+            .build()
+            .unwrap();
+        s.run().unwrap();
+        let stats = s.plugin_stats("s").unwrap();
+        assert!(stats.count() > 400);
+        assert!(stats.p99_us() < 1000.0, "p99 {} µs", stats.p99_us());
+    }
+}

@@ -1,0 +1,228 @@
+//! The plugin registry: named slots, atomic hot swap, fault accounting and
+//! quarantine.
+//!
+//! This is the piece that delivers the paper's §5.C (live swap without
+//! stopping the gNB) and §6.A (fault tolerance: detect misbehaving plugins
+//! and fall back / disconnect). Swaps are atomic per slot: a call already
+//! in flight finishes on the old instance; every later call sees the new
+//! one.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::{Mutex, RwLock};
+
+use waran_abi::sched::{SchedRequest, SchedResponse};
+
+use crate::plugin::{Plugin, PluginError};
+use crate::stats::ExecTimeStats;
+
+/// Health of one plugin slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlotState {
+    /// Serving calls.
+    Active,
+    /// Exceeded its fault budget; calls are refused until the next swap.
+    Quarantined,
+}
+
+/// Cumulative per-slot health counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SlotHealth {
+    /// Consecutive faults (reset by a successful call or a swap).
+    pub consecutive_faults: u32,
+    /// Total faults over the slot's lifetime (survives swaps).
+    pub total_faults: u64,
+    /// Successful calls.
+    pub calls_ok: u64,
+    /// Times the slot was hot-swapped.
+    pub swaps: u64,
+}
+
+struct Slot<T> {
+    plugin: Plugin<T>,
+    state: SlotState,
+    health: SlotHealth,
+    stats: ExecTimeStats,
+}
+
+/// A named registry of plugins with hot swap and fault policy.
+///
+/// All methods take `&self`; slots are independently locked so calls into
+/// different plugins proceed concurrently and a swap never tears a call.
+pub struct PluginHost<T> {
+    slots: RwLock<HashMap<String, Arc<Mutex<Slot<T>>>>>,
+    quarantine_after: u32,
+}
+
+impl<T> Default for PluginHost<T> {
+    fn default() -> Self {
+        PluginHost { slots: RwLock::new(HashMap::new()), quarantine_after: 3 }
+    }
+}
+
+impl<T> PluginHost<T> {
+    /// Host with the default fault budget (3 consecutive faults).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Host quarantining after `n` consecutive faults (0 = never).
+    pub fn with_quarantine_after(n: u32) -> Self {
+        PluginHost { slots: RwLock::new(HashMap::new()), quarantine_after: n }
+    }
+
+    /// Install or atomically replace the plugin under `name`. Replacement
+    /// clears quarantine and consecutive-fault state (the new code gets a
+    /// fresh chance) but keeps lifetime counters.
+    pub fn install(&self, name: &str, plugin: Plugin<T>) {
+        let mut slots = self.slots.write();
+        match slots.get(name) {
+            Some(existing) => {
+                let mut slot = existing.lock();
+                slot.plugin = plugin;
+                slot.state = SlotState::Active;
+                slot.health.consecutive_faults = 0;
+                slot.health.swaps += 1;
+            }
+            None => {
+                slots.insert(
+                    name.to_string(),
+                    Arc::new(Mutex::new(Slot {
+                        plugin,
+                        state: SlotState::Active,
+                        health: SlotHealth::default(),
+                        stats: ExecTimeStats::new(),
+                    })),
+                );
+            }
+        }
+    }
+
+    /// Remove a plugin. Returns true when it existed.
+    pub fn remove(&self, name: &str) -> bool {
+        self.slots.write().remove(name).is_some()
+    }
+
+    /// Installed plugin names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.slots.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    fn slot(&self, name: &str) -> Result<Arc<Mutex<Slot<T>>>, PluginError> {
+        self.slots
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| PluginError::NoSuchPlugin(name.to_string()))
+    }
+
+    /// Call `entry` on the plugin `name` through the byte ABI, applying the
+    /// fault policy: faults increment the slot's counters and may
+    /// quarantine it; successes reset the consecutive counter.
+    pub fn call(&self, name: &str, entry: &str, input: &[u8]) -> Result<Vec<u8>, PluginError> {
+        let slot = self.slot(name)?;
+        let mut slot = slot.lock();
+        self.run_in_slot(name, &mut slot, |plugin| plugin.call(entry, input))
+    }
+
+    /// Typed scheduler call with the same fault policy as [`Self::call`].
+    pub fn call_sched(
+        &self,
+        name: &str,
+        req: &SchedRequest,
+    ) -> Result<SchedResponse, PluginError> {
+        let slot = self.slot(name)?;
+        let mut slot = slot.lock();
+        self.run_in_slot(name, &mut slot, |plugin| plugin.call_sched(req))
+    }
+
+    /// Run an arbitrary closure against the plugin under the fault policy.
+    pub fn with_plugin<R>(
+        &self,
+        name: &str,
+        f: impl FnOnce(&mut Plugin<T>) -> Result<R, PluginError>,
+    ) -> Result<R, PluginError> {
+        let slot = self.slot(name)?;
+        let mut slot = slot.lock();
+        self.run_in_slot(name, &mut slot, f)
+    }
+
+    fn run_in_slot<R>(
+        &self,
+        name: &str,
+        slot: &mut Slot<T>,
+        f: impl FnOnce(&mut Plugin<T>) -> Result<R, PluginError>,
+    ) -> Result<R, PluginError> {
+        if slot.state == SlotState::Quarantined {
+            return Err(PluginError::Quarantined { name: name.to_string() });
+        }
+        match f(&mut slot.plugin) {
+            Ok(out) => {
+                slot.health.calls_ok += 1;
+                slot.health.consecutive_faults = 0;
+                if let Some(d) = slot.plugin.last_call_duration() {
+                    slot.stats.record(d);
+                }
+                Ok(out)
+            }
+            Err(e) => {
+                slot.health.total_faults += 1;
+                slot.health.consecutive_faults += 1;
+                if self.quarantine_after > 0
+                    && slot.health.consecutive_faults >= self.quarantine_after
+                {
+                    slot.state = SlotState::Quarantined;
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Slot state, if the plugin exists.
+    pub fn state(&self, name: &str) -> Option<SlotState> {
+        Some(self.slot(name).ok()?.lock().state)
+    }
+
+    /// Health counters, if the plugin exists.
+    pub fn health(&self, name: &str) -> Option<SlotHealth> {
+        Some(self.slot(name).ok()?.lock().health)
+    }
+
+    /// Execution-time statistics, if the plugin exists.
+    pub fn stats(&self, name: &str) -> Option<ExecTimeStats> {
+        Some(self.slot(name).ok()?.lock().stats.clone())
+    }
+
+    /// Current guest memory footprint of the plugin, bytes.
+    pub fn memory_bytes(&self, name: &str) -> Option<usize> {
+        Some(self.slot(name).ok()?.lock().plugin.memory_bytes())
+    }
+
+    /// Most recent call duration of the plugin.
+    pub fn last_call_duration(&self, name: &str) -> Option<Duration> {
+        self.slot(name).ok()?.lock().plugin.last_call_duration()
+    }
+
+    /// Lift a quarantine without swapping (operator override).
+    pub fn reset_quarantine(&self, name: &str) -> bool {
+        match self.slot(name) {
+            Ok(slot) => {
+                let mut slot = slot.lock();
+                slot.state = SlotState::Active;
+                slot.health.consecutive_faults = 0;
+                true
+            }
+            Err(_) => false,
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for PluginHost<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PluginHost").field("plugins", &self.names()).finish()
+    }
+}

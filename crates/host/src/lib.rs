@@ -1,0 +1,40 @@
+//! # waran-host — the WA-RAN plugin hosting runtime
+//!
+//! The Extism-equivalent layer of the reproduction: it owns loaded plugins,
+//! enforces per-plugin sandbox policies, moves bytes across the guest
+//! boundary, hot-swaps plugin code without stopping the host (§5.C of the
+//! paper) and applies the fault policy sketched in §6.A (count faults,
+//! quarantine repeat offenders so the embedder can fall back to a default
+//! implementation).
+//!
+//! * [`plugin::Plugin`] — one loaded instance + its [`plugin::SandboxPolicy`],
+//!   with the byte-buffer ABI (`wrn_alloc` / `entry(ptr, len) -> packed` /
+//!   `wrn_reset`) and typed scheduler calls.
+//! * [`host::PluginHost`] — the named registry: atomic [`host::PluginHost::install`]
+//!   (hot swap), per-slot health and quarantine, per-slot execution-time
+//!   statistics.
+//! * [`stats`] — the measurement instruments (P² streaming quantiles and
+//!   exact accumulators) behind the Fig. 5d reproduction.
+//!
+//! ```
+//! use waran_host::plugin::{Plugin, SandboxPolicy};
+//! use waran_wasm::instance::Linker;
+//!
+//! // A plugin written in PlugC that echoes its input back.
+//! let wasm = waran_plugc::compile(r#"
+//!     export fn run(ptr: i32, len: i32) -> i64 {
+//!         return pack(ptr, len);
+//!     }
+//! "#).unwrap();
+//! let mut plugin = Plugin::new(&wasm, &Linker::<()>::new(), (), SandboxPolicy::default()).unwrap();
+//! let out = plugin.call("run", b"hello").unwrap();
+//! assert_eq!(out, b"hello");
+//! ```
+
+pub mod host;
+pub mod plugin;
+pub mod stats;
+
+pub use host::{PluginHost, SlotHealth, SlotState};
+pub use plugin::{Plugin, PluginError, SandboxPolicy};
+pub use stats::{ExactQuantiles, ExecTimeStats, P2Quantile};

@@ -1,0 +1,269 @@
+//! A single hosted plugin: compiled module + live instance + sandbox policy.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use waran_abi::sched::{SchedRequest, SchedResponse};
+use waran_abi::CodecError;
+use waran_wasm::instance::{ExecLimits, Instance, InstantiateError, Linker};
+use waran_wasm::interp::Value;
+use waran_wasm::{LoadError, Module, Trap};
+
+/// Per-plugin sandbox policy.
+///
+/// Defaults are sized for the paper's setting: a scheduler plugin that must
+/// finish well inside a 1 ms slot with a few MiB of state.
+#[derive(Debug, Clone, Copy)]
+pub struct SandboxPolicy {
+    /// Hard cap on linear-memory pages (layered under the module's own
+    /// declared maximum). 64 pages = 4 MiB.
+    pub max_memory_pages: u32,
+    /// Deterministic instruction budget per call (`None` = unmetered).
+    pub fuel_per_call: Option<u64>,
+    /// Wall-clock budget per call (`None` = no deadline).
+    pub deadline: Option<Duration>,
+    /// Maximum nested call depth inside the plugin.
+    pub max_call_depth: usize,
+    /// Upper bound on the byte length a plugin may return through the ABI.
+    pub max_response_bytes: u32,
+    /// Consecutive faults before the host quarantines the plugin.
+    pub quarantine_after: u32,
+}
+
+impl Default for SandboxPolicy {
+    fn default() -> Self {
+        SandboxPolicy {
+            max_memory_pages: 64,
+            fuel_per_call: Some(50_000_000),
+            deadline: Some(Duration::from_millis(10)),
+            max_call_depth: 512,
+            max_response_bytes: 1 << 20,
+            quarantine_after: 3,
+        }
+    }
+}
+
+impl SandboxPolicy {
+    /// A policy tuned to the 5G slot budget used in the paper's evaluation
+    /// (1 ms slots): deadline at one slot, modest fuel.
+    pub fn slot_budget() -> Self {
+        SandboxPolicy {
+            deadline: Some(Duration::from_millis(1)),
+            fuel_per_call: Some(5_000_000),
+            ..SandboxPolicy::default()
+        }
+    }
+
+    /// Disable fuel and deadline (benchmarking the raw interpreter).
+    pub fn unmetered() -> Self {
+        SandboxPolicy { fuel_per_call: None, deadline: None, ..SandboxPolicy::default() }
+    }
+}
+
+/// Everything that can go wrong hosting a plugin.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PluginError {
+    /// The byte stream failed decode/validation.
+    Load(LoadError),
+    /// Imports unresolved, segments out of bounds, start trapped.
+    Instantiate(InstantiateError),
+    /// Guest execution trapped.
+    Trap(Trap),
+    /// The plugin violated the byte-buffer ABI (missing exports, bogus
+    /// pointers, oversized responses).
+    Abi(String),
+    /// Typed payload decode failure (a *semantic* plugin fault).
+    Codec(CodecError),
+    /// The plugin exceeded its fault budget and is quarantined.
+    Quarantined {
+        /// Plugin name.
+        name: String,
+    },
+    /// Unknown plugin name.
+    NoSuchPlugin(String),
+}
+
+impl std::fmt::Display for PluginError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PluginError::Load(e) => write!(f, "load: {e}"),
+            PluginError::Instantiate(e) => write!(f, "instantiate: {e}"),
+            PluginError::Trap(t) => write!(f, "trap: {t}"),
+            PluginError::Abi(m) => write!(f, "ABI violation: {m}"),
+            PluginError::Codec(e) => write!(f, "payload: {e}"),
+            PluginError::Quarantined { name } => write!(f, "plugin `{name}` is quarantined"),
+            PluginError::NoSuchPlugin(name) => write!(f, "no plugin named `{name}`"),
+        }
+    }
+}
+
+impl std::error::Error for PluginError {}
+
+impl From<Trap> for PluginError {
+    fn from(t: Trap) -> Self {
+        PluginError::Trap(t)
+    }
+}
+
+/// A loaded, instantiated plugin with host state `T`.
+pub struct Plugin<T> {
+    instance: Instance<T>,
+    policy: SandboxPolicy,
+    /// Wall-clock time of the most recent call (incl. ABI copies).
+    last_call: Option<Duration>,
+}
+
+impl<T> Plugin<T> {
+    /// Load a binary module, validate it, and instantiate it under `policy`.
+    pub fn new(
+        bytes: &[u8],
+        linker: &Linker<T>,
+        data: T,
+        policy: SandboxPolicy,
+    ) -> Result<Plugin<T>, PluginError> {
+        let module = waran_wasm::load_module(bytes).map_err(PluginError::Load)?;
+        Self::from_module(Arc::new(module), linker, data, policy)
+    }
+
+    /// Instantiate an already-validated module.
+    pub fn from_module(
+        module: Arc<Module>,
+        linker: &Linker<T>,
+        data: T,
+        policy: SandboxPolicy,
+    ) -> Result<Plugin<T>, PluginError> {
+        let limits = ExecLimits {
+            max_call_depth: policy.max_call_depth,
+            max_memory_pages: policy.max_memory_pages,
+            ..ExecLimits::default()
+        };
+        let mut instance =
+            Instance::with_limits(module, linker, data, limits).map_err(PluginError::Instantiate)?;
+        instance.set_deadline(policy.deadline);
+        Ok(Plugin { instance, policy, last_call: None })
+    }
+
+    /// The sandbox policy in force.
+    pub fn policy(&self) -> SandboxPolicy {
+        self.policy
+    }
+
+    /// Wall-clock duration of the most recent [`Self::call`].
+    pub fn last_call_duration(&self) -> Option<Duration> {
+        self.last_call
+    }
+
+    /// Borrow the underlying instance (host-function state, stats, memory).
+    pub fn instance(&self) -> &Instance<T> {
+        &self.instance
+    }
+
+    /// Mutably borrow the underlying instance.
+    pub fn instance_mut(&mut self) -> &mut Instance<T> {
+        &mut self.instance
+    }
+
+    /// True when the plugin exports `name`.
+    pub fn has_export(&self, name: &str) -> bool {
+        self.instance.has_export(name)
+    }
+
+    /// Call `entry(input) -> output` through the byte-buffer ABI:
+    ///
+    /// 1. `wrn_alloc(len)` reserves guest memory,
+    /// 2. the input bytes are copied in,
+    /// 3. `entry(ptr, len)` runs and returns a packed `(ptr << 32) | len`,
+    /// 4. the output bytes are copied out,
+    /// 5. `wrn_reset()` (if exported) recycles the guest bump heap.
+    ///
+    /// Fuel is re-armed per call when the policy meters it. The measured
+    /// duration (including both copies) is available via
+    /// [`Self::last_call_duration`].
+    pub fn call(&mut self, entry: &str, input: &[u8]) -> Result<Vec<u8>, PluginError> {
+        let start = Instant::now();
+        if let Some(fuel) = self.policy.fuel_per_call {
+            self.instance.set_fuel(Some(fuel));
+        }
+
+        // 1-2: move the input into the sandbox.
+        let len = u32::try_from(input.len())
+            .map_err(|_| PluginError::Abi("input exceeds 4 GiB".into()))?;
+        let in_ptr = if input.is_empty() {
+            0
+        } else {
+            let ptr = self
+                .instance
+                .invoke("wrn_alloc", &[Value::I32(len as i32)])?
+                .ok_or_else(|| PluginError::Abi("wrn_alloc returned nothing".into()))?;
+            let Value::I32(ptr) = ptr else {
+                return Err(PluginError::Abi("wrn_alloc returned a non-i32".into()));
+            };
+            self.instance
+                .memory_mut()
+                .write_bytes(ptr as u32, input)
+                .map_err(|_| PluginError::Abi("wrn_alloc returned an out-of-bounds buffer".into()))?;
+            ptr as u32
+        };
+
+        // 3: run the entry point.
+        let result =
+            self.instance.invoke(entry, &[Value::I32(in_ptr as i32), Value::I32(len as i32)])?;
+        let Some(Value::I64(packed)) = result else {
+            return Err(PluginError::Abi(format!(
+                "entry `{entry}` must return a packed i64, got {result:?}"
+            )));
+        };
+
+        // 4: copy the output out.
+        let out_ptr = (packed as u64 >> 32) as u32;
+        let out_len = (packed as u64 & 0xffff_ffff) as u32;
+        if out_len > self.policy.max_response_bytes {
+            return Err(PluginError::Abi(format!(
+                "response of {out_len} bytes exceeds policy limit {}",
+                self.policy.max_response_bytes
+            )));
+        }
+        let output = self
+            .instance
+            .memory()
+            .read_bytes(out_ptr, out_len)
+            .map_err(|_| PluginError::Abi("plugin returned an out-of-bounds buffer".into()))?
+            .to_vec();
+
+        // 5: recycle the guest heap for the next slot.
+        if self.instance.has_export("wrn_reset") {
+            self.instance.invoke("wrn_reset", &[])?;
+        }
+
+        self.last_call = Some(start.elapsed());
+        Ok(output)
+    }
+
+    /// Typed scheduler call: encode the request, run `schedule`, decode and
+    /// bound the response (at most one allocation per UE plus slack for
+    /// padding records).
+    pub fn call_sched(&mut self, req: &SchedRequest) -> Result<SchedResponse, PluginError> {
+        let input = req.encode();
+        let output = self.call("schedule", &input)?;
+        SchedResponse::decode(&output, req.ues.len() + 8).map_err(PluginError::Codec)
+    }
+
+    /// Current guest memory footprint in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.instance.memory().size_bytes()
+    }
+
+    /// High-water mark of guest memory, bytes.
+    pub fn peak_memory_bytes(&self) -> usize {
+        self.instance.memory().peak_pages() as usize * waran_wasm::types::PAGE_SIZE
+    }
+}
+
+impl<T> std::fmt::Debug for Plugin<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Plugin")
+            .field("memory_bytes", &self.memory_bytes())
+            .field("policy", &self.policy)
+            .finish_non_exhaustive()
+    }
+}

@@ -1,0 +1,354 @@
+//! Execution-time statistics.
+//!
+//! The paper measures plugin running speed with Boost Accumulators and
+//! reports 50th/99th-percentile execution times (Fig. 5d). This module is
+//! the equivalent instrument: [`ExactQuantiles`] stores every sample
+//! (used by the figure harnesses, where sample counts are modest) and
+//! [`P2Quantile`] is the constant-memory streaming estimator (used by the
+//! always-on per-plugin stats in the host).
+
+use std::time::Duration;
+
+/// Exact quantile accumulator: stores all samples.
+#[derive(Debug, Clone, Default)]
+pub struct ExactQuantiles {
+    samples: Vec<f64>,
+    sorted: bool,
+}
+
+impl ExactQuantiles {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a sample.
+    pub fn record(&mut self, v: f64) {
+        self.samples.push(v);
+        self.sorted = false;
+    }
+
+    /// Add a duration sample in microseconds.
+    pub fn record_duration(&mut self, d: Duration) {
+        self.record(d.as_secs_f64() * 1e6);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Arithmetic mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().sum::<f64>() / self.samples.len() as f64
+    }
+
+    /// Maximum sample (0 when empty).
+    pub fn max(&self) -> f64 {
+        self.samples.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// The q-quantile (nearest-rank on the sorted samples), 0 when empty.
+    pub fn quantile(&mut self, q: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        if !self.sorted {
+            self.samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN samples"));
+            self.sorted = true;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let idx = ((self.samples.len() as f64 - 1.0) * q).round() as usize;
+        self.samples[idx]
+    }
+}
+
+/// The P² (piecewise-parabolic) streaming quantile estimator
+/// (Jain & Chlamtac, 1985): estimates one quantile in O(1) memory.
+#[derive(Debug, Clone)]
+pub struct P2Quantile {
+    q: f64,
+    /// Marker heights.
+    heights: [f64; 5],
+    /// Marker positions (1-based ranks).
+    positions: [f64; 5],
+    /// Desired marker positions.
+    desired: [f64; 5],
+    /// Desired position increments.
+    increments: [f64; 5],
+    /// Samples seen (first 5 go straight into `heights`).
+    count: usize,
+}
+
+impl P2Quantile {
+    /// Estimator for the `q`-quantile (e.g. 0.99).
+    pub fn new(q: f64) -> Self {
+        let q = q.clamp(0.0, 1.0);
+        P2Quantile {
+            q,
+            heights: [0.0; 5],
+            positions: [1.0, 2.0, 3.0, 4.0, 5.0],
+            desired: [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0],
+            increments: [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0],
+            count: 0,
+        }
+    }
+
+    /// Number of samples observed.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Add a sample.
+    pub fn record(&mut self, v: f64) {
+        if self.count < 5 {
+            self.heights[self.count] = v;
+            self.count += 1;
+            if self.count == 5 {
+                self.heights.sort_by(|a, b| a.partial_cmp(b).expect("no NaN samples"));
+            }
+            return;
+        }
+        self.count += 1;
+
+        // Find the cell k containing v and clamp extreme markers.
+        let k = if v < self.heights[0] {
+            self.heights[0] = v;
+            0
+        } else if v < self.heights[1] {
+            0
+        } else if v < self.heights[2] {
+            1
+        } else if v < self.heights[3] {
+            2
+        } else if v <= self.heights[4] {
+            3
+        } else {
+            self.heights[4] = v;
+            3
+        };
+
+        // Increment positions of markers above the cell.
+        for i in (k + 1)..5 {
+            self.positions[i] += 1.0;
+        }
+        for i in 0..5 {
+            self.desired[i] += self.increments[i];
+        }
+
+        // Adjust interior markers toward their desired positions.
+        for i in 1..4 {
+            let d = self.desired[i] - self.positions[i];
+            if (d >= 1.0 && self.positions[i + 1] - self.positions[i] > 1.0)
+                || (d <= -1.0 && self.positions[i - 1] - self.positions[i] < -1.0)
+            {
+                let d = d.signum();
+                let candidate = self.parabolic(i, d);
+                if self.heights[i - 1] < candidate && candidate < self.heights[i + 1] {
+                    self.heights[i] = candidate;
+                } else {
+                    self.heights[i] = self.linear(i, d);
+                }
+                self.positions[i] += d;
+            }
+        }
+    }
+
+    fn parabolic(&self, i: usize, d: f64) -> f64 {
+        let p = &self.positions;
+        let h = &self.heights;
+        h[i] + d / (p[i + 1] - p[i - 1])
+            * ((p[i] - p[i - 1] + d) * (h[i + 1] - h[i]) / (p[i + 1] - p[i])
+                + (p[i + 1] - p[i] - d) * (h[i] - h[i - 1]) / (p[i] - p[i - 1]))
+    }
+
+    fn linear(&self, i: usize, d: f64) -> f64 {
+        let j = (i as f64 + d) as usize;
+        self.heights[i]
+            + d * (self.heights[j] - self.heights[i]) / (self.positions[j] - self.positions[i])
+    }
+
+    /// Current estimate (exact for <5 samples; 0 when empty).
+    pub fn value(&self) -> f64 {
+        match self.count {
+            0 => 0.0,
+            n @ 1..=4 => {
+                let mut v = self.heights[..n].to_vec();
+                v.sort_by(|a, b| a.partial_cmp(b).expect("no NaN samples"));
+                let idx = ((n as f64 - 1.0) * self.q).round() as usize;
+                v[idx]
+            }
+            _ => self.heights[2],
+        }
+    }
+}
+
+/// Per-plugin execution-time tracker: count, mean, min/max and streaming
+/// p50/p99, in microseconds.
+#[derive(Debug, Clone)]
+pub struct ExecTimeStats {
+    count: u64,
+    sum_us: f64,
+    min_us: f64,
+    max_us: f64,
+    p50: P2Quantile,
+    p99: P2Quantile,
+}
+
+impl Default for ExecTimeStats {
+    fn default() -> Self {
+        ExecTimeStats {
+            count: 0,
+            sum_us: 0.0,
+            min_us: f64::INFINITY,
+            max_us: 0.0,
+            p50: P2Quantile::new(0.5),
+            p99: P2Quantile::new(0.99),
+        }
+    }
+}
+
+impl ExecTimeStats {
+    /// Empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one execution.
+    pub fn record(&mut self, d: Duration) {
+        let us = d.as_secs_f64() * 1e6;
+        self.count += 1;
+        self.sum_us += us;
+        self.min_us = self.min_us.min(us);
+        self.max_us = self.max_us.max(us);
+        self.p50.record(us);
+        self.p99.record(us);
+    }
+
+    /// Executions recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean, µs.
+    pub fn mean_us(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_us / self.count as f64
+        }
+    }
+
+    /// Minimum, µs (0 when empty).
+    pub fn min_us(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min_us
+        }
+    }
+
+    /// Maximum, µs.
+    pub fn max_us(&self) -> f64 {
+        self.max_us
+    }
+
+    /// Streaming median estimate, µs.
+    pub fn p50_us(&self) -> f64 {
+        self.p50.value()
+    }
+
+    /// Streaming 99th-percentile estimate, µs.
+    pub fn p99_us(&self) -> f64 {
+        self.p99.value()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_quantiles_basic() {
+        let mut q = ExactQuantiles::new();
+        for v in 1..=100 {
+            q.record(v as f64);
+        }
+        assert_eq!(q.count(), 100);
+        assert!((q.mean() - 50.5).abs() < 1e-9);
+        assert_eq!(q.quantile(0.0), 1.0);
+        assert_eq!(q.quantile(1.0), 100.0);
+        assert!((q.quantile(0.5) - 50.0).abs() <= 1.0);
+        assert!((q.quantile(0.99) - 99.0).abs() <= 1.0);
+        assert_eq!(q.max(), 100.0);
+    }
+
+    #[test]
+    fn exact_quantiles_empty() {
+        let mut q = ExactQuantiles::new();
+        assert_eq!(q.quantile(0.5), 0.0);
+        assert_eq!(q.mean(), 0.0);
+    }
+
+    #[test]
+    fn p2_median_of_uniform() {
+        let mut p2 = P2Quantile::new(0.5);
+        // Deterministic pseudo-random walk over [0, 1000).
+        let mut x: u64 = 12345;
+        for _ in 0..10_000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            p2.record((x >> 33) as f64 % 1000.0);
+        }
+        let est = p2.value();
+        assert!((est - 500.0).abs() < 50.0, "median estimate {est} too far from 500");
+    }
+
+    #[test]
+    fn p2_p99_of_uniform() {
+        let mut p2 = P2Quantile::new(0.99);
+        let mut x: u64 = 99;
+        for _ in 0..50_000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            p2.record((x >> 33) as f64 % 1000.0);
+        }
+        let est = p2.value();
+        assert!((est - 990.0).abs() < 30.0, "p99 estimate {est} too far from 990");
+    }
+
+    #[test]
+    fn p2_small_sample_exact() {
+        let mut p2 = P2Quantile::new(0.5);
+        p2.record(10.0);
+        assert_eq!(p2.value(), 10.0);
+        p2.record(20.0);
+        p2.record(30.0);
+        assert_eq!(p2.value(), 20.0);
+    }
+
+    #[test]
+    fn p2_monotone_input() {
+        let mut p2 = P2Quantile::new(0.9);
+        for i in 0..1000 {
+            p2.record(i as f64);
+        }
+        let est = p2.value();
+        assert!((est - 900.0).abs() < 40.0, "p90 of 0..1000 was {est}");
+    }
+
+    #[test]
+    fn exec_time_stats_accumulate() {
+        let mut s = ExecTimeStats::new();
+        for i in 1..=100u64 {
+            s.record(Duration::from_micros(i));
+        }
+        assert_eq!(s.count(), 100);
+        assert!((s.mean_us() - 50.5).abs() < 0.5);
+        assert!((s.min_us() - 1.0).abs() < 0.1);
+        assert!((s.max_us() - 100.0).abs() < 0.1);
+        assert!(s.p50_us() > 30.0 && s.p50_us() < 70.0);
+        assert!(s.p99_us() > 85.0);
+    }
+}

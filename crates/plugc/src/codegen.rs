@@ -1,0 +1,406 @@
+//! Wasm code generation from the typed IR.
+//!
+//! Lowering is direct: expressions emit stack code, statements emit
+//! structured control. `while` becomes `block { loop { !cond br_if 1; body;
+//! br 0 } }` so `break` branches to the block and `continue` to the loop;
+//! the generator tracks the current control nesting to compute relative
+//! branch depths. Value-returning functions end with `unreachable`, so a
+//! body that falls off the end traps instead of returning garbage.
+
+use waran_wasm::builder::{CodeEmitter, ModuleBuilder};
+use waran_wasm::module::{ConstExpr, Module};
+use waran_wasm::types::{BlockType, Mutability};
+
+use crate::ast::{BinOp, Literal, Program, Type};
+use crate::typeck::{TExpr, TExprKind, TProgram, TStmt};
+use crate::{CompileError, Options};
+
+/// Generate a Wasm module from a checked program.
+pub fn generate(
+    _program: &Program,
+    typed: &TProgram,
+    opts: &Options,
+) -> Result<Module, CompileError> {
+    let mut mb = ModuleBuilder::new();
+    mb.memory(opts.memory_min_pages, opts.memory_max_pages);
+    mb.export_memory("memory");
+
+    for imp in &typed.imports {
+        let params: Vec<_> = imp.params.iter().map(|t| t.to_wasm()).collect();
+        let results: Vec<_> = imp.ret.iter().map(|t| t.to_wasm()).collect();
+        let sig = mb.func_type(&params, &results);
+        mb.import_func("env", &imp.name, sig).map_err(|e| CompileError {
+            line: 0,
+            col: 0,
+            msg: format!("internal: {e}"),
+        })?;
+    }
+
+    for g in &typed.globals {
+        let init = match g.init {
+            Literal::I32(v) => ConstExpr::I32(v),
+            Literal::I64(v) => ConstExpr::I64(v),
+            Literal::F32(v) => ConstExpr::F32(v),
+            Literal::F64(v) => ConstExpr::F64(v),
+        };
+        let mutability = if g.mutable { Mutability::Var } else { Mutability::Const };
+        mb.global(g.ty.to_wasm(), mutability, init);
+    }
+
+    for func in &typed.funcs {
+        let params: Vec<_> = func.params.iter().map(|t| t.to_wasm()).collect();
+        let results: Vec<_> = func.ret.iter().map(|t| t.to_wasm()).collect();
+        let sig = mb.func_type(&params, &results);
+        let idx = mb.begin_func(sig);
+        for local in &func.locals {
+            mb.local(local.to_wasm());
+        }
+        let mut gen = FuncGen { ctrl: Vec::new() };
+        gen.stmts(mb.code(), &func.body);
+        if func.ret.is_some() {
+            // Falling off the end of a value-returning function traps.
+            mb.code().unreachable();
+        }
+        mb.end_func().map_err(|e| CompileError {
+            line: 0,
+            col: 0,
+            msg: format!("internal codegen structure error in `{}`: {e}", func.name),
+        })?;
+        if func.exported {
+            mb.export_func(&func.name, idx);
+        }
+    }
+
+    mb.finish().map_err(|e| CompileError { line: 0, col: 0, msg: format!("internal: {e}") })
+}
+
+/// What kind of control frame the generator has open.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Ctrl {
+    /// The `block` wrapping a while loop (break target).
+    LoopExit,
+    /// The `loop` of a while loop (continue target).
+    LoopHeader,
+    /// An `if`/`else` arm.
+    IfArm,
+}
+
+struct FuncGen {
+    ctrl: Vec<Ctrl>,
+}
+
+impl FuncGen {
+    fn stmts(&mut self, code: &mut CodeEmitter, body: &[TStmt]) {
+        for stmt in body {
+            self.stmt(code, stmt);
+        }
+    }
+
+    fn stmt(&mut self, code: &mut CodeEmitter, stmt: &TStmt) {
+        match stmt {
+            TStmt::SetLocal { idx, value } => {
+                self.expr(code, value);
+                code.local_set(*idx);
+            }
+            TStmt::SetGlobal { idx, value } => {
+                self.expr(code, value);
+                code.global_set(*idx);
+            }
+            TStmt::If { cond, then_body, else_body } => {
+                self.expr(code, cond);
+                code.if_(BlockType::Empty);
+                self.ctrl.push(Ctrl::IfArm);
+                self.stmts(code, then_body);
+                if !else_body.is_empty() {
+                    code.else_();
+                    self.stmts(code, else_body);
+                }
+                self.ctrl.pop();
+                code.end();
+            }
+            TStmt::While { cond, body } => {
+                // block $exit { loop $top { cond eqz br_if $exit; body; br $top } }
+                code.block(BlockType::Empty);
+                self.ctrl.push(Ctrl::LoopExit);
+                code.loop_(BlockType::Empty);
+                self.ctrl.push(Ctrl::LoopHeader);
+                self.expr(code, cond);
+                code.i32_eqz();
+                code.br_if(1);
+                self.stmts(code, body);
+                code.br(0);
+                self.ctrl.pop();
+                code.end();
+                self.ctrl.pop();
+                code.end();
+            }
+            TStmt::Return { value } => {
+                if let Some(v) = value {
+                    self.expr(code, v);
+                }
+                code.return_();
+            }
+            TStmt::Break => {
+                let depth = self.depth_to(Ctrl::LoopExit);
+                code.br(depth);
+            }
+            TStmt::Continue => {
+                let depth = self.depth_to(Ctrl::LoopHeader);
+                code.br(depth);
+            }
+            TStmt::Expr { expr, has_value } => {
+                self.expr(code, expr);
+                if *has_value {
+                    code.drop();
+                }
+            }
+        }
+    }
+
+    /// Branch depth from the current nesting to the innermost frame of
+    /// `kind`. The type checker guarantees one exists.
+    fn depth_to(&self, kind: Ctrl) -> u32 {
+        let idx = self
+            .ctrl
+            .iter()
+            .rposition(|c| *c == kind)
+            .expect("type checker rejects break/continue outside loops");
+        (self.ctrl.len() - 1 - idx) as u32
+    }
+
+    fn expr(&mut self, code: &mut CodeEmitter, e: &TExpr) {
+        match &e.kind {
+            TExprKind::Lit(lit) => {
+                match lit {
+                    Literal::I32(v) => code.i32_const(*v),
+                    Literal::I64(v) => code.i64_const(*v),
+                    Literal::F32(v) => code.f32_const(*v),
+                    Literal::F64(v) => code.f64_const(*v),
+                };
+            }
+            TExprKind::LocalGet(idx) => {
+                code.local_get(*idx);
+            }
+            TExprKind::GlobalGet(idx) => {
+                code.global_get(*idx);
+            }
+            TExprKind::Neg(inner) => {
+                let ty = inner.ty.expect("typed");
+                match ty {
+                    Type::I32 => {
+                        code.i32_const(0);
+                        self.expr(code, inner);
+                        code.i32_sub();
+                    }
+                    Type::I64 => {
+                        code.i64_const(0);
+                        self.expr(code, inner);
+                        code.i64_sub();
+                    }
+                    Type::F32 => {
+                        self.expr(code, inner);
+                        code.f32_neg();
+                    }
+                    Type::F64 => {
+                        self.expr(code, inner);
+                        code.f64_neg();
+                    }
+                }
+            }
+            TExprKind::Not(inner) => {
+                self.expr(code, inner);
+                match inner.ty.expect("typed") {
+                    Type::I32 => code.i32_eqz(),
+                    Type::I64 => code.i64_eqz(),
+                    _ => unreachable!("type checker rejects float `!`"),
+                };
+            }
+            TExprKind::Cast { to, expr } => {
+                self.expr(code, expr);
+                let from = expr.ty.expect("typed");
+                emit_cast(code, from, *to);
+            }
+            TExprKind::Call { index, args } => {
+                for a in args {
+                    self.expr(code, a);
+                }
+                code.call(*index);
+            }
+            TExprKind::Intrinsic { name, args } => self.intrinsic(code, name, args),
+            TExprKind::Bin { op, operand_ty, lhs, rhs } => {
+                // Short-circuit logicals get custom control flow.
+                match op {
+                    BinOp::LogicalAnd => {
+                        self.expr(code, lhs);
+                        code.if_(BlockType::Value(waran_wasm::types::ValType::I32));
+                        self.ctrl.push(Ctrl::IfArm);
+                        self.expr(code, rhs);
+                        code.i32_const(0).i32_ne();
+                        code.else_();
+                        code.i32_const(0);
+                        self.ctrl.pop();
+                        code.end();
+                        return;
+                    }
+                    BinOp::LogicalOr => {
+                        self.expr(code, lhs);
+                        code.if_(BlockType::Value(waran_wasm::types::ValType::I32));
+                        self.ctrl.push(Ctrl::IfArm);
+                        code.i32_const(1);
+                        code.else_();
+                        self.expr(code, rhs);
+                        code.i32_const(0).i32_ne();
+                        self.ctrl.pop();
+                        code.end();
+                        return;
+                    }
+                    _ => {}
+                }
+                self.expr(code, lhs);
+                self.expr(code, rhs);
+                emit_binop(code, *op, *operand_ty);
+            }
+        }
+    }
+
+    fn intrinsic(&mut self, code: &mut CodeEmitter, name: &str, args: &[TExpr]) {
+        if name == "pack" {
+            // (ptr as u64) << 32 | (len as u64), emitted inline.
+            self.expr(code, &args[0]);
+            code.i64_extend_i32_u().i64_const(32).i64_shl();
+            self.expr(code, &args[1]);
+            code.i64_extend_i32_u().i64_or();
+            return;
+        }
+        for a in args {
+            self.expr(code, a);
+        }
+        match name {
+            "load_u8" => code.i32_load8_u(0),
+            "load_i32" => code.i32_load(0),
+            "load_i64" => code.i64_load(0),
+            "load_f32" => code.f32_load(0),
+            "load_f64" => code.f64_load(0),
+            "store_u8" => code.i32_store8(0),
+            "store_i32" => code.i32_store(0),
+            "store_i64" => code.i64_store(0),
+            "store_f32" => code.f32_store(0),
+            "store_f64" => code.f64_store(0),
+            "memory_size" => code.memory_size(),
+            "memory_grow" => code.memory_grow(),
+            "sqrt" => code.f64_sqrt(),
+            "floor" => code.f64_floor(),
+            "ceil" => code.f64_ceil(),
+            "abs" => code.f64_abs(),
+            "min" => code.f64_min(),
+            "max" => code.f64_max(),
+            "trap" => code.unreachable(),
+            other => unreachable!("unknown intrinsic {other}"),
+        };
+    }
+}
+
+fn emit_cast(code: &mut CodeEmitter, from: Type, to: Type) {
+    use Type::*;
+    match (from, to) {
+        (a, b) if a == b => {}
+        (I32, I64) => {
+            code.i64_extend_i32_s();
+        }
+        (I64, I32) => {
+            code.i32_wrap_i64();
+        }
+        (I32, F32) => {
+            code.f32_convert_i32_s();
+        }
+        (I32, F64) => {
+            code.f64_convert_i32_s();
+        }
+        (I64, F32) => {
+            code.f32_convert_i64_s();
+        }
+        (I64, F64) => {
+            code.f64_convert_i64_s();
+        }
+        // Float→int casts saturate (never trap), matching Rust `as`.
+        (F32, I32) => {
+            code.i32_trunc_sat_f32_s();
+        }
+        (F32, I64) => {
+            code.i64_trunc_sat_f32_s();
+        }
+        (F64, I32) => {
+            code.i32_trunc_sat_f64_s();
+        }
+        (F64, I64) => {
+            code.i64_trunc_sat_f64_s();
+        }
+        (F32, F64) => {
+            code.f64_promote_f32();
+        }
+        (F64, F32) => {
+            code.f32_demote_f64();
+        }
+        _ => unreachable!("all numeric cast pairs covered"),
+    }
+}
+
+fn emit_binop(code: &mut CodeEmitter, op: BinOp, ty: Type) {
+    use BinOp::*;
+    use Type::*;
+    match (op, ty) {
+        (Add, I32) => code.i32_add(),
+        (Sub, I32) => code.i32_sub(),
+        (Mul, I32) => code.i32_mul(),
+        (Div, I32) => code.i32_div_s(),
+        (Rem, I32) => code.i32_rem_s(),
+        (And, I32) => code.i32_and(),
+        (Or, I32) => code.i32_or(),
+        (Xor, I32) => code.i32_xor(),
+        (Shl, I32) => code.i32_shl(),
+        (Shr, I32) => code.i32_shr_s(),
+        (Eq, I32) => code.i32_eq(),
+        (Ne, I32) => code.i32_ne(),
+        (Lt, I32) => code.i32_lt_s(),
+        (Le, I32) => code.i32_le_s(),
+        (Gt, I32) => code.i32_gt_s(),
+        (Ge, I32) => code.i32_ge_s(),
+        (Add, I64) => code.i64_add(),
+        (Sub, I64) => code.i64_sub(),
+        (Mul, I64) => code.i64_mul(),
+        (Div, I64) => code.i64_div_s(),
+        (Rem, I64) => code.i64_rem_s(),
+        (And, I64) => code.i64_and(),
+        (Or, I64) => code.i64_or(),
+        (Xor, I64) => code.i64_xor(),
+        (Shl, I64) => code.i64_shl(),
+        (Shr, I64) => code.i64_shr_s(),
+        (Eq, I64) => code.i64_eq(),
+        (Ne, I64) => code.i64_ne(),
+        (Lt, I64) => code.i64_lt_s(),
+        (Le, I64) => code.i64_le_s(),
+        (Gt, I64) => code.i64_gt_s(),
+        (Ge, I64) => code.i64_ge_s(),
+        (Add, F32) => code.f32_add(),
+        (Sub, F32) => code.f32_sub(),
+        (Mul, F32) => code.f32_mul(),
+        (Div, F32) => code.f32_div(),
+        (Eq, F32) => code.f32_eq(),
+        (Ne, F32) => code.f32_ne(),
+        (Lt, F32) => code.f32_lt(),
+        (Le, F32) => code.f32_le(),
+        (Gt, F32) => code.f32_gt(),
+        (Ge, F32) => code.f32_ge(),
+        (Add, F64) => code.f64_add(),
+        (Sub, F64) => code.f64_sub(),
+        (Mul, F64) => code.f64_mul(),
+        (Div, F64) => code.f64_div(),
+        (Eq, F64) => code.f64_eq(),
+        (Ne, F64) => code.f64_ne(),
+        (Lt, F64) => code.f64_lt(),
+        (Le, F64) => code.f64_le(),
+        (Gt, F64) => code.f64_gt(),
+        (Ge, F64) => code.f64_ge(),
+        (op, ty) => unreachable!("type checker rejects {op:?} on {ty}"),
+    };
+}

@@ -1,0 +1,373 @@
+//! PlugC lexer.
+
+use crate::CompileError;
+
+/// A source position (1-based line and column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pos {
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+}
+
+impl Pos {
+    pub(crate) fn err(self, msg: impl Into<String>) -> CompileError {
+        CompileError { line: self.line, col: self.col, msg: msg.into() }
+    }
+}
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    // Keywords.
+    Fn,
+    Export,
+    Extern,
+    Global,
+    Const,
+    Var,
+    If,
+    Else,
+    While,
+    Return,
+    Break,
+    Continue,
+    As,
+    // Types.
+    TyI32,
+    TyI64,
+    TyF32,
+    TyF64,
+    // Literals & identifiers.
+    Int(i64, IntWidth),
+    Float(f64, FloatWidth),
+    Ident(String),
+    // Punctuation & operators.
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    Comma,
+    Semi,
+    Colon,
+    Arrow, // ->
+    Assign,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Amp,
+    Pipe,
+    Caret,
+    Shl,
+    Shr,
+    AndAnd,
+    OrOr,
+    Not,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+/// Integer literal width suffix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IntWidth {
+    /// No suffix or `i32`.
+    W32,
+    /// `i64` suffix.
+    W64,
+}
+
+/// Float literal width suffix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FloatWidth {
+    /// `f32` suffix.
+    W32,
+    /// No suffix or `f64`.
+    W64,
+}
+
+/// A token with its position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token.
+    pub tok: Tok,
+    /// Where it starts.
+    pub pos: Pos,
+}
+
+/// Tokenize PlugC source.
+pub fn lex(src: &str) -> Result<Vec<Token>, CompileError> {
+    let mut out = Vec::new();
+    let bytes = src.as_bytes();
+    let mut i = 0usize;
+    let mut line = 1usize;
+    let mut col = 1usize;
+
+    macro_rules! pos {
+        () => {
+            Pos { line, col }
+        };
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let start = pos!();
+        match c {
+            '\n' => {
+                line += 1;
+                col = 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => {
+                col += 1;
+                i += 1;
+            }
+            '/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '/' if bytes.get(i + 1) == Some(&b'*') => {
+                i += 2;
+                col += 2;
+                loop {
+                    if i + 1 >= bytes.len() {
+                        return Err(start.err("unterminated block comment"));
+                    }
+                    if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                        i += 2;
+                        col += 2;
+                        break;
+                    }
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                        col = 1;
+                    } else {
+                        col += 1;
+                    }
+                    i += 1;
+                }
+            }
+            '0'..='9' => {
+                let begin = i;
+                let hex = c == '0' && bytes.get(i + 1).is_some_and(|b| *b == b'x' || *b == b'X');
+                if hex {
+                    i += 2;
+                    while i < bytes.len() && (bytes[i] as char).is_ascii_hexdigit() {
+                        i += 1;
+                    }
+                } else {
+                    while i < bytes.len()
+                        && ((bytes[i] as char).is_ascii_digit()
+                            || bytes[i] == b'.'
+                            || bytes[i] == b'e'
+                            || bytes[i] == b'E'
+                            || ((bytes[i] == b'+' || bytes[i] == b'-')
+                                && (bytes[i - 1] == b'e' || bytes[i - 1] == b'E')))
+                    {
+                        i += 1;
+                    }
+                }
+                let mut text = &src[begin..i];
+                // Width suffix.
+                let mut int_width = IntWidth::W32;
+                let mut float_width = FloatWidth::W64;
+                let mut forced_float = false;
+                if src[i..].starts_with("i64") {
+                    int_width = IntWidth::W64;
+                    i += 3;
+                } else if src[i..].starts_with("i32") {
+                    i += 3;
+                } else if src[i..].starts_with("f32") {
+                    float_width = FloatWidth::W32;
+                    forced_float = true;
+                    i += 3;
+                } else if src[i..].starts_with("f64") {
+                    forced_float = true;
+                    i += 3;
+                }
+                let consumed = i - begin;
+                col += consumed;
+                if !hex && (text.contains('.') || text.contains('e') || text.contains('E') || forced_float)
+                {
+                    if text.ends_with('.') {
+                        text = &text[..text.len() - 1];
+                    }
+                    let v: f64 = text
+                        .parse()
+                        .map_err(|_| start.err(format!("bad float literal '{text}'")))?;
+                    out.push(Token { tok: Tok::Float(v, float_width), pos: start });
+                } else {
+                    let v = if hex {
+                        u64::from_str_radix(&text[2..], 16)
+                            .map(|v| v as i64)
+                            .map_err(|_| start.err(format!("bad hex literal '{text}'")))?
+                    } else {
+                        text.parse::<i64>()
+                            .map_err(|_| start.err(format!("bad integer literal '{text}'")))?
+                    };
+                    out.push(Token { tok: Tok::Int(v, int_width), pos: start });
+                }
+            }
+            'a'..='z' | 'A'..='Z' | '_' => {
+                let begin = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let word = &src[begin..i];
+                col += word.len();
+                let tok = match word {
+                    "fn" => Tok::Fn,
+                    "export" => Tok::Export,
+                    "extern" => Tok::Extern,
+                    "global" => Tok::Global,
+                    "const" => Tok::Const,
+                    "var" => Tok::Var,
+                    "if" => Tok::If,
+                    "else" => Tok::Else,
+                    "while" => Tok::While,
+                    "return" => Tok::Return,
+                    "break" => Tok::Break,
+                    "continue" => Tok::Continue,
+                    "as" => Tok::As,
+                    "i32" => Tok::TyI32,
+                    "i64" => Tok::TyI64,
+                    "f32" => Tok::TyF32,
+                    "f64" => Tok::TyF64,
+                    _ => Tok::Ident(word.to_string()),
+                };
+                out.push(Token { tok, pos: start });
+            }
+            c if (c as u32) >= 0x80 => {
+                // Multi-byte UTF-8: not part of PlugC. Decode the real
+                // character for the diagnostic instead of slicing bytes.
+                let ch = src[i..].chars().next().expect("in-bounds char");
+                return Err(start.err(format!("unexpected character '{ch}'")));
+            }
+            _ => {
+                // Two-character operators, compared byte-wise (the byte
+                // after an ASCII char may start a multi-byte sequence, so
+                // str slicing would be unsound here).
+                let next = bytes.get(i + 1).copied();
+                let (tok, len) = match (c, next) {
+                    ('-', Some(b'>')) => (Tok::Arrow, 2),
+                    ('<', Some(b'<')) => (Tok::Shl, 2),
+                    ('>', Some(b'>')) => (Tok::Shr, 2),
+                    ('&', Some(b'&')) => (Tok::AndAnd, 2),
+                    ('|', Some(b'|')) => (Tok::OrOr, 2),
+                    ('=', Some(b'=')) => (Tok::Eq, 2),
+                    ('!', Some(b'=')) => (Tok::Ne, 2),
+                    ('<', Some(b'=')) => (Tok::Le, 2),
+                    ('>', Some(b'=')) => (Tok::Ge, 2),
+                    _ => match c {
+                        '(' => (Tok::LParen, 1),
+                        ')' => (Tok::RParen, 1),
+                        '{' => (Tok::LBrace, 1),
+                        '}' => (Tok::RBrace, 1),
+                        ',' => (Tok::Comma, 1),
+                        ';' => (Tok::Semi, 1),
+                        ':' => (Tok::Colon, 1),
+                        '=' => (Tok::Assign, 1),
+                        '+' => (Tok::Plus, 1),
+                        '-' => (Tok::Minus, 1),
+                        '*' => (Tok::Star, 1),
+                        '/' => (Tok::Slash, 1),
+                        '%' => (Tok::Percent, 1),
+                        '&' => (Tok::Amp, 1),
+                        '|' => (Tok::Pipe, 1),
+                        '^' => (Tok::Caret, 1),
+                        '!' => (Tok::Not, 1),
+                        '<' => (Tok::Lt, 1),
+                        '>' => (Tok::Gt, 1),
+                        other => return Err(start.err(format!("unexpected character '{other}'"))),
+                    },
+                };
+                out.push(Token { tok, pos: start });
+                i += len;
+                col += len;
+            }
+        }
+    }
+
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn keywords_and_idents() {
+        assert_eq!(
+            toks("fn foo export"),
+            vec![Tok::Fn, Tok::Ident("foo".into()), Tok::Export]
+        );
+    }
+
+    #[test]
+    fn integer_literals() {
+        assert_eq!(toks("42"), vec![Tok::Int(42, IntWidth::W32)]);
+        assert_eq!(toks("42i64"), vec![Tok::Int(42, IntWidth::W64)]);
+        assert_eq!(toks("0xff"), vec![Tok::Int(255, IntWidth::W32)]);
+        assert_eq!(toks("0xffi64"), vec![Tok::Int(255, IntWidth::W64)]);
+    }
+
+    #[test]
+    fn float_literals() {
+        assert_eq!(toks("1.5"), vec![Tok::Float(1.5, FloatWidth::W64)]);
+        assert_eq!(toks("2.0f32"), vec![Tok::Float(2.0, FloatWidth::W32)]);
+        assert_eq!(toks("3f64"), vec![Tok::Float(3.0, FloatWidth::W64)]);
+        assert_eq!(toks("1e3"), vec![Tok::Float(1000.0, FloatWidth::W64)]);
+        assert_eq!(toks("2.5e-2"), vec![Tok::Float(0.025, FloatWidth::W64)]);
+    }
+
+    #[test]
+    fn operators_longest_match() {
+        assert_eq!(toks("<= << < -> - ="), vec![
+            Tok::Le, Tok::Shl, Tok::Lt, Tok::Arrow, Tok::Minus, Tok::Assign
+        ]);
+        assert_eq!(toks("&& &"), vec![Tok::AndAnd, Tok::Amp]);
+    }
+
+    #[test]
+    fn comments_skipped() {
+        assert_eq!(toks("1 // comment\n2"), vec![
+            Tok::Int(1, IntWidth::W32),
+            Tok::Int(2, IntWidth::W32)
+        ]);
+        assert_eq!(toks("1 /* multi\nline */ 2"), vec![
+            Tok::Int(1, IntWidth::W32),
+            Tok::Int(2, IntWidth::W32)
+        ]);
+    }
+
+    #[test]
+    fn positions_tracked() {
+        let tokens = lex("fn\n  foo").unwrap();
+        assert_eq!(tokens[0].pos, Pos { line: 1, col: 1 });
+        assert_eq!(tokens[1].pos, Pos { line: 2, col: 3 });
+    }
+
+    #[test]
+    fn bad_character_reported() {
+        let err = lex("fn @").unwrap_err();
+        assert!(err.msg.contains('@'));
+    }
+
+    #[test]
+    fn unterminated_block_comment() {
+        assert!(lex("/* never closed").is_err());
+    }
+}

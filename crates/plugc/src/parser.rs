@@ -1,0 +1,558 @@
+//! PlugC recursive-descent parser with C operator precedence.
+
+use crate::ast::*;
+use crate::lexer::{FloatWidth, IntWidth, Pos, Tok, Token};
+use crate::CompileError;
+
+/// Parse a token stream into a [`Program`].
+pub fn parse(tokens: &[Token]) -> Result<Program, CompileError> {
+    let mut p = Parser { tokens, pos: 0 };
+    let mut items = Vec::new();
+    while !p.at_end() {
+        items.push(p.item()?);
+    }
+    Ok(Program { items })
+}
+
+struct Parser<'a> {
+    tokens: &'a [Token],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.tokens.get(self.pos).map(|t| &t.tok)
+    }
+
+    fn here(&self) -> Pos {
+        self.tokens
+            .get(self.pos)
+            .or_else(|| self.tokens.last())
+            .map(|t| t.pos)
+            .unwrap_or(Pos { line: 1, col: 1 })
+    }
+
+    fn advance(&mut self) -> Option<&'a Token> {
+        let t = self.tokens.get(self.pos);
+        self.pos += 1;
+        t
+    }
+
+    fn eat(&mut self, tok: &Tok) -> bool {
+        if self.peek() == Some(tok) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, tok: &Tok, what: &str) -> Result<Pos, CompileError> {
+        let pos = self.here();
+        if self.eat(tok) {
+            Ok(pos)
+        } else {
+            Err(pos.err(format!("expected {what}, found {:?}", self.peek())))
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<(String, Pos), CompileError> {
+        let pos = self.here();
+        match self.advance().map(|t| &t.tok) {
+            Some(Tok::Ident(name)) => Ok((name.clone(), pos)),
+            other => Err(pos.err(format!("expected {what}, found {other:?}"))),
+        }
+    }
+
+    fn ty(&mut self) -> Result<Type, CompileError> {
+        let pos = self.here();
+        match self.advance().map(|t| &t.tok) {
+            Some(Tok::TyI32) => Ok(Type::I32),
+            Some(Tok::TyI64) => Ok(Type::I64),
+            Some(Tok::TyF32) => Ok(Type::F32),
+            Some(Tok::TyF64) => Ok(Type::F64),
+            other => Err(pos.err(format!("expected a type, found {other:?}"))),
+        }
+    }
+
+    // -- items ----------------------------------------------------------
+
+    fn item(&mut self) -> Result<Item, CompileError> {
+        let pos = self.here();
+        match self.peek() {
+            Some(Tok::Extern) => {
+                self.advance();
+                self.expect(&Tok::Fn, "'fn' after 'extern'")?;
+                let sig = self.fn_sig(pos)?;
+                self.expect(&Tok::Semi, "';' after extern declaration")?;
+                Ok(Item::ExternFn(sig))
+            }
+            Some(Tok::Export) => {
+                self.advance();
+                self.expect(&Tok::Fn, "'fn' after 'export'")?;
+                let sig = self.fn_sig(pos)?;
+                let body = self.block()?;
+                Ok(Item::Fn(FnDecl { sig, exported: true, body }))
+            }
+            Some(Tok::Fn) => {
+                self.advance();
+                let sig = self.fn_sig(pos)?;
+                let body = self.block()?;
+                Ok(Item::Fn(FnDecl { sig, exported: false, body }))
+            }
+            Some(Tok::Global) | Some(Tok::Const) => {
+                let mutable = matches!(self.peek(), Some(Tok::Global));
+                self.advance();
+                let (name, _) = self.ident("global name")?;
+                self.expect(&Tok::Colon, "':' after global name")?;
+                let ty = self.ty()?;
+                self.expect(&Tok::Assign, "'=' in global declaration")?;
+                let init = self.literal(ty)?;
+                self.expect(&Tok::Semi, "';' after global declaration")?;
+                Ok(Item::Global(GlobalDecl { name, ty, mutable, init, pos }))
+            }
+            other => Err(pos.err(format!("expected an item (fn/extern/global), found {other:?}"))),
+        }
+    }
+
+    fn fn_sig(&mut self, pos: Pos) -> Result<FnSig, CompileError> {
+        let (name, _) = self.ident("function name")?;
+        self.expect(&Tok::LParen, "'('")?;
+        let mut params = Vec::new();
+        if !self.eat(&Tok::RParen) {
+            loop {
+                let (pname, _) = self.ident("parameter name")?;
+                self.expect(&Tok::Colon, "':' after parameter name")?;
+                let pty = self.ty()?;
+                params.push((pname, pty));
+                if self.eat(&Tok::RParen) {
+                    break;
+                }
+                self.expect(&Tok::Comma, "',' between parameters")?;
+            }
+        }
+        let ret = if self.eat(&Tok::Arrow) { Some(self.ty()?) } else { None };
+        Ok(FnSig { name, params, ret, pos })
+    }
+
+    /// A literal, possibly negated, coerced to the expected type.
+    fn literal(&mut self, expect: Type) -> Result<Literal, CompileError> {
+        let pos = self.here();
+        let neg = self.eat(&Tok::Minus);
+        match self.advance().map(|t| &t.tok) {
+            Some(Tok::Int(v, w)) => {
+                let v = if neg { -*v } else { *v };
+                match (expect, w) {
+                    (Type::I32, _) => {
+                        i32::try_from(v).map(Literal::I32).map_err(|_| {
+                            pos.err(format!("integer {v} does not fit in i32"))
+                        })
+                    }
+                    (Type::I64, _) => Ok(Literal::I64(v)),
+                    (Type::F32, IntWidth::W32) => Ok(Literal::F32(v as f32)),
+                    (Type::F64, IntWidth::W32) => Ok(Literal::F64(v as f64)),
+                    _ => Err(pos.err(format!("expected a {expect} literal"))),
+                }
+            }
+            Some(Tok::Float(v, _)) => {
+                let v = if neg { -*v } else { *v };
+                match expect {
+                    Type::F32 => Ok(Literal::F32(v as f32)),
+                    Type::F64 => Ok(Literal::F64(v)),
+                    _ => Err(pos.err(format!("expected a {expect} literal, found float"))),
+                }
+            }
+            other => Err(pos.err(format!("expected a literal, found {other:?}"))),
+        }
+    }
+
+    // -- statements -------------------------------------------------------
+
+    fn block(&mut self) -> Result<Vec<Stmt>, CompileError> {
+        self.expect(&Tok::LBrace, "'{'")?;
+        let mut body = Vec::new();
+        while !self.eat(&Tok::RBrace) {
+            if self.at_end() {
+                return Err(self.here().err("unexpected end of input inside block"));
+            }
+            body.push(self.stmt()?);
+        }
+        Ok(body)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, CompileError> {
+        let pos = self.here();
+        match self.peek() {
+            Some(Tok::Var) => {
+                self.advance();
+                let (name, _) = self.ident("variable name")?;
+                self.expect(&Tok::Colon, "':' after variable name")?;
+                let ty = self.ty()?;
+                self.expect(&Tok::Assign, "'=' in var declaration")?;
+                let init = self.expr()?;
+                self.expect(&Tok::Semi, "';' after var declaration")?;
+                Ok(Stmt::Var { name, ty, init, pos })
+            }
+            Some(Tok::If) => {
+                self.advance();
+                self.expect(&Tok::LParen, "'(' after 'if'")?;
+                let cond = self.expr()?;
+                self.expect(&Tok::RParen, "')' after condition")?;
+                let then_body = self.block()?;
+                let else_body = if self.eat(&Tok::Else) {
+                    if self.peek() == Some(&Tok::If) {
+                        vec![self.stmt()?] // else if
+                    } else {
+                        self.block()?
+                    }
+                } else {
+                    Vec::new()
+                };
+                Ok(Stmt::If { cond, then_body, else_body, pos })
+            }
+            Some(Tok::While) => {
+                self.advance();
+                self.expect(&Tok::LParen, "'(' after 'while'")?;
+                let cond = self.expr()?;
+                self.expect(&Tok::RParen, "')' after condition")?;
+                let body = self.block()?;
+                Ok(Stmt::While { cond, body, pos })
+            }
+            Some(Tok::Return) => {
+                self.advance();
+                let value = if self.peek() == Some(&Tok::Semi) { None } else { Some(self.expr()?) };
+                self.expect(&Tok::Semi, "';' after return")?;
+                Ok(Stmt::Return { value, pos })
+            }
+            Some(Tok::Break) => {
+                self.advance();
+                self.expect(&Tok::Semi, "';' after break")?;
+                Ok(Stmt::Break { pos })
+            }
+            Some(Tok::Continue) => {
+                self.advance();
+                self.expect(&Tok::Semi, "';' after continue")?;
+                Ok(Stmt::Continue { pos })
+            }
+            Some(Tok::LBrace) => {
+                let body = self.block()?;
+                Ok(Stmt::Block { body, pos })
+            }
+            // Assignment or expression statement: disambiguate by lookahead.
+            Some(Tok::Ident(_)) if self.tokens.get(self.pos + 1).map(|t| &t.tok) == Some(&Tok::Assign) => {
+                let (name, _) = self.ident("assignment target")?;
+                self.advance(); // '='
+                let value = self.expr()?;
+                self.expect(&Tok::Semi, "';' after assignment")?;
+                Ok(Stmt::Assign { name, value, pos })
+            }
+            _ => {
+                let expr = self.expr()?;
+                self.expect(&Tok::Semi, "';' after expression")?;
+                Ok(Stmt::Expr { expr, pos })
+            }
+        }
+    }
+
+    // -- expressions (precedence climbing) ---------------------------------
+
+    fn expr(&mut self) -> Result<Expr, CompileError> {
+        self.logical_or()
+    }
+
+    fn logical_or(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.logical_and()?;
+        loop {
+            let pos = self.here();
+            if self.eat(&Tok::OrOr) {
+                let rhs = self.logical_and()?;
+                lhs = Expr::Bin { op: BinOp::LogicalOr, lhs: lhs.into(), rhs: rhs.into(), pos };
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn logical_and(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.bit_or()?;
+        loop {
+            let pos = self.here();
+            if self.eat(&Tok::AndAnd) {
+                let rhs = self.bit_or()?;
+                lhs = Expr::Bin { op: BinOp::LogicalAnd, lhs: lhs.into(), rhs: rhs.into(), pos };
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn bit_or(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.bit_xor()?;
+        loop {
+            let pos = self.here();
+            if self.eat(&Tok::Pipe) {
+                let rhs = self.bit_xor()?;
+                lhs = Expr::Bin { op: BinOp::Or, lhs: lhs.into(), rhs: rhs.into(), pos };
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn bit_xor(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.bit_and()?;
+        loop {
+            let pos = self.here();
+            if self.eat(&Tok::Caret) {
+                let rhs = self.bit_and()?;
+                lhs = Expr::Bin { op: BinOp::Xor, lhs: lhs.into(), rhs: rhs.into(), pos };
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn bit_and(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.equality()?;
+        loop {
+            let pos = self.here();
+            if self.eat(&Tok::Amp) {
+                let rhs = self.equality()?;
+                lhs = Expr::Bin { op: BinOp::And, lhs: lhs.into(), rhs: rhs.into(), pos };
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn equality(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.relational()?;
+        loop {
+            let pos = self.here();
+            let op = match self.peek() {
+                Some(Tok::Eq) => BinOp::Eq,
+                Some(Tok::Ne) => BinOp::Ne,
+                _ => return Ok(lhs),
+            };
+            self.advance();
+            let rhs = self.relational()?;
+            lhs = Expr::Bin { op, lhs: lhs.into(), rhs: rhs.into(), pos };
+        }
+    }
+
+    fn relational(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.shift()?;
+        loop {
+            let pos = self.here();
+            let op = match self.peek() {
+                Some(Tok::Lt) => BinOp::Lt,
+                Some(Tok::Le) => BinOp::Le,
+                Some(Tok::Gt) => BinOp::Gt,
+                Some(Tok::Ge) => BinOp::Ge,
+                _ => return Ok(lhs),
+            };
+            self.advance();
+            let rhs = self.shift()?;
+            lhs = Expr::Bin { op, lhs: lhs.into(), rhs: rhs.into(), pos };
+        }
+    }
+
+    fn shift(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.additive()?;
+        loop {
+            let pos = self.here();
+            let op = match self.peek() {
+                Some(Tok::Shl) => BinOp::Shl,
+                Some(Tok::Shr) => BinOp::Shr,
+                _ => return Ok(lhs),
+            };
+            self.advance();
+            let rhs = self.additive()?;
+            lhs = Expr::Bin { op, lhs: lhs.into(), rhs: rhs.into(), pos };
+        }
+    }
+
+    fn additive(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.multiplicative()?;
+        loop {
+            let pos = self.here();
+            let op = match self.peek() {
+                Some(Tok::Plus) => BinOp::Add,
+                Some(Tok::Minus) => BinOp::Sub,
+                _ => return Ok(lhs),
+            };
+            self.advance();
+            let rhs = self.multiplicative()?;
+            lhs = Expr::Bin { op, lhs: lhs.into(), rhs: rhs.into(), pos };
+        }
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.cast()?;
+        loop {
+            let pos = self.here();
+            let op = match self.peek() {
+                Some(Tok::Star) => BinOp::Mul,
+                Some(Tok::Slash) => BinOp::Div,
+                Some(Tok::Percent) => BinOp::Rem,
+                _ => return Ok(lhs),
+            };
+            self.advance();
+            let rhs = self.cast()?;
+            lhs = Expr::Bin { op, lhs: lhs.into(), rhs: rhs.into(), pos };
+        }
+    }
+
+    fn cast(&mut self) -> Result<Expr, CompileError> {
+        let mut e = self.unary()?;
+        loop {
+            let pos = self.here();
+            if self.eat(&Tok::As) {
+                let ty = self.ty()?;
+                e = Expr::Cast { expr: e.into(), ty, pos };
+            } else {
+                return Ok(e);
+            }
+        }
+    }
+
+    fn unary(&mut self) -> Result<Expr, CompileError> {
+        let pos = self.here();
+        if self.eat(&Tok::Minus) {
+            let operand = self.unary()?;
+            Ok(Expr::Un { op: UnOp::Neg, operand: operand.into(), pos })
+        } else if self.eat(&Tok::Not) {
+            let operand = self.unary()?;
+            Ok(Expr::Un { op: UnOp::Not, operand: operand.into(), pos })
+        } else {
+            self.primary()
+        }
+    }
+
+    fn primary(&mut self) -> Result<Expr, CompileError> {
+        let pos = self.here();
+        match self.advance().map(|t| &t.tok) {
+            Some(Tok::Int(v, IntWidth::W32)) => {
+                let v = i32::try_from(*v)
+                    .map_err(|_| pos.err(format!("integer {v} does not fit in i32 (use i64 suffix)")))?;
+                Ok(Expr::Lit(Literal::I32(v), pos))
+            }
+            Some(Tok::Int(v, IntWidth::W64)) => Ok(Expr::Lit(Literal::I64(*v), pos)),
+            Some(Tok::Float(v, FloatWidth::W32)) => Ok(Expr::Lit(Literal::F32(*v as f32), pos)),
+            Some(Tok::Float(v, FloatWidth::W64)) => Ok(Expr::Lit(Literal::F64(*v), pos)),
+            Some(Tok::Ident(name)) => {
+                if self.peek() == Some(&Tok::LParen) {
+                    self.advance();
+                    let mut args = Vec::new();
+                    if !self.eat(&Tok::RParen) {
+                        loop {
+                            args.push(self.expr()?);
+                            if self.eat(&Tok::RParen) {
+                                break;
+                            }
+                            self.expect(&Tok::Comma, "',' between arguments")?;
+                        }
+                    }
+                    Ok(Expr::Call { name: name.clone(), args, pos })
+                } else {
+                    Ok(Expr::Ident(name.clone(), pos))
+                }
+            }
+            Some(Tok::LParen) => {
+                let e = self.expr()?;
+                self.expect(&Tok::RParen, "')'")?;
+                Ok(e)
+            }
+            other => Err(pos.err(format!("expected an expression, found {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_src(src: &str) -> Program {
+        parse(&lex(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn parses_function_with_params() {
+        let p = parse_src("export fn f(a: i32, b: f64) -> i64 { return 1i64; }");
+        let Item::Fn(f) = &p.items[0] else { panic!("expected fn") };
+        assert!(f.exported);
+        assert_eq!(f.sig.params.len(), 2);
+        assert_eq!(f.sig.ret, Some(Type::I64));
+    }
+
+    #[test]
+    fn parses_extern_and_globals() {
+        let p = parse_src("extern fn log(x: i32);\nglobal g: f64 = -1.5;\nconst C: i32 = 7;");
+        assert!(matches!(p.items[0], Item::ExternFn(_)));
+        let Item::Global(g) = &p.items[1] else { panic!() };
+        assert!(g.mutable);
+        assert_eq!(g.init, Literal::F64(-1.5));
+        let Item::Global(c) = &p.items[2] else { panic!() };
+        assert!(!c.mutable);
+    }
+
+    #[test]
+    fn precedence_mul_over_add() {
+        let p = parse_src("fn f() -> i32 { return 1 + 2 * 3; }");
+        let Item::Fn(f) = &p.items[0] else { panic!() };
+        let Stmt::Return { value: Some(Expr::Bin { op, lhs, .. }), .. } = &f.body[0] else {
+            panic!()
+        };
+        assert_eq!(*op, BinOp::Add);
+        assert!(matches!(**lhs, Expr::Lit(Literal::I32(1), _)));
+    }
+
+    #[test]
+    fn precedence_comparison_below_arith() {
+        let p = parse_src("fn f() -> i32 { return 1 + 2 < 3 * 4; }");
+        let Item::Fn(f) = &p.items[0] else { panic!() };
+        let Stmt::Return { value: Some(Expr::Bin { op, .. }), .. } = &f.body[0] else { panic!() };
+        assert_eq!(*op, BinOp::Lt);
+    }
+
+    #[test]
+    fn else_if_chains() {
+        let p = parse_src(
+            "fn f(x: i32) -> i32 { if (x < 0) { return 0; } else if (x < 10) { return 1; } else { return 2; } }",
+        );
+        let Item::Fn(f) = &p.items[0] else { panic!() };
+        let Stmt::If { else_body, .. } = &f.body[0] else { panic!() };
+        assert!(matches!(else_body[0], Stmt::If { .. }));
+    }
+
+    #[test]
+    fn casts_bind_tighter_than_mul() {
+        let p = parse_src("fn f(x: i32) -> i64 { return x as i64 * 2i64; }");
+        let Item::Fn(f) = &p.items[0] else { panic!() };
+        let Stmt::Return { value: Some(Expr::Bin { op: BinOp::Mul, lhs, .. }), .. } = &f.body[0]
+        else {
+            panic!()
+        };
+        assert!(matches!(**lhs, Expr::Cast { .. }));
+    }
+
+    #[test]
+    fn error_on_missing_semi() {
+        let toks = lex("fn f() { return 1 }").unwrap();
+        assert!(parse(&toks).is_err());
+    }
+
+    #[test]
+    fn while_with_break_continue() {
+        let p = parse_src("fn f() { while (1) { break; continue; } }");
+        let Item::Fn(f) = &p.items[0] else { panic!() };
+        let Stmt::While { body, .. } = &f.body[0] else { panic!() };
+        assert!(matches!(body[0], Stmt::Break { .. }));
+        assert!(matches!(body[1], Stmt::Continue { .. }));
+    }
+}

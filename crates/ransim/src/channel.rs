@@ -1,0 +1,246 @@
+//! Per-UE channel models: each slot they produce a CQI report, which link
+//! adaptation turns into an MCS.
+
+use rand::Rng;
+
+use crate::phy::{cqi_to_mcs, MAX_CQI};
+
+/// A downlink channel model for one UE.
+pub trait ChannelModel: Send {
+    /// CQI report for this slot.
+    fn sample_cqi(&mut self, slot: u64, rng: &mut dyn rand::RngCore) -> u8;
+
+    /// Short name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// A channel pinned to a constant CQI (lab bench with fixed attenuation).
+#[derive(Debug, Clone, Copy)]
+pub struct StaticChannel {
+    /// The CQI to report every slot.
+    pub cqi: u8,
+}
+
+impl StaticChannel {
+    /// Constant-CQI channel.
+    pub fn new(cqi: u8) -> Self {
+        StaticChannel { cqi: cqi.clamp(1, MAX_CQI) }
+    }
+}
+
+impl ChannelModel for StaticChannel {
+    fn sample_cqi(&mut self, _slot: u64, _rng: &mut dyn rand::RngCore) -> u8 {
+        self.cqi
+    }
+
+    fn name(&self) -> &'static str {
+        "static"
+    }
+}
+
+/// A channel pinned so link adaptation lands exactly on a target MCS —
+/// how the paper's Fig. 5b fixes UEs at MCS 20/24/28.
+#[derive(Debug, Clone, Copy)]
+pub struct FixedMcsChannel {
+    cqi: u8,
+    /// The MCS this channel locks to.
+    pub mcs: u8,
+}
+
+impl FixedMcsChannel {
+    /// Channel whose CQI maps to (at least) `mcs` under [`cqi_to_mcs`].
+    pub fn new(mcs: u8) -> Self {
+        // Smallest CQI whose mapped MCS reaches the target.
+        let mut cqi = MAX_CQI;
+        for c in 1..=MAX_CQI {
+            if cqi_to_mcs(c) >= mcs {
+                cqi = c;
+                break;
+            }
+        }
+        FixedMcsChannel { cqi, mcs }
+    }
+}
+
+impl ChannelModel for FixedMcsChannel {
+    fn sample_cqi(&mut self, _slot: u64, _rng: &mut dyn rand::RngCore) -> u8 {
+        self.cqi
+    }
+
+    fn name(&self) -> &'static str {
+        "fixed-mcs"
+    }
+}
+
+/// Gauss-Markov (first-order autoregressive) SNR process mapped to CQI:
+/// slow fading around a mean with tunable correlation.
+#[derive(Debug, Clone)]
+pub struct MarkovFadingChannel {
+    mean_snr_db: f64,
+    sigma_db: f64,
+    /// AR(1) coefficient in [0, 1): higher = slower fading.
+    rho: f64,
+    state_db: f64,
+}
+
+impl MarkovFadingChannel {
+    /// Channel with the given mean SNR, shadowing σ and correlation ρ.
+    pub fn new(mean_snr_db: f64, sigma_db: f64, rho: f64) -> Self {
+        MarkovFadingChannel { mean_snr_db, sigma_db, rho: rho.clamp(0.0, 0.9999), state_db: 0.0 }
+    }
+
+    /// A "good urban" profile: 22 dB mean, 3 dB σ, ρ = 0.98.
+    pub fn good() -> Self {
+        Self::new(22.0, 3.0, 0.98)
+    }
+
+    /// A cell-edge profile: 8 dB mean, 4 dB σ, ρ = 0.98.
+    pub fn cell_edge() -> Self {
+        Self::new(8.0, 4.0, 0.98)
+    }
+}
+
+/// Map an SNR in dB to a CQI report (piecewise-linear over the usable
+/// range −6 dB … 26 dB — roughly the 38.214 CQI switching points).
+pub fn snr_to_cqi(snr_db: f64) -> u8 {
+    let clamped = snr_db.clamp(-6.0, 26.0);
+    let frac = (clamped + 6.0) / 32.0;
+    ((frac * (MAX_CQI - 1) as f64).round() as u8 + 1).clamp(1, MAX_CQI)
+}
+
+impl ChannelModel for MarkovFadingChannel {
+    fn sample_cqi(&mut self, _slot: u64, rng: &mut dyn rand::RngCore) -> u8 {
+        // AR(1): x' = ρx + sqrt(1-ρ²)·n, n ~ N(0, σ).
+        let mut r = rng;
+        let noise: f64 = sample_gaussian(&mut r) * self.sigma_db;
+        self.state_db = self.rho * self.state_db + (1.0 - self.rho * self.rho).sqrt() * noise;
+        snr_to_cqi(self.mean_snr_db + self.state_db)
+    }
+
+    fn name(&self) -> &'static str {
+        "markov-fading"
+    }
+}
+
+/// Distance-based model: log-distance path loss + AR(1) shadowing.
+#[derive(Debug, Clone)]
+pub struct DistanceChannel {
+    inner: MarkovFadingChannel,
+    /// Distance from the gNB in meters.
+    pub distance_m: f64,
+}
+
+impl DistanceChannel {
+    /// UE at `distance_m` meters; TX budget tuned so ~50 m is excellent
+    /// and ~500 m is cell edge.
+    pub fn new(distance_m: f64) -> Self {
+        let d = distance_m.max(1.0);
+        // SNR(d) = 38 dB at 10 m, −35 dB/decade.
+        let mean_snr = 38.0 - 35.0 * (d / 10.0).log10();
+        DistanceChannel { inner: MarkovFadingChannel::new(mean_snr, 3.0, 0.98), distance_m: d }
+    }
+}
+
+impl ChannelModel for DistanceChannel {
+    fn sample_cqi(&mut self, slot: u64, rng: &mut dyn rand::RngCore) -> u8 {
+        self.inner.sample_cqi(slot, rng)
+    }
+
+    fn name(&self) -> &'static str {
+        "distance"
+    }
+}
+
+/// Box-Muller standard normal from a `RngCore`.
+fn sample_gaussian(rng: &mut dyn rand::RngCore) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn static_channel_constant() {
+        let mut ch = StaticChannel::new(9);
+        let mut rng = StdRng::seed_from_u64(1);
+        for slot in 0..100 {
+            assert_eq!(ch.sample_cqi(slot, &mut rng), 9);
+        }
+    }
+
+    #[test]
+    fn static_channel_clamps() {
+        assert_eq!(StaticChannel::new(0).cqi, 1);
+        assert_eq!(StaticChannel::new(99).cqi, MAX_CQI);
+    }
+
+    #[test]
+    fn fixed_mcs_channel_maps_back() {
+        for target in [20u8, 24, 28] {
+            let mut ch = FixedMcsChannel::new(target);
+            let mut rng = StdRng::seed_from_u64(1);
+            let cqi = ch.sample_cqi(0, &mut rng);
+            assert!(
+                cqi_to_mcs(cqi) >= target,
+                "target {target}: cqi {cqi} maps to {}",
+                cqi_to_mcs(cqi)
+            );
+        }
+    }
+
+    #[test]
+    fn snr_to_cqi_monotone() {
+        let mut prev = 0;
+        for snr in -10..30 {
+            let cqi = snr_to_cqi(snr as f64);
+            assert!(cqi >= prev);
+            prev = cqi;
+        }
+        assert_eq!(snr_to_cqi(-20.0), 1);
+        assert_eq!(snr_to_cqi(40.0), MAX_CQI);
+    }
+
+    #[test]
+    fn fading_stays_near_mean() {
+        let mut ch = MarkovFadingChannel::good();
+        let mut rng = StdRng::seed_from_u64(42);
+        let samples: Vec<u8> = (0..5000).map(|s| ch.sample_cqi(s, &mut rng)).collect();
+        let mean = samples.iter().map(|c| *c as f64).sum::<f64>() / samples.len() as f64;
+        // 22 dB mean maps to a high CQI; fading wobbles around it.
+        assert!(mean > 10.0 && mean <= 15.0, "mean cqi {mean}");
+        // The channel actually varies.
+        let min = *samples.iter().min().unwrap();
+        let max = *samples.iter().max().unwrap();
+        assert!(max > min, "fading must vary");
+    }
+
+    #[test]
+    fn distance_orders_quality() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mean_cqi = |d: f64, rng: &mut StdRng| {
+            let mut ch = DistanceChannel::new(d);
+            (0..2000).map(|s| ch.sample_cqi(s, rng) as f64).sum::<f64>() / 2000.0
+        };
+        let near = mean_cqi(30.0, &mut rng);
+        let mid = mean_cqi(150.0, &mut rng);
+        let far = mean_cqi(600.0, &mut rng);
+        assert!(near > mid, "near {near} mid {mid}");
+        assert!(mid > far, "mid {mid} far {far}");
+    }
+
+    #[test]
+    fn gaussian_sampler_moments() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| sample_gaussian(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+}

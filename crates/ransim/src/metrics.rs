@@ -1,0 +1,251 @@
+//! Measurement: windowed throughput time series, fairness, utilization.
+
+use std::collections::BTreeMap;
+
+/// Records per-UE and per-slice delivered bits, aggregated into fixed
+/// windows (e.g. 100 ms) to produce the rate-vs-time series the paper's
+/// Fig. 5a/5b plot.
+#[derive(Debug, Clone)]
+pub struct MetricsRecorder {
+    window_slots: u64,
+    slot_seconds: f64,
+    slot: u64,
+    // Current-window accumulators.
+    ue_window_bits: BTreeMap<u32, u64>,
+    slice_window_bits: BTreeMap<u32, u64>,
+    prbs_used_window: u64,
+    prbs_total_window: u64,
+    // Completed series.
+    ue_series: BTreeMap<u32, Vec<f64>>,
+    slice_series: BTreeMap<u32, Vec<f64>>,
+    util_series: Vec<f64>,
+    // Lifetime totals.
+    ue_total_bits: BTreeMap<u32, u64>,
+    slice_total_bits: BTreeMap<u32, u64>,
+}
+
+impl MetricsRecorder {
+    /// Recorder aggregating every `window_slots` slots of `slot_seconds`
+    /// each.
+    pub fn new(window_slots: u64, slot_seconds: f64) -> Self {
+        MetricsRecorder {
+            window_slots: window_slots.max(1),
+            slot_seconds,
+            slot: 0,
+            ue_window_bits: BTreeMap::new(),
+            slice_window_bits: BTreeMap::new(),
+            prbs_used_window: 0,
+            prbs_total_window: 0,
+            ue_series: BTreeMap::new(),
+            slice_series: BTreeMap::new(),
+            util_series: Vec::new(),
+            ue_total_bits: BTreeMap::new(),
+            slice_total_bits: BTreeMap::new(),
+        }
+    }
+
+    /// Ensure a UE/slice shows up in reports even if never scheduled.
+    pub fn register(&mut self, slice_id: u32, ue_id: u32) {
+        self.ue_series.entry(ue_id).or_default();
+        self.slice_series.entry(slice_id).or_default();
+        self.ue_total_bits.entry(ue_id).or_insert(0);
+        self.slice_total_bits.entry(slice_id).or_insert(0);
+    }
+
+    /// Record a delivery of `bits` to `ue_id` within `slice_id`.
+    pub fn record_delivery(&mut self, slice_id: u32, ue_id: u32, bits: u64) {
+        *self.ue_window_bits.entry(ue_id).or_insert(0) += bits;
+        *self.slice_window_bits.entry(slice_id).or_insert(0) += bits;
+        *self.ue_total_bits.entry(ue_id).or_insert(0) += bits;
+        *self.slice_total_bits.entry(slice_id).or_insert(0) += bits;
+    }
+
+    /// Close the slot; rolls the window when due.
+    pub fn end_slot(&mut self, prbs_used: u32, prbs_total: u32) {
+        self.prbs_used_window += prbs_used as u64;
+        self.prbs_total_window += prbs_total as u64;
+        self.slot += 1;
+        if self.slot % self.window_slots == 0 {
+            let window_s = self.window_slots as f64 * self.slot_seconds;
+            for (ue, series) in self.ue_series.iter_mut() {
+                let bits = self.ue_window_bits.get(ue).copied().unwrap_or(0);
+                series.push(bits as f64 / window_s / 1e6);
+            }
+            for (slice, series) in self.slice_series.iter_mut() {
+                let bits = self.slice_window_bits.get(slice).copied().unwrap_or(0);
+                series.push(bits as f64 / window_s / 1e6);
+            }
+            self.util_series.push(if self.prbs_total_window == 0 {
+                0.0
+            } else {
+                self.prbs_used_window as f64 / self.prbs_total_window as f64
+            });
+            self.ue_window_bits.clear();
+            self.slice_window_bits.clear();
+            self.prbs_used_window = 0;
+            self.prbs_total_window = 0;
+        }
+    }
+
+    /// Seconds covered by one window.
+    pub fn window_seconds(&self) -> f64 {
+        self.window_slots as f64 * self.slot_seconds
+    }
+
+    /// Throughput series (Mb/s per window) for a UE.
+    pub fn ue_series_mbps(&self, ue_id: u32) -> &[f64] {
+        self.ue_series.get(&ue_id).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Throughput series (Mb/s per window) for a slice.
+    pub fn slice_series_mbps(&self, slice_id: u32) -> &[f64] {
+        self.slice_series.get(&slice_id).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// PRB utilization per window (0..1).
+    pub fn utilization_series(&self) -> &[f64] {
+        &self.util_series
+    }
+
+    /// Mean rate of a slice over the whole run, Mb/s.
+    pub fn slice_mean_mbps(&self, slice_id: u32) -> f64 {
+        let total = self.slice_total_bits.get(&slice_id).copied().unwrap_or(0);
+        let secs = self.slot as f64 * self.slot_seconds;
+        if secs == 0.0 {
+            0.0
+        } else {
+            total as f64 / secs / 1e6
+        }
+    }
+
+    /// Mean rate of a UE over the whole run, Mb/s.
+    pub fn ue_mean_mbps(&self, ue_id: u32) -> f64 {
+        let total = self.ue_total_bits.get(&ue_id).copied().unwrap_or(0);
+        let secs = self.slot as f64 * self.slot_seconds;
+        if secs == 0.0 {
+            0.0
+        } else {
+            total as f64 / secs / 1e6
+        }
+    }
+
+    /// Mean rate of a slice over the last `windows` windows, Mb/s.
+    pub fn slice_recent_mbps(&self, slice_id: u32, windows: usize) -> f64 {
+        let series = self.slice_series_mbps(slice_id);
+        if series.is_empty() {
+            return 0.0;
+        }
+        let n = windows.min(series.len()).max(1);
+        series[series.len() - n..].iter().sum::<f64>() / n as f64
+    }
+
+    /// Jain fairness index over the lifetime throughputs of the given UEs
+    /// (1.0 = perfectly fair).
+    pub fn jain_fairness(&self, ue_ids: &[u32]) -> f64 {
+        let rates: Vec<f64> = ue_ids
+            .iter()
+            .map(|id| self.ue_total_bits.get(id).copied().unwrap_or(0) as f64)
+            .collect();
+        let n = rates.len() as f64;
+        if n == 0.0 {
+            return 1.0;
+        }
+        let sum: f64 = rates.iter().sum();
+        let sum_sq: f64 = rates.iter().map(|r| r * r).sum();
+        if sum_sq == 0.0 {
+            return 1.0;
+        }
+        sum * sum / (n * sum_sq)
+    }
+
+    /// Slots recorded.
+    pub fn slots(&self) -> u64 {
+        self.slot
+    }
+
+    /// All UE ids seen.
+    pub fn ue_ids(&self) -> Vec<u32> {
+        self.ue_series.keys().copied().collect()
+    }
+
+    /// All slice ids seen.
+    pub fn slice_ids(&self) -> Vec<u32> {
+        self.slice_series.keys().copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn windows_roll_correctly() {
+        let mut m = MetricsRecorder::new(10, 0.001);
+        m.register(0, 1);
+        for _ in 0..25 {
+            m.record_delivery(0, 1, 1000);
+            m.end_slot(10, 52);
+        }
+        // Two complete windows of 10 slots each (the 5 leftover pending).
+        assert_eq!(m.ue_series_mbps(1).len(), 2);
+        // 10 kbit over 10 ms = 1 Mb/s.
+        assert!((m.ue_series_mbps(1)[0] - 1.0).abs() < 1e-9);
+        assert_eq!(m.utilization_series().len(), 2);
+        assert!((m.utilization_series()[0] - 10.0 / 52.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mean_rates() {
+        let mut m = MetricsRecorder::new(10, 0.001);
+        m.register(7, 1);
+        for _ in 0..1000 {
+            m.record_delivery(7, 1, 12_000); // 12 Mb/s at 1 ms slots
+            m.end_slot(26, 52);
+        }
+        assert!((m.slice_mean_mbps(7) - 12.0).abs() < 1e-9);
+        assert!((m.ue_mean_mbps(1) - 12.0).abs() < 1e-9);
+        assert!((m.slice_recent_mbps(7, 5) - 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unscheduled_ue_reports_zero() {
+        let mut m = MetricsRecorder::new(5, 0.001);
+        m.register(0, 1);
+        m.register(0, 2);
+        for _ in 0..5 {
+            m.record_delivery(0, 1, 5000);
+            m.end_slot(5, 52);
+        }
+        assert!(m.ue_series_mbps(1)[0] > 0.0);
+        assert_eq!(m.ue_series_mbps(2), &[0.0]);
+    }
+
+    #[test]
+    fn jain_index() {
+        let mut m = MetricsRecorder::new(1, 0.001);
+        for ue in [1, 2, 3, 4] {
+            m.register(0, ue);
+        }
+        // Perfectly equal.
+        for ue in [1, 2, 3, 4] {
+            m.record_delivery(0, ue, 1000);
+        }
+        m.end_slot(0, 52);
+        assert!((m.jain_fairness(&[1, 2, 3, 4]) - 1.0).abs() < 1e-9);
+        // One hog: fairness drops.
+        for _ in 0..100 {
+            m.record_delivery(0, 1, 10_000);
+            m.end_slot(0, 52);
+        }
+        let j = m.jain_fairness(&[1, 2, 3, 4]);
+        assert!(j < 0.5, "jain {j}");
+    }
+
+    #[test]
+    fn empty_recorder_is_safe() {
+        let m = MetricsRecorder::new(10, 0.001);
+        assert_eq!(m.ue_series_mbps(1), &[] as &[f64]);
+        assert_eq!(m.slice_mean_mbps(0), 0.0);
+        assert_eq!(m.jain_fairness(&[]), 1.0);
+    }
+}

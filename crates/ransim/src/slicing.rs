@@ -1,0 +1,287 @@
+//! Inter-slice scheduling: dividing the carrier's PRBs among slices
+//! (MVNOs) each slot.
+
+/// Per-slice state the inter-slice scheduler decides on.
+#[derive(Debug, Clone, Copy)]
+pub struct SliceDemand {
+    /// Slice id.
+    pub slice_id: u32,
+    /// Target cumulative DL rate for the slice, bit/s (`None` = best
+    /// effort).
+    pub target_bps: Option<f64>,
+    /// Bits the slice could transmit this slot if given unlimited PRBs
+    /// (sum over backlogged UEs, capped by buffers).
+    pub demand_bits: f64,
+    /// Mean per-PRB capacity over the slice's backlogged UEs, bits.
+    pub mean_prb_bits: f64,
+    /// Token-bucket fill: bits of "owed" service under the target rate.
+    pub tokens_bits: f64,
+    /// Relative weight for best-effort distribution.
+    pub weight: f64,
+}
+
+/// An inter-slice scheduler: maps demands to per-slice PRB grants.
+pub trait InterSliceScheduler: Send {
+    /// Grant PRBs (same order as `demands`; sums to at most `total_prbs`).
+    fn allocate(&mut self, total_prbs: u32, demands: &[SliceDemand]) -> Vec<u32>;
+
+    /// Name for reports.
+    fn name(&self) -> &str;
+}
+
+/// Fixed proportional shares (by `weight`), independent of targets.
+#[derive(Debug, Default)]
+pub struct FixedShare;
+
+impl FixedShare {
+    /// Fixed-share allocator.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl InterSliceScheduler for FixedShare {
+    fn allocate(&mut self, total_prbs: u32, demands: &[SliceDemand]) -> Vec<u32> {
+        let total_weight: f64 = demands.iter().map(|d| d.weight.max(0.0)).sum();
+        if total_weight <= 0.0 {
+            return vec![0; demands.len()];
+        }
+        let mut grants: Vec<u32> = demands
+            .iter()
+            .map(|d| ((d.weight.max(0.0) / total_weight) * total_prbs as f64).floor() as u32)
+            .collect();
+        // Distribute the rounding remainder by weight order.
+        let mut used: u32 = grants.iter().sum();
+        let mut order: Vec<usize> = (0..demands.len()).collect();
+        order.sort_by(|a, b| {
+            demands[*b].weight.partial_cmp(&demands[*a].weight).expect("finite weights")
+        });
+        for &i in order.iter().cycle().take(demands.len() * 2) {
+            if used >= total_prbs {
+                break;
+            }
+            grants[i] += 1;
+            used += 1;
+        }
+        grants
+    }
+
+    fn name(&self) -> &str {
+        "fixed-share"
+    }
+}
+
+/// Target-rate allocation: each slice earns tokens at its target rate and
+/// spends them on PRBs; spare PRBs go to best-effort slices by weight.
+///
+/// This is the allocator behind Fig. 5a: with targets 3/12/15 Mb/s each
+/// MVNO receives exactly the PRBs needed to track its target (channel
+/// permitting) and they co-exist on one carrier.
+#[derive(Debug, Default)]
+pub struct TargetRate;
+
+impl TargetRate {
+    /// Target-rate allocator.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl InterSliceScheduler for TargetRate {
+    fn allocate(&mut self, total_prbs: u32, demands: &[SliceDemand]) -> Vec<u32> {
+        let mut grants = vec![0u32; demands.len()];
+        let mut remaining = total_prbs;
+
+        // Pass 1: targeted slices draw PRBs against their token buckets.
+        // When the grid cannot cover everyone's wish, shares scale down
+        // proportionally instead of starving later slices.
+        let wants: Vec<u32> = demands
+            .iter()
+            .map(|d| {
+                if d.target_bps.is_none() || d.mean_prb_bits <= 0.0 {
+                    return 0;
+                }
+                let want_bits = d.tokens_bits.min(d.demand_bits).max(0.0);
+                (want_bits / d.mean_prb_bits).ceil() as u32
+            })
+            .collect();
+        let total_want: u64 = wants.iter().map(|w| *w as u64).sum();
+        let scale = if total_want > total_prbs as u64 {
+            total_prbs as f64 / total_want as f64
+        } else {
+            1.0
+        };
+        for (i, want) in wants.iter().enumerate() {
+            if remaining == 0 {
+                break;
+            }
+            let give = ((*want as f64 * scale).floor() as u32).min(remaining);
+            grants[i] = give;
+            remaining -= give;
+        }
+        // Rounding leftovers go to still-hungry targeted slices in order.
+        if scale < 1.0 {
+            for (i, want) in wants.iter().enumerate() {
+                if remaining == 0 {
+                    break;
+                }
+                let extra = want.saturating_sub(grants[i]).min(1).min(remaining);
+                grants[i] += extra;
+                remaining -= extra;
+            }
+        }
+
+        // Pass 2: spare capacity to best-effort slices, weighted.
+        let be: Vec<usize> = demands
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| d.target_bps.is_none() && d.demand_bits > 0.0)
+            .map(|(i, _)| i)
+            .collect();
+        if !be.is_empty() && remaining > 0 {
+            let total_weight: f64 = be.iter().map(|i| demands[*i].weight.max(0.0)).sum();
+            if total_weight > 0.0 {
+                let pool = remaining;
+                for &i in &be {
+                    let share = ((demands[i].weight.max(0.0) / total_weight) * pool as f64)
+                        .floor() as u32;
+                    let need =
+                        (demands[i].demand_bits / demands[i].mean_prb_bits.max(1.0)).ceil() as u32;
+                    let give = share.min(need).min(remaining);
+                    grants[i] += give;
+                    remaining -= give;
+                }
+                // Leftovers to the first best-effort slice that can use them.
+                for &i in &be {
+                    if remaining == 0 {
+                        break;
+                    }
+                    let need =
+                        (demands[i].demand_bits / demands[i].mean_prb_bits.max(1.0)).ceil() as u32;
+                    let extra = need.saturating_sub(grants[i]).min(remaining);
+                    grants[i] += extra;
+                    remaining -= extra;
+                }
+            }
+        }
+
+        grants
+    }
+
+    fn name(&self) -> &str {
+        "target-rate"
+    }
+}
+
+/// Strict priority: serve slices in declaration order, each up to its
+/// demand. (Useful as a baseline and for URLLC-style setups.)
+#[derive(Debug, Default)]
+pub struct StrictPriority;
+
+impl StrictPriority {
+    /// Strict-priority allocator.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl InterSliceScheduler for StrictPriority {
+    fn allocate(&mut self, total_prbs: u32, demands: &[SliceDemand]) -> Vec<u32> {
+        let mut remaining = total_prbs;
+        demands
+            .iter()
+            .map(|d| {
+                if d.mean_prb_bits <= 0.0 {
+                    return 0;
+                }
+                let need = (d.demand_bits / d.mean_prb_bits).ceil() as u32;
+                let give = need.min(remaining);
+                remaining -= give;
+                give
+            })
+            .collect()
+    }
+
+    fn name(&self) -> &str {
+        "strict-priority"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demand(id: u32, target: Option<f64>, demand_bits: f64, tokens: f64) -> SliceDemand {
+        SliceDemand {
+            slice_id: id,
+            target_bps: target,
+            demand_bits,
+            mean_prb_bits: 500.0,
+            tokens_bits: tokens,
+            weight: 1.0,
+        }
+    }
+
+    #[test]
+    fn fixed_share_proportional() {
+        let mut fs = FixedShare::new();
+        let mut d1 = demand(0, None, 1e9, 0.0);
+        let mut d2 = demand(1, None, 1e9, 0.0);
+        d1.weight = 3.0;
+        d2.weight = 1.0;
+        let grants = fs.allocate(52, &[d1, d2]);
+        assert_eq!(grants.iter().sum::<u32>(), 52);
+        assert!(grants[0] >= 38 && grants[0] <= 40, "grants {grants:?}");
+    }
+
+    #[test]
+    fn target_rate_gives_tokens_worth() {
+        let mut tr = TargetRate::new();
+        // Slice owed 5000 bits, 500 bits/PRB -> 10 PRBs.
+        let grants = tr.allocate(52, &[demand(0, Some(5e6), 1e9, 5000.0)]);
+        assert_eq!(grants[0], 10);
+    }
+
+    #[test]
+    fn target_rate_capped_by_demand() {
+        let mut tr = TargetRate::new();
+        // Owed a lot, but only 1000 bits buffered -> 2 PRBs.
+        let grants = tr.allocate(52, &[demand(0, Some(5e6), 1000.0, 1e9)]);
+        assert_eq!(grants[0], 2);
+    }
+
+    #[test]
+    fn target_rate_respects_capacity() {
+        let mut tr = TargetRate::new();
+        let d = demand(0, Some(100e6), 1e9, 1e9);
+        let grants = tr.allocate(52, &[d, d]);
+        assert_eq!(grants.iter().sum::<u32>(), 52);
+    }
+
+    #[test]
+    fn best_effort_gets_leftovers() {
+        let mut tr = TargetRate::new();
+        let targeted = demand(0, Some(1e6), 1e9, 1000.0); // wants 2 PRBs
+        let be = demand(1, None, 1e9, 0.0);
+        let grants = tr.allocate(52, &[targeted, be]);
+        assert_eq!(grants[0], 2);
+        assert_eq!(grants[1], 50);
+    }
+
+    #[test]
+    fn strict_priority_orders() {
+        let mut sp = StrictPriority::new();
+        let hungry = demand(0, None, 500.0 * 40.0, 0.0); // needs 40 PRBs
+        let second = demand(1, None, 1e9, 0.0);
+        let grants = sp.allocate(52, &[hungry, second]);
+        assert_eq!(grants[0], 40);
+        assert_eq!(grants[1], 12);
+    }
+
+    #[test]
+    fn zero_demand_zero_grant() {
+        let mut tr = TargetRate::new();
+        let grants = tr.allocate(52, &[demand(0, Some(5e6), 0.0, 1e9), demand(1, None, 0.0, 0.0)]);
+        assert_eq!(grants, vec![0, 0]);
+    }
+}

@@ -1,0 +1,206 @@
+//! Downlink traffic sources: how many bytes arrive in a UE's buffer each
+//! slot.
+
+use rand::Rng;
+
+/// A per-UE downlink traffic source.
+pub trait TrafficSource: Send {
+    /// Bytes arriving during this slot.
+    fn bytes_for_slot(&mut self, slot: u64, slot_seconds: f64, rng: &mut dyn rand::RngCore)
+        -> u64;
+
+    /// Short name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Full-buffer traffic: the buffer never empties (the paper saturates UEs
+/// with iperf3 DL).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FullBuffer;
+
+impl TrafficSource for FullBuffer {
+    fn bytes_for_slot(&mut self, _slot: u64, _slot_seconds: f64, _rng: &mut dyn rand::RngCore) -> u64 {
+        // Enough to outpace any 10 MHz carrier (1 Gb/s worth per second).
+        125_000
+    }
+
+    fn name(&self) -> &'static str {
+        "full-buffer"
+    }
+}
+
+/// Constant bit rate (voice/video-style).
+#[derive(Debug, Clone, Copy)]
+pub struct Cbr {
+    /// Offered rate in bit/s.
+    pub rate_bps: f64,
+    /// Fractional-byte accumulator.
+    carry: f64,
+}
+
+impl Cbr {
+    /// CBR source at `rate_bps`.
+    pub fn new(rate_bps: f64) -> Self {
+        Cbr { rate_bps, carry: 0.0 }
+    }
+}
+
+impl TrafficSource for Cbr {
+    fn bytes_for_slot(&mut self, _slot: u64, slot_seconds: f64, _rng: &mut dyn rand::RngCore) -> u64 {
+        let exact = self.rate_bps * slot_seconds / 8.0 + self.carry;
+        let whole = exact.floor();
+        self.carry = exact - whole;
+        whole as u64
+    }
+
+    fn name(&self) -> &'static str {
+        "cbr"
+    }
+}
+
+/// Poisson packet arrivals (IoT/M2M-style bursts).
+#[derive(Debug, Clone, Copy)]
+pub struct PoissonPackets {
+    /// Mean packets per second.
+    pub pkts_per_sec: f64,
+    /// Bytes per packet.
+    pub pkt_bytes: u64,
+}
+
+impl PoissonPackets {
+    /// Poisson source.
+    pub fn new(pkts_per_sec: f64, pkt_bytes: u64) -> Self {
+        PoissonPackets { pkts_per_sec, pkt_bytes }
+    }
+}
+
+impl TrafficSource for PoissonPackets {
+    fn bytes_for_slot(&mut self, _slot: u64, slot_seconds: f64, rng: &mut dyn rand::RngCore) -> u64 {
+        // Knuth's algorithm is fine at per-slot λ ≪ 100.
+        let lambda = self.pkts_per_sec * slot_seconds;
+        let l = (-lambda).exp();
+        let mut k = 0u64;
+        let mut p = 1.0;
+        let r = rng;
+        loop {
+            p *= r.gen_range(0.0..1.0f64);
+            if p <= l {
+                break;
+            }
+            k += 1;
+            if k > 10_000 {
+                break; // λ misconfigured; cap rather than spin
+            }
+        }
+        k * self.pkt_bytes
+    }
+
+    fn name(&self) -> &'static str {
+        "poisson"
+    }
+}
+
+/// On/off bursty traffic: exponential-ish on and off periods, CBR while on.
+#[derive(Debug, Clone, Copy)]
+pub struct OnOff {
+    /// Rate while on, bit/s.
+    pub rate_bps: f64,
+    /// Mean on duration, seconds.
+    pub mean_on_s: f64,
+    /// Mean off duration, seconds.
+    pub mean_off_s: f64,
+    on: bool,
+    remaining_s: f64,
+    carry: f64,
+}
+
+impl OnOff {
+    /// On/off source starting in the off state.
+    pub fn new(rate_bps: f64, mean_on_s: f64, mean_off_s: f64) -> Self {
+        OnOff { rate_bps, mean_on_s, mean_off_s, on: false, remaining_s: 0.0, carry: 0.0 }
+    }
+}
+
+impl TrafficSource for OnOff {
+    fn bytes_for_slot(&mut self, _slot: u64, slot_seconds: f64, rng: &mut dyn rand::RngCore) -> u64 {
+        let r = rng;
+        self.remaining_s -= slot_seconds;
+        if self.remaining_s <= 0.0 {
+            self.on = !self.on;
+            let mean = if self.on { self.mean_on_s } else { self.mean_off_s };
+            // Exponential via inverse CDF.
+            let u: f64 = r.gen_range(f64::MIN_POSITIVE..1.0);
+            self.remaining_s = -mean * u.ln();
+        }
+        if self.on {
+            let exact = self.rate_bps * slot_seconds / 8.0 + self.carry;
+            let whole = exact.floor();
+            self.carry = exact - whole;
+            whole as u64
+        } else {
+            0
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "on-off"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const SLOT: f64 = 0.001;
+
+    #[test]
+    fn full_buffer_never_starves() {
+        let mut t = FullBuffer;
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(t.bytes_for_slot(0, SLOT, &mut rng) > 50_000);
+    }
+
+    #[test]
+    fn cbr_rate_is_exact_over_time() {
+        let mut t = Cbr::new(12e6); // 12 Mb/s
+        let mut rng = StdRng::seed_from_u64(1);
+        let total: u64 = (0..10_000).map(|s| t.bytes_for_slot(s, SLOT, &mut rng)).sum();
+        // 10 s at 12 Mb/s = 15 MB.
+        let expected = 12e6 * 10.0 / 8.0;
+        assert!((total as f64 - expected).abs() < 10.0, "total {total}");
+    }
+
+    #[test]
+    fn cbr_fractional_rates_accumulate() {
+        // 3 kb/s = 0.375 bytes/slot: must not round to zero forever.
+        let mut t = Cbr::new(3_000.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let total: u64 = (0..8000).map(|s| t.bytes_for_slot(s, SLOT, &mut rng)).sum();
+        assert_eq!(total, 3_000); // 8 s × 3 kb/s / 8 = 3000 bytes
+    }
+
+    #[test]
+    fn poisson_mean_matches() {
+        let mut t = PoissonPackets::new(1000.0, 100);
+        let mut rng = StdRng::seed_from_u64(42);
+        let total: u64 = (0..20_000).map(|s| t.bytes_for_slot(s, SLOT, &mut rng)).sum();
+        // 20 s × 1000 pkt/s × 100 B = 2 MB, ±5%.
+        let expected = 2_000_000.0;
+        assert!((total as f64 - expected).abs() < expected * 0.05, "total {total}");
+    }
+
+    #[test]
+    fn onoff_duty_cycle() {
+        let mut t = OnOff::new(10e6, 0.5, 0.5);
+        let mut rng = StdRng::seed_from_u64(7);
+        let total: u64 = (0..60_000).map(|s| t.bytes_for_slot(s, SLOT, &mut rng)).sum();
+        // ~50% duty cycle of 10 Mb/s over 60 s ≈ 37.5 MB, very loosely.
+        let expected = 37_500_000.0;
+        assert!(
+            (total as f64) > expected * 0.6 && (total as f64) < expected * 1.4,
+            "total {total}"
+        );
+    }
+}

@@ -1,0 +1,195 @@
+//! Per-UE state inside the gNB MAC.
+
+use waran_abi::sched::UeInfo;
+
+use crate::channel::ChannelModel;
+use crate::phy::{bits_per_prb, cqi_to_mcs};
+use crate::traffic::TrafficSource;
+
+/// A connected UE: identity, channel, offered traffic and MAC-visible
+/// state (buffer, averages).
+pub struct UeState {
+    /// UE id (RNTI), unique across the gNB.
+    pub ue_id: u32,
+    /// Downlink channel model.
+    pub channel: Box<dyn ChannelModel>,
+    /// Downlink traffic source.
+    pub traffic: Box<dyn TrafficSource>,
+    /// DL buffer occupancy, bytes.
+    pub buffer_bytes: u64,
+    /// EWMA of delivered throughput, bit/s (the PF denominator).
+    pub avg_tput_bps: f64,
+    /// Current CQI report.
+    pub cqi: u8,
+    /// Current MCS after link adaptation.
+    pub mcs: u8,
+    /// Lifetime delivered bits.
+    pub delivered_bits: u64,
+    /// Buffer ceiling; arrivals beyond this are dropped (flow control).
+    pub max_buffer_bytes: u64,
+    /// Bytes dropped at the buffer ceiling.
+    pub dropped_bytes: u64,
+}
+
+impl UeState {
+    /// New UE with an empty buffer.
+    pub fn new(ue_id: u32, channel: Box<dyn ChannelModel>, traffic: Box<dyn TrafficSource>) -> Self {
+        UeState {
+            ue_id,
+            channel,
+            traffic,
+            buffer_bytes: 0,
+            avg_tput_bps: 0.0,
+            cqi: 1,
+            mcs: 0,
+            delivered_bits: 0,
+            max_buffer_bytes: 8 << 20, // 8 MiB ~ a few seconds of traffic
+            dropped_bytes: 0,
+        }
+    }
+
+    /// Start-of-slot update: traffic arrival and channel sounding.
+    pub fn begin_slot(&mut self, slot: u64, slot_seconds: f64, rng: &mut dyn rand::RngCore) {
+        let arriving = self.traffic.bytes_for_slot(slot, slot_seconds, rng);
+        let room = self.max_buffer_bytes.saturating_sub(self.buffer_bytes);
+        let accepted = arriving.min(room);
+        self.dropped_bytes += arriving - accepted;
+        self.buffer_bytes += accepted;
+        self.cqi = self.channel.sample_cqi(slot, rng);
+        self.mcs = cqi_to_mcs(self.cqi);
+    }
+
+    /// Transport bits one PRB carries for this UE in the current slot.
+    pub fn prb_capacity_bits(&self) -> u32 {
+        bits_per_prb(self.mcs)
+    }
+
+    /// Snapshot for the scheduler ABI.
+    pub fn to_abi(&self) -> UeInfo {
+        UeInfo {
+            ue_id: self.ue_id,
+            cqi: self.cqi,
+            mcs: self.mcs,
+            flags: 0,
+            buffer_bytes: self.buffer_bytes.min(u32::MAX as u64) as u32,
+            avg_tput_bps: self.avg_tput_bps,
+            prb_capacity_bits: self.prb_capacity_bits() as f64,
+        }
+    }
+
+    /// Serve the UE with `prbs` PRBs; returns bits actually delivered
+    /// (bounded by buffer contents).
+    pub fn deliver(&mut self, prbs: u32) -> u64 {
+        let capacity_bits = prbs as u64 * self.prb_capacity_bits() as u64;
+        let buffered_bits = self.buffer_bytes * 8;
+        let delivered = capacity_bits.min(buffered_bits);
+        self.buffer_bytes -= delivered.div_ceil(8).min(self.buffer_bytes);
+        self.delivered_bits += delivered;
+        delivered
+    }
+
+    /// End-of-slot EWMA update (runs for every UE, scheduled or not):
+    /// `avg ← (1 − 1/T)·avg + (1/T)·instantaneous`, with `T` the PF time
+    /// constant in slots.
+    pub fn update_average(&mut self, delivered_bits: u64, slot_seconds: f64, time_constant_slots: f64) {
+        let alpha = 1.0 / time_constant_slots.max(1.0);
+        let inst_bps = delivered_bits as f64 / slot_seconds;
+        self.avg_tput_bps = (1.0 - alpha) * self.avg_tput_bps + alpha * inst_bps;
+    }
+}
+
+impl std::fmt::Debug for UeState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("UeState")
+            .field("ue_id", &self.ue_id)
+            .field("cqi", &self.cqi)
+            .field("mcs", &self.mcs)
+            .field("buffer_bytes", &self.buffer_bytes)
+            .field("avg_tput_bps", &self.avg_tput_bps)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::StaticChannel;
+    use crate::traffic::{Cbr, FullBuffer};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn ue(cqi: u8) -> UeState {
+        UeState::new(1, Box::new(StaticChannel::new(cqi)), Box::new(FullBuffer))
+    }
+
+    #[test]
+    fn begin_slot_fills_buffer_and_sounds_channel() {
+        let mut u = ue(12);
+        let mut rng = StdRng::seed_from_u64(1);
+        u.begin_slot(0, 0.001, &mut rng);
+        assert!(u.buffer_bytes > 0);
+        assert_eq!(u.cqi, 12);
+        assert!(u.mcs > 0);
+    }
+
+    #[test]
+    fn buffer_ceiling_drops() {
+        let mut u = ue(12);
+        u.max_buffer_bytes = 1000;
+        let mut rng = StdRng::seed_from_u64(1);
+        u.begin_slot(0, 0.001, &mut rng);
+        assert_eq!(u.buffer_bytes, 1000);
+        assert!(u.dropped_bytes > 0);
+    }
+
+    #[test]
+    fn deliver_bounded_by_buffer() {
+        let mut u = UeState::new(1, Box::new(StaticChannel::new(15)), Box::new(Cbr::new(1e6)));
+        u.buffer_bytes = 100; // 800 bits
+        let delivered = u.deliver(1000);
+        assert_eq!(delivered, 800);
+        assert_eq!(u.buffer_bytes, 0);
+    }
+
+    #[test]
+    fn deliver_bounded_by_prbs() {
+        let mut u = ue(15);
+        u.buffer_bytes = 1 << 20;
+        let cap = u.prb_capacity_bits() as u64;
+        let delivered = u.deliver(3);
+        assert_eq!(delivered, 3 * cap);
+        assert_eq!(u.buffer_bytes, (1 << 20) - delivered.div_ceil(8));
+    }
+
+    #[test]
+    fn ewma_converges_to_steady_rate() {
+        let mut u = ue(12);
+        for _ in 0..5000 {
+            u.update_average(10_000, 0.001, 100.0); // 10 Mb/s
+        }
+        assert!((u.avg_tput_bps - 10e6).abs() < 0.05e6, "avg {}", u.avg_tput_bps);
+    }
+
+    #[test]
+    fn ewma_time_constant_controls_speed() {
+        let mut fast = ue(12);
+        let mut slow = ue(12);
+        for _ in 0..100 {
+            fast.update_average(10_000, 0.001, 50.0);
+            slow.update_average(10_000, 0.001, 5000.0);
+        }
+        assert!(fast.avg_tput_bps > slow.avg_tput_bps * 5.0);
+    }
+
+    #[test]
+    fn abi_snapshot_reflects_state() {
+        let mut u = ue(12);
+        let mut rng = StdRng::seed_from_u64(1);
+        u.begin_slot(0, 0.001, &mut rng);
+        let info = u.to_abi();
+        assert_eq!(info.ue_id, 1);
+        assert_eq!(info.cqi, 12);
+        assert_eq!(info.mcs, u.mcs);
+        assert_eq!(info.prb_capacity_bits, u.prb_capacity_bits() as f64);
+    }
+}

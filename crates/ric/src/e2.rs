@@ -1,0 +1,254 @@
+//! The E2-style message model.
+//!
+//! WA-RAN's §4.B point is that the *wire* between the gNB and the near-RT
+//! RIC is an operator choice wrapped in plugins, so this module defines
+//! only the semantic messages; how they become bytes is a
+//! [`crate::comm::CommCodec`] decision, and a fixed binary layout
+//! ([`Indication::to_xapp_bytes`]) exists solely for the xApp sandbox ABI.
+
+/// Key performance indicators reported for one UE.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KpiReport {
+    /// UE id.
+    pub ue_id: u32,
+    /// Slice the UE belongs to.
+    pub slice_id: u32,
+    /// Current CQI.
+    pub cqi: u8,
+    /// Current MCS.
+    pub mcs: u8,
+    /// DL buffer occupancy, bytes.
+    pub buffer_bytes: u32,
+    /// Recent throughput, bit/s.
+    pub tput_bps: f64,
+}
+
+/// A RAN→RIC indication: a batch of KPI reports for one reporting period.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Indication {
+    /// Slot at which the reports were taken.
+    pub slot: u64,
+    /// Reports (typically one per UE).
+    pub reports: Vec<KpiReport>,
+}
+
+/// Size of one KPI record in the xApp ABI, bytes.
+pub const KPI_RECORD_LEN: usize = 24;
+/// Size of the xApp ABI indication header, bytes.
+pub const KPI_HEADER_LEN: usize = 16;
+
+impl Indication {
+    /// Fixed little-endian layout handed to xApp plugins:
+    /// header `slot u64, n u32, reserved u32`, then per report
+    /// `ue u32, slice u32, cqi u8, mcs u8, pad u16, buffer u32, tput f64`.
+    pub fn to_xapp_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(KPI_HEADER_LEN + self.reports.len() * KPI_RECORD_LEN);
+        out.extend_from_slice(&self.slot.to_le_bytes());
+        out.extend_from_slice(&(self.reports.len() as u32).to_le_bytes());
+        out.extend_from_slice(&0u32.to_le_bytes());
+        for r in &self.reports {
+            out.extend_from_slice(&r.ue_id.to_le_bytes());
+            out.extend_from_slice(&r.slice_id.to_le_bytes());
+            out.push(r.cqi);
+            out.push(r.mcs);
+            out.extend_from_slice(&0u16.to_le_bytes());
+            out.extend_from_slice(&r.buffer_bytes.to_le_bytes());
+            out.extend_from_slice(&r.tput_bps.to_le_bytes());
+        }
+        out
+    }
+
+    /// Inverse of [`Self::to_xapp_bytes`] (used in tests and by Rust-side
+    /// xApps).
+    pub fn from_xapp_bytes(buf: &[u8]) -> Option<Indication> {
+        if buf.len() < KPI_HEADER_LEN {
+            return None;
+        }
+        let slot = u64::from_le_bytes(buf[0..8].try_into().ok()?);
+        let n = u32::from_le_bytes(buf[8..12].try_into().ok()?) as usize;
+        if buf.len() < KPI_HEADER_LEN + n * KPI_RECORD_LEN {
+            return None;
+        }
+        let mut reports = Vec::with_capacity(n);
+        for i in 0..n {
+            let o = KPI_HEADER_LEN + i * KPI_RECORD_LEN;
+            reports.push(KpiReport {
+                ue_id: u32::from_le_bytes(buf[o..o + 4].try_into().ok()?),
+                slice_id: u32::from_le_bytes(buf[o + 4..o + 8].try_into().ok()?),
+                cqi: buf[o + 8],
+                mcs: buf[o + 9],
+                buffer_bytes: u32::from_le_bytes(buf[o + 12..o + 16].try_into().ok()?),
+                tput_bps: f64::from_le_bytes(buf[o + 16..o + 24].try_into().ok()?),
+            });
+        }
+        Some(Indication { slot, reports })
+    }
+}
+
+/// A RIC→RAN control action.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ControlAction {
+    /// Adjust a slice's target rate (SLA assurance).
+    SetSliceTarget {
+        /// Slice to adjust.
+        slice_id: u32,
+        /// New target, bit/s.
+        target_bps: f64,
+    },
+    /// Hand a UE over to another cell (traffic steering).
+    Handover {
+        /// UE to move.
+        ue_id: u32,
+        /// Destination cell id.
+        target_cell: u32,
+    },
+    /// Change a UE's CQI table index (link-adaptation tuning; one of the
+    /// host-function examples in §4.B).
+    SetCqiTable {
+        /// UE to adjust.
+        ue_id: u32,
+        /// Table index.
+        table: u8,
+    },
+}
+
+/// xApp ABI discriminants for [`ControlAction`].
+pub mod action_tag {
+    /// `SetSliceTarget`
+    pub const SET_SLICE_TARGET: u8 = 1;
+    /// `Handover`
+    pub const HANDOVER: u8 = 2;
+    /// `SetCqiTable`
+    pub const SET_CQI_TABLE: u8 = 3;
+}
+
+/// Size of one encoded control action in the xApp ABI, bytes.
+pub const ACTION_RECORD_LEN: usize = 16;
+
+impl ControlAction {
+    /// Fixed 16-byte layout: `tag u8, pad[3], a u32, b f64-or-u32+pad`.
+    pub fn to_bytes(&self) -> [u8; ACTION_RECORD_LEN] {
+        let mut out = [0u8; ACTION_RECORD_LEN];
+        match self {
+            ControlAction::SetSliceTarget { slice_id, target_bps } => {
+                out[0] = action_tag::SET_SLICE_TARGET;
+                out[4..8].copy_from_slice(&slice_id.to_le_bytes());
+                out[8..16].copy_from_slice(&target_bps.to_le_bytes());
+            }
+            ControlAction::Handover { ue_id, target_cell } => {
+                out[0] = action_tag::HANDOVER;
+                out[4..8].copy_from_slice(&ue_id.to_le_bytes());
+                out[8..12].copy_from_slice(&target_cell.to_le_bytes());
+            }
+            ControlAction::SetCqiTable { ue_id, table } => {
+                out[0] = action_tag::SET_CQI_TABLE;
+                out[4..8].copy_from_slice(&ue_id.to_le_bytes());
+                out[8] = *table;
+            }
+        }
+        out
+    }
+
+    /// Decode one action record.
+    pub fn from_bytes(buf: &[u8]) -> Option<ControlAction> {
+        if buf.len() < ACTION_RECORD_LEN {
+            return None;
+        }
+        let a = u32::from_le_bytes(buf[4..8].try_into().ok()?);
+        match buf[0] {
+            action_tag::SET_SLICE_TARGET => Some(ControlAction::SetSliceTarget {
+                slice_id: a,
+                target_bps: f64::from_le_bytes(buf[8..16].try_into().ok()?),
+            }),
+            action_tag::HANDOVER => Some(ControlAction::Handover {
+                ue_id: a,
+                target_cell: u32::from_le_bytes(buf[8..12].try_into().ok()?),
+            }),
+            action_tag::SET_CQI_TABLE => {
+                Some(ControlAction::SetCqiTable { ue_id: a, table: buf[8] })
+            }
+            _ => None,
+        }
+    }
+
+    /// Decode a packed list of action records.
+    pub fn list_from_bytes(buf: &[u8]) -> Vec<ControlAction> {
+        buf.chunks_exact(ACTION_RECORD_LEN).filter_map(ControlAction::from_bytes).collect()
+    }
+
+    /// Encode a list of actions.
+    pub fn list_to_bytes(actions: &[ControlAction]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(actions.len() * ACTION_RECORD_LEN);
+        for a in actions {
+            out.extend_from_slice(&a.to_bytes());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_indication() -> Indication {
+        Indication {
+            slot: 777,
+            reports: vec![
+                KpiReport {
+                    ue_id: 70,
+                    slice_id: 0,
+                    cqi: 12,
+                    mcs: 22,
+                    buffer_bytes: 5000,
+                    tput_bps: 7.5e6,
+                },
+                KpiReport {
+                    ue_id: 71,
+                    slice_id: 1,
+                    cqi: 4,
+                    mcs: 5,
+                    buffer_bytes: 120_000,
+                    tput_bps: 0.4e6,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn indication_xapp_roundtrip() {
+        let ind = sample_indication();
+        let bytes = ind.to_xapp_bytes();
+        assert_eq!(bytes.len(), KPI_HEADER_LEN + 2 * KPI_RECORD_LEN);
+        assert_eq!(Indication::from_xapp_bytes(&bytes).unwrap(), ind);
+    }
+
+    #[test]
+    fn indication_rejects_truncation() {
+        let bytes = sample_indication().to_xapp_bytes();
+        assert!(Indication::from_xapp_bytes(&bytes[..bytes.len() - 1]).is_none());
+        assert!(Indication::from_xapp_bytes(&[]).is_none());
+    }
+
+    #[test]
+    fn actions_roundtrip() {
+        let actions = vec![
+            ControlAction::SetSliceTarget { slice_id: 2, target_bps: 15e6 },
+            ControlAction::Handover { ue_id: 70, target_cell: 3 },
+            ControlAction::SetCqiTable { ue_id: 71, table: 2 },
+        ];
+        let bytes = ControlAction::list_to_bytes(&actions);
+        assert_eq!(bytes.len(), 3 * ACTION_RECORD_LEN);
+        assert_eq!(ControlAction::list_from_bytes(&bytes), actions);
+    }
+
+    #[test]
+    fn unknown_action_tags_skipped() {
+        let mut bytes = ControlAction::list_to_bytes(&[ControlAction::Handover {
+            ue_id: 1,
+            target_cell: 2,
+        }]);
+        bytes.extend_from_slice(&[99u8; ACTION_RECORD_LEN]); // bogus tag
+        let decoded = ControlAction::list_from_bytes(&bytes);
+        assert_eq!(decoded.len(), 1);
+    }
+}

@@ -1,0 +1,28 @@
+//! # waran-ric — the near-RT RIC substrate
+//!
+//! Implements the paper's §4.B design: instead of the standardized E2
+//! interface, the RAN↔RIC boundary is wrapped in plugins on both sides.
+//!
+//! * [`e2`] — the semantic message model: KPI indications and control
+//!   actions, plus the fixed binary layout the xApp sandbox ABI uses.
+//! * [`comm`] — communication plugins: the [`comm::CommCodec`] wire choice
+//!   (TLV / protobuf-wire / JSON, or an arbitrary Wasm plugin via
+//!   [`comm::WasmCommPlugin`]).
+//! * [`link`] — the in-process duplex "wire", the gNB-side [`link::E2Agent`]
+//!   and the RIC-side [`link::RicRuntime`].
+//! * [`ric`] — the near-RT RIC host: KPI store, xApp lifecycle (native or
+//!   [`ric::WasmXApp`] sandboxed), inter-xApp messaging host functions,
+//!   and two reference xApps (traffic steering, slice SLA assurance).
+//! * [`adapter`] — the §3.B vendor-mismatch adapter (8-bit ↔ 12-bit
+//!   power-control fields), native and as a PlugC-compiled Wasm plugin.
+
+pub mod adapter;
+pub mod comm;
+pub mod e2;
+pub mod link;
+pub mod ric;
+
+pub use comm::{CommCodec, JsonCodec, PbCodec, TlvCodec, WasmCommPlugin};
+pub use e2::{ControlAction, Indication, KpiReport};
+pub use link::{duplex, E2Agent, Endpoint, RicRuntime};
+pub use ric::{NearRtRic, SliceSlaAssurance, TrafficSteering, WasmXApp, XApp, XAppCtx};

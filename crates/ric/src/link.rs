@@ -1,0 +1,224 @@
+//! The in-process "wire" between an E2 node and the near-RT RIC, plus the
+//! agents that speak over it through communication plugins.
+//!
+//! Frames are opaque byte vectors — whatever the chosen
+//! [`CommCodec`] produced — carried over a duplex
+//! pair of lossless channels. This stands in for the paper's
+//! ZeroMQ/Kafka/SCTP transport choice while keeping the plugin-wrapped
+//! encode/decode path identical.
+
+use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
+
+use crate::comm::CommCodec;
+use crate::e2::{ControlAction, Indication};
+
+/// One end of a duplex byte-frame link.
+pub struct Endpoint {
+    tx: Sender<Vec<u8>>,
+    rx: Receiver<Vec<u8>>,
+}
+
+impl Endpoint {
+    /// Send one frame (never blocks; the link is unbounded).
+    pub fn send(&self, frame: Vec<u8>) {
+        // A disconnected peer just drops frames (the node keeps running —
+        // losing the RIC must not take down the RAN).
+        let _ = self.tx.send(frame);
+    }
+
+    /// Receive one frame if available.
+    pub fn try_recv(&self) -> Option<Vec<u8>> {
+        match self.rx.try_recv() {
+            Ok(f) => Some(f),
+            Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => None,
+        }
+    }
+
+    /// Drain all pending frames.
+    pub fn drain(&self) -> Vec<Vec<u8>> {
+        let mut out = Vec::new();
+        while let Some(f) = self.try_recv() {
+            out.push(f);
+        }
+        out
+    }
+}
+
+/// Create a connected pair of endpoints.
+pub fn duplex() -> (Endpoint, Endpoint) {
+    let (a_tx, b_rx) = unbounded();
+    let (b_tx, a_rx) = unbounded();
+    (Endpoint { tx: a_tx, rx: a_rx }, Endpoint { tx: b_tx, rx: b_rx })
+}
+
+/// The gNB-side E2 agent: reports KPIs at a fixed period and receives
+/// control actions, both through the node's communication plugin.
+pub struct E2Agent {
+    codec: Box<dyn CommCodec>,
+    endpoint: Endpoint,
+    /// Reporting period in slots.
+    pub report_period_slots: u64,
+    /// Indications sent.
+    pub indications_sent: u64,
+    /// Actions received.
+    pub actions_received: u64,
+    /// Frames that failed to decode (counted, then dropped — a misbehaving
+    /// RIC cannot crash the node).
+    pub decode_errors: u64,
+}
+
+impl E2Agent {
+    /// Agent speaking `codec` over `endpoint`.
+    pub fn new(codec: Box<dyn CommCodec>, endpoint: Endpoint, report_period_slots: u64) -> Self {
+        E2Agent {
+            codec,
+            endpoint,
+            report_period_slots: report_period_slots.max(1),
+            indications_sent: 0,
+            actions_received: 0,
+            decode_errors: 0,
+        }
+    }
+
+    /// True when `slot` is a reporting slot.
+    pub fn due(&self, slot: u64) -> bool {
+        slot % self.report_period_slots == 0
+    }
+
+    /// Send an indication (the embedder calls this on reporting slots).
+    pub fn report(&mut self, ind: &Indication) {
+        let frame = self.codec.encode_indication(ind);
+        self.endpoint.send(frame);
+        self.indications_sent += 1;
+    }
+
+    /// Drain and decode control actions from the RIC.
+    pub fn poll_actions(&mut self) -> Vec<ControlAction> {
+        let mut actions = Vec::new();
+        for frame in self.endpoint.drain() {
+            match self.codec.decode_actions(&frame) {
+                Ok(mut a) => {
+                    self.actions_received += a.len() as u64;
+                    actions.append(&mut a);
+                }
+                Err(_) => self.decode_errors += 1,
+            }
+        }
+        actions
+    }
+}
+
+/// The RIC-side runtime: decodes indications, runs the RIC's xApps,
+/// encodes the resulting actions back — everything through the RIC's own
+/// communication plugin (which may differ from the node's, as long as the
+/// wire bytes agree; that is the integration problem WA-RAN solves with
+/// adapters).
+pub struct RicRuntime {
+    codec: Box<dyn CommCodec>,
+    endpoint: Endpoint,
+    /// The hosted RIC.
+    pub ric: crate::ric::NearRtRic,
+    /// Frames that failed to decode.
+    pub decode_errors: u64,
+}
+
+impl RicRuntime {
+    /// RIC runtime speaking `codec` over `endpoint`.
+    pub fn new(codec: Box<dyn CommCodec>, endpoint: Endpoint, ric: crate::ric::NearRtRic) -> Self {
+        RicRuntime { codec, endpoint, ric, decode_errors: 0 }
+    }
+
+    /// Process all pending indications; sends any resulting actions.
+    /// Returns the number of indications handled.
+    pub fn poll(&mut self) -> usize {
+        let mut handled = 0;
+        for frame in self.endpoint.drain() {
+            match self.codec.decode_indication(&frame) {
+                Ok(ind) => {
+                    handled += 1;
+                    let actions = self.ric.handle_indication(&ind);
+                    if !actions.is_empty() {
+                        self.endpoint.send(self.codec.encode_actions(&actions));
+                    }
+                }
+                Err(_) => self.decode_errors += 1,
+            }
+        }
+        handled
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::{JsonCodec, PbCodec, TlvCodec};
+    use crate::e2::KpiReport;
+    use crate::ric::{NearRtRic, TrafficSteering};
+
+    fn kpi(ue: u32, cqi: u8) -> KpiReport {
+        KpiReport { ue_id: ue, slice_id: 0, cqi, mcs: 10, buffer_bytes: 100, tput_bps: 1e6 }
+    }
+
+    #[test]
+    fn duplex_carries_frames_both_ways() {
+        let (a, b) = duplex();
+        a.send(vec![1, 2, 3]);
+        b.send(vec![4]);
+        assert_eq!(b.try_recv(), Some(vec![1, 2, 3]));
+        assert_eq!(a.try_recv(), Some(vec![4]));
+        assert_eq!(a.try_recv(), None);
+    }
+
+    #[test]
+    fn end_to_end_indication_action_loop() {
+        let (node_ep, ric_ep) = duplex();
+        let mut agent = E2Agent::new(Box::new(TlvCodec), node_ep, 10);
+        let mut ric = NearRtRic::new();
+        ric.add_xapp(Box::new(TrafficSteering::new(5, 2, 7)));
+        let mut runtime = RicRuntime::new(Box::new(TlvCodec), ric_ep, ric);
+
+        // Two bad reports trigger a handover on the second.
+        for slot in [0u64, 10] {
+            assert!(agent.due(slot));
+            agent.report(&Indication { slot, reports: vec![kpi(70, 2)] });
+            runtime.poll();
+        }
+        let actions = agent.poll_actions();
+        assert_eq!(actions, vec![ControlAction::Handover { ue_id: 70, target_cell: 7 }]);
+        assert_eq!(agent.indications_sent, 2);
+        assert_eq!(agent.actions_received, 1);
+    }
+
+    #[test]
+    fn mismatched_codecs_are_counted_not_fatal() {
+        // Node speaks TLV, RIC expects JSON: every frame is a decode error
+        // on the RIC side — the §3.B situation an adapter plugin fixes.
+        let (node_ep, ric_ep) = duplex();
+        let mut agent = E2Agent::new(Box::new(TlvCodec), node_ep, 1);
+        let mut runtime = RicRuntime::new(Box::new(JsonCodec), ric_ep, NearRtRic::new());
+        agent.report(&Indication { slot: 0, reports: vec![kpi(1, 9)] });
+        assert_eq!(runtime.poll(), 0);
+        assert_eq!(runtime.decode_errors, 1);
+    }
+
+    #[test]
+    fn same_wire_different_vendor_stacks() {
+        // Both sides picked pbwire independently: interop works.
+        let (node_ep, ric_ep) = duplex();
+        let mut agent = E2Agent::new(Box::new(PbCodec), node_ep, 1);
+        let mut runtime = RicRuntime::new(Box::new(PbCodec), ric_ep, NearRtRic::new());
+        agent.report(&Indication { slot: 3, reports: vec![kpi(5, 11)] });
+        assert_eq!(runtime.poll(), 1);
+        assert_eq!(runtime.ric.kpis().ue(5).unwrap().cqi, 11);
+    }
+
+    #[test]
+    fn garbage_on_the_wire_counted() {
+        let (node_ep, ric_ep) = duplex();
+        let mut agent = E2Agent::new(Box::new(TlvCodec), node_ep, 1);
+        ric_ep.send(vec![0xff, 0x00, 0x13]);
+        let actions = agent.poll_actions();
+        assert!(actions.is_empty());
+        assert_eq!(agent.decode_errors, 1);
+    }
+}

@@ -1,0 +1,104 @@
+//! Property tests for the RIC substrate: every communication codec
+//! round-trips arbitrary indications/actions, and decoders survive
+//! arbitrary bytes.
+
+use proptest::prelude::*;
+
+use waran_ric::comm::{CommCodec, JsonCodec, PbCodec, TlvCodec};
+use waran_ric::e2::{ControlAction, Indication, KpiReport};
+
+fn arb_report() -> impl Strategy<Value = KpiReport> {
+    (any::<u32>(), any::<u32>(), 0u8..=15, 0u8..=28, any::<u32>(), 0.0f64..1e9).prop_map(
+        |(ue_id, slice_id, cqi, mcs, buffer_bytes, tput_bps)| KpiReport {
+            ue_id,
+            slice_id,
+            cqi,
+            mcs,
+            buffer_bytes,
+            tput_bps,
+        },
+    )
+}
+
+fn arb_indication() -> impl Strategy<Value = Indication> {
+    (any::<u64>(), proptest::collection::vec(arb_report(), 0..24))
+        .prop_map(|(slot, reports)| Indication { slot, reports })
+}
+
+fn arb_action() -> impl Strategy<Value = ControlAction> {
+    prop_oneof![
+        (any::<u32>(), 0.0f64..1e9).prop_map(|(slice_id, target_bps)| {
+            ControlAction::SetSliceTarget { slice_id, target_bps }
+        }),
+        (any::<u32>(), any::<u32>())
+            .prop_map(|(ue_id, target_cell)| ControlAction::Handover { ue_id, target_cell }),
+        (any::<u32>(), any::<u8>())
+            .prop_map(|(ue_id, table)| ControlAction::SetCqiTable { ue_id, table }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn all_codecs_roundtrip_indications(ind in arb_indication()) {
+        for codec in [&TlvCodec as &dyn CommCodec, &PbCodec, &JsonCodec] {
+            let bytes = codec.encode_indication(&ind);
+            let back = codec.decode_indication(&bytes)
+                .unwrap_or_else(|e| panic!("{} failed: {e}", codec.name()));
+            // JSON carries numbers as f64; everything here fits exactly
+            // (u32 ids, u64 slot < 2^53 not guaranteed — compare leniently
+            // for JSON slots).
+            if codec.name() == "json" {
+                prop_assert_eq!(back.reports, ind.reports.clone());
+            } else {
+                prop_assert_eq!(back, ind.clone(), "{}", codec.name());
+            }
+        }
+    }
+
+    #[test]
+    fn all_codecs_roundtrip_actions(actions in proptest::collection::vec(arb_action(), 0..16)) {
+        for codec in [&TlvCodec as &dyn CommCodec, &PbCodec, &JsonCodec] {
+            let bytes = codec.encode_actions(&actions);
+            let back = codec.decode_actions(&bytes)
+                .unwrap_or_else(|e| panic!("{} failed: {e}", codec.name()));
+            if codec.name() == "json" {
+                // JSON f64 round-trips the target exactly (both sides f64).
+                prop_assert_eq!(back.len(), actions.len());
+                for (b, a) in back.iter().zip(&actions) {
+                    match (b, a) {
+                        (
+                            ControlAction::SetSliceTarget { slice_id: s1, target_bps: t1 },
+                            ControlAction::SetSliceTarget { slice_id: s2, target_bps: t2 },
+                        ) => {
+                            prop_assert_eq!(s1, s2);
+                            prop_assert!((t1 - t2).abs() <= t2.abs() * 1e-12);
+                        }
+                        (x, y) => prop_assert_eq!(x, y),
+                    }
+                }
+            } else {
+                prop_assert_eq!(back, actions.clone(), "{}", codec.name());
+            }
+        }
+    }
+
+    #[test]
+    fn decoders_never_panic_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        for codec in [&TlvCodec as &dyn CommCodec, &PbCodec, &JsonCodec] {
+            let _ = codec.decode_indication(&bytes);
+            let _ = codec.decode_actions(&bytes);
+        }
+    }
+
+    #[test]
+    fn xapp_abi_roundtrip(ind in arb_indication()) {
+        let bytes = ind.to_xapp_bytes();
+        prop_assert_eq!(Indication::from_xapp_bytes(&bytes), Some(ind));
+    }
+
+    #[test]
+    fn xapp_abi_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = Indication::from_xapp_bytes(&bytes);
+        let _ = ControlAction::list_from_bytes(&bytes);
+    }
+}

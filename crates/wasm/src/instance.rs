@@ -1,0 +1,1271 @@
+//! Instantiation and execution.
+//!
+//! [`Linker`] resolves a module's function imports to host closures;
+//! [`Instance`] owns the runtime state (memory, table, globals, host state
+//! `T`) and drives the interpreter loop. The engine enforces the sandbox
+//! policies WA-RAN's plugin host configures: call-depth and value-stack
+//! bounds, optional deterministic fuel, and an optional wall-clock deadline
+//! (the 5G slot budget).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::instr::Instr;
+use crate::interp::{Memory, Table, Value};
+use crate::module::{ConstExpr, ExportKind, ImportKind, Module};
+use crate::trap::Trap;
+use crate::types::{FuncType, Limits, ValType};
+
+/// A host function: receives the host state, the guest memory and the
+/// arguments; returns at most one value.
+pub type HostFn<T> =
+    Arc<dyn Fn(&mut T, &mut Memory, &[Value]) -> Result<Option<Value>, Trap> + Send + Sync>;
+
+struct HostFuncDef<T> {
+    ty: FuncType,
+    func: HostFn<T>,
+}
+
+impl<T> Clone for HostFuncDef<T> {
+    fn clone(&self) -> Self {
+        HostFuncDef { ty: self.ty.clone(), func: self.func.clone() }
+    }
+}
+
+/// Resolves `(module, name)` import pairs to host functions.
+pub struct Linker<T> {
+    funcs: HashMap<(String, String), HostFuncDef<T>>,
+}
+
+impl<T> Default for Linker<T> {
+    fn default() -> Self {
+        Linker { funcs: HashMap::new() }
+    }
+}
+
+impl<T> Clone for Linker<T> {
+    fn clone(&self) -> Self {
+        Linker { funcs: self.funcs.clone() }
+    }
+}
+
+impl<T> Linker<T> {
+    /// Empty linker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a host function under `(module, name)` with the given
+    /// signature. Replaces any previous registration for the same pair.
+    pub fn func(
+        &mut self,
+        module: &str,
+        name: &str,
+        params: &[ValType],
+        results: &[ValType],
+        f: impl Fn(&mut T, &mut Memory, &[Value]) -> Result<Option<Value>, Trap>
+            + Send
+            + Sync
+            + 'static,
+    ) -> &mut Self {
+        self.funcs.insert(
+            (module.to_string(), name.to_string()),
+            HostFuncDef { ty: FuncType::new(params, results), func: Arc::new(f) },
+        );
+        self
+    }
+
+    fn resolve(&self, module: &str, name: &str) -> Option<&HostFuncDef<T>> {
+        self.funcs.get(&(module.to_string(), name.to_string()))
+    }
+}
+
+/// Error instantiating a module.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InstantiateError {
+    /// An import had no registration in the linker.
+    MissingImport { module: String, name: String },
+    /// An import's registered signature differs from the module's.
+    ImportTypeMismatch { module: String, name: String, expected: FuncType, found: FuncType },
+    /// A data segment falls outside the initial memory.
+    DataSegmentOutOfBounds,
+    /// An element segment falls outside the table.
+    ElemSegmentOutOfBounds,
+    /// Initial memory exceeds the embedder's page policy.
+    MemoryPolicy(Trap),
+    /// The start function trapped.
+    StartTrap(Trap),
+}
+
+impl std::fmt::Display for InstantiateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InstantiateError::MissingImport { module, name } => {
+                write!(f, "unresolved import {module}.{name}")
+            }
+            InstantiateError::ImportTypeMismatch { module, name, expected, found } => {
+                write!(f, "import {module}.{name}: module wants {expected}, linker has {found}")
+            }
+            InstantiateError::DataSegmentOutOfBounds => write!(f, "data segment out of bounds"),
+            InstantiateError::ElemSegmentOutOfBounds => write!(f, "element segment out of bounds"),
+            InstantiateError::MemoryPolicy(t) => write!(f, "memory policy violation: {t}"),
+            InstantiateError::StartTrap(t) => write!(f, "start function trapped: {t}"),
+        }
+    }
+}
+
+impl std::error::Error for InstantiateError {}
+
+/// Execution resource limits. The plugin host derives these from its
+/// per-plugin sandbox policy.
+#[derive(Debug, Clone, Copy)]
+pub struct ExecLimits {
+    /// Maximum nested call depth.
+    pub max_call_depth: usize,
+    /// Maximum value-stack entries.
+    pub max_value_stack: usize,
+    /// Maximum memory pages the instance may ever hold (policy cap layered
+    /// under the module's own declared max).
+    pub max_memory_pages: u32,
+}
+
+impl Default for ExecLimits {
+    fn default() -> Self {
+        ExecLimits { max_call_depth: 1024, max_value_stack: 1 << 20, max_memory_pages: u32::MAX }
+    }
+}
+
+/// Cumulative execution statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExecStats {
+    /// Instructions retired across all invocations.
+    pub instrs: u64,
+    /// Completed invocations.
+    pub invokes: u64,
+    /// Traps observed.
+    pub traps: u64,
+}
+
+/// An instantiated module plus its host state `T`.
+pub struct Instance<T> {
+    module: Arc<Module>,
+    memory: Memory,
+    table: Table,
+    globals: Vec<Value>,
+    /// Host functions in import order.
+    host_funcs: Vec<HostFuncDef<T>>,
+    /// Embedder state handed to host functions.
+    pub data: T,
+    limits: ExecLimits,
+    fuel: Option<u64>,
+    fuel_limit: Option<u64>,
+    deadline: Option<Duration>,
+    stats: ExecStats,
+}
+
+impl<T> std::fmt::Debug for Instance<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Instance")
+            .field("memory_pages", &self.memory.size_pages())
+            .field("globals", &self.globals.len())
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+/// How often the engine polls the wall clock when a deadline is set.
+const DEADLINE_CHECK_INTERVAL: u64 = 8192;
+
+impl<T> Instance<T> {
+    /// Instantiate `module` with imports from `linker` and host state `data`,
+    /// using default [`ExecLimits`].
+    pub fn new(module: Arc<Module>, linker: &Linker<T>, data: T) -> Result<Self, InstantiateError> {
+        Self::with_limits(module, linker, data, ExecLimits::default())
+    }
+
+    /// Instantiate with explicit limits.
+    pub fn with_limits(
+        module: Arc<Module>,
+        linker: &Linker<T>,
+        data: T,
+        limits: ExecLimits,
+    ) -> Result<Self, InstantiateError> {
+        // Resolve imports.
+        let mut host_funcs = Vec::new();
+        for imp in &module.imports {
+            let ImportKind::Func { type_idx } = imp.kind;
+            let expected = &module.types[type_idx as usize];
+            let def = linker.resolve(&imp.module, &imp.name).ok_or_else(|| {
+                InstantiateError::MissingImport { module: imp.module.clone(), name: imp.name.clone() }
+            })?;
+            if def.ty != *expected {
+                return Err(InstantiateError::ImportTypeMismatch {
+                    module: imp.module.clone(),
+                    name: imp.name.clone(),
+                    expected: expected.clone(),
+                    found: def.ty.clone(),
+                });
+            }
+            host_funcs.push(def.clone());
+        }
+
+        // Memory + data segments.
+        let memory = match module.memory {
+            Some(mem_limits) => Memory::new(mem_limits, limits.max_memory_pages)
+                .map_err(InstantiateError::MemoryPolicy)?,
+            None => Memory::empty(),
+        };
+        let mut memory = memory;
+        for seg in &module.data {
+            let ConstExpr::I32(offset) = seg.offset else {
+                return Err(InstantiateError::DataSegmentOutOfBounds);
+            };
+            memory
+                .write_bytes(offset as u32, &seg.bytes)
+                .map_err(|_| InstantiateError::DataSegmentOutOfBounds)?;
+        }
+
+        // Table + element segments.
+        let mut table = Table::new(module.table.unwrap_or(Limits::new(0, Some(0))));
+        for seg in &module.elems {
+            let ConstExpr::I32(offset) = seg.offset else {
+                return Err(InstantiateError::ElemSegmentOutOfBounds);
+            };
+            for (i, &func) in seg.funcs.iter().enumerate() {
+                table
+                    .set(offset as u32 + i as u32, func)
+                    .map_err(|_| InstantiateError::ElemSegmentOutOfBounds)?;
+            }
+        }
+
+        // Globals.
+        let globals = module
+            .globals
+            .iter()
+            .map(|g| match g.init {
+                ConstExpr::I32(v) => Value::I32(v),
+                ConstExpr::I64(v) => Value::I64(v),
+                ConstExpr::F32(v) => Value::F32(v),
+                ConstExpr::F64(v) => Value::F64(v),
+            })
+            .collect();
+
+        let mut inst = Instance {
+            module,
+            memory,
+            table,
+            globals,
+            host_funcs,
+            data,
+            limits,
+            fuel: None,
+            fuel_limit: None,
+            deadline: None,
+            stats: ExecStats::default(),
+        };
+
+        if let Some(start) = inst.module.start {
+            inst.call_func(start, &[]).map_err(InstantiateError::StartTrap)?;
+        }
+
+        Ok(inst)
+    }
+
+    /// The instantiated module.
+    pub fn module(&self) -> &Arc<Module> {
+        &self.module
+    }
+
+    /// Guest linear memory (host-side ABI access).
+    pub fn memory(&self) -> &Memory {
+        &self.memory
+    }
+
+    /// Mutable guest linear memory (host-side ABI access).
+    pub fn memory_mut(&mut self) -> &mut Memory {
+        &mut self.memory
+    }
+
+    /// Execution statistics so far.
+    pub fn stats(&self) -> ExecStats {
+        self.stats
+    }
+
+    /// Read a global exported under `name`.
+    pub fn get_global(&self, name: &str) -> Option<Value> {
+        match self.module.export(name)?.kind {
+            ExportKind::Global(idx) => self.globals.get(idx as usize).copied(),
+            _ => None,
+        }
+    }
+
+    /// Set the deterministic instruction budget for subsequent invocations.
+    /// `None` disables metering. The budget is *per `set_fuel` call*: it
+    /// carries across invocations until exhausted or reset.
+    pub fn set_fuel(&mut self, fuel: Option<u64>) {
+        self.fuel = fuel;
+        self.fuel_limit = fuel;
+    }
+
+    /// Fuel remaining, if metering is enabled.
+    pub fn fuel_remaining(&self) -> Option<u64> {
+        self.fuel
+    }
+
+    /// Fuel consumed since the last [`Self::set_fuel`].
+    pub fn fuel_consumed(&self) -> Option<u64> {
+        Some(self.fuel_limit? - self.fuel?)
+    }
+
+    /// Set the wall-clock budget applied to each invocation. `None`
+    /// disables the deadline.
+    pub fn set_deadline(&mut self, deadline: Option<Duration>) {
+        self.deadline = deadline;
+    }
+
+    /// True when the module exports a function under `name`.
+    pub fn has_export(&self, name: &str) -> bool {
+        self.module.exported_func(name).is_some()
+    }
+
+    /// The signature of the exported function `name`.
+    pub fn export_type(&self, name: &str) -> Option<&FuncType> {
+        self.module.func_type(self.module.exported_func(name)?)
+    }
+
+    /// Invoke the exported function `name`. Binding failures (unknown
+    /// export, argument mismatch) are reported as [`Trap::HostError`] so the
+    /// plugin host has a single fault channel.
+    pub fn invoke(&mut self, name: &str, args: &[Value]) -> Result<Option<Value>, Trap> {
+        let func = self
+            .module
+            .exported_func(name)
+            .ok_or_else(|| Trap::HostError(format!("no exported function `{name}`")))?;
+        let ty = self
+            .module
+            .func_type(func)
+            .ok_or_else(|| Trap::HostError(format!("export `{name}` has no type")))?;
+        if ty.params.len() != args.len()
+            || ty.params.iter().zip(args).any(|(p, a)| *p != a.ty())
+        {
+            return Err(Trap::HostError(format!(
+                "argument mismatch calling `{name}`: expected {ty}",
+            )));
+        }
+        self.call_func(func, args)
+    }
+
+    /// Invoke by module-wide function index (used by the RIC host for table
+    /// dispatch and by tests).
+    pub fn call_func(&mut self, func: u32, args: &[Value]) -> Result<Option<Value>, Trap> {
+        let deadline = self.deadline.map(|d| Instant::now() + d);
+        let result = self.exec(func, args, deadline);
+        match &result {
+            Ok(_) => self.stats.invokes += 1,
+            Err(_) => self.stats.traps += 1,
+        }
+        result
+    }
+
+    // ------------------------------------------------------------------
+    // The interpreter.
+    // ------------------------------------------------------------------
+
+    fn exec(
+        &mut self,
+        entry: u32,
+        args: &[Value],
+        deadline: Option<Instant>,
+    ) -> Result<Option<Value>, Trap> {
+        let module = Arc::clone(&self.module);
+        let n_imports = module.num_imported_funcs();
+
+        // Direct host-function entry (rare but legal via re-export).
+        if entry < n_imports {
+            let def = &self.host_funcs[entry as usize];
+            let func = Arc::clone(&def.func);
+            return func(&mut self.data, &mut self.memory, args);
+        }
+
+        let mut stack: Vec<Value> = Vec::with_capacity(64);
+        stack.extend_from_slice(args);
+        let mut frames: Vec<Frame> = Vec::with_capacity(16);
+        frames.push(Frame::enter(&module, entry - n_imports, &mut stack));
+
+        let mut until_deadline_check = DEADLINE_CHECK_INTERVAL;
+        let mut instrs: u64 = 0;
+
+        macro_rules! pop {
+            () => {
+                stack.pop().expect("validated: stack non-empty")
+            };
+        }
+        macro_rules! binop_i32 {
+            ($f:expr) => {{
+                let b = pop!().as_i32();
+                let a = pop!().as_i32();
+                stack.push(Value::I32($f(a, b)));
+            }};
+        }
+        macro_rules! binop_i32_trap {
+            ($f:expr) => {{
+                let b = pop!().as_i32();
+                let a = pop!().as_i32();
+                stack.push(Value::I32($f(a, b)?));
+            }};
+        }
+        macro_rules! binop_i64 {
+            ($f:expr) => {{
+                let b = pop!().as_i64();
+                let a = pop!().as_i64();
+                stack.push(Value::I64($f(a, b)));
+            }};
+        }
+        macro_rules! binop_i64_trap {
+            ($f:expr) => {{
+                let b = pop!().as_i64();
+                let a = pop!().as_i64();
+                stack.push(Value::I64($f(a, b)?));
+            }};
+        }
+        macro_rules! relop_i32 {
+            ($f:expr) => {{
+                let b = pop!().as_i32();
+                let a = pop!().as_i32();
+                stack.push(Value::I32($f(a, b) as i32));
+            }};
+        }
+        macro_rules! relop_i64 {
+            ($f:expr) => {{
+                let b = pop!().as_i64();
+                let a = pop!().as_i64();
+                stack.push(Value::I32($f(a, b) as i32));
+            }};
+        }
+        macro_rules! relop_f32 {
+            ($f:expr) => {{
+                let b = pop!().as_f32();
+                let a = pop!().as_f32();
+                stack.push(Value::I32($f(a, b) as i32));
+            }};
+        }
+        macro_rules! relop_f64 {
+            ($f:expr) => {{
+                let b = pop!().as_f64();
+                let a = pop!().as_f64();
+                stack.push(Value::I32($f(a, b) as i32));
+            }};
+        }
+        macro_rules! binop_f32 {
+            ($f:expr) => {{
+                let b = pop!().as_f32();
+                let a = pop!().as_f32();
+                stack.push(Value::F32($f(a, b)));
+            }};
+        }
+        macro_rules! binop_f64 {
+            ($f:expr) => {{
+                let b = pop!().as_f64();
+                let a = pop!().as_f64();
+                stack.push(Value::F64($f(a, b)));
+            }};
+        }
+        macro_rules! unop {
+            ($as:ident, $wrap:ident, $f:expr) => {{
+                let a = pop!().$as();
+                stack.push(Value::$wrap($f(a)));
+            }};
+        }
+        macro_rules! load {
+            ($m:expr, $n:expr, $conv:expr) => {{
+                let addr = pop!().as_u32();
+                let bytes = self.memory.read::<$n>(addr, $m.offset)?;
+                stack.push($conv(bytes));
+            }};
+        }
+        macro_rules! store {
+            ($m:expr, $pop:ident, $to:expr) => {{
+                let v = pop!().$pop();
+                let addr = pop!().as_u32();
+                self.memory.write(addr, $m.offset, $to(v))?;
+            }};
+        }
+
+        'outer: loop {
+            // Resource accounting.
+            if let Some(fuel) = self.fuel.as_mut() {
+                if *fuel == 0 {
+                    self.fuel = Some(0);
+                    return Err(Trap::OutOfFuel);
+                }
+                *fuel -= 1;
+            }
+            instrs += 1;
+            if let Some(dl) = deadline {
+                until_deadline_check -= 1;
+                if until_deadline_check == 0 {
+                    until_deadline_check = DEADLINE_CHECK_INTERVAL;
+                    if Instant::now() > dl {
+                        self.stats.instrs += instrs;
+                        return Err(Trap::DeadlineExceeded);
+                    }
+                }
+            }
+            if stack.len() > self.limits.max_value_stack {
+                self.stats.instrs += instrs;
+                return Err(Trap::ValueStackExhausted);
+            }
+
+            let frame = frames.last_mut().expect("at least one frame");
+            let body = &module.funcs[frame.func as usize];
+            let instr = &body.code[frame.pc];
+            frame.pc += 1;
+
+            match instr {
+                Instr::Unreachable => {
+                    self.stats.instrs += instrs;
+                    return Err(Trap::Unreachable);
+                }
+                Instr::Nop => {}
+                Instr::Block { ty, end_pc } => {
+                    frame.labels.push(Label {
+                        target: *end_pc,
+                        stack_base: stack.len(),
+                        arity: ty.arity() as u8,
+                        pop_self: false,
+                    });
+                }
+                Instr::Loop { .. } => {
+                    frame.labels.push(Label {
+                        target: (frame.pc - 1) as u32,
+                        stack_base: stack.len(),
+                        arity: 0,
+                        pop_self: true,
+                    });
+                }
+                Instr::If { ty, else_pc, end_pc } => {
+                    let cond = pop!().as_i32();
+                    frame.labels.push(Label {
+                        target: *end_pc,
+                        stack_base: stack.len(),
+                        arity: ty.arity() as u8,
+                        pop_self: false,
+                    });
+                    if cond == 0 {
+                        frame.pc = if else_pc == end_pc {
+                            *end_pc as usize
+                        } else {
+                            *else_pc as usize + 1
+                        };
+                    }
+                }
+                Instr::Else { end_pc } => {
+                    // Then-arm fell through: jump to End (which pops the label).
+                    frame.pc = *end_pc as usize;
+                }
+                Instr::End => {
+                    match frame.labels.pop() {
+                        Some(_) => {}
+                        None => {
+                            // Function-level end: return.
+                            if Self::do_return(&module, &mut frames, &mut stack) {
+                                break 'outer;
+                            }
+                        }
+                    }
+                }
+                Instr::Br { depth } => {
+                    Self::do_branch(frame, &mut stack, *depth);
+                }
+                Instr::BrIf { depth } => {
+                    let cond = pop!().as_i32();
+                    if cond != 0 {
+                        Self::do_branch(frame, &mut stack, *depth);
+                    }
+                }
+                Instr::BrTable { targets, default } => {
+                    let idx = pop!().as_u32() as usize;
+                    let depth = targets.get(idx).copied().unwrap_or(*default);
+                    Self::do_branch(frame, &mut stack, depth);
+                }
+                Instr::Return => {
+                    if Self::do_return(&module, &mut frames, &mut stack) {
+                        break 'outer;
+                    }
+                }
+                Instr::Call { func } => {
+                    self.do_call(&module, *func, &mut frames, &mut stack, n_imports)?;
+                }
+                Instr::CallIndirect { type_idx } => {
+                    let idx = pop!().as_u32();
+                    let func = self.table.get(idx)?;
+                    let expected = &module.types[*type_idx as usize];
+                    let actual = module.func_type(func).ok_or(Trap::UninitializedElement)?;
+                    if actual != expected {
+                        self.stats.instrs += instrs;
+                        return Err(Trap::IndirectCallTypeMismatch);
+                    }
+                    self.do_call(&module, func, &mut frames, &mut stack, n_imports)?;
+                }
+                Instr::Drop => {
+                    pop!();
+                }
+                Instr::Select => {
+                    let cond = pop!().as_i32();
+                    let b = pop!();
+                    let a = pop!();
+                    stack.push(if cond != 0 { a } else { b });
+                }
+                Instr::LocalGet(idx) => {
+                    stack.push(frame.locals[*idx as usize]);
+                }
+                Instr::LocalSet(idx) => {
+                    frame.locals[*idx as usize] = pop!();
+                }
+                Instr::LocalTee(idx) => {
+                    frame.locals[*idx as usize] = *stack.last().expect("validated");
+                }
+                Instr::GlobalGet(idx) => {
+                    stack.push(self.globals[*idx as usize]);
+                }
+                Instr::GlobalSet(idx) => {
+                    self.globals[*idx as usize] = pop!();
+                }
+
+                Instr::I32Load(m) => load!(m, 4, |b| Value::I32(i32::from_le_bytes(b))),
+                Instr::I64Load(m) => load!(m, 8, |b| Value::I64(i64::from_le_bytes(b))),
+                Instr::F32Load(m) => load!(m, 4, |b| Value::F32(f32::from_le_bytes(b))),
+                Instr::F64Load(m) => load!(m, 8, |b| Value::F64(f64::from_le_bytes(b))),
+                Instr::I32Load8S(m) => load!(m, 1, |b: [u8; 1]| Value::I32(b[0] as i8 as i32)),
+                Instr::I32Load8U(m) => load!(m, 1, |b: [u8; 1]| Value::I32(b[0] as i32)),
+                Instr::I32Load16S(m) => {
+                    load!(m, 2, |b| Value::I32(i16::from_le_bytes(b) as i32))
+                }
+                Instr::I32Load16U(m) => {
+                    load!(m, 2, |b| Value::I32(u16::from_le_bytes(b) as i32))
+                }
+                Instr::I64Load8S(m) => load!(m, 1, |b: [u8; 1]| Value::I64(b[0] as i8 as i64)),
+                Instr::I64Load8U(m) => load!(m, 1, |b: [u8; 1]| Value::I64(b[0] as i64)),
+                Instr::I64Load16S(m) => {
+                    load!(m, 2, |b| Value::I64(i16::from_le_bytes(b) as i64))
+                }
+                Instr::I64Load16U(m) => {
+                    load!(m, 2, |b| Value::I64(u16::from_le_bytes(b) as i64))
+                }
+                Instr::I64Load32S(m) => {
+                    load!(m, 4, |b| Value::I64(i32::from_le_bytes(b) as i64))
+                }
+                Instr::I64Load32U(m) => {
+                    load!(m, 4, |b| Value::I64(u32::from_le_bytes(b) as i64))
+                }
+                Instr::I32Store(m) => store!(m, as_i32, |v: i32| v.to_le_bytes()),
+                Instr::I64Store(m) => store!(m, as_i64, |v: i64| v.to_le_bytes()),
+                Instr::F32Store(m) => store!(m, as_f32, |v: f32| v.to_le_bytes()),
+                Instr::F64Store(m) => store!(m, as_f64, |v: f64| v.to_le_bytes()),
+                Instr::I32Store8(m) => store!(m, as_i32, |v: i32| [(v & 0xff) as u8]),
+                Instr::I32Store16(m) => store!(m, as_i32, |v: i32| (v as u16).to_le_bytes()),
+                Instr::I64Store8(m) => store!(m, as_i64, |v: i64| [(v & 0xff) as u8]),
+                Instr::I64Store16(m) => store!(m, as_i64, |v: i64| (v as u16).to_le_bytes()),
+                Instr::I64Store32(m) => store!(m, as_i64, |v: i64| (v as u32).to_le_bytes()),
+                Instr::MemorySize => stack.push(Value::I32(self.memory.size_pages() as i32)),
+                Instr::MemoryGrow => {
+                    let delta = pop!().as_u32();
+                    let result = self.memory.grow(delta).map(|p| p as i32).unwrap_or(-1);
+                    stack.push(Value::I32(result));
+                }
+                Instr::MemoryCopy => {
+                    let len = pop!().as_u32();
+                    let src = pop!().as_u32();
+                    let dst = pop!().as_u32();
+                    self.memory.copy(dst, src, len)?;
+                }
+                Instr::MemoryFill => {
+                    let len = pop!().as_u32();
+                    let byte = pop!().as_i32() as u8;
+                    let dst = pop!().as_u32();
+                    self.memory.fill(dst, byte, len)?;
+                }
+
+                Instr::I32Const(v) => stack.push(Value::I32(*v)),
+                Instr::I64Const(v) => stack.push(Value::I64(*v)),
+                Instr::F32Const(v) => stack.push(Value::F32(*v)),
+                Instr::F64Const(v) => stack.push(Value::F64(*v)),
+
+                Instr::I32Eqz => {
+                    let a = pop!().as_i32();
+                    stack.push(Value::I32((a == 0) as i32));
+                }
+                Instr::I32Eq => relop_i32!(|a, b| a == b),
+                Instr::I32Ne => relop_i32!(|a, b| a != b),
+                Instr::I32LtS => relop_i32!(|a, b| a < b),
+                Instr::I32LtU => relop_i32!(|a: i32, b: i32| (a as u32) < (b as u32)),
+                Instr::I32GtS => relop_i32!(|a, b| a > b),
+                Instr::I32GtU => relop_i32!(|a: i32, b: i32| (a as u32) > (b as u32)),
+                Instr::I32LeS => relop_i32!(|a, b| a <= b),
+                Instr::I32LeU => relop_i32!(|a: i32, b: i32| (a as u32) <= (b as u32)),
+                Instr::I32GeS => relop_i32!(|a, b| a >= b),
+                Instr::I32GeU => relop_i32!(|a: i32, b: i32| (a as u32) >= (b as u32)),
+                Instr::I64Eqz => {
+                    let a = pop!().as_i64();
+                    stack.push(Value::I32((a == 0) as i32));
+                }
+                Instr::I64Eq => relop_i64!(|a, b| a == b),
+                Instr::I64Ne => relop_i64!(|a, b| a != b),
+                Instr::I64LtS => relop_i64!(|a, b| a < b),
+                Instr::I64LtU => relop_i64!(|a: i64, b: i64| (a as u64) < (b as u64)),
+                Instr::I64GtS => relop_i64!(|a, b| a > b),
+                Instr::I64GtU => relop_i64!(|a: i64, b: i64| (a as u64) > (b as u64)),
+                Instr::I64LeS => relop_i64!(|a, b| a <= b),
+                Instr::I64LeU => relop_i64!(|a: i64, b: i64| (a as u64) <= (b as u64)),
+                Instr::I64GeS => relop_i64!(|a, b| a >= b),
+                Instr::I64GeU => relop_i64!(|a: i64, b: i64| (a as u64) >= (b as u64)),
+                Instr::F32Eq => relop_f32!(|a, b| a == b),
+                Instr::F32Ne => relop_f32!(|a, b| a != b),
+                Instr::F32Lt => relop_f32!(|a, b| a < b),
+                Instr::F32Gt => relop_f32!(|a, b| a > b),
+                Instr::F32Le => relop_f32!(|a, b| a <= b),
+                Instr::F32Ge => relop_f32!(|a, b| a >= b),
+                Instr::F64Eq => relop_f64!(|a, b| a == b),
+                Instr::F64Ne => relop_f64!(|a, b| a != b),
+                Instr::F64Lt => relop_f64!(|a, b| a < b),
+                Instr::F64Gt => relop_f64!(|a, b| a > b),
+                Instr::F64Le => relop_f64!(|a, b| a <= b),
+                Instr::F64Ge => relop_f64!(|a, b| a >= b),
+
+                Instr::I32Clz => unop!(as_i32, I32, |a: i32| a.leading_zeros() as i32),
+                Instr::I32Ctz => unop!(as_i32, I32, |a: i32| a.trailing_zeros() as i32),
+                Instr::I32Popcnt => unop!(as_i32, I32, |a: i32| a.count_ones() as i32),
+                Instr::I32Add => binop_i32!(|a: i32, b: i32| a.wrapping_add(b)),
+                Instr::I32Sub => binop_i32!(|a: i32, b: i32| a.wrapping_sub(b)),
+                Instr::I32Mul => binop_i32!(|a: i32, b: i32| a.wrapping_mul(b)),
+                Instr::I32DivS => binop_i32_trap!(|a: i32, b: i32| {
+                    if b == 0 {
+                        Err(Trap::IntegerDivByZero)
+                    } else if a == i32::MIN && b == -1 {
+                        Err(Trap::IntegerOverflow)
+                    } else {
+                        Ok(a.wrapping_div(b))
+                    }
+                }),
+                Instr::I32DivU => binop_i32_trap!(|a: i32, b: i32| {
+                    if b == 0 {
+                        Err(Trap::IntegerDivByZero)
+                    } else {
+                        Ok(((a as u32) / (b as u32)) as i32)
+                    }
+                }),
+                Instr::I32RemS => binop_i32_trap!(|a: i32, b: i32| {
+                    if b == 0 {
+                        Err(Trap::IntegerDivByZero)
+                    } else {
+                        Ok(a.wrapping_rem(b))
+                    }
+                }),
+                Instr::I32RemU => binop_i32_trap!(|a: i32, b: i32| {
+                    if b == 0 {
+                        Err(Trap::IntegerDivByZero)
+                    } else {
+                        Ok(((a as u32) % (b as u32)) as i32)
+                    }
+                }),
+                Instr::I32And => binop_i32!(|a, b| a & b),
+                Instr::I32Or => binop_i32!(|a, b| a | b),
+                Instr::I32Xor => binop_i32!(|a, b| a ^ b),
+                Instr::I32Shl => binop_i32!(|a: i32, b: i32| a.wrapping_shl(b as u32)),
+                Instr::I32ShrS => binop_i32!(|a: i32, b: i32| a.wrapping_shr(b as u32)),
+                Instr::I32ShrU => {
+                    binop_i32!(|a: i32, b: i32| ((a as u32).wrapping_shr(b as u32)) as i32)
+                }
+                Instr::I32Rotl => binop_i32!(|a: i32, b: i32| a.rotate_left(b as u32 & 31)),
+                Instr::I32Rotr => binop_i32!(|a: i32, b: i32| a.rotate_right(b as u32 & 31)),
+
+                Instr::I64Clz => unop!(as_i64, I64, |a: i64| a.leading_zeros() as i64),
+                Instr::I64Ctz => unop!(as_i64, I64, |a: i64| a.trailing_zeros() as i64),
+                Instr::I64Popcnt => unop!(as_i64, I64, |a: i64| a.count_ones() as i64),
+                Instr::I64Add => binop_i64!(|a: i64, b: i64| a.wrapping_add(b)),
+                Instr::I64Sub => binop_i64!(|a: i64, b: i64| a.wrapping_sub(b)),
+                Instr::I64Mul => binop_i64!(|a: i64, b: i64| a.wrapping_mul(b)),
+                Instr::I64DivS => binop_i64_trap!(|a: i64, b: i64| {
+                    if b == 0 {
+                        Err(Trap::IntegerDivByZero)
+                    } else if a == i64::MIN && b == -1 {
+                        Err(Trap::IntegerOverflow)
+                    } else {
+                        Ok(a.wrapping_div(b))
+                    }
+                }),
+                Instr::I64DivU => binop_i64_trap!(|a: i64, b: i64| {
+                    if b == 0 {
+                        Err(Trap::IntegerDivByZero)
+                    } else {
+                        Ok(((a as u64) / (b as u64)) as i64)
+                    }
+                }),
+                Instr::I64RemS => binop_i64_trap!(|a: i64, b: i64| {
+                    if b == 0 {
+                        Err(Trap::IntegerDivByZero)
+                    } else {
+                        Ok(a.wrapping_rem(b))
+                    }
+                }),
+                Instr::I64RemU => binop_i64_trap!(|a: i64, b: i64| {
+                    if b == 0 {
+                        Err(Trap::IntegerDivByZero)
+                    } else {
+                        Ok(((a as u64) % (b as u64)) as i64)
+                    }
+                }),
+                Instr::I64And => binop_i64!(|a, b| a & b),
+                Instr::I64Or => binop_i64!(|a, b| a | b),
+                Instr::I64Xor => binop_i64!(|a, b| a ^ b),
+                Instr::I64Shl => binop_i64!(|a: i64, b: i64| a.wrapping_shl(b as u32)),
+                Instr::I64ShrS => binop_i64!(|a: i64, b: i64| a.wrapping_shr(b as u32)),
+                Instr::I64ShrU => {
+                    binop_i64!(|a: i64, b: i64| ((a as u64).wrapping_shr(b as u32)) as i64)
+                }
+                Instr::I64Rotl => binop_i64!(|a: i64, b: i64| a.rotate_left(b as u32 & 63)),
+                Instr::I64Rotr => binop_i64!(|a: i64, b: i64| a.rotate_right(b as u32 & 63)),
+
+                Instr::F32Abs => unop!(as_f32, F32, |a: f32| a.abs()),
+                Instr::F32Neg => unop!(as_f32, F32, |a: f32| -a),
+                Instr::F32Ceil => unop!(as_f32, F32, |a: f32| a.ceil()),
+                Instr::F32Floor => unop!(as_f32, F32, |a: f32| a.floor()),
+                Instr::F32Trunc => unop!(as_f32, F32, |a: f32| a.trunc()),
+                Instr::F32Nearest => unop!(as_f32, F32, |a: f32| a.round_ties_even()),
+                Instr::F32Sqrt => unop!(as_f32, F32, |a: f32| a.sqrt()),
+                Instr::F32Add => binop_f32!(|a: f32, b: f32| a + b),
+                Instr::F32Sub => binop_f32!(|a: f32, b: f32| a - b),
+                Instr::F32Mul => binop_f32!(|a: f32, b: f32| a * b),
+                Instr::F32Div => binop_f32!(|a: f32, b: f32| a / b),
+                Instr::F32Min => binop_f32!(wasm_fmin32),
+                Instr::F32Max => binop_f32!(wasm_fmax32),
+                Instr::F32Copysign => binop_f32!(|a: f32, b: f32| a.copysign(b)),
+                Instr::F64Abs => unop!(as_f64, F64, |a: f64| a.abs()),
+                Instr::F64Neg => unop!(as_f64, F64, |a: f64| -a),
+                Instr::F64Ceil => unop!(as_f64, F64, |a: f64| a.ceil()),
+                Instr::F64Floor => unop!(as_f64, F64, |a: f64| a.floor()),
+                Instr::F64Trunc => unop!(as_f64, F64, |a: f64| a.trunc()),
+                Instr::F64Nearest => unop!(as_f64, F64, |a: f64| a.round_ties_even()),
+                Instr::F64Sqrt => unop!(as_f64, F64, |a: f64| a.sqrt()),
+                Instr::F64Add => binop_f64!(|a: f64, b: f64| a + b),
+                Instr::F64Sub => binop_f64!(|a: f64, b: f64| a - b),
+                Instr::F64Mul => binop_f64!(|a: f64, b: f64| a * b),
+                Instr::F64Div => binop_f64!(|a: f64, b: f64| a / b),
+                Instr::F64Min => binop_f64!(wasm_fmin64),
+                Instr::F64Max => binop_f64!(wasm_fmax64),
+                Instr::F64Copysign => binop_f64!(|a: f64, b: f64| a.copysign(b)),
+
+                Instr::I32WrapI64 => {
+                    let a = pop!().as_i64();
+                    stack.push(Value::I32(a as i32));
+                }
+                Instr::I32TruncF32S => {
+                    let a = pop!().as_f32();
+                    stack.push(Value::I32(trunc_f32_to_i32_s(a)?));
+                }
+                Instr::I32TruncF32U => {
+                    let a = pop!().as_f32();
+                    stack.push(Value::I32(trunc_f32_to_u32(a)? as i32));
+                }
+                Instr::I32TruncF64S => {
+                    let a = pop!().as_f64();
+                    stack.push(Value::I32(trunc_f64_to_i32_s(a)?));
+                }
+                Instr::I32TruncF64U => {
+                    let a = pop!().as_f64();
+                    stack.push(Value::I32(trunc_f64_to_u32(a)? as i32));
+                }
+                Instr::I64ExtendI32S => {
+                    let a = pop!().as_i32();
+                    stack.push(Value::I64(a as i64));
+                }
+                Instr::I64ExtendI32U => {
+                    let a = pop!().as_i32();
+                    stack.push(Value::I64(a as u32 as i64));
+                }
+                Instr::I64TruncF32S => {
+                    let a = pop!().as_f32();
+                    stack.push(Value::I64(trunc_f32_to_i64_s(a)?));
+                }
+                Instr::I64TruncF32U => {
+                    let a = pop!().as_f32();
+                    stack.push(Value::I64(trunc_f32_to_u64(a)? as i64));
+                }
+                Instr::I64TruncF64S => {
+                    let a = pop!().as_f64();
+                    stack.push(Value::I64(trunc_f64_to_i64_s(a)?));
+                }
+                Instr::I64TruncF64U => {
+                    let a = pop!().as_f64();
+                    stack.push(Value::I64(trunc_f64_to_u64(a)? as i64));
+                }
+                Instr::F32ConvertI32S => {
+                    let a = pop!().as_i32();
+                    stack.push(Value::F32(a as f32));
+                }
+                Instr::F32ConvertI32U => {
+                    let a = pop!().as_i32();
+                    stack.push(Value::F32(a as u32 as f32));
+                }
+                Instr::F32ConvertI64S => {
+                    let a = pop!().as_i64();
+                    stack.push(Value::F32(a as f32));
+                }
+                Instr::F32ConvertI64U => {
+                    let a = pop!().as_i64();
+                    stack.push(Value::F32(a as u64 as f32));
+                }
+                Instr::F32DemoteF64 => {
+                    let a = pop!().as_f64();
+                    stack.push(Value::F32(a as f32));
+                }
+                Instr::F64ConvertI32S => {
+                    let a = pop!().as_i32();
+                    stack.push(Value::F64(a as f64));
+                }
+                Instr::F64ConvertI32U => {
+                    let a = pop!().as_i32();
+                    stack.push(Value::F64(a as u32 as f64));
+                }
+                Instr::F64ConvertI64S => {
+                    let a = pop!().as_i64();
+                    stack.push(Value::F64(a as f64));
+                }
+                Instr::F64ConvertI64U => {
+                    let a = pop!().as_i64();
+                    stack.push(Value::F64(a as u64 as f64));
+                }
+                Instr::F64PromoteF32 => {
+                    let a = pop!().as_f32();
+                    stack.push(Value::F64(a as f64));
+                }
+                Instr::I32ReinterpretF32 => {
+                    let a = pop!().as_f32();
+                    stack.push(Value::I32(a.to_bits() as i32));
+                }
+                Instr::I64ReinterpretF64 => {
+                    let a = pop!().as_f64();
+                    stack.push(Value::I64(a.to_bits() as i64));
+                }
+                Instr::F32ReinterpretI32 => {
+                    let a = pop!().as_i32();
+                    stack.push(Value::F32(f32::from_bits(a as u32)));
+                }
+                Instr::F64ReinterpretI64 => {
+                    let a = pop!().as_i64();
+                    stack.push(Value::F64(f64::from_bits(a as u64)));
+                }
+                Instr::I32Extend8S => unop!(as_i32, I32, |a: i32| a as i8 as i32),
+                Instr::I32Extend16S => unop!(as_i32, I32, |a: i32| a as i16 as i32),
+                Instr::I64Extend8S => unop!(as_i64, I64, |a: i64| a as i8 as i64),
+                Instr::I64Extend16S => unop!(as_i64, I64, |a: i64| a as i16 as i64),
+                Instr::I64Extend32S => unop!(as_i64, I64, |a: i64| a as i32 as i64),
+                Instr::I32TruncSatF32S => {
+                    let a = pop!().as_f32();
+                    stack.push(Value::I32(a as i32));
+                }
+                Instr::I32TruncSatF32U => {
+                    let a = pop!().as_f32();
+                    stack.push(Value::I32(a as u32 as i32));
+                }
+                Instr::I32TruncSatF64S => {
+                    let a = pop!().as_f64();
+                    stack.push(Value::I32(a as i32));
+                }
+                Instr::I32TruncSatF64U => {
+                    let a = pop!().as_f64();
+                    stack.push(Value::I32(a as u32 as i32));
+                }
+                Instr::I64TruncSatF32S => {
+                    let a = pop!().as_f32();
+                    stack.push(Value::I64(a as i64));
+                }
+                Instr::I64TruncSatF32U => {
+                    let a = pop!().as_f32();
+                    stack.push(Value::I64(a as u64 as i64));
+                }
+                Instr::I64TruncSatF64S => {
+                    let a = pop!().as_f64();
+                    stack.push(Value::I64(a as i64));
+                }
+                Instr::I64TruncSatF64U => {
+                    let a = pop!().as_f64();
+                    stack.push(Value::I64(a as u64 as i64));
+                }
+            }
+        }
+
+        self.stats.instrs += instrs;
+        Ok(stack.pop())
+    }
+
+    /// Branch within the current frame.
+    #[inline]
+    fn do_branch(frame: &mut Frame, stack: &mut Vec<Value>, depth: u32) {
+        let idx = frame.labels.len() - 1 - depth as usize;
+        let label = frame.labels[idx];
+        let arity = label.arity as usize;
+        // Carry the label's result values across the unwind.
+        let carried_start = stack.len() - arity;
+        // Move values down to the label's base height.
+        if carried_start > label.stack_base {
+            let (lo, hi) = stack.split_at_mut(carried_start);
+            lo[label.stack_base..label.stack_base + arity].copy_from_slice(&hi[..arity]);
+        }
+        stack.truncate(label.stack_base + arity);
+        let keep = if label.pop_self { idx } else { idx + 1 };
+        frame.labels.truncate(keep);
+        frame.pc = label.target as usize;
+    }
+
+    /// Pop the current frame; returns true when the entry frame was popped
+    /// (execution is complete).
+    fn do_return(module: &Module, frames: &mut Vec<Frame>, stack: &mut Vec<Value>) -> bool {
+        let frame = frames.pop().expect("at least one frame");
+        let ty = &module.types[module.funcs[frame.func as usize].type_idx as usize];
+        let arity = ty.results.len();
+        // Carry results, drop everything above the frame's base.
+        if stack.len() - arity > frame.stack_base {
+            let carried_start = stack.len() - arity;
+            let (lo, hi) = stack.split_at_mut(carried_start);
+            lo[frame.stack_base..frame.stack_base + arity].copy_from_slice(&hi[..arity]);
+        }
+        stack.truncate(frame.stack_base + arity);
+        frames.is_empty()
+    }
+
+    /// Call a function (host or wasm) from inside the interpreter loop.
+    fn do_call(
+        &mut self,
+        module: &Arc<Module>,
+        func: u32,
+        frames: &mut Vec<Frame>,
+        stack: &mut Vec<Value>,
+        n_imports: u32,
+    ) -> Result<(), Trap> {
+        if func < n_imports {
+            // Host call: pop args, run closure, push result.
+            let def = &self.host_funcs[func as usize];
+            let ty = def.ty.clone();
+            let f = Arc::clone(&def.func);
+            let argc = ty.params.len();
+            let args: Vec<Value> = stack.split_off(stack.len() - argc);
+            let result = f(&mut self.data, &mut self.memory, &args)?;
+            match (ty.results.first(), result) {
+                (Some(expected), Some(v)) if *expected == v.ty() => stack.push(v),
+                (None, None) => {}
+                (expected, got) => {
+                    return Err(Trap::HostError(format!(
+                        "host function returned {got:?}, signature says {expected:?}"
+                    )))
+                }
+            }
+            Ok(())
+        } else {
+            if frames.len() >= self.limits.max_call_depth {
+                return Err(Trap::StackOverflow);
+            }
+            frames.push(Frame::enter(module, func - n_imports, stack));
+            Ok(())
+        }
+    }
+}
+
+/// A call frame.
+struct Frame {
+    /// Index into `module.funcs` (local function space).
+    func: u32,
+    /// Parameters followed by zero-initialized locals.
+    locals: Vec<Value>,
+    /// Next instruction index.
+    pc: usize,
+    /// Open labels within this frame.
+    labels: Vec<Label>,
+    /// Value-stack height at entry (after arguments were popped).
+    stack_base: usize,
+}
+
+impl Frame {
+    /// Pop arguments off `stack` and build the frame.
+    fn enter(module: &Module, local_func: u32, stack: &mut Vec<Value>) -> Frame {
+        let body = &module.funcs[local_func as usize];
+        let ty = &module.types[body.type_idx as usize];
+        let argc = ty.params.len();
+        let mut locals = Vec::with_capacity(argc + body.locals.len());
+        locals.extend(stack.drain(stack.len() - argc..));
+        locals.extend(body.locals.iter().map(|t| Value::zero(*t)));
+        Frame { func: local_func, locals, pc: 0, labels: Vec::with_capacity(8), stack_base: stack.len() }
+    }
+}
+
+/// A control label within a frame.
+#[derive(Debug, Clone, Copy)]
+struct Label {
+    /// Branch destination pc.
+    target: u32,
+    /// Value-stack height at label entry.
+    stack_base: usize,
+    /// Values a branch to this label carries.
+    arity: u8,
+    /// Loops are popped by the branch itself (the header re-pushes).
+    pop_self: bool,
+}
+
+// ---------------------------------------------------------------------
+// Float min/max and trapping truncation per the WebAssembly spec.
+// ---------------------------------------------------------------------
+
+fn wasm_fmin32(a: f32, b: f32) -> f32 {
+    if a.is_nan() || b.is_nan() {
+        f32::NAN
+    } else if a == b {
+        // Distinguish ±0: min(+0,-0) = -0.
+        if a.is_sign_negative() {
+            a
+        } else {
+            b
+        }
+    } else if a < b {
+        a
+    } else {
+        b
+    }
+}
+
+fn wasm_fmax32(a: f32, b: f32) -> f32 {
+    if a.is_nan() || b.is_nan() {
+        f32::NAN
+    } else if a == b {
+        if a.is_sign_positive() {
+            a
+        } else {
+            b
+        }
+    } else if a > b {
+        a
+    } else {
+        b
+    }
+}
+
+fn wasm_fmin64(a: f64, b: f64) -> f64 {
+    if a.is_nan() || b.is_nan() {
+        f64::NAN
+    } else if a == b {
+        if a.is_sign_negative() {
+            a
+        } else {
+            b
+        }
+    } else if a < b {
+        a
+    } else {
+        b
+    }
+}
+
+fn wasm_fmax64(a: f64, b: f64) -> f64 {
+    if a.is_nan() || b.is_nan() {
+        f64::NAN
+    } else if a == b {
+        if a.is_sign_positive() {
+            a
+        } else {
+            b
+        }
+    } else if a > b {
+        a
+    } else {
+        b
+    }
+}
+
+fn trunc_f32_to_i32_s(a: f32) -> Result<i32, Trap> {
+    if a.is_nan() {
+        return Err(Trap::InvalidConversion);
+    }
+    // Valid iff trunc(a) representable: -2^31 <= trunc(a) < 2^31.
+    if a < 2147483648.0_f32 && a >= -2147483648.0_f32 {
+        Ok(a as i32)
+    } else {
+        Err(Trap::InvalidConversion)
+    }
+}
+
+fn trunc_f32_to_u32(a: f32) -> Result<u32, Trap> {
+    if a.is_nan() {
+        return Err(Trap::InvalidConversion);
+    }
+    if a < 4294967296.0_f32 && a > -1.0_f32 {
+        Ok(a as u32)
+    } else {
+        Err(Trap::InvalidConversion)
+    }
+}
+
+fn trunc_f64_to_i32_s(a: f64) -> Result<i32, Trap> {
+    if a.is_nan() {
+        return Err(Trap::InvalidConversion);
+    }
+    if a < 2147483648.0_f64 && a > -2147483649.0_f64 {
+        Ok(a as i32)
+    } else {
+        Err(Trap::InvalidConversion)
+    }
+}
+
+fn trunc_f64_to_u32(a: f64) -> Result<u32, Trap> {
+    if a.is_nan() {
+        return Err(Trap::InvalidConversion);
+    }
+    if a < 4294967296.0_f64 && a > -1.0_f64 {
+        Ok(a as u32)
+    } else {
+        Err(Trap::InvalidConversion)
+    }
+}
+
+fn trunc_f32_to_i64_s(a: f32) -> Result<i64, Trap> {
+    if a.is_nan() {
+        return Err(Trap::InvalidConversion);
+    }
+    if a < 9223372036854775808.0_f32 && a >= -9223372036854775808.0_f32 {
+        Ok(a as i64)
+    } else {
+        Err(Trap::InvalidConversion)
+    }
+}
+
+fn trunc_f32_to_u64(a: f32) -> Result<u64, Trap> {
+    if a.is_nan() {
+        return Err(Trap::InvalidConversion);
+    }
+    if a < 18446744073709551616.0_f32 && a > -1.0_f32 {
+        Ok(a as u64)
+    } else {
+        Err(Trap::InvalidConversion)
+    }
+}
+
+fn trunc_f64_to_i64_s(a: f64) -> Result<i64, Trap> {
+    if a.is_nan() {
+        return Err(Trap::InvalidConversion);
+    }
+    if a < 9223372036854775808.0_f64 && a >= -9223372036854775808.0_f64 {
+        Ok(a as i64)
+    } else {
+        Err(Trap::InvalidConversion)
+    }
+}
+
+fn trunc_f64_to_u64(a: f64) -> Result<u64, Trap> {
+    if a.is_nan() {
+        return Err(Trap::InvalidConversion);
+    }
+    if a < 18446744073709551616.0_f64 && a > -1.0_f64 {
+        Ok(a as u64)
+    } else {
+        Err(Trap::InvalidConversion)
+    }
+}

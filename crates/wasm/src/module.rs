@@ -1,0 +1,227 @@
+//! The decoded, immutable module representation shared by the validator and
+//! the interpreter.
+
+use crate::instr::Instr;
+use crate::types::{FuncType, GlobalType, Limits, ValType};
+
+/// What an import provides.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ImportKind {
+    /// Function import with the given type index.
+    Func { type_idx: u32 },
+    // Memory/table/global imports are intentionally unsupported: WA-RAN
+    // plugins own their sandbox state; sharing it with the host would
+    // reintroduce exactly the coupling the paper argues against.
+}
+
+/// One import entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Import {
+    /// Module namespace, e.g. `"env"`.
+    pub module: String,
+    /// Field name, e.g. `"wrn_log"`.
+    pub name: String,
+    /// Imported entity.
+    pub kind: ImportKind,
+}
+
+/// What an export exposes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExportKind {
+    /// Function by (module-wide) function index.
+    Func(u32),
+    /// The (single) memory.
+    Memory,
+    /// The (single) table.
+    Table,
+    /// Global by index.
+    Global(u32),
+}
+
+/// One export entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Export {
+    /// Exported name.
+    pub name: String,
+    /// Exported entity.
+    pub kind: ExportKind,
+}
+
+/// A module-defined (non-imported) function: its signature and body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuncBody {
+    /// Index into [`Module::types`].
+    pub type_idx: u32,
+    /// Declared locals (excluding parameters), already expanded.
+    pub locals: Vec<ValType>,
+    /// Flat instruction sequence terminated by `End`, with block targets
+    /// resolved (see [`crate::instr::fixup_block_targets`]).
+    pub code: Vec<Instr>,
+}
+
+/// A module-defined global: its type and constant initializer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Global {
+    /// Type and mutability.
+    pub ty: GlobalType,
+    /// Constant initializer (only `t.const` expressions are supported;
+    /// imported-global initializers are out of scope).
+    pub init: ConstExpr,
+}
+
+/// A constant expression used by global initializers and segment offsets.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ConstExpr {
+    I32(i32),
+    I64(i64),
+    F32(f32),
+    F64(f64),
+}
+
+impl ConstExpr {
+    /// The type the expression evaluates to.
+    pub fn ty(&self) -> ValType {
+        match self {
+            ConstExpr::I32(_) => ValType::I32,
+            ConstExpr::I64(_) => ValType::I64,
+            ConstExpr::F32(_) => ValType::F32,
+            ConstExpr::F64(_) => ValType::F64,
+        }
+    }
+}
+
+/// An active data segment copied into memory at instantiation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DataSegment {
+    /// Byte offset expression (must be i32).
+    pub offset: ConstExpr,
+    /// Bytes to copy.
+    pub bytes: Vec<u8>,
+}
+
+/// An active element segment written into the table at instantiation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ElemSegment {
+    /// Element offset expression (must be i32).
+    pub offset: ConstExpr,
+    /// Function indices to install.
+    pub funcs: Vec<u32>,
+}
+
+/// A fully decoded module. Immutable after decoding; validation never
+/// mutates it, instantiation only reads it.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Module {
+    /// The type section: deduplicated function signatures.
+    pub types: Vec<FuncType>,
+    /// Imports, in declaration order. Function indices count these first.
+    pub imports: Vec<Import>,
+    /// Module-defined function bodies (indices offset by `num_imported_funcs`).
+    pub funcs: Vec<FuncBody>,
+    /// Optional funcref table (the MVP allows at most one).
+    pub table: Option<Limits>,
+    /// Optional linear memory (the MVP allows at most one).
+    pub memory: Option<Limits>,
+    /// Module-defined globals.
+    pub globals: Vec<Global>,
+    /// Exports.
+    pub exports: Vec<Export>,
+    /// Optional start function index.
+    pub start: Option<u32>,
+    /// Active element segments.
+    pub elems: Vec<ElemSegment>,
+    /// Active data segments.
+    pub data: Vec<DataSegment>,
+}
+
+impl Module {
+    /// Number of imported functions (they occupy the first function indices).
+    pub fn num_imported_funcs(&self) -> u32 {
+        self.imports
+            .iter()
+            .filter(|i| matches!(i.kind, ImportKind::Func { .. }))
+            .count() as u32
+    }
+
+    /// Total number of functions (imported + defined).
+    pub fn num_funcs(&self) -> u32 {
+        self.num_imported_funcs() + self.funcs.len() as u32
+    }
+
+    /// The signature of a function by module-wide index, if in range.
+    pub fn func_type(&self, func_idx: u32) -> Option<&FuncType> {
+        let n_imp = self.num_imported_funcs();
+        let type_idx = if func_idx < n_imp {
+            let mut seen = 0;
+            let mut found = None;
+            for imp in &self.imports {
+                let ImportKind::Func { type_idx } = imp.kind;
+                if seen == func_idx {
+                    found = Some(type_idx);
+                    break;
+                }
+                seen += 1;
+            }
+            found?
+        } else {
+            self.funcs.get((func_idx - n_imp) as usize)?.type_idx
+        };
+        self.types.get(type_idx as usize)
+    }
+
+    /// Look up an export by name.
+    pub fn export(&self, name: &str) -> Option<&Export> {
+        self.exports.iter().find(|e| e.name == name)
+    }
+
+    /// Look up an exported function index by name.
+    pub fn exported_func(&self, name: &str) -> Option<u32> {
+        match self.export(name)?.kind {
+            ExportKind::Func(idx) => Some(idx),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{FuncType, ValType};
+
+    fn module_with_import() -> Module {
+        let mut m = Module::default();
+        m.types.push(FuncType::new(&[ValType::I32], &[]));
+        m.types.push(FuncType::new(&[], &[ValType::I64]));
+        m.imports.push(Import {
+            module: "env".into(),
+            name: "log".into(),
+            kind: ImportKind::Func { type_idx: 0 },
+        });
+        m.funcs.push(FuncBody { type_idx: 1, locals: vec![], code: vec![Instr::I64Const(7), Instr::End] });
+        m.exports.push(Export { name: "get".into(), kind: ExportKind::Func(1) });
+        m
+    }
+
+    #[test]
+    fn func_indexing_counts_imports_first() {
+        let m = module_with_import();
+        assert_eq!(m.num_imported_funcs(), 1);
+        assert_eq!(m.num_funcs(), 2);
+        assert_eq!(m.func_type(0).unwrap().params, vec![ValType::I32]);
+        assert_eq!(m.func_type(1).unwrap().results, vec![ValType::I64]);
+        assert_eq!(m.func_type(2), None);
+    }
+
+    #[test]
+    fn export_lookup() {
+        let m = module_with_import();
+        assert_eq!(m.exported_func("get"), Some(1));
+        assert_eq!(m.exported_func("nope"), None);
+    }
+
+    #[test]
+    fn const_expr_types() {
+        assert_eq!(ConstExpr::I32(0).ty(), ValType::I32);
+        assert_eq!(ConstExpr::F64(0.0).ty(), ValType::F64);
+    }
+}

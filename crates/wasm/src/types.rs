@@ -1,0 +1,198 @@
+//! Core WebAssembly type definitions: value types, function types, limits
+//! and the entity type descriptors used by imports/exports.
+
+/// A WebAssembly value type (MVP numeric types only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ValType {
+    /// 32-bit integer (sign-agnostic).
+    I32,
+    /// 64-bit integer (sign-agnostic).
+    I64,
+    /// 32-bit IEEE-754 float.
+    F32,
+    /// 64-bit IEEE-754 float.
+    F64,
+}
+
+impl ValType {
+    /// Binary-format type byte.
+    pub fn to_byte(self) -> u8 {
+        match self {
+            ValType::I32 => 0x7f,
+            ValType::I64 => 0x7e,
+            ValType::F32 => 0x7d,
+            ValType::F64 => 0x7c,
+        }
+    }
+
+    /// Parse a binary-format type byte.
+    pub fn from_byte(b: u8) -> Option<ValType> {
+        match b {
+            0x7f => Some(ValType::I32),
+            0x7e => Some(ValType::I64),
+            0x7d => Some(ValType::F32),
+            0x7c => Some(ValType::F64),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for ValType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            ValType::I32 => "i32",
+            ValType::I64 => "i64",
+            ValType::F32 => "f32",
+            ValType::F64 => "f64",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A function signature: parameter types and result types.
+///
+/// The MVP restricts results to at most one value; the decoder and
+/// validator enforce this.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct FuncType {
+    /// Parameter types, in order.
+    pub params: Vec<ValType>,
+    /// Result types (0 or 1 in the MVP).
+    pub results: Vec<ValType>,
+}
+
+impl FuncType {
+    /// Construct a function type.
+    pub fn new(params: &[ValType], results: &[ValType]) -> Self {
+        FuncType { params: params.to_vec(), results: results.to_vec() }
+    }
+}
+
+impl std::fmt::Display for FuncType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "(")?;
+        for (i, p) in self.params.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{p}")?;
+        }
+        write!(f, ") -> (")?;
+        for (i, r) in self.results.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{r}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// Size limits for memories (in 64 KiB pages) and tables (in elements).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Limits {
+    /// Initial size.
+    pub min: u32,
+    /// Optional maximum size.
+    pub max: Option<u32>,
+}
+
+impl Limits {
+    /// `min..=max` limits.
+    pub fn new(min: u32, max: Option<u32>) -> Self {
+        Limits { min, max }
+    }
+
+    /// True when `min <= max` (or no max).
+    pub fn well_formed(&self) -> bool {
+        self.max.map_or(true, |m| self.min <= m)
+    }
+}
+
+/// Mutability of a global.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mutability {
+    /// Immutable (`const`).
+    Const,
+    /// Mutable (`mut`).
+    Var,
+}
+
+/// The type of a global: value type plus mutability.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GlobalType {
+    /// Value type stored in the global.
+    pub ty: ValType,
+    /// Whether the global may be written after instantiation.
+    pub mutability: Mutability,
+}
+
+/// A block type: the signature of a structured control instruction.
+///
+/// The MVP supports the empty type and a single result value. (Typed
+/// function-reference block types are out of scope.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockType {
+    /// `[] -> []`
+    Empty,
+    /// `[] -> [t]`
+    Value(ValType),
+}
+
+impl BlockType {
+    /// Number of result values the block yields.
+    pub fn arity(self) -> usize {
+        match self {
+            BlockType::Empty => 0,
+            BlockType::Value(_) => 1,
+        }
+    }
+
+    /// The result type, if any.
+    pub fn result(self) -> Option<ValType> {
+        match self {
+            BlockType::Empty => None,
+            BlockType::Value(t) => Some(t),
+        }
+    }
+}
+
+/// WebAssembly page size: 64 KiB.
+pub const PAGE_SIZE: usize = 65536;
+
+/// Spec-mandated hard ceiling on memory size: 65536 pages (4 GiB).
+pub const MAX_PAGES: u32 = 65536;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valtype_byte_roundtrip() {
+        for t in [ValType::I32, ValType::I64, ValType::F32, ValType::F64] {
+            assert_eq!(ValType::from_byte(t.to_byte()), Some(t));
+        }
+        assert_eq!(ValType::from_byte(0x00), None);
+        assert_eq!(ValType::from_byte(0x70), None); // funcref: not a value type here
+    }
+
+    #[test]
+    fn functype_display() {
+        let t = FuncType::new(&[ValType::I32, ValType::F64], &[ValType::I64]);
+        assert_eq!(t.to_string(), "(i32, f64) -> (i64)");
+    }
+
+    #[test]
+    fn limits_well_formed() {
+        assert!(Limits::new(1, None).well_formed());
+        assert!(Limits::new(1, Some(1)).well_formed());
+        assert!(!Limits::new(2, Some(1)).well_formed());
+    }
+
+    #[test]
+    fn blocktype_arity() {
+        assert_eq!(BlockType::Empty.arity(), 0);
+        assert_eq!(BlockType::Value(ValType::F32).arity(), 1);
+        assert_eq!(BlockType::Value(ValType::F32).result(), Some(ValType::F32));
+    }
+}

@@ -1,0 +1,78 @@
+//! MVNO slicing: the paper's §4.A use case end to end.
+//!
+//! Three MVNOs share one gNB. Each brings its own scheduling policy as a
+//! Wasm plugin (eMBB wants PF, IoT is happy with RR, a budget carrier
+//! squeezes throughput with MT), each with its own target rate and its own
+//! traffic mix. A fourth best-effort slice soaks up leftover capacity.
+//!
+//! Run with: `cargo run --release --example mvno_slicing`
+
+use wa_ran::core::{ChannelSpec, ScenarioBuilder, SchedKind, SliceSpec, TrafficSpec};
+
+fn main() {
+    let mut scenario = ScenarioBuilder::new()
+        // An eMBB MVNO: mixed channels, saturating traffic, PF for balance.
+        .slice(
+            SliceSpec::new("embb-carrier", SchedKind::ProportionalFair)
+                .target_mbps(15.0)
+                .ue(ChannelSpec::FadingGood, TrafficSpec::FullBuffer)
+                .ue(ChannelSpec::Distance(120.0), TrafficSpec::FullBuffer)
+                .ue(ChannelSpec::Distance(250.0), TrafficSpec::FullBuffer),
+        )
+        // An IoT MVNO: many small bursty devices, round robin.
+        .slice(
+            SliceSpec::new("iot-carrier", SchedKind::RoundRobin)
+                .target_mbps(3.0)
+                .ue(ChannelSpec::Static(8), TrafficSpec::Poisson { pps: 200.0, bytes: 600 })
+                .ue(ChannelSpec::Static(6), TrafficSpec::Poisson { pps: 150.0, bytes: 600 })
+                .ue(ChannelSpec::Static(10), TrafficSpec::Poisson { pps: 250.0, bytes: 600 }),
+        )
+        // A budget MVNO chasing peak rates with MT.
+        .slice(
+            SliceSpec::new("budget-carrier", SchedKind::MaxThroughput)
+                .target_mbps(8.0)
+                .ue(ChannelSpec::FadingGood, TrafficSpec::FullBuffer)
+                .ue(ChannelSpec::Distance(200.0), TrafficSpec::FullBuffer),
+        )
+        // Best effort mops up whatever is left.
+        .slice(
+            SliceSpec::new("best-effort", SchedKind::RoundRobin)
+                .ue(ChannelSpec::Static(12), TrafficSpec::FullBuffer),
+        )
+        .seconds(10.0)
+        .seed(11)
+        .build()
+        .expect("scenario builds");
+
+    println!("simulating 10 s with four slices (all schedulers are Wasm plugins)…\n");
+    let report = scenario.run().expect("runs");
+
+    println!("{:<16} {:>9} {:>10} {:>7} {:>8}", "slice", "target", "achieved", "faults", "p99[µs]");
+    for slice in &report.slices {
+        let target = match slice.name.as_str() {
+            "embb-carrier" => "15.0",
+            "iot-carrier" => "3.0",
+            "budget-carrier" => "8.0",
+            _ => "-",
+        };
+        let p99 = scenario
+            .plugin_stats(&slice.name)
+            .map(|s| format!("{:.1}", s.p99_us()))
+            .unwrap_or_else(|| "-".into());
+        println!(
+            "{:<16} {:>9} {:>10.2} {:>7} {:>8}",
+            slice.name, target, slice.mean_rate_mbps(), slice.scheduler_faults, p99
+        );
+        for ue in &slice.ues {
+            println!("    ue {:<4} {:>25.2} Mb/s", ue.ue_id, ue.mean_rate_mbps);
+        }
+    }
+
+    let util: f64 =
+        report.utilization.iter().sum::<f64>() / report.utilization.len().max(1) as f64;
+    println!("\nmean PRB utilization: {:.0}%", util * 100.0);
+    println!(
+        "note: the IoT slice's achieved rate tracks its offered Poisson load, \
+         not its 3 Mb/s cap — slicing guarantees capacity, it does not invent traffic."
+    );
+}

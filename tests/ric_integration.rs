@@ -1,0 +1,164 @@
+//! Cross-crate integration tests for the RIC side: plugin-wrapped
+//! communication, Wasm xApps with host functions, and the vendor-mismatch
+//! adapter in the message path.
+
+use wa_ran::host::plugin::SandboxPolicy;
+use wa_ran::ric::comm::{CommCodec, JsonCodec, PbCodec, TlvCodec, WasmCommPlugin};
+use wa_ran::ric::e2::{ControlAction, Indication, KpiReport};
+use wa_ran::ric::ric::{NearRtRic, WasmXApp};
+
+fn kpi(ue: u32, slice: u32, cqi: u8, tput: f64) -> KpiReport {
+    KpiReport { ue_id: ue, slice_id: slice, cqi, mcs: cqi * 2, buffer_bytes: 5_000, tput_bps: tput }
+}
+
+#[test]
+fn wasm_xapp_emits_control_actions() {
+    // A PlugC xApp: hand over any UE reporting CQI < 5.
+    let src = r#"
+        export fn on_indication(ptr: i32, len: i32) -> i64 {
+            var n: i32 = load_i32(ptr + 8);
+            var out: i32 = wrn_alloc(n * 16);
+            var written: i32 = 0;
+            var i: i32 = 0;
+            while (i < n) {
+                var rec: i32 = ptr + 16 + i * 24;
+                var cqi: i32 = load_u8(rec + 8);
+                if (cqi < 5) {
+                    var act: i32 = out + written * 16;
+                    store_u8(act, 2);              // HANDOVER tag
+                    store_u8(act + 1, 0); store_u8(act + 2, 0); store_u8(act + 3, 0);
+                    store_i32(act + 4, load_i32(rec));  // ue_id
+                    store_i32(act + 8, 7);              // target cell
+                    store_i32(act + 12, 0);
+                    written = written + 1;
+                }
+                i = i + 1;
+            }
+            return pack(out, written * 16);
+        }
+    "#;
+    let wasm = wa_ran::plugc::compile(src).expect("xapp compiles");
+    let xapp = WasmXApp::new("steer", &wasm, SandboxPolicy::default()).expect("loads");
+
+    let mut ric = NearRtRic::new();
+    ric.add_xapp(Box::new(xapp));
+
+    let actions = ric.handle_indication(&Indication {
+        slot: 5,
+        reports: vec![kpi(70, 0, 12, 8e6), kpi(71, 0, 3, 0.2e6), kpi(72, 0, 4, 0.3e6)],
+    });
+    assert_eq!(
+        actions,
+        vec![
+            ControlAction::Handover { ue_id: 71, target_cell: 7 },
+            ControlAction::Handover { ue_id: 72, target_cell: 7 },
+        ]
+    );
+}
+
+#[test]
+fn wasm_xapps_message_each_other_via_host_functions() {
+    // Sender xApp: posts a one-byte message to "sink" on each indication.
+    let sender_src = r#"
+        extern fn xapp_send(dst: i32, dst_len: i32, msg: i32, msg_len: i32);
+        export fn on_indication(ptr: i32, len: i32) -> i64 {
+            store_u8(0, 115); store_u8(1, 105); store_u8(2, 110); store_u8(3, 107); // "sink"
+            store_u8(16, 42);
+            xapp_send(0, 4, 16, 1);
+            return pack(0, 0);
+        }
+    "#;
+    // Sink xApp: counts received bytes; emits one CQI-table action per
+    // message so the test can observe deliveries.
+    let sink_src = r#"
+        extern fn xapp_recv(buf: i32, cap: i32) -> i32;
+        export fn on_indication(ptr: i32, len: i32) -> i64 {
+            var out: i32 = wrn_alloc(64 * 16);
+            var written: i32 = 0;
+            while (1) {
+                var n: i32 = xapp_recv(128, 64);
+                if (n < 0) { break; }
+                var act: i32 = out + written * 16;
+                store_u8(act, 3);          // SET_CQI_TABLE tag
+                store_u8(act + 1, 0); store_u8(act + 2, 0); store_u8(act + 3, 0);
+                store_i32(act + 4, 99);    // ue
+                store_u8(act + 8, load_u8(128));
+                written = written + 1;
+            }
+            return pack(out, written * 16);
+        }
+    "#;
+    let sender = WasmXApp::new(
+        "sender",
+        &wa_ran::plugc::compile(sender_src).expect("compiles"),
+        SandboxPolicy::default(),
+    )
+    .expect("loads");
+    let sink = WasmXApp::new(
+        "sink",
+        &wa_ran::plugc::compile(sink_src).expect("compiles"),
+        SandboxPolicy::default(),
+    )
+    .expect("loads");
+
+    let mut ric = NearRtRic::new();
+    ric.add_xapp(Box::new(sender));
+    ric.add_xapp(Box::new(sink));
+
+    let ind = Indication { slot: 0, reports: vec![] };
+    // Indication 1: sender posts; sink's mailbox is still empty this round.
+    let a1 = ric.handle_indication(&ind);
+    assert!(a1.is_empty());
+    // Indication 2: sink drains the message and reacts.
+    let a2 = ric.handle_indication(&ind);
+    assert_eq!(a2, vec![ControlAction::SetCqiTable { ue_id: 99, table: 42 }]);
+}
+
+#[test]
+fn wasm_comm_plugin_passthrough_wire() {
+    // A comm plugin whose wire format IS the xApp ABI layout (identity
+    // transform) — the minimal vendor codec.
+    let src = r#"
+        export fn encode_indication(ptr: i32, len: i32) -> i64 { return pack(ptr, len); }
+        export fn decode_indication(ptr: i32, len: i32) -> i64 { return pack(ptr, len); }
+        export fn encode_actions(ptr: i32, len: i32) -> i64 { return pack(ptr, len); }
+        export fn decode_actions(ptr: i32, len: i32) -> i64 { return pack(ptr, len); }
+    "#;
+    let wasm = wa_ran::plugc::compile(src).expect("compiles");
+    let plugin = wa_ran::host::plugin::Plugin::new(
+        &wasm,
+        &wa_ran::wasm::instance::Linker::new(),
+        (),
+        SandboxPolicy::default(),
+    )
+    .expect("loads");
+    let codec = WasmCommPlugin::new(plugin, "identity");
+
+    let ind = Indication { slot: 77, reports: vec![kpi(1, 0, 9, 3e6), kpi(2, 1, 11, 5e6)] };
+    let bytes = codec.encode_indication(&ind);
+    assert_eq!(codec.decode_indication(&bytes).expect("roundtrips"), ind);
+
+    let actions = vec![ControlAction::Handover { ue_id: 1, target_cell: 2 }];
+    let bytes = codec.encode_actions(&actions);
+    assert_eq!(codec.decode_actions(&bytes).expect("roundtrips"), actions);
+}
+
+#[test]
+fn semantic_interop_across_all_codecs() {
+    // Any codec pair interoperates through the semantic model — encode
+    // with X, decode with X, re-encode with Y, decode with Y.
+    let ind = Indication {
+        slot: 424242,
+        reports: vec![kpi(70, 0, 15, 21.5e6), kpi(71, 2, 1, 0.01e6)],
+    };
+    let codecs: [&dyn CommCodec; 3] = [&TlvCodec, &PbCodec, &JsonCodec];
+    for a in codecs {
+        for b in codecs {
+            let wire_a = a.encode_indication(&ind);
+            let sem = a.decode_indication(&wire_a).expect("a decodes");
+            let wire_b = b.encode_indication(&sem);
+            let back = b.decode_indication(&wire_b).expect("b decodes");
+            assert_eq!(back, ind, "{} -> {}", a.name(), b.name());
+        }
+    }
+}
