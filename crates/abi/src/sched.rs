@@ -138,6 +138,14 @@ impl SchedRequest {
     /// Encode to the wire layout.
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(REQUEST_HEADER_LEN + self.ues.len() * UE_RECORD_LEN);
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Append the wire layout to `out` — the reusable-buffer variant for
+    /// per-slot callers that want to avoid an allocation per request.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.reserve(REQUEST_HEADER_LEN + self.ues.len() * UE_RECORD_LEN);
         out.extend_from_slice(&MAGIC.to_le_bytes());
         out.extend_from_slice(&VERSION.to_le_bytes());
         out.extend_from_slice(&(self.ues.len() as u16).to_le_bytes());
@@ -146,9 +154,8 @@ impl SchedRequest {
         out.extend_from_slice(&self.prbs_granted.to_le_bytes());
         out.extend_from_slice(&self.slice_id.to_le_bytes());
         for ue in &self.ues {
-            ue.encode_into(&mut out);
+            ue.encode_into(out);
         }
-        out
     }
 
     /// Decode from the wire layout (what a Rust-side "plugin" or test does;

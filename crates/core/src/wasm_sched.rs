@@ -39,7 +39,9 @@ impl WasmSliceScheduler {
         wasm: &[u8],
         policy: SandboxPolicy,
     ) -> Result<Self, PluginError> {
-        let plugin = Plugin::new(wasm, &Linker::new(), (), policy)?;
+        // Cached load: binding the same plugin to many slices/cells shares
+        // one validated module and its compiled IR.
+        let plugin = Plugin::new_cached(wasm, &Linker::new(), (), policy)?;
         host.install(slot_name, plugin);
         Ok(Self::new(host, slot_name))
     }
@@ -83,7 +85,7 @@ pub fn install_plugin(
     wasm: &[u8],
     policy: SandboxPolicy,
 ) -> Result<(), PluginError> {
-    let plugin = Plugin::new(wasm, &Linker::new(), (), policy)?;
+    let plugin = Plugin::new_cached(wasm, &Linker::new(), (), policy)?;
     host.install(name, plugin);
     Ok(())
 }

@@ -1,12 +1,14 @@
 //! A single hosted plugin: compiled module + live instance + sandbox policy.
 
-use std::sync::Arc;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 use waran_abi::sched::{SchedRequest, SchedResponse};
 use waran_abi::CodecError;
 use waran_wasm::instance::{ExecLimits, Instance, InstantiateError, Linker};
 use waran_wasm::interp::Value;
+use waran_wasm::types::ValType;
 use waran_wasm::{LoadError, Module, Trap};
 
 /// Per-plugin sandbox policy.
@@ -105,12 +107,120 @@ impl From<Trap> for PluginError {
     }
 }
 
+/// A process-wide cache of decoded, validated modules keyed by bytecode.
+///
+/// Installing the same `.wasm` bytes into many slots (one xApp pushed to
+/// every cell, a hot swap back to a previous version, a restart after
+/// quarantine) repeats decode + validate and — because compiled flat IR is
+/// cached per [`Module`] — re-lowers every function body. Routing loads
+/// through the cache makes all such installs share one `Arc<Module>`, so
+/// the second and later installs skip all three and reuse the already
+/// compiled IR.
+///
+/// Keys are FNV-1a hashes of the bytecode; every hit is verified by byte
+/// equality, so a hash collision can never alias two different plugins.
+pub struct ModuleCache {
+    entries: Mutex<HashMap<u64, Vec<(Vec<u8>, Arc<Module>)>>>,
+}
+
+impl ModuleCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        ModuleCache { entries: Mutex::new(HashMap::new()) }
+    }
+
+    /// The process-wide cache used by [`Plugin::new_cached`].
+    pub fn global() -> &'static ModuleCache {
+        static GLOBAL: OnceLock<ModuleCache> = OnceLock::new();
+        GLOBAL.get_or_init(ModuleCache::new)
+    }
+
+    /// Decode + validate `bytes`, or return the cached module for them.
+    pub fn load(&self, bytes: &[u8]) -> Result<Arc<Module>, LoadError> {
+        let key = fnv1a(bytes);
+        {
+            let entries = self.entries.lock().expect("module cache poisoned");
+            if let Some(bucket) = entries.get(&key) {
+                for (stored, module) in bucket {
+                    if stored == bytes {
+                        return Ok(Arc::clone(module));
+                    }
+                }
+            }
+        }
+        // Decode outside the lock: validation is the expensive path and
+        // concurrent installs of *different* modules must not serialize.
+        let module = Arc::new(waran_wasm::load_module(bytes)?);
+        let mut entries = self.entries.lock().expect("module cache poisoned");
+        let bucket = entries.entry(key).or_default();
+        // A racing install may have added it between unlock and relock.
+        for (stored, cached) in bucket.iter() {
+            if stored == bytes {
+                return Ok(Arc::clone(cached));
+            }
+        }
+        bucket.push((bytes.to_vec(), Arc::clone(&module)));
+        Ok(module)
+    }
+
+    /// Number of distinct modules cached.
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("module cache poisoned").values().map(Vec::len).sum()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop every cached module (live `Arc<Module>`s stay valid).
+    pub fn clear(&self) {
+        self.entries.lock().expect("module cache poisoned").clear();
+    }
+}
+
+impl Default for ModuleCache {
+    fn default() -> Self {
+        ModuleCache::new()
+    }
+}
+
+/// 64-bit FNV-1a over the module bytecode.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
 /// A loaded, instantiated plugin with host state `T`.
+/// An ABI entry point resolved once at instantiation. The byte-buffer ABI
+/// calls `wrn_alloc`/`entry`/`wrn_reset` every slot; resolving the export
+/// by name each time is a linear string scan on the hot path.
+#[derive(Debug, Clone, Copy)]
+enum AbiFn {
+    /// Export present with the expected signature: call by index.
+    Ok(u32),
+    /// Absent or wrongly typed: fall back to the name-based `invoke`,
+    /// which reports the precise binding error.
+    Dynamic,
+}
+
 pub struct Plugin<T> {
     instance: Instance<T>,
     policy: SandboxPolicy,
     /// Wall-clock time of the most recent call (incl. ABI copies).
     last_call: Option<Duration>,
+    /// `wrn_alloc(len) -> ptr`, pre-resolved.
+    alloc_fn: AbiFn,
+    /// `wrn_reset()`, pre-resolved; `None` when the module doesn't export it.
+    reset_fn: Option<AbiFn>,
+    /// Most recent `(entry name, resolved index)` pair.
+    entry_cache: Option<(String, u32)>,
+    /// Reusable request-encoding buffer for [`Self::call_sched`].
+    scratch: Vec<u8>,
 }
 
 impl<T> Plugin<T> {
@@ -123,6 +233,19 @@ impl<T> Plugin<T> {
     ) -> Result<Plugin<T>, PluginError> {
         let module = waran_wasm::load_module(bytes).map_err(PluginError::Load)?;
         Self::from_module(Arc::new(module), linker, data, policy)
+    }
+
+    /// Like [`Self::new`], but routed through the global [`ModuleCache`]:
+    /// repeated installs of identical bytecode share one validated module
+    /// and its compiled flat IR.
+    pub fn new_cached(
+        bytes: &[u8],
+        linker: &Linker<T>,
+        data: T,
+        policy: SandboxPolicy,
+    ) -> Result<Plugin<T>, PluginError> {
+        let module = ModuleCache::global().load(bytes).map_err(PluginError::Load)?;
+        Self::from_module(module, linker, data, policy)
     }
 
     /// Instantiate an already-validated module.
@@ -140,7 +263,31 @@ impl<T> Plugin<T> {
         let mut instance =
             Instance::with_limits(module, linker, data, limits).map_err(PluginError::Instantiate)?;
         instance.set_deadline(policy.deadline);
-        Ok(Plugin { instance, policy, last_call: None })
+        let alloc_fn = Self::resolve_abi(&instance, "wrn_alloc", &[ValType::I32]);
+        let reset_fn = if instance.has_export("wrn_reset") {
+            Some(Self::resolve_abi(&instance, "wrn_reset", &[]))
+        } else {
+            None
+        };
+        Ok(Plugin {
+            instance,
+            policy,
+            last_call: None,
+            alloc_fn,
+            reset_fn,
+            entry_cache: None,
+            scratch: Vec::new(),
+        })
+    }
+
+    /// Resolve an exported ABI function whose parameters must be exactly
+    /// `params`. Anything else stays [`AbiFn::Dynamic`] so the per-call
+    /// binding error matches the name-based path.
+    fn resolve_abi(instance: &Instance<T>, name: &str, params: &[ValType]) -> AbiFn {
+        match (instance.module().exported_func(name), instance.export_type(name)) {
+            (Some(idx), Some(ty)) if ty.params == params => AbiFn::Ok(idx),
+            _ => AbiFn::Dynamic,
+        }
     }
 
     /// The sandbox policy in force.
@@ -181,6 +328,22 @@ impl<T> Plugin<T> {
     /// [`Self::last_call_duration`].
     pub fn call(&mut self, entry: &str, input: &[u8]) -> Result<Vec<u8>, PluginError> {
         let start = Instant::now();
+        let (out_ptr, out_len) = self.call_raw(entry, input)?;
+        let output = self
+            .instance
+            .memory()
+            .read_bytes(out_ptr, out_len)
+            .map_err(|_| PluginError::Abi("plugin returned an out-of-bounds buffer".into()))?
+            .to_vec();
+        self.finish_call(start)?;
+        Ok(output)
+    }
+
+    /// Steps 1-3 of the ABI dance: fuel re-arm, input copy-in, entry run,
+    /// response-length policy check. Returns the guest-memory span of the
+    /// output; the caller copies or decodes it, then runs
+    /// [`Self::finish_call`].
+    fn call_raw(&mut self, entry: &str, input: &[u8]) -> Result<(u32, u32), PluginError> {
         if let Some(fuel) = self.policy.fuel_per_call {
             self.instance.set_fuel(Some(fuel));
         }
@@ -191,10 +354,11 @@ impl<T> Plugin<T> {
         let in_ptr = if input.is_empty() {
             0
         } else {
-            let ptr = self
-                .instance
-                .invoke("wrn_alloc", &[Value::I32(len as i32)])?
-                .ok_or_else(|| PluginError::Abi("wrn_alloc returned nothing".into()))?;
+            let ptr = match self.alloc_fn {
+                AbiFn::Ok(f) => self.instance.call_func(f, &[Value::I32(len as i32)])?,
+                AbiFn::Dynamic => self.instance.invoke("wrn_alloc", &[Value::I32(len as i32)])?,
+            }
+            .ok_or_else(|| PluginError::Abi("wrn_alloc returned nothing".into()))?;
             let Value::I32(ptr) = ptr else {
                 return Err(PluginError::Abi("wrn_alloc returned a non-i32".into()));
             };
@@ -206,15 +370,23 @@ impl<T> Plugin<T> {
         };
 
         // 3: run the entry point.
-        let result =
-            self.instance.invoke(entry, &[Value::I32(in_ptr as i32), Value::I32(len as i32)])?;
+        let args = [Value::I32(in_ptr as i32), Value::I32(len as i32)];
+        let result = match &self.entry_cache {
+            Some((name, f)) if name == entry => self.instance.call_func(*f, &args)?,
+            _ => match Self::resolve_abi(&self.instance, entry, &[ValType::I32, ValType::I32]) {
+                AbiFn::Ok(f) => {
+                    self.entry_cache = Some((entry.to_string(), f));
+                    self.instance.call_func(f, &args)?
+                }
+                AbiFn::Dynamic => self.instance.invoke(entry, &args)?,
+            },
+        };
         let Some(Value::I64(packed)) = result else {
             return Err(PluginError::Abi(format!(
                 "entry `{entry}` must return a packed i64, got {result:?}"
             )));
         };
 
-        // 4: copy the output out.
         let out_ptr = (packed as u64 >> 32) as u32;
         let out_len = (packed as u64 & 0xffff_ffff) as u32;
         if out_len > self.policy.max_response_bytes {
@@ -223,29 +395,50 @@ impl<T> Plugin<T> {
                 self.policy.max_response_bytes
             )));
         }
-        let output = self
-            .instance
-            .memory()
-            .read_bytes(out_ptr, out_len)
-            .map_err(|_| PluginError::Abi("plugin returned an out-of-bounds buffer".into()))?
-            .to_vec();
+        Ok((out_ptr, out_len))
+    }
 
-        // 5: recycle the guest heap for the next slot.
-        if self.instance.has_export("wrn_reset") {
-            self.instance.invoke("wrn_reset", &[])?;
+    /// Step 5: recycle the guest heap for the next slot, stamp the call
+    /// duration.
+    fn finish_call(&mut self, start: Instant) -> Result<(), PluginError> {
+        match self.reset_fn {
+            Some(AbiFn::Ok(f)) => {
+                self.instance.call_func(f, &[])?;
+            }
+            Some(AbiFn::Dynamic) => {
+                self.instance.invoke("wrn_reset", &[])?;
+            }
+            None => {}
         }
-
         self.last_call = Some(start.elapsed());
-        Ok(output)
+        Ok(())
     }
 
     /// Typed scheduler call: encode the request, run `schedule`, decode and
     /// bound the response (at most one allocation per UE plus slack for
     /// padding records).
+    ///
+    /// Unlike [`Self::call`] this reuses the plugin's scratch buffer for the
+    /// request bytes and decodes the response straight out of guest memory —
+    /// zero host-side allocations beyond the decoded allocation list.
     pub fn call_sched(&mut self, req: &SchedRequest) -> Result<SchedResponse, PluginError> {
-        let input = req.encode();
-        let output = self.call("schedule", &input)?;
-        SchedResponse::decode(&output, req.ues.len() + 8).map_err(PluginError::Codec)
+        let start = Instant::now();
+        let mut input = std::mem::take(&mut self.scratch);
+        input.clear();
+        req.encode_into(&mut input);
+        let raw = self.call_raw("schedule", &input);
+        self.scratch = input;
+        let (out_ptr, out_len) = raw?;
+        let decoded = {
+            let bytes = self
+                .instance
+                .memory()
+                .read_bytes(out_ptr, out_len)
+                .map_err(|_| PluginError::Abi("plugin returned an out-of-bounds buffer".into()))?;
+            SchedResponse::decode(bytes, req.ues.len() + 8)
+        };
+        self.finish_call(start)?;
+        decoded.map_err(PluginError::Codec)
     }
 
     /// Current guest memory footprint in bytes.
@@ -265,5 +458,65 @@ impl<T> std::fmt::Debug for Plugin<T> {
             .field("memory_bytes", &self.memory_bytes())
             .field("policy", &self.policy)
             .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn module_bytes(body: &str) -> Vec<u8> {
+        waran_wasm::wat::assemble(body).unwrap()
+    }
+
+    #[test]
+    fn cache_shares_identical_bytecode() {
+        let cache = ModuleCache::new();
+        let a = module_bytes(r#"(module (func (export "f") (result i32) i32.const 1))"#);
+        let b = module_bytes(r#"(module (func (export "f") (result i32) i32.const 2))"#);
+
+        let m1 = cache.load(&a).unwrap();
+        let m2 = cache.load(&a).unwrap();
+        let m3 = cache.load(&b).unwrap();
+        assert!(Arc::ptr_eq(&m1, &m2), "identical bytes must share one module");
+        assert!(!Arc::ptr_eq(&m1, &m3), "different bytes must not alias");
+        assert_eq!(cache.len(), 2);
+
+        cache.clear();
+        assert!(cache.is_empty());
+        // Cached entries dropped, but live modules stay usable.
+        let inst = Instance::new(m1, &Linker::<()>::new(), ()).unwrap();
+        drop(inst);
+    }
+
+    #[test]
+    fn cache_rejects_and_does_not_cache_invalid_modules() {
+        let cache = ModuleCache::new();
+        assert!(cache.load(b"not wasm").is_err());
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn cached_plugins_run_independently() {
+        // Two plugins from one cached module must not share mutable state.
+        let wasm = module_bytes(
+            r#"(module
+                 (global $g (mut i32) (i32.const 0))
+                 (func (export "bump") (result i32)
+                   global.get $g
+                   i32.const 1
+                   i32.add
+                   global.set $g
+                   global.get $g))"#,
+        );
+        let mk = || {
+            Plugin::new_cached(&wasm, &Linker::<()>::new(), (), SandboxPolicy::default()).unwrap()
+        };
+        let mut p1 = mk();
+        let mut p2 = mk();
+        assert_eq!(p1.instance_mut().invoke("bump", &[]).unwrap(), Some(Value::I32(1)));
+        assert_eq!(p1.instance_mut().invoke("bump", &[]).unwrap(), Some(Value::I32(2)));
+        // p2 has its own globals despite the shared module.
+        assert_eq!(p2.instance_mut().invoke("bump", &[]).unwrap(), Some(Value::I32(1)));
     }
 }

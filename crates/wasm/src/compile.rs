@@ -1,0 +1,1477 @@
+//! Lowering of validated function bodies into a flat, execution-ready IR.
+//!
+//! The decoded [`Instr`] tree stays the source of truth for `disasm`,
+//! `encode` and the reference interpreter; this pass consumes it and
+//! produces a [`CompiledFunc`] the hot interpreter loop runs instead:
+//!
+//! * **Side-table branches** — every `br`/`br_if`/`br_table`/`else` and
+//!   block `end` is resolved at compile time into an absolute op PC plus a
+//!   precomputed unwind descriptor ([`BranchTarget`]: frame-relative stack
+//!   height + result arity). The runtime label stack disappears entirely.
+//! * **Basic-block metering** — fuel, the wall-clock deadline and the
+//!   value-stack bound are charged once per basic block by a leading
+//!   [`Op::Meter`] whose `cost` is the number of *source* instructions in
+//!   the block, computed here. Fuel totals are identical to per-instruction
+//!   metering on every complete execution; see the notes on `Meter` below
+//!   for the granularity change on mid-block traps.
+//! * **Superinstruction fusion** — the operand patterns PlugC's code
+//!   generator emits hottest (`local.get local.get binop`,
+//!   `const`/`local.get` operands, `compare (i32.eqz) br_if`,
+//!   `local.get load`) collapse into single ops, within one basic block
+//!   only so branch targets stay valid.
+//! * **Branch-table interning** — `br_table` targets live in the
+//!   per-function [`CompiledFunc::branches`] side array (indexed `u32`),
+//!   not behind a per-instruction `Box<[u32]>`.
+//!
+//! Compilation requires a *validated* body: the lowering trusts the
+//! type/stack discipline the validator establishes (as the reference
+//! interpreter already does) and panics on malformed input.
+
+use std::sync::OnceLock;
+
+use crate::instr::Instr;
+use crate::interp::Value;
+use crate::module::Module;
+use crate::types::{BlockType, ValType};
+
+/// Fused i32 binary operator (non-trapping arithmetic and comparisons;
+/// `div`/`rem` keep their own trapping ops).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum I32Op {
+    Add,
+    Sub,
+    Mul,
+    And,
+    Or,
+    Xor,
+    Shl,
+    ShrS,
+    ShrU,
+    Rotl,
+    Rotr,
+    Eq,
+    Ne,
+    LtS,
+    LtU,
+    GtS,
+    GtU,
+    LeS,
+    LeU,
+    GeS,
+    GeU,
+}
+
+impl I32Op {
+    /// The fused operator for a decoded instruction, when one exists.
+    fn from_instr(i: &Instr) -> Option<I32Op> {
+        Some(match i {
+            Instr::I32Add => I32Op::Add,
+            Instr::I32Sub => I32Op::Sub,
+            Instr::I32Mul => I32Op::Mul,
+            Instr::I32And => I32Op::And,
+            Instr::I32Or => I32Op::Or,
+            Instr::I32Xor => I32Op::Xor,
+            Instr::I32Shl => I32Op::Shl,
+            Instr::I32ShrS => I32Op::ShrS,
+            Instr::I32ShrU => I32Op::ShrU,
+            Instr::I32Rotl => I32Op::Rotl,
+            Instr::I32Rotr => I32Op::Rotr,
+            Instr::I32Eq => I32Op::Eq,
+            Instr::I32Ne => I32Op::Ne,
+            Instr::I32LtS => I32Op::LtS,
+            Instr::I32LtU => I32Op::LtU,
+            Instr::I32GtS => I32Op::GtS,
+            Instr::I32GtU => I32Op::GtU,
+            Instr::I32LeS => I32Op::LeS,
+            Instr::I32LeU => I32Op::LeU,
+            Instr::I32GeS => I32Op::GeS,
+            Instr::I32GeU => I32Op::GeU,
+            _ => return None,
+        })
+    }
+
+    fn commutative(self) -> bool {
+        matches!(
+            self,
+            I32Op::Add | I32Op::Mul | I32Op::And | I32Op::Or | I32Op::Xor | I32Op::Eq | I32Op::Ne
+        )
+    }
+
+    /// Logical negation, defined for comparisons only (integer comparisons
+    /// are a total order, so `!(a < b) == a >= b` always holds — unlike
+    /// floats, which is why float compares never fuse with `i32.eqz`).
+    fn negate(self) -> Option<I32Op> {
+        Some(match self {
+            I32Op::Eq => I32Op::Ne,
+            I32Op::Ne => I32Op::Eq,
+            I32Op::LtS => I32Op::GeS,
+            I32Op::LtU => I32Op::GeU,
+            I32Op::GtS => I32Op::LeS,
+            I32Op::GtU => I32Op::LeU,
+            I32Op::LeS => I32Op::GtS,
+            I32Op::LeU => I32Op::GtU,
+            I32Op::GeS => I32Op::LtS,
+            I32Op::GeU => I32Op::LtU,
+            _ => return None,
+        })
+    }
+
+    /// Evaluate the operator. Comparisons produce 0/1.
+    #[inline(always)]
+    pub fn eval(self, a: i32, b: i32) -> i32 {
+        match self {
+            I32Op::Add => a.wrapping_add(b),
+            I32Op::Sub => a.wrapping_sub(b),
+            I32Op::Mul => a.wrapping_mul(b),
+            I32Op::And => a & b,
+            I32Op::Or => a | b,
+            I32Op::Xor => a ^ b,
+            I32Op::Shl => a.wrapping_shl(b as u32),
+            I32Op::ShrS => a.wrapping_shr(b as u32),
+            I32Op::ShrU => ((a as u32).wrapping_shr(b as u32)) as i32,
+            I32Op::Rotl => a.rotate_left(b as u32 & 31),
+            I32Op::Rotr => a.rotate_right(b as u32 & 31),
+            I32Op::Eq => (a == b) as i32,
+            I32Op::Ne => (a != b) as i32,
+            I32Op::LtS => (a < b) as i32,
+            I32Op::LtU => ((a as u32) < (b as u32)) as i32,
+            I32Op::GtS => (a > b) as i32,
+            I32Op::GtU => ((a as u32) > (b as u32)) as i32,
+            I32Op::LeS => (a <= b) as i32,
+            I32Op::LeU => ((a as u32) <= (b as u32)) as i32,
+            I32Op::GeS => (a >= b) as i32,
+            I32Op::GeU => ((a as u32) >= (b as u32)) as i32,
+        }
+    }
+}
+
+/// A resolved branch destination: absolute op PC plus the unwind
+/// descriptor. Taking the branch moves the top `arity` values down to
+/// frame-relative `height`, truncates the stack there, and jumps to `pc`
+/// (always the `Meter` leading the target basic block, except for
+/// function-level targets which point at a `Return`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BranchTarget {
+    /// Destination op index.
+    pub pc: u32,
+    /// Operand-stack height (relative to the frame base) the target block
+    /// starts at, *excluding* the carried values.
+    pub height: u32,
+    /// Result values the branch carries.
+    pub arity: u8,
+}
+
+/// One flat-IR operation. Branch-carrying ops index
+/// [`CompiledFunc::branches`]; locals in fused ops are `u16` (fusion is
+/// skipped for the rare function with more locals).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Op {
+    /// Basic-block header: charge `cost` fuel (the number of source
+    /// instructions in the block), poll the deadline, and verify the value
+    /// stack can grow by `peak` without exceeding the limit.
+    Meter { cost: u32, peak: u32 },
+    Unreachable,
+    Br(u32),
+    /// Branch when top-of-stack != 0.
+    BrIf(u32),
+    /// Branch when top-of-stack == 0.
+    BrIfZ(u32),
+    /// Pop b, a; branch when `op(a, b)` holds (fused compare+br_if).
+    BrIfCmp { op: I32Op, br: u32 },
+    /// Branch when `op(locals[a], locals[b])` holds; touches no stack.
+    BrIfLL { op: I32Op, a: u16, b: u16, br: u32 },
+    /// Pop selector; take `branches[start + min(sel, n)]` (`start + n` is
+    /// the default target).
+    BrTable { start: u32, n: u32 },
+    Return,
+    /// Call a module-local function (index into `Module::funcs`).
+    CallWasm(u32),
+    /// Call an imported host function; `ret` encodes the result type
+    /// (0 = none, 1..4 = I32/I64/F32/F64) so no type lookup happens at
+    /// run time.
+    CallHost { f: u32, argc: u16, ret: u8 },
+    CallIndirect(u32),
+    Drop,
+    Select,
+
+    LocalGet(u32),
+    /// Push locals[a] then locals[b] (fused adjacent local.get pair).
+    LocalGet2 { a: u16, b: u16 },
+    LocalSet(u32),
+    LocalTee(u32),
+    /// `locals[dst] = k` (fused const + local.set); touches no stack.
+    LocalSetC { dst: u16, k: i32 },
+    /// `locals[dst] = locals[src]` (fused local.get + local.set).
+    LocalCopy { src: u16, dst: u16 },
+    GlobalGet(u32),
+    GlobalSet(u32),
+
+    /// Pop b, a; push `op(a, b)` — the generic form of every non-trapping
+    /// i32 binop/compare.
+    I32Bin(I32Op),
+    /// Push `op(locals[a], locals[b])` (fused local.get×2 + binop).
+    I32BinLL { op: I32Op, a: u16, b: u16 },
+    /// Pop a; push `op(a, locals[b])`.
+    I32BinSL { op: I32Op, b: u16 },
+    /// Pop a; push `op(a, k)` (fused const + binop).
+    I32BinSC { op: I32Op, k: i32 },
+    /// Push `op(locals[a], k)`.
+    I32BinLC { op: I32Op, a: u16, k: i32 },
+    /// `locals[dst] = op(locals[a], locals[b])` — a three-address
+    /// register op (binop + local.set write-back); touches no stack.
+    I32BinLLSet { op: I32Op, a: u16, b: u16, dst: u16 },
+    /// `locals[dst] = op(locals[a], k)` — the canonical loop increment
+    /// `i = i + 1` is exactly one of these.
+    I32BinLCSet { op: I32Op, a: u16, k: i32, dst: u16 },
+    /// Pop a; `locals[dst] = op(a, locals[b])`.
+    I32BinSLSet { op: I32Op, b: u16, dst: u16 },
+    /// Pop a; `locals[dst] = op(a, k)`.
+    I32BinSCSet { op: I32Op, k: i32, dst: u16 },
+
+    /// Fused local.get + load (address comes straight from the local; the
+    /// static offset keeps the original u64 bounds-check semantics).
+    I32LoadL { l: u16, off: u32 },
+    I64LoadL { l: u16, off: u32 },
+    F64LoadL { l: u16, off: u32 },
+    I32Load8UL { l: u16, off: u32 },
+    /// Pop addr; `locals[dst] = load(addr + off)` (load + local.set).
+    I32LoadSet { off: u32, dst: u16 },
+    /// `locals[dst] = load(locals[l] + off)` — a full register-to-register
+    /// load; touches no stack.
+    I32LoadLSet { l: u16, off: u32, dst: u16 },
+
+    I32Load(u32),
+    I64Load(u32),
+    F32Load(u32),
+    F64Load(u32),
+    I32Load8S(u32),
+    I32Load8U(u32),
+    I32Load16S(u32),
+    I32Load16U(u32),
+    I64Load8S(u32),
+    I64Load8U(u32),
+    I64Load16S(u32),
+    I64Load16U(u32),
+    I64Load32S(u32),
+    I64Load32U(u32),
+    I32Store(u32),
+    I64Store(u32),
+    F32Store(u32),
+    F64Store(u32),
+    I32Store8(u32),
+    I32Store16(u32),
+    I64Store8(u32),
+    I64Store16(u32),
+    I64Store32(u32),
+    MemorySize,
+    MemoryGrow,
+    MemoryCopy,
+    MemoryFill,
+
+    I32Const(i32),
+    I64Const(i64),
+    F32Const(f32),
+    F64Const(f64),
+
+    I32Eqz,
+    I32Clz,
+    I32Ctz,
+    I32Popcnt,
+    I32DivS,
+    I32DivU,
+    I32RemS,
+    I32RemU,
+
+    I64Eqz,
+    I64Eq,
+    I64Ne,
+    I64LtS,
+    I64LtU,
+    I64GtS,
+    I64GtU,
+    I64LeS,
+    I64LeU,
+    I64GeS,
+    I64GeU,
+    I64Clz,
+    I64Ctz,
+    I64Popcnt,
+    I64Add,
+    I64Sub,
+    I64Mul,
+    I64DivS,
+    I64DivU,
+    I64RemS,
+    I64RemU,
+    I64And,
+    I64Or,
+    I64Xor,
+    I64Shl,
+    I64ShrS,
+    I64ShrU,
+    I64Rotl,
+    I64Rotr,
+
+    F32Eq,
+    F32Ne,
+    F32Lt,
+    F32Gt,
+    F32Le,
+    F32Ge,
+    F64Eq,
+    F64Ne,
+    F64Lt,
+    F64Gt,
+    F64Le,
+    F64Ge,
+
+    F32Abs,
+    F32Neg,
+    F32Ceil,
+    F32Floor,
+    F32Trunc,
+    F32Nearest,
+    F32Sqrt,
+    F32Add,
+    F32Sub,
+    F32Mul,
+    F32Div,
+    F32Min,
+    F32Max,
+    F32Copysign,
+    F64Abs,
+    F64Neg,
+    F64Ceil,
+    F64Floor,
+    F64Trunc,
+    F64Nearest,
+    F64Sqrt,
+    F64Add,
+    F64Sub,
+    F64Mul,
+    F64Div,
+    F64Min,
+    F64Max,
+    F64Copysign,
+
+    I32WrapI64,
+    I32TruncF32S,
+    I32TruncF32U,
+    I32TruncF64S,
+    I32TruncF64U,
+    I64ExtendI32S,
+    I64ExtendI32U,
+    I64TruncF32S,
+    I64TruncF32U,
+    I64TruncF64S,
+    I64TruncF64U,
+    F32ConvertI32S,
+    F32ConvertI32U,
+    F32ConvertI64S,
+    F32ConvertI64U,
+    F32DemoteF64,
+    F64ConvertI32S,
+    F64ConvertI32U,
+    F64ConvertI64S,
+    F64ConvertI64U,
+    F64PromoteF32,
+    I32ReinterpretF32,
+    I64ReinterpretF64,
+    F32ReinterpretI32,
+    F64ReinterpretI64,
+    I32Extend8S,
+    I32Extend16S,
+    I64Extend8S,
+    I64Extend16S,
+    I64Extend32S,
+    I32TruncSatF32S,
+    I32TruncSatF32U,
+    I32TruncSatF64S,
+    I32TruncSatF64U,
+    I64TruncSatF32S,
+    I64TruncSatF32U,
+    I64TruncSatF64S,
+    I64TruncSatF64U,
+}
+
+/// A function body lowered to the flat IR, ready to execute.
+#[derive(Debug, Clone)]
+pub struct CompiledFunc {
+    /// Flat op sequence.
+    pub ops: Box<[Op]>,
+    /// Interned branch targets (including all `br_table` entries).
+    pub branches: Box<[BranchTarget]>,
+    /// Zero values for the declared (non-parameter) locals, memcpy'd into
+    /// the locals arena on frame entry.
+    pub locals_init: Box<[Value]>,
+    /// Parameter count.
+    pub argc: u32,
+    /// Result count (0 or 1 in the MVP).
+    pub ret_arity: u32,
+}
+
+/// Per-function compile cache slot, stored on
+/// [`FuncBody`](crate::module::FuncBody). Wraps `OnceLock` so `FuncBody`
+/// keeps its derived `Clone`/`PartialEq`/`Debug`; the cache is identity-
+/// irrelevant to module equality.
+pub struct CompiledCell(OnceLock<CompiledFunc>);
+
+impl CompiledCell {
+    /// Empty (not-yet-compiled) cell.
+    pub const fn new() -> Self {
+        CompiledCell(OnceLock::new())
+    }
+
+    /// The compiled body, compiling on first use. `local_idx` indexes
+    /// `module.funcs` and must be the body this cell lives on.
+    pub fn get_or_compile(&self, module: &Module, local_idx: u32) -> &CompiledFunc {
+        self.0.get_or_init(|| compile_func(module, local_idx))
+    }
+}
+
+impl Default for CompiledCell {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clone for CompiledCell {
+    fn clone(&self) -> Self {
+        let cell = OnceLock::new();
+        if let Some(cf) = self.0.get() {
+            let _ = cell.set(cf.clone());
+        }
+        CompiledCell(cell)
+    }
+}
+
+impl PartialEq for CompiledCell {
+    fn eq(&self, _: &Self) -> bool {
+        true
+    }
+}
+
+impl std::fmt::Debug for CompiledCell {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "CompiledCell({})", if self.0.get().is_some() { "compiled" } else { "pending" })
+    }
+}
+
+/// Control-frame kind tracked during lowering.
+enum CtrlKind {
+    /// The implicit function-level frame (branches to it return).
+    Func,
+    /// `block` — and `if` frames once their else edge is resolved.
+    Block,
+    /// `loop` with its resolved back-edge target (the header `Meter`).
+    Loop { header: u32 },
+    /// `if` whose false edge (branch index) still needs a destination.
+    If { else_br: u32 },
+}
+
+struct Ctrl {
+    kind: CtrlKind,
+    /// Frame-relative operand height at entry (after the `if` condition).
+    height: u32,
+    arity: u8,
+    /// Branch indices to patch to this frame's end leader.
+    fixups: Vec<u32>,
+}
+
+struct FnCompiler<'m> {
+    module: &'m Module,
+    n_imports: u32,
+    ops: Vec<Op>,
+    branches: Vec<BranchTarget>,
+    ctrls: Vec<Ctrl>,
+    /// Static operand height, frame-relative. Exact for reachable code.
+    height: usize,
+    reachable: bool,
+    /// Whether a metered block is currently open.
+    open: bool,
+    meter_pc: usize,
+    block_cost: u32,
+    block_entry: usize,
+    block_max: usize,
+    /// Fusion may only rewrite ops at indices >= this (current block).
+    fuse_floor: usize,
+    /// Branch indices targeting the function level, patched to the final
+    /// return trampoline.
+    fn_level: Vec<u32>,
+    ret_arity: u32,
+    /// Added to every local index while lowering an inlined callee body
+    /// (the callee's locals live in fresh caller slots).
+    local_offset: u32,
+    /// Next free local slot for inlined callees.
+    next_local: u32,
+    /// Callee indices currently being inlined (recursion/depth guard).
+    inline_stack: Vec<u32>,
+    /// Zero values for the inline slots, appended to `locals_init`.
+    extra_locals: Vec<Value>,
+}
+
+/// Lower one validated function body (index into `Module::funcs`) to the
+/// flat IR. Prefer [`Module::compiled_func`], which caches the result.
+pub fn compile_func(module: &Module, local_idx: u32) -> CompiledFunc {
+    let body = &module.funcs[local_idx as usize];
+    let ty = &module.types[body.type_idx as usize];
+    let ret_arity = ty.results.len() as u32;
+    let mut c = FnCompiler {
+        module,
+        n_imports: module.num_imported_funcs(),
+        ops: Vec::with_capacity(body.code.len() + 8),
+        branches: Vec::new(),
+        ctrls: vec![Ctrl {
+            kind: CtrlKind::Func,
+            height: 0,
+            arity: ret_arity as u8,
+            fixups: Vec::new(),
+        }],
+        height: 0,
+        reachable: true,
+        open: false,
+        meter_pc: 0,
+        block_cost: 0,
+        block_entry: 0,
+        block_max: 0,
+        fuse_floor: 0,
+        fn_level: Vec::new(),
+        ret_arity,
+        local_offset: 0,
+        next_local: (ty.params.len() + body.locals.len()) as u32,
+        inline_stack: Vec::new(),
+        extra_locals: Vec::new(),
+    };
+    for instr in &body.code {
+        c.lower(instr);
+    }
+    debug_assert!(c.ctrls.is_empty(), "validated: balanced control frames");
+    // Conditional branches to the function level land on a shared return
+    // trampoline (unmetered: the branch already paid for itself, matching
+    // the reference interpreter, which never executes an End on this path).
+    if !c.fn_level.is_empty() {
+        let tramp = c.ops.len() as u32;
+        c.ops.push(Op::Return);
+        for bi in &c.fn_level {
+            c.branches[*bi as usize].pc = tramp;
+        }
+    }
+    let locals_init =
+        body.locals.iter().map(|t| Value::zero(*t)).chain(c.extra_locals).collect();
+    CompiledFunc {
+        ops: c.ops.into_boxed_slice(),
+        branches: c.branches.into_boxed_slice(),
+        locals_init,
+        argc: ty.params.len() as u32,
+        ret_arity,
+    }
+}
+
+/// True for instructions an inlined callee body may contain: straight-line
+/// data flow only — no control flow. Nested direct calls are allowed; they
+/// are lowered recursively (inlined again where possible, emitted as real
+/// calls otherwise), bounded by [`INLINE_MAX_DEPTH`].
+fn is_straight_line(instr: &Instr) -> bool {
+    !matches!(
+        instr,
+        Instr::Block { .. }
+            | Instr::Loop { .. }
+            | Instr::If { .. }
+            | Instr::Else { .. }
+            | Instr::End
+            | Instr::Br { .. }
+            | Instr::BrIf { .. }
+            | Instr::BrTable { .. }
+            | Instr::Return
+            | Instr::CallIndirect { .. }
+            | Instr::Unreachable
+    )
+}
+
+/// Inline at most this many source instructions per callee body.
+const INLINE_MAX_INSTRS: usize = 64;
+
+/// Maximum nesting of inlined callee bodies (a callee's own calls may
+/// inline one more level; deeper or recursive chains become real calls).
+const INLINE_MAX_DEPTH: usize = 2;
+
+impl<'m> FnCompiler<'m> {
+    /// Finalize the open block's `Meter` (cost + static peak growth).
+    fn seal(&mut self) {
+        if self.open {
+            let peak = (self.block_max - self.block_entry) as u32;
+            if let Op::Meter { cost, peak: p } = &mut self.ops[self.meter_pc] {
+                *cost = self.block_cost;
+                *p = peak;
+            }
+            self.open = false;
+        }
+    }
+
+    /// The current block leader's PC, opening a fresh block when none is.
+    fn leader(&mut self) -> u32 {
+        if !self.open {
+            self.meter_pc = self.ops.len();
+            self.ops.push(Op::Meter { cost: 0, peak: 0 });
+            self.block_cost = 0;
+            self.block_entry = self.height;
+            self.block_max = self.height;
+            self.fuse_floor = self.ops.len();
+            self.open = true;
+        }
+        self.meter_pc as u32
+    }
+
+    /// Charge `n` source instructions to the current block.
+    fn count(&mut self, n: u32) {
+        self.leader();
+        self.block_cost += n;
+    }
+
+    fn emit(&mut self, op: Op) {
+        self.leader();
+        self.ops.push(op);
+    }
+
+    /// Apply a source instruction's stack effect to the static height.
+    fn bump(&mut self, pops: usize, pushes: usize) {
+        self.height = self
+            .height
+            .checked_sub(pops)
+            .expect("validated: operand stack underflow")
+            + pushes;
+        if self.height > self.block_max {
+            self.block_max = self.height;
+        }
+    }
+
+    fn new_branch(&mut self, height: u32, arity: u8) -> u32 {
+        self.branches.push(BranchTarget { pc: u32::MAX, height, arity });
+        (self.branches.len() - 1) as u32
+    }
+
+    /// Resolve a relative branch depth to a branch-table index. Loop
+    /// targets resolve immediately; forward targets are fixed up at `end`;
+    /// function-level targets go to the return trampoline.
+    fn branch_index(&mut self, depth: u32) -> u32 {
+        let ci = self.ctrls.len() - 1 - depth as usize;
+        if ci == 0 {
+            let b = self.new_branch(0, self.ret_arity as u8);
+            self.fn_level.push(b);
+            return b;
+        }
+        let (height, arity) = (self.ctrls[ci].height, self.ctrls[ci].arity);
+        match self.ctrls[ci].kind {
+            CtrlKind::Loop { header } => {
+                self.branches.push(BranchTarget { pc: header, height, arity: 0 });
+                (self.branches.len() - 1) as u32
+            }
+            _ => {
+                let b = self.new_branch(height, arity);
+                self.ctrls[ci].fixups.push(b);
+                b
+            }
+        }
+    }
+
+    /// The trailing op of the current block, if any (fusion window).
+    fn tail(&self) -> Option<Op> {
+        if self.ops.len() > self.fuse_floor {
+            self.ops.last().copied()
+        } else {
+            None
+        }
+    }
+
+    /// The two trailing ops of the current block, if present.
+    fn tail2(&self) -> Option<(Op, Op)> {
+        let n = self.ops.len();
+        if n >= self.fuse_floor + 2 {
+            Some((self.ops[n - 2], self.ops[n - 1]))
+        } else {
+            None
+        }
+    }
+
+    fn pop_tail(&mut self, n: usize) {
+        self.ops.truncate(self.ops.len() - n);
+    }
+
+    /// Plain op: count, emit, apply stack effect.
+    fn simple(&mut self, op: Op, pops: usize, pushes: usize) {
+        self.count(1);
+        self.emit(op);
+        self.bump(pops, pushes);
+    }
+
+    fn lower(&mut self, instr: &Instr) {
+        if !self.reachable {
+            // Skip dead code, but keep the control-frame bookkeeping so
+            // `else`/`end` can restore reachability.
+            match instr {
+                Instr::Block { ty, .. } | Instr::Loop { ty } | Instr::If { ty, .. } => {
+                    self.ctrls.push(Ctrl {
+                        kind: CtrlKind::Block,
+                        height: self.height as u32,
+                        arity: ty.arity() as u8,
+                        fixups: Vec::new(),
+                    });
+                }
+                Instr::Else { .. } => self.lower_else(),
+                Instr::End => self.lower_end(),
+                _ => {}
+            }
+            return;
+        }
+        match instr {
+            Instr::Unreachable => {
+                self.count(1);
+                self.emit(Op::Unreachable);
+                self.seal();
+                self.reachable = false;
+            }
+            Instr::Nop => self.count(1),
+            Instr::Block { ty, .. } => {
+                self.count(1);
+                self.ctrls.push(Ctrl {
+                    kind: CtrlKind::Block,
+                    height: self.height as u32,
+                    arity: ty.arity() as u8,
+                    fixups: Vec::new(),
+                });
+            }
+            Instr::Loop { ty } => {
+                // The loop header must start a fresh block even when the
+                // current one is empty: its Meter is the back-edge target
+                // and is re-charged every iteration (the reference
+                // interpreter re-executes the Loop instruction too).
+                self.seal();
+                let header = self.leader();
+                self.count(1);
+                self.ctrls.push(Ctrl {
+                    kind: CtrlKind::Loop { header },
+                    height: self.height as u32,
+                    arity: ty.arity() as u8,
+                    fixups: Vec::new(),
+                });
+            }
+            Instr::If { ty, .. } => self.lower_if(*ty),
+            Instr::Else { .. } => self.lower_else(),
+            Instr::End => self.lower_end(),
+            Instr::Br { depth } => {
+                self.count(1);
+                let ci = self.ctrls.len() - 1 - *depth as usize;
+                if ci == 0 {
+                    // Branch to the function label: a return (same fuel as
+                    // the reference path, which never runs the final End).
+                    self.emit(Op::Return);
+                } else {
+                    let b = self.branch_index(*depth);
+                    self.emit(Op::Br(b));
+                }
+                self.seal();
+                self.reachable = false;
+            }
+            Instr::BrIf { depth } => self.lower_br_if(*depth),
+            Instr::BrTable { targets, default } => {
+                self.count(1);
+                self.bump(1, 0); // selector
+                let start = self.branches.len() as u32;
+                for d in targets.iter() {
+                    let _ = self.branch_index(*d);
+                }
+                let _ = self.branch_index(*default);
+                self.emit(Op::BrTable { start, n: targets.len() as u32 });
+                self.seal();
+                self.reachable = false;
+            }
+            Instr::Return => {
+                self.count(1);
+                self.emit(Op::Return);
+                self.seal();
+                self.reachable = false;
+            }
+            Instr::Call { func } => {
+                if *func >= self.n_imports && self.try_inline(*func - self.n_imports) {
+                    return;
+                }
+                self.count(1);
+                let ty = self.module.func_type(*func).expect("validated: call target");
+                let (argc, retc) = (ty.params.len(), ty.results.len());
+                if *func < self.n_imports {
+                    let ret = match ty.results.first() {
+                        None => 0,
+                        Some(ValType::I32) => 1,
+                        Some(ValType::I64) => 2,
+                        Some(ValType::F32) => 3,
+                        Some(ValType::F64) => 4,
+                    };
+                    self.emit(Op::CallHost { f: *func, argc: argc as u16, ret });
+                } else {
+                    self.emit(Op::CallWasm(*func - self.n_imports));
+                }
+                self.bump(argc, retc);
+            }
+            Instr::CallIndirect { type_idx } => {
+                self.count(1);
+                let ty = &self.module.types[*type_idx as usize];
+                self.emit(Op::CallIndirect(*type_idx));
+                self.bump(ty.params.len() + 1, ty.results.len());
+            }
+            Instr::Drop => self.simple(Op::Drop, 1, 0),
+            Instr::Select => self.simple(Op::Select, 3, 1),
+            Instr::LocalGet(i) => {
+                let i = self.local_offset + *i;
+                self.count(1);
+                if let (Some(Op::LocalGet(a)), true) = (self.tail(), i <= u16::MAX as u32) {
+                    if a <= u16::MAX as u32 {
+                        self.pop_tail(1);
+                        self.emit(Op::LocalGet2 { a: a as u16, b: i as u16 });
+                        self.bump(0, 1);
+                        return;
+                    }
+                }
+                self.emit(Op::LocalGet(i));
+                self.bump(0, 1);
+            }
+            Instr::LocalSet(i) => {
+                self.count(1);
+                self.emit_local_set(self.local_offset + *i);
+            }
+            Instr::LocalTee(i) => self.simple(Op::LocalTee(self.local_offset + *i), 1, 1),
+            Instr::GlobalGet(i) => self.simple(Op::GlobalGet(*i), 0, 1),
+            Instr::GlobalSet(i) => self.simple(Op::GlobalSet(*i), 1, 0),
+
+            Instr::I32Load(m) => self.lower_load(m.offset, Op::I32Load(m.offset), Some(LoadKind::I32)),
+            Instr::I64Load(m) => self.lower_load(m.offset, Op::I64Load(m.offset), Some(LoadKind::I64)),
+            Instr::F32Load(m) => self.lower_load(m.offset, Op::F32Load(m.offset), None),
+            Instr::F64Load(m) => self.lower_load(m.offset, Op::F64Load(m.offset), Some(LoadKind::F64)),
+            Instr::I32Load8S(m) => self.simple(Op::I32Load8S(m.offset), 1, 1),
+            Instr::I32Load8U(m) => {
+                self.lower_load(m.offset, Op::I32Load8U(m.offset), Some(LoadKind::I32U8))
+            }
+            Instr::I32Load16S(m) => self.simple(Op::I32Load16S(m.offset), 1, 1),
+            Instr::I32Load16U(m) => self.simple(Op::I32Load16U(m.offset), 1, 1),
+            Instr::I64Load8S(m) => self.simple(Op::I64Load8S(m.offset), 1, 1),
+            Instr::I64Load8U(m) => self.simple(Op::I64Load8U(m.offset), 1, 1),
+            Instr::I64Load16S(m) => self.simple(Op::I64Load16S(m.offset), 1, 1),
+            Instr::I64Load16U(m) => self.simple(Op::I64Load16U(m.offset), 1, 1),
+            Instr::I64Load32S(m) => self.simple(Op::I64Load32S(m.offset), 1, 1),
+            Instr::I64Load32U(m) => self.simple(Op::I64Load32U(m.offset), 1, 1),
+            Instr::I32Store(m) => self.simple(Op::I32Store(m.offset), 2, 0),
+            Instr::I64Store(m) => self.simple(Op::I64Store(m.offset), 2, 0),
+            Instr::F32Store(m) => self.simple(Op::F32Store(m.offset), 2, 0),
+            Instr::F64Store(m) => self.simple(Op::F64Store(m.offset), 2, 0),
+            Instr::I32Store8(m) => self.simple(Op::I32Store8(m.offset), 2, 0),
+            Instr::I32Store16(m) => self.simple(Op::I32Store16(m.offset), 2, 0),
+            Instr::I64Store8(m) => self.simple(Op::I64Store8(m.offset), 2, 0),
+            Instr::I64Store16(m) => self.simple(Op::I64Store16(m.offset), 2, 0),
+            Instr::I64Store32(m) => self.simple(Op::I64Store32(m.offset), 2, 0),
+            Instr::MemorySize => self.simple(Op::MemorySize, 0, 1),
+            Instr::MemoryGrow => self.simple(Op::MemoryGrow, 1, 1),
+            Instr::MemoryCopy => self.simple(Op::MemoryCopy, 3, 0),
+            Instr::MemoryFill => self.simple(Op::MemoryFill, 3, 0),
+
+            Instr::I32Const(v) => self.simple(Op::I32Const(*v), 0, 1),
+            Instr::I64Const(v) => self.simple(Op::I64Const(*v), 0, 1),
+            Instr::F32Const(v) => self.simple(Op::F32Const(*v), 0, 1),
+            Instr::F64Const(v) => self.simple(Op::F64Const(*v), 0, 1),
+
+            Instr::I32Eqz => self.lower_i32_eqz(),
+            Instr::I32DivS => self.simple(Op::I32DivS, 2, 1),
+            Instr::I32DivU => self.simple(Op::I32DivU, 2, 1),
+            Instr::I32RemS => self.simple(Op::I32RemS, 2, 1),
+            Instr::I32RemU => self.simple(Op::I32RemU, 2, 1),
+            Instr::I32Clz => self.simple(Op::I32Clz, 1, 1),
+            Instr::I32Ctz => self.simple(Op::I32Ctz, 1, 1),
+            Instr::I32Popcnt => self.simple(Op::I32Popcnt, 1, 1),
+
+            Instr::I64Eqz => self.simple(Op::I64Eqz, 1, 1),
+            Instr::I64Eq => self.simple(Op::I64Eq, 2, 1),
+            Instr::I64Ne => self.simple(Op::I64Ne, 2, 1),
+            Instr::I64LtS => self.simple(Op::I64LtS, 2, 1),
+            Instr::I64LtU => self.simple(Op::I64LtU, 2, 1),
+            Instr::I64GtS => self.simple(Op::I64GtS, 2, 1),
+            Instr::I64GtU => self.simple(Op::I64GtU, 2, 1),
+            Instr::I64LeS => self.simple(Op::I64LeS, 2, 1),
+            Instr::I64LeU => self.simple(Op::I64LeU, 2, 1),
+            Instr::I64GeS => self.simple(Op::I64GeS, 2, 1),
+            Instr::I64GeU => self.simple(Op::I64GeU, 2, 1),
+            Instr::I64Clz => self.simple(Op::I64Clz, 1, 1),
+            Instr::I64Ctz => self.simple(Op::I64Ctz, 1, 1),
+            Instr::I64Popcnt => self.simple(Op::I64Popcnt, 1, 1),
+            Instr::I64Add => self.simple(Op::I64Add, 2, 1),
+            Instr::I64Sub => self.simple(Op::I64Sub, 2, 1),
+            Instr::I64Mul => self.simple(Op::I64Mul, 2, 1),
+            Instr::I64DivS => self.simple(Op::I64DivS, 2, 1),
+            Instr::I64DivU => self.simple(Op::I64DivU, 2, 1),
+            Instr::I64RemS => self.simple(Op::I64RemS, 2, 1),
+            Instr::I64RemU => self.simple(Op::I64RemU, 2, 1),
+            Instr::I64And => self.simple(Op::I64And, 2, 1),
+            Instr::I64Or => self.simple(Op::I64Or, 2, 1),
+            Instr::I64Xor => self.simple(Op::I64Xor, 2, 1),
+            Instr::I64Shl => self.simple(Op::I64Shl, 2, 1),
+            Instr::I64ShrS => self.simple(Op::I64ShrS, 2, 1),
+            Instr::I64ShrU => self.simple(Op::I64ShrU, 2, 1),
+            Instr::I64Rotl => self.simple(Op::I64Rotl, 2, 1),
+            Instr::I64Rotr => self.simple(Op::I64Rotr, 2, 1),
+
+            Instr::F32Eq => self.simple(Op::F32Eq, 2, 1),
+            Instr::F32Ne => self.simple(Op::F32Ne, 2, 1),
+            Instr::F32Lt => self.simple(Op::F32Lt, 2, 1),
+            Instr::F32Gt => self.simple(Op::F32Gt, 2, 1),
+            Instr::F32Le => self.simple(Op::F32Le, 2, 1),
+            Instr::F32Ge => self.simple(Op::F32Ge, 2, 1),
+            Instr::F64Eq => self.simple(Op::F64Eq, 2, 1),
+            Instr::F64Ne => self.simple(Op::F64Ne, 2, 1),
+            Instr::F64Lt => self.simple(Op::F64Lt, 2, 1),
+            Instr::F64Gt => self.simple(Op::F64Gt, 2, 1),
+            Instr::F64Le => self.simple(Op::F64Le, 2, 1),
+            Instr::F64Ge => self.simple(Op::F64Ge, 2, 1),
+
+            Instr::F32Abs => self.simple(Op::F32Abs, 1, 1),
+            Instr::F32Neg => self.simple(Op::F32Neg, 1, 1),
+            Instr::F32Ceil => self.simple(Op::F32Ceil, 1, 1),
+            Instr::F32Floor => self.simple(Op::F32Floor, 1, 1),
+            Instr::F32Trunc => self.simple(Op::F32Trunc, 1, 1),
+            Instr::F32Nearest => self.simple(Op::F32Nearest, 1, 1),
+            Instr::F32Sqrt => self.simple(Op::F32Sqrt, 1, 1),
+            Instr::F32Add => self.simple(Op::F32Add, 2, 1),
+            Instr::F32Sub => self.simple(Op::F32Sub, 2, 1),
+            Instr::F32Mul => self.simple(Op::F32Mul, 2, 1),
+            Instr::F32Div => self.simple(Op::F32Div, 2, 1),
+            Instr::F32Min => self.simple(Op::F32Min, 2, 1),
+            Instr::F32Max => self.simple(Op::F32Max, 2, 1),
+            Instr::F32Copysign => self.simple(Op::F32Copysign, 2, 1),
+            Instr::F64Abs => self.simple(Op::F64Abs, 1, 1),
+            Instr::F64Neg => self.simple(Op::F64Neg, 1, 1),
+            Instr::F64Ceil => self.simple(Op::F64Ceil, 1, 1),
+            Instr::F64Floor => self.simple(Op::F64Floor, 1, 1),
+            Instr::F64Trunc => self.simple(Op::F64Trunc, 1, 1),
+            Instr::F64Nearest => self.simple(Op::F64Nearest, 1, 1),
+            Instr::F64Sqrt => self.simple(Op::F64Sqrt, 1, 1),
+            Instr::F64Add => self.simple(Op::F64Add, 2, 1),
+            Instr::F64Sub => self.simple(Op::F64Sub, 2, 1),
+            Instr::F64Mul => self.simple(Op::F64Mul, 2, 1),
+            Instr::F64Div => self.simple(Op::F64Div, 2, 1),
+            Instr::F64Min => self.simple(Op::F64Min, 2, 1),
+            Instr::F64Max => self.simple(Op::F64Max, 2, 1),
+            Instr::F64Copysign => self.simple(Op::F64Copysign, 2, 1),
+
+            Instr::I32WrapI64 => self.simple(Op::I32WrapI64, 1, 1),
+            Instr::I32TruncF32S => self.simple(Op::I32TruncF32S, 1, 1),
+            Instr::I32TruncF32U => self.simple(Op::I32TruncF32U, 1, 1),
+            Instr::I32TruncF64S => self.simple(Op::I32TruncF64S, 1, 1),
+            Instr::I32TruncF64U => self.simple(Op::I32TruncF64U, 1, 1),
+            Instr::I64ExtendI32S => self.simple(Op::I64ExtendI32S, 1, 1),
+            Instr::I64ExtendI32U => self.simple(Op::I64ExtendI32U, 1, 1),
+            Instr::I64TruncF32S => self.simple(Op::I64TruncF32S, 1, 1),
+            Instr::I64TruncF32U => self.simple(Op::I64TruncF32U, 1, 1),
+            Instr::I64TruncF64S => self.simple(Op::I64TruncF64S, 1, 1),
+            Instr::I64TruncF64U => self.simple(Op::I64TruncF64U, 1, 1),
+            Instr::F32ConvertI32S => self.simple(Op::F32ConvertI32S, 1, 1),
+            Instr::F32ConvertI32U => self.simple(Op::F32ConvertI32U, 1, 1),
+            Instr::F32ConvertI64S => self.simple(Op::F32ConvertI64S, 1, 1),
+            Instr::F32ConvertI64U => self.simple(Op::F32ConvertI64U, 1, 1),
+            Instr::F32DemoteF64 => self.simple(Op::F32DemoteF64, 1, 1),
+            Instr::F64ConvertI32S => self.simple(Op::F64ConvertI32S, 1, 1),
+            Instr::F64ConvertI32U => self.simple(Op::F64ConvertI32U, 1, 1),
+            Instr::F64ConvertI64S => self.simple(Op::F64ConvertI64S, 1, 1),
+            Instr::F64ConvertI64U => self.simple(Op::F64ConvertI64U, 1, 1),
+            Instr::F64PromoteF32 => self.simple(Op::F64PromoteF32, 1, 1),
+            Instr::I32ReinterpretF32 => self.simple(Op::I32ReinterpretF32, 1, 1),
+            Instr::I64ReinterpretF64 => self.simple(Op::I64ReinterpretF64, 1, 1),
+            Instr::F32ReinterpretI32 => self.simple(Op::F32ReinterpretI32, 1, 1),
+            Instr::F64ReinterpretI64 => self.simple(Op::F64ReinterpretI64, 1, 1),
+            Instr::I32Extend8S => self.simple(Op::I32Extend8S, 1, 1),
+            Instr::I32Extend16S => self.simple(Op::I32Extend16S, 1, 1),
+            Instr::I64Extend8S => self.simple(Op::I64Extend8S, 1, 1),
+            Instr::I64Extend16S => self.simple(Op::I64Extend16S, 1, 1),
+            Instr::I64Extend32S => self.simple(Op::I64Extend32S, 1, 1),
+            Instr::I32TruncSatF32S => self.simple(Op::I32TruncSatF32S, 1, 1),
+            Instr::I32TruncSatF32U => self.simple(Op::I32TruncSatF32U, 1, 1),
+            Instr::I32TruncSatF64S => self.simple(Op::I32TruncSatF64S, 1, 1),
+            Instr::I32TruncSatF64U => self.simple(Op::I32TruncSatF64U, 1, 1),
+            Instr::I64TruncSatF32S => self.simple(Op::I64TruncSatF32S, 1, 1),
+            Instr::I64TruncSatF32U => self.simple(Op::I64TruncSatF32U, 1, 1),
+            Instr::I64TruncSatF64S => self.simple(Op::I64TruncSatF64S, 1, 1),
+            Instr::I64TruncSatF64U => self.simple(Op::I64TruncSatF64U, 1, 1),
+
+            other => {
+                if let Some(op) = I32Op::from_instr(other) {
+                    self.lower_i32_bin(op);
+                } else {
+                    unreachable!("unhandled instruction in lowering: {other:?}");
+                }
+            }
+        }
+    }
+
+    /// Inline a straight-line leaf callee (no control flow, no calls) into
+    /// the current block. The callee's params and locals get fresh caller
+    /// slots; its body is lowered in place with the local indices remapped,
+    /// so all superinstruction fusion applies across the call boundary.
+    ///
+    /// Fuel parity with the reference interpreter is exact: the `call`
+    /// charges 1, every body instruction charges 1 through the normal
+    /// lowering, and the callee's exit (explicit `return` or fallthrough
+    /// `end` — exactly one executes) charges 1. The only observable
+    /// difference is that an inlined call no longer counts toward the
+    /// call-depth limit, which is implementation-defined.
+    fn try_inline(&mut self, callee: u32) -> bool {
+        if self.inline_stack.len() >= INLINE_MAX_DEPTH || self.inline_stack.contains(&callee) {
+            return false;
+        }
+        let body = &self.module.funcs[callee as usize];
+        let code = &body.code;
+        if code.len() > INLINE_MAX_INSTRS {
+            return false;
+        }
+        let Some((Instr::End, rest)) = code.split_last() else {
+            return false;
+        };
+        // A trailing explicit `return` is equivalent to fallthrough, and
+        // dead `unreachable` padding behind it never executes (PlugC emits
+        // `return; unreachable; end` for typed bodies).
+        let mut trimmed = rest;
+        while let Some((Instr::Unreachable, r)) = trimmed.split_last() {
+            trimmed = r;
+        }
+        let rest = if trimmed.len() < rest.len() {
+            match trimmed.split_last() {
+                Some((Instr::Return, r)) => r,
+                _ => return false,
+            }
+        } else {
+            match rest.split_last() {
+                Some((Instr::Return, r)) => r,
+                _ => rest,
+            }
+        };
+        if !rest.iter().all(is_straight_line) {
+            return false;
+        }
+        let ty = &self.module.types[body.type_idx as usize];
+
+        // The call instruction itself.
+        self.count(1);
+
+        // Fresh slots for the callee frame: params then declared locals.
+        let base = self.next_local;
+        self.next_local += (ty.params.len() + body.locals.len()) as u32;
+        self.extra_locals.extend(ty.params.iter().map(|t| Value::zero(*t)));
+        self.extra_locals.extend(body.locals.iter().map(|t| Value::zero(*t)));
+
+        // Drain the arguments into the param slots (unmetered glue: the
+        // reference interpreter moves them during frame setup).
+        // `emit_local_set` applies the pop to the static height itself.
+        for i in (0..ty.params.len()).rev() {
+            self.emit_local_set(base + i as u32);
+        }
+
+        // The body, with locals remapped into the fresh slots. Nested
+        // direct calls lower recursively under the depth guard.
+        let saved = self.local_offset;
+        self.local_offset = base;
+        self.inline_stack.push(callee);
+        for instr in rest {
+            self.lower(instr);
+        }
+        self.inline_stack.pop();
+        self.local_offset = saved;
+
+        // The callee's terminator (return or function-level end).
+        self.count(1);
+        true
+    }
+
+    /// i32 binop/compare with operand fusion against the block tail.
+    fn lower_i32_bin(&mut self, op: I32Op) {
+        self.count(1);
+        if let Some((a, b)) = self.tail2() {
+            match (a, b) {
+                (Op::LocalGet(l), Op::I32Const(k)) if l <= u16::MAX as u32 => {
+                    self.pop_tail(2);
+                    self.emit(Op::I32BinLC { op, a: l as u16, k });
+                    self.bump(2, 1);
+                    return;
+                }
+                (Op::I32Const(k), Op::LocalGet(l))
+                    if op.commutative() && l <= u16::MAX as u32 =>
+                {
+                    self.pop_tail(2);
+                    self.emit(Op::I32BinLC { op, a: l as u16, k });
+                    self.bump(2, 1);
+                    return;
+                }
+                _ => {}
+            }
+        }
+        match self.tail() {
+            Some(Op::I32Const(k)) => {
+                self.pop_tail(1);
+                self.emit(Op::I32BinSC { op, k });
+            }
+            Some(Op::LocalGet(l)) if l <= u16::MAX as u32 => {
+                self.pop_tail(1);
+                self.emit(Op::I32BinSL { op, b: l as u16 });
+            }
+            Some(Op::LocalGet2 { a, b }) => {
+                self.pop_tail(1);
+                self.emit(Op::I32BinLL { op, a, b });
+            }
+            _ => self.emit(Op::I32Bin(op)),
+        }
+        self.bump(2, 1);
+    }
+
+    /// `local.set` with producer fusion: when the block tail is an op that
+    /// only pushes the value being stored, rewrite the pair into a
+    /// register-style write-back that never touches the operand stack.
+    /// Does not charge fuel (the caller decides whether the set is a
+    /// source instruction or inline-call glue).
+    fn emit_local_set(&mut self, i: u32) {
+        self.leader();
+        if i <= u16::MAX as u32 {
+            let dst = i as u16;
+            let fused = match self.tail() {
+                Some(Op::I32Const(k)) => Some(Op::LocalSetC { dst, k }),
+                Some(Op::LocalGet(src)) if src <= u16::MAX as u32 => {
+                    Some(Op::LocalCopy { src: src as u16, dst })
+                }
+                Some(Op::I32BinLL { op, a, b }) => Some(Op::I32BinLLSet { op, a, b, dst }),
+                Some(Op::I32BinLC { op, a, k }) => Some(Op::I32BinLCSet { op, a, k, dst }),
+                Some(Op::I32BinSL { op, b }) => Some(Op::I32BinSLSet { op, b, dst }),
+                Some(Op::I32BinSC { op, k }) => Some(Op::I32BinSCSet { op, k, dst }),
+                Some(Op::I32Load(off)) => Some(Op::I32LoadSet { off, dst }),
+                Some(Op::I32LoadL { l, off }) => Some(Op::I32LoadLSet { l, off, dst }),
+                _ => None,
+            };
+            if let Some(op) = fused {
+                self.pop_tail(1);
+                self.emit(op);
+                self.bump(1, 0);
+                return;
+            }
+        }
+        self.emit(Op::LocalSet(i));
+        self.bump(1, 0);
+    }
+
+    /// `i32.eqz` after an integer compare rewrites the compare in place.
+    fn lower_i32_eqz(&mut self) {
+        self.count(1);
+        let rewritten = match self.tail() {
+            Some(Op::I32Bin(c)) => c.negate().map(Op::I32Bin),
+            Some(Op::I32BinLL { op: c, a, b }) => {
+                c.negate().map(|n| Op::I32BinLL { op: n, a, b })
+            }
+            Some(Op::I32BinSL { op: c, b }) => c.negate().map(|n| Op::I32BinSL { op: n, b }),
+            Some(Op::I32BinSC { op: c, k }) => c.negate().map(|n| Op::I32BinSC { op: n, k }),
+            Some(Op::I32BinLC { op: c, a, k }) => {
+                c.negate().map(|n| Op::I32BinLC { op: n, a, k })
+            }
+            _ => None,
+        };
+        if let Some(op) = rewritten {
+            *self.ops.last_mut().expect("tail exists") = op;
+        } else {
+            self.emit(Op::I32Eqz);
+        }
+        self.bump(1, 1);
+    }
+
+    /// `br_if` with condition fusion (branch when the condition holds).
+    fn lower_br_if(&mut self, depth: u32) {
+        self.count(1);
+        self.bump(1, 0); // condition
+        let br = self.branch_index(depth);
+        match self.tail() {
+            Some(Op::I32Eqz) => {
+                self.pop_tail(1);
+                self.emit(Op::BrIfZ(br));
+            }
+            Some(Op::I32Bin(c)) if c.negate().is_some() => {
+                self.pop_tail(1);
+                self.emit(Op::BrIfCmp { op: c, br });
+            }
+            Some(Op::I32BinLL { op: c, a, b }) if c.negate().is_some() => {
+                self.pop_tail(1);
+                self.emit(Op::BrIfLL { op: c, a, b, br });
+            }
+            _ => self.emit(Op::BrIf(br)),
+        }
+        self.seal();
+    }
+
+    /// `if`: the false edge is a branch to the else arm (or the end).
+    fn lower_if(&mut self, ty: BlockType) {
+        self.count(1);
+        self.bump(1, 0); // condition
+        let br = self.new_branch(self.height as u32, 0);
+        // Fuse the condition; the false edge fires when it does NOT hold.
+        match self.tail() {
+            Some(Op::I32Eqz) => {
+                self.pop_tail(1);
+                self.emit(Op::BrIf(br));
+            }
+            Some(Op::I32Bin(c)) if c.negate().is_some() => {
+                self.pop_tail(1);
+                self.emit(Op::BrIfCmp { op: c.negate().expect("compare"), br });
+            }
+            Some(Op::I32BinLL { op: c, a, b }) if c.negate().is_some() => {
+                self.pop_tail(1);
+                self.emit(Op::BrIfLL { op: c.negate().expect("compare"), a, b, br });
+            }
+            _ => self.emit(Op::BrIfZ(br)),
+        }
+        self.seal();
+        self.ctrls.push(Ctrl {
+            kind: CtrlKind::If { else_br: br },
+            height: self.height as u32,
+            arity: ty.arity() as u8,
+            fixups: Vec::new(),
+        });
+    }
+
+    fn lower_else(&mut self) {
+        let fi = self.ctrls.len() - 1;
+        // Then-arm fallthrough jumps over the else arm; the Else
+        // instruction is charged on this path only, like the reference
+        // interpreter which executes Else only on then-fallthrough.
+        if self.reachable {
+            self.count(1);
+            let (h, a) = (self.ctrls[fi].height, self.ctrls[fi].arity);
+            let b = self.new_branch(h, a);
+            self.emit(Op::Br(b));
+            self.seal();
+            self.ctrls[fi].fixups.push(b);
+        }
+        let f = &mut self.ctrls[fi];
+        match f.kind {
+            CtrlKind::If { else_br } => {
+                f.kind = CtrlKind::Block;
+                let h = f.height;
+                // An emitted If is always reachable at entry.
+                self.reachable = true;
+                self.height = h as usize;
+                let lp = self.leader();
+                self.branches[else_br as usize].pc = lp;
+            }
+            _ => {
+                // The whole if/else sat in dead code.
+                self.reachable = false;
+            }
+        }
+    }
+
+    fn lower_end(&mut self) {
+        let f = self.ctrls.pop().expect("validated: end matches a frame");
+        if self.ctrls.is_empty() {
+            // Function-level End: executes (and is charged) only on
+            // fallthrough, then returns.
+            if self.reachable {
+                self.height = self.ret_arity as usize;
+                self.count(1);
+                self.emit(Op::Return);
+                self.seal();
+            }
+            self.reachable = false;
+            return;
+        }
+        match f.kind {
+            CtrlKind::Loop { .. } => {
+                // Nothing branches forward to a loop's End; on fallthrough
+                // it simply pops (and costs one instruction).
+                if self.reachable {
+                    self.height = f.height as usize + f.arity as usize;
+                    self.count(1);
+                }
+            }
+            _ => {
+                let mut fixups = f.fixups;
+                if let CtrlKind::If { else_br } = f.kind {
+                    // Bare if: the false edge lands at the End.
+                    fixups.push(else_br);
+                }
+                if self.reachable || !fixups.is_empty() {
+                    // The end leader is charged the End instruction and is
+                    // reached by both fallthrough and every branch here —
+                    // exactly the paths on which the reference interpreter
+                    // executes this End.
+                    self.seal();
+                    self.height = f.height as usize + f.arity as usize;
+                    let lp = self.leader();
+                    self.count(1);
+                    for bi in fixups {
+                        self.branches[bi as usize].pc = lp;
+                    }
+                    self.reachable = true;
+                } else {
+                    self.reachable = false;
+                }
+            }
+        }
+    }
+
+    /// Loads that fuse with a trailing `local.get`.
+    fn lower_load(&mut self, off: u32, plain: Op, fused: Option<LoadKind>) {
+        self.count(1);
+        if let Some(kind) = fused {
+            if let Some(Op::LocalGet(l)) = self.tail() {
+                if l <= u16::MAX as u32 {
+                    self.pop_tail(1);
+                    let l = l as u16;
+                    self.emit(match kind {
+                        LoadKind::I32 => Op::I32LoadL { l, off },
+                        LoadKind::I64 => Op::I64LoadL { l, off },
+                        LoadKind::F64 => Op::F64LoadL { l, off },
+                        LoadKind::I32U8 => Op::I32Load8UL { l, off },
+                    });
+                    self.bump(1, 1);
+                    return;
+                }
+            }
+        }
+        self.emit(plain);
+        self.bump(1, 1);
+    }
+}
+
+/// Which fused load op to emit for a `local.get`+load pair.
+#[derive(Clone, Copy)]
+enum LoadKind {
+    I32,
+    I64,
+    F64,
+    I32U8,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ModuleBuilder;
+    use crate::types::ValType;
+
+    fn compile_first(m: &Module) -> CompiledFunc {
+        compile_func(m, 0)
+    }
+
+    #[test]
+    fn straight_line_is_one_block() {
+        let mut b = ModuleBuilder::new();
+        let sig = b.func_type(&[ValType::I32], &[ValType::I32]);
+        b.begin_func(sig);
+        b.code().local_get(0).i32_const(2).i32_mul();
+        b.end_func().unwrap();
+        let m = b.finish().expect("valid");
+        let cf = compile_first(&m);
+        // Meter + fused mul + return.
+        assert!(matches!(cf.ops[0], Op::Meter { cost: 4, .. }), "ops: {:?}", cf.ops);
+        assert!(matches!(cf.ops[1], Op::I32BinLC { op: I32Op::Mul, a: 0, k: 2 }));
+        assert!(matches!(cf.ops[2], Op::Return));
+        assert_eq!(cf.ops.len(), 3);
+    }
+
+    #[test]
+    fn while_loop_condition_fuses_to_brif_ll() {
+        // while (i < n) { i = i + 1 }   as PlugC emits it:
+        // block { loop { i<n; eqz; br_if 1; body; br 0 } }
+        let mut b = ModuleBuilder::new();
+        let sig = b.func_type(&[ValType::I32, ValType::I32], &[ValType::I32]);
+        b.begin_func(sig);
+        b.code()
+            .block(crate::types::BlockType::Empty)
+            .loop_(crate::types::BlockType::Empty)
+            .local_get(0)
+            .local_get(1)
+            .i32_lt_s()
+            .i32_eqz()
+            .br_if(1)
+            .local_get(0)
+            .i32_const(1)
+            .i32_add()
+            .local_set(0)
+            .br(0)
+            .end()
+            .end()
+            .local_get(0);
+        b.end_func().unwrap();
+        let m = b.finish().expect("valid");
+        let cf = compile_first(&m);
+        // The loop condition (get,get,lt,eqz,br_if) must be ONE op: a
+        // BrIfLL with the negated compare.
+        assert!(
+            cf.ops
+                .iter()
+                .any(|op| matches!(op, Op::BrIfLL { op: I32Op::GeS, a: 0, b: 1, .. })),
+            "ops: {:?}",
+            cf.ops
+        );
+        // No label-stack ops exist; the back edge targets a Meter.
+        let back = cf
+            .branches
+            .iter()
+            .find(|bt| matches!(cf.ops[bt.pc as usize], Op::Meter { .. }))
+            .expect("loop back edge lands on its header meter");
+        assert_eq!(back.arity, 0);
+    }
+
+    #[test]
+    fn br_table_targets_are_interned() {
+        let mut b = ModuleBuilder::new();
+        let sig = b.func_type(&[ValType::I32], &[ValType::I32]);
+        b.begin_func(sig);
+        b.code()
+            .block(crate::types::BlockType::Empty)
+            .block(crate::types::BlockType::Empty)
+            .local_get(0)
+            .br_table(&[0, 1], 0)
+            .end()
+            .end()
+            .i32_const(7);
+        b.end_func().unwrap();
+        let m = b.finish().expect("valid");
+        let cf = compile_first(&m);
+        let (start, n) = cf
+            .ops
+            .iter()
+            .find_map(|op| match op {
+                Op::BrTable { start, n } => Some((*start, *n)),
+                _ => None,
+            })
+            .expect("br_table lowered");
+        assert_eq!(n, 2);
+        // Two targets + the default all resolved in the side table.
+        for i in 0..=n {
+            assert_ne!(cf.branches[(start + i) as usize].pc, u32::MAX);
+        }
+    }
+
+    #[test]
+    fn fuel_cost_counts_source_instrs() {
+        // const+const+add+drop = 4 source instructions in one block (plus
+        // the function-level End), even though fusion emits fewer ops.
+        let mut b = ModuleBuilder::new();
+        let sig = b.func_type(&[], &[]);
+        b.begin_func(sig);
+        b.code().i32_const(1).i32_const(2).i32_add().drop();
+        b.end_func().unwrap();
+        let m = b.finish().expect("valid");
+        let cf = compile_first(&m);
+        let total: u32 = cf
+            .ops
+            .iter()
+            .map(|op| match op {
+                Op::Meter { cost, .. } => *cost,
+                _ => 0,
+            })
+            .sum();
+        assert_eq!(total, 5);
+    }
+
+    #[test]
+    fn op_enum_stays_small() {
+        assert!(std::mem::size_of::<Op>() <= 16, "Op grew: {}", std::mem::size_of::<Op>());
+    }
+}

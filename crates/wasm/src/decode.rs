@@ -471,7 +471,7 @@ fn decode_code_section(
         }
         fixup_block_targets(&mut code).map_err(|e| r.err(DecodeErrorKind::Fixup(e)))?;
 
-        module.funcs.push(FuncBody { type_idx, locals, code });
+        module.funcs.push(FuncBody::new(type_idx, locals, code));
     }
     Ok(())
 }

@@ -351,9 +351,11 @@ mod tests {
                  (func (export "f") (param i32) (result i32)
                    block $b (result i32)
                      loop $l
+                       i32.const 7
                        local.get 0
                        i32.eqz
                        br_if 1
+                       drop
                        br $l
                      end
                      unreachable

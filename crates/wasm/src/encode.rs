@@ -495,11 +495,7 @@ mod tests {
     fn roundtrip_minimal() {
         let mut m = Module::default();
         m.types.push(FuncType::new(&[], &[ValType::I32]));
-        m.funcs.push(FuncBody {
-            type_idx: 0,
-            locals: vec![],
-            code: vec![Instr::I32Const(42), Instr::End],
-        });
+        m.funcs.push(FuncBody::new(0, vec![], vec![Instr::I32Const(42), Instr::End]));
         m.exports.push(Export { name: "f".into(), kind: ExportKind::Func(0) });
         let bytes = encode_module(&m);
         let back = decode_module(&bytes).unwrap();
@@ -522,10 +518,10 @@ mod tests {
             ty: GlobalType { ty: ValType::F64, mutability: Mutability::Var },
             init: ConstExpr::F64(3.25),
         });
-        m.funcs.push(FuncBody {
-            type_idx: 0,
-            locals: vec![ValType::I32, ValType::I32, ValType::F64],
-            code: vec![
+        m.funcs.push(FuncBody::new(
+            0,
+            vec![ValType::I32, ValType::I32, ValType::F64],
+            vec![
                 Instr::Block { ty: BlockType::Value(ValType::I64), end_pc: 3 },
                 Instr::I64Const(-5),
                 Instr::Br { depth: 0 },
@@ -538,7 +534,7 @@ mod tests {
                 Instr::I64Add,
                 Instr::End,
             ],
-        });
+        ));
         m.exports.push(Export { name: "go".into(), kind: ExportKind::Func(1) });
         m.exports.push(Export { name: "mem".into(), kind: ExportKind::Memory });
         m.elems.push(ElemSegment { offset: ConstExpr::I32(0), funcs: vec![1, 1] });

@@ -45,6 +45,7 @@
 //! ```
 
 pub mod builder;
+pub mod compile;
 pub mod decode;
 pub mod disasm;
 pub mod encode;

@@ -1,6 +1,7 @@
 //! The decoded, immutable module representation shared by the validator and
 //! the interpreter.
 
+use crate::compile::{CompiledCell, CompiledFunc};
 use crate::instr::Instr;
 use crate::types::{FuncType, GlobalType, Limits, ValType};
 
@@ -57,6 +58,17 @@ pub struct FuncBody {
     /// Flat instruction sequence terminated by `End`, with block targets
     /// resolved (see [`crate::instr::fixup_block_targets`]).
     pub code: Vec<Instr>,
+    /// Lazily compiled flat IR (see [`crate::compile`]); shared by every
+    /// instance holding the same `Arc<Module>`, so hot swap back to a
+    /// cached module re-instantiates without recompiling.
+    pub compiled: CompiledCell,
+}
+
+impl FuncBody {
+    /// A body with an empty compile cache.
+    pub fn new(type_idx: u32, locals: Vec<ValType>, code: Vec<Instr>) -> Self {
+        FuncBody { type_idx, locals, code, compiled: CompiledCell::new() }
+    }
 }
 
 /// A module-defined global: its type and constant initializer.
@@ -181,6 +193,13 @@ impl Module {
             _ => None,
         }
     }
+
+    /// The flat-IR compilation of a module-local function (index into
+    /// [`Module::funcs`]), compiling on first use. The body must have been
+    /// validated.
+    pub fn compiled_func(&self, local_idx: u32) -> &CompiledFunc {
+        self.funcs[local_idx as usize].compiled.get_or_compile(self, local_idx)
+    }
 }
 
 #[cfg(test)]
@@ -197,7 +216,7 @@ mod tests {
             name: "log".into(),
             kind: ImportKind::Func { type_idx: 0 },
         });
-        m.funcs.push(FuncBody { type_idx: 1, locals: vec![], code: vec![Instr::I64Const(7), Instr::End] });
+        m.funcs.push(FuncBody::new(1, vec![], vec![Instr::I64Const(7), Instr::End]));
         m.exports.push(Export { name: "get".into(), kind: ExportKind::Func(1) });
         m
     }

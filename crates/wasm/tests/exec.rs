@@ -635,3 +635,51 @@ fn clz_ctz_popcnt() {
     assert_eq!(inst.invoke("ctz", &[Value::I32(8)]), Ok(Some(Value::I32(3))));
     assert_eq!(inst.invoke("pop", &[Value::I32(0x0f0f0f0f)]), Ok(Some(Value::I32(16))));
 }
+
+#[test]
+fn out_of_fuel_still_counts_retired_instrs() {
+    // Regression: the interpreter used to early-return on OutOfFuel without
+    // flushing its local instruction counter into `ExecStats`, so a fuel
+    // trap reported `instrs == 0` no matter how long the guest actually ran.
+    use waran_wasm::instance::ExecMode;
+    let src = r#"(module
+      (func (export "spin")
+        loop $l
+          br $l
+        end))"#;
+    for mode in [ExecMode::Reference, ExecMode::Compiled] {
+        let mut inst = instantiate(src);
+        inst.set_exec_mode(mode);
+        inst.set_fuel(Some(10_000));
+        assert_eq!(inst.invoke("spin", &[]), Err(Trap::OutOfFuel));
+        // Every unit of fuel retires exactly one source instruction, and the
+        // stats must account for all of them even though the call trapped.
+        assert_eq!(inst.stats().instrs, 10_000, "mode {mode:?}");
+        assert_eq!(inst.stats().traps, 1);
+    }
+}
+
+#[test]
+fn exec_modes_agree_on_results_and_fuel() {
+    use waran_wasm::instance::ExecMode;
+    let src = r#"(module
+      (func $fib (export "fib") (param i32) (result i32)
+        local.get 0
+        i32.const 2
+        i32.lt_s
+        if (result i32)
+          local.get 0
+        else
+          local.get 0 i32.const 1 i32.sub call $fib
+          local.get 0 i32.const 2 i32.sub call $fib
+          i32.add
+        end))"#;
+    let run = |mode: ExecMode| {
+        let mut inst = instantiate(src);
+        inst.set_exec_mode(mode);
+        inst.set_fuel(Some(1_000_000));
+        let out = inst.invoke("fib", &[Value::I32(18)]);
+        (out, inst.fuel_consumed(), inst.stats().instrs)
+    };
+    assert_eq!(run(ExecMode::Reference), run(ExecMode::Compiled));
+}
