@@ -102,7 +102,7 @@ impl<'a> BitReader<'a> {
 
     /// Skip to the next byte boundary.
     pub fn align(&mut self) {
-        self.pos_bits = (self.pos_bits + 7) / 8 * 8;
+        self.pos_bits = self.pos_bits.div_ceil(8) * 8;
     }
 }
 
@@ -126,7 +126,10 @@ impl RecordSpec {
     /// Build from `(name, bits)` pairs.
     pub fn new(fields: &[(&'static str, u32)]) -> Self {
         RecordSpec {
-            fields: fields.iter().map(|(name, bits)| FieldSpec { name, bits: *bits }).collect(),
+            fields: fields
+                .iter()
+                .map(|(name, bits)| FieldSpec { name, bits: *bits })
+                .collect(),
         }
     }
 
@@ -172,9 +175,15 @@ impl RecordSpec {
                 .fields
                 .iter()
                 .position(|f| f.name == tf.name)
-                .ok_or_else(|| CodecError::Malformed(format!("field `{}` missing in source", tf.name)))?;
+                .ok_or_else(|| {
+                    CodecError::Malformed(format!("field `{}` missing in source", tf.name))
+                })?;
             let mut v = values[idx];
-            let max = if tf.bits >= 64 { u64::MAX } else { (1u64 << tf.bits) - 1 };
+            let max = if tf.bits >= 64 {
+                u64::MAX
+            } else {
+                (1u64 << tf.bits) - 1
+            };
             if v > max {
                 v = max; // saturate on narrowing
             }
@@ -215,7 +224,13 @@ mod tests {
     #[test]
     fn overflow_rejected() {
         let mut w = BitWriter::new();
-        assert_eq!(w.write(256, 8), Err(CodecError::FieldOverflow { value: 256, bits: 8 }));
+        assert_eq!(
+            w.write(256, 8),
+            Err(CodecError::FieldOverflow {
+                value: 256,
+                bits: 8
+            })
+        );
         assert!(w.write(255, 8).is_ok());
     }
 

@@ -66,7 +66,10 @@ impl std::fmt::Display for CodecError {
             CodecError::BadTag(t) => write!(f, "unknown tag {t}"),
             CodecError::Malformed(m) => write!(f, "malformed payload: {m}"),
             CodecError::VersionMismatch { expected, found } => {
-                write!(f, "ABI version mismatch: expected {expected}, found {found}")
+                write!(
+                    f,
+                    "ABI version mismatch: expected {expected}, found {found}"
+                )
             }
             CodecError::FieldOverflow { value, bits } => {
                 write!(f, "value {value} does not fit in {bits} bits")

@@ -184,7 +184,9 @@ impl<'a> PbValue<'a> {
     pub fn as_uint(&self) -> Result<u64, CodecError> {
         match self {
             PbValue::Varint(v) => Ok(*v),
-            other => Err(CodecError::Malformed(format!("expected varint, got {other:?}"))),
+            other => Err(CodecError::Malformed(format!(
+                "expected varint, got {other:?}"
+            ))),
         }
     }
 
@@ -197,7 +199,9 @@ impl<'a> PbValue<'a> {
     pub fn as_double(&self) -> Result<f64, CodecError> {
         match self {
             PbValue::Fixed64(v) => Ok(f64::from_bits(*v)),
-            other => Err(CodecError::Malformed(format!("expected fixed64, got {other:?}"))),
+            other => Err(CodecError::Malformed(format!(
+                "expected fixed64, got {other:?}"
+            ))),
         }
     }
 
@@ -205,7 +209,9 @@ impl<'a> PbValue<'a> {
     pub fn as_float(&self) -> Result<f32, CodecError> {
         match self {
             PbValue::Fixed32(v) => Ok(f32::from_bits(*v)),
-            other => Err(CodecError::Malformed(format!("expected fixed32, got {other:?}"))),
+            other => Err(CodecError::Malformed(format!(
+                "expected fixed32, got {other:?}"
+            ))),
         }
     }
 
@@ -213,7 +219,9 @@ impl<'a> PbValue<'a> {
     pub fn as_bytes(&self) -> Result<&'a [u8], CodecError> {
         match self {
             PbValue::Bytes(b) => Ok(b),
-            other => Err(CodecError::Malformed(format!("expected bytes, got {other:?}"))),
+            other => Err(CodecError::Malformed(format!(
+                "expected bytes, got {other:?}"
+            ))),
         }
     }
 

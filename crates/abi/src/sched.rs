@@ -170,12 +170,18 @@ impl SchedRequest {
         }
         let version = u16::from_le_bytes(buf[2..4].try_into().expect("sized"));
         if version != VERSION {
-            return Err(CodecError::VersionMismatch { expected: VERSION, found: version });
+            return Err(CodecError::VersionMismatch {
+                expected: VERSION,
+                found: version,
+            });
         }
         let n_ues = u16::from_le_bytes(buf[4..6].try_into().expect("sized")) as usize;
         let need = REQUEST_HEADER_LEN + n_ues * UE_RECORD_LEN;
         if buf.len() < need {
-            return Err(CodecError::BadLength { need, have: buf.len() });
+            return Err(CodecError::BadLength {
+                need,
+                have: buf.len(),
+            });
         }
         let slot = u64::from_le_bytes(buf[8..16].try_into().expect("sized"));
         let prbs_granted = u32::from_le_bytes(buf[16..20].try_into().expect("sized"));
@@ -185,7 +191,12 @@ impl SchedRequest {
             let off = REQUEST_HEADER_LEN + i * UE_RECORD_LEN;
             ues.push(UeInfo::decode_from(&buf[off..])?);
         }
-        Ok(SchedRequest { slot, prbs_granted, slice_id, ues })
+        Ok(SchedRequest {
+            slot,
+            prbs_granted,
+            slice_id,
+            ues,
+        })
     }
 }
 
@@ -211,7 +222,8 @@ pub struct SchedResponse {
 impl SchedResponse {
     /// Encode to the wire layout.
     pub fn encode(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(RESPONSE_HEADER_LEN + self.allocs.len() * ALLOC_RECORD_LEN);
+        let mut out =
+            Vec::with_capacity(RESPONSE_HEADER_LEN + self.allocs.len() * ALLOC_RECORD_LEN);
         out.extend_from_slice(&MAGIC.to_le_bytes());
         out.extend_from_slice(&VERSION.to_le_bytes());
         out.extend_from_slice(&(self.allocs.len() as u16).to_le_bytes());
@@ -239,7 +251,10 @@ impl SchedResponse {
         }
         let version = u16::from_le_bytes(buf[2..4].try_into().expect("sized"));
         if version != VERSION {
-            return Err(CodecError::VersionMismatch { expected: VERSION, found: version });
+            return Err(CodecError::VersionMismatch {
+                expected: VERSION,
+                found: version,
+            });
         }
         let n = u16::from_le_bytes(buf[4..6].try_into().expect("sized")) as usize;
         if n > max_allocs {
@@ -249,7 +264,10 @@ impl SchedResponse {
         }
         let need = RESPONSE_HEADER_LEN + n * ALLOC_RECORD_LEN;
         if buf.len() < need {
-            return Err(CodecError::BadLength { need, have: buf.len() });
+            return Err(CodecError::BadLength {
+                need,
+                have: buf.len(),
+            });
         }
         let mut allocs = Vec::with_capacity(n);
         for i in 0..n {
@@ -313,8 +331,16 @@ mod tests {
     fn response_roundtrip() {
         let resp = SchedResponse {
             allocs: vec![
-                Allocation { ue_id: 70, prbs: 40, priority: 0 },
-                Allocation { ue_id: 71, prbs: 12, priority: 1 },
+                Allocation {
+                    ue_id: 70,
+                    prbs: 40,
+                    priority: 0,
+                },
+                Allocation {
+                    ue_id: 71,
+                    prbs: 12,
+                    priority: 1,
+                },
             ],
         };
         let bytes = resp.encode();
@@ -324,7 +350,12 @@ mod tests {
 
     #[test]
     fn empty_request_and_response() {
-        let req = SchedRequest { slot: 0, prbs_granted: 0, slice_id: 0, ues: vec![] };
+        let req = SchedRequest {
+            slot: 0,
+            prbs_granted: 0,
+            slice_id: 0,
+            ues: vec![],
+        };
         assert_eq!(SchedRequest::decode(&req.encode()).unwrap(), req);
         let resp = SchedResponse::default();
         assert_eq!(SchedResponse::decode(&resp.encode(), 0).unwrap(), resp);
@@ -334,7 +365,10 @@ mod tests {
     fn rejects_bad_magic() {
         let mut bytes = sample_request().encode();
         bytes[0] = 0;
-        assert!(matches!(SchedRequest::decode(&bytes), Err(CodecError::Malformed(_))));
+        assert!(matches!(
+            SchedRequest::decode(&bytes),
+            Err(CodecError::Malformed(_))
+        ));
     }
 
     #[test]
@@ -343,7 +377,10 @@ mod tests {
         bytes[2] = 9;
         assert_eq!(
             SchedRequest::decode(&bytes),
-            Err(CodecError::VersionMismatch { expected: 1, found: 9 })
+            Err(CodecError::VersionMismatch {
+                expected: 1,
+                found: 9
+            })
         );
     }
 
@@ -351,14 +388,21 @@ mod tests {
     fn rejects_truncated_records() {
         let bytes = sample_request().encode();
         let cut = &bytes[..bytes.len() - 1];
-        assert!(matches!(SchedRequest::decode(cut), Err(CodecError::BadLength { .. })));
+        assert!(matches!(
+            SchedRequest::decode(cut),
+            Err(CodecError::BadLength { .. })
+        ));
     }
 
     #[test]
     fn rejects_oversized_response() {
         let resp = SchedResponse {
             allocs: (0..10)
-                .map(|i| Allocation { ue_id: i, prbs: 1, priority: 0 })
+                .map(|i| Allocation {
+                    ue_id: i,
+                    prbs: 1,
+                    priority: 0,
+                })
                 .collect(),
         };
         let bytes = resp.encode();
@@ -379,7 +423,10 @@ mod tests {
             52 // prbs_granted at 16
         );
         let ue0 = REQUEST_HEADER_LEN;
-        assert_eq!(u32::from_le_bytes(bytes[ue0..ue0 + 4].try_into().unwrap()), 70);
+        assert_eq!(
+            u32::from_le_bytes(bytes[ue0..ue0 + 4].try_into().unwrap()),
+            70
+        );
         assert_eq!(bytes[ue0 + 4], 12); // cqi
         assert_eq!(bytes[ue0 + 5], 24); // mcs
         assert_eq!(

@@ -107,9 +107,56 @@ impl Json {
         }
     }
 
+    /// Serialize with two-space indentation, for artifacts meant to be
+    /// read by humans as well as parsers (bench reports, fixtures).
+    pub fn encode_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write_pretty(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write_pretty(&self, out: &mut String, indent: usize) {
+        let pad = "  ".repeat(indent + 1);
+        match self {
+            Json::Arr(items) if !items.is_empty() => {
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    out.push_str(&pad);
+                    item.write_pretty(out, indent + 1);
+                }
+                out.push('\n');
+                out.push_str(&"  ".repeat(indent));
+                out.push(']');
+            }
+            Json::Obj(pairs) if !pairs.is_empty() => {
+                out.push_str("{\n");
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    out.push_str(&pad);
+                    write_string(out, k);
+                    out.push_str(": ");
+                    v.write_pretty(out, indent + 1);
+                }
+                out.push('\n');
+                out.push_str(&"  ".repeat(indent));
+                out.push('}');
+            }
+            _ => self.write(out),
+        }
+    }
+
     /// Parse a complete JSON document (rejects trailing garbage).
     pub fn decode(src: &str) -> Result<Json, CodecError> {
-        let mut p = JsonParser { bytes: src.as_bytes(), pos: 0 };
+        let mut p = JsonParser {
+            bytes: src.as_bytes(),
+            pos: 0,
+        };
         p.skip_ws();
         let v = p.value()?;
         p.skip_ws();
@@ -146,7 +193,11 @@ struct JsonParser<'a> {
 
 impl<'a> JsonParser<'a> {
     fn err<T>(&self, msg: impl Into<String>) -> Result<T, CodecError> {
-        Err(CodecError::Malformed(format!("{} at byte {}", msg.into(), self.pos)))
+        Err(CodecError::Malformed(format!(
+            "{} at byte {}",
+            msg.into(),
+            self.pos
+        )))
     }
 
     fn skip_ws(&mut self) {
@@ -310,8 +361,11 @@ impl<'a> JsonParser<'a> {
 
     fn number(&mut self) -> Result<Json, CodecError> {
         let start = self.pos;
-        if self.eat(b'-') {}
-        while matches!(self.peek(), Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')) {
+        self.eat(b'-');
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
             self.pos += 1;
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii digits");
@@ -334,11 +388,41 @@ mod tests {
     }
 
     #[test]
+    fn pretty_output_round_trips_and_indents() {
+        let v = Json::obj(vec![
+            ("empty", Json::Arr(vec![])),
+            (
+                "xs",
+                Json::Arr(vec![
+                    Json::Num(1.0),
+                    Json::obj(vec![("k", Json::Str("v".into()))]),
+                ]),
+            ),
+        ]);
+        let pretty = v.encode_pretty();
+        assert_eq!(Json::decode(&pretty).unwrap(), v);
+        assert!(
+            pretty.contains("\n  \"xs\""),
+            "pretty output is indented: {pretty}"
+        );
+        assert!(
+            pretty.contains("\"empty\": []"),
+            "empty containers stay inline: {pretty}"
+        );
+    }
+
+    #[test]
     fn roundtrip_structures() {
         let v = Json::obj(vec![
             ("name", Json::Str("slice-sla".into())),
-            ("targets", Json::Arr(vec![Json::Num(3.0), Json::Num(12.0), Json::Num(15.0)])),
-            ("nested", Json::obj(vec![("on", Json::Bool(true)), ("x", Json::Null)])),
+            (
+                "targets",
+                Json::Arr(vec![Json::Num(3.0), Json::Num(12.0), Json::Num(15.0)]),
+            ),
+            (
+                "nested",
+                Json::obj(vec![("on", Json::Bool(true)), ("x", Json::Null)]),
+            ),
         ]);
         let text = v.encode();
         assert_eq!(Json::decode(&text).unwrap(), v);
@@ -371,8 +455,16 @@ mod tests {
     #[test]
     fn rejects_malformed() {
         for bad in [
-            "", "{", "[1,", "{\"a\"}", "{\"a\":}", "tru", "1.2.3", "\"unterminated",
-            "[1] trailing", "{\"a\":1,}",
+            "",
+            "{",
+            "[1,",
+            "{\"a\"}",
+            "{\"a\":}",
+            "tru",
+            "1.2.3",
+            "\"unterminated",
+            "[1] trailing",
+            "{\"a\":1,}",
         ] {
             assert!(Json::decode(bad).is_err(), "should reject: {bad}");
         }

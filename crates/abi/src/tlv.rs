@@ -23,7 +23,8 @@ impl TlvWriter {
     /// Append a raw-bytes field.
     pub fn bytes(&mut self, tag: u16, value: &[u8]) -> &mut Self {
         self.buf.extend_from_slice(&tag.to_le_bytes());
-        self.buf.extend_from_slice(&(value.len() as u32).to_le_bytes());
+        self.buf
+            .extend_from_slice(&(value.len() as u32).to_le_bytes());
         self.buf.extend_from_slice(value);
         self
     }
@@ -152,12 +153,17 @@ impl<'a> TlvReader<'a> {
             return Err(CodecError::UnexpectedEof);
         }
         let tag = u16::from_le_bytes(self.buf[self.pos..self.pos + 2].try_into().expect("sized"));
-        let len =
-            u32::from_le_bytes(self.buf[self.pos + 2..self.pos + 6].try_into().expect("sized"))
-                as usize;
+        let len = u32::from_le_bytes(
+            self.buf[self.pos + 2..self.pos + 6]
+                .try_into()
+                .expect("sized"),
+        ) as usize;
         self.pos += 6;
         if self.buf.len() - self.pos < len {
-            return Err(CodecError::BadLength { need: len, have: self.buf.len() - self.pos });
+            return Err(CodecError::BadLength {
+                need: len,
+                have: self.buf.len() - self.pos,
+            });
         }
         let value = &self.buf[self.pos..self.pos + len];
         self.pos += len;

@@ -50,7 +50,11 @@ fn bench_dispatch(c: &mut Criterion) {
                 let req = request(n_ues);
                 let id = BenchmarkId::new(format!("{name}/{mode:?}"), n_ues);
                 group.bench_with_input(id, &req, |b, req| {
-                    b.iter(|| plugin.call_sched(std::hint::black_box(req)).expect("schedules"))
+                    b.iter(|| {
+                        plugin
+                            .call_sched(std::hint::black_box(req))
+                            .expect("schedules")
+                    })
                 });
             }
         }

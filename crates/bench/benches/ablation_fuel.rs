@@ -58,7 +58,11 @@ fn bench_fuel(c: &mut Criterion) {
         let mut plugin = Plugin::new(plugins::pf_wasm(), &Linker::<()>::new(), (), policy)
             .expect("plugin instantiates");
         group.bench_function(name, |b| {
-            b.iter(|| plugin.call_sched(std::hint::black_box(&req)).expect("schedules"))
+            b.iter(|| {
+                plugin
+                    .call_sched(std::hint::black_box(&req))
+                    .expect("schedules")
+            })
         });
     }
     group.finish();

@@ -41,7 +41,11 @@ fn bench_native_vs_wasm(c: &mut Criterion) {
         ];
         for (name, mut sched) in natives {
             group.bench_with_input(BenchmarkId::new("native", name), &req, |b, req| {
-                b.iter(|| sched.schedule(std::hint::black_box(req)).expect("schedules"))
+                b.iter(|| {
+                    sched
+                        .schedule(std::hint::black_box(req))
+                        .expect("schedules")
+                })
             });
         }
 
@@ -54,7 +58,11 @@ fn bench_native_vs_wasm(c: &mut Criterion) {
                 Plugin::new(wasm, &Linker::<()>::new(), (), SandboxPolicy::unmetered())
                     .expect("plugin instantiates");
             group.bench_with_input(BenchmarkId::new("wasm", name), &req, |b, req| {
-                b.iter(|| plugin.call_sched(std::hint::black_box(req)).expect("schedules"))
+                b.iter(|| {
+                    plugin
+                        .call_sched(std::hint::black_box(req))
+                        .expect("schedules")
+                })
             });
         }
         group.finish();

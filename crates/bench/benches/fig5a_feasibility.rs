@@ -12,9 +12,21 @@ fn bench_three_mvnos(c: &mut Criterion) {
     group.bench_function("three_wasm_mvnos_1s", |b| {
         b.iter(|| {
             let mut scenario = ScenarioBuilder::new()
-                .slice(SliceSpec::new("mt", SchedKind::MaxThroughput).target_mbps(3.0).ues(2))
-                .slice(SliceSpec::new("rr", SchedKind::RoundRobin).target_mbps(12.0).ues(3))
-                .slice(SliceSpec::new("pf", SchedKind::ProportionalFair).target_mbps(15.0).ues(3))
+                .slice(
+                    SliceSpec::new("mt", SchedKind::MaxThroughput)
+                        .target_mbps(3.0)
+                        .ues(2),
+                )
+                .slice(
+                    SliceSpec::new("rr", SchedKind::RoundRobin)
+                        .target_mbps(12.0)
+                        .ues(3),
+                )
+                .slice(
+                    SliceSpec::new("pf", SchedKind::ProportionalFair)
+                        .target_mbps(15.0)
+                        .ues(3),
+                )
                 .seconds(1.0)
                 .build()
                 .expect("scenario builds");
@@ -33,7 +45,10 @@ fn bench_three_mvnos(c: &mut Criterion) {
                         .native(),
                 )
                 .slice(
-                    SliceSpec::new("rr", SchedKind::RoundRobin).target_mbps(12.0).ues(3).native(),
+                    SliceSpec::new("rr", SchedKind::RoundRobin)
+                        .target_mbps(12.0)
+                        .ues(3)
+                        .native(),
                 )
                 .slice(
                     SliceSpec::new("pf", SchedKind::ProportionalFair)

@@ -25,7 +25,11 @@ fn bench_swap(c: &mut Criterion) {
         let mut flip = false;
         b.iter(|| {
             flip = !flip;
-            let kind = if flip { SchedKind::ProportionalFair } else { SchedKind::MaxThroughput };
+            let kind = if flip {
+                SchedKind::ProportionalFair
+            } else {
+                SchedKind::MaxThroughput
+            };
             scenario.swap_plugin("s", kind).expect("swap works");
             scenario.run_slots(1);
         })

@@ -37,12 +37,15 @@ fn bench_plugins(c: &mut Criterion) {
         ("rr", plugins::rr_wasm()),
     ] {
         for n_ues in [1usize, 10, 20] {
-            let mut plugin =
-                Plugin::new(wasm, &Linker::<()>::new(), (), SandboxPolicy::default())
-                    .expect("plugin instantiates");
+            let mut plugin = Plugin::new(wasm, &Linker::<()>::new(), (), SandboxPolicy::default())
+                .expect("plugin instantiates");
             let req = request(n_ues);
             group.bench_with_input(BenchmarkId::new(name, n_ues), &req, |b, req| {
-                b.iter(|| plugin.call_sched(std::hint::black_box(req)).expect("schedules"))
+                b.iter(|| {
+                    plugin
+                        .call_sched(std::hint::black_box(req))
+                        .expect("schedules")
+                })
             });
         }
     }

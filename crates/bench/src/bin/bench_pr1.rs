@@ -10,10 +10,10 @@
 //!
 //! Run with: `cargo run -p waran-bench --release --bin bench_pr1`
 
-use std::fmt::Write as _;
 use std::time::Instant;
 
 use waran_abi::sched::{SchedRequest, UeInfo};
+use waran_abi::sjson::Json;
 use waran_bench::{banner, f1, f2, table, write_csv};
 use waran_core::{plugins, ScenarioBuilder, SchedKind, SliceSpec};
 use waran_host::plugin::{Plugin, SandboxPolicy};
@@ -100,16 +100,23 @@ fn assert_identical_outputs(wasm: &[u8], n_ues: usize) {
         let req = make_request(slot, n_ues);
         let a = reference.call_sched(&req).expect("reference schedules");
         let b = compiled.call_sched(&req).expect("compiled schedules");
-        assert_eq!(a, b, "schedulers diverged between modes (ues={n_ues}, slot={slot})");
+        assert_eq!(
+            a, b,
+            "schedulers diverged between modes (ues={n_ues}, slot={slot})"
+        );
     }
 }
 
-fn json_escape(s: &str) -> String {
-    s.replace('\\', "\\\\").replace('"', "\\\"")
+/// Millisecond-precision JSON number (keeps the artifact diffable).
+fn num3(v: f64) -> Json {
+    Json::Num((v * 1000.0).round() / 1000.0)
 }
 
 fn main() {
-    banner("BENCH_PR1", "flat-IR dispatch ablation (fig. 5d) + MVNO co-existence (fig. 5a)");
+    banner(
+        "BENCH_PR1",
+        "flat-IR dispatch ablation (fig. 5d) + MVNO co-existence (fig. 5a)",
+    );
 
     // ---- fig. 5d: per-call latency, reference vs compiled ----
     let policies: [(&str, &'static [u8]); 3] = [
@@ -123,7 +130,7 @@ fn main() {
 
     println!("fig. 5d workload, {iters} calls per (plugin, UEs, mode)…\n");
 
-    let mut fig5d_json = String::new();
+    let mut fig5d_configs = Vec::new();
     let mut rows = Vec::new();
     let mut min_speedup = f64::MAX;
     let mut min_speedup_mean = f64::MAX;
@@ -149,17 +156,21 @@ fn main() {
                 f1(c.mean_us),
                 f2(speedup),
             ]);
-            if !fig5d_json.is_empty() {
-                fig5d_json.push_str(",\n");
-            }
-            let _ = write!(
-                fig5d_json,
-                "    {{\"plugin\": \"{name}\", \"ues\": {n_ues}, \
-                 \"reference\": {{\"p50_us\": {:.3}, \"p99_us\": {:.3}, \"mean_us\": {:.3}}}, \
-                 \"compiled\": {{\"p50_us\": {:.3}, \"p99_us\": {:.3}, \"mean_us\": {:.3}}}, \
-                 \"speedup_p50\": {:.3}, \"speedup_mean\": {:.3}}}",
-                r.p50_us, r.p99_us, r.mean_us, c.p50_us, c.p99_us, c.mean_us, speedup, speedup_mean
-            );
+            let mode = |m: &ModeStats| {
+                Json::obj(vec![
+                    ("p50_us", num3(m.p50_us)),
+                    ("p99_us", num3(m.p99_us)),
+                    ("mean_us", num3(m.mean_us)),
+                ])
+            };
+            fig5d_configs.push(Json::obj(vec![
+                ("plugin", Json::Str(name.to_string())),
+                ("ues", Json::Num(n_ues as f64)),
+                ("reference", mode(&r)),
+                ("compiled", mode(&c)),
+                ("speedup_p50", num3(speedup)),
+                ("speedup_mean", num3(speedup_mean)),
+            ]));
         }
     }
     let header = [
@@ -178,7 +189,11 @@ fn main() {
     println!(
         "\nminimum p50 speedup across configurations: {:.2}× ({}); minimum mean speedup: {:.2}×",
         min_speedup,
-        if min_speedup >= 2.0 { "meets the ≥ 2× acceptance bar" } else { "BELOW the 2× bar" },
+        if min_speedup >= 2.0 {
+            "meets the ≥ 2× acceptance bar"
+        } else {
+            "BELOW the 2× bar"
+        },
         min_speedup_mean
     );
 
@@ -186,9 +201,21 @@ fn main() {
     let seconds = 5.0;
     println!("\nfig. 5a scenario, {seconds} s of 1 ms slots (all schedulers are Wasm plugins)…");
     let mut scenario = ScenarioBuilder::new()
-        .slice(SliceSpec::new("MVNO-1 (MT)", SchedKind::MaxThroughput).target_mbps(3.0).ues(2))
-        .slice(SliceSpec::new("MVNO-2 (RR)", SchedKind::RoundRobin).target_mbps(12.0).ues(3))
-        .slice(SliceSpec::new("MVNO-3 (PF)", SchedKind::ProportionalFair).target_mbps(15.0).ues(3))
+        .slice(
+            SliceSpec::new("MVNO-1 (MT)", SchedKind::MaxThroughput)
+                .target_mbps(3.0)
+                .ues(2),
+        )
+        .slice(
+            SliceSpec::new("MVNO-2 (RR)", SchedKind::RoundRobin)
+                .target_mbps(12.0)
+                .ues(3),
+        )
+        .slice(
+            SliceSpec::new("MVNO-3 (PF)", SchedKind::ProportionalFair)
+                .target_mbps(15.0)
+                .ues(3),
+        )
         .seconds(seconds)
         .seed(5)
         .build()
@@ -196,7 +223,7 @@ fn main() {
     let report = scenario.run().expect("scenario runs");
 
     let targets = [3.0, 12.0, 15.0];
-    let mut fig5a_json = String::new();
+    let mut fig5a_slices = Vec::new();
     let mut fig5a_rows = Vec::new();
     let mut all_on_target = true;
     for (slice, target) in report.slices.iter().zip(targets) {
@@ -210,35 +237,62 @@ fn main() {
             format!("{}", slice.scheduler_faults),
             if on_target { "yes".into() } else { "NO".into() },
         ]);
-        if !fig5a_json.is_empty() {
-            fig5a_json.push_str(",\n");
-        }
-        let _ = write!(
-            fig5a_json,
-            "    {{\"slice\": \"{}\", \"target_mbps\": {:.2}, \"achieved_mbps\": {:.3}, \
-             \"faults\": {}, \"on_target\": {}}}",
-            json_escape(&slice.name),
-            target,
-            achieved,
-            slice.scheduler_faults,
-            on_target
-        );
+        fig5a_slices.push(Json::obj(vec![
+            ("slice", Json::Str(slice.name.clone())),
+            ("target_mbps", num3(target)),
+            ("achieved_mbps", num3(achieved)),
+            ("faults", Json::Num(slice.scheduler_faults as f64)),
+            ("on_target", Json::Bool(on_target)),
+        ]));
     }
-    table(&["slice", "target[Mb/s]", "achieved[Mb/s]", "faults", "on-target"], &fig5a_rows);
+    table(
+        &[
+            "slice",
+            "target[Mb/s]",
+            "achieved[Mb/s]",
+            "faults",
+            "on-target",
+        ],
+        &fig5a_rows,
+    );
 
     // ---- emit BENCH_PR1.json ----
-    let json = format!(
-        "{{\n  \"pr\": 1,\n  \"title\": \"Pre-compiled flat IR + side-table branches for the \
-         Wasm interpreter hot loop\",\n  \"fig5d\": {{\n    \"workload\": \"one full scheduler \
-         call (encode + sandbox + decode) per iteration\",\n    \"iterations_per_config\": \
-         {iters},\n    \"identical_outputs\": true,\n    \"min_speedup_p50\": {min_speedup:.3},\
-         \n    \"min_speedup_mean\": {min_speedup_mean:.3},\
-         \n    \"meets_2x_bar\": {},\n  \"configs\": [\n{fig5d_json}\n  ]}},\n  \"fig5a\": {{\n    \
-         \"seconds\": {seconds}, \"all_on_target\": {all_on_target},\n  \"slices\": [\n\
-         {fig5a_json}\n  ]}}\n}}\n",
-        min_speedup >= 2.0
-    );
-    std::fs::write("BENCH_PR1.json", &json).expect("write BENCH_PR1.json");
+    let json = Json::obj(vec![
+        ("pr", Json::Num(1.0)),
+        (
+            "title",
+            Json::Str(
+                "Pre-compiled flat IR + side-table branches for the Wasm interpreter hot loop"
+                    .into(),
+            ),
+        ),
+        (
+            "fig5d",
+            Json::obj(vec![
+                (
+                    "workload",
+                    Json::Str(
+                        "one full scheduler call (encode + sandbox + decode) per iteration".into(),
+                    ),
+                ),
+                ("iterations_per_config", Json::Num(iters as f64)),
+                ("identical_outputs", Json::Bool(true)),
+                ("min_speedup_p50", num3(min_speedup)),
+                ("min_speedup_mean", num3(min_speedup_mean)),
+                ("meets_2x_bar", Json::Bool(min_speedup >= 2.0)),
+                ("configs", Json::Arr(fig5d_configs)),
+            ]),
+        ),
+        (
+            "fig5a",
+            Json::obj(vec![
+                ("seconds", Json::Num(seconds)),
+                ("all_on_target", Json::Bool(all_on_target)),
+                ("slices", Json::Arr(fig5a_slices)),
+            ]),
+        ),
+    ]);
+    std::fs::write("BENCH_PR1.json", json.encode_pretty()).expect("write BENCH_PR1.json");
     println!("\n[json written to BENCH_PR1.json]");
 
     println!(

@@ -12,13 +12,28 @@ use waran_bench::{banner, downsample, f2, sparkline, table, write_csv};
 use waran_core::{ScenarioBuilder, SchedKind, SliceSpec};
 
 fn main() {
-    banner("Fig. 5a", "Co-existence of MVNOs (targets 3 / 12 / 15 Mb/s)");
+    banner(
+        "Fig. 5a",
+        "Co-existence of MVNOs (targets 3 / 12 / 15 Mb/s)",
+    );
 
     let seconds = 60.0;
     let mut scenario = ScenarioBuilder::new()
-        .slice(SliceSpec::new("MVNO-1 (MT)", SchedKind::MaxThroughput).target_mbps(3.0).ues(2))
-        .slice(SliceSpec::new("MVNO-2 (RR)", SchedKind::RoundRobin).target_mbps(12.0).ues(3))
-        .slice(SliceSpec::new("MVNO-3 (PF)", SchedKind::ProportionalFair).target_mbps(15.0).ues(3))
+        .slice(
+            SliceSpec::new("MVNO-1 (MT)", SchedKind::MaxThroughput)
+                .target_mbps(3.0)
+                .ues(2),
+        )
+        .slice(
+            SliceSpec::new("MVNO-2 (RR)", SchedKind::RoundRobin)
+                .target_mbps(12.0)
+                .ues(3),
+        )
+        .slice(
+            SliceSpec::new("MVNO-3 (PF)", SchedKind::ProportionalFair)
+                .target_mbps(15.0)
+                .ues(3),
+        )
         .seconds(seconds)
         .seed(5)
         .build()
@@ -48,7 +63,9 @@ fn main() {
         }
         rows.push(cells);
     }
-    let header: Vec<&str> = std::iter::once("t[s]").chain(names.iter().copied()).collect();
+    let header: Vec<&str> = std::iter::once("t[s]")
+        .chain(names.iter().copied())
+        .collect();
     // Print every 5th second to keep the terminal readable; CSV has all.
     let printed: Vec<Vec<String>> = rows.iter().step_by(5).cloned().collect();
     table(&header, &printed);
@@ -56,7 +73,11 @@ fn main() {
 
     println!("\nshape check (rate vs time, one char per ~2 s):");
     for slice in &report.slices {
-        println!("  {:<14} {}", slice.name, sparkline(&downsample(&slice.series_mbps, 30)));
+        println!(
+            "  {:<14} {}",
+            slice.name,
+            sparkline(&downsample(&slice.series_mbps, 30))
+        );
     }
 
     println!("\nsummary (mean over the run):");
@@ -77,7 +98,16 @@ fn main() {
             ]
         })
         .collect();
-    table(&["slice", "target[Mb/s]", "achieved[Mb/s]", "faults", "on-target"], &summary);
+    table(
+        &[
+            "slice",
+            "target[Mb/s]",
+            "achieved[Mb/s]",
+            "faults",
+            "on-target",
+        ],
+        &summary,
+    );
 
     println!(
         "\nresult: {}",

@@ -17,7 +17,10 @@ use waran_bench::{banner, downsample, f2, sparkline, table, write_csv};
 use waran_core::{ChannelSpec, ScenarioBuilder, SchedKind, SliceSpec, TrafficSpec};
 
 fn main() {
-    banner("Fig. 5b", "Live swap MT → PF → RR (3 UEs at MCS 20/24/28, 22 Mb/s slice)");
+    banner(
+        "Fig. 5b",
+        "Live swap MT → PF → RR (3 UEs at MCS 20/24/28, 22 Mb/s slice)",
+    );
 
     let phase_secs = 20.0;
     let mut scenario = ScenarioBuilder::new()
@@ -42,11 +45,22 @@ fn main() {
 
     println!("phase 1 (0–{phase_secs} s): MT plugin…");
     scenario.run_seconds(phase_secs);
-    println!("phase 2 ({phase_secs}–{} s): hot swap to PF (gNB keeps running)…", 2.0 * phase_secs);
-    scenario.swap_plugin("mvno", SchedKind::ProportionalFair).expect("swap works");
+    println!(
+        "phase 2 ({phase_secs}–{} s): hot swap to PF (gNB keeps running)…",
+        2.0 * phase_secs
+    );
+    scenario
+        .swap_plugin("mvno", SchedKind::ProportionalFair)
+        .expect("swap works");
     scenario.run_seconds(phase_secs);
-    println!("phase 3 ({}–{} s): hot swap to RR…", 2.0 * phase_secs, 3.0 * phase_secs);
-    scenario.swap_plugin("mvno", SchedKind::RoundRobin).expect("swap works");
+    println!(
+        "phase 3 ({}–{} s): hot swap to RR…",
+        2.0 * phase_secs,
+        3.0 * phase_secs
+    );
+    scenario
+        .swap_plugin("mvno", SchedKind::RoundRobin)
+        .expect("swap works");
     scenario.run_seconds(phase_secs);
 
     let report = scenario.report();
@@ -61,8 +75,11 @@ fn main() {
             let series = &report.ue(*ue).expect("ue exists").series_mbps;
             let lo = sec * windows_per_sec;
             let hi = ((sec + 1) * windows_per_sec).min(series.len());
-            let mean =
-                if lo < hi { series[lo..hi].iter().sum::<f64>() / (hi - lo) as f64 } else { 0.0 };
+            let mean = if lo < hi {
+                series[lo..hi].iter().sum::<f64>() / (hi - lo) as f64
+            } else {
+                0.0
+            };
             cells.push(f2(mean));
         }
         let phase = match sec as f64 {
@@ -107,9 +124,21 @@ fn main() {
     }
     table(&["UE", "MT", "PF", "RR"], &rows);
 
-    let mt = [phase_mean(ues[0], 0), phase_mean(ues[1], 0), phase_mean(ues[2], 0)];
-    let pf = [phase_mean(ues[0], 1), phase_mean(ues[1], 1), phase_mean(ues[2], 1)];
-    let rr = [phase_mean(ues[0], 2), phase_mean(ues[1], 2), phase_mean(ues[2], 2)];
+    let mt = [
+        phase_mean(ues[0], 0),
+        phase_mean(ues[1], 0),
+        phase_mean(ues[2], 0),
+    ];
+    let pf = [
+        phase_mean(ues[0], 1),
+        phase_mean(ues[1], 1),
+        phase_mean(ues[2], 1),
+    ];
+    let rr = [
+        phase_mean(ues[0], 2),
+        phase_mean(ues[1], 2),
+        phase_mean(ues[2], 2),
+    ];
 
     // Best UE reaches its 22 Mb/s target, second-best uses the leftovers,
     // worst is (mostly) not scheduled — the paper's exact description.

@@ -19,7 +19,10 @@ use waran_core::{ScenarioBuilder, SchedKind, SliceSpec};
 use waran_host::plugin::SandboxPolicy;
 
 fn main() {
-    banner("Fig. 5c", "Memory increase over 80 s: leaky plugin (sandboxed) vs native leak");
+    banner(
+        "Fig. 5c",
+        "Memory increase over 80 s: leaky plugin (sandboxed) vs native leak",
+    );
 
     let seconds = 80usize;
     let leak_per_slot: u64 = 4096; // what the leaky scheduler allocates
@@ -28,7 +31,11 @@ fn main() {
     // Sandbox side: a gNB whose slice scheduler is the leaky plugin, memory
     // capped at 128 pages (8 MiB).
     let mut scenario = ScenarioBuilder::new()
-        .slice(SliceSpec::new("mvno", SchedKind::RoundRobin).target_mbps(10.0).ues(2))
+        .slice(
+            SliceSpec::new("mvno", SchedKind::RoundRobin)
+                .target_mbps(10.0)
+                .ues(2),
+        )
         .seconds(seconds as f64)
         .sandbox_policy(SandboxPolicy {
             max_memory_pages: 128,
@@ -37,7 +44,9 @@ fn main() {
         .build()
         .expect("scenario builds");
     let leaky = plugins::compile_faulty(plugins::faulty::LEAKY);
-    scenario.swap_plugin_bytes("mvno", &leaky).expect("leaky plugin installs");
+    scenario
+        .swap_plugin_bytes("mvno", &leaky)
+        .expect("leaky plugin installs");
 
     println!("running the leaky scheduler as a sandboxed plugin for {seconds} s…\n");
 
@@ -46,11 +55,8 @@ fn main() {
     let mut native_series = Vec::new();
     for sec in 0..seconds {
         scenario.run_slots(slots_per_sec);
-        let wasm_mib = scenario
-            .plugin_host()
-            .memory_bytes("mvno")
-            .unwrap_or(0) as f64
-            / (1024.0 * 1024.0);
+        let wasm_mib =
+            scenario.plugin_host().memory_bytes("mvno").unwrap_or(0) as f64 / (1024.0 * 1024.0);
         // Native model: the same allocation pattern with no sandbox to
         // bound it — linear growth, as the paper measured on the host.
         let native_mib =
@@ -80,7 +86,10 @@ fn main() {
          min(module max 1 MiB, host cap 8 MiB); growth beyond it traps)",
         wasm_final
     );
-    println!("  native model after {seconds} s:        {:.1} MiB (unbounded)", native_final);
+    println!(
+        "  native model after {seconds} s:        {:.1} MiB (unbounded)",
+        native_final
+    );
     println!(
         "  gNB service while the plugin leaked:  {:.1} Mb/s mean, {} faults absorbed by fallback",
         slice.mean_rate_mbps(),

@@ -36,7 +36,10 @@ fn make_request(slot: u64, n_ues: usize) -> SchedRequest {
 }
 
 fn main() {
-    banner("Fig. 5d", "Plugin execution time incl. serialization (slot budget: 1000 µs)");
+    banner(
+        "Fig. 5d",
+        "Plugin execution time incl. serialization (slot budget: 1000 µs)",
+    );
 
     let policies: [(&str, &'static [u8]); 3] = [
         ("MT", plugins::mt_wasm()),
@@ -47,9 +50,7 @@ fn main() {
     let iterations = 20_000u64;
     let warmup = 1_000u64;
 
-    println!(
-        "measuring {iterations} scheduled slots per (plugin, UE-count) configuration…\n"
-    );
+    println!("measuring {iterations} scheduled slots per (plugin, UE-count) configuration…\n");
 
     let mut rows = Vec::new();
     let mut worst_p99: f64 = 0.0;
@@ -59,13 +60,8 @@ fn main() {
             // Fuel metering on (production setting); the wall-clock
             // deadline is left at 10 ms so OS preemption of the harness
             // itself cannot abort a measurement run.
-            let mut plugin = Plugin::new(
-                wasm,
-                &Linker::<()>::new(),
-                (),
-                SandboxPolicy::default(),
-            )
-            .expect("plugin instantiates");
+            let mut plugin = Plugin::new(wasm, &Linker::<()>::new(), (), SandboxPolicy::default())
+                .expect("plugin instantiates");
             let mut acc = ExactQuantiles::new();
             for slot in 0..(warmup + iterations) {
                 let req = make_request(slot, n_ues);
@@ -94,7 +90,15 @@ fn main() {
         }
     }
 
-    let header = ["plugin", "UEs", "p50[µs]", "p99[µs]", "mean[µs]", "max[µs]", "p99 %slot"];
+    let header = [
+        "plugin",
+        "UEs",
+        "p50[µs]",
+        "p99[µs]",
+        "mean[µs]",
+        "max[µs]",
+        "p99 %slot",
+    ];
     table(&header, &rows);
     write_csv("fig5d.csv", &header, &rows);
 

@@ -31,21 +31,40 @@ fn request() -> SchedRequest {
 }
 
 fn main() {
-    banner("§5.D", "Memory safety: unsafe plugin code is caught, the host survives");
+    banner(
+        "§5.D",
+        "Memory safety: unsafe plugin code is caught, the host survives",
+    );
 
     let cases: [(&str, &str, &str); 3] = [
-        ("null pointer dereference", faulty::NULL_DEREF, "segfault (SIGSEGV)"),
-        ("out-of-bounds access", faulty::OOB_ACCESS, "segfault / heap corruption"),
-        ("double free", faulty::DOUBLE_FREE, "abort (glibc: double free or corruption)"),
+        (
+            "null pointer dereference",
+            faulty::NULL_DEREF,
+            "segfault (SIGSEGV)",
+        ),
+        (
+            "out-of-bounds access",
+            faulty::OOB_ACCESS,
+            "segfault / heap corruption",
+        ),
+        (
+            "double free",
+            faulty::DOUBLE_FREE,
+            "abort (glibc: double free or corruption)",
+        ),
     ];
 
     let mut rows = Vec::new();
     let mut all_caught = true;
     for (name, source, native_outcome) in cases {
         let wasm = plugins::compile_faulty(source);
-        let mut plugin =
-            Plugin::new(&wasm, &Linker::<()>::new(), (), SandboxPolicy::slot_budget())
-                .expect("fault plugin instantiates");
+        let mut plugin = Plugin::new(
+            &wasm,
+            &Linker::<()>::new(),
+            (),
+            SandboxPolicy::slot_budget(),
+        )
+        .expect("fault plugin instantiates");
 
         // Run the unsafe code. The call must return an error — not crash.
         let outcome = plugin.call_sched(&request());
@@ -76,7 +95,15 @@ fn main() {
         ]);
     }
 
-    table(&["improper instruction", "in WA-RAN sandbox", "native outcome", "gNB continues"], &rows);
+    table(
+        &[
+            "improper instruction",
+            "in WA-RAN sandbox",
+            "native outcome",
+            "gNB continues",
+        ],
+        &rows,
+    );
 
     println!(
         "\nnote: the native column is the documented behaviour of the same code \

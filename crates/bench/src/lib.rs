@@ -35,8 +35,21 @@ pub fn table(header: &[&str], rows: &[Vec<String>]) {
             }
         }
     }
-    println!("{}", row(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>(), &widths));
-    println!("{}", widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  "));
+    println!(
+        "{}",
+        row(
+            &header.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+            &widths
+        )
+    );
+    println!(
+        "{}",
+        widths
+            .iter()
+            .map(|w| "-".repeat(*w))
+            .collect::<Vec<_>>()
+            .join("  ")
+    );
     for r in rows {
         println!("{}", row(r, &widths));
     }

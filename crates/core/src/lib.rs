@@ -11,17 +11,24 @@
 //!   hot-swappable [`waran_host::PluginHost`] slot.
 //! * [`scenario`] — the declarative driver used by examples and benches:
 //!   slices, UEs, channels, traffic, duration → run → [`scenario::Report`].
+//! * [`multicell`] — the sharded deployment engine: N independent cells
+//!   executed by a fixed worker pool, per-cell outputs independent of the
+//!   worker count.
 //! * [`ric_glue`] — the gNB↔near-RT-RIC loop over plugin-wrapped
 //!   communication, with xApps steering traffic and assuring slice SLAs.
 
+pub mod multicell;
 pub mod plugins;
 pub mod ric_glue;
 pub mod scenario;
 pub mod wasm_sched;
 
+pub use multicell::{
+    CellReport, CellSpec, MultiCellReport, MultiCellScenario, MultiCellScenarioBuilder,
+};
 pub use ric_glue::{HandoverModel, RicLoop};
 pub use scenario::{
-    Backend, ChannelSpec, Report, Scenario, ScenarioBuilder, ScenarioError, SchedKind,
-    SliceReport, SliceSpec, TrafficSpec, UeReport,
+    Backend, ChannelSpec, Report, Scenario, ScenarioBuilder, ScenarioError, SchedKind, SliceReport,
+    SliceSpec, TrafficSpec, UeReport,
 };
 pub use wasm_sched::{install_plugin, WasmSliceScheduler};

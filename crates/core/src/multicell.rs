@@ -1,0 +1,503 @@
+//! Sharded multi-cell scenario engine: one deployment, N independent
+//! cells, executed by a fixed worker pool.
+//!
+//! The paper's deployment story (§4) is an operator pushing one xApp to a
+//! *fleet* of cells. This module scales the single-gNB [`Scenario`]
+//! driver to that shape:
+//!
+//! * Each cell is a full [`Scenario`] — its own gNB, slice set, UE
+//!   population, traffic and RNG seed — so cells share **no** mutable
+//!   state. Identical plugin bytecode across cells still shares one
+//!   compiled module through the host's `ModuleCache` (compile once per
+//!   bytecode hash, instantiate per cell).
+//! * [`MultiCellScenario::run`] executes the cells on `workers` OS
+//!   threads via an atomic work-stealing cursor. Because a cell's
+//!   evolution depends only on its own seed, per-cell results are
+//!   byte-identical for every worker count — [`Report::digest`] is the
+//!   check.
+//! * Per-worker execution-time measurements land in
+//!   [`ShardedExecStats`] shards and are merged after the join, so the
+//!   hot loop never touches a shared accumulator.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use waran_host::plugin::SandboxPolicy;
+use waran_host::{ExecTimeStats, ShardedExecStats};
+
+use crate::scenario::{Report, Scenario, ScenarioBuilder, ScenarioError, SchedKind, SliceSpec};
+
+// The engine moves whole `Scenario`s into worker threads; this is the
+// compile-time proof that every layer below (gNB, schedulers, channels,
+// traffic, plugin host, Wasm instances) stays `Send`.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<Scenario>();
+};
+
+/// Declarative description of one cell in a deployment.
+#[derive(Clone)]
+pub struct CellSpec {
+    name: String,
+    slices: Vec<SliceSpec>,
+    seed: Option<u64>,
+}
+
+impl CellSpec {
+    /// A cell with no slices yet.
+    pub fn new(name: &str) -> Self {
+        CellSpec {
+            name: name.to_string(),
+            slices: Vec::new(),
+            seed: None,
+        }
+    }
+
+    /// Add a slice to this cell.
+    pub fn slice(mut self, spec: SliceSpec) -> Self {
+        self.slices.push(spec);
+        self
+    }
+
+    /// Pin this cell's RNG seed (default: derived from the deployment
+    /// seed and the cell index, stable across worker counts).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+}
+
+/// Builds a [`MultiCellScenario`].
+pub struct MultiCellScenarioBuilder {
+    cells: Vec<CellSpec>,
+    seconds: f64,
+    base_seed: u64,
+    policy: SandboxPolicy,
+}
+
+impl Default for MultiCellScenarioBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MultiCellScenarioBuilder {
+    /// Deployment with paper-testbed cell defaults.
+    pub fn new() -> Self {
+        MultiCellScenarioBuilder {
+            cells: Vec::new(),
+            seconds: 1.0,
+            base_seed: 1,
+            policy: SandboxPolicy::slot_budget(),
+        }
+    }
+
+    /// Add a cell.
+    pub fn cell(mut self, spec: CellSpec) -> Self {
+        self.cells.push(spec);
+        self
+    }
+
+    /// Simulated duration, applied to every cell.
+    pub fn seconds(mut self, seconds: f64) -> Self {
+        self.seconds = seconds;
+        self
+    }
+
+    /// Deployment seed; per-cell seeds derive from it deterministically.
+    pub fn base_seed(mut self, seed: u64) -> Self {
+        self.base_seed = seed;
+        self
+    }
+
+    /// Sandbox policy for every plugin-backed slice.
+    pub fn sandbox_policy(mut self, policy: SandboxPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Instantiate every cell (gNBs, slices, UEs, plugins).
+    pub fn build(self) -> Result<MultiCellScenario, ScenarioError> {
+        if self.cells.is_empty() {
+            return Err(ScenarioError::Invalid(
+                "a deployment needs at least one cell".into(),
+            ));
+        }
+        let mut cells = Vec::with_capacity(self.cells.len());
+        for (idx, spec) in self.cells.into_iter().enumerate() {
+            let cell_id = idx as u32;
+            if cells.iter().any(|c: &Mutex<CellRuntime>| {
+                c.lock().expect("cell lock poisoned").name == spec.name
+            }) {
+                return Err(ScenarioError::Invalid(format!(
+                    "duplicate cell `{}`",
+                    spec.name
+                )));
+            }
+            let seed = spec
+                .seed
+                .unwrap_or_else(|| derive_seed(self.base_seed, cell_id));
+            let mut builder = ScenarioBuilder::new()
+                .seconds(self.seconds)
+                .seed(seed)
+                .cell_id(cell_id)
+                .sandbox_policy(self.policy);
+            for slice in spec.slices {
+                builder = builder.slice(slice);
+            }
+            let scenario = builder.build()?;
+            cells.push(Mutex::new(CellRuntime {
+                name: spec.name,
+                cell_id,
+                seed,
+                scenario,
+                report: None,
+            }));
+        }
+        Ok(MultiCellScenario { cells })
+    }
+}
+
+/// SplitMix64 over (deployment seed, cell id): decorrelates per-cell RNG
+/// streams while staying a pure function of the build inputs, so the
+/// schedule of worker threads can never perturb a cell's seed.
+fn derive_seed(base: u64, cell_id: u32) -> u64 {
+    let mut z = base.wrapping_add(0x9e37_79b9_7f4a_7c15_u64.wrapping_mul(u64::from(cell_id) + 1));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+struct CellRuntime {
+    name: String,
+    cell_id: u32,
+    seed: u64,
+    scenario: Scenario,
+    report: Option<Report>,
+}
+
+/// A built multi-cell deployment, runnable on any number of workers.
+pub struct MultiCellScenario {
+    cells: Vec<Mutex<CellRuntime>>,
+}
+
+impl MultiCellScenario {
+    /// Number of cells.
+    pub fn num_cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Cell names in declaration order.
+    pub fn cell_names(&self) -> Vec<String> {
+        self.cells
+            .iter()
+            .map(|c| c.lock().expect("cell lock poisoned").name.clone())
+            .collect()
+    }
+
+    /// Hot-swap a Wasm slice's scheduler in one cell to a standard
+    /// policy. The swap is atomic per cell: only that cell's plugin host
+    /// publishes a new slot epoch; every other cell is untouched.
+    pub fn swap_plugin(
+        &self,
+        cell: &str,
+        slice: &str,
+        kind: SchedKind,
+    ) -> Result<(), ScenarioError> {
+        let runtime = self
+            .cells
+            .iter()
+            .find(|c| c.lock().expect("cell lock poisoned").name == cell)
+            .ok_or_else(|| ScenarioError::Invalid(format!("no cell `{cell}`")))?;
+        runtime
+            .lock()
+            .expect("cell lock poisoned")
+            .scenario
+            .swap_plugin(slice, kind)
+    }
+
+    /// Run every cell to completion on `workers` threads (0 and 1 both
+    /// mean in-place sequential execution) and report per-cell and
+    /// aggregate results. Per-cell outputs are independent of `workers`.
+    pub fn run(&mut self, workers: usize) -> MultiCellReport {
+        let started = Instant::now();
+        let n_cells = self.cells.len();
+        let workers = workers.clamp(1, n_cells.max(1));
+
+        let shards = if workers <= 1 {
+            let mut shard = ExecTimeStats::new();
+            for cell in &self.cells {
+                let mut cell = cell.lock().expect("cell lock poisoned");
+                run_cell(&mut cell, &mut shard);
+            }
+            vec![shard]
+        } else {
+            let next = AtomicUsize::new(0);
+            let cells = &self.cells;
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| {
+                        scope.spawn(|| {
+                            let mut shard = ExecTimeStats::new();
+                            loop {
+                                let idx = next.fetch_add(1, Ordering::Relaxed);
+                                if idx >= n_cells {
+                                    break;
+                                }
+                                let mut cell = cells[idx].lock().expect("cell lock poisoned");
+                                run_cell(&mut cell, &mut shard);
+                            }
+                            shard
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("worker panicked"))
+                    .collect()
+            })
+        };
+
+        let wall_seconds = started.elapsed().as_secs_f64();
+        let exec = ShardedExecStats::from_shards(shards).merged();
+
+        let mut cell_reports = Vec::with_capacity(n_cells);
+        for cell in &self.cells {
+            let cell = cell.lock().expect("cell lock poisoned");
+            let report = cell
+                .report
+                .clone()
+                .unwrap_or_else(|| cell.scenario.report());
+            let sched_calls = cell_sched_calls(&cell.scenario);
+            cell_reports.push(CellReport {
+                name: cell.name.clone(),
+                cell_id: cell.cell_id,
+                seed: cell.seed,
+                sched_calls,
+                report,
+            });
+        }
+        let total_slots = cell_reports.iter().map(|c| c.report.slots).sum();
+        let total_sched_calls = cell_reports.iter().map(|c| c.sched_calls).sum();
+        MultiCellReport {
+            cells: cell_reports,
+            exec,
+            workers,
+            wall_seconds,
+            total_slots,
+            total_sched_calls,
+        }
+    }
+}
+
+/// Run one cell to its configured end and fold its plugin execution
+/// times into the worker's shard.
+fn run_cell(cell: &mut CellRuntime, shard: &mut ExecTimeStats) {
+    let remaining = cell.scenario.remaining_slots();
+    cell.scenario.run_slots(remaining);
+    cell.report = Some(cell.scenario.report());
+    for name in cell.scenario.slice_names().to_vec() {
+        if let Some(stats) = cell.scenario.plugin_stats(&name) {
+            shard.merge(&stats);
+        }
+    }
+}
+
+/// Total scheduler-plugin calls a cell has made so far.
+fn cell_sched_calls(scenario: &Scenario) -> u64 {
+    scenario
+        .slice_names()
+        .iter()
+        .filter_map(|name| scenario.plugin_stats(name))
+        .map(|stats| stats.count())
+        .sum()
+}
+
+/// One cell's results.
+#[derive(Debug, Clone)]
+pub struct CellReport {
+    /// Cell name.
+    pub name: String,
+    /// Cell identity (index in declaration order).
+    pub cell_id: u32,
+    /// The RNG seed the cell ran with.
+    pub seed: u64,
+    /// Scheduler-plugin calls made by this cell.
+    pub sched_calls: u64,
+    /// The cell's full measurement snapshot.
+    pub report: Report,
+}
+
+/// Aggregate results of one deployment run.
+#[derive(Debug, Clone)]
+pub struct MultiCellReport {
+    /// Per-cell results in declaration order.
+    pub cells: Vec<CellReport>,
+    /// Plugin execution-time statistics merged across all workers.
+    pub exec: ExecTimeStats,
+    /// Worker threads actually used.
+    pub workers: usize,
+    /// Wall-clock duration of the run, seconds.
+    pub wall_seconds: f64,
+    /// Slots simulated, summed over cells.
+    pub total_slots: u64,
+    /// Scheduler-plugin calls, summed over cells.
+    pub total_sched_calls: u64,
+}
+
+impl MultiCellReport {
+    /// Look up a cell by name.
+    pub fn cell(&self, name: &str) -> Option<&CellReport> {
+        self.cells.iter().find(|c| c.name == name)
+    }
+
+    /// Per-cell report digests in declaration order; equal vectors across
+    /// runs mean byte-identical per-cell outputs (the worker-count
+    /// independence check).
+    pub fn cell_digests(&self) -> Vec<u64> {
+        self.cells.iter().map(|c| c.report.digest()).collect()
+    }
+
+    /// Aggregate scheduler-call throughput, calls per wall-clock second.
+    pub fn sched_calls_per_sec(&self) -> f64 {
+        if self.wall_seconds > 0.0 {
+            self.total_sched_calls as f64 / self.wall_seconds
+        } else {
+            0.0
+        }
+    }
+
+    /// Aggregate slot throughput, slots per wall-clock second.
+    pub fn slots_per_sec(&self) -> f64 {
+        if self.wall_seconds > 0.0 {
+            self.total_slots as f64 / self.wall_seconds
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::SliceSpec;
+
+    fn deployment(cells: usize, seconds: f64) -> MultiCellScenario {
+        let mut b = MultiCellScenarioBuilder::new()
+            .seconds(seconds)
+            .base_seed(42);
+        for i in 0..cells {
+            b = b.cell(
+                CellSpec::new(&format!("cell{i}")).slice(
+                    SliceSpec::new("mvno", SchedKind::RoundRobin)
+                        .target_mbps(8.0)
+                        .ues(2),
+                ),
+            );
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn builder_rejects_empty_and_duplicates() {
+        assert!(matches!(
+            MultiCellScenarioBuilder::new().build(),
+            Err(ScenarioError::Invalid(_))
+        ));
+        let dup = MultiCellScenarioBuilder::new()
+            .cell(CellSpec::new("a").slice(SliceSpec::new("s", SchedKind::RoundRobin).ues(1)))
+            .cell(CellSpec::new("a").slice(SliceSpec::new("s", SchedKind::RoundRobin).ues(1)))
+            .build();
+        assert!(matches!(dup, Err(ScenarioError::Invalid(_))));
+    }
+
+    #[test]
+    fn derived_seeds_are_distinct_and_stable() {
+        let a = derive_seed(1, 0);
+        let b = derive_seed(1, 1);
+        assert_ne!(a, b);
+        assert_eq!(a, derive_seed(1, 0));
+    }
+
+    #[test]
+    fn parallel_run_matches_sequential_cells() {
+        let seq = deployment(3, 0.2).run(1);
+        let par = deployment(3, 0.2).run(2);
+        assert_eq!(seq.cell_digests(), par.cell_digests());
+        assert_eq!(seq.total_slots, par.total_slots);
+        assert_eq!(seq.total_sched_calls, par.total_sched_calls);
+        assert_eq!(seq.exec.count(), par.exec.count());
+        assert!(par.total_sched_calls > 0);
+    }
+
+    #[test]
+    fn cells_differ_unless_seeded_identically() {
+        // Fading channels consume the per-cell RNG, so different derived
+        // seeds must produce different measurements.
+        let faded = |_| {
+            SliceSpec::new("s", SchedKind::RoundRobin)
+                .target_mbps(8.0)
+                .ue(
+                    crate::ChannelSpec::FadingGood,
+                    crate::TrafficSpec::FullBuffer,
+                )
+                .ue(
+                    crate::ChannelSpec::FadingCellEdge,
+                    crate::TrafficSpec::FullBuffer,
+                )
+        };
+        let mut d = MultiCellScenarioBuilder::new()
+            .seconds(0.2)
+            .base_seed(42)
+            .cell(CellSpec::new("a").slice(faded(0)))
+            .cell(CellSpec::new("b").slice(faded(1)))
+            .build()
+            .unwrap();
+        let report = d.run(1);
+        assert_ne!(
+            report.cells[0].report.digest(),
+            report.cells[1].report.digest()
+        );
+
+        let mut same = MultiCellScenarioBuilder::new()
+            .seconds(0.2)
+            .cell(
+                CellSpec::new("a").seed(7).slice(
+                    SliceSpec::new("s", SchedKind::RoundRobin)
+                        .target_mbps(8.0)
+                        .ues(2),
+                ),
+            )
+            .cell(
+                CellSpec::new("b").seed(7).slice(
+                    SliceSpec::new("s", SchedKind::RoundRobin)
+                        .target_mbps(8.0)
+                        .ues(2),
+                ),
+            )
+            .build()
+            .unwrap();
+        let report = same.run(2);
+        assert_eq!(
+            report.cells[0].report.digest(),
+            report.cells[1].report.digest()
+        );
+    }
+
+    #[test]
+    fn per_cell_swap_is_isolated() {
+        let mut d = deployment(2, 0.2);
+        d.swap_plugin("cell0", "mvno", SchedKind::MaxThroughput)
+            .unwrap();
+        assert!(d
+            .swap_plugin("nope", "mvno", SchedKind::MaxThroughput)
+            .is_err());
+        let report = d.run(2);
+        assert_eq!(report.cells.len(), 2);
+        // Both cells still served their UEs.
+        for cell in &report.cells {
+            assert!(cell.report.slice("mvno").unwrap().mean_rate_mbps() > 1.0);
+        }
+    }
+}

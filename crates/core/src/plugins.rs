@@ -355,7 +355,12 @@ mod tests {
 
     #[test]
     fn fault_plugins_compile() {
-        for body in [faulty::NULL_DEREF, faulty::OOB_ACCESS, faulty::DOUBLE_FREE, faulty::LEAKY] {
+        for body in [
+            faulty::NULL_DEREF,
+            faulty::OOB_ACCESS,
+            faulty::DOUBLE_FREE,
+            faulty::LEAKY,
+        ] {
             let bytes = compile_faulty(body);
             waran_wasm::load_module(&bytes).expect("validates");
         }

@@ -109,11 +109,17 @@ impl RicLoop {
 
     fn apply(&mut self, scenario: &mut Scenario, action: ControlAction) {
         match action {
-            ControlAction::SetSliceTarget { slice_id, target_bps } => {
+            ControlAction::SetSliceTarget {
+                slice_id,
+                target_bps,
+            } => {
                 scenario.gnb.set_slice_target(slice_id, Some(target_bps));
                 self.applied_slice_targets += 1;
             }
-            ControlAction::Handover { ue_id, target_cell: _ } => {
+            ControlAction::Handover {
+                ue_id,
+                target_cell: _,
+            } => {
                 let channel: Box<dyn waran_ransim::channel::ChannelModel> = match self.handover {
                     HandoverModel::ToGoodCell => Box::new(MarkovFadingChannel::good()),
                     HandoverModel::ToDistance(m) => Box::new(DistanceChannel::new(m)),
@@ -175,7 +181,11 @@ mod tests {
         // A slice with an SLA it cannot quite meet under its initial
         // target; the xApp raises the enforced target.
         let mut scenario = ScenarioBuilder::new()
-            .slice(SliceSpec::new("gold", SchedKind::RoundRobin).target_mbps(10.0).ues(2))
+            .slice(
+                SliceSpec::new("gold", SchedKind::RoundRobin)
+                    .target_mbps(10.0)
+                    .ues(2),
+            )
             .slice(SliceSpec::new("rest", SchedKind::RoundRobin).ues(2))
             .seconds(3.0)
             .build()
@@ -191,7 +201,11 @@ mod tests {
         let report = scenario.report();
         let gold = report.slice("gold").unwrap();
         // Late-run rate approaches the SLA thanks to the boost.
-        assert!(gold.recent_rate_mbps(5) > 10.5, "recent {}", gold.recent_rate_mbps(5));
+        assert!(
+            gold.recent_rate_mbps(5) > 10.5,
+            "recent {}",
+            gold.recent_rate_mbps(5)
+        );
     }
 
     #[test]

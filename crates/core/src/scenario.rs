@@ -146,7 +146,13 @@ pub struct SliceSpec {
 impl SliceSpec {
     /// A slice with the given policy (Wasm backend, best effort, no UEs).
     pub fn new(name: &str, kind: SchedKind) -> Self {
-        SliceSpec { name: name.to_string(), kind, backend: Backend::Wasm, target: None, ues: Vec::new() }
+        SliceSpec {
+            name: name.to_string(),
+            kind,
+            backend: Backend::Wasm,
+            target: None,
+            ues: Vec::new(),
+        }
     }
 
     /// Set the target cumulative DL rate.
@@ -164,7 +170,8 @@ impl SliceSpec {
     /// Add `n` default UEs (static CQI 12, full-buffer traffic).
     pub fn ues(mut self, n: usize) -> Self {
         for _ in 0..n {
-            self.ues.push((ChannelSpec::Static(12), TrafficSpec::FullBuffer));
+            self.ues
+                .push((ChannelSpec::Static(12), TrafficSpec::FullBuffer));
         }
         self
     }
@@ -247,6 +254,12 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Cell identity stamped on the gNB (multi-cell deployments).
+    pub fn cell_id(mut self, cell_id: u32) -> Self {
+        self.gnb_config.cell_id = cell_id;
+        self
+    }
+
     /// PF time constant in slots.
     pub fn pf_time_constant(mut self, slots: f64) -> Self {
         self.gnb_config.pf_time_constant_slots = slots;
@@ -268,7 +281,9 @@ impl ScenarioBuilder {
     /// Instantiate everything: gNB, slices, UEs, plugins.
     pub fn build(self) -> Result<Scenario, ScenarioError> {
         if self.slices.is_empty() {
-            return Err(ScenarioError::Invalid("a scenario needs at least one slice".into()));
+            return Err(ScenarioError::Invalid(
+                "a scenario needs at least one slice".into(),
+            ));
         }
         let mut config = self.gnb_config.clone();
         config.seed = self.seed;
@@ -280,7 +295,10 @@ impl ScenarioBuilder {
 
         for spec in &self.slices {
             if slice_ids.contains_key(&spec.name) {
-                return Err(ScenarioError::Invalid(format!("duplicate slice `{}`", spec.name)));
+                return Err(ScenarioError::Invalid(format!(
+                    "duplicate slice `{}`",
+                    spec.name
+                )));
             }
             let config = match spec.target {
                 Some(mbps) => SliceConfig::with_target_mbps(&spec.name, mbps),
@@ -363,6 +381,11 @@ impl Scenario {
     /// Numeric slice id for a name.
     pub fn slice_id(&self, name: &str) -> Option<u32> {
         self.slice_ids.get(name).copied()
+    }
+
+    /// Slice names in declaration order.
+    pub fn slice_names(&self) -> &[String] {
+        &self.slice_order
     }
 
     /// UE ids of a slice.
@@ -479,7 +502,10 @@ impl SliceReport {
             return 0.0;
         }
         let k = n.min(self.series_mbps.len()).max(1);
-        self.series_mbps[self.series_mbps.len() - k..].iter().sum::<f64>() / k as f64
+        self.series_mbps[self.series_mbps.len() - k..]
+            .iter()
+            .sum::<f64>()
+            / k as f64
     }
 }
 
@@ -504,7 +530,71 @@ impl Report {
 
     /// Look up a UE across slices.
     pub fn ue(&self, ue_id: u32) -> Option<&UeReport> {
-        self.slices.iter().flat_map(|s| s.ues.iter()).find(|u| u.ue_id == ue_id)
+        self.slices
+            .iter()
+            .flat_map(|s| s.ues.iter())
+            .find(|u| u.ue_id == ue_id)
+    }
+
+    /// Order-sensitive 64-bit digest over every number in the report
+    /// (slot counts, rate series bit patterns, fault counters, per-UE
+    /// series). Two reports digest equal iff the simulations produced
+    /// byte-identical measurements — the multi-cell determinism check
+    /// compares these across worker counts.
+    pub fn digest(&self) -> u64 {
+        let mut d = ReportDigest::new();
+        d.u64(self.slots);
+        d.f64(self.window_seconds);
+        d.f64s(&self.utilization);
+        for s in &self.slices {
+            d.bytes(s.name.as_bytes());
+            d.u64(u64::from(s.slice_id));
+            d.f64(s.mean_rate_mbps);
+            d.f64s(&s.series_mbps);
+            d.u64(s.scheduler_faults);
+            d.u64(s.fallback_slots);
+            for ue in &s.ues {
+                d.u64(u64::from(ue.ue_id));
+                d.f64(ue.mean_rate_mbps);
+                d.f64s(&ue.series_mbps);
+            }
+        }
+        d.finish()
+    }
+}
+
+/// FNV-1a accumulator behind [`Report::digest`].
+struct ReportDigest(u64);
+
+impl ReportDigest {
+    fn new() -> Self {
+        ReportDigest(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.bytes(&v.to_le_bytes());
+    }
+
+    fn f64(&mut self, v: f64) {
+        self.bytes(&v.to_bits().to_le_bytes());
+    }
+
+    fn f64s(&mut self, vs: &[f64]) {
+        self.u64(vs.len() as u64);
+        for &v in vs {
+            self.f64(v);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
     }
 }
 
@@ -514,7 +604,10 @@ mod tests {
 
     #[test]
     fn builder_rejects_empty() {
-        assert!(matches!(ScenarioBuilder::new().build(), Err(ScenarioError::Invalid(_))));
+        assert!(matches!(
+            ScenarioBuilder::new().build(),
+            Err(ScenarioError::Invalid(_))
+        ));
     }
 
     #[test]
@@ -529,13 +622,21 @@ mod tests {
     #[test]
     fn wasm_scenario_hits_target() {
         let mut s = ScenarioBuilder::new()
-            .slice(SliceSpec::new("mvno", SchedKind::RoundRobin).target_mbps(12.0).ues(3))
+            .slice(
+                SliceSpec::new("mvno", SchedKind::RoundRobin)
+                    .target_mbps(12.0)
+                    .ues(3),
+            )
             .seconds(2.0)
             .build()
             .unwrap();
         let report = s.run().unwrap();
         let slice = report.slice("mvno").unwrap();
-        assert!((slice.mean_rate_mbps() - 12.0).abs() < 1.5, "rate {}", slice.mean_rate_mbps());
+        assert!(
+            (slice.mean_rate_mbps() - 12.0).abs() < 1.5,
+            "rate {}",
+            slice.mean_rate_mbps()
+        );
         assert_eq!(slice.scheduler_faults, 0);
         assert_eq!(slice.ues.len(), 3);
     }
@@ -543,14 +644,24 @@ mod tests {
     #[test]
     fn native_and_wasm_backends_agree_on_rates() {
         let run = |native: bool| {
-            let spec = SliceSpec::new("s", SchedKind::ProportionalFair).target_mbps(10.0).ues(2);
+            let spec = SliceSpec::new("s", SchedKind::ProportionalFair)
+                .target_mbps(10.0)
+                .ues(2);
             let spec = if native { spec.native() } else { spec };
-            let mut s = ScenarioBuilder::new().slice(spec).seconds(2.0).seed(7).build().unwrap();
+            let mut s = ScenarioBuilder::new()
+                .slice(spec)
+                .seconds(2.0)
+                .seed(7)
+                .build()
+                .unwrap();
             s.run().unwrap().slice("s").unwrap().mean_rate_mbps()
         };
         let native = run(true);
         let wasm = run(false);
-        assert!((native - wasm).abs() < 0.2, "native {native} vs wasm {wasm}");
+        assert!(
+            (native - wasm).abs() < 0.2,
+            "native {native} vs wasm {wasm}"
+        );
     }
 
     #[test]
@@ -589,7 +700,11 @@ mod tests {
         let slice = report.slice("s").unwrap();
         // Faults recorded, fallback kept the UEs served.
         assert!(slice.scheduler_faults > 0);
-        assert!(slice.mean_rate_mbps() > 10.0, "rate {}", slice.mean_rate_mbps());
+        assert!(
+            slice.mean_rate_mbps() > 10.0,
+            "rate {}",
+            slice.mean_rate_mbps()
+        );
     }
 
     #[test]

@@ -11,7 +11,7 @@ use std::sync::Arc;
 
 use waran_abi::sched::{SchedRequest, SchedResponse};
 use waran_host::plugin::{Plugin, PluginError, SandboxPolicy};
-use waran_host::PluginHost;
+use waran_host::{PluginHost, SlotHandle};
 use waran_ransim::sched::{SchedulerFault, SliceScheduler};
 use waran_wasm::instance::Linker;
 
@@ -20,6 +20,11 @@ pub struct WasmSliceScheduler {
     host: Arc<PluginHost<()>>,
     slot_name: String,
     display_name: String,
+    /// Pinned slot, resolved on first use: the per-slot scheduler call
+    /// then skips the host's name → slot map and contends only on the
+    /// slot's own call mutex. Hot swaps still land (the handle shares the
+    /// slot's publication cell).
+    handle: Option<SlotHandle<()>>,
 }
 
 impl WasmSliceScheduler {
@@ -29,6 +34,7 @@ impl WasmSliceScheduler {
             host,
             slot_name: slot_name.to_string(),
             display_name: format!("wasm:{slot_name}"),
+            handle: None,
         }
     }
 
@@ -59,7 +65,14 @@ impl WasmSliceScheduler {
 
 impl SliceScheduler for WasmSliceScheduler {
     fn schedule(&mut self, req: &SchedRequest) -> Result<SchedResponse, SchedulerFault> {
-        self.host.call_sched(&self.slot_name, req).map_err(|e| SchedulerFault {
+        if self.handle.is_none() {
+            self.handle = self.host.handle(&self.slot_name);
+        }
+        let result = match &self.handle {
+            Some(handle) => handle.call_sched(req),
+            None => Err(PluginError::NoSuchPlugin(self.slot_name.clone())),
+        };
+        result.map_err(|e| SchedulerFault {
             code: match &e {
                 PluginError::Trap(t) => format!("trap:{}", t.code()),
                 PluginError::Abi(_) => "abi".to_string(),
@@ -118,13 +131,9 @@ mod tests {
     #[test]
     fn wasm_rr_schedules_everyone() {
         let host = Arc::new(PluginHost::new());
-        let mut sched = WasmSliceScheduler::from_wasm(
-            host,
-            "rr",
-            plugins::rr_wasm(),
-            SandboxPolicy::default(),
-        )
-        .unwrap();
+        let mut sched =
+            WasmSliceScheduler::from_wasm(host, "rr", plugins::rr_wasm(), SandboxPolicy::default())
+                .unwrap();
         let resp = sched.schedule(&req(52, 4)).unwrap();
         assert_eq!(resp.allocs.len(), 4);
         assert_eq!(resp.total_prbs(), 52);
@@ -133,13 +142,9 @@ mod tests {
     #[test]
     fn wasm_mt_picks_best_channel() {
         let host = Arc::new(PluginHost::new());
-        let mut sched = WasmSliceScheduler::from_wasm(
-            host,
-            "mt",
-            plugins::mt_wasm(),
-            SandboxPolicy::default(),
-        )
-        .unwrap();
+        let mut sched =
+            WasmSliceScheduler::from_wasm(host, "mt", plugins::mt_wasm(), SandboxPolicy::default())
+                .unwrap();
         let resp = sched.schedule(&req(10, 3)).unwrap();
         // Highest capacity is the last UE (102).
         assert_eq!(resp.allocs[0].ue_id, 102);
@@ -149,13 +154,9 @@ mod tests {
     #[test]
     fn wasm_pf_picks_lowest_average_on_equal_channels() {
         let host = Arc::new(PluginHost::new());
-        let mut sched = WasmSliceScheduler::from_wasm(
-            host,
-            "pf",
-            plugins::pf_wasm(),
-            SandboxPolicy::default(),
-        )
-        .unwrap();
+        let mut sched =
+            WasmSliceScheduler::from_wasm(host, "pf", plugins::pf_wasm(), SandboxPolicy::default())
+                .unwrap();
         let mut r = req(10, 3);
         for ue in &mut r.ues {
             ue.prb_capacity_bits = 500.0;
@@ -204,9 +205,15 @@ mod tests {
         let r = req(10, 3);
         let before = sched.schedule(&r).unwrap();
         assert_eq!(before.allocs[0].ue_id, 102); // MT picks best channel
-        // Operator pushes PF into the same slot; the scheduler object is
-        // untouched.
-        install_plugin(&host, "slice0", plugins::pf_wasm(), SandboxPolicy::default()).unwrap();
+                                                 // Operator pushes PF into the same slot; the scheduler object is
+                                                 // untouched.
+        install_plugin(
+            &host,
+            "slice0",
+            plugins::pf_wasm(),
+            SandboxPolicy::default(),
+        )
+        .unwrap();
         let mut r2 = r.clone();
         for ue in &mut r2.ues {
             ue.prb_capacity_bits = 500.0;

@@ -6,8 +6,27 @@
 //! and fall back / disconnect). Swaps are atomic per slot: a call already
 //! in flight finishes on the old instance; every later call sees the new
 //! one.
+//!
+//! # Locking (the sharded-engine audit)
+//!
+//! The hot path — one scheduler call per slice per 1 ms slot, on every
+//! worker — holds exactly one lock: the slot's own `inner` mutex, which is
+//! what hands out `&mut Plugin` and cannot be removed without giving up
+//! exclusive instance state. Everything else is arranged so that lock is
+//! never held longer than one call:
+//!
+//! * The name → slot map is behind a `RwLock` taken only for *reading* on
+//!   the call path (and not at all once a caller pins a [`SlotHandle`]).
+//!   Writers appear only on first install / remove.
+//! * Hot swap is **epoch-style publication**: [`PluginHost::install`] on an
+//!   existing name stages the new plugin in a side cell and bumps the
+//!   slot's epoch counter — it never waits for the global writer lock or
+//!   for an in-flight call on the slot. The caller adopts the staged
+//!   plugin at its next call boundary, which is exactly the "in-flight
+//!   call finishes on the old instance" contract.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -45,6 +64,91 @@ struct Slot<T> {
     state: SlotState,
     health: SlotHealth,
     stats: ExecTimeStats,
+    /// The publication epoch this slot last adopted.
+    seen_epoch: u64,
+}
+
+/// The shared identity of a named slot: callers hold the `inner` mutex for
+/// the duration of one plugin call; installers publish replacements
+/// through `pending`/`epoch` without ever taking `inner`.
+struct SlotShared<T> {
+    inner: Mutex<Slot<T>>,
+    /// Staged replacement, adopted at the next call boundary. Latest
+    /// install wins if several are staged between calls.
+    pending: Mutex<Option<Plugin<T>>>,
+    /// Publications completed on this slot (== lifetime swap count).
+    epoch: AtomicU64,
+}
+
+impl<T> SlotShared<T> {
+    fn new(plugin: Plugin<T>) -> Self {
+        SlotShared {
+            inner: Mutex::new(Slot {
+                plugin,
+                state: SlotState::Active,
+                health: SlotHealth::default(),
+                stats: ExecTimeStats::new(),
+                seen_epoch: 0,
+            }),
+            pending: Mutex::new(None),
+            epoch: AtomicU64::new(0),
+        }
+    }
+
+    /// Stage `plugin` and bump the epoch. Never blocks on `inner`.
+    fn publish(&self, plugin: Plugin<T>) {
+        *self.pending.lock() = Some(plugin);
+        self.epoch.fetch_add(1, Ordering::Release);
+    }
+
+    /// Adopt a staged replacement, if any. Called with `inner` held, so
+    /// adoption is serialized and lands exactly between two calls.
+    fn sync(&self, slot: &mut Slot<T>) {
+        let epoch = self.epoch.load(Ordering::Acquire);
+        if slot.seen_epoch == epoch {
+            return;
+        }
+        if let Some(plugin) = self.pending.lock().take() {
+            slot.plugin = plugin;
+            // The new code gets a fresh chance: quarantine and the
+            // consecutive counter clear; lifetime counters survive.
+            slot.state = SlotState::Active;
+            slot.health.consecutive_faults = 0;
+        }
+        slot.seen_epoch = epoch;
+    }
+}
+
+/// Run one closure against a synced slot under the fault policy.
+fn run_guarded<T, R>(
+    quarantine_after: u32,
+    name: &str,
+    slot: &mut Slot<T>,
+    f: impl FnOnce(&mut Plugin<T>) -> Result<R, PluginError>,
+) -> Result<R, PluginError> {
+    if slot.state == SlotState::Quarantined {
+        return Err(PluginError::Quarantined {
+            name: name.to_string(),
+        });
+    }
+    match f(&mut slot.plugin) {
+        Ok(out) => {
+            slot.health.calls_ok += 1;
+            slot.health.consecutive_faults = 0;
+            if let Some(d) = slot.plugin.last_call_duration() {
+                slot.stats.record(d);
+            }
+            Ok(out)
+        }
+        Err(e) => {
+            slot.health.total_faults += 1;
+            slot.health.consecutive_faults += 1;
+            if quarantine_after > 0 && slot.health.consecutive_faults >= quarantine_after {
+                slot.state = SlotState::Quarantined;
+            }
+            Err(e)
+        }
+    }
 }
 
 /// A named registry of plugins with hot swap and fault policy.
@@ -52,13 +156,16 @@ struct Slot<T> {
 /// All methods take `&self`; slots are independently locked so calls into
 /// different plugins proceed concurrently and a swap never tears a call.
 pub struct PluginHost<T> {
-    slots: RwLock<HashMap<String, Arc<Mutex<Slot<T>>>>>,
+    slots: RwLock<HashMap<String, Arc<SlotShared<T>>>>,
     quarantine_after: u32,
 }
 
 impl<T> Default for PluginHost<T> {
     fn default() -> Self {
-        PluginHost { slots: RwLock::new(HashMap::new()), quarantine_after: 3 }
+        PluginHost {
+            slots: RwLock::new(HashMap::new()),
+            quarantine_after: 3,
+        }
     }
 }
 
@@ -70,32 +177,33 @@ impl<T> PluginHost<T> {
 
     /// Host quarantining after `n` consecutive faults (0 = never).
     pub fn with_quarantine_after(n: u32) -> Self {
-        PluginHost { slots: RwLock::new(HashMap::new()), quarantine_after: n }
+        PluginHost {
+            slots: RwLock::new(HashMap::new()),
+            quarantine_after: n,
+        }
     }
 
     /// Install or atomically replace the plugin under `name`. Replacement
     /// clears quarantine and consecutive-fault state (the new code gets a
     /// fresh chance) but keeps lifetime counters.
+    ///
+    /// Replacing an existing slot is wait-free with respect to callers:
+    /// the new plugin is *published* (staged + epoch bump) and adopted at
+    /// the slot's next call boundary, so an installer never blocks behind
+    /// an in-flight call and never takes the global writer lock.
     pub fn install(&self, name: &str, plugin: Plugin<T>) {
+        if let Some(shared) = self.slots.read().get(name).cloned() {
+            shared.publish(plugin);
+            return;
+        }
         let mut slots = self.slots.write();
-        match slots.get(name) {
-            Some(existing) => {
-                let mut slot = existing.lock();
-                slot.plugin = plugin;
-                slot.state = SlotState::Active;
-                slot.health.consecutive_faults = 0;
-                slot.health.swaps += 1;
+        match slots.entry(name.to_string()) {
+            std::collections::hash_map::Entry::Occupied(e) => {
+                // Raced with another first-installer: publish instead.
+                e.get().publish(plugin);
             }
-            None => {
-                slots.insert(
-                    name.to_string(),
-                    Arc::new(Mutex::new(Slot {
-                        plugin,
-                        state: SlotState::Active,
-                        health: SlotHealth::default(),
-                        stats: ExecTimeStats::new(),
-                    })),
-                );
+            std::collections::hash_map::Entry::Vacant(v) => {
+                v.insert(Arc::new(SlotShared::new(plugin)));
             }
         }
     }
@@ -112,7 +220,7 @@ impl<T> PluginHost<T> {
         names
     }
 
-    fn slot(&self, name: &str) -> Result<Arc<Mutex<Slot<T>>>, PluginError> {
+    fn slot(&self, name: &str) -> Result<Arc<SlotShared<T>>, PluginError> {
         self.slots
             .read()
             .get(name)
@@ -120,24 +228,33 @@ impl<T> PluginHost<T> {
             .ok_or_else(|| PluginError::NoSuchPlugin(name.to_string()))
     }
 
+    /// Pin the slot `name` for repeated hot-path calls.
+    ///
+    /// The handle bypasses the name → slot map lookup on every call; hot
+    /// swaps through [`Self::install`] still take effect because the
+    /// handle shares the slot's publication cell. The handle pins the
+    /// slot's *identity*: after [`Self::remove`], a handle keeps the
+    /// removed slot alive and a later `install` under the same name
+    /// creates a fresh slot the old handle does not see.
+    pub fn handle(&self, name: &str) -> Option<SlotHandle<T>> {
+        let shared = self.slots.read().get(name).cloned()?;
+        Some(SlotHandle {
+            name: name.to_string(),
+            shared,
+            quarantine_after: self.quarantine_after,
+        })
+    }
+
     /// Call `entry` on the plugin `name` through the byte ABI, applying the
     /// fault policy: faults increment the slot's counters and may
     /// quarantine it; successes reset the consecutive counter.
     pub fn call(&self, name: &str, entry: &str, input: &[u8]) -> Result<Vec<u8>, PluginError> {
-        let slot = self.slot(name)?;
-        let mut slot = slot.lock();
-        self.run_in_slot(name, &mut slot, |plugin| plugin.call(entry, input))
+        self.with_plugin(name, |plugin| plugin.call(entry, input))
     }
 
     /// Typed scheduler call with the same fault policy as [`Self::call`].
-    pub fn call_sched(
-        &self,
-        name: &str,
-        req: &SchedRequest,
-    ) -> Result<SchedResponse, PluginError> {
-        let slot = self.slot(name)?;
-        let mut slot = slot.lock();
-        self.run_in_slot(name, &mut slot, |plugin| plugin.call_sched(req))
+    pub fn call_sched(&self, name: &str, req: &SchedRequest) -> Result<SchedResponse, PluginError> {
+        self.with_plugin(name, |plugin| plugin.call_sched(req))
     }
 
     /// Run an arbitrary closure against the plugin under the fault policy.
@@ -146,72 +263,57 @@ impl<T> PluginHost<T> {
         name: &str,
         f: impl FnOnce(&mut Plugin<T>) -> Result<R, PluginError>,
     ) -> Result<R, PluginError> {
-        let slot = self.slot(name)?;
-        let mut slot = slot.lock();
-        self.run_in_slot(name, &mut slot, f)
+        let shared = self.slot(name)?;
+        let mut slot = shared.inner.lock();
+        shared.sync(&mut slot);
+        run_guarded(self.quarantine_after, name, &mut slot, f)
     }
 
-    fn run_in_slot<R>(
-        &self,
-        name: &str,
-        slot: &mut Slot<T>,
-        f: impl FnOnce(&mut Plugin<T>) -> Result<R, PluginError>,
-    ) -> Result<R, PluginError> {
-        if slot.state == SlotState::Quarantined {
-            return Err(PluginError::Quarantined { name: name.to_string() });
-        }
-        match f(&mut slot.plugin) {
-            Ok(out) => {
-                slot.health.calls_ok += 1;
-                slot.health.consecutive_faults = 0;
-                if let Some(d) = slot.plugin.last_call_duration() {
-                    slot.stats.record(d);
-                }
-                Ok(out)
-            }
-            Err(e) => {
-                slot.health.total_faults += 1;
-                slot.health.consecutive_faults += 1;
-                if self.quarantine_after > 0
-                    && slot.health.consecutive_faults >= self.quarantine_after
-                {
-                    slot.state = SlotState::Quarantined;
-                }
-                Err(e)
-            }
-        }
+    /// Lock, sync and read one slot. `f` also receives the slot's
+    /// publication epoch (== lifetime swap count), which lives on the
+    /// shared cell rather than under the inner lock.
+    fn read_slot<R>(&self, name: &str, f: impl FnOnce(&Slot<T>, u64) -> R) -> Option<R> {
+        let shared = self.slot(name).ok()?;
+        let mut slot = shared.inner.lock();
+        shared.sync(&mut slot);
+        let epoch = shared.epoch.load(Ordering::Acquire);
+        Some(f(&slot, epoch))
     }
 
     /// Slot state, if the plugin exists.
     pub fn state(&self, name: &str) -> Option<SlotState> {
-        Some(self.slot(name).ok()?.lock().state)
+        self.read_slot(name, |s, _| s.state)
     }
 
     /// Health counters, if the plugin exists.
     pub fn health(&self, name: &str) -> Option<SlotHealth> {
-        Some(self.slot(name).ok()?.lock().health)
+        self.read_slot(name, |s, epoch| SlotHealth {
+            swaps: epoch,
+            ..s.health
+        })
     }
 
     /// Execution-time statistics, if the plugin exists.
     pub fn stats(&self, name: &str) -> Option<ExecTimeStats> {
-        Some(self.slot(name).ok()?.lock().stats.clone())
+        self.read_slot(name, |s, _| s.stats.clone())
     }
 
     /// Current guest memory footprint of the plugin, bytes.
     pub fn memory_bytes(&self, name: &str) -> Option<usize> {
-        Some(self.slot(name).ok()?.lock().plugin.memory_bytes())
+        self.read_slot(name, |s, _| s.plugin.memory_bytes())
     }
 
     /// Most recent call duration of the plugin.
     pub fn last_call_duration(&self, name: &str) -> Option<Duration> {
-        self.slot(name).ok()?.lock().plugin.last_call_duration()
+        self.read_slot(name, |s, _| s.plugin.last_call_duration())?
     }
 
     /// Lift a quarantine without swapping (operator override).
     pub fn reset_quarantine(&self, name: &str) -> bool {
         match self.slot(name) {
-            Ok(slot) => {
-                let mut slot = slot.lock();
+            Ok(shared) => {
+                let mut slot = shared.inner.lock();
+                shared.sync(&mut slot);
                 slot.state = SlotState::Active;
                 slot.health.consecutive_faults = 0;
                 true
@@ -223,6 +325,67 @@ impl<T> PluginHost<T> {
 
 impl<T> std::fmt::Debug for PluginHost<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("PluginHost").field("plugins", &self.names()).finish()
+        f.debug_struct("PluginHost")
+            .field("plugins", &self.names())
+            .finish()
+    }
+}
+
+/// A pinned reference to one host slot, for hot paths that call the same
+/// plugin every slot (the per-cell scheduler binding).
+///
+/// Calls through the handle skip the host's name → slot map entirely: the
+/// only synchronization left is the slot's own call mutex. Hot swaps
+/// published via [`PluginHost::install`] are still adopted at the next
+/// call boundary.
+pub struct SlotHandle<T> {
+    name: String,
+    shared: Arc<SlotShared<T>>,
+    quarantine_after: u32,
+}
+
+impl<T> Clone for SlotHandle<T> {
+    fn clone(&self) -> Self {
+        SlotHandle {
+            name: self.name.clone(),
+            shared: Arc::clone(&self.shared),
+            quarantine_after: self.quarantine_after,
+        }
+    }
+}
+
+impl<T> SlotHandle<T> {
+    /// The slot name this handle pins.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Typed scheduler call under the fault policy (see
+    /// [`PluginHost::call_sched`]).
+    pub fn call_sched(&self, req: &SchedRequest) -> Result<SchedResponse, PluginError> {
+        self.with_plugin(|plugin| plugin.call_sched(req))
+    }
+
+    /// Byte-ABI call under the fault policy (see [`PluginHost::call`]).
+    pub fn call(&self, entry: &str, input: &[u8]) -> Result<Vec<u8>, PluginError> {
+        self.with_plugin(|plugin| plugin.call(entry, input))
+    }
+
+    /// Run a closure against the pinned plugin under the fault policy.
+    pub fn with_plugin<R>(
+        &self,
+        f: impl FnOnce(&mut Plugin<T>) -> Result<R, PluginError>,
+    ) -> Result<R, PluginError> {
+        let mut slot = self.shared.inner.lock();
+        self.shared.sync(&mut slot);
+        run_guarded(self.quarantine_after, &self.name, &mut slot, f)
+    }
+}
+
+impl<T> std::fmt::Debug for SlotHandle<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SlotHandle")
+            .field("name", &self.name)
+            .finish_non_exhaustive()
     }
 }

@@ -33,8 +33,10 @@
 
 pub mod host;
 pub mod plugin;
+pub mod pool;
 pub mod stats;
 
-pub use host::{PluginHost, SlotHealth, SlotState};
-pub use plugin::{Plugin, PluginError, SandboxPolicy};
-pub use stats::{ExactQuantiles, ExecTimeStats, P2Quantile};
+pub use host::{PluginHost, SlotHandle, SlotHealth, SlotState};
+pub use plugin::{ModuleCache, Plugin, PluginError, SandboxPolicy};
+pub use pool::PluginPool;
+pub use stats::{ExactQuantiles, ExecTimeStats, P2Quantile, ShardedExecStats};

@@ -58,7 +58,11 @@ impl SandboxPolicy {
 
     /// Disable fuel and deadline (benchmarking the raw interpreter).
     pub fn unmetered() -> Self {
-        SandboxPolicy { fuel_per_call: None, deadline: None, ..SandboxPolicy::default() }
+        SandboxPolicy {
+            fuel_per_call: None,
+            deadline: None,
+            ..SandboxPolicy::default()
+        }
     }
 }
 
@@ -119,14 +123,25 @@ impl From<Trap> for PluginError {
 ///
 /// Keys are FNV-1a hashes of the bytecode; every hit is verified by byte
 /// equality, so a hash collision can never alias two different plugins.
+///
+/// The mutex guards only the `HashMap` itself. Lookups clone the bucket's
+/// `Arc`s under the lock (a few pointer bumps) and run the byte-equality
+/// verification *after* unlocking, so concurrent workers taking cache
+/// hits on multi-KiB modules never serialize on the comparison.
 pub struct ModuleCache {
-    entries: Mutex<HashMap<u64, Vec<(Vec<u8>, Arc<Module>)>>>,
+    entries: Mutex<HashMap<u64, CacheBucket>>,
 }
+
+/// All cached modules whose bytecode shares one FNV-1a hash, kept with the
+/// original bytes so hits can be verified by equality.
+type CacheBucket = Vec<(Arc<[u8]>, Arc<Module>)>;
 
 impl ModuleCache {
     /// An empty cache.
     pub fn new() -> Self {
-        ModuleCache { entries: Mutex::new(HashMap::new()) }
+        ModuleCache {
+            entries: Mutex::new(HashMap::new()),
+        }
     }
 
     /// The process-wide cache used by [`Plugin::new_cached`].
@@ -136,36 +151,53 @@ impl ModuleCache {
     }
 
     /// Decode + validate `bytes`, or return the cached module for them.
+    /// A first load also pre-compiles every function body to flat IR, so
+    /// worker threads instantiating from the shared module never contend
+    /// on first-call lowering.
     pub fn load(&self, bytes: &[u8]) -> Result<Arc<Module>, LoadError> {
         let key = fnv1a(bytes);
-        {
-            let entries = self.entries.lock().expect("module cache poisoned");
-            if let Some(bucket) = entries.get(&key) {
-                for (stored, module) in bucket {
-                    if stored == bytes {
-                        return Ok(Arc::clone(module));
-                    }
-                }
-            }
+        if let Some(module) = self.lookup(key, bytes) {
+            return Ok(module);
         }
-        // Decode outside the lock: validation is the expensive path and
-        // concurrent installs of *different* modules must not serialize.
-        let module = Arc::new(waran_wasm::load_module(bytes)?);
+        // Decode + validate + pre-compile outside the lock: these are the
+        // expensive paths and concurrent installs must not serialize.
+        let module = waran_wasm::load_module(bytes)?;
+        module.precompile();
+        let module = Arc::new(module);
         let mut entries = self.entries.lock().expect("module cache poisoned");
         let bucket = entries.entry(key).or_default();
         // A racing install may have added it between unlock and relock.
+        // (Comparing under the lock is fine here: this is the cold path.)
         for (stored, cached) in bucket.iter() {
-            if stored == bytes {
+            if stored.as_ref() == bytes {
                 return Ok(Arc::clone(cached));
             }
         }
-        bucket.push((bytes.to_vec(), Arc::clone(&module)));
+        bucket.push((Arc::from(bytes), Arc::clone(&module)));
         Ok(module)
+    }
+
+    /// Hit path: snapshot the bucket under the lock, verify byte equality
+    /// after releasing it.
+    fn lookup(&self, key: u64, bytes: &[u8]) -> Option<Arc<Module>> {
+        let bucket: CacheBucket = {
+            let entries = self.entries.lock().expect("module cache poisoned");
+            entries.get(&key)?.clone()
+        };
+        bucket
+            .iter()
+            .find(|(stored, _)| stored.as_ref() == bytes)
+            .map(|(_, module)| Arc::clone(module))
     }
 
     /// Number of distinct modules cached.
     pub fn len(&self) -> usize {
-        self.entries.lock().expect("module cache poisoned").values().map(Vec::len).sum()
+        self.entries
+            .lock()
+            .expect("module cache poisoned")
+            .values()
+            .map(Vec::len)
+            .sum()
     }
 
     /// True when nothing is cached.
@@ -244,7 +276,9 @@ impl<T> Plugin<T> {
         data: T,
         policy: SandboxPolicy,
     ) -> Result<Plugin<T>, PluginError> {
-        let module = ModuleCache::global().load(bytes).map_err(PluginError::Load)?;
+        let module = ModuleCache::global()
+            .load(bytes)
+            .map_err(PluginError::Load)?;
         Self::from_module(module, linker, data, policy)
     }
 
@@ -260,8 +294,8 @@ impl<T> Plugin<T> {
             max_memory_pages: policy.max_memory_pages,
             ..ExecLimits::default()
         };
-        let mut instance =
-            Instance::with_limits(module, linker, data, limits).map_err(PluginError::Instantiate)?;
+        let mut instance = Instance::with_limits(module, linker, data, limits)
+            .map_err(PluginError::Instantiate)?;
         instance.set_deadline(policy.deadline);
         let alloc_fn = Self::resolve_abi(&instance, "wrn_alloc", &[ValType::I32]);
         let reset_fn = if instance.has_export("wrn_reset") {
@@ -284,7 +318,10 @@ impl<T> Plugin<T> {
     /// `params`. Anything else stays [`AbiFn::Dynamic`] so the per-call
     /// binding error matches the name-based path.
     fn resolve_abi(instance: &Instance<T>, name: &str, params: &[ValType]) -> AbiFn {
-        match (instance.module().exported_func(name), instance.export_type(name)) {
+        match (
+            instance.module().exported_func(name),
+            instance.export_type(name),
+        ) {
             (Some(idx), Some(ty)) if ty.params == params => AbiFn::Ok(idx),
             _ => AbiFn::Dynamic,
         }
@@ -356,7 +393,9 @@ impl<T> Plugin<T> {
         } else {
             let ptr = match self.alloc_fn {
                 AbiFn::Ok(f) => self.instance.call_func(f, &[Value::I32(len as i32)])?,
-                AbiFn::Dynamic => self.instance.invoke("wrn_alloc", &[Value::I32(len as i32)])?,
+                AbiFn::Dynamic => self
+                    .instance
+                    .invoke("wrn_alloc", &[Value::I32(len as i32)])?,
             }
             .ok_or_else(|| PluginError::Abi("wrn_alloc returned nothing".into()))?;
             let Value::I32(ptr) = ptr else {
@@ -365,7 +404,9 @@ impl<T> Plugin<T> {
             self.instance
                 .memory_mut()
                 .write_bytes(ptr as u32, input)
-                .map_err(|_| PluginError::Abi("wrn_alloc returned an out-of-bounds buffer".into()))?;
+                .map_err(|_| {
+                    PluginError::Abi("wrn_alloc returned an out-of-bounds buffer".into())
+                })?;
             ptr as u32
         };
 
@@ -478,7 +519,10 @@ mod tests {
         let m1 = cache.load(&a).unwrap();
         let m2 = cache.load(&a).unwrap();
         let m3 = cache.load(&b).unwrap();
-        assert!(Arc::ptr_eq(&m1, &m2), "identical bytes must share one module");
+        assert!(
+            Arc::ptr_eq(&m1, &m2),
+            "identical bytes must share one module"
+        );
         assert!(!Arc::ptr_eq(&m1, &m3), "different bytes must not alias");
         assert_eq!(cache.len(), 2);
 
@@ -514,9 +558,18 @@ mod tests {
         };
         let mut p1 = mk();
         let mut p2 = mk();
-        assert_eq!(p1.instance_mut().invoke("bump", &[]).unwrap(), Some(Value::I32(1)));
-        assert_eq!(p1.instance_mut().invoke("bump", &[]).unwrap(), Some(Value::I32(2)));
+        assert_eq!(
+            p1.instance_mut().invoke("bump", &[]).unwrap(),
+            Some(Value::I32(1))
+        );
+        assert_eq!(
+            p1.instance_mut().invoke("bump", &[]).unwrap(),
+            Some(Value::I32(2))
+        );
         // p2 has its own globals despite the shared module.
-        assert_eq!(p2.instance_mut().invoke("bump", &[]).unwrap(), Some(Value::I32(1)));
+        assert_eq!(
+            p2.instance_mut().invoke("bump", &[]).unwrap(),
+            Some(Value::I32(1))
+        );
     }
 }

@@ -1,0 +1,179 @@
+//! Per-worker plugin instance pools over one shared compiled module.
+//!
+//! The sharded scenario engine follows the cache's compile-once rule to
+//! its conclusion: *compile per bytecode hash, instantiate per worker*.
+//! A [`PluginPool`] is the per-worker half — a set of ready instances all
+//! created from the same `Arc<Module>`, so N workers running the same
+//! xApp share one decoded, validated, flat-IR-lowered module and differ
+//! only in the cheap mutable state (memory, globals, host data).
+//!
+//! A pool is meant to be *owned by one worker thread*: none of its
+//! methods lock, because exclusive ownership is the synchronization. The
+//! compile-level sharing happens before the pool exists, in
+//! [`ModuleCache::load`]. `Plugin<T>: Send` (for `T: Send`) is what lets
+//! a pool built on the control thread move into its worker.
+
+use std::sync::Arc;
+
+use waran_wasm::instance::Linker;
+use waran_wasm::{LoadError, Module};
+
+use crate::plugin::{ModuleCache, Plugin, PluginError, SandboxPolicy};
+
+/// A worker-owned pool of plugin instances sharing one compiled module.
+///
+/// Instances are addressed by index — the sharded engine uses one index
+/// per cell assigned to the worker — and the pool can grow on demand when
+/// cells migrate between workers.
+pub struct PluginPool<T> {
+    module: Arc<Module>,
+    linker: Linker<T>,
+    policy: SandboxPolicy,
+    plugins: Vec<Plugin<T>>,
+}
+
+impl<T> PluginPool<T> {
+    /// Build a pool from raw bytecode, deduplicating the compiled module
+    /// through `cache`. Every pool built from the same bytes (across all
+    /// workers) shares one `Arc<Module>`.
+    pub fn from_cache(
+        cache: &ModuleCache,
+        bytes: &[u8],
+        linker: Linker<T>,
+        policy: SandboxPolicy,
+    ) -> Result<Self, LoadError> {
+        let module = cache.load(bytes)?;
+        Ok(Self::from_module(module, linker, policy))
+    }
+
+    /// Build an empty pool over an already-compiled module.
+    pub fn from_module(module: Arc<Module>, linker: Linker<T>, policy: SandboxPolicy) -> Self {
+        PluginPool {
+            module,
+            linker,
+            policy,
+            plugins: Vec::new(),
+        }
+    }
+
+    /// The shared module this pool instantiates from.
+    pub fn module(&self) -> &Arc<Module> {
+        &self.module
+    }
+
+    /// Number of live instances.
+    pub fn len(&self) -> usize {
+        self.plugins.len()
+    }
+
+    /// True when no instance has been spawned yet.
+    pub fn is_empty(&self) -> bool {
+        self.plugins.is_empty()
+    }
+
+    /// Append one fresh instance with host data `data`; returns its index.
+    pub fn spawn(&mut self, data: T) -> Result<usize, PluginError> {
+        let plugin =
+            Plugin::from_module(Arc::clone(&self.module), &self.linker, data, self.policy)?;
+        self.plugins.push(plugin);
+        Ok(self.plugins.len() - 1)
+    }
+
+    /// Grow the pool to `n` instances, producing host data from `make`.
+    pub fn grow_to(
+        &mut self,
+        n: usize,
+        mut make: impl FnMut(usize) -> T,
+    ) -> Result<(), PluginError> {
+        while self.plugins.len() < n {
+            let idx = self.plugins.len();
+            self.spawn(make(idx))?;
+        }
+        Ok(())
+    }
+
+    /// Borrow instance `idx` mutably (no lock: the pool is worker-owned).
+    pub fn get_mut(&mut self, idx: usize) -> Option<&mut Plugin<T>> {
+        self.plugins.get_mut(idx)
+    }
+
+    /// Iterate over all instances mutably.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut Plugin<T>> {
+        self.plugins.iter_mut()
+    }
+}
+
+impl<T> std::fmt::Debug for PluginPool<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PluginPool")
+            .field("instances", &self.plugins.len())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counter_wasm() -> Vec<u8> {
+        waran_wasm::wat::assemble(
+            r#"(module
+                 (global $g (mut i32) (i32.const 0))
+                 (func (export "bump") (result i32)
+                   global.get $g
+                   i32.const 1
+                   i32.add
+                   global.set $g
+                   global.get $g))"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn pools_share_module_but_not_state() {
+        use waran_wasm::interp::Value;
+
+        let wasm = counter_wasm();
+        let cache = ModuleCache::new();
+        let mut a =
+            PluginPool::from_cache(&cache, &wasm, Linker::<()>::new(), SandboxPolicy::default())
+                .unwrap();
+        let mut b =
+            PluginPool::from_cache(&cache, &wasm, Linker::<()>::new(), SandboxPolicy::default())
+                .unwrap();
+        assert!(
+            Arc::ptr_eq(a.module(), b.module()),
+            "pools must share the compiled module"
+        );
+        assert_eq!(cache.len(), 1);
+
+        a.grow_to(2, |_| ()).unwrap();
+        b.grow_to(1, |_| ()).unwrap();
+        assert_eq!(a.len(), 2);
+
+        // Mutating one instance is invisible to every other.
+        let bump = |p: &mut Plugin<()>| p.instance_mut().invoke("bump", &[]).unwrap();
+        assert_eq!(bump(a.get_mut(0).unwrap()), Some(Value::I32(1)));
+        assert_eq!(bump(a.get_mut(0).unwrap()), Some(Value::I32(2)));
+        assert_eq!(bump(a.get_mut(1).unwrap()), Some(Value::I32(1)));
+        assert_eq!(bump(b.get_mut(0).unwrap()), Some(Value::I32(1)));
+    }
+
+    #[test]
+    fn pool_moves_into_worker_thread() {
+        let wasm = counter_wasm();
+        let cache = ModuleCache::new();
+        let mut pool =
+            PluginPool::from_cache(&cache, &wasm, Linker::<()>::new(), SandboxPolicy::default())
+                .unwrap();
+        pool.grow_to(1, |_| ()).unwrap();
+        // `Plugin<T>: Send` for `T: Send` — a control thread builds the
+        // pool, a worker runs it.
+        let handle = std::thread::spawn(move || {
+            let p = pool.get_mut(0).unwrap();
+            p.instance_mut().invoke("bump", &[]).unwrap()
+        });
+        use waran_wasm::interp::Value;
+        assert_eq!(handle.join().unwrap(), Some(Value::I32(1)));
+    }
+}

@@ -6,6 +6,13 @@
 //! (used by the figure harnesses, where sample counts are modest) and
 //! [`P2Quantile`] is the constant-memory streaming estimator (used by the
 //! always-on per-plugin stats in the host).
+//!
+//! Every accumulator is *mergeable*: the sharded multi-cell engine gives
+//! each worker its own accumulator (no cross-thread contention on the hot
+//! path) and combines them after the run with `merge`, so Fig. 5d-style
+//! quantiles come out of a parallel run without a single shared lock.
+//! [`ShardedExecStats`] packages that pattern: one [`ExecTimeStats`] per
+//! worker, merged on read.
 
 use std::time::Duration;
 
@@ -51,13 +58,24 @@ impl ExactQuantiles {
         self.samples.iter().copied().fold(0.0, f64::max)
     }
 
+    /// Fold another accumulator's samples into this one. Exact: the result
+    /// is indistinguishable from having recorded every sample here.
+    pub fn merge(&mut self, other: &ExactQuantiles) {
+        if other.samples.is_empty() {
+            return;
+        }
+        self.samples.extend_from_slice(&other.samples);
+        self.sorted = false;
+    }
+
     /// The q-quantile (nearest-rank on the sorted samples), 0 when empty.
     pub fn quantile(&mut self, q: f64) -> f64 {
         if self.samples.is_empty() {
             return 0.0;
         }
         if !self.sorted {
-            self.samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN samples"));
+            self.samples
+                .sort_by(|a, b| a.partial_cmp(b).expect("no NaN samples"));
             self.sorted = true;
         }
         let q = q.clamp(0.0, 1.0);
@@ -108,7 +126,8 @@ impl P2Quantile {
             self.heights[self.count] = v;
             self.count += 1;
             if self.count == 5 {
-                self.heights.sort_by(|a, b| a.partial_cmp(b).expect("no NaN samples"));
+                self.heights
+                    .sort_by(|a, b| a.partial_cmp(b).expect("no NaN samples"));
             }
             return;
         }
@@ -155,6 +174,136 @@ impl P2Quantile {
                 self.positions[i] += d;
             }
         }
+    }
+
+    /// Merge another estimator of the same quantile into this one.
+    ///
+    /// Exact while either side still holds raw samples (fewer than 5).
+    /// Otherwise both marker sets are read as piecewise-linear empirical
+    /// CDFs, pooled with weights proportional to their sample counts, and
+    /// this estimator's markers are re-seeded from the pooled distribution
+    /// at their ideal ranks. The result is approximate — as P² itself is —
+    /// but for identically-distributed shards (the sharded-engine case,
+    /// where workers split one stream) it tracks the pooled-sample
+    /// quantile; the property tests pin the tolerance.
+    pub fn merge(&mut self, other: &P2Quantile) {
+        if other.count == 0 {
+            return;
+        }
+        if other.count < 5 {
+            for &v in &other.heights[..other.count] {
+                self.record(v);
+            }
+            return;
+        }
+        if self.count < 5 {
+            let mut merged = other.clone();
+            for &v in &self.heights[..self.count] {
+                merged.record(v);
+            }
+            *self = merged;
+            return;
+        }
+
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let n = n1 + n2;
+        // Pooled CDF sampled at every marker height of either estimator.
+        let mut xs: Vec<f64> = self
+            .heights
+            .iter()
+            .chain(other.heights.iter())
+            .copied()
+            .collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).expect("no NaN samples"));
+        let points: Vec<(f64, f64)> = xs
+            .iter()
+            .map(|&x| (x, (n1 * self.cdf_at(x) + n2 * other.cdf_at(x)) / n))
+            .collect();
+
+        // Re-seed the markers at their ideal fractions of the pooled CDF.
+        let fracs = [0.0, self.q / 2.0, self.q, (1.0 + self.q) / 2.0, 1.0];
+        let mut heights = [0.0; 5];
+        heights[0] = xs[0];
+        heights[4] = xs[xs.len() - 1];
+        for i in 1..4 {
+            heights[i] = Self::inverse_cdf(&points, fracs[i]);
+        }
+        for i in 1..5 {
+            if heights[i] < heights[i - 1] {
+                heights[i] = heights[i - 1];
+            }
+        }
+        self.heights = heights;
+
+        let count = self.count + other.count;
+        self.positions[0] = 1.0;
+        self.positions[4] = n;
+        for (pos, &frac) in self.positions.iter_mut().zip(&fracs).take(4).skip(1) {
+            *pos = (1.0 + frac * (n - 1.0)).round();
+        }
+        for i in 1..4 {
+            // Keep ranks strictly increasing (always possible: n >= 10).
+            self.positions[i] = self.positions[i]
+                .max(self.positions[i - 1] + 1.0)
+                .min(n - (4 - i) as f64);
+        }
+        // Desired positions follow the standard P² recurrence at count n.
+        let init = [
+            1.0,
+            1.0 + 2.0 * self.q,
+            1.0 + 4.0 * self.q,
+            3.0 + 2.0 * self.q,
+            5.0,
+        ];
+        let increments = self.increments;
+        for ((desired, &seed), &inc) in self.desired.iter_mut().zip(&init).zip(&increments) {
+            *desired = seed + (count as f64 - 5.0) * inc;
+        }
+        self.count = count;
+    }
+
+    /// Empirical CDF through this estimator's markers (requires >= 5
+    /// samples): piecewise linear between `(height[i], rank-fraction[i])`,
+    /// 0 below the minimum and 1 above the maximum.
+    fn cdf_at(&self, x: f64) -> f64 {
+        let m = self.count as f64;
+        let frac = |i: usize| (self.positions[i] - 1.0) / (m - 1.0);
+        if x <= self.heights[0] {
+            return 0.0;
+        }
+        if x >= self.heights[4] {
+            return 1.0;
+        }
+        for i in 0..4 {
+            let (x0, x1) = (self.heights[i], self.heights[i + 1]);
+            if x <= x1 {
+                let (f0, f1) = (frac(i), frac(i + 1));
+                if x1 <= x0 {
+                    return f1;
+                }
+                return f0 + (f1 - f0) * (x - x0) / (x1 - x0);
+            }
+        }
+        1.0
+    }
+
+    /// Invert a sampled, non-decreasing CDF by linear interpolation.
+    fn inverse_cdf(points: &[(f64, f64)], f: f64) -> f64 {
+        if f <= points[0].1 {
+            return points[0].0;
+        }
+        for w in points.windows(2) {
+            let (x0, f0) = w[0];
+            let (x1, f1) = w[1];
+            if f <= f1 {
+                if f1 <= f0 {
+                    return x1;
+                }
+                return x0 + (x1 - x0) * (f - f0) / (f1 - f0);
+            }
+        }
+        points[points.len() - 1].0
     }
 
     fn parabolic(&self, i: usize, d: f64) -> f64 {
@@ -265,6 +414,76 @@ impl ExecTimeStats {
     pub fn p99_us(&self) -> f64 {
         self.p99.value()
     }
+
+    /// Fold another tracker into this one: counts, sums and extrema are
+    /// exact; the streaming quantiles use [`P2Quantile::merge`].
+    pub fn merge(&mut self, other: &ExecTimeStats) {
+        if other.count == 0 {
+            return;
+        }
+        self.count += other.count;
+        self.sum_us += other.sum_us;
+        self.min_us = self.min_us.min(other.min_us);
+        self.max_us = self.max_us.max(other.max_us);
+        self.p50.merge(&other.p50);
+        self.p99.merge(&other.p99);
+    }
+}
+
+/// Per-worker execution-time accumulators with contention-free recording:
+/// each worker writes only its own shard (no locks, no shared cache
+/// lines) and readers merge all shards into one [`ExecTimeStats`].
+#[derive(Debug, Clone)]
+pub struct ShardedExecStats {
+    shards: Vec<ExecTimeStats>,
+}
+
+impl ShardedExecStats {
+    /// One shard per worker.
+    pub fn new(workers: usize) -> Self {
+        ShardedExecStats {
+            shards: vec![ExecTimeStats::new(); workers.max(1)],
+        }
+    }
+
+    /// Number of shards.
+    pub fn len(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// True when there are no shards (never: `new` clamps to >= 1).
+    pub fn is_empty(&self) -> bool {
+        self.shards.is_empty()
+    }
+
+    /// Exclusive access to one worker's shard.
+    pub fn shard_mut(&mut self, worker: usize) -> &mut ExecTimeStats {
+        &mut self.shards[worker]
+    }
+
+    /// Record one execution on a worker's shard.
+    pub fn record(&mut self, worker: usize, d: Duration) {
+        self.shards[worker].record(d);
+    }
+
+    /// Split into per-worker accumulators (hand one to each thread).
+    pub fn into_shards(self) -> Vec<ExecTimeStats> {
+        self.shards
+    }
+
+    /// Rebuild from per-worker accumulators after a parallel run.
+    pub fn from_shards(shards: Vec<ExecTimeStats>) -> Self {
+        ShardedExecStats { shards }
+    }
+
+    /// Merge every shard into one tracker.
+    pub fn merged(&self) -> ExecTimeStats {
+        let mut out = ExecTimeStats::new();
+        for shard in &self.shards {
+            out.merge(shard);
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -299,11 +518,16 @@ mod tests {
         // Deterministic pseudo-random walk over [0, 1000).
         let mut x: u64 = 12345;
         for _ in 0..10_000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             p2.record((x >> 33) as f64 % 1000.0);
         }
         let est = p2.value();
-        assert!((est - 500.0).abs() < 50.0, "median estimate {est} too far from 500");
+        assert!(
+            (est - 500.0).abs() < 50.0,
+            "median estimate {est} too far from 500"
+        );
     }
 
     #[test]
@@ -311,11 +535,16 @@ mod tests {
         let mut p2 = P2Quantile::new(0.99);
         let mut x: u64 = 99;
         for _ in 0..50_000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             p2.record((x >> 33) as f64 % 1000.0);
         }
         let est = p2.value();
-        assert!((est - 990.0).abs() < 30.0, "p99 estimate {est} too far from 990");
+        assert!(
+            (est - 990.0).abs() < 30.0,
+            "p99 estimate {est} too far from 990"
+        );
     }
 
     #[test]
@@ -336,6 +565,84 @@ mod tests {
         }
         let est = p2.value();
         assert!((est - 900.0).abs() < 40.0, "p90 of 0..1000 was {est}");
+    }
+
+    #[test]
+    fn exact_merge_is_exact() {
+        let mut all = ExactQuantiles::new();
+        let mut a = ExactQuantiles::new();
+        let mut b = ExactQuantiles::new();
+        for v in 0..1000 {
+            all.record(v as f64);
+            if v % 3 == 0 {
+                a.record(v as f64);
+            } else {
+                b.record(v as f64);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(a.quantile(q), all.quantile(q), "q={q}");
+        }
+        assert_eq!(a.mean(), all.mean());
+    }
+
+    #[test]
+    fn p2_merge_small_sides_is_exact() {
+        // While either side holds < 5 samples the merge replays raw values.
+        let mut a = P2Quantile::new(0.5);
+        let mut b = P2Quantile::new(0.5);
+        for v in [1.0, 2.0] {
+            a.record(v);
+        }
+        for v in [3.0, 4.0, 5.0] {
+            b.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 5);
+        assert_eq!(a.value(), 3.0);
+    }
+
+    #[test]
+    fn p2_merge_tracks_pooled_quantile() {
+        // Two big shards of one deterministic uniform stream: the merged
+        // p99 must stay close to the pooled estimate.
+        let mut pooled = P2Quantile::new(0.99);
+        let mut shards = [P2Quantile::new(0.99), P2Quantile::new(0.99)];
+        let mut x: u64 = 2024;
+        for i in 0..40_000usize {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let v = (x >> 33) as f64 % 1000.0;
+            pooled.record(v);
+            shards[i % 2].record(v);
+        }
+        let [mut merged, other] = shards;
+        merged.merge(&other);
+        assert_eq!(merged.count(), pooled.count());
+        let (m, p) = (merged.value(), pooled.value());
+        assert!((m - p).abs() < 30.0, "merged {m} vs pooled {p}");
+        assert!((m - 990.0).abs() < 30.0, "merged {m} vs true 990");
+    }
+
+    #[test]
+    fn sharded_exec_stats_merge_matches_single() {
+        let mut single = ExecTimeStats::new();
+        let mut sharded = ShardedExecStats::new(4);
+        for i in 1..=2000u64 {
+            let d = Duration::from_micros(i % 97 + 1);
+            single.record(d);
+            sharded.record((i % 4) as usize, d);
+        }
+        let merged = sharded.merged();
+        assert_eq!(merged.count(), single.count());
+        assert!((merged.mean_us() - single.mean_us()).abs() < 1e-9);
+        assert_eq!(merged.min_us(), single.min_us());
+        assert_eq!(merged.max_us(), single.max_us());
+        assert!((merged.p50_us() - single.p50_us()).abs() < 10.0);
+        assert!((merged.p99_us() - single.p99_us()).abs() < 10.0);
     }
 
     #[test]

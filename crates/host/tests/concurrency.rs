@@ -100,10 +100,9 @@ fn quarantine_is_race_free() {
     // Many threads hammer a crashing plugin; the quarantine threshold must
     // not be bypassed by interleaving.
     let host: Arc<PluginHost<()>> = Arc::new(PluginHost::with_quarantine_after(5));
-    let wasm = waran_plugc::compile(
-        "export fn run(ptr: i32, len: i32) -> i64 { trap(); return 0i64; }",
-    )
-    .expect("compiles");
+    let wasm =
+        waran_plugc::compile("export fn run(ptr: i32, len: i32) -> i64 { trap(); return 0i64; }")
+            .expect("compiles");
     host.install(
         "bad",
         Plugin::new(&wasm, &Linker::new(), (), SandboxPolicy::default()).expect("instantiates"),

@@ -67,9 +67,7 @@ export fn schedule(req: i32, len: i32) -> i64 {
 
 #[test]
 fn byte_abi_echo() {
-    let mut p = plugin(
-        r#"export fn run(ptr: i32, len: i32) -> i64 { return pack(ptr, len); }"#,
-    );
+    let mut p = plugin(r#"export fn run(ptr: i32, len: i32) -> i64 { return pack(ptr, len); }"#);
     assert_eq!(p.call("run", b"abc123").unwrap(), b"abc123");
     assert_eq!(p.call("run", &[]).unwrap(), b"");
     assert!(p.last_call_duration().is_some());
@@ -139,7 +137,10 @@ fn runaway_plugin_hits_deadline_or_fuel() {
         ..SandboxPolicy::default()
     };
     let mut p = Plugin::new(&compile(src), &Linker::<()>::new(), (), policy).unwrap();
-    assert_eq!(p.call("run", &[]), Err(PluginError::Trap(Trap::DeadlineExceeded)));
+    assert_eq!(
+        p.call("run", &[]),
+        Err(PluginError::Trap(Trap::DeadlineExceeded))
+    );
 }
 
 #[test]
@@ -213,7 +214,10 @@ fn oversized_response_rejected() {
 #[test]
 fn missing_entry_is_a_fault_not_a_panic() {
     let mut p = plugin("export fn other(a: i32, b: i32) -> i64 { return 0i64; }");
-    assert!(matches!(p.call("run", &[]), Err(PluginError::Trap(Trap::HostError(_)))));
+    assert!(matches!(
+        p.call("run", &[]),
+        Err(PluginError::Trap(Trap::HostError(_)))
+    ));
 }
 
 #[test]
@@ -237,21 +241,25 @@ fn host_hot_swap_changes_behaviour() {
     let host: PluginHost<()> = PluginHost::new();
     host.install(
         "p",
-        plugin(r#"export fn run(ptr: i32, len: i32) -> i64 {
+        plugin(
+            r#"export fn run(ptr: i32, len: i32) -> i64 {
             var out: i32 = wrn_alloc(1);
             store_u8(out, 65);
             return pack(out, 1);
-        }"#),
+        }"#,
+        ),
     );
     assert_eq!(host.call("p", "run", &[]).unwrap(), b"A");
     // Live swap: same name, new code, no teardown of the host.
     host.install(
         "p",
-        plugin(r#"export fn run(ptr: i32, len: i32) -> i64 {
+        plugin(
+            r#"export fn run(ptr: i32, len: i32) -> i64 {
             var out: i32 = wrn_alloc(1);
             store_u8(out, 66);
             return pack(out, 1);
-        }"#),
+        }"#,
+        ),
     );
     assert_eq!(host.call("p", "run", &[]).unwrap(), b"B");
     assert_eq!(host.health("p").unwrap().swaps, 1);
@@ -345,7 +353,12 @@ fn sched_response_semantic_check() {
         }
     "#;
     let mut p = plugin(src);
-    let req = SchedRequest { slot: 0, prbs_granted: 10, slice_id: 0, ues: vec![ue(1, 10, 1.0)] };
+    let req = SchedRequest {
+        slot: 0,
+        prbs_granted: 10,
+        slice_id: 0,
+        ues: vec![ue(1, 10, 1.0)],
+    };
     assert!(matches!(p.call_sched(&req), Err(PluginError::Codec(_))));
 }
 
@@ -363,7 +376,11 @@ fn rust_side_reference_scheduler_matches_plugin() {
     let expected: Vec<Allocation> = (0..5)
         .map(|i| Allocation {
             ue_id: 100 + i,
-            prbs: if (i as usize) < 17 % 5 { 17 / 5 + 1 } else { 17 / 5 },
+            prbs: if (i as usize) < 17 % 5 {
+                17 / 5 + 1
+            } else {
+                17 / 5
+            },
             priority: i as u8,
         })
         .collect();

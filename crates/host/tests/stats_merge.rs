@@ -1,0 +1,122 @@
+//! Property tests for mergeable statistics: sharded accumulation must be
+//! indistinguishable (exactly, for exact accumulators; within estimator
+//! tolerance, for P²) from feeding one accumulator sequentially. This is
+//! what lets the multi-cell engine keep per-worker stats lock-free and
+//! merge after the join.
+
+use std::time::Duration;
+
+use proptest::prelude::*;
+use waran_host::{ExactQuantiles, ExecTimeStats, P2Quantile, ShardedExecStats};
+
+/// Exact pooled quantile by sorting, the ground truth the estimators are
+/// compared against.
+fn pooled_quantile(samples: &[f64], q: f64) -> f64 {
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+    sorted[idx]
+}
+
+proptest! {
+    #[test]
+    fn exact_merge_equals_single_accumulator(
+        xs in proptest::collection::vec(0.0f64..1000.0, 0..120),
+        ys in proptest::collection::vec(0.0f64..1000.0, 0..120),
+    ) {
+        let mut left = ExactQuantiles::new();
+        let mut right = ExactQuantiles::new();
+        for &x in &xs {
+            left.record(x);
+        }
+        for &y in &ys {
+            right.record(y);
+        }
+        left.merge(&right);
+
+        let mut single = ExactQuantiles::new();
+        for &v in xs.iter().chain(ys.iter()) {
+            single.record(v);
+        }
+
+        prop_assert_eq!(left.count(), single.count());
+        prop_assert!((left.mean() - single.mean()).abs() <= 1e-9 * single.mean().abs().max(1.0));
+        prop_assert_eq!(left.max(), single.max());
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            // Both sides sort the identical multiset: exact equality.
+            prop_assert_eq!(left.quantile(q), single.quantile(q));
+        }
+    }
+
+    #[test]
+    fn p2_merge_tracks_pooled_sample_quantiles(
+        xs in proptest::collection::vec(0.0f64..1000.0, 0..150),
+        ys in proptest::collection::vec(0.0f64..1000.0, 0..150),
+    ) {
+        let mut left = P2Quantile::new(0.5);
+        let mut right = P2Quantile::new(0.5);
+        for &x in &xs {
+            left.record(x);
+        }
+        for &y in &ys {
+            right.record(y);
+        }
+        left.merge(&right);
+
+        let pooled: Vec<f64> = xs.iter().chain(ys.iter()).copied().collect();
+        prop_assert_eq!(left.count(), pooled.len());
+        if pooled.is_empty() {
+            return Ok(());
+        }
+        let min = pooled.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = pooled.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let est = left.value();
+        prop_assert!(est >= min && est <= max, "estimate {est} outside [{min}, {max}]");
+        if pooled.len() >= 10 {
+            // P² is an estimator; on uniform draws its median stays well
+            // inside a 15%-of-range band around the exact pooled median.
+            let exact = pooled_quantile(&pooled, 0.5);
+            let tol = 0.15 * (max - min) + 1e-9;
+            prop_assert!(
+                (est - exact).abs() <= tol,
+                "merged p50 {est} vs pooled {exact} (tol {tol})"
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_exec_stats_merge_matches_single(
+        samples in proptest::collection::vec((0u8..4, 1_000u64..2_000_000), 0..200),
+    ) {
+        let mut sharded = ShardedExecStats::new(4);
+        let mut single = ExecTimeStats::new();
+        for &(worker, nanos) in &samples {
+            let d = Duration::from_nanos(nanos);
+            sharded.record(worker as usize, d);
+            single.record(d);
+        }
+        let merged = sharded.merged();
+
+        prop_assert_eq!(merged.count(), single.count());
+        prop_assert_eq!(merged.min_us(), single.min_us());
+        prop_assert_eq!(merged.max_us(), single.max_us());
+        // Summation order differs between the sharded and single paths;
+        // the means agree to floating-point round-off.
+        prop_assert!(
+            (merged.mean_us() - single.mean_us()).abs()
+                <= 1e-9 * single.mean_us().abs().max(1.0)
+        );
+        if samples.len() >= 10 {
+            let us: Vec<f64> = samples.iter().map(|&(_, ns)| ns as f64 / 1000.0).collect();
+            let min = us.iter().copied().fold(f64::INFINITY, f64::min);
+            let max = us.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            let tol = 0.2 * (max - min) + 1e-9;
+            let exact = pooled_quantile(&us, 0.5);
+            prop_assert!(
+                (merged.p50_us() - exact).abs() <= tol,
+                "sharded p50 {} vs pooled {exact} (tol {tol})",
+                merged.p50_us()
+            );
+        }
+    }
+}

@@ -132,13 +132,27 @@ impl Literal {
 #[derive(Debug, Clone)]
 pub enum Stmt {
     /// `var name: ty = expr;`
-    Var { name: String, ty: Type, init: Expr, pos: Pos },
+    Var {
+        name: String,
+        ty: Type,
+        init: Expr,
+        pos: Pos,
+    },
     /// `name = expr;`
     Assign { name: String, value: Expr, pos: Pos },
     /// `if (cond) { then } else { els }`
-    If { cond: Expr, then_body: Vec<Stmt>, else_body: Vec<Stmt>, pos: Pos },
+    If {
+        cond: Expr,
+        then_body: Vec<Stmt>,
+        else_body: Vec<Stmt>,
+        pos: Pos,
+    },
     /// `while (cond) { body }`
-    While { cond: Expr, body: Vec<Stmt>, pos: Pos },
+    While {
+        cond: Expr,
+        body: Vec<Stmt>,
+        pos: Pos,
+    },
     /// `return expr?;`
     Return { value: Option<Expr>, pos: Pos },
     /// `break;`
@@ -194,7 +208,10 @@ pub enum BinOp {
 impl BinOp {
     /// True for comparison operators (result is i32).
     pub fn is_comparison(self) -> bool {
-        matches!(self, BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge)
+        matches!(
+            self,
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+        )
     }
 
     /// True for operators defined only on integers.
@@ -230,13 +247,26 @@ pub enum Expr {
     /// Variable (local, param, global or const).
     Ident(String, Pos),
     /// Binary operation.
-    Bin { op: BinOp, lhs: Box<Expr>, rhs: Box<Expr>, pos: Pos },
+    Bin {
+        op: BinOp,
+        lhs: Box<Expr>,
+        rhs: Box<Expr>,
+        pos: Pos,
+    },
     /// Unary operation.
-    Un { op: UnOp, operand: Box<Expr>, pos: Pos },
+    Un {
+        op: UnOp,
+        operand: Box<Expr>,
+        pos: Pos,
+    },
     /// `expr as ty`.
     Cast { expr: Box<Expr>, ty: Type, pos: Pos },
     /// Function or intrinsic call.
-    Call { name: String, args: Vec<Expr>, pos: Pos },
+    Call {
+        name: String,
+        args: Vec<Expr>,
+        pos: Pos,
+    },
 }
 
 impl Expr {

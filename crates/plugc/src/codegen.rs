@@ -29,11 +29,12 @@ pub fn generate(
         let params: Vec<_> = imp.params.iter().map(|t| t.to_wasm()).collect();
         let results: Vec<_> = imp.ret.iter().map(|t| t.to_wasm()).collect();
         let sig = mb.func_type(&params, &results);
-        mb.import_func("env", &imp.name, sig).map_err(|e| CompileError {
-            line: 0,
-            col: 0,
-            msg: format!("internal: {e}"),
-        })?;
+        mb.import_func("env", &imp.name, sig)
+            .map_err(|e| CompileError {
+                line: 0,
+                col: 0,
+                msg: format!("internal: {e}"),
+            })?;
     }
 
     for g in &typed.globals {
@@ -43,7 +44,11 @@ pub fn generate(
             Literal::F32(v) => ConstExpr::F32(v),
             Literal::F64(v) => ConstExpr::F64(v),
         };
-        let mutability = if g.mutable { Mutability::Var } else { Mutability::Const };
+        let mutability = if g.mutable {
+            Mutability::Var
+        } else {
+            Mutability::Const
+        };
         mb.global(g.ty.to_wasm(), mutability, init);
     }
 
@@ -71,7 +76,11 @@ pub fn generate(
         }
     }
 
-    mb.finish().map_err(|e| CompileError { line: 0, col: 0, msg: format!("internal: {e}") })
+    mb.finish().map_err(|e| CompileError {
+        line: 0,
+        col: 0,
+        msg: format!("internal: {e}"),
+    })
 }
 
 /// What kind of control frame the generator has open.
@@ -106,7 +115,11 @@ impl FuncGen {
                 self.expr(code, value);
                 code.global_set(*idx);
             }
-            TStmt::If { cond, then_body, else_body } => {
+            TStmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
                 self.expr(code, cond);
                 code.if_(BlockType::Empty);
                 self.ctrl.push(Ctrl::IfArm);
@@ -227,7 +240,12 @@ impl FuncGen {
                 code.call(*index);
             }
             TExprKind::Intrinsic { name, args } => self.intrinsic(code, name, args),
-            TExprKind::Bin { op, operand_ty, lhs, rhs } => {
+            TExprKind::Bin {
+                op,
+                operand_ty,
+                lhs,
+                rhs,
+            } => {
                 // Short-circuit logicals get custom control flow.
                 match op {
                     BinOp::LogicalAnd => {

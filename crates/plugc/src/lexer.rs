@@ -13,7 +13,11 @@ pub struct Pos {
 
 impl Pos {
     pub(crate) fn err(self, msg: impl Into<String>) -> CompileError {
-        CompileError { line: self.line, col: self.col, msg: msg.into() }
+        CompileError {
+            line: self.line,
+            col: self.col,
+            msg: msg.into(),
+        }
     }
 }
 
@@ -194,7 +198,11 @@ pub fn lex(src: &str) -> Result<Vec<Token>, CompileError> {
                 }
                 let consumed = i - begin;
                 col += consumed;
-                if !hex && (text.contains('.') || text.contains('e') || text.contains('E') || forced_float)
+                if !hex
+                    && (text.contains('.')
+                        || text.contains('e')
+                        || text.contains('E')
+                        || forced_float)
                 {
                     if text.ends_with('.') {
                         text = &text[..text.len() - 1];
@@ -202,7 +210,10 @@ pub fn lex(src: &str) -> Result<Vec<Token>, CompileError> {
                     let v: f64 = text
                         .parse()
                         .map_err(|_| start.err(format!("bad float literal '{text}'")))?;
-                    out.push(Token { tok: Tok::Float(v, float_width), pos: start });
+                    out.push(Token {
+                        tok: Tok::Float(v, float_width),
+                        pos: start,
+                    });
                 } else {
                     let v = if hex {
                         u64::from_str_radix(&text[2..], 16)
@@ -212,7 +223,10 @@ pub fn lex(src: &str) -> Result<Vec<Token>, CompileError> {
                         text.parse::<i64>()
                             .map_err(|_| start.err(format!("bad integer literal '{text}'")))?
                     };
-                    out.push(Token { tok: Tok::Int(v, int_width), pos: start });
+                    out.push(Token {
+                        tok: Tok::Int(v, int_width),
+                        pos: start,
+                    });
                 }
             }
             'a'..='z' | 'A'..='Z' | '_' => {
@@ -335,22 +349,30 @@ mod tests {
 
     #[test]
     fn operators_longest_match() {
-        assert_eq!(toks("<= << < -> - ="), vec![
-            Tok::Le, Tok::Shl, Tok::Lt, Tok::Arrow, Tok::Minus, Tok::Assign
-        ]);
+        assert_eq!(
+            toks("<= << < -> - ="),
+            vec![
+                Tok::Le,
+                Tok::Shl,
+                Tok::Lt,
+                Tok::Arrow,
+                Tok::Minus,
+                Tok::Assign
+            ]
+        );
         assert_eq!(toks("&& &"), vec![Tok::AndAnd, Tok::Amp]);
     }
 
     #[test]
     fn comments_skipped() {
-        assert_eq!(toks("1 // comment\n2"), vec![
-            Tok::Int(1, IntWidth::W32),
-            Tok::Int(2, IntWidth::W32)
-        ]);
-        assert_eq!(toks("1 /* multi\nline */ 2"), vec![
-            Tok::Int(1, IntWidth::W32),
-            Tok::Int(2, IntWidth::W32)
-        ]);
+        assert_eq!(
+            toks("1 // comment\n2"),
+            vec![Tok::Int(1, IntWidth::W32), Tok::Int(2, IntWidth::W32)]
+        );
+        assert_eq!(
+            toks("1 /* multi\nline */ 2"),
+            vec![Tok::Int(1, IntWidth::W32), Tok::Int(2, IntWidth::W32)]
+        );
     }
 
     #[test]

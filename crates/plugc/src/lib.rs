@@ -87,7 +87,12 @@ pub struct Options {
 
 impl Default for Options {
     fn default() -> Self {
-        Options { memory_min_pages: 1, memory_max_pages: Some(16), abi_prelude: true, heap_base: 4096 }
+        Options {
+            memory_min_pages: 1,
+            memory_max_pages: Some(16),
+            abi_prelude: true,
+            heap_base: 4096,
+        }
     }
 }
 
@@ -144,8 +149,7 @@ pub fn compile_with(source: &str, opts: &Options) -> Result<Vec<u8>, CompileErro
     let tokens = lexer::lex(&full_source).map_err(|e| adjust(e, prelude_lines))?;
     let program = parser::parse(&tokens).map_err(|e| adjust(e, prelude_lines))?;
     let typed = typeck::check(&program).map_err(|e| adjust(e, prelude_lines))?;
-    let module =
-        codegen::generate(&program, &typed, opts).map_err(|e| adjust(e, prelude_lines))?;
+    let module = codegen::generate(&program, &typed, opts).map_err(|e| adjust(e, prelude_lines))?;
 
     waran_wasm::validate::validate(&module).map_err(|e| CompileError {
         line: 0,
@@ -171,7 +175,8 @@ mod tests {
     fn run(src: &str, func: &str, args: &[Value]) -> Option<Value> {
         let bytes = compile(src).expect("compiles");
         let module = waran_wasm::load_module(&bytes).expect("validates");
-        let mut inst = Instance::new(module.into(), &Linker::<()>::new(), ()).expect("instantiates");
+        let mut inst =
+            Instance::new(module.into(), &Linker::<()>::new(), ()).expect("instantiates");
         inst.invoke(func, args).expect("runs")
     }
 
@@ -207,13 +212,25 @@ mod tests {
         let bytes = compile(src).unwrap();
         let module = waran_wasm::load_module(&bytes).unwrap();
         let mut inst = Instance::new(module.into(), &Linker::<()>::new(), ()).unwrap();
-        let p1 = inst.invoke("wrn_alloc", &[Value::I32(100)]).unwrap().unwrap().as_i32();
-        let p2 = inst.invoke("wrn_alloc", &[Value::I32(100)]).unwrap().unwrap().as_i32();
+        let p1 = inst
+            .invoke("wrn_alloc", &[Value::I32(100)])
+            .unwrap()
+            .unwrap()
+            .as_i32();
+        let p2 = inst
+            .invoke("wrn_alloc", &[Value::I32(100)])
+            .unwrap()
+            .unwrap()
+            .as_i32();
         assert!(p1 >= 4096);
         assert!(p2 >= p1 + 100);
         assert_eq!(p2 % 8, 0, "allocations are 8-byte aligned");
         inst.invoke("wrn_reset", &[]).unwrap();
-        let p3 = inst.invoke("wrn_alloc", &[Value::I32(4)]).unwrap().unwrap().as_i32();
+        let p3 = inst
+            .invoke("wrn_alloc", &[Value::I32(4)])
+            .unwrap()
+            .unwrap()
+            .as_i32();
         assert_eq!(p3, 4096);
     }
 

@@ -96,13 +96,21 @@ impl<'a> Parser<'a> {
                 self.expect(&Tok::Fn, "'fn' after 'export'")?;
                 let sig = self.fn_sig(pos)?;
                 let body = self.block()?;
-                Ok(Item::Fn(FnDecl { sig, exported: true, body }))
+                Ok(Item::Fn(FnDecl {
+                    sig,
+                    exported: true,
+                    body,
+                }))
             }
             Some(Tok::Fn) => {
                 self.advance();
                 let sig = self.fn_sig(pos)?;
                 let body = self.block()?;
-                Ok(Item::Fn(FnDecl { sig, exported: false, body }))
+                Ok(Item::Fn(FnDecl {
+                    sig,
+                    exported: false,
+                    body,
+                }))
             }
             Some(Tok::Global) | Some(Tok::Const) => {
                 let mutable = matches!(self.peek(), Some(Tok::Global));
@@ -113,9 +121,17 @@ impl<'a> Parser<'a> {
                 self.expect(&Tok::Assign, "'=' in global declaration")?;
                 let init = self.literal(ty)?;
                 self.expect(&Tok::Semi, "';' after global declaration")?;
-                Ok(Item::Global(GlobalDecl { name, ty, mutable, init, pos }))
+                Ok(Item::Global(GlobalDecl {
+                    name,
+                    ty,
+                    mutable,
+                    init,
+                    pos,
+                }))
             }
-            other => Err(pos.err(format!("expected an item (fn/extern/global), found {other:?}"))),
+            other => Err(pos.err(format!(
+                "expected an item (fn/extern/global), found {other:?}"
+            ))),
         }
     }
 
@@ -135,8 +151,17 @@ impl<'a> Parser<'a> {
                 self.expect(&Tok::Comma, "',' between parameters")?;
             }
         }
-        let ret = if self.eat(&Tok::Arrow) { Some(self.ty()?) } else { None };
-        Ok(FnSig { name, params, ret, pos })
+        let ret = if self.eat(&Tok::Arrow) {
+            Some(self.ty()?)
+        } else {
+            None
+        };
+        Ok(FnSig {
+            name,
+            params,
+            ret,
+            pos,
+        })
     }
 
     /// A literal, possibly negated, coerced to the expected type.
@@ -147,11 +172,9 @@ impl<'a> Parser<'a> {
             Some(Tok::Int(v, w)) => {
                 let v = if neg { -*v } else { *v };
                 match (expect, w) {
-                    (Type::I32, _) => {
-                        i32::try_from(v).map(Literal::I32).map_err(|_| {
-                            pos.err(format!("integer {v} does not fit in i32"))
-                        })
-                    }
+                    (Type::I32, _) => i32::try_from(v)
+                        .map(Literal::I32)
+                        .map_err(|_| pos.err(format!("integer {v} does not fit in i32"))),
                     (Type::I64, _) => Ok(Literal::I64(v)),
                     (Type::F32, IntWidth::W32) => Ok(Literal::F32(v as f32)),
                     (Type::F64, IntWidth::W32) => Ok(Literal::F64(v as f64)),
@@ -195,7 +218,12 @@ impl<'a> Parser<'a> {
                 self.expect(&Tok::Assign, "'=' in var declaration")?;
                 let init = self.expr()?;
                 self.expect(&Tok::Semi, "';' after var declaration")?;
-                Ok(Stmt::Var { name, ty, init, pos })
+                Ok(Stmt::Var {
+                    name,
+                    ty,
+                    init,
+                    pos,
+                })
             }
             Some(Tok::If) => {
                 self.advance();
@@ -212,7 +240,12 @@ impl<'a> Parser<'a> {
                 } else {
                     Vec::new()
                 };
-                Ok(Stmt::If { cond, then_body, else_body, pos })
+                Ok(Stmt::If {
+                    cond,
+                    then_body,
+                    else_body,
+                    pos,
+                })
             }
             Some(Tok::While) => {
                 self.advance();
@@ -224,7 +257,11 @@ impl<'a> Parser<'a> {
             }
             Some(Tok::Return) => {
                 self.advance();
-                let value = if self.peek() == Some(&Tok::Semi) { None } else { Some(self.expr()?) };
+                let value = if self.peek() == Some(&Tok::Semi) {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
                 self.expect(&Tok::Semi, "';' after return")?;
                 Ok(Stmt::Return { value, pos })
             }
@@ -243,7 +280,9 @@ impl<'a> Parser<'a> {
                 Ok(Stmt::Block { body, pos })
             }
             // Assignment or expression statement: disambiguate by lookahead.
-            Some(Tok::Ident(_)) if self.tokens.get(self.pos + 1).map(|t| &t.tok) == Some(&Tok::Assign) => {
+            Some(Tok::Ident(_))
+                if self.tokens.get(self.pos + 1).map(|t| &t.tok) == Some(&Tok::Assign) =>
+            {
                 let (name, _) = self.ident("assignment target")?;
                 self.advance(); // '='
                 let value = self.expr()?;
@@ -270,7 +309,12 @@ impl<'a> Parser<'a> {
             let pos = self.here();
             if self.eat(&Tok::OrOr) {
                 let rhs = self.logical_and()?;
-                lhs = Expr::Bin { op: BinOp::LogicalOr, lhs: lhs.into(), rhs: rhs.into(), pos };
+                lhs = Expr::Bin {
+                    op: BinOp::LogicalOr,
+                    lhs: lhs.into(),
+                    rhs: rhs.into(),
+                    pos,
+                };
             } else {
                 return Ok(lhs);
             }
@@ -283,7 +327,12 @@ impl<'a> Parser<'a> {
             let pos = self.here();
             if self.eat(&Tok::AndAnd) {
                 let rhs = self.bit_or()?;
-                lhs = Expr::Bin { op: BinOp::LogicalAnd, lhs: lhs.into(), rhs: rhs.into(), pos };
+                lhs = Expr::Bin {
+                    op: BinOp::LogicalAnd,
+                    lhs: lhs.into(),
+                    rhs: rhs.into(),
+                    pos,
+                };
             } else {
                 return Ok(lhs);
             }
@@ -296,7 +345,12 @@ impl<'a> Parser<'a> {
             let pos = self.here();
             if self.eat(&Tok::Pipe) {
                 let rhs = self.bit_xor()?;
-                lhs = Expr::Bin { op: BinOp::Or, lhs: lhs.into(), rhs: rhs.into(), pos };
+                lhs = Expr::Bin {
+                    op: BinOp::Or,
+                    lhs: lhs.into(),
+                    rhs: rhs.into(),
+                    pos,
+                };
             } else {
                 return Ok(lhs);
             }
@@ -309,7 +363,12 @@ impl<'a> Parser<'a> {
             let pos = self.here();
             if self.eat(&Tok::Caret) {
                 let rhs = self.bit_and()?;
-                lhs = Expr::Bin { op: BinOp::Xor, lhs: lhs.into(), rhs: rhs.into(), pos };
+                lhs = Expr::Bin {
+                    op: BinOp::Xor,
+                    lhs: lhs.into(),
+                    rhs: rhs.into(),
+                    pos,
+                };
             } else {
                 return Ok(lhs);
             }
@@ -322,7 +381,12 @@ impl<'a> Parser<'a> {
             let pos = self.here();
             if self.eat(&Tok::Amp) {
                 let rhs = self.equality()?;
-                lhs = Expr::Bin { op: BinOp::And, lhs: lhs.into(), rhs: rhs.into(), pos };
+                lhs = Expr::Bin {
+                    op: BinOp::And,
+                    lhs: lhs.into(),
+                    rhs: rhs.into(),
+                    pos,
+                };
             } else {
                 return Ok(lhs);
             }
@@ -340,7 +404,12 @@ impl<'a> Parser<'a> {
             };
             self.advance();
             let rhs = self.relational()?;
-            lhs = Expr::Bin { op, lhs: lhs.into(), rhs: rhs.into(), pos };
+            lhs = Expr::Bin {
+                op,
+                lhs: lhs.into(),
+                rhs: rhs.into(),
+                pos,
+            };
         }
     }
 
@@ -357,7 +426,12 @@ impl<'a> Parser<'a> {
             };
             self.advance();
             let rhs = self.shift()?;
-            lhs = Expr::Bin { op, lhs: lhs.into(), rhs: rhs.into(), pos };
+            lhs = Expr::Bin {
+                op,
+                lhs: lhs.into(),
+                rhs: rhs.into(),
+                pos,
+            };
         }
     }
 
@@ -372,7 +446,12 @@ impl<'a> Parser<'a> {
             };
             self.advance();
             let rhs = self.additive()?;
-            lhs = Expr::Bin { op, lhs: lhs.into(), rhs: rhs.into(), pos };
+            lhs = Expr::Bin {
+                op,
+                lhs: lhs.into(),
+                rhs: rhs.into(),
+                pos,
+            };
         }
     }
 
@@ -387,7 +466,12 @@ impl<'a> Parser<'a> {
             };
             self.advance();
             let rhs = self.multiplicative()?;
-            lhs = Expr::Bin { op, lhs: lhs.into(), rhs: rhs.into(), pos };
+            lhs = Expr::Bin {
+                op,
+                lhs: lhs.into(),
+                rhs: rhs.into(),
+                pos,
+            };
         }
     }
 
@@ -403,7 +487,12 @@ impl<'a> Parser<'a> {
             };
             self.advance();
             let rhs = self.cast()?;
-            lhs = Expr::Bin { op, lhs: lhs.into(), rhs: rhs.into(), pos };
+            lhs = Expr::Bin {
+                op,
+                lhs: lhs.into(),
+                rhs: rhs.into(),
+                pos,
+            };
         }
     }
 
@@ -413,7 +502,11 @@ impl<'a> Parser<'a> {
             let pos = self.here();
             if self.eat(&Tok::As) {
                 let ty = self.ty()?;
-                e = Expr::Cast { expr: e.into(), ty, pos };
+                e = Expr::Cast {
+                    expr: e.into(),
+                    ty,
+                    pos,
+                };
             } else {
                 return Ok(e);
             }
@@ -424,10 +517,18 @@ impl<'a> Parser<'a> {
         let pos = self.here();
         if self.eat(&Tok::Minus) {
             let operand = self.unary()?;
-            Ok(Expr::Un { op: UnOp::Neg, operand: operand.into(), pos })
+            Ok(Expr::Un {
+                op: UnOp::Neg,
+                operand: operand.into(),
+                pos,
+            })
         } else if self.eat(&Tok::Not) {
             let operand = self.unary()?;
-            Ok(Expr::Un { op: UnOp::Not, operand: operand.into(), pos })
+            Ok(Expr::Un {
+                op: UnOp::Not,
+                operand: operand.into(),
+                pos,
+            })
         } else {
             self.primary()
         }
@@ -437,8 +538,9 @@ impl<'a> Parser<'a> {
         let pos = self.here();
         match self.advance().map(|t| &t.tok) {
             Some(Tok::Int(v, IntWidth::W32)) => {
-                let v = i32::try_from(*v)
-                    .map_err(|_| pos.err(format!("integer {v} does not fit in i32 (use i64 suffix)")))?;
+                let v = i32::try_from(*v).map_err(|_| {
+                    pos.err(format!("integer {v} does not fit in i32 (use i64 suffix)"))
+                })?;
                 Ok(Expr::Lit(Literal::I32(v), pos))
             }
             Some(Tok::Int(v, IntWidth::W64)) => Ok(Expr::Lit(Literal::I64(*v), pos)),
@@ -457,7 +559,11 @@ impl<'a> Parser<'a> {
                             self.expect(&Tok::Comma, "',' between arguments")?;
                         }
                     }
-                    Ok(Expr::Call { name: name.clone(), args, pos })
+                    Ok(Expr::Call {
+                        name: name.clone(),
+                        args,
+                        pos,
+                    })
                 } else {
                     Ok(Expr::Ident(name.clone(), pos))
                 }
@@ -484,7 +590,9 @@ mod tests {
     #[test]
     fn parses_function_with_params() {
         let p = parse_src("export fn f(a: i32, b: f64) -> i64 { return 1i64; }");
-        let Item::Fn(f) = &p.items[0] else { panic!("expected fn") };
+        let Item::Fn(f) = &p.items[0] else {
+            panic!("expected fn")
+        };
         assert!(f.exported);
         assert_eq!(f.sig.params.len(), 2);
         assert_eq!(f.sig.ret, Some(Type::I64));
@@ -494,10 +602,14 @@ mod tests {
     fn parses_extern_and_globals() {
         let p = parse_src("extern fn log(x: i32);\nglobal g: f64 = -1.5;\nconst C: i32 = 7;");
         assert!(matches!(p.items[0], Item::ExternFn(_)));
-        let Item::Global(g) = &p.items[1] else { panic!() };
+        let Item::Global(g) = &p.items[1] else {
+            panic!()
+        };
         assert!(g.mutable);
         assert_eq!(g.init, Literal::F64(-1.5));
-        let Item::Global(c) = &p.items[2] else { panic!() };
+        let Item::Global(c) = &p.items[2] else {
+            panic!()
+        };
         assert!(!c.mutable);
     }
 
@@ -505,7 +617,11 @@ mod tests {
     fn precedence_mul_over_add() {
         let p = parse_src("fn f() -> i32 { return 1 + 2 * 3; }");
         let Item::Fn(f) = &p.items[0] else { panic!() };
-        let Stmt::Return { value: Some(Expr::Bin { op, lhs, .. }), .. } = &f.body[0] else {
+        let Stmt::Return {
+            value: Some(Expr::Bin { op, lhs, .. }),
+            ..
+        } = &f.body[0]
+        else {
             panic!()
         };
         assert_eq!(*op, BinOp::Add);
@@ -516,7 +632,13 @@ mod tests {
     fn precedence_comparison_below_arith() {
         let p = parse_src("fn f() -> i32 { return 1 + 2 < 3 * 4; }");
         let Item::Fn(f) = &p.items[0] else { panic!() };
-        let Stmt::Return { value: Some(Expr::Bin { op, .. }), .. } = &f.body[0] else { panic!() };
+        let Stmt::Return {
+            value: Some(Expr::Bin { op, .. }),
+            ..
+        } = &f.body[0]
+        else {
+            panic!()
+        };
         assert_eq!(*op, BinOp::Lt);
     }
 
@@ -526,7 +648,9 @@ mod tests {
             "fn f(x: i32) -> i32 { if (x < 0) { return 0; } else if (x < 10) { return 1; } else { return 2; } }",
         );
         let Item::Fn(f) = &p.items[0] else { panic!() };
-        let Stmt::If { else_body, .. } = &f.body[0] else { panic!() };
+        let Stmt::If { else_body, .. } = &f.body[0] else {
+            panic!()
+        };
         assert!(matches!(else_body[0], Stmt::If { .. }));
     }
 
@@ -534,7 +658,15 @@ mod tests {
     fn casts_bind_tighter_than_mul() {
         let p = parse_src("fn f(x: i32) -> i64 { return x as i64 * 2i64; }");
         let Item::Fn(f) = &p.items[0] else { panic!() };
-        let Stmt::Return { value: Some(Expr::Bin { op: BinOp::Mul, lhs, .. }), .. } = &f.body[0]
+        let Stmt::Return {
+            value:
+                Some(Expr::Bin {
+                    op: BinOp::Mul,
+                    lhs,
+                    ..
+                }),
+            ..
+        } = &f.body[0]
         else {
             panic!()
         };
@@ -551,7 +683,9 @@ mod tests {
     fn while_with_break_continue() {
         let p = parse_src("fn f() { while (1) { break; continue; } }");
         let Item::Fn(f) = &p.items[0] else { panic!() };
-        let Stmt::While { body, .. } = &f.body[0] else { panic!() };
+        let Stmt::While { body, .. } = &f.body[0] else {
+            panic!()
+        };
         assert!(matches!(body[0], Stmt::Break { .. }));
         assert!(matches!(body[1], Stmt::Continue { .. }));
     }

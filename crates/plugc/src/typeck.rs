@@ -73,7 +73,11 @@ pub enum TStmt {
     /// Assign a module global.
     SetGlobal { idx: u32, value: TExpr },
     /// Two-armed conditional.
-    If { cond: TExpr, then_body: Vec<TStmt>, else_body: Vec<TStmt> },
+    If {
+        cond: TExpr,
+        then_body: Vec<TStmt>,
+        else_body: Vec<TStmt>,
+    },
     /// Pre-tested loop.
     While { cond: TExpr, body: Vec<TStmt> },
     /// Return.
@@ -105,7 +109,12 @@ pub enum TExprKind {
     /// Read a global by index.
     GlobalGet(u32),
     /// Binary operation on operands of `operand_ty`.
-    Bin { op: BinOp, operand_ty: Type, lhs: Box<TExpr>, rhs: Box<TExpr> },
+    Bin {
+        op: BinOp,
+        operand_ty: Type,
+        lhs: Box<TExpr>,
+        rhs: Box<TExpr>,
+    },
     /// Arithmetic negation.
     Neg(Box<TExpr>),
     /// Logical not (integer operand, i32 result).
@@ -115,7 +124,10 @@ pub enum TExprKind {
     /// Call a program function by Wasm function index (imports first).
     Call { index: u32, args: Vec<TExpr> },
     /// Call a compiler intrinsic.
-    Intrinsic { name: &'static str, args: Vec<TExpr> },
+    Intrinsic {
+        name: &'static str,
+        args: Vec<TExpr>,
+    },
 }
 
 /// Type-check and lower a parsed program.
@@ -189,16 +201,26 @@ impl Checker {
             return Err(sig.pos.err(format!("duplicate function `{}`", sig.name)));
         }
         if intrinsic(&sig.name).is_some() {
-            return Err(sig.pos.err(format!("`{}` shadows a builtin intrinsic", sig.name)));
+            return Err(sig
+                .pos
+                .err(format!("`{}` shadows a builtin intrinsic", sig.name)));
         }
         let params: Vec<Type> = sig.params.iter().map(|(_, t)| *t).collect();
         self.fn_table.insert(
             sig.name.clone(),
-            FnEntry { index: self.n_funcs, params: params.clone(), ret: sig.ret },
+            FnEntry {
+                index: self.n_funcs,
+                params: params.clone(),
+                ret: sig.ret,
+            },
         );
         self.n_funcs += 1;
         if is_import {
-            self.imports.push(TImport { name: sig.name.clone(), params, ret: sig.ret });
+            self.imports.push(TImport {
+                name: sig.name.clone(),
+                params,
+                ret: sig.ret,
+            });
         }
         Ok(())
     }
@@ -208,12 +230,16 @@ impl Checker {
             return Err(g.pos.err(format!("duplicate global `{}`", g.name)));
         }
         if g.init.ty() != g.ty {
-            return Err(g
-                .pos
-                .err(format!("global `{}` declared {} but initialized with {}", g.name, g.ty, g.init.ty())));
+            return Err(g.pos.err(format!(
+                "global `{}` declared {} but initialized with {}",
+                g.name,
+                g.ty,
+                g.init.ty()
+            )));
         }
         let idx = self.globals.len() as u32;
-        self.global_table.insert(g.name.clone(), (idx, g.ty, g.mutable));
+        self.global_table
+            .insert(g.name.clone(), (idx, g.ty, g.mutable));
         self.globals.push(TGlobal {
             name: g.name.clone(),
             ty: g.ty,
@@ -256,7 +282,12 @@ impl Checker {
 
     fn check_stmt(&self, stmt: &Stmt, ctx: &mut FnCtx) -> Result<TStmt, CompileError> {
         match stmt {
-            Stmt::Var { name, ty, init, pos } => {
+            Stmt::Var {
+                name,
+                ty,
+                init,
+                pos,
+            } => {
                 let value = self.check_expr(init, ctx)?;
                 expect_ty(&value, *ty, *pos)?;
                 let idx = ctx.locals.len() as u32;
@@ -282,7 +313,12 @@ impl Checker {
                     Err(pos.err(format!("unknown variable `{name}`")))
                 }
             }
-            Stmt::If { cond, then_body, else_body, pos } => {
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+                pos,
+            } => {
                 let cond = self.check_expr(cond, ctx)?;
                 expect_ty(&cond, Type::I32, *pos)?;
                 Ok(TStmt::If {
@@ -324,13 +360,19 @@ impl Checker {
             Stmt::Expr { expr, pos: _ } => {
                 let texpr = self.check_expr_allow_void(expr, ctx)?;
                 let has_value = texpr.ty.is_some();
-                Ok(TStmt::Expr { expr: texpr, has_value })
+                Ok(TStmt::Expr {
+                    expr: texpr,
+                    has_value,
+                })
             }
             Stmt::Block { body, pos: _ } => {
                 // Lower a bare block to an always-true if (no dedicated IR).
                 let body = self.check_block(body, ctx)?;
                 Ok(TStmt::If {
-                    cond: TExpr { ty: Some(Type::I32), kind: TExprKind::Lit(Literal::I32(1)) },
+                    cond: TExpr {
+                        ty: Some(Type::I32),
+                        kind: TExprKind::Lit(Literal::I32(1)),
+                    },
                     then_body: body,
                     else_body: Vec::new(),
                 })
@@ -349,7 +391,10 @@ impl Checker {
 
     fn check_expr_allow_void(&self, expr: &Expr, ctx: &FnCtx) -> Result<TExpr, CompileError> {
         match expr {
-            Expr::Lit(lit, _) => Ok(TExpr { ty: Some(lit.ty()), kind: TExprKind::Lit(*lit) }),
+            Expr::Lit(lit, _) => Ok(TExpr {
+                ty: Some(lit.ty()),
+                kind: TExprKind::Lit(*lit),
+            }),
             Expr::Ident(name, pos) => {
                 if let Some(idx) = ctx.lookup(name) {
                     Ok(TExpr {
@@ -357,7 +402,10 @@ impl Checker {
                         kind: TExprKind::LocalGet(idx),
                     })
                 } else if let Some(&(idx, ty, _)) = self.global_table.get(name) {
-                    Ok(TExpr { ty: Some(ty), kind: TExprKind::GlobalGet(idx) })
+                    Ok(TExpr {
+                        ty: Some(ty),
+                        kind: TExprKind::GlobalGet(idx),
+                    })
                 } else {
                     Err(pos.err(format!("unknown variable `{name}`")))
                 }
@@ -378,37 +426,58 @@ impl Checker {
                 if matches!(op, BinOp::LogicalAnd | BinOp::LogicalOr) && lt != Type::I32 {
                     return Err(pos.err(format!("{op:?} requires i32 operands, got {lt}")));
                 }
-                let result = if op.is_comparison() || matches!(op, BinOp::LogicalAnd | BinOp::LogicalOr)
-                {
-                    Type::I32
-                } else {
-                    lt
-                };
+                let result =
+                    if op.is_comparison() || matches!(op, BinOp::LogicalAnd | BinOp::LogicalOr) {
+                        Type::I32
+                    } else {
+                        lt
+                    };
                 Ok(TExpr {
                     ty: Some(result),
-                    kind: TExprKind::Bin { op: *op, operand_ty: lt, lhs: l.into(), rhs: r.into() },
+                    kind: TExprKind::Bin {
+                        op: *op,
+                        operand_ty: lt,
+                        lhs: l.into(),
+                        rhs: r.into(),
+                    },
                 })
             }
             Expr::Un { op, operand, pos } => {
                 let e = self.check_expr(operand, ctx)?;
                 let ty = e.ty.expect("checked");
                 match op {
-                    UnOp::Neg => Ok(TExpr { ty: Some(ty), kind: TExprKind::Neg(e.into()) }),
+                    UnOp::Neg => Ok(TExpr {
+                        ty: Some(ty),
+                        kind: TExprKind::Neg(e.into()),
+                    }),
                     UnOp::Not => {
                         if !ty.is_int() {
-                            return Err(pos.err(format!("`!` requires an integer operand, got {ty}")));
+                            return Err(
+                                pos.err(format!("`!` requires an integer operand, got {ty}"))
+                            );
                         }
-                        Ok(TExpr { ty: Some(Type::I32), kind: TExprKind::Not(e.into()) })
+                        Ok(TExpr {
+                            ty: Some(Type::I32),
+                            kind: TExprKind::Not(e.into()),
+                        })
                     }
                 }
             }
             Expr::Cast { expr, ty, pos: _ } => {
                 let e = self.check_expr(expr, ctx)?;
-                Ok(TExpr { ty: Some(*ty), kind: TExprKind::Cast { to: *ty, expr: e.into() } })
+                Ok(TExpr {
+                    ty: Some(*ty),
+                    kind: TExprKind::Cast {
+                        to: *ty,
+                        expr: e.into(),
+                    },
+                })
             }
             Expr::Call { name, args, pos } => {
-                let targs: Vec<TExpr> =
-                    args.iter().map(|a| self.check_expr(a, ctx)).collect::<Result<_, _>>()?;
+                let targs: Vec<TExpr> = args
+                    .iter()
+                    .map(|a| self.check_expr(a, ctx))
+                    .collect::<Result<_, _>>()?;
                 if let Some((iname, params, ret)) = intrinsic(name) {
                     if targs.len() != params.len() {
                         return Err(pos.err(format!(
@@ -422,7 +491,10 @@ impl Checker {
                     }
                     return Ok(TExpr {
                         ty: *ret,
-                        kind: TExprKind::Intrinsic { name: iname, args: targs },
+                        kind: TExprKind::Intrinsic {
+                            name: iname,
+                            args: targs,
+                        },
                     });
                 }
                 let entry = self
@@ -439,7 +511,13 @@ impl Checker {
                 for (a, p) in targs.iter().zip(entry.params.iter()) {
                     expect_ty(a, *p, *pos)?;
                 }
-                Ok(TExpr { ty: entry.ret, kind: TExprKind::Call { index: entry.index, args: targs } })
+                Ok(TExpr {
+                    ty: entry.ret,
+                    kind: TExprKind::Call {
+                        index: entry.index,
+                        args: targs,
+                    },
+                })
             }
         }
     }
@@ -506,10 +584,8 @@ mod tests {
 
     #[test]
     fn scoping_allows_shadowing_in_nested_blocks() {
-        let p = check_src(
-            "fn f() -> i32 { var x: i32 = 1; { var x: i32 = 2; x = 3; } return x; }",
-        )
-        .unwrap();
+        let p = check_src("fn f() -> i32 { var x: i32 = 1; { var x: i32 = 2; x = 3; } return x; }")
+            .unwrap();
         // Two distinct locals allocated.
         assert_eq!(p.funcs[0].locals.len(), 2);
     }
@@ -528,14 +604,15 @@ mod tests {
 
     #[test]
     fn extern_fns_take_first_indices() {
-        let p = check_src(
-            "extern fn h(x: i32);\nfn f() { h(1); }",
-        )
-        .unwrap();
+        let p = check_src("extern fn h(x: i32);\nfn f() { h(1); }").unwrap();
         assert_eq!(p.imports.len(), 1);
-        let TStmt::Expr { expr, has_value } = &p.funcs[0].body[0] else { panic!() };
+        let TStmt::Expr { expr, has_value } = &p.funcs[0].body[0] else {
+            panic!()
+        };
         assert!(!has_value);
-        let TExprKind::Call { index, .. } = &expr.kind else { panic!() };
+        let TExprKind::Call { index, .. } = &expr.kind else {
+            panic!()
+        };
         assert_eq!(*index, 0);
     }
 

@@ -11,18 +11,32 @@ fn instantiate(src: &str) -> Instance<Vec<i32>> {
     let bytes = compile(src).expect("compiles");
     let module = waran_wasm::load_module(&bytes).expect("validates");
     let mut linker: Linker<Vec<i32>> = Linker::new();
-    linker.func("env", "host_log", &[ValType::I32], &[], |log, _mem, args| {
-        log.push(args[0].as_i32());
-        Ok(None)
-    });
-    linker.func("env", "host_rand", &[], &[ValType::I32], |_log, _mem, _args| {
-        Ok(Some(Value::I32(4))) // chosen by fair dice roll
-    });
+    linker.func(
+        "env",
+        "host_log",
+        &[ValType::I32],
+        &[],
+        |log, _mem, args| {
+            log.push(args[0].as_i32());
+            Ok(None)
+        },
+    );
+    linker.func(
+        "env",
+        "host_rand",
+        &[],
+        &[ValType::I32],
+        |_log, _mem, _args| {
+            Ok(Some(Value::I32(4))) // chosen by fair dice roll
+        },
+    );
     Instance::new(module.into(), &linker, Vec::new()).expect("instantiates")
 }
 
 fn run(src: &str, func: &str, args: &[Value]) -> Option<Value> {
-    instantiate(src).invoke(func, args).expect("runs without trapping")
+    instantiate(src)
+        .invoke(func, args)
+        .expect("runs without trapping")
 }
 
 #[test]
@@ -43,7 +57,10 @@ fn fibonacci_iterative() {
     "#;
     assert_eq!(run(src, "fib", &[Value::I32(0)]), Some(Value::I64(0)));
     assert_eq!(run(src, "fib", &[Value::I32(10)]), Some(Value::I64(55)));
-    assert_eq!(run(src, "fib", &[Value::I32(50)]), Some(Value::I64(12586269025)));
+    assert_eq!(
+        run(src, "fib", &[Value::I32(50)]),
+        Some(Value::I64(12586269025))
+    );
 }
 
 #[test]
@@ -54,7 +71,10 @@ fn recursion_gcd() {
             return gcd(b, a % b);
         }
     "#;
-    assert_eq!(run(src, "gcd", &[Value::I32(48), Value::I32(18)]), Some(Value::I32(6)));
+    assert_eq!(
+        run(src, "gcd", &[Value::I32(48), Value::I32(18)]),
+        Some(Value::I32(6))
+    );
 }
 
 #[test]
@@ -115,10 +135,22 @@ fn short_circuit_semantics() {
         }
     "#;
     let mut inst = instantiate(src);
-    assert_eq!(inst.invoke("safe_div", &[Value::I32(10), Value::I32(0)]), Ok(Some(Value::I32(0))));
-    assert_eq!(inst.invoke("safe_div", &[Value::I32(10), Value::I32(2)]), Ok(Some(Value::I32(1))));
-    assert_eq!(inst.invoke("safe_or", &[Value::I32(0)]), Ok(Some(Value::I32(1))));
-    assert_eq!(inst.invoke("safe_or", &[Value::I32(5)]), Ok(Some(Value::I32(1))));
+    assert_eq!(
+        inst.invoke("safe_div", &[Value::I32(10), Value::I32(0)]),
+        Ok(Some(Value::I32(0)))
+    );
+    assert_eq!(
+        inst.invoke("safe_div", &[Value::I32(10), Value::I32(2)]),
+        Ok(Some(Value::I32(1)))
+    );
+    assert_eq!(
+        inst.invoke("safe_or", &[Value::I32(0)]),
+        Ok(Some(Value::I32(1)))
+    );
+    assert_eq!(
+        inst.invoke("safe_or", &[Value::I32(5)]),
+        Ok(Some(Value::I32(1)))
+    );
 }
 
 #[test]
@@ -136,8 +168,14 @@ fn casts_between_all_types() {
     "#;
     assert_eq!(run(src, "f", &[Value::I32(21)]), Some(Value::F64(42.0)));
     // Float→int casts saturate, never trap.
-    assert_eq!(run(src, "sat", &[Value::F64(1e18)]), Some(Value::I32(i32::MAX)));
-    assert_eq!(run(src, "sat", &[Value::F64(f64::NAN)]), Some(Value::I32(0)));
+    assert_eq!(
+        run(src, "sat", &[Value::F64(1e18)]),
+        Some(Value::I32(i32::MAX))
+    );
+    assert_eq!(
+        run(src, "sat", &[Value::F64(f64::NAN)]),
+        Some(Value::I32(0))
+    );
 }
 
 #[test]
@@ -191,7 +229,10 @@ fn math_intrinsics() {
         }
     "#;
     // sqrt(16)=4 min=2.5 max=16 abs=16 floor=2 ceil=3 => 43.5
-    assert_eq!(run(src, "f", &[Value::F64(16.0), Value::F64(2.5)]), Some(Value::F64(43.5)));
+    assert_eq!(
+        run(src, "f", &[Value::F64(16.0), Value::F64(2.5)]),
+        Some(Value::F64(43.5))
+    );
 }
 
 #[test]
@@ -235,7 +276,10 @@ fn falling_off_value_function_traps() {
 fn division_by_zero_traps() {
     let src = "export fn f(a: i32, b: i32) -> i32 { return a / b; }";
     let mut inst = instantiate(src);
-    assert_eq!(inst.invoke("f", &[Value::I32(1), Value::I32(0)]), Err(Trap::IntegerDivByZero));
+    assert_eq!(
+        inst.invoke("f", &[Value::I32(1), Value::I32(0)]),
+        Err(Trap::IntegerDivByZero)
+    );
 }
 
 #[test]
@@ -244,10 +288,16 @@ fn out_of_bounds_load_traps_and_instance_survives() {
         export fn peek(p: i32) -> i32 { return load_i32(p); }
     "#;
     let mut inst = instantiate(src);
-    assert_eq!(inst.invoke("peek", &[Value::I32(0)]), Ok(Some(Value::I32(0))));
+    assert_eq!(
+        inst.invoke("peek", &[Value::I32(0)]),
+        Ok(Some(Value::I32(0)))
+    );
     let e = inst.invoke("peek", &[Value::I32(100_000_000)]).unwrap_err();
     assert!(matches!(e, Trap::MemoryOutOfBounds { .. }));
-    assert_eq!(inst.invoke("peek", &[Value::I32(4)]), Ok(Some(Value::I32(0))));
+    assert_eq!(
+        inst.invoke("peek", &[Value::I32(4)]),
+        Ok(Some(Value::I32(0)))
+    );
 }
 
 #[test]
@@ -305,8 +355,12 @@ fn scheduler_shaped_program() {
     let recs: [(f64, f64); 3] = [(10.0, 10.0), (8.0, 1.0), (20.0, 40.0)];
     for (i, (rate, avg)) in recs.iter().enumerate() {
         let base = 4096 + i as u32 * 16;
-        inst.memory_mut().write_bytes(base, &rate.to_le_bytes()).unwrap();
-        inst.memory_mut().write_bytes(base + 8, &avg.to_le_bytes()).unwrap();
+        inst.memory_mut()
+            .write_bytes(base, &rate.to_le_bytes())
+            .unwrap();
+        inst.memory_mut()
+            .write_bytes(base + 8, &avg.to_le_bytes())
+            .unwrap();
     }
     // PF metric: 1.0, 8.0, 0.5 → index 1 wins.
     assert_eq!(
@@ -359,6 +413,10 @@ fn deeply_nested_control_flow_compiles() {
         acc
     };
     for x in [0, 1, 7, 20, 50] {
-        assert_eq!(run(src, "f", &[Value::I32(x)]), Some(Value::I32(native(x))), "x={x}");
+        assert_eq!(
+            run(src, "f", &[Value::I32(x)]),
+            Some(Value::I32(native(x))),
+            "x={x}"
+        );
     }
 }

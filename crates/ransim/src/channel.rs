@@ -24,7 +24,9 @@ pub struct StaticChannel {
 impl StaticChannel {
     /// Constant-CQI channel.
     pub fn new(cqi: u8) -> Self {
-        StaticChannel { cqi: cqi.clamp(1, MAX_CQI) }
+        StaticChannel {
+            cqi: cqi.clamp(1, MAX_CQI),
+        }
     }
 }
 
@@ -86,7 +88,12 @@ pub struct MarkovFadingChannel {
 impl MarkovFadingChannel {
     /// Channel with the given mean SNR, shadowing σ and correlation ρ.
     pub fn new(mean_snr_db: f64, sigma_db: f64, rho: f64) -> Self {
-        MarkovFadingChannel { mean_snr_db, sigma_db, rho: rho.clamp(0.0, 0.9999), state_db: 0.0 }
+        MarkovFadingChannel {
+            mean_snr_db,
+            sigma_db,
+            rho: rho.clamp(0.0, 0.9999),
+            state_db: 0.0,
+        }
     }
 
     /// A "good urban" profile: 22 dB mean, 3 dB σ, ρ = 0.98.
@@ -137,7 +144,10 @@ impl DistanceChannel {
         let d = distance_m.max(1.0);
         // SNR(d) = 38 dB at 10 m, −35 dB/decade.
         let mean_snr = 38.0 - 35.0 * (d / 10.0).log10();
-        DistanceChannel { inner: MarkovFadingChannel::new(mean_snr, 3.0, 0.98), distance_m: d }
+        DistanceChannel {
+            inner: MarkovFadingChannel::new(mean_snr, 3.0, 0.98),
+            distance_m: d,
+        }
     }
 }
 

@@ -43,18 +43,29 @@ pub struct SliceConfig {
 impl SliceConfig {
     /// Best-effort slice.
     pub fn best_effort(name: &str) -> Self {
-        SliceConfig { name: name.to_string(), target_bps: None, weight: 1.0 }
+        SliceConfig {
+            name: name.to_string(),
+            target_bps: None,
+            weight: 1.0,
+        }
     }
 
     /// Slice with a target rate in Mb/s.
     pub fn with_target_mbps(name: &str, mbps: f64) -> Self {
-        SliceConfig { name: name.to_string(), target_bps: Some(mbps * 1e6), weight: 1.0 }
+        SliceConfig {
+            name: name.to_string(),
+            target_bps: Some(mbps * 1e6),
+            weight: 1.0,
+        }
     }
 }
 
 /// gNB-wide configuration.
 #[derive(Debug, Clone)]
 pub struct GnbConfig {
+    /// Cell identity, used by multi-cell scenarios to tell the gNBs of a
+    /// deployment apart (reports, traces, per-cell seeds).
+    pub cell_id: u32,
     /// Carrier (bandwidth + numerology).
     pub carrier: Carrier,
     /// RNG seed (simulations are deterministic given a seed).
@@ -71,6 +82,7 @@ pub struct GnbConfig {
 impl Default for GnbConfig {
     fn default() -> Self {
         GnbConfig {
+            cell_id: 0,
             carrier: Carrier::paper_testbed(),
             seed: 1,
             pf_time_constant_slots: 1000.0,
@@ -121,7 +133,15 @@ impl Gnb {
         let slot_seconds = config.carrier.numerology.slot_seconds();
         let metrics = MetricsRecorder::new(config.metrics_window_slots, slot_seconds);
         let rng = StdRng::seed_from_u64(config.seed);
-        Gnb { config, slices: Vec::new(), inter, slot: 0, rng, metrics, next_ue_id: 70 }
+        Gnb {
+            config,
+            slices: Vec::new(),
+            inter,
+            slot: 0,
+            rng,
+            metrics,
+            next_ue_id: 70,
+        }
     }
 
     /// Add a slice with its intra-slice scheduler; returns the slice id.
@@ -165,6 +185,11 @@ impl Gnb {
         self.slot
     }
 
+    /// The cell identity this gNB was configured with.
+    pub fn cell_id(&self) -> u32 {
+        self.config.cell_id
+    }
+
     /// Slot duration in seconds.
     pub fn slot_seconds(&self) -> f64 {
         self.config.carrier.numerology.slot_seconds()
@@ -182,7 +207,9 @@ impl Gnb {
 
     /// Name of the scheduler currently driving a slice.
     pub fn scheduler_name(&self, slice_id: u32) -> Option<String> {
-        self.slices.get(slice_id as usize).map(|s| s.scheduler.name().to_string())
+        self.slices
+            .get(slice_id as usize)
+            .map(|s| s.scheduler.name().to_string())
     }
 
     /// UE ids attached to a slice.
@@ -278,12 +305,14 @@ impl Gnb {
             .map(|s| {
                 let backlogged: Vec<&UeState> =
                     s.ues.iter().filter(|u| u.buffer_bytes > 0).collect();
-                let demand_bits: f64 =
-                    backlogged.iter().map(|u| u.buffer_bytes as f64 * 8.0).sum();
+                let demand_bits: f64 = backlogged.iter().map(|u| u.buffer_bytes as f64 * 8.0).sum();
                 let mean_prb_bits = if backlogged.is_empty() {
                     0.0
                 } else {
-                    backlogged.iter().map(|u| u.prb_capacity_bits() as f64).sum::<f64>()
+                    backlogged
+                        .iter()
+                        .map(|u| u.prb_capacity_bits() as f64)
+                        .sum::<f64>()
                         / backlogged.len() as f64
                 };
                 SliceDemand {
@@ -438,7 +467,10 @@ mod tests {
     #[test]
     fn cbr_below_capacity_fully_served() {
         let mut gnb = basic_gnb();
-        let s = gnb.add_slice(SliceConfig::best_effort("s"), Box::new(ProportionalFair::new()));
+        let s = gnb.add_slice(
+            SliceConfig::best_effort("s"),
+            Box::new(ProportionalFair::new()),
+        );
         gnb.add_ue(s, Box::new(StaticChannel::new(12)), Box::new(Cbr::new(5e6)));
         gnb.run_seconds(3.0);
         let rate = gnb.metrics().slice_mean_mbps(s);
@@ -448,7 +480,10 @@ mod tests {
     #[test]
     fn mt_starves_worst_channel_under_contention() {
         let mut gnb = basic_gnb();
-        let s = gnb.add_slice(SliceConfig::best_effort("s"), Box::new(MaxThroughput::new()));
+        let s = gnb.add_slice(
+            SliceConfig::best_effort("s"),
+            Box::new(MaxThroughput::new()),
+        );
         let good = gnb.add_ue(s, Box::new(FixedMcsChannel::new(28)), Box::new(FullBuffer));
         let bad = gnb.add_ue(s, Box::new(FixedMcsChannel::new(10)), Box::new(FullBuffer));
         gnb.run_seconds(2.0);
@@ -461,7 +496,10 @@ mod tests {
     #[test]
     fn pf_shares_under_contention() {
         let mut gnb = basic_gnb();
-        let s = gnb.add_slice(SliceConfig::best_effort("s"), Box::new(ProportionalFair::new()));
+        let s = gnb.add_slice(
+            SliceConfig::best_effort("s"),
+            Box::new(ProportionalFair::new()),
+        );
         let good = gnb.add_ue(s, Box::new(FixedMcsChannel::new(28)), Box::new(FullBuffer));
         let bad = gnb.add_ue(s, Box::new(FixedMcsChannel::new(10)), Box::new(FullBuffer));
         gnb.run_seconds(3.0);
@@ -501,7 +539,10 @@ mod tests {
     #[test]
     fn hot_swap_takes_effect() {
         let mut gnb = basic_gnb();
-        let s = gnb.add_slice(SliceConfig::best_effort("s"), Box::new(MaxThroughput::new()));
+        let s = gnb.add_slice(
+            SliceConfig::best_effort("s"),
+            Box::new(MaxThroughput::new()),
+        );
         let good = gnb.add_ue(s, Box::new(FixedMcsChannel::new(28)), Box::new(FullBuffer));
         let bad = gnb.add_ue(s, Box::new(FixedMcsChannel::new(10)), Box::new(FullBuffer));
         let _ = good;
@@ -521,7 +562,10 @@ mod tests {
     struct AlwaysFaults;
     impl SliceScheduler for AlwaysFaults {
         fn schedule(&mut self, _req: &SchedRequest) -> Result<SchedResponse, SchedulerFault> {
-            Err(SchedulerFault { code: "test".into(), detail: "boom".into() })
+            Err(SchedulerFault {
+                code: "test".into(),
+                detail: "boom".into(),
+            })
         }
         fn name(&self) -> &str {
             "always-faults"
@@ -549,9 +593,21 @@ mod tests {
             let ue = req.ues[0].ue_id;
             Ok(SchedResponse {
                 allocs: vec![
-                    waran_abi::sched::Allocation { ue_id: ue, prbs: (req.prbs_granted * 10) as u16, priority: 0 },
-                    waran_abi::sched::Allocation { ue_id: ue, prbs: 50, priority: 1 },
-                    waran_abi::sched::Allocation { ue_id: 9999, prbs: 50, priority: 2 },
+                    waran_abi::sched::Allocation {
+                        ue_id: ue,
+                        prbs: (req.prbs_granted * 10) as u16,
+                        priority: 0,
+                    },
+                    waran_abi::sched::Allocation {
+                        ue_id: ue,
+                        prbs: 50,
+                        priority: 1,
+                    },
+                    waran_abi::sched::Allocation {
+                        ue_id: 9999,
+                        prbs: 50,
+                        priority: 2,
+                    },
                 ],
             })
         }
@@ -579,9 +635,19 @@ mod tests {
     #[test]
     fn determinism_same_seed() {
         let run = |seed: u64| {
-            let mut gnb = Gnb::new(GnbConfig { seed, ..GnbConfig::default() });
-            let s = gnb.add_slice(SliceConfig::best_effort("s"), Box::new(ProportionalFair::new()));
-            let ue = gnb.add_ue(s, Box::new(crate::channel::MarkovFadingChannel::good()), Box::new(FullBuffer));
+            let mut gnb = Gnb::new(GnbConfig {
+                seed,
+                ..GnbConfig::default()
+            });
+            let s = gnb.add_slice(
+                SliceConfig::best_effort("s"),
+                Box::new(ProportionalFair::new()),
+            );
+            let ue = gnb.add_ue(
+                s,
+                Box::new(crate::channel::MarkovFadingChannel::good()),
+                Box::new(FullBuffer),
+            );
             gnb.run(2000);
             (gnb.metrics().ue_mean_mbps(ue) * 1e6) as u64
         };
@@ -599,7 +665,10 @@ mod tests {
     #[test]
     fn slice_with_no_traffic_uses_no_prbs() {
         let mut gnb = basic_gnb();
-        let s = gnb.add_slice(SliceConfig::best_effort("idle"), Box::new(RoundRobin::new()));
+        let s = gnb.add_slice(
+            SliceConfig::best_effort("idle"),
+            Box::new(RoundRobin::new()),
+        );
         gnb.add_ue(s, Box::new(StaticChannel::new(12)), Box::new(Cbr::new(0.0)));
         gnb.run_seconds(1.0);
         assert_eq!(gnb.metrics().slice_mean_mbps(s), 0.0);

@@ -65,7 +65,7 @@ impl MetricsRecorder {
         self.prbs_used_window += prbs_used as u64;
         self.prbs_total_window += prbs_total as u64;
         self.slot += 1;
-        if self.slot % self.window_slots == 0 {
+        if self.slot.is_multiple_of(self.window_slots) {
             let window_s = self.window_slots as f64 * self.slot_seconds;
             for (ue, series) in self.ue_series.iter_mut() {
                 let bits = self.ue_window_bits.get(ue).copied().unwrap_or(0);
@@ -99,7 +99,10 @@ impl MetricsRecorder {
 
     /// Throughput series (Mb/s per window) for a slice.
     pub fn slice_series_mbps(&self, slice_id: u32) -> &[f64] {
-        self.slice_series.get(&slice_id).map(Vec::as_slice).unwrap_or(&[])
+        self.slice_series
+            .get(&slice_id)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 
     /// PRB utilization per window (0..1).

@@ -59,7 +59,10 @@ pub struct Carrier {
 impl Carrier {
     /// The paper's testbed: FDD band n3, 10 MHz, 15 kHz SCS.
     pub fn paper_testbed() -> Carrier {
-        Carrier { bandwidth_mhz: 10, numerology: Numerology::Mu0 }
+        Carrier {
+            bandwidth_mhz: 10,
+            numerology: Numerology::Mu0,
+        }
     }
 
     /// Number of PRBs in the grid (3GPP TS 38.101-1 Table 5.3.2-1 for FR1).
@@ -93,8 +96,8 @@ pub const MAX_CQI: u8 = 15;
 const MCS_EFFICIENCY: [f64; 29] = [
     0.2344, 0.3066, 0.3770, 0.4902, 0.6016, 0.7402, 0.8770, 1.0273, 1.1758, 1.3262, // QPSK
     1.3281, 1.4844, 1.6953, 1.9141, 2.1602, 2.4063, // 16QAM
-    2.5703, 2.7305, 3.0293, 3.3223, 3.6094, 3.9023, 4.2129, 4.5234, 4.8164, 5.1152, 5.3320,
-    5.5547, 5.8906, // 64QAM
+    2.5703, 2.7305, 3.0293, 3.3223, 3.6094, 3.9023, 4.2129, 4.5234, 4.8164, 5.1152, 5.3320, 5.5547,
+    5.8906, // 64QAM
 ];
 
 /// CQI → spectral efficiency (TS 38.214 Table 5.2.2.1-2; index 0 = out of
@@ -200,7 +203,10 @@ mod tests {
 
     #[test]
     fn fallback_prb_computation() {
-        let c = Carrier { bandwidth_mhz: 25, numerology: Numerology::Mu0 };
+        let c = Carrier {
+            bandwidth_mhz: 25,
+            numerology: Numerology::Mu0,
+        };
         let prbs = c.num_prbs();
         assert!(prbs > 100 && prbs < 140);
     }

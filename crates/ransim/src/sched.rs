@@ -86,7 +86,11 @@ impl SliceScheduler for RoundRobin {
             spill = quota - give;
             remaining -= give;
             if give > 0 {
-                allocs.push(Allocation { ue_id: ue.ue_id, prbs: give as u16, priority: i as u8 });
+                allocs.push(Allocation {
+                    ue_id: ue.ue_id,
+                    prbs: give as u16,
+                    priority: i as u8,
+                });
             }
         }
         Ok(SchedResponse { allocs })
@@ -150,7 +154,11 @@ impl SliceScheduler for ProportionalFair {
         let mut order: Vec<usize> = (0..req.ues.len())
             .filter(|i| req.ues[*i].buffer_bytes > 0)
             .collect();
-        order.sort_by(|a, b| metric(*b).partial_cmp(&metric(*a)).expect("metric is finite"));
+        order.sort_by(|a, b| {
+            metric(*b)
+                .partial_cmp(&metric(*a))
+                .expect("metric is finite")
+        });
         Ok(greedy_fill(req, &order))
     }
 
@@ -180,7 +188,11 @@ impl SliceScheduler for MaxWeight {
         let mut order: Vec<usize> = (0..req.ues.len())
             .filter(|i| req.ues[*i].buffer_bytes > 0)
             .collect();
-        order.sort_by(|a, b| weight(*b).partial_cmp(&weight(*a)).expect("weight is finite"));
+        order.sort_by(|a, b| {
+            weight(*b)
+                .partial_cmp(&weight(*a))
+                .expect("weight is finite")
+        });
         Ok(greedy_fill(req, &order))
     }
 
@@ -231,7 +243,12 @@ mod tests {
     }
 
     fn req(prbs: u32, ues: Vec<UeInfo>) -> SchedRequest {
-        SchedRequest { slot: 0, prbs_granted: prbs, slice_id: 0, ues }
+        SchedRequest {
+            slot: 0,
+            prbs_granted: prbs,
+            slice_id: 0,
+            ues,
+        }
     }
 
     #[test]
@@ -247,7 +264,11 @@ mod tests {
     #[test]
     fn rr_rotation_cycles_remainder() {
         let mut rr = RoundRobin::new();
-        let ues = vec![ue(1, 1 << 20, 500.0, 0.0), ue(2, 1 << 20, 500.0, 0.0), ue(3, 1 << 20, 500.0, 0.0)];
+        let ues = vec![
+            ue(1, 1 << 20, 500.0, 0.0),
+            ue(2, 1 << 20, 500.0, 0.0),
+            ue(3, 1 << 20, 500.0, 0.0),
+        ];
         let r = req(10, ues);
         // 10 = 4+3+3; the head of rotation changes every slot.
         let first: Vec<u32> = (0..3)
@@ -277,7 +298,13 @@ mod tests {
         // UE 1 needs 1 PRB only (50 bytes at 500 bits/PRB); UE 2 is greedy.
         let r = req(10, vec![ue(1, 50, 500.0, 0.0), ue(2, 1 << 20, 500.0, 0.0)]);
         let resp = rr.schedule(&r).unwrap();
-        let get = |id| resp.allocs.iter().find(|a| a.ue_id == id).map(|a| a.prbs).unwrap_or(0);
+        let get = |id| {
+            resp.allocs
+                .iter()
+                .find(|a| a.ue_id == id)
+                .map(|a| a.prbs)
+                .unwrap_or(0)
+        };
         assert_eq!(get(1), 1);
         assert_eq!(get(2), 9);
     }
@@ -287,7 +314,11 @@ mod tests {
         let mut mt = MaxThroughput::new();
         let r = req(
             10,
-            vec![ue(1, 1 << 20, 300.0, 0.0), ue(2, 1 << 20, 800.0, 0.0), ue(3, 1 << 20, 500.0, 0.0)],
+            vec![
+                ue(1, 1 << 20, 300.0, 0.0),
+                ue(2, 1 << 20, 800.0, 0.0),
+                ue(3, 1 << 20, 500.0, 0.0),
+            ],
         );
         let resp = mt.schedule(&r).unwrap();
         // All PRBs go to UE 2 (its buffer needs more than 10 PRBs).
@@ -302,7 +333,13 @@ mod tests {
         // UE 2 only needs 2 PRBs (1000 bits of buffer at 800 bits/PRB).
         let r = req(10, vec![ue(1, 1 << 20, 300.0, 0.0), ue(2, 125, 800.0, 0.0)]);
         let resp = mt.schedule(&r).unwrap();
-        let get = |id| resp.allocs.iter().find(|a| a.ue_id == id).map(|a| a.prbs).unwrap_or(0);
+        let get = |id| {
+            resp.allocs
+                .iter()
+                .find(|a| a.ue_id == id)
+                .map(|a| a.prbs)
+                .unwrap_or(0)
+        };
         assert_eq!(get(2), 2);
         assert_eq!(get(1), 8);
     }
@@ -325,7 +362,10 @@ mod tests {
         let mut pf = ProportionalFair::new();
         // UE 1: great channel, high average. UE 2: poor channel, low average.
         // metric(1) = 800/8e6, metric(2) = 300/1e6 -> UE 2 wins.
-        let r = req(10, vec![ue(1, 1 << 20, 800.0, 8e6), ue(2, 1 << 20, 300.0, 1e6)]);
+        let r = req(
+            10,
+            vec![ue(1, 1 << 20, 800.0, 8e6), ue(2, 1 << 20, 300.0, 1e6)],
+        );
         let resp = pf.schedule(&r).unwrap();
         assert_eq!(resp.allocs[0].ue_id, 2);
     }
@@ -341,7 +381,11 @@ mod tests {
     #[test]
     fn zero_grant_or_no_ues() {
         let mut rr = RoundRobin::new();
-        assert!(rr.schedule(&req(0, vec![ue(1, 100, 500.0, 0.0)])).unwrap().allocs.is_empty());
+        assert!(rr
+            .schedule(&req(0, vec![ue(1, 100, 500.0, 0.0)]))
+            .unwrap()
+            .allocs
+            .is_empty());
         assert!(rr.schedule(&req(10, vec![])).unwrap().allocs.is_empty());
         let mut pf = ProportionalFair::new();
         assert!(pf.schedule(&req(10, vec![])).unwrap().allocs.is_empty());

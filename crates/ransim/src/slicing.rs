@@ -51,17 +51,21 @@ impl InterSliceScheduler for FixedShare {
             .map(|d| ((d.weight.max(0.0) / total_weight) * total_prbs as f64).floor() as u32)
             .collect();
         // Distribute the rounding remainder by weight order.
-        let mut used: u32 = grants.iter().sum();
+        let used: u32 = grants.iter().sum();
+        let mut remainder = total_prbs.saturating_sub(used);
         let mut order: Vec<usize> = (0..demands.len()).collect();
         order.sort_by(|a, b| {
-            demands[*b].weight.partial_cmp(&demands[*a].weight).expect("finite weights")
+            demands[*b]
+                .weight
+                .partial_cmp(&demands[*a].weight)
+                .expect("finite weights")
         });
         for &i in order.iter().cycle().take(demands.len() * 2) {
-            if used >= total_prbs {
+            if remainder == 0 {
                 break;
             }
             grants[i] += 1;
-            used += 1;
+            remainder -= 1;
         }
         grants
     }
@@ -143,8 +147,8 @@ impl InterSliceScheduler for TargetRate {
             if total_weight > 0.0 {
                 let pool = remaining;
                 for &i in &be {
-                    let share = ((demands[i].weight.max(0.0) / total_weight) * pool as f64)
-                        .floor() as u32;
+                    let share =
+                        ((demands[i].weight.max(0.0) / total_weight) * pool as f64).floor() as u32;
                     let need =
                         (demands[i].demand_bits / demands[i].mean_prb_bits.max(1.0)).ceil() as u32;
                     let give = share.min(need).min(remaining);
@@ -281,7 +285,10 @@ mod tests {
     #[test]
     fn zero_demand_zero_grant() {
         let mut tr = TargetRate::new();
-        let grants = tr.allocate(52, &[demand(0, Some(5e6), 0.0, 1e9), demand(1, None, 0.0, 0.0)]);
+        let grants = tr.allocate(
+            52,
+            &[demand(0, Some(5e6), 0.0, 1e9), demand(1, None, 0.0, 0.0)],
+        );
         assert_eq!(grants, vec![0, 0]);
     }
 }

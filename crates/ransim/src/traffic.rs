@@ -6,8 +6,7 @@ use rand::Rng;
 /// A per-UE downlink traffic source.
 pub trait TrafficSource: Send {
     /// Bytes arriving during this slot.
-    fn bytes_for_slot(&mut self, slot: u64, slot_seconds: f64, rng: &mut dyn rand::RngCore)
-        -> u64;
+    fn bytes_for_slot(&mut self, slot: u64, slot_seconds: f64, rng: &mut dyn rand::RngCore) -> u64;
 
     /// Short name for reports.
     fn name(&self) -> &'static str;
@@ -19,7 +18,12 @@ pub trait TrafficSource: Send {
 pub struct FullBuffer;
 
 impl TrafficSource for FullBuffer {
-    fn bytes_for_slot(&mut self, _slot: u64, _slot_seconds: f64, _rng: &mut dyn rand::RngCore) -> u64 {
+    fn bytes_for_slot(
+        &mut self,
+        _slot: u64,
+        _slot_seconds: f64,
+        _rng: &mut dyn rand::RngCore,
+    ) -> u64 {
         // Enough to outpace any 10 MHz carrier (1 Gb/s worth per second).
         125_000
     }
@@ -41,12 +45,20 @@ pub struct Cbr {
 impl Cbr {
     /// CBR source at `rate_bps`.
     pub fn new(rate_bps: f64) -> Self {
-        Cbr { rate_bps, carry: 0.0 }
+        Cbr {
+            rate_bps,
+            carry: 0.0,
+        }
     }
 }
 
 impl TrafficSource for Cbr {
-    fn bytes_for_slot(&mut self, _slot: u64, slot_seconds: f64, _rng: &mut dyn rand::RngCore) -> u64 {
+    fn bytes_for_slot(
+        &mut self,
+        _slot: u64,
+        slot_seconds: f64,
+        _rng: &mut dyn rand::RngCore,
+    ) -> u64 {
         let exact = self.rate_bps * slot_seconds / 8.0 + self.carry;
         let whole = exact.floor();
         self.carry = exact - whole;
@@ -70,12 +82,20 @@ pub struct PoissonPackets {
 impl PoissonPackets {
     /// Poisson source.
     pub fn new(pkts_per_sec: f64, pkt_bytes: u64) -> Self {
-        PoissonPackets { pkts_per_sec, pkt_bytes }
+        PoissonPackets {
+            pkts_per_sec,
+            pkt_bytes,
+        }
     }
 }
 
 impl TrafficSource for PoissonPackets {
-    fn bytes_for_slot(&mut self, _slot: u64, slot_seconds: f64, rng: &mut dyn rand::RngCore) -> u64 {
+    fn bytes_for_slot(
+        &mut self,
+        _slot: u64,
+        slot_seconds: f64,
+        rng: &mut dyn rand::RngCore,
+    ) -> u64 {
         // Knuth's algorithm is fine at per-slot λ ≪ 100.
         let lambda = self.pkts_per_sec * slot_seconds;
         let l = (-lambda).exp();
@@ -117,17 +137,33 @@ pub struct OnOff {
 impl OnOff {
     /// On/off source starting in the off state.
     pub fn new(rate_bps: f64, mean_on_s: f64, mean_off_s: f64) -> Self {
-        OnOff { rate_bps, mean_on_s, mean_off_s, on: false, remaining_s: 0.0, carry: 0.0 }
+        OnOff {
+            rate_bps,
+            mean_on_s,
+            mean_off_s,
+            on: false,
+            remaining_s: 0.0,
+            carry: 0.0,
+        }
     }
 }
 
 impl TrafficSource for OnOff {
-    fn bytes_for_slot(&mut self, _slot: u64, slot_seconds: f64, rng: &mut dyn rand::RngCore) -> u64 {
+    fn bytes_for_slot(
+        &mut self,
+        _slot: u64,
+        slot_seconds: f64,
+        rng: &mut dyn rand::RngCore,
+    ) -> u64 {
         let r = rng;
         self.remaining_s -= slot_seconds;
         if self.remaining_s <= 0.0 {
             self.on = !self.on;
-            let mean = if self.on { self.mean_on_s } else { self.mean_off_s };
+            let mean = if self.on {
+                self.mean_on_s
+            } else {
+                self.mean_off_s
+            };
             // Exponential via inverse CDF.
             let u: f64 = r.gen_range(f64::MIN_POSITIVE..1.0);
             self.remaining_s = -mean * u.ln();
@@ -166,7 +202,9 @@ mod tests {
     fn cbr_rate_is_exact_over_time() {
         let mut t = Cbr::new(12e6); // 12 Mb/s
         let mut rng = StdRng::seed_from_u64(1);
-        let total: u64 = (0..10_000).map(|s| t.bytes_for_slot(s, SLOT, &mut rng)).sum();
+        let total: u64 = (0..10_000)
+            .map(|s| t.bytes_for_slot(s, SLOT, &mut rng))
+            .sum();
         // 10 s at 12 Mb/s = 15 MB.
         let expected = 12e6 * 10.0 / 8.0;
         assert!((total as f64 - expected).abs() < 10.0, "total {total}");
@@ -185,17 +223,24 @@ mod tests {
     fn poisson_mean_matches() {
         let mut t = PoissonPackets::new(1000.0, 100);
         let mut rng = StdRng::seed_from_u64(42);
-        let total: u64 = (0..20_000).map(|s| t.bytes_for_slot(s, SLOT, &mut rng)).sum();
+        let total: u64 = (0..20_000)
+            .map(|s| t.bytes_for_slot(s, SLOT, &mut rng))
+            .sum();
         // 20 s × 1000 pkt/s × 100 B = 2 MB, ±5%.
         let expected = 2_000_000.0;
-        assert!((total as f64 - expected).abs() < expected * 0.05, "total {total}");
+        assert!(
+            (total as f64 - expected).abs() < expected * 0.05,
+            "total {total}"
+        );
     }
 
     #[test]
     fn onoff_duty_cycle() {
         let mut t = OnOff::new(10e6, 0.5, 0.5);
         let mut rng = StdRng::seed_from_u64(7);
-        let total: u64 = (0..60_000).map(|s| t.bytes_for_slot(s, SLOT, &mut rng)).sum();
+        let total: u64 = (0..60_000)
+            .map(|s| t.bytes_for_slot(s, SLOT, &mut rng))
+            .sum();
         // ~50% duty cycle of 10 Mb/s over 60 s ≈ 37.5 MB, very loosely.
         let expected = 37_500_000.0;
         assert!(

@@ -33,7 +33,11 @@ pub struct UeState {
 
 impl UeState {
     /// New UE with an empty buffer.
-    pub fn new(ue_id: u32, channel: Box<dyn ChannelModel>, traffic: Box<dyn TrafficSource>) -> Self {
+    pub fn new(
+        ue_id: u32,
+        channel: Box<dyn ChannelModel>,
+        traffic: Box<dyn TrafficSource>,
+    ) -> Self {
         UeState {
             ue_id,
             channel,
@@ -91,7 +95,12 @@ impl UeState {
     /// End-of-slot EWMA update (runs for every UE, scheduled or not):
     /// `avg ← (1 − 1/T)·avg + (1/T)·instantaneous`, with `T` the PF time
     /// constant in slots.
-    pub fn update_average(&mut self, delivered_bits: u64, slot_seconds: f64, time_constant_slots: f64) {
+    pub fn update_average(
+        &mut self,
+        delivered_bits: u64,
+        slot_seconds: f64,
+        time_constant_slots: f64,
+    ) {
         let alpha = 1.0 / time_constant_slots.max(1.0);
         let inst_bps = delivered_bits as f64 / slot_seconds;
         self.avg_tput_bps = (1.0 - alpha) * self.avg_tput_bps + alpha * inst_bps;
@@ -167,7 +176,11 @@ mod tests {
         for _ in 0..5000 {
             u.update_average(10_000, 0.001, 100.0); // 10 Mb/s
         }
-        assert!((u.avg_tput_bps - 10e6).abs() < 0.05e6, "avg {}", u.avg_tput_bps);
+        assert!(
+            (u.avg_tput_bps - 10e6).abs() < 0.05e6,
+            "avg {}",
+            u.avg_tput_bps
+        );
     }
 
     #[test]

@@ -7,15 +7,21 @@ use waran_abi::sched::{SchedRequest, UeInfo};
 use waran_ransim::channel::StaticChannel;
 use waran_ransim::gnb::{Gnb, GnbConfig, SliceConfig};
 use waran_ransim::phy::{bits_per_prb, cqi_to_mcs, peak_rate_bps, Carrier};
-use waran_ransim::sched::{
-    MaxThroughput, MaxWeight, ProportionalFair, RoundRobin, SliceScheduler,
+use waran_ransim::sched::{MaxThroughput, MaxWeight, ProportionalFair, RoundRobin, SliceScheduler};
+use waran_ransim::slicing::{
+    FixedShare, InterSliceScheduler, SliceDemand, StrictPriority, TargetRate,
 };
-use waran_ransim::slicing::{FixedShare, InterSliceScheduler, SliceDemand, StrictPriority, TargetRate};
 use waran_ransim::traffic::{Cbr, FullBuffer};
 
 fn arb_ue() -> impl Strategy<Value = UeInfo> {
-    (any::<u32>(), 1u8..=15, any::<u32>(), 0.0f64..1e8, 1.0f64..1000.0).prop_map(
-        |(ue_id, cqi, buffer, avg, cap)| UeInfo {
+    (
+        any::<u32>(),
+        1u8..=15,
+        any::<u32>(),
+        0.0f64..1e8,
+        1.0f64..1000.0,
+    )
+        .prop_map(|(ue_id, cqi, buffer, avg, cap)| UeInfo {
             ue_id,
             cqi,
             mcs: cqi_to_mcs(cqi),
@@ -23,8 +29,7 @@ fn arb_ue() -> impl Strategy<Value = UeInfo> {
             buffer_bytes: buffer,
             avg_tput_bps: avg,
             prb_capacity_bits: cap,
-        },
-    )
+        })
 }
 
 fn arb_demand() -> impl Strategy<Value = SliceDemand> {
@@ -36,9 +41,16 @@ fn arb_demand() -> impl Strategy<Value = SliceDemand> {
         0.0f64..1e7,
         0.1f64..10.0,
     )
-        .prop_map(|(slice_id, target_bps, demand_bits, mean_prb_bits, tokens_bits, weight)| {
-            SliceDemand { slice_id, target_bps, demand_bits, mean_prb_bits, tokens_bits, weight }
-        })
+        .prop_map(
+            |(slice_id, target_bps, demand_bits, mean_prb_bits, tokens_bits, weight)| SliceDemand {
+                slice_id,
+                target_bps,
+                demand_bits,
+                mean_prb_bits,
+                tokens_bits,
+                weight,
+            },
+        )
 }
 
 proptest! {

@@ -43,8 +43,8 @@ impl InterfaceAdapter {
 
     /// Adapt a stream of fixed-size records.
     pub fn adapt_stream(&self, records: &[u8]) -> Result<Vec<u8>, CodecError> {
-        let in_len = (self.from.bit_len() + 7) / 8;
-        if in_len == 0 || records.len() % in_len != 0 {
+        let in_len = self.from.bit_len().div_ceil(8);
+        if in_len == 0 || !records.len().is_multiple_of(in_len) {
             return Err(CodecError::Malformed(format!(
                 "stream length {} not a multiple of record size {in_len}",
                 records.len()
@@ -114,9 +114,11 @@ mod tests {
         }
         let out = adapter.adapt_stream(&stream).unwrap();
         let b = RecordSpec::new(&[("power", 12), ("antenna", 4)]);
-        let out_len = (b.bit_len() + 7) / 8;
-        let decoded: Vec<Vec<u64>> =
-            out.chunks_exact(out_len).map(|r| b.decode(r).unwrap()).collect();
+        let out_len = b.bit_len().div_ceil(8);
+        let decoded: Vec<Vec<u64>> = out
+            .chunks_exact(out_len)
+            .map(|r| b.decode(r).unwrap())
+            .collect();
         assert_eq!(decoded, vec![vec![1, 2], vec![255, 15], vec![128, 0]]);
     }
 
@@ -137,7 +139,10 @@ mod tests {
         }
         let native_out = native.adapt_stream(&stream).unwrap();
         let wasm_out = plugin.call("adapt", &stream).unwrap();
-        assert_eq!(wasm_out, native_out, "sandboxed adapter must agree with native");
+        assert_eq!(
+            wasm_out, native_out,
+            "sandboxed adapter must agree with native"
+        );
     }
 
     #[test]

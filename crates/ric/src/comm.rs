@@ -211,9 +211,12 @@ impl CommCodec for JsonCodec {
                 ])
             })
             .collect();
-        Json::obj(vec![("slot", Json::Num(ind.slot as f64)), ("reports", Json::Arr(reports))])
-            .encode()
-            .into_bytes()
+        Json::obj(vec![
+            ("slot", Json::Num(ind.slot as f64)),
+            ("reports", Json::Arr(reports)),
+        ])
+        .encode()
+        .into_bytes()
     }
 
     fn decode_indication(&self, bytes: &[u8]) -> Result<Indication, CodecError> {
@@ -225,7 +228,10 @@ impl CommCodec for JsonCodec {
                 .and_then(Json::as_num)
                 .ok_or_else(|| CodecError::Malformed(format!("missing `{key}`")))
         };
-        let mut ind = Indication { slot: num(&v, "slot")? as u64, reports: Vec::new() };
+        let mut ind = Indication {
+            slot: num(&v, "slot")? as u64,
+            reports: Vec::new(),
+        };
         for r in v
             .get("reports")
             .and_then(Json::as_arr)
@@ -247,7 +253,10 @@ impl CommCodec for JsonCodec {
         let items: Vec<Json> = actions
             .iter()
             .map(|a| match a {
-                ControlAction::SetSliceTarget { slice_id, target_bps } => Json::obj(vec![
+                ControlAction::SetSliceTarget {
+                    slice_id,
+                    target_bps,
+                } => Json::obj(vec![
                     ("type", Json::Str("slice_target".into())),
                     ("slice", Json::Num(*slice_id as f64)),
                     ("target", Json::Num(*target_bps)),
@@ -271,7 +280,9 @@ impl CommCodec for JsonCodec {
         let text = std::str::from_utf8(bytes)
             .map_err(|_| CodecError::Malformed("invalid UTF-8".into()))?;
         let v = Json::decode(text)?;
-        let arr = v.as_arr().ok_or_else(|| CodecError::Malformed("expected array".into()))?;
+        let arr = v
+            .as_arr()
+            .ok_or_else(|| CodecError::Malformed("expected array".into()))?;
         let num = |j: &Json, key: &str| -> Result<f64, CodecError> {
             j.get(key)
                 .and_then(Json::as_num)
@@ -325,17 +336,24 @@ pub struct WasmCommPlugin {
 impl WasmCommPlugin {
     /// Wrap a loaded plugin.
     pub fn new(plugin: Plugin<()>, name: &'static str) -> Self {
-        WasmCommPlugin { plugin: std::sync::Mutex::new(plugin), name }
+        WasmCommPlugin {
+            plugin: std::sync::Mutex::new(plugin),
+            name,
+        }
     }
 
     fn call(&self, entry: &str, input: &[u8]) -> Result<Vec<u8>, PluginError> {
-        self.plugin.lock().expect("comm plugin lock never poisoned").call(entry, input)
+        self.plugin
+            .lock()
+            .expect("comm plugin lock never poisoned")
+            .call(entry, input)
     }
 }
 
 impl CommCodec for WasmCommPlugin {
     fn encode_indication(&self, ind: &Indication) -> Vec<u8> {
-        self.call("encode_indication", &ind.to_xapp_bytes()).unwrap_or_default()
+        self.call("encode_indication", &ind.to_xapp_bytes())
+            .unwrap_or_default()
     }
 
     fn decode_indication(&self, bytes: &[u8]) -> Result<Indication, CodecError> {
@@ -347,7 +365,8 @@ impl CommCodec for WasmCommPlugin {
     }
 
     fn encode_actions(&self, actions: &[ControlAction]) -> Vec<u8> {
-        self.call("encode_actions", &ControlAction::list_to_bytes(actions)).unwrap_or_default()
+        self.call("encode_actions", &ControlAction::list_to_bytes(actions))
+            .unwrap_or_default()
     }
 
     fn decode_actions(&self, bytes: &[u8]) -> Result<Vec<ControlAction>, CodecError> {
@@ -370,16 +389,36 @@ mod tests {
         Indication {
             slot: 31337,
             reports: vec![
-                KpiReport { ue_id: 70, slice_id: 0, cqi: 12, mcs: 22, buffer_bytes: 512, tput_bps: 9.25e6 },
-                KpiReport { ue_id: 71, slice_id: 2, cqi: 3, mcs: 4, buffer_bytes: 1 << 20, tput_bps: 0.125e6 },
+                KpiReport {
+                    ue_id: 70,
+                    slice_id: 0,
+                    cqi: 12,
+                    mcs: 22,
+                    buffer_bytes: 512,
+                    tput_bps: 9.25e6,
+                },
+                KpiReport {
+                    ue_id: 71,
+                    slice_id: 2,
+                    cqi: 3,
+                    mcs: 4,
+                    buffer_bytes: 1 << 20,
+                    tput_bps: 0.125e6,
+                },
             ],
         }
     }
 
     fn actions() -> Vec<ControlAction> {
         vec![
-            ControlAction::SetSliceTarget { slice_id: 1, target_bps: 22e6 },
-            ControlAction::Handover { ue_id: 70, target_cell: 5 },
+            ControlAction::SetSliceTarget {
+                slice_id: 1,
+                target_bps: 22e6,
+            },
+            ControlAction::Handover {
+                ue_id: 70,
+                target_cell: 5,
+            },
         ]
     }
 
@@ -424,7 +463,11 @@ mod tests {
     #[test]
     fn decoders_reject_garbage() {
         for codec in [&TlvCodec as &dyn CommCodec, &PbCodec, &JsonCodec] {
-            assert!(codec.decode_indication(&[0xde, 0xad, 0xbe]).is_err(), "{}", codec.name());
+            assert!(
+                codec.decode_indication(&[0xde, 0xad, 0xbe]).is_err(),
+                "{}",
+                codec.name()
+            );
         }
     }
 

@@ -130,7 +130,10 @@ impl ControlAction {
     pub fn to_bytes(&self) -> [u8; ACTION_RECORD_LEN] {
         let mut out = [0u8; ACTION_RECORD_LEN];
         match self {
-            ControlAction::SetSliceTarget { slice_id, target_bps } => {
+            ControlAction::SetSliceTarget {
+                slice_id,
+                target_bps,
+            } => {
                 out[0] = action_tag::SET_SLICE_TARGET;
                 out[4..8].copy_from_slice(&slice_id.to_le_bytes());
                 out[8..16].copy_from_slice(&target_bps.to_le_bytes());
@@ -164,16 +167,19 @@ impl ControlAction {
                 ue_id: a,
                 target_cell: u32::from_le_bytes(buf[8..12].try_into().ok()?),
             }),
-            action_tag::SET_CQI_TABLE => {
-                Some(ControlAction::SetCqiTable { ue_id: a, table: buf[8] })
-            }
+            action_tag::SET_CQI_TABLE => Some(ControlAction::SetCqiTable {
+                ue_id: a,
+                table: buf[8],
+            }),
             _ => None,
         }
     }
 
     /// Decode a packed list of action records.
     pub fn list_from_bytes(buf: &[u8]) -> Vec<ControlAction> {
-        buf.chunks_exact(ACTION_RECORD_LEN).filter_map(ControlAction::from_bytes).collect()
+        buf.chunks_exact(ACTION_RECORD_LEN)
+            .filter_map(ControlAction::from_bytes)
+            .collect()
     }
 
     /// Encode a list of actions.
@@ -232,9 +238,18 @@ mod tests {
     #[test]
     fn actions_roundtrip() {
         let actions = vec![
-            ControlAction::SetSliceTarget { slice_id: 2, target_bps: 15e6 },
-            ControlAction::Handover { ue_id: 70, target_cell: 3 },
-            ControlAction::SetCqiTable { ue_id: 71, table: 2 },
+            ControlAction::SetSliceTarget {
+                slice_id: 2,
+                target_bps: 15e6,
+            },
+            ControlAction::Handover {
+                ue_id: 70,
+                target_cell: 3,
+            },
+            ControlAction::SetCqiTable {
+                ue_id: 71,
+                table: 2,
+            },
         ];
         let bytes = ControlAction::list_to_bytes(&actions);
         assert_eq!(bytes.len(), 3 * ACTION_RECORD_LEN);

@@ -48,7 +48,10 @@ impl Endpoint {
 pub fn duplex() -> (Endpoint, Endpoint) {
     let (a_tx, b_rx) = unbounded();
     let (b_tx, a_rx) = unbounded();
-    (Endpoint { tx: a_tx, rx: a_rx }, Endpoint { tx: b_tx, rx: b_rx })
+    (
+        Endpoint { tx: a_tx, rx: a_rx },
+        Endpoint { tx: b_tx, rx: b_rx },
+    )
 }
 
 /// The gNB-side E2 agent: reports KPIs at a fixed period and receives
@@ -82,7 +85,7 @@ impl E2Agent {
 
     /// True when `slot` is a reporting slot.
     pub fn due(&self, slot: u64) -> bool {
-        slot % self.report_period_slots == 0
+        slot.is_multiple_of(self.report_period_slots)
     }
 
     /// Send an indication (the embedder calls this on reporting slots).
@@ -125,7 +128,12 @@ pub struct RicRuntime {
 impl RicRuntime {
     /// RIC runtime speaking `codec` over `endpoint`.
     pub fn new(codec: Box<dyn CommCodec>, endpoint: Endpoint, ric: crate::ric::NearRtRic) -> Self {
-        RicRuntime { codec, endpoint, ric, decode_errors: 0 }
+        RicRuntime {
+            codec,
+            endpoint,
+            ric,
+            decode_errors: 0,
+        }
     }
 
     /// Process all pending indications; sends any resulting actions.
@@ -156,7 +164,14 @@ mod tests {
     use crate::ric::{NearRtRic, TrafficSteering};
 
     fn kpi(ue: u32, cqi: u8) -> KpiReport {
-        KpiReport { ue_id: ue, slice_id: 0, cqi, mcs: 10, buffer_bytes: 100, tput_bps: 1e6 }
+        KpiReport {
+            ue_id: ue,
+            slice_id: 0,
+            cqi,
+            mcs: 10,
+            buffer_bytes: 100,
+            tput_bps: 1e6,
+        }
     }
 
     #[test]
@@ -180,11 +195,20 @@ mod tests {
         // Two bad reports trigger a handover on the second.
         for slot in [0u64, 10] {
             assert!(agent.due(slot));
-            agent.report(&Indication { slot, reports: vec![kpi(70, 2)] });
+            agent.report(&Indication {
+                slot,
+                reports: vec![kpi(70, 2)],
+            });
             runtime.poll();
         }
         let actions = agent.poll_actions();
-        assert_eq!(actions, vec![ControlAction::Handover { ue_id: 70, target_cell: 7 }]);
+        assert_eq!(
+            actions,
+            vec![ControlAction::Handover {
+                ue_id: 70,
+                target_cell: 7
+            }]
+        );
         assert_eq!(agent.indications_sent, 2);
         assert_eq!(agent.actions_received, 1);
     }
@@ -196,7 +220,10 @@ mod tests {
         let (node_ep, ric_ep) = duplex();
         let mut agent = E2Agent::new(Box::new(TlvCodec), node_ep, 1);
         let mut runtime = RicRuntime::new(Box::new(JsonCodec), ric_ep, NearRtRic::new());
-        agent.report(&Indication { slot: 0, reports: vec![kpi(1, 9)] });
+        agent.report(&Indication {
+            slot: 0,
+            reports: vec![kpi(1, 9)],
+        });
         assert_eq!(runtime.poll(), 0);
         assert_eq!(runtime.decode_errors, 1);
     }
@@ -207,7 +234,10 @@ mod tests {
         let (node_ep, ric_ep) = duplex();
         let mut agent = E2Agent::new(Box::new(PbCodec), node_ep, 1);
         let mut runtime = RicRuntime::new(Box::new(PbCodec), ric_ep, NearRtRic::new());
-        agent.report(&Indication { slot: 3, reports: vec![kpi(5, 11)] });
+        agent.report(&Indication {
+            slot: 3,
+            reports: vec![kpi(5, 11)],
+        });
         assert_eq!(runtime.poll(), 1);
         assert_eq!(runtime.ric.kpis().ue(5).unwrap().cqi, 11);
     }

@@ -132,7 +132,11 @@ impl NearRtRic {
                 .get_mut(&name)
                 .map(|q| q.drain(..).collect())
                 .unwrap_or_default();
-            let mut ctx = XAppCtx { kpis: &self.kpis, inbox, outbox: Vec::new() };
+            let mut ctx = XAppCtx {
+                kpis: &self.kpis,
+                inbox,
+                outbox: Vec::new(),
+            };
             let actions = xapp.on_indication(&mut ctx, ind);
             all_actions.extend(actions);
             routed.append(&mut ctx.outbox);
@@ -170,7 +174,12 @@ pub struct TrafficSteering {
 impl TrafficSteering {
     /// Steering xApp with the given policy.
     pub fn new(cqi_threshold: u8, hysteresis: u32, target_cell: u32) -> Self {
-        TrafficSteering { cqi_threshold, hysteresis, target_cell, bad_streak: HashMap::new() }
+        TrafficSteering {
+            cqi_threshold,
+            hysteresis,
+            target_cell,
+            bad_streak: HashMap::new(),
+        }
     }
 }
 
@@ -255,7 +264,10 @@ impl XApp for SliceSlaAssurance {
             } else {
                 *streak = 0;
                 if *boosted {
-                    actions.push(ControlAction::SetSliceTarget { slice_id: slice, target_bps: sla });
+                    actions.push(ControlAction::SetSliceTarget {
+                        slice_id: slice,
+                        target_bps: sla,
+                    });
                     *boosted = false;
                 }
             }
@@ -303,16 +315,14 @@ pub fn xapp_linker() -> Linker<XAppHostState> {
         "xapp_recv",
         &[ValType::I32, ValType::I32],
         &[ValType::I32],
-        |state, mem, args| {
-            match state.inbox.pop_front() {
-                None => Ok(Some(Value::I32(-1))),
-                Some(msg) => {
-                    if msg.len() > args[1].as_u32() as usize {
-                        return Err(Trap::HostError("xapp_recv: buffer too small".into()));
-                    }
-                    mem.write_bytes(args[0].as_u32(), &msg)?;
-                    Ok(Some(Value::I32(msg.len() as i32)))
+        |state, mem, args| match state.inbox.pop_front() {
+            None => Ok(Some(Value::I32(-1))),
+            Some(msg) => {
+                if msg.len() > args[1].as_u32() as usize {
+                    return Err(Trap::HostError("xapp_recv: buffer too small".into()));
                 }
+                mem.write_bytes(args[0].as_u32(), &msg)?;
+                Ok(Some(Value::I32(msg.len() as i32)))
             }
         },
     );
@@ -333,7 +343,10 @@ impl WasmXApp {
     /// Load a Wasm xApp from module bytes.
     pub fn new(name: &str, wasm: &[u8], policy: SandboxPolicy) -> Result<Self, PluginError> {
         let plugin = Plugin::new(wasm, &xapp_linker(), XAppHostState::default(), policy)?;
-        Ok(WasmXApp { name: name.to_string(), plugin })
+        Ok(WasmXApp {
+            name: name.to_string(),
+            plugin,
+        })
     }
 }
 
@@ -365,7 +378,14 @@ mod tests {
     use crate::e2::KpiReport;
 
     fn report(ue: u32, slice: u32, cqi: u8, tput: f64) -> KpiReport {
-        KpiReport { ue_id: ue, slice_id: slice, cqi, mcs: cqi * 2, buffer_bytes: 1000, tput_bps: tput }
+        KpiReport {
+            ue_id: ue,
+            slice_id: slice,
+            cqi,
+            mcs: cqi * 2,
+            buffer_bytes: 1000,
+            tput_bps: tput,
+        }
     }
 
     fn ind(slot: u64, reports: Vec<KpiReport>) -> Indication {
@@ -396,7 +416,13 @@ mod tests {
         }
         // Third consecutive bad report triggers the handover.
         let actions = ric.handle_indication(&ind(2, vec![report(70, 0, 3, 1e6)]));
-        assert_eq!(actions, vec![ControlAction::Handover { ue_id: 70, target_cell: 2 }]);
+        assert_eq!(
+            actions,
+            vec![ControlAction::Handover {
+                ue_id: 70,
+                target_cell: 2
+            }]
+        );
     }
 
     #[test]
@@ -418,21 +444,26 @@ mod tests {
         // Underperforming for 3 indications → boost.
         let mut boost_actions = Vec::new();
         for slot in 0..4 {
-            boost_actions =
-                ric.handle_indication(&ind(slot, vec![report(1, 0, 10, 5e6)]));
+            boost_actions = ric.handle_indication(&ind(slot, vec![report(1, 0, 10, 5e6)]));
             if !boost_actions.is_empty() {
                 break;
             }
         }
         assert_eq!(
             boost_actions,
-            vec![ControlAction::SetSliceTarget { slice_id: 0, target_bps: 10e6 * 1.15 }]
+            vec![ControlAction::SetSliceTarget {
+                slice_id: 0,
+                target_bps: 10e6 * 1.15
+            }]
         );
         // Recovery → restore the SLA target.
         let actions = ric.handle_indication(&ind(9, vec![report(1, 0, 14, 11e6)]));
         assert_eq!(
             actions,
-            vec![ControlAction::SetSliceTarget { slice_id: 0, target_bps: 10e6 }]
+            vec![ControlAction::SetSliceTarget {
+                slice_id: 0,
+                target_bps: 10e6
+            }]
         );
     }
 
@@ -443,7 +474,11 @@ mod tests {
         fn name(&self) -> &str {
             "echo"
         }
-        fn on_indication(&mut self, ctx: &mut XAppCtx<'_>, _ind: &Indication) -> Vec<ControlAction> {
+        fn on_indication(
+            &mut self,
+            ctx: &mut XAppCtx<'_>,
+            _ind: &Indication,
+        ) -> Vec<ControlAction> {
             ctx.outbox.push((self.to.clone(), b"ping".to_vec()));
             Vec::new()
         }
@@ -455,8 +490,13 @@ mod tests {
         fn name(&self) -> &str {
             "listener"
         }
-        fn on_indication(&mut self, ctx: &mut XAppCtx<'_>, _ind: &Indication) -> Vec<ControlAction> {
-            self.got.fetch_add(ctx.inbox.len(), std::sync::atomic::Ordering::SeqCst);
+        fn on_indication(
+            &mut self,
+            ctx: &mut XAppCtx<'_>,
+            _ind: &Indication,
+        ) -> Vec<ControlAction> {
+            self.got
+                .fetch_add(ctx.inbox.len(), std::sync::atomic::Ordering::SeqCst);
             Vec::new()
         }
     }
@@ -465,7 +505,9 @@ mod tests {
     fn inter_xapp_messaging_routes() {
         let got = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
         let mut ric = NearRtRic::new();
-        ric.add_xapp(Box::new(Echo { to: "listener".into() }));
+        ric.add_xapp(Box::new(Echo {
+            to: "listener".into(),
+        }));
         ric.add_xapp(Box::new(Listener { got: got.clone() }));
         ric.handle_indication(&ind(0, vec![]));
         ric.handle_indication(&ind(1, vec![]));
@@ -476,7 +518,9 @@ mod tests {
     #[test]
     fn messages_to_unknown_xapps_dropped() {
         let mut ric = NearRtRic::new();
-        ric.add_xapp(Box::new(Echo { to: "nobody".into() }));
+        ric.add_xapp(Box::new(Echo {
+            to: "nobody".into(),
+        }));
         // Must not panic or leak.
         ric.handle_indication(&ind(0, vec![]));
         ric.handle_indication(&ind(1, vec![]));

@@ -8,16 +8,24 @@ use waran_ric::comm::{CommCodec, JsonCodec, PbCodec, TlvCodec};
 use waran_ric::e2::{ControlAction, Indication, KpiReport};
 
 fn arb_report() -> impl Strategy<Value = KpiReport> {
-    (any::<u32>(), any::<u32>(), 0u8..=15, 0u8..=28, any::<u32>(), 0.0f64..1e9).prop_map(
-        |(ue_id, slice_id, cqi, mcs, buffer_bytes, tput_bps)| KpiReport {
-            ue_id,
-            slice_id,
-            cqi,
-            mcs,
-            buffer_bytes,
-            tput_bps,
-        },
+    (
+        any::<u32>(),
+        any::<u32>(),
+        0u8..=15,
+        0u8..=28,
+        any::<u32>(),
+        0.0f64..1e9,
     )
+        .prop_map(
+            |(ue_id, slice_id, cqi, mcs, buffer_bytes, tput_bps)| KpiReport {
+                ue_id,
+                slice_id,
+                cqi,
+                mcs,
+                buffer_bytes,
+                tput_bps,
+            },
+        )
 }
 
 fn arb_indication() -> impl Strategy<Value = Indication> {
@@ -28,7 +36,10 @@ fn arb_indication() -> impl Strategy<Value = Indication> {
 fn arb_action() -> impl Strategy<Value = ControlAction> {
     prop_oneof![
         (any::<u32>(), 0.0f64..1e9).prop_map(|(slice_id, target_bps)| {
-            ControlAction::SetSliceTarget { slice_id, target_bps }
+            ControlAction::SetSliceTarget {
+                slice_id,
+                target_bps,
+            }
         }),
         (any::<u32>(), any::<u32>())
             .prop_map(|(ue_id, target_cell)| ControlAction::Handover { ue_id, target_cell }),

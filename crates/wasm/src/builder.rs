@@ -118,7 +118,10 @@ impl ModuleBuilder {
     /// Panics if no function is in progress — that is a programming error in
     /// the embedder, not a data-dependent condition.
     pub fn local(&mut self, ty: ValType) -> u32 {
-        let cur = self.current.as_mut().expect("local() outside begin_func/end_func");
+        let cur = self
+            .current
+            .as_mut()
+            .expect("local() outside begin_func/end_func");
         let n_params = self.module.types[cur.type_idx as usize].params.len() as u32;
         cur.locals.push(ty);
         n_params + cur.locals.len() as u32 - 1
@@ -129,7 +132,11 @@ impl ModuleBuilder {
     /// # Panics
     /// Panics if no function is in progress.
     pub fn code(&mut self) -> &mut CodeEmitter {
-        &mut self.current.as_mut().expect("code() outside begin_func/end_func").code
+        &mut self
+            .current
+            .as_mut()
+            .expect("code() outside begin_func/end_func")
+            .code
     }
 
     /// Finish the current function: appends the function-level `End`,
@@ -138,7 +145,9 @@ impl ModuleBuilder {
         let mut cur = self.current.take().ok_or(BuildError::FunctionState)?;
         cur.code.instrs.push(Instr::End);
         fixup_block_targets(&mut cur.code.instrs).map_err(BuildError::Fixup)?;
-        self.module.funcs.push(FuncBody::new(cur.type_idx, cur.locals, cur.code.instrs));
+        self.module
+            .funcs
+            .push(FuncBody::new(cur.type_idx, cur.locals, cur.code.instrs));
         Ok(())
     }
 
@@ -154,25 +163,35 @@ impl ModuleBuilder {
 
     /// Define a global; returns its index.
     pub fn global(&mut self, ty: ValType, mutability: Mutability, init: ConstExpr) -> u32 {
-        self.module.globals.push(Global { ty: GlobalType { ty, mutability }, init });
+        self.module.globals.push(Global {
+            ty: GlobalType { ty, mutability },
+            init,
+        });
         (self.module.globals.len() - 1) as u32
     }
 
     /// Export a function under `name`.
     pub fn export_func(&mut self, name: &str, func_idx: u32) {
-        self.module.exports.push(Export { name: name.to_string(), kind: ExportKind::Func(func_idx) });
+        self.module.exports.push(Export {
+            name: name.to_string(),
+            kind: ExportKind::Func(func_idx),
+        });
     }
 
     /// Export the memory under `name`.
     pub fn export_memory(&mut self, name: &str) {
-        self.module.exports.push(Export { name: name.to_string(), kind: ExportKind::Memory });
+        self.module.exports.push(Export {
+            name: name.to_string(),
+            kind: ExportKind::Memory,
+        });
     }
 
     /// Export a global under `name`.
     pub fn export_global(&mut self, name: &str, global_idx: u32) {
-        self.module
-            .exports
-            .push(Export { name: name.to_string(), kind: ExportKind::Global(global_idx) });
+        self.module.exports.push(Export {
+            name: name.to_string(),
+            kind: ExportKind::Global(global_idx),
+        });
     }
 
     /// Set the start function.
@@ -182,14 +201,18 @@ impl ModuleBuilder {
 
     /// Add an active data segment.
     pub fn data(&mut self, offset: i32, bytes: &[u8]) {
-        self.module.data.push(DataSegment { offset: ConstExpr::I32(offset), bytes: bytes.to_vec() });
+        self.module.data.push(DataSegment {
+            offset: ConstExpr::I32(offset),
+            bytes: bytes.to_vec(),
+        });
     }
 
     /// Add an active element segment.
     pub fn elem(&mut self, offset: i32, funcs: &[u32]) {
-        self.module
-            .elems
-            .push(ElemSegment { offset: ConstExpr::I32(offset), funcs: funcs.to_vec() });
+        self.module.elems.push(ElemSegment {
+            offset: ConstExpr::I32(offset),
+            funcs: funcs.to_vec(),
+        });
     }
 
     /// Produce the finished [`Module`].
@@ -246,7 +269,10 @@ impl CodeEmitter {
 
     /// Begin a block.
     pub fn block(&mut self, ty: BlockType) -> &mut Self {
-        self.instrs.push(Instr::Block { ty, end_pc: u32::MAX });
+        self.instrs.push(Instr::Block {
+            ty,
+            end_pc: u32::MAX,
+        });
         self
     }
 
@@ -258,7 +284,11 @@ impl CodeEmitter {
 
     /// Begin an if.
     pub fn if_(&mut self, ty: BlockType) -> &mut Self {
-        self.instrs.push(Instr::If { ty, else_pc: u32::MAX, end_pc: u32::MAX });
+        self.instrs.push(Instr::If {
+            ty,
+            else_pc: u32::MAX,
+            end_pc: u32::MAX,
+        });
         self
     }
 
@@ -288,7 +318,10 @@ impl CodeEmitter {
 
     /// Indexed branch.
     pub fn br_table(&mut self, targets: &[u32], default: u32) -> &mut Self {
-        self.instrs.push(Instr::BrTable { targets: targets.to_vec().into_boxed_slice(), default });
+        self.instrs.push(Instr::BrTable {
+            targets: targets.to_vec().into_boxed_slice(),
+            default,
+        });
         self
     }
 
@@ -478,7 +511,10 @@ mod tests {
         let sig = mb.func_type(&[], &[]);
         mb.begin_func(sig);
         mb.end_func().unwrap();
-        assert_eq!(mb.import_func("env", "f", sig), Err(BuildError::ImportAfterFunc));
+        assert_eq!(
+            mb.import_func("env", "f", sig),
+            Err(BuildError::ImportAfterFunc)
+        );
     }
 
     #[test]

@@ -169,7 +169,10 @@ pub enum Op {
     /// Basic-block header: charge `cost` fuel (the number of source
     /// instructions in the block), poll the deadline, and verify the value
     /// stack can grow by `peak` without exceeding the limit.
-    Meter { cost: u32, peak: u32 },
+    Meter {
+        cost: u32,
+        peak: u32,
+    },
     Unreachable,
     Br(u32),
     /// Branch when top-of-stack != 0.
@@ -177,32 +180,56 @@ pub enum Op {
     /// Branch when top-of-stack == 0.
     BrIfZ(u32),
     /// Pop b, a; branch when `op(a, b)` holds (fused compare+br_if).
-    BrIfCmp { op: I32Op, br: u32 },
+    BrIfCmp {
+        op: I32Op,
+        br: u32,
+    },
     /// Branch when `op(locals[a], locals[b])` holds; touches no stack.
-    BrIfLL { op: I32Op, a: u16, b: u16, br: u32 },
+    BrIfLL {
+        op: I32Op,
+        a: u16,
+        b: u16,
+        br: u32,
+    },
     /// Pop selector; take `branches[start + min(sel, n)]` (`start + n` is
     /// the default target).
-    BrTable { start: u32, n: u32 },
+    BrTable {
+        start: u32,
+        n: u32,
+    },
     Return,
     /// Call a module-local function (index into `Module::funcs`).
     CallWasm(u32),
     /// Call an imported host function; `ret` encodes the result type
     /// (0 = none, 1..4 = I32/I64/F32/F64) so no type lookup happens at
     /// run time.
-    CallHost { f: u32, argc: u16, ret: u8 },
+    CallHost {
+        f: u32,
+        argc: u16,
+        ret: u8,
+    },
     CallIndirect(u32),
     Drop,
     Select,
 
     LocalGet(u32),
     /// Push locals[a] then locals[b] (fused adjacent local.get pair).
-    LocalGet2 { a: u16, b: u16 },
+    LocalGet2 {
+        a: u16,
+        b: u16,
+    },
     LocalSet(u32),
     LocalTee(u32),
     /// `locals[dst] = k` (fused const + local.set); touches no stack.
-    LocalSetC { dst: u16, k: i32 },
+    LocalSetC {
+        dst: u16,
+        k: i32,
+    },
     /// `locals[dst] = locals[src]` (fused local.get + local.set).
-    LocalCopy { src: u16, dst: u16 },
+    LocalCopy {
+        src: u16,
+        dst: u16,
+    },
     GlobalGet(u32),
     GlobalSet(u32),
 
@@ -210,35 +237,86 @@ pub enum Op {
     /// i32 binop/compare.
     I32Bin(I32Op),
     /// Push `op(locals[a], locals[b])` (fused local.get×2 + binop).
-    I32BinLL { op: I32Op, a: u16, b: u16 },
+    I32BinLL {
+        op: I32Op,
+        a: u16,
+        b: u16,
+    },
     /// Pop a; push `op(a, locals[b])`.
-    I32BinSL { op: I32Op, b: u16 },
+    I32BinSL {
+        op: I32Op,
+        b: u16,
+    },
     /// Pop a; push `op(a, k)` (fused const + binop).
-    I32BinSC { op: I32Op, k: i32 },
+    I32BinSC {
+        op: I32Op,
+        k: i32,
+    },
     /// Push `op(locals[a], k)`.
-    I32BinLC { op: I32Op, a: u16, k: i32 },
+    I32BinLC {
+        op: I32Op,
+        a: u16,
+        k: i32,
+    },
     /// `locals[dst] = op(locals[a], locals[b])` — a three-address
     /// register op (binop + local.set write-back); touches no stack.
-    I32BinLLSet { op: I32Op, a: u16, b: u16, dst: u16 },
+    I32BinLLSet {
+        op: I32Op,
+        a: u16,
+        b: u16,
+        dst: u16,
+    },
     /// `locals[dst] = op(locals[a], k)` — the canonical loop increment
     /// `i = i + 1` is exactly one of these.
-    I32BinLCSet { op: I32Op, a: u16, k: i32, dst: u16 },
+    I32BinLCSet {
+        op: I32Op,
+        a: u16,
+        k: i32,
+        dst: u16,
+    },
     /// Pop a; `locals[dst] = op(a, locals[b])`.
-    I32BinSLSet { op: I32Op, b: u16, dst: u16 },
+    I32BinSLSet {
+        op: I32Op,
+        b: u16,
+        dst: u16,
+    },
     /// Pop a; `locals[dst] = op(a, k)`.
-    I32BinSCSet { op: I32Op, k: i32, dst: u16 },
+    I32BinSCSet {
+        op: I32Op,
+        k: i32,
+        dst: u16,
+    },
 
     /// Fused local.get + load (address comes straight from the local; the
     /// static offset keeps the original u64 bounds-check semantics).
-    I32LoadL { l: u16, off: u32 },
-    I64LoadL { l: u16, off: u32 },
-    F64LoadL { l: u16, off: u32 },
-    I32Load8UL { l: u16, off: u32 },
+    I32LoadL {
+        l: u16,
+        off: u32,
+    },
+    I64LoadL {
+        l: u16,
+        off: u32,
+    },
+    F64LoadL {
+        l: u16,
+        off: u32,
+    },
+    I32Load8UL {
+        l: u16,
+        off: u32,
+    },
     /// Pop addr; `locals[dst] = load(addr + off)` (load + local.set).
-    I32LoadSet { off: u32, dst: u16 },
+    I32LoadSet {
+        off: u32,
+        dst: u16,
+    },
     /// `locals[dst] = load(locals[l] + off)` — a full register-to-register
     /// load; touches no stack.
-    I32LoadLSet { l: u16, off: u32, dst: u16 },
+    I32LoadLSet {
+        l: u16,
+        off: u32,
+        dst: u16,
+    },
 
     I32Load(u32),
     I64Load(u32),
@@ -453,7 +531,15 @@ impl PartialEq for CompiledCell {
 
 impl std::fmt::Debug for CompiledCell {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "CompiledCell({})", if self.0.get().is_some() { "compiled" } else { "pending" })
+        write!(
+            f,
+            "CompiledCell({})",
+            if self.0.get().is_some() {
+                "compiled"
+            } else {
+                "pending"
+            }
+        )
     }
 }
 
@@ -556,8 +642,12 @@ pub fn compile_func(module: &Module, local_idx: u32) -> CompiledFunc {
             c.branches[*bi as usize].pc = tramp;
         }
     }
-    let locals_init =
-        body.locals.iter().map(|t| Value::zero(*t)).chain(c.extra_locals).collect();
+    let locals_init = body
+        .locals
+        .iter()
+        .map(|t| Value::zero(*t))
+        .chain(c.extra_locals)
+        .collect();
     CompiledFunc {
         ops: c.ops.into_boxed_slice(),
         branches: c.branches.into_boxed_slice(),
@@ -646,7 +736,11 @@ impl<'m> FnCompiler<'m> {
     }
 
     fn new_branch(&mut self, height: u32, arity: u8) -> u32 {
-        self.branches.push(BranchTarget { pc: u32::MAX, height, arity });
+        self.branches.push(BranchTarget {
+            pc: u32::MAX,
+            height,
+            arity,
+        });
         (self.branches.len() - 1) as u32
     }
 
@@ -663,7 +757,11 @@ impl<'m> FnCompiler<'m> {
         let (height, arity) = (self.ctrls[ci].height, self.ctrls[ci].arity);
         match self.ctrls[ci].kind {
             CtrlKind::Loop { header } => {
-                self.branches.push(BranchTarget { pc: header, height, arity: 0 });
+                self.branches.push(BranchTarget {
+                    pc: header,
+                    height,
+                    arity: 0,
+                });
                 (self.branches.len() - 1) as u32
             }
             _ => {
@@ -781,7 +879,10 @@ impl<'m> FnCompiler<'m> {
                     let _ = self.branch_index(*d);
                 }
                 let _ = self.branch_index(*default);
-                self.emit(Op::BrTable { start, n: targets.len() as u32 });
+                self.emit(Op::BrTable {
+                    start,
+                    n: targets.len() as u32,
+                });
                 self.seal();
                 self.reachable = false;
             }
@@ -796,7 +897,10 @@ impl<'m> FnCompiler<'m> {
                     return;
                 }
                 self.count(1);
-                let ty = self.module.func_type(*func).expect("validated: call target");
+                let ty = self
+                    .module
+                    .func_type(*func)
+                    .expect("validated: call target");
                 let (argc, retc) = (ty.params.len(), ty.results.len());
                 if *func < self.n_imports {
                     let ret = match ty.results.first() {
@@ -806,7 +910,11 @@ impl<'m> FnCompiler<'m> {
                         Some(ValType::F32) => 3,
                         Some(ValType::F64) => 4,
                     };
-                    self.emit(Op::CallHost { f: *func, argc: argc as u16, ret });
+                    self.emit(Op::CallHost {
+                        f: *func,
+                        argc: argc as u16,
+                        ret,
+                    });
                 } else {
                     self.emit(Op::CallWasm(*func - self.n_imports));
                 }
@@ -826,7 +934,10 @@ impl<'m> FnCompiler<'m> {
                 if let (Some(Op::LocalGet(a)), true) = (self.tail(), i <= u16::MAX as u32) {
                     if a <= u16::MAX as u32 {
                         self.pop_tail(1);
-                        self.emit(Op::LocalGet2 { a: a as u16, b: i as u16 });
+                        self.emit(Op::LocalGet2 {
+                            a: a as u16,
+                            b: i as u16,
+                        });
                         self.bump(0, 1);
                         return;
                     }
@@ -842,10 +953,16 @@ impl<'m> FnCompiler<'m> {
             Instr::GlobalGet(i) => self.simple(Op::GlobalGet(*i), 0, 1),
             Instr::GlobalSet(i) => self.simple(Op::GlobalSet(*i), 1, 0),
 
-            Instr::I32Load(m) => self.lower_load(m.offset, Op::I32Load(m.offset), Some(LoadKind::I32)),
-            Instr::I64Load(m) => self.lower_load(m.offset, Op::I64Load(m.offset), Some(LoadKind::I64)),
+            Instr::I32Load(m) => {
+                self.lower_load(m.offset, Op::I32Load(m.offset), Some(LoadKind::I32))
+            }
+            Instr::I64Load(m) => {
+                self.lower_load(m.offset, Op::I64Load(m.offset), Some(LoadKind::I64))
+            }
             Instr::F32Load(m) => self.lower_load(m.offset, Op::F32Load(m.offset), None),
-            Instr::F64Load(m) => self.lower_load(m.offset, Op::F64Load(m.offset), Some(LoadKind::F64)),
+            Instr::F64Load(m) => {
+                self.lower_load(m.offset, Op::F64Load(m.offset), Some(LoadKind::F64))
+            }
             Instr::I32Load8S(m) => self.simple(Op::I32Load8S(m.offset), 1, 1),
             Instr::I32Load8U(m) => {
                 self.lower_load(m.offset, Op::I32Load8U(m.offset), Some(LoadKind::I32U8))
@@ -1059,8 +1176,10 @@ impl<'m> FnCompiler<'m> {
         // Fresh slots for the callee frame: params then declared locals.
         let base = self.next_local;
         self.next_local += (ty.params.len() + body.locals.len()) as u32;
-        self.extra_locals.extend(ty.params.iter().map(|t| Value::zero(*t)));
-        self.extra_locals.extend(body.locals.iter().map(|t| Value::zero(*t)));
+        self.extra_locals
+            .extend(ty.params.iter().map(|t| Value::zero(*t)));
+        self.extra_locals
+            .extend(body.locals.iter().map(|t| Value::zero(*t)));
 
         // Drain the arguments into the param slots (unmetered glue: the
         // reference interpreter moves them during frame setup).
@@ -1096,9 +1215,7 @@ impl<'m> FnCompiler<'m> {
                     self.bump(2, 1);
                     return;
                 }
-                (Op::I32Const(k), Op::LocalGet(l))
-                    if op.commutative() && l <= u16::MAX as u32 =>
-                {
+                (Op::I32Const(k), Op::LocalGet(l)) if op.commutative() && l <= u16::MAX as u32 => {
                     self.pop_tail(2);
                     self.emit(Op::I32BinLC { op, a: l as u16, k });
                     self.bump(2, 1);
@@ -1136,9 +1253,10 @@ impl<'m> FnCompiler<'m> {
             let dst = i as u16;
             let fused = match self.tail() {
                 Some(Op::I32Const(k)) => Some(Op::LocalSetC { dst, k }),
-                Some(Op::LocalGet(src)) if src <= u16::MAX as u32 => {
-                    Some(Op::LocalCopy { src: src as u16, dst })
-                }
+                Some(Op::LocalGet(src)) if src <= u16::MAX as u32 => Some(Op::LocalCopy {
+                    src: src as u16,
+                    dst,
+                }),
                 Some(Op::I32BinLL { op, a, b }) => Some(Op::I32BinLLSet { op, a, b, dst }),
                 Some(Op::I32BinLC { op, a, k }) => Some(Op::I32BinLCSet { op, a, k, dst }),
                 Some(Op::I32BinSL { op, b }) => Some(Op::I32BinSLSet { op, b, dst }),
@@ -1163,14 +1281,10 @@ impl<'m> FnCompiler<'m> {
         self.count(1);
         let rewritten = match self.tail() {
             Some(Op::I32Bin(c)) => c.negate().map(Op::I32Bin),
-            Some(Op::I32BinLL { op: c, a, b }) => {
-                c.negate().map(|n| Op::I32BinLL { op: n, a, b })
-            }
+            Some(Op::I32BinLL { op: c, a, b }) => c.negate().map(|n| Op::I32BinLL { op: n, a, b }),
             Some(Op::I32BinSL { op: c, b }) => c.negate().map(|n| Op::I32BinSL { op: n, b }),
             Some(Op::I32BinSC { op: c, k }) => c.negate().map(|n| Op::I32BinSC { op: n, k }),
-            Some(Op::I32BinLC { op: c, a, k }) => {
-                c.negate().map(|n| Op::I32BinLC { op: n, a, k })
-            }
+            Some(Op::I32BinLC { op: c, a, k }) => c.negate().map(|n| Op::I32BinLC { op: n, a, k }),
             _ => None,
         };
         if let Some(op) = rewritten {
@@ -1217,11 +1331,19 @@ impl<'m> FnCompiler<'m> {
             }
             Some(Op::I32Bin(c)) if c.negate().is_some() => {
                 self.pop_tail(1);
-                self.emit(Op::BrIfCmp { op: c.negate().expect("compare"), br });
+                self.emit(Op::BrIfCmp {
+                    op: c.negate().expect("compare"),
+                    br,
+                });
             }
             Some(Op::I32BinLL { op: c, a, b }) if c.negate().is_some() => {
                 self.pop_tail(1);
-                self.emit(Op::BrIfLL { op: c.negate().expect("compare"), a, b, br });
+                self.emit(Op::BrIfLL {
+                    op: c.negate().expect("compare"),
+                    a,
+                    b,
+                    br,
+                });
             }
             _ => self.emit(Op::BrIfZ(br)),
         }
@@ -1367,8 +1489,19 @@ mod tests {
         let m = b.finish().expect("valid");
         let cf = compile_first(&m);
         // Meter + fused mul + return.
-        assert!(matches!(cf.ops[0], Op::Meter { cost: 4, .. }), "ops: {:?}", cf.ops);
-        assert!(matches!(cf.ops[1], Op::I32BinLC { op: I32Op::Mul, a: 0, k: 2 }));
+        assert!(
+            matches!(cf.ops[0], Op::Meter { cost: 4, .. }),
+            "ops: {:?}",
+            cf.ops
+        );
+        assert!(matches!(
+            cf.ops[1],
+            Op::I32BinLC {
+                op: I32Op::Mul,
+                a: 0,
+                k: 2
+            }
+        ));
         assert!(matches!(cf.ops[2], Op::Return));
         assert_eq!(cf.ops.len(), 3);
     }
@@ -1402,9 +1535,15 @@ mod tests {
         // The loop condition (get,get,lt,eqz,br_if) must be ONE op: a
         // BrIfLL with the negated compare.
         assert!(
-            cf.ops
-                .iter()
-                .any(|op| matches!(op, Op::BrIfLL { op: I32Op::GeS, a: 0, b: 1, .. })),
+            cf.ops.iter().any(|op| matches!(
+                op,
+                Op::BrIfLL {
+                    op: I32Op::GeS,
+                    a: 0,
+                    b: 1,
+                    ..
+                }
+            )),
             "ops: {:?}",
             cf.ops
         );
@@ -1472,6 +1611,10 @@ mod tests {
 
     #[test]
     fn op_enum_stays_small() {
-        assert!(std::mem::size_of::<Op>() <= 16, "Op grew: {}", std::mem::size_of::<Op>());
+        assert!(
+            std::mem::size_of::<Op>() <= 16,
+            "Op grew: {}",
+            std::mem::size_of::<Op>()
+        );
     }
 }

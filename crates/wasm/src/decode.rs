@@ -92,7 +92,10 @@ impl<'a> Reader<'a> {
     }
 
     fn err(&self, kind: DecodeErrorKind) -> DecodeError {
-        DecodeError { offset: self.pos, kind }
+        DecodeError {
+            offset: self.pos,
+            kind,
+        }
     }
 
     fn remaining(&self) -> usize {
@@ -100,10 +103,10 @@ impl<'a> Reader<'a> {
     }
 
     fn byte(&mut self) -> Result<u8, DecodeError> {
-        let b = *self
-            .buf
-            .get(self.pos)
-            .ok_or(DecodeError { offset: self.pos, kind: DecodeErrorKind::UnexpectedEof })?;
+        let b = *self.buf.get(self.pos).ok_or(DecodeError {
+            offset: self.pos,
+            kind: DecodeErrorKind::UnexpectedEof,
+        })?;
         self.pos += 1;
         Ok(b)
     }
@@ -152,21 +155,28 @@ impl<'a> Reader<'a> {
 
     fn f64(&mut self) -> Result<f64, DecodeError> {
         let b = self.bytes(8)?;
-        Ok(f64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
+        Ok(f64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
     }
 
     fn name(&mut self) -> Result<String, DecodeError> {
         let len = self.u32()? as usize;
         let off = self.pos;
         let raw = self.bytes(len)?;
-        String::from_utf8(raw.to_vec())
-            .map_err(|_| DecodeError { offset: off, kind: DecodeErrorKind::BadUtf8 })
+        String::from_utf8(raw.to_vec()).map_err(|_| DecodeError {
+            offset: off,
+            kind: DecodeErrorKind::BadUtf8,
+        })
     }
 
     fn valtype(&mut self) -> Result<ValType, DecodeError> {
         let off = self.pos;
         let b = self.byte()?;
-        ValType::from_byte(b).ok_or(DecodeError { offset: off, kind: DecodeErrorKind::BadValType(b) })
+        ValType::from_byte(b).ok_or(DecodeError {
+            offset: off,
+            kind: DecodeErrorKind::BadValType(b),
+        })
     }
 
     fn limits(&mut self) -> Result<Limits, DecodeError> {
@@ -184,12 +194,15 @@ impl<'a> Reader<'a> {
         let off = self.pos;
         let v = self.s33()?;
         match v {
-            -64 => Ok(BlockType::Empty), // 0x40
-            -1 => Ok(BlockType::Value(ValType::I32)),  // 0x7f
-            -2 => Ok(BlockType::Value(ValType::I64)),  // 0x7e
-            -3 => Ok(BlockType::Value(ValType::F32)),  // 0x7d
-            -4 => Ok(BlockType::Value(ValType::F64)),  // 0x7c
-            other => Err(DecodeError { offset: off, kind: DecodeErrorKind::BadBlockType(other) }),
+            -64 => Ok(BlockType::Empty),              // 0x40
+            -1 => Ok(BlockType::Value(ValType::I32)), // 0x7f
+            -2 => Ok(BlockType::Value(ValType::I64)), // 0x7e
+            -3 => Ok(BlockType::Value(ValType::F32)), // 0x7d
+            -4 => Ok(BlockType::Value(ValType::F64)), // 0x7c
+            other => Err(DecodeError {
+                offset: off,
+                kind: DecodeErrorKind::BadBlockType(other),
+            }),
         }
     }
 
@@ -220,12 +233,18 @@ impl<'a> Reader<'a> {
 pub fn decode_module(bytes: &[u8]) -> Result<Module, DecodeError> {
     let mut r = Reader::new(bytes);
     if r.bytes(4).map_err(|_| r.err(DecodeErrorKind::BadMagic))? != b"\0asm" {
-        return Err(DecodeError { offset: 0, kind: DecodeErrorKind::BadMagic });
+        return Err(DecodeError {
+            offset: 0,
+            kind: DecodeErrorKind::BadMagic,
+        });
     }
     let ver = r.bytes(4)?;
     let version = u32::from_le_bytes([ver[0], ver[1], ver[2], ver[3]]);
     if version != 1 {
-        return Err(DecodeError { offset: 4, kind: DecodeErrorKind::BadVersion(version) });
+        return Err(DecodeError {
+            offset: 4,
+            kind: DecodeErrorKind::BadVersion(version),
+        });
     }
 
     let mut module = Module::default();
@@ -237,7 +256,10 @@ pub fn decode_module(bytes: &[u8]) -> Result<Module, DecodeError> {
         let id = r.byte()?;
         let size = r.u32()? as usize;
         if r.remaining() < size {
-            return Err(DecodeError { offset: sec_off, kind: DecodeErrorKind::SectionSize });
+            return Err(DecodeError {
+                offset: sec_off,
+                kind: DecodeErrorKind::SectionSize,
+            });
         }
         let end_pos = r.pos + size;
 
@@ -247,10 +269,16 @@ pub fn decode_module(bytes: &[u8]) -> Result<Module, DecodeError> {
             continue;
         }
         if id > 11 {
-            return Err(DecodeError { offset: sec_off, kind: DecodeErrorKind::BadSection(id) });
+            return Err(DecodeError {
+                offset: sec_off,
+                kind: DecodeErrorKind::BadSection(id),
+            });
         }
         if (id as i8) <= last_section {
-            return Err(DecodeError { offset: sec_off, kind: DecodeErrorKind::SectionOrder(id) });
+            return Err(DecodeError {
+                offset: sec_off,
+                kind: DecodeErrorKind::SectionOrder(id),
+            });
         }
         last_section = id as i8;
 
@@ -272,7 +300,10 @@ pub fn decode_module(bytes: &[u8]) -> Result<Module, DecodeError> {
                     let off = r.pos;
                     let reftype = r.byte()?;
                     if reftype != 0x70 {
-                        return Err(DecodeError { offset: off, kind: DecodeErrorKind::BadRefType(reftype) });
+                        return Err(DecodeError {
+                            offset: off,
+                            kind: DecodeErrorKind::BadRefType(reftype),
+                        });
                     }
                     module.table = Some(r.limits()?);
                 }
@@ -302,7 +333,10 @@ pub fn decode_module(bytes: &[u8]) -> Result<Module, DecodeError> {
                         }
                     };
                     let init = r.const_expr()?;
-                    module.globals.push(Global { ty: GlobalType { ty, mutability }, init });
+                    module.globals.push(Global {
+                        ty: GlobalType { ty, mutability },
+                        init,
+                    });
                 }
             }
             7 => {
@@ -364,14 +398,20 @@ pub fn decode_module(bytes: &[u8]) -> Result<Module, DecodeError> {
         }
 
         if r.pos != end_pos {
-            return Err(DecodeError { offset: sec_off, kind: DecodeErrorKind::SectionSize });
+            return Err(DecodeError {
+                offset: sec_off,
+                kind: DecodeErrorKind::SectionSize,
+            });
         }
     }
 
     if module.funcs.is_empty() && !func_type_indices.is_empty() {
         return Err(DecodeError {
             offset: bytes.len(),
-            kind: DecodeErrorKind::FuncCodeMismatch { funcs: func_type_indices.len(), bodies: 0 },
+            kind: DecodeErrorKind::FuncCodeMismatch {
+                funcs: func_type_indices.len(),
+                bodies: 0,
+            },
         });
     }
 
@@ -384,7 +424,10 @@ fn decode_type_section(r: &mut Reader<'_>, module: &mut Module) -> Result<(), De
         let tag_off = r.pos;
         let tag = r.byte()?;
         if tag != 0x60 {
-            return Err(DecodeError { offset: tag_off, kind: DecodeErrorKind::BadEntityKind(tag) });
+            return Err(DecodeError {
+                offset: tag_off,
+                kind: DecodeErrorKind::BadEntityKind(tag),
+            });
         }
         let n_params = r.u32()? as usize;
         let mut params = Vec::with_capacity(n_params.min(1024));
@@ -424,7 +467,10 @@ fn decode_import_section(r: &mut Reader<'_>, module: &mut Module) -> Result<(), 
                 })
             }
             b => {
-                return Err(DecodeError { offset: kind_off, kind: DecodeErrorKind::BadEntityKind(b) })
+                return Err(DecodeError {
+                    offset: kind_off,
+                    kind: DecodeErrorKind::BadEntityKind(b),
+                })
             }
         }
     }
@@ -459,7 +505,7 @@ fn decode_code_section(
             if locals.len() + n > MAX_LOCALS {
                 return Err(r.err(DecodeErrorKind::TooManyLocals));
             }
-            locals.extend(std::iter::repeat(ty).take(n));
+            locals.extend(std::iter::repeat_n(ty, n));
         }
 
         let mut code = Vec::new();
@@ -482,9 +528,16 @@ fn decode_instr(r: &mut Reader<'_>) -> Result<Instr, DecodeError> {
     let instr = match op {
         0x00 => Instr::Unreachable,
         0x01 => Instr::Nop,
-        0x02 => Instr::Block { ty: r.blocktype()?, end_pc: u32::MAX },
+        0x02 => Instr::Block {
+            ty: r.blocktype()?,
+            end_pc: u32::MAX,
+        },
         0x03 => Instr::Loop { ty: r.blocktype()? },
-        0x04 => Instr::If { ty: r.blocktype()?, else_pc: u32::MAX, end_pc: u32::MAX },
+        0x04 => Instr::If {
+            ty: r.blocktype()?,
+            else_pc: u32::MAX,
+            end_pc: u32::MAX,
+        },
         0x05 => Instr::Else { end_pc: u32::MAX },
         0x0b => Instr::End,
         0x0c => Instr::Br { depth: r.u32()? },
@@ -496,7 +549,10 @@ fn decode_instr(r: &mut Reader<'_>) -> Result<Instr, DecodeError> {
                 targets.push(r.u32()?);
             }
             let default = r.u32()?;
-            Instr::BrTable { targets: targets.into_boxed_slice(), default }
+            Instr::BrTable {
+                targets: targets.into_boxed_slice(),
+                default,
+            }
         }
         0x0f => Instr::Return,
         0x10 => Instr::Call { func: r.u32()? },
@@ -505,7 +561,10 @@ fn decode_instr(r: &mut Reader<'_>) -> Result<Instr, DecodeError> {
             let table_idx_off = r.pos;
             let table_idx = r.byte()?;
             if table_idx != 0 {
-                return Err(DecodeError { offset: table_idx_off, kind: DecodeErrorKind::NonZeroIndex });
+                return Err(DecodeError {
+                    offset: table_idx_off,
+                    kind: DecodeErrorKind::NonZeroIndex,
+                });
             }
             Instr::CallIndirect { type_idx }
         }
@@ -541,13 +600,19 @@ fn decode_instr(r: &mut Reader<'_>) -> Result<Instr, DecodeError> {
         0x3e => Instr::I64Store32(r.memarg()?),
         0x3f => {
             if r.byte()? != 0 {
-                return Err(DecodeError { offset: op_off, kind: DecodeErrorKind::NonZeroIndex });
+                return Err(DecodeError {
+                    offset: op_off,
+                    kind: DecodeErrorKind::NonZeroIndex,
+                });
             }
             Instr::MemorySize
         }
         0x40 => {
             if r.byte()? != 0 {
-                return Err(DecodeError { offset: op_off, kind: DecodeErrorKind::NonZeroIndex });
+                return Err(DecodeError {
+                    offset: op_off,
+                    kind: DecodeErrorKind::NonZeroIndex,
+                });
             }
             Instr::MemoryGrow
         }
@@ -697,13 +762,19 @@ fn decode_instr(r: &mut Reader<'_>) -> Result<Instr, DecodeError> {
                 10 => {
                     // memory.copy dst_mem src_mem (both must be 0)
                     if r.byte()? != 0 || r.byte()? != 0 {
-                        return Err(DecodeError { offset: op_off, kind: DecodeErrorKind::NonZeroIndex });
+                        return Err(DecodeError {
+                            offset: op_off,
+                            kind: DecodeErrorKind::NonZeroIndex,
+                        });
                     }
                     Instr::MemoryCopy
                 }
                 11 => {
                     if r.byte()? != 0 {
-                        return Err(DecodeError { offset: op_off, kind: DecodeErrorKind::NonZeroIndex });
+                        return Err(DecodeError {
+                            offset: op_off,
+                            kind: DecodeErrorKind::NonZeroIndex,
+                        });
                     }
                     Instr::MemoryFill
                 }
@@ -715,7 +786,12 @@ fn decode_instr(r: &mut Reader<'_>) -> Result<Instr, DecodeError> {
                 }
             }
         }
-        other => return Err(DecodeError { offset: op_off, kind: DecodeErrorKind::BadOpcode(other) }),
+        other => {
+            return Err(DecodeError {
+                offset: op_off,
+                kind: DecodeErrorKind::BadOpcode(other),
+            })
+        }
     };
     Ok(instr)
 }

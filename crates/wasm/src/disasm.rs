@@ -74,11 +74,17 @@ pub fn disassemble(module: &Module) -> String {
                 Instr::Else { .. } => depth = depth.saturating_sub(1),
                 _ => {}
             }
-            let _ = writeln!(out, "    {}{}", "  ".repeat(depth.saturating_sub(1)), render(instr));
+            let _ = writeln!(
+                out,
+                "    {}{}",
+                "  ".repeat(depth.saturating_sub(1)),
+                render(instr)
+            );
             match instr {
-                Instr::Block { .. } | Instr::Loop { .. } | Instr::If { .. } | Instr::Else { .. } => {
-                    depth += 1
-                }
+                Instr::Block { .. }
+                | Instr::Loop { .. }
+                | Instr::If { .. }
+                | Instr::Else { .. } => depth += 1,
                 _ => {}
             }
         }
@@ -102,7 +108,12 @@ pub fn disassemble(module: &Module) -> String {
     }
     for seg in &module.elems {
         let funcs: Vec<String> = seg.funcs.iter().map(|f| format!("$f{f}")).collect();
-        let _ = writeln!(out, "  (elem ({}) {})", const_expr(&seg.offset), funcs.join(" "));
+        let _ = writeln!(
+            out,
+            "  (elem ({}) {})",
+            const_expr(&seg.offset),
+            funcs.join(" ")
+        );
     }
     for seg in &module.data {
         let _ = writeln!(
@@ -277,9 +288,6 @@ fn variant_to_wat(variant: &str) -> String {
             }
             out.push(c.to_ascii_lowercase());
             word_break = false;
-        } else if c.is_ascii_digit() {
-            out.push(c);
-            word_break = true;
         } else {
             out.push(c);
             word_break = true;

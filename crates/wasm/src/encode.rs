@@ -314,37 +314,133 @@ pub fn encode_instr(out: &mut Vec<u8>, instr: &Instr) {
             out.push(0x24);
             write_unsigned(out, *i as u64);
         }
-        I32Load(m) => { out.push(0x28); encode_memarg(out, *m); }
-        I64Load(m) => { out.push(0x29); encode_memarg(out, *m); }
-        F32Load(m) => { out.push(0x2a); encode_memarg(out, *m); }
-        F64Load(m) => { out.push(0x2b); encode_memarg(out, *m); }
-        I32Load8S(m) => { out.push(0x2c); encode_memarg(out, *m); }
-        I32Load8U(m) => { out.push(0x2d); encode_memarg(out, *m); }
-        I32Load16S(m) => { out.push(0x2e); encode_memarg(out, *m); }
-        I32Load16U(m) => { out.push(0x2f); encode_memarg(out, *m); }
-        I64Load8S(m) => { out.push(0x30); encode_memarg(out, *m); }
-        I64Load8U(m) => { out.push(0x31); encode_memarg(out, *m); }
-        I64Load16S(m) => { out.push(0x32); encode_memarg(out, *m); }
-        I64Load16U(m) => { out.push(0x33); encode_memarg(out, *m); }
-        I64Load32S(m) => { out.push(0x34); encode_memarg(out, *m); }
-        I64Load32U(m) => { out.push(0x35); encode_memarg(out, *m); }
-        I32Store(m) => { out.push(0x36); encode_memarg(out, *m); }
-        I64Store(m) => { out.push(0x37); encode_memarg(out, *m); }
-        F32Store(m) => { out.push(0x38); encode_memarg(out, *m); }
-        F64Store(m) => { out.push(0x39); encode_memarg(out, *m); }
-        I32Store8(m) => { out.push(0x3a); encode_memarg(out, *m); }
-        I32Store16(m) => { out.push(0x3b); encode_memarg(out, *m); }
-        I64Store8(m) => { out.push(0x3c); encode_memarg(out, *m); }
-        I64Store16(m) => { out.push(0x3d); encode_memarg(out, *m); }
-        I64Store32(m) => { out.push(0x3e); encode_memarg(out, *m); }
-        MemorySize => { out.push(0x3f); out.push(0x00); }
-        MemoryGrow => { out.push(0x40); out.push(0x00); }
-        MemoryCopy => { out.push(0xfc); write_unsigned(out, 10); out.push(0x00); out.push(0x00); }
-        MemoryFill => { out.push(0xfc); write_unsigned(out, 11); out.push(0x00); }
-        I32Const(v) => { out.push(0x41); write_signed(out, *v as i64); }
-        I64Const(v) => { out.push(0x42); write_signed(out, *v); }
-        F32Const(v) => { out.push(0x43); out.extend_from_slice(&v.to_le_bytes()); }
-        F64Const(v) => { out.push(0x44); out.extend_from_slice(&v.to_le_bytes()); }
+        I32Load(m) => {
+            out.push(0x28);
+            encode_memarg(out, *m);
+        }
+        I64Load(m) => {
+            out.push(0x29);
+            encode_memarg(out, *m);
+        }
+        F32Load(m) => {
+            out.push(0x2a);
+            encode_memarg(out, *m);
+        }
+        F64Load(m) => {
+            out.push(0x2b);
+            encode_memarg(out, *m);
+        }
+        I32Load8S(m) => {
+            out.push(0x2c);
+            encode_memarg(out, *m);
+        }
+        I32Load8U(m) => {
+            out.push(0x2d);
+            encode_memarg(out, *m);
+        }
+        I32Load16S(m) => {
+            out.push(0x2e);
+            encode_memarg(out, *m);
+        }
+        I32Load16U(m) => {
+            out.push(0x2f);
+            encode_memarg(out, *m);
+        }
+        I64Load8S(m) => {
+            out.push(0x30);
+            encode_memarg(out, *m);
+        }
+        I64Load8U(m) => {
+            out.push(0x31);
+            encode_memarg(out, *m);
+        }
+        I64Load16S(m) => {
+            out.push(0x32);
+            encode_memarg(out, *m);
+        }
+        I64Load16U(m) => {
+            out.push(0x33);
+            encode_memarg(out, *m);
+        }
+        I64Load32S(m) => {
+            out.push(0x34);
+            encode_memarg(out, *m);
+        }
+        I64Load32U(m) => {
+            out.push(0x35);
+            encode_memarg(out, *m);
+        }
+        I32Store(m) => {
+            out.push(0x36);
+            encode_memarg(out, *m);
+        }
+        I64Store(m) => {
+            out.push(0x37);
+            encode_memarg(out, *m);
+        }
+        F32Store(m) => {
+            out.push(0x38);
+            encode_memarg(out, *m);
+        }
+        F64Store(m) => {
+            out.push(0x39);
+            encode_memarg(out, *m);
+        }
+        I32Store8(m) => {
+            out.push(0x3a);
+            encode_memarg(out, *m);
+        }
+        I32Store16(m) => {
+            out.push(0x3b);
+            encode_memarg(out, *m);
+        }
+        I64Store8(m) => {
+            out.push(0x3c);
+            encode_memarg(out, *m);
+        }
+        I64Store16(m) => {
+            out.push(0x3d);
+            encode_memarg(out, *m);
+        }
+        I64Store32(m) => {
+            out.push(0x3e);
+            encode_memarg(out, *m);
+        }
+        MemorySize => {
+            out.push(0x3f);
+            out.push(0x00);
+        }
+        MemoryGrow => {
+            out.push(0x40);
+            out.push(0x00);
+        }
+        MemoryCopy => {
+            out.push(0xfc);
+            write_unsigned(out, 10);
+            out.push(0x00);
+            out.push(0x00);
+        }
+        MemoryFill => {
+            out.push(0xfc);
+            write_unsigned(out, 11);
+            out.push(0x00);
+        }
+        I32Const(v) => {
+            out.push(0x41);
+            write_signed(out, *v as i64);
+        }
+        I64Const(v) => {
+            out.push(0x42);
+            write_signed(out, *v);
+        }
+        F32Const(v) => {
+            out.push(0x43);
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        F64Const(v) => {
+            out.push(0x44);
+            out.extend_from_slice(&v.to_le_bytes());
+        }
         I32Eqz => out.push(0x45),
         I32Eq => out.push(0x46),
         I32Ne => out.push(0x47),
@@ -473,14 +569,38 @@ pub fn encode_instr(out: &mut Vec<u8>, instr: &Instr) {
         I64Extend8S => out.push(0xc2),
         I64Extend16S => out.push(0xc3),
         I64Extend32S => out.push(0xc4),
-        I32TruncSatF32S => { out.push(0xfc); write_unsigned(out, 0); }
-        I32TruncSatF32U => { out.push(0xfc); write_unsigned(out, 1); }
-        I32TruncSatF64S => { out.push(0xfc); write_unsigned(out, 2); }
-        I32TruncSatF64U => { out.push(0xfc); write_unsigned(out, 3); }
-        I64TruncSatF32S => { out.push(0xfc); write_unsigned(out, 4); }
-        I64TruncSatF32U => { out.push(0xfc); write_unsigned(out, 5); }
-        I64TruncSatF64S => { out.push(0xfc); write_unsigned(out, 6); }
-        I64TruncSatF64U => { out.push(0xfc); write_unsigned(out, 7); }
+        I32TruncSatF32S => {
+            out.push(0xfc);
+            write_unsigned(out, 0);
+        }
+        I32TruncSatF32U => {
+            out.push(0xfc);
+            write_unsigned(out, 1);
+        }
+        I32TruncSatF64S => {
+            out.push(0xfc);
+            write_unsigned(out, 2);
+        }
+        I32TruncSatF64U => {
+            out.push(0xfc);
+            write_unsigned(out, 3);
+        }
+        I64TruncSatF32S => {
+            out.push(0xfc);
+            write_unsigned(out, 4);
+        }
+        I64TruncSatF32U => {
+            out.push(0xfc);
+            write_unsigned(out, 5);
+        }
+        I64TruncSatF64S => {
+            out.push(0xfc);
+            write_unsigned(out, 6);
+        }
+        I64TruncSatF64U => {
+            out.push(0xfc);
+            write_unsigned(out, 7);
+        }
     }
 }
 
@@ -495,8 +615,15 @@ mod tests {
     fn roundtrip_minimal() {
         let mut m = Module::default();
         m.types.push(FuncType::new(&[], &[ValType::I32]));
-        m.funcs.push(FuncBody::new(0, vec![], vec![Instr::I32Const(42), Instr::End]));
-        m.exports.push(Export { name: "f".into(), kind: ExportKind::Func(0) });
+        m.funcs.push(FuncBody::new(
+            0,
+            vec![],
+            vec![Instr::I32Const(42), Instr::End],
+        ));
+        m.exports.push(Export {
+            name: "f".into(),
+            kind: ExportKind::Func(0),
+        });
         let bytes = encode_module(&m);
         let back = decode_module(&bytes).unwrap();
         assert_eq!(back, m);
@@ -505,7 +632,10 @@ mod tests {
     #[test]
     fn roundtrip_rich_module() {
         let mut m = Module::default();
-        m.types.push(FuncType::new(&[ValType::I32, ValType::F64], &[ValType::I64]));
+        m.types.push(FuncType::new(
+            &[ValType::I32, ValType::F64],
+            &[ValType::I64],
+        ));
         m.types.push(FuncType::new(&[], &[]));
         m.imports.push(Import {
             module: "env".into(),
@@ -515,14 +645,20 @@ mod tests {
         m.memory = Some(Limits::new(1, Some(16)));
         m.table = Some(Limits::new(2, None));
         m.globals.push(Global {
-            ty: GlobalType { ty: ValType::F64, mutability: Mutability::Var },
+            ty: GlobalType {
+                ty: ValType::F64,
+                mutability: Mutability::Var,
+            },
             init: ConstExpr::F64(3.25),
         });
         m.funcs.push(FuncBody::new(
             0,
             vec![ValType::I32, ValType::I32, ValType::F64],
             vec![
-                Instr::Block { ty: BlockType::Value(ValType::I64), end_pc: 3 },
+                Instr::Block {
+                    ty: BlockType::Value(ValType::I64),
+                    end_pc: 3,
+                },
                 Instr::I64Const(-5),
                 Instr::Br { depth: 0 },
                 Instr::End,
@@ -530,15 +666,30 @@ mod tests {
                 Instr::I64ExtendI32S,
                 Instr::I64Add,
                 Instr::I32Const(0),
-                Instr::I64Load(MemArg { align: 3, offset: 8 }),
+                Instr::I64Load(MemArg {
+                    align: 3,
+                    offset: 8,
+                }),
                 Instr::I64Add,
                 Instr::End,
             ],
         ));
-        m.exports.push(Export { name: "go".into(), kind: ExportKind::Func(1) });
-        m.exports.push(Export { name: "mem".into(), kind: ExportKind::Memory });
-        m.elems.push(ElemSegment { offset: ConstExpr::I32(0), funcs: vec![1, 1] });
-        m.data.push(DataSegment { offset: ConstExpr::I32(8), bytes: vec![1, 2, 3, 4] });
+        m.exports.push(Export {
+            name: "go".into(),
+            kind: ExportKind::Func(1),
+        });
+        m.exports.push(Export {
+            name: "mem".into(),
+            kind: ExportKind::Memory,
+        });
+        m.elems.push(ElemSegment {
+            offset: ConstExpr::I32(0),
+            funcs: vec![1, 1],
+        });
+        m.data.push(DataSegment {
+            offset: ConstExpr::I32(8),
+            bytes: vec![1, 2, 3, 4],
+        });
         m.start = None;
 
         let bytes = encode_module(&m);
@@ -549,7 +700,10 @@ mod tests {
     #[test]
     fn locals_run_length_encoding() {
         let mut out = Vec::new();
-        encode_locals(&mut out, &[ValType::I32, ValType::I32, ValType::F64, ValType::I32]);
+        encode_locals(
+            &mut out,
+            &[ValType::I32, ValType::I32, ValType::F64, ValType::I32],
+        );
         // 3 groups: 2×i32, 1×f64, 1×i32
         assert_eq!(out[0], 3);
         assert_eq!(out[1], 2);

@@ -30,7 +30,10 @@ struct HostFuncDef<T> {
 
 impl<T> Clone for HostFuncDef<T> {
     fn clone(&self) -> Self {
-        HostFuncDef { ty: self.ty.clone(), func: self.func.clone() }
+        HostFuncDef {
+            ty: self.ty.clone(),
+            func: self.func.clone(),
+        }
     }
 }
 
@@ -41,13 +44,17 @@ pub struct Linker<T> {
 
 impl<T> Default for Linker<T> {
     fn default() -> Self {
-        Linker { funcs: HashMap::new() }
+        Linker {
+            funcs: HashMap::new(),
+        }
     }
 }
 
 impl<T> Clone for Linker<T> {
     fn clone(&self) -> Self {
-        Linker { funcs: self.funcs.clone() }
+        Linker {
+            funcs: self.funcs.clone(),
+        }
     }
 }
 
@@ -65,14 +72,14 @@ impl<T> Linker<T> {
         name: &str,
         params: &[ValType],
         results: &[ValType],
-        f: impl Fn(&mut T, &mut Memory, &[Value]) -> Result<Option<Value>, Trap>
-            + Send
-            + Sync
-            + 'static,
+        f: impl Fn(&mut T, &mut Memory, &[Value]) -> Result<Option<Value>, Trap> + Send + Sync + 'static,
     ) -> &mut Self {
         self.funcs.insert(
             (module.to_string(), name.to_string()),
-            HostFuncDef { ty: FuncType::new(params, results), func: Arc::new(f) },
+            HostFuncDef {
+                ty: FuncType::new(params, results),
+                func: Arc::new(f),
+            },
         );
         self
     }
@@ -88,7 +95,14 @@ pub enum InstantiateError {
     /// An import had no registration in the linker.
     MissingImport { module: String, name: String },
     /// An import's registered signature differs from the module's.
-    ImportTypeMismatch { module: String, name: String, expected: FuncType, found: FuncType },
+    /// The signatures are boxed so the error (and every `Result` carrying
+    /// it) stays small enough to return by value on the hot path.
+    ImportTypeMismatch {
+        module: String,
+        name: String,
+        expected: Box<FuncType>,
+        found: Box<FuncType>,
+    },
     /// A data segment falls outside the initial memory.
     DataSegmentOutOfBounds,
     /// An element segment falls outside the table.
@@ -105,8 +119,16 @@ impl std::fmt::Display for InstantiateError {
             InstantiateError::MissingImport { module, name } => {
                 write!(f, "unresolved import {module}.{name}")
             }
-            InstantiateError::ImportTypeMismatch { module, name, expected, found } => {
-                write!(f, "import {module}.{name}: module wants {expected}, linker has {found}")
+            InstantiateError::ImportTypeMismatch {
+                module,
+                name,
+                expected,
+                found,
+            } => {
+                write!(
+                    f,
+                    "import {module}.{name}: module wants {expected}, linker has {found}"
+                )
             }
             InstantiateError::DataSegmentOutOfBounds => write!(f, "data segment out of bounds"),
             InstantiateError::ElemSegmentOutOfBounds => write!(f, "element segment out of bounds"),
@@ -133,7 +155,11 @@ pub struct ExecLimits {
 
 impl Default for ExecLimits {
     fn default() -> Self {
-        ExecLimits { max_call_depth: 1024, max_value_stack: 1 << 20, max_memory_pages: u32::MAX }
+        ExecLimits {
+            max_call_depth: 1024,
+            max_value_stack: 1 << 20,
+            max_memory_pages: u32::MAX,
+        }
     }
 }
 
@@ -197,6 +223,26 @@ impl<T> std::fmt::Debug for Instance<T> {
 /// How often the engine polls the wall clock when a deadline is set.
 const DEADLINE_CHECK_INTERVAL: u64 = 8192;
 
+// Concurrency audit for the sharded engine: instances (and linkers, whose
+// host functions are `Arc<dyn Fn .. + Send + Sync>`) must move into worker
+// threads whenever the embedder's state `T` does. No `Rc`, no raw
+// pointers, no thread-affine interior mutability may creep into these
+// types; if one does, this stops compiling instead of the engine
+// intermittently corrupting state.
+#[allow(dead_code)]
+fn _instance_send_audit<T: Send>() {
+    fn is_send<X: Send>() {}
+    is_send::<Instance<T>>();
+    is_send::<Linker<T>>();
+    is_send::<Memory>();
+}
+#[allow(dead_code)]
+fn _linker_sync_audit<T: Send + Sync>() {
+    // One `Linker` may be shared by many workers instantiating pools.
+    fn is_sync<X: Sync>() {}
+    is_sync::<Linker<T>>();
+}
+
 impl<T> Instance<T> {
     /// Instantiate `module` with imports from `linker` and host state `data`,
     /// using default [`ExecLimits`].
@@ -217,14 +263,17 @@ impl<T> Instance<T> {
             let ImportKind::Func { type_idx } = imp.kind;
             let expected = &module.types[type_idx as usize];
             let def = linker.resolve(&imp.module, &imp.name).ok_or_else(|| {
-                InstantiateError::MissingImport { module: imp.module.clone(), name: imp.name.clone() }
+                InstantiateError::MissingImport {
+                    module: imp.module.clone(),
+                    name: imp.name.clone(),
+                }
             })?;
             if def.ty != *expected {
                 return Err(InstantiateError::ImportTypeMismatch {
                     module: imp.module.clone(),
                     name: imp.name.clone(),
-                    expected: expected.clone(),
-                    found: def.ty.clone(),
+                    expected: Box::new(expected.clone()),
+                    found: Box::new(def.ty.clone()),
                 });
             }
             host_funcs.push(def.clone());
@@ -290,7 +339,8 @@ impl<T> Instance<T> {
         };
 
         if let Some(start) = inst.module.start {
-            inst.call_func(start, &[]).map_err(InstantiateError::StartTrap)?;
+            inst.call_func(start, &[])
+                .map_err(InstantiateError::StartTrap)?;
         }
 
         Ok(inst)
@@ -381,9 +431,7 @@ impl<T> Instance<T> {
             .module
             .func_type(func)
             .ok_or_else(|| Trap::HostError(format!("export `{name}` has no type")))?;
-        if ty.params.len() != args.len()
-            || ty.params.iter().zip(args).any(|(p, a)| *p != a.ty())
-        {
+        if ty.params.len() != args.len() || ty.params.iter().zip(args).any(|(p, a)| *p != a.ty()) {
             return Err(Trap::HostError(format!(
                 "argument mismatch calling `{name}`: expected {ty}",
             )));
@@ -583,7 +631,11 @@ impl<T> Instance<T> {
                         pop_self: true,
                     });
                 }
-                Instr::If { ty, else_pc, end_pc } => {
+                Instr::If {
+                    ty,
+                    else_pc,
+                    end_pc,
+                } => {
                     let cond = pop!().as_i32();
                     frame.labels.push(Label {
                         target: *end_pc,
@@ -1538,7 +1590,9 @@ impl<T> Instance<T> {
                     Op::I64Load(off) => cload!(off, 8, |b| Value::I64(i64::from_le_bytes(b))),
                     Op::F32Load(off) => cload!(off, 4, |b| Value::F32(f32::from_le_bytes(b))),
                     Op::F64Load(off) => cload!(off, 8, |b| Value::F64(f64::from_le_bytes(b))),
-                    Op::I32Load8S(off) => cload!(off, 1, |b: [u8; 1]| Value::I32(b[0] as i8 as i32)),
+                    Op::I32Load8S(off) => {
+                        cload!(off, 1, |b: [u8; 1]| Value::I32(b[0] as i8 as i32))
+                    }
                     Op::I32Load8U(off) => cload!(off, 1, |b: [u8; 1]| Value::I32(b[0] as i32)),
                     Op::I32Load16S(off) => {
                         cload!(off, 2, |b| Value::I32(i16::from_le_bytes(b) as i32))
@@ -1546,7 +1600,9 @@ impl<T> Instance<T> {
                     Op::I32Load16U(off) => {
                         cload!(off, 2, |b| Value::I32(u16::from_le_bytes(b) as i32))
                     }
-                    Op::I64Load8S(off) => cload!(off, 1, |b: [u8; 1]| Value::I64(b[0] as i8 as i64)),
+                    Op::I64Load8S(off) => {
+                        cload!(off, 1, |b: [u8; 1]| Value::I64(b[0] as i8 as i64))
+                    }
                     Op::I64Load8U(off) => cload!(off, 1, |b: [u8; 1]| Value::I64(b[0] as i64)),
                     Op::I64Load16S(off) => {
                         cload!(off, 2, |b| Value::I64(i16::from_le_bytes(b) as i64))
@@ -1939,7 +1995,13 @@ impl Frame {
         let mut locals = Vec::with_capacity(argc + body.locals.len());
         locals.extend(stack.drain(stack.len() - argc..));
         locals.extend(body.locals.iter().map(|t| Value::zero(*t)));
-        Frame { func: local_func, locals, pc: 0, labels: Vec::with_capacity(8), stack_base: stack.len() }
+        Frame {
+            func: local_func,
+            locals,
+            pc: 0,
+            labels: Vec::with_capacity(8),
+            stack_base: stack.len(),
+        }
     }
 }
 
@@ -2030,7 +2092,7 @@ fn trunc_f32_to_i32_s(a: f32) -> Result<i32, Trap> {
         return Err(Trap::InvalidConversion);
     }
     // Valid iff trunc(a) representable: -2^31 <= trunc(a) < 2^31.
-    if a < 2147483648.0_f32 && a >= -2147483648.0_f32 {
+    if (-2147483648.0_f32..2147483648.0_f32).contains(&a) {
         Ok(a as i32)
     } else {
         Err(Trap::InvalidConversion)
@@ -2074,7 +2136,7 @@ fn trunc_f32_to_i64_s(a: f32) -> Result<i64, Trap> {
     if a.is_nan() {
         return Err(Trap::InvalidConversion);
     }
-    if a < 9223372036854775808.0_f32 && a >= -9223372036854775808.0_f32 {
+    if (-9223372036854775808.0_f32..9223372036854775808.0_f32).contains(&a) {
         Ok(a as i64)
     } else {
         Err(Trap::InvalidConversion)
@@ -2096,7 +2158,7 @@ fn trunc_f64_to_i64_s(a: f64) -> Result<i64, Trap> {
     if a.is_nan() {
         return Err(Trap::InvalidConversion);
     }
-    if a < 9223372036854775808.0_f64 && a >= -9223372036854775808.0_f64 {
+    if (-9223372036854775808.0_f64..9223372036854775808.0_f64).contains(&a) {
         Ok(a as i64)
     } else {
         Err(Trap::InvalidConversion)

@@ -34,28 +34,50 @@ pub enum Instr {
     /// Do nothing.
     Nop,
     /// Begin a block; `end_pc` is the index of the matching `End`.
-    Block { ty: BlockType, end_pc: u32 },
+    Block {
+        ty: BlockType,
+        end_pc: u32,
+    },
     /// Begin a loop (branch target is the loop header itself).
-    Loop { ty: BlockType },
+    Loop {
+        ty: BlockType,
+    },
     /// Conditional; `else_pc` is the matching `Else` (or `end_pc` when there
     /// is no else arm), `end_pc` the matching `End`.
-    If { ty: BlockType, else_pc: u32, end_pc: u32 },
+    If {
+        ty: BlockType,
+        else_pc: u32,
+        end_pc: u32,
+    },
     /// Else arm separator; `end_pc` is the matching `End`.
-    Else { end_pc: u32 },
+    Else {
+        end_pc: u32,
+    },
     /// End of a block/loop/if or of the function body.
     End,
     /// Unconditional branch to the label `depth` levels up.
-    Br { depth: u32 },
+    Br {
+        depth: u32,
+    },
     /// Conditional branch.
-    BrIf { depth: u32 },
+    BrIf {
+        depth: u32,
+    },
     /// Indexed branch: `targets[i]` or `default`.
-    BrTable { targets: Box<[u32]>, default: u32 },
+    BrTable {
+        targets: Box<[u32]>,
+        default: u32,
+    },
     /// Return from the current function.
     Return,
     /// Call function by index (imports first).
-    Call { func: u32 },
+    Call {
+        func: u32,
+    },
     /// Indirect call through the table; `type_idx` is the expected signature.
-    CallIndirect { type_idx: u32 },
+    CallIndirect {
+        type_idx: u32,
+    },
 
     // -- parametric --------------------------------------------------------
     /// Drop the top operand.
@@ -321,7 +343,9 @@ pub fn fixup_block_targets(code: &mut [Instr]) -> Result<(), FixupError> {
                     return Err(FixupError::DanglingElse);
                 }
                 match &mut code[opener] {
-                    Instr::If { else_pc, end_pc: _, .. } => {
+                    Instr::If {
+                        else_pc, end_pc: _, ..
+                    } => {
                         if *else_pc != u32::MAX {
                             return Err(FixupError::DuplicateElse);
                         }
@@ -344,7 +368,9 @@ pub fn fixup_block_targets(code: &mut [Instr]) -> Result<(), FixupError> {
                 match &mut code[opener] {
                     Instr::Block { end_pc, .. } => *end_pc = pc as u32,
                     Instr::Loop { .. } => {}
-                    Instr::If { else_pc, end_pc, .. } => {
+                    Instr::If {
+                        else_pc, end_pc, ..
+                    } => {
                         *end_pc = pc as u32;
                         // If with no else arm: a false condition jumps to End.
                         if *else_pc == u32::MAX {
@@ -358,7 +384,10 @@ pub fn fixup_block_targets(code: &mut [Instr]) -> Result<(), FixupError> {
                         // whose else_pc == opener is the matching one.
                         let else_idx = opener as u32;
                         for instr in code[..opener].iter_mut().rev() {
-                            if let Instr::If { else_pc, end_pc, .. } = instr {
+                            if let Instr::If {
+                                else_pc, end_pc, ..
+                            } = instr
+                            {
                                 if *else_pc == else_idx {
                                     *end_pc = pc as u32;
                                     break;
@@ -387,17 +416,30 @@ mod tests {
     use crate::types::BlockType as BT;
 
     fn block() -> Instr {
-        Instr::Block { ty: BT::Empty, end_pc: u32::MAX }
+        Instr::Block {
+            ty: BT::Empty,
+            end_pc: u32::MAX,
+        }
     }
     fn if_() -> Instr {
-        Instr::If { ty: BT::Empty, else_pc: u32::MAX, end_pc: u32::MAX }
+        Instr::If {
+            ty: BT::Empty,
+            else_pc: u32::MAX,
+            end_pc: u32::MAX,
+        }
     }
 
     #[test]
     fn fixup_simple_block() {
         let mut code = vec![block(), Instr::Nop, Instr::End, Instr::End];
         fixup_block_targets(&mut code).unwrap();
-        assert_eq!(code[0], Instr::Block { ty: BT::Empty, end_pc: 2 });
+        assert_eq!(
+            code[0],
+            Instr::Block {
+                ty: BT::Empty,
+                end_pc: 2
+            }
+        );
     }
 
     #[test]
@@ -412,44 +454,85 @@ mod tests {
             Instr::End,
         ];
         fixup_block_targets(&mut code).unwrap();
-        assert_eq!(code[1], Instr::If { ty: BT::Empty, else_pc: 3, end_pc: 5 });
+        assert_eq!(
+            code[1],
+            Instr::If {
+                ty: BT::Empty,
+                else_pc: 3,
+                end_pc: 5
+            }
+        );
         assert_eq!(code[3], Instr::Else { end_pc: 5 });
     }
 
     #[test]
     fn fixup_if_no_else() {
-        let mut code = vec![Instr::I32Const(0), if_(), Instr::Nop, Instr::End, Instr::End];
+        let mut code = vec![
+            Instr::I32Const(0),
+            if_(),
+            Instr::Nop,
+            Instr::End,
+            Instr::End,
+        ];
         fixup_block_targets(&mut code).unwrap();
-        assert_eq!(code[1], Instr::If { ty: BT::Empty, else_pc: 3, end_pc: 3 });
+        assert_eq!(
+            code[1],
+            Instr::If {
+                ty: BT::Empty,
+                else_pc: 3,
+                end_pc: 3
+            }
+        );
     }
 
     #[test]
     fn fixup_nested() {
         let mut code = vec![
-            block(),            // 0 -> end 5
+            block(),                       // 0 -> end 5
             Instr::Loop { ty: BT::Empty }, // 1
-            block(),            // 2 -> end 4
+            block(),                       // 2 -> end 4
             Instr::Br { depth: 1 },
-            Instr::End,         // 4 closes 2
-            Instr::End,         // 5 closes loop... wait
-            Instr::End,         // 6 closes 0
-            Instr::End,         // 7 function end
+            Instr::End, // 4 closes 2
+            Instr::End, // 5 closes loop... wait
+            Instr::End, // 6 closes 0
+            Instr::End, // 7 function end
         ];
         fixup_block_targets(&mut code).unwrap();
-        assert_eq!(code[2], Instr::Block { ty: BT::Empty, end_pc: 4 });
-        assert_eq!(code[0], Instr::Block { ty: BT::Empty, end_pc: 6 });
+        assert_eq!(
+            code[2],
+            Instr::Block {
+                ty: BT::Empty,
+                end_pc: 4
+            }
+        );
+        assert_eq!(
+            code[0],
+            Instr::Block {
+                ty: BT::Empty,
+                end_pc: 6
+            }
+        );
     }
 
     #[test]
     fn fixup_errors() {
         let mut code = vec![Instr::Else { end_pc: u32::MAX }, Instr::End];
-        assert_eq!(fixup_block_targets(&mut code), Err(FixupError::DanglingElse));
+        assert_eq!(
+            fixup_block_targets(&mut code),
+            Err(FixupError::DanglingElse)
+        );
 
         let mut code = vec![block(), Instr::End];
-        assert_eq!(fixup_block_targets(&mut code), Err(FixupError::MissingFinalEnd));
+        assert_eq!(
+            fixup_block_targets(&mut code),
+            Err(FixupError::MissingFinalEnd)
+        );
 
         let mut code = vec![block(), Instr::Nop];
-        assert_eq!(fixup_block_targets(&mut code), Err(FixupError::UnclosedBlock));
+        assert_eq!(
+            fixup_block_targets(&mut code),
+            Err(FixupError::UnclosedBlock)
+        );
 
         let mut code = vec![Instr::End, Instr::Nop];
         assert_eq!(fixup_block_targets(&mut code), Err(FixupError::DanglingEnd));

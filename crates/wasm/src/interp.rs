@@ -155,7 +155,11 @@ impl Memory {
 
     /// An absent memory (modules may declare none).
     pub fn empty() -> Memory {
-        Memory { data: Vec::new(), max_pages: 0, peak_pages: 0 }
+        Memory {
+            data: Vec::new(),
+            max_pages: 0,
+            peak_pages: 0,
+        }
     }
 
     /// Current size in pages.
@@ -218,7 +222,12 @@ impl Memory {
 
     /// Write `N` bytes at `addr + offset`.
     #[inline]
-    pub fn write<const N: usize>(&mut self, addr: u32, offset: u32, bytes: [u8; N]) -> Result<(), Trap> {
+    pub fn write<const N: usize>(
+        &mut self,
+        addr: u32,
+        offset: u32,
+        bytes: [u8; N],
+    ) -> Result<(), Trap> {
         let start = self.check(addr, offset, N as u32)?;
         self.data[start..start + N].copy_from_slice(&bytes);
         Ok(())
@@ -273,7 +282,9 @@ pub struct Table {
 impl Table {
     /// Create a table with `min` null slots.
     pub fn new(limits: Limits) -> Table {
-        Table { elems: vec![None; limits.min as usize] }
+        Table {
+            elems: vec![None; limits.min as usize],
+        }
     }
 
     /// Number of slots.
@@ -289,7 +300,10 @@ impl Table {
     /// Install a function index at `idx` (instantiation-time element
     /// segments; grows never happen in the MVP).
     pub fn set(&mut self, idx: u32, func: u32) -> Result<(), Trap> {
-        let slot = self.elems.get_mut(idx as usize).ok_or(Trap::TableOutOfBounds)?;
+        let slot = self
+            .elems
+            .get_mut(idx as usize)
+            .ok_or(Trap::TableOutOfBounds)?;
         *slot = Some(func);
         Ok(())
     }
@@ -356,7 +370,10 @@ mod tests {
 
     #[test]
     fn memory_min_over_policy_rejected() {
-        assert_eq!(Memory::new(Limits::new(10, None), 5).unwrap_err(), Trap::MemoryLimitExceeded);
+        assert_eq!(
+            Memory::new(Limits::new(10, None), 5).unwrap_err(),
+            Trap::MemoryLimitExceeded
+        );
     }
 
     #[test]

@@ -32,7 +32,7 @@ impl std::error::Error for LebError {}
 /// Decode an unsigned LEB128 value of at most `bits` significant bits.
 /// Returns the value and the number of bytes consumed.
 pub fn read_unsigned(buf: &[u8], bits: u32) -> Result<(u64, usize), LebError> {
-    let max_bytes = (bits as usize + 6) / 7;
+    let max_bytes = (bits as usize).div_ceil(7);
     let mut result: u64 = 0;
     let mut shift: u32 = 0;
     for (i, &byte) in buf.iter().enumerate() {
@@ -59,7 +59,7 @@ pub fn read_unsigned(buf: &[u8], bits: u32) -> Result<(u64, usize), LebError> {
 /// Decode a signed LEB128 value of at most `bits` significant bits.
 /// Returns the value and the number of bytes consumed.
 pub fn read_signed(buf: &[u8], bits: u32) -> Result<(i64, usize), LebError> {
-    let max_bytes = (bits as usize + 6) / 7;
+    let max_bytes = (bits as usize).div_ceil(7);
     let mut result: i64 = 0;
     let mut shift: u32 = 0;
     for (i, &byte) in buf.iter().enumerate() {
@@ -165,7 +165,19 @@ mod tests {
 
     #[test]
     fn signed_roundtrip() {
-        for v in [0i64, 1, -1, 63, 64, -64, -65, 127, -128, 2147483647, -2147483648] {
+        for v in [
+            0i64,
+            1,
+            -1,
+            63,
+            64,
+            -64,
+            -65,
+            127,
+            -128,
+            2147483647,
+            -2147483648,
+        ] {
             roundtrip_s(v, 32);
         }
         for v in [i64::MIN, i64::MAX, -123456789012345, 987654321098765] {
@@ -191,7 +203,10 @@ mod tests {
     #[test]
     fn unsigned_overflow_bits() {
         // Fifth byte of a u32 may only use 4 low bits.
-        assert_eq!(read_unsigned(&[0xff, 0xff, 0xff, 0xff, 0x1f], 32), Err(LebError::Overflow));
+        assert_eq!(
+            read_unsigned(&[0xff, 0xff, 0xff, 0xff, 0x1f], 32),
+            Err(LebError::Overflow)
+        );
         let (v, _) = read_unsigned(&[0xff, 0xff, 0xff, 0xff, 0x0f], 32).unwrap();
         assert_eq!(v, u32::MAX as u64);
     }

@@ -67,7 +67,12 @@ pub struct FuncBody {
 impl FuncBody {
     /// A body with an empty compile cache.
     pub fn new(type_idx: u32, locals: Vec<ValType>, code: Vec<Instr>) -> Self {
-        FuncBody { type_idx, locals, code, compiled: CompiledCell::new() }
+        FuncBody {
+            type_idx,
+            locals,
+            code,
+            compiled: CompiledCell::new(),
+        }
     }
 }
 
@@ -164,17 +169,10 @@ impl Module {
     pub fn func_type(&self, func_idx: u32) -> Option<&FuncType> {
         let n_imp = self.num_imported_funcs();
         let type_idx = if func_idx < n_imp {
-            let mut seen = 0;
-            let mut found = None;
-            for imp in &self.imports {
-                let ImportKind::Func { type_idx } = imp.kind;
-                if seen == func_idx {
-                    found = Some(type_idx);
-                    break;
-                }
-                seen += 1;
-            }
-            found?
+            // Every import is a function import, so the func-index space
+            // for imports is the import list itself.
+            let ImportKind::Func { type_idx } = self.imports.get(func_idx as usize)?.kind;
+            type_idx
         } else {
             self.funcs.get((func_idx - n_imp) as usize)?.type_idx
         };
@@ -198,9 +196,38 @@ impl Module {
     /// [`Module::funcs`]), compiling on first use. The body must have been
     /// validated.
     pub fn compiled_func(&self, local_idx: u32) -> &CompiledFunc {
-        self.funcs[local_idx as usize].compiled.get_or_compile(self, local_idx)
+        self.funcs[local_idx as usize]
+            .compiled
+            .get_or_compile(self, local_idx)
+    }
+
+    /// Force flat-IR compilation of every function body now.
+    ///
+    /// Lowering is otherwise lazy (first call per function, behind a
+    /// `OnceLock`), which is right for a single executor but makes worker
+    /// threads that share one `Arc<Module>` briefly serialize on the cells
+    /// during warm-up. Pre-compiling once — e.g. when a module enters the
+    /// host's module cache — gives every instance pool a fully-lowered,
+    /// read-only module to execute from.
+    pub fn precompile(&self) {
+        for local_idx in 0..self.funcs.len() as u32 {
+            self.compiled_func(local_idx);
+        }
     }
 }
+
+// Concurrency audit: the sharded engine shares one validated `Module`
+// across worker threads (one `Arc<Module>` per bytecode hash, one
+// instance per worker) and moves `Instance`s into workers. Everything
+// here is plain owned data; the only interior mutability is the
+// `OnceLock` inside each body's `CompiledCell`, which is thread-safe by
+// construction. These assertions make the property load-bearing: a field
+// that breaks `Send`/`Sync` breaks the build, not the engine.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Module>();
+    assert_send_sync::<CompiledFunc>();
+};
 
 #[cfg(test)]
 mod tests {
@@ -216,8 +243,15 @@ mod tests {
             name: "log".into(),
             kind: ImportKind::Func { type_idx: 0 },
         });
-        m.funcs.push(FuncBody::new(1, vec![], vec![Instr::I64Const(7), Instr::End]));
-        m.exports.push(Export { name: "get".into(), kind: ExportKind::Func(1) });
+        m.funcs.push(FuncBody::new(
+            1,
+            vec![],
+            vec![Instr::I64Const(7), Instr::End],
+        ));
+        m.exports.push(Export {
+            name: "get".into(),
+            kind: ExportKind::Func(1),
+        });
         m
     }
 

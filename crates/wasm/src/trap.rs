@@ -88,7 +88,10 @@ impl std::fmt::Display for Trap {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             Trap::MemoryOutOfBounds { addr, len, size } => {
-                write!(f, "memory access out of bounds: {len} bytes at {addr} (memory size {size})")
+                write!(
+                    f,
+                    "memory access out of bounds: {len} bytes at {addr} (memory size {size})"
+                )
             }
             Trap::HostError(msg) => write!(f, "host error: {msg}"),
             other => write!(f, "{}", other.code()),
@@ -106,7 +109,12 @@ mod tests {
     fn codes_are_stable() {
         assert_eq!(Trap::Unreachable.code(), "unreachable");
         assert_eq!(
-            Trap::MemoryOutOfBounds { addr: 70000, len: 4, size: 65536 }.code(),
+            Trap::MemoryOutOfBounds {
+                addr: 70000,
+                len: 4,
+                size: 65536
+            }
+            .code(),
             "memory-out-of-bounds"
         );
     }
@@ -121,7 +129,11 @@ mod tests {
 
     #[test]
     fn display_oob_includes_detail() {
-        let t = Trap::MemoryOutOfBounds { addr: 100, len: 8, size: 64 };
+        let t = Trap::MemoryOutOfBounds {
+            addr: 100,
+            len: 8,
+            size: 64,
+        };
         let s = t.to_string();
         assert!(s.contains("100") && s.contains('8') && s.contains("64"));
     }

@@ -64,7 +64,10 @@ pub struct FuncType {
 impl FuncType {
     /// Construct a function type.
     pub fn new(params: &[ValType], results: &[ValType]) -> Self {
-        FuncType { params: params.to_vec(), results: results.to_vec() }
+        FuncType {
+            params: params.to_vec(),
+            results: results.to_vec(),
+        }
     }
 }
 
@@ -105,7 +108,7 @@ impl Limits {
 
     /// True when `min <= max` (or no max).
     pub fn well_formed(&self) -> bool {
-        self.max.map_or(true, |m| self.min <= m)
+        self.max.is_none_or(|m| self.min <= m)
     }
 }
 

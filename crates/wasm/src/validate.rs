@@ -46,7 +46,10 @@ pub enum ValidateErrorKind {
     /// Value stack underflow.
     StackUnderflow,
     /// Type mismatch: expected vs found.
-    TypeMismatch { expected: ValType, found: Option<ValType> },
+    TypeMismatch {
+        expected: ValType,
+        found: Option<ValType>,
+    },
     /// Values left on the stack at the end of a block.
     StackHeightMismatch { expected: usize, found: usize },
     /// `else`/`end` with no matching frame (should be caught by fixup, but
@@ -92,7 +95,11 @@ impl std::error::Error for ValidateError {}
 
 /// Validate a decoded module.
 pub fn validate(module: &Module) -> Result<(), ValidateError> {
-    let err = |kind| ValidateError { func: None, pc: None, kind };
+    let err = |kind| ValidateError {
+        func: None,
+        pc: None,
+        kind,
+    };
 
     // Types: MVP restricts results to at most one value.
     for ty in &module.types {
@@ -256,7 +263,11 @@ impl<'m> FuncValidator<'m> {
     }
 
     fn err(&self, kind: ValidateErrorKind) -> ValidateError {
-        ValidateError { func: Some(self.func_idx), pc: Some(self.pc), kind }
+        ValidateError {
+            func: Some(self.func_idx),
+            pc: Some(self.pc),
+            kind,
+        }
     }
 
     fn push(&mut self, ty: ValType) {
@@ -268,7 +279,10 @@ impl<'m> FuncValidator<'m> {
     }
 
     fn pop_any(&mut self) -> Result<Option<ValType>, ValidateError> {
-        let frame = self.ctrls.last().expect("frame stack never empty during body");
+        let frame = self
+            .ctrls
+            .last()
+            .expect("frame stack never empty during body");
         if self.vals.len() == frame.height {
             if frame.unreachable {
                 return Ok(None);
@@ -282,7 +296,10 @@ impl<'m> FuncValidator<'m> {
         match self.pop_any()? {
             None => Ok(()),
             Some(t) if t == expected => Ok(()),
-            Some(t) => Err(self.err(ValidateErrorKind::TypeMismatch { expected, found: Some(t) })),
+            Some(t) => Err(self.err(ValidateErrorKind::TypeMismatch {
+                expected,
+                found: Some(t),
+            })),
         }
     }
 
@@ -301,7 +318,10 @@ impl<'m> FuncValidator<'m> {
     }
 
     fn pop_ctrl(&mut self) -> Result<CtrlFrame, ValidateError> {
-        let frame = self.ctrls.last().ok_or_else(|| self.err(ValidateErrorKind::ControlUnderflow))?;
+        let frame = self
+            .ctrls
+            .last()
+            .ok_or_else(|| self.err(ValidateErrorKind::ControlUnderflow))?;
         let height = frame.height;
         let end = frame.end_types;
         if let Some(t) = end {
@@ -309,7 +329,10 @@ impl<'m> FuncValidator<'m> {
         }
         if self.vals.len() != height {
             let found = self.vals.len();
-            return Err(self.err(ValidateErrorKind::StackHeightMismatch { expected: height, found }));
+            return Err(self.err(ValidateErrorKind::StackHeightMismatch {
+                expected: height,
+                found,
+            }));
         }
         Ok(self.ctrls.pop().expect("checked non-empty"))
     }
@@ -694,7 +717,10 @@ mod tests {
             mb.code().local_get(0).f64_const(1.0).i32_add();
         })
         .unwrap_err();
-        assert!(matches!(err.kind, ValidateErrorKind::TypeMismatch { expected: I32, .. }));
+        assert!(matches!(
+            err.kind,
+            ValidateErrorKind::TypeMismatch { expected: I32, .. }
+        ));
     }
 
     #[test]
@@ -721,7 +747,10 @@ mod tests {
             mb.code().i32_const(1);
         })
         .unwrap_err();
-        assert!(matches!(err.kind, ValidateErrorKind::StackHeightMismatch { .. }));
+        assert!(matches!(
+            err.kind,
+            ValidateErrorKind::StackHeightMismatch { .. }
+        ));
     }
 
     #[test]
@@ -802,14 +831,22 @@ mod tests {
         mb.memory(1, None);
         let sig = mb.func_type(&[], &[I32]);
         mb.begin_func(sig);
-        mb.code().i32_const(0).raw(crate::instr::Instr::I32Load(crate::instr::MemArg {
-            align: 3, // 2^3 = 8 > 4-byte access
-            offset: 0,
-        }));
+        mb.code()
+            .i32_const(0)
+            .raw(crate::instr::Instr::I32Load(crate::instr::MemArg {
+                align: 3, // 2^3 = 8 > 4-byte access
+                offset: 0,
+            }));
         mb.end_func().unwrap();
         let module = mb.finish().unwrap();
         let err = validate(&module).unwrap_err();
-        assert!(matches!(err.kind, ValidateErrorKind::BadAlignment { align: 3, natural: 2 }));
+        assert!(matches!(
+            err.kind,
+            ValidateErrorKind::BadAlignment {
+                align: 3,
+                natural: 2
+            }
+        ));
     }
 
     #[test]

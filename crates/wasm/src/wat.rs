@@ -60,7 +60,10 @@ impl std::fmt::Display for WatError {
 impl std::error::Error for WatError {}
 
 fn err<T>(line: usize, msg: impl Into<String>) -> Result<T, WatError> {
-    Err(WatError { line, msg: msg.into() })
+    Err(WatError {
+        line,
+        msg: msg.into(),
+    })
 }
 
 // ---------------------------------------------------------------------
@@ -147,7 +150,11 @@ fn tokenize(src: &str) -> Result<Vec<Node>, WatError> {
                 if stack.is_empty() {
                     return err(line, "unbalanced ')'");
                 }
-                stack.last_mut().expect("checked").0.push(Node::List(items, open_line));
+                stack
+                    .last_mut()
+                    .expect("checked")
+                    .0
+                    .push(Node::List(items, open_line));
             }
             '"' => {
                 let mut bytes = Vec::new();
@@ -187,7 +194,11 @@ fn tokenize(src: &str) -> Result<Vec<Node>, WatError> {
                         }
                     }
                 }
-                stack.last_mut().expect("non-empty").0.push(Node::Str(bytes, line));
+                stack
+                    .last_mut()
+                    .expect("non-empty")
+                    .0
+                    .push(Node::Str(bytes, line));
             }
             c => {
                 let mut atom = String::new();
@@ -199,7 +210,11 @@ fn tokenize(src: &str) -> Result<Vec<Node>, WatError> {
                     atom.push(*nc);
                     chars.next();
                 }
-                stack.last_mut().expect("non-empty").0.push(Node::Atom(atom, line));
+                stack
+                    .last_mut()
+                    .expect("non-empty")
+                    .0
+                    .push(Node::Atom(atom, line));
             }
         }
     }
@@ -218,12 +233,10 @@ fn tokenize(src: &str) -> Result<Vec<Node>, WatError> {
 pub fn assemble(src: &str) -> Result<Vec<u8>, WatError> {
     let roots = tokenize(src)?;
     let module_node = match roots.as_slice() {
-        [Node::List(items, line)] => {
-            match items.first().and_then(Node::as_atom) {
-                Some("module") => (&items[1..], *line),
-                _ => return err(*line, "expected (module …)"),
-            }
-        }
+        [Node::List(items, line)] => match items.first().and_then(Node::as_atom) {
+            Some("module") => (&items[1..], *line),
+            _ => return err(*line, "expected (module …)"),
+        },
         _ => return err(1, "expected a single (module …) form"),
     };
     Assembler::default().run(module_node.0)
@@ -261,43 +274,45 @@ impl Assembler {
                 return err(field.line(), "expected a (…) module field");
             };
             let head = items.first().and_then(Node::as_atom).unwrap_or("");
-            match head {
-                "import" => {
-                    let [_, Node::Str(module, _), Node::Str(name, _), Node::List(desc, dline)] =
-                        items.as_slice()
-                    else {
-                        return err(*line, "import: expected (import \"m\" \"n\" (func …))");
-                    };
-                    let module = String::from_utf8(module.clone())
-                        .map_err(|_| WatError { line: *line, msg: "bad utf8".into() })?;
-                    let name = String::from_utf8(name.clone())
-                        .map_err(|_| WatError { line: *line, msg: "bad utf8".into() })?;
-                    if desc.first().and_then(Node::as_atom) != Some("func") {
-                        return err(*dline, "only function imports are supported");
-                    }
-                    let mut fname = None;
-                    let mut params = Vec::new();
-                    let mut results = Vec::new();
-                    for part in &desc[1..] {
-                        match part {
-                            Node::Atom(a, _) if a.starts_with('$') => fname = Some(a.clone()),
-                            Node::List(sig, sline) => {
-                                parse_sig_part(sig, *sline, &mut params, &mut results)?
-                            }
-                            other => return err(other.line(), "bad import descriptor"),
-                        }
-                    }
-                    let tys: Vec<ValType> = params.iter().map(|(_, t)| *t).collect();
-                    let sig = mb.func_type(&tys, &results);
-                    let idx = mb
-                        .import_func(&module, &name, sig)
-                        .map_err(|e| WatError { line: *line, msg: e.to_string() })?;
-                    if let Some(fname) = fname {
-                        self.func_names.insert(fname, idx);
-                    }
-                    self.n_funcs += 1;
+            if head == "import" {
+                let [_, Node::Str(module, _), Node::Str(name, _), Node::List(desc, dline)] =
+                    items.as_slice()
+                else {
+                    return err(*line, "import: expected (import \"m\" \"n\" (func …))");
+                };
+                let module = String::from_utf8(module.clone()).map_err(|_| WatError {
+                    line: *line,
+                    msg: "bad utf8".into(),
+                })?;
+                let name = String::from_utf8(name.clone()).map_err(|_| WatError {
+                    line: *line,
+                    msg: "bad utf8".into(),
+                })?;
+                if desc.first().and_then(Node::as_atom) != Some("func") {
+                    return err(*dline, "only function imports are supported");
                 }
-                _ => {}
+                let mut fname = None;
+                let mut params = Vec::new();
+                let mut results = Vec::new();
+                for part in &desc[1..] {
+                    match part {
+                        Node::Atom(a, _) if a.starts_with('$') => fname = Some(a.clone()),
+                        Node::List(sig, sline) => {
+                            parse_sig_part(sig, *sline, &mut params, &mut results)?
+                        }
+                        other => return err(other.line(), "bad import descriptor"),
+                    }
+                }
+                let tys: Vec<ValType> = params.iter().map(|(_, t)| *t).collect();
+                let sig = mb.func_type(&tys, &results);
+                let idx = mb.import_func(&module, &name, sig).map_err(|e| WatError {
+                    line: *line,
+                    msg: e.to_string(),
+                })?;
+                if let Some(fname) = fname {
+                    self.func_names.insert(fname, idx);
+                }
+                self.n_funcs += 1;
             }
         }
 
@@ -358,8 +373,10 @@ impl Assembler {
                     }
                     let (ty, mutability) = match items.get(idx) {
                         Some(Node::Atom(a, _)) => (
-                            parse_valtype(a)
-                                .ok_or_else(|| WatError { line: *line, msg: format!("bad type {a}") })?,
+                            parse_valtype(a).ok_or_else(|| WatError {
+                                line: *line,
+                                msg: format!("bad type {a}"),
+                            })?,
                             Mutability::Const,
                         ),
                         Some(Node::List(l, lline)) => {
@@ -456,7 +473,10 @@ impl Assembler {
                 }
             }
             self.compile_body(&mut mb, decl, &local_names)?;
-            mb.end_func().map_err(|e| WatError { line: decl.line, msg: e.to_string() })?;
+            mb.end_func().map_err(|e| WatError {
+                line: decl.line,
+                msg: e.to_string(),
+            })?;
             for export in &decl.exports {
                 mb.export_func(export, idx);
             }
@@ -480,7 +500,10 @@ impl Assembler {
             mb.elem(offset, &func_indices);
         }
 
-        mb.finish_bytes().map_err(|e| WatError { line: 1, msg: e.to_string() })
+        mb.finish_bytes().map_err(|e| WatError {
+            line: 1,
+            msg: e.to_string(),
+        })
     }
 
     fn resolve_func(&self, target: &str, line: usize) -> Result<u32, WatError> {
@@ -489,9 +512,15 @@ impl Assembler {
             self.func_names
                 .get(target)
                 .copied()
-                .ok_or_else(|| WatError { line, msg: format!("unknown function {target}") })
+                .ok_or_else(|| WatError {
+                    line,
+                    msg: format!("unknown function {target}"),
+                })
         } else {
-            target.parse().map_err(|_| WatError { line, msg: format!("bad function index {target}") })
+            target.parse().map_err(|_| WatError {
+                line,
+                msg: format!("bad function index {target}"),
+            })
         }
     }
 
@@ -500,9 +529,15 @@ impl Assembler {
             self.global_names
                 .get(target)
                 .copied()
-                .ok_or_else(|| WatError { line, msg: format!("unknown global {target}") })
+                .ok_or_else(|| WatError {
+                    line,
+                    msg: format!("unknown global {target}"),
+                })
         } else {
-            target.parse().map_err(|_| WatError { line, msg: format!("bad global index {target}") })
+            target.parse().map_err(|_| WatError {
+                line,
+                msg: format!("bad global index {target}"),
+            })
         }
     }
 
@@ -537,7 +572,8 @@ impl Assembler {
                         let Some(Node::Str(name, _)) = l.get(1) else {
                             return err(*lline, "export: expected name string");
                         };
-                        decl.exports.push(String::from_utf8_lossy(name).into_owned());
+                        decl.exports
+                            .push(String::from_utf8_lossy(name).into_owned());
                     }
                     Some("param") => {
                         parse_named_valtypes(&l[1..], *lline, &mut decl.params)?;
@@ -576,14 +612,15 @@ impl Assembler {
 
         let resolve_local = |target: &str, line: usize| -> Result<u32, WatError> {
             if target.starts_with('$') {
-                local_names
-                    .get(target)
-                    .copied()
-                    .ok_or_else(|| WatError { line, msg: format!("unknown local {target}") })
+                local_names.get(target).copied().ok_or_else(|| WatError {
+                    line,
+                    msg: format!("unknown local {target}"),
+                })
             } else {
-                target
-                    .parse()
-                    .map_err(|_| WatError { line, msg: format!("bad local index {target}") })
+                target.parse().map_err(|_| WatError {
+                    line,
+                    msg: format!("bad local index {target}"),
+                })
             }
         };
 
@@ -616,7 +653,10 @@ impl Assembler {
                     }
                     err(line, format!("unknown label {t}"))
                 } else {
-                    t.parse().map_err(|_| WatError { line, msg: format!("bad label {t}") })
+                    t.parse().map_err(|_| WatError {
+                        line,
+                        msg: format!("bad label {t}"),
+                    })
                 }
             };
 
@@ -685,14 +725,18 @@ impl Assembler {
                     mb.code().br_table(&targets, default);
                 }
                 "call" => {
-                    let t = next_atom!()
-                        .ok_or_else(|| WatError { line, msg: "call: missing target".into() })?;
+                    let t = next_atom!().ok_or_else(|| WatError {
+                        line,
+                        msg: "call: missing target".into(),
+                    })?;
                     let idx = self.resolve_func(&t, line)?;
                     mb.code().call(idx);
                 }
                 "local.get" | "local.set" | "local.tee" => {
-                    let t = next_atom!()
-                        .ok_or_else(|| WatError { line, msg: format!("{op}: missing index") })?;
+                    let t = next_atom!().ok_or_else(|| WatError {
+                        line,
+                        msg: format!("{op}: missing index"),
+                    })?;
                     let idx = resolve_local(&t, line)?;
                     match op.as_str() {
                         "local.get" => mb.code().local_get(idx),
@@ -701,8 +745,10 @@ impl Assembler {
                     };
                 }
                 "global.get" | "global.set" => {
-                    let t = next_atom!()
-                        .ok_or_else(|| WatError { line, msg: format!("{op}: missing index") })?;
+                    let t = next_atom!().ok_or_else(|| WatError {
+                        line,
+                        msg: format!("{op}: missing index"),
+                    })?;
                     let idx = self.resolve_global(&t, line)?;
                     if op == "global.get" {
                         mb.code().global_get(idx);
@@ -711,30 +757,38 @@ impl Assembler {
                     }
                 }
                 "i32.const" => {
-                    let t = next_atom!()
-                        .ok_or_else(|| WatError { line, msg: "missing constant".into() })?;
+                    let t = next_atom!().ok_or_else(|| WatError {
+                        line,
+                        msg: "missing constant".into(),
+                    })?;
                     mb.code().i32_const(parse_i32(&t, line)?);
                 }
                 "i64.const" => {
-                    let t = next_atom!()
-                        .ok_or_else(|| WatError { line, msg: "missing constant".into() })?;
+                    let t = next_atom!().ok_or_else(|| WatError {
+                        line,
+                        msg: "missing constant".into(),
+                    })?;
                     mb.code().i64_const(parse_i64(&t, line)?);
                 }
                 "f32.const" => {
-                    let t = next_atom!()
-                        .ok_or_else(|| WatError { line, msg: "missing constant".into() })?;
-                    mb.code().f32_const(
-                        t.parse::<f32>()
-                            .map_err(|_| WatError { line, msg: format!("bad f32 {t}") })?,
-                    );
+                    let t = next_atom!().ok_or_else(|| WatError {
+                        line,
+                        msg: "missing constant".into(),
+                    })?;
+                    mb.code().f32_const(t.parse::<f32>().map_err(|_| WatError {
+                        line,
+                        msg: format!("bad f32 {t}"),
+                    })?);
                 }
                 "f64.const" => {
-                    let t = next_atom!()
-                        .ok_or_else(|| WatError { line, msg: "missing constant".into() })?;
-                    mb.code().f64_const(
-                        t.parse::<f64>()
-                            .map_err(|_| WatError { line, msg: format!("bad f64 {t}") })?,
-                    );
+                    let t = next_atom!().ok_or_else(|| WatError {
+                        line,
+                        msg: "missing constant".into(),
+                    })?;
+                    mb.code().f64_const(t.parse::<f64>().map_err(|_| WatError {
+                        line,
+                        msg: format!("bad f64 {t}"),
+                    })?);
                 }
                 _ => {
                     // Memory instructions take optional offset=N align=N.
@@ -780,10 +834,10 @@ fn parse_sig_part(
         Some("result") => {
             for part in &sig[1..] {
                 let a = part.as_atom().unwrap_or("");
-                results.push(
-                    parse_valtype(a)
-                        .ok_or_else(|| WatError { line, msg: format!("bad type {a}") })?,
-                );
+                results.push(parse_valtype(a).ok_or_else(|| WatError {
+                    line,
+                    msg: format!("bad type {a}"),
+                })?);
             }
             Ok(())
         }
@@ -805,8 +859,10 @@ fn parse_named_valtypes(
             }
             pending_name = Some(a.to_string());
         } else {
-            let ty =
-                parse_valtype(a).ok_or_else(|| WatError { line, msg: format!("bad type {a}") })?;
+            let ty = parse_valtype(a).ok_or_else(|| WatError {
+                line,
+                msg: format!("bad type {a}"),
+            })?;
             out.push((pending_name.take(), ty));
         }
     }
@@ -832,12 +888,14 @@ fn parse_const_expr(nodes: &[Node], line: usize) -> Result<ConstExpr, WatError> 
     match op {
         "i32.const" => Ok(ConstExpr::I32(parse_i32(arg, line)?)),
         "i64.const" => Ok(ConstExpr::I64(parse_i64(arg, line)?)),
-        "f32.const" => Ok(ConstExpr::F32(
-            arg.parse().map_err(|_| WatError { line, msg: format!("bad f32 {arg}") })?,
-        )),
-        "f64.const" => Ok(ConstExpr::F64(
-            arg.parse().map_err(|_| WatError { line, msg: format!("bad f64 {arg}") })?,
-        )),
+        "f32.const" => Ok(ConstExpr::F32(arg.parse().map_err(|_| WatError {
+            line,
+            msg: format!("bad f32 {arg}"),
+        })?)),
+        "f64.const" => Ok(ConstExpr::F64(arg.parse().map_err(|_| WatError {
+            line,
+            msg: format!("bad f64 {arg}"),
+        })?)),
         _ => err(line, "expected a (t.const …) expression"),
     }
 }
@@ -848,7 +906,10 @@ fn parse_u32(s: &str, line: usize) -> Result<u32, WatError> {
     } else {
         s.replace('_', "").parse()
     };
-    parsed.map_err(|_| WatError { line, msg: format!("bad integer {s}") })
+    parsed.map_err(|_| WatError {
+        line,
+        msg: format!("bad integer {s}"),
+    })
 }
 
 fn parse_u32_node(node: Option<&Node>, line: usize) -> Result<u32, WatError> {
@@ -868,7 +929,10 @@ fn parse_i32(s: &str, line: usize) -> Result<i32, WatError> {
     } else {
         s2.parse()
     };
-    parsed.map_err(|_| WatError { line, msg: format!("bad i32 {s}") })
+    parsed.map_err(|_| WatError {
+        line,
+        msg: format!("bad i32 {s}"),
+    })
 }
 
 fn parse_i64(s: &str, line: usize) -> Result<i64, WatError> {
@@ -880,11 +944,15 @@ fn parse_i64(s: &str, line: usize) -> Result<i64, WatError> {
     } else {
         s2.parse()
     };
-    parsed.map_err(|_| WatError { line, msg: format!("bad i64 {s}") })
+    parsed.map_err(|_| WatError {
+        line,
+        msg: format!("bad i64 {s}"),
+    })
 }
 
 fn is_instr_name(s: &str) -> bool {
-    !s.starts_with('$') && s.chars().next().is_some_and(|c| c.is_ascii_alphabetic())
+    !s.starts_with('$')
+        && s.chars().next().is_some_and(|c| c.is_ascii_alphabetic())
         && !s.chars().all(|c| c.is_ascii_digit())
 }
 

@@ -67,7 +67,12 @@ fn gen_expr(rng: &mut Rng, depth: u32) -> String {
         }
     } else {
         let op = BINOPS[rng.below(BINOPS.len() as u64) as usize];
-        format!("({} {} {})", gen_expr(rng, depth - 1), op, gen_expr(rng, depth - 1))
+        format!(
+            "({} {} {})",
+            gen_expr(rng, depth - 1),
+            op,
+            gen_expr(rng, depth - 1)
+        )
     }
 }
 
@@ -140,7 +145,12 @@ fn exec_one(wasm: &[u8], mode: ExecMode, args: &[Value], fuel: u64) -> Outcome {
     inst.set_exec_mode(mode);
     inst.set_fuel(Some(fuel));
     let out = inst.invoke("main", args);
-    (out, inst.fuel_consumed(), inst.stats().instrs, inst.stats().traps)
+    (
+        out,
+        inst.fuel_consumed(),
+        inst.stats().instrs,
+        inst.stats().traps,
+    )
 }
 
 /// Run both executors and assert the documented agreement contract.
@@ -199,9 +209,13 @@ fn differential_seed_sweep() {
 #[test]
 fn differential_edge_arguments() {
     for seed in [3, 17, 99, 1234, 0xdead_beef] {
-        for &(a, b) in
-            &[(0, 0), (i32::MIN, -1), (i32::MAX, i32::MIN), (-1, 1), (i32::MIN, i32::MIN)]
-        {
+        for &(a, b) in &[
+            (0, 0),
+            (i32::MIN, -1),
+            (i32::MAX, i32::MIN),
+            (-1, 1),
+            (i32::MIN, i32::MIN),
+        ] {
             check_seed(seed, a, b);
         }
     }
@@ -273,8 +287,7 @@ export fn main(n: i32, base: i32) -> i32 {
     let wasm = waran_plugc::compile(src).expect("scheduler shape compiles");
     for n in [0, 1, 7, 64, 500] {
         let args = [Value::I32(n), Value::I32(64)];
-        let consumed =
-            assert_modes_agree(&wasm, &args, 5_000_000, &format!("scheduler n={n}"));
+        let consumed = assert_modes_agree(&wasm, &args, 5_000_000, &format!("scheduler n={n}"));
         if let Some(consumed) = consumed {
             if consumed > 1 {
                 assert_modes_agree(

@@ -44,7 +44,10 @@ fn factorial_recursive() {
           call $fac
           i64.mul
         end))"#;
-    assert_eq!(run1(src, "fac", &[Value::I64(10)]), Ok(Some(Value::I64(3628800))));
+    assert_eq!(
+        run1(src, "fac", &[Value::I64(10)]),
+        Ok(Some(Value::I64(3628800)))
+    );
     assert_eq!(run1(src, "fac", &[Value::I64(0)]), Ok(Some(Value::I64(1))));
 }
 
@@ -65,7 +68,10 @@ fn loop_with_branch() {
           end
         end
         local.get $acc))"#;
-    assert_eq!(run1(src, "sum", &[Value::I32(100)]), Ok(Some(Value::I32(5050))));
+    assert_eq!(
+        run1(src, "sum", &[Value::I32(100)]),
+        Ok(Some(Value::I32(5050)))
+    );
     assert_eq!(run1(src, "sum", &[Value::I32(0)]), Ok(Some(Value::I32(0))));
 }
 
@@ -86,11 +92,23 @@ fn br_table_dispatch() {
           return
         end
         i32.const 300))"#;
-    assert_eq!(run1(src, "classify", &[Value::I32(0)]), Ok(Some(Value::I32(100))));
-    assert_eq!(run1(src, "classify", &[Value::I32(1)]), Ok(Some(Value::I32(200))));
-    assert_eq!(run1(src, "classify", &[Value::I32(2)]), Ok(Some(Value::I32(300))));
+    assert_eq!(
+        run1(src, "classify", &[Value::I32(0)]),
+        Ok(Some(Value::I32(100)))
+    );
+    assert_eq!(
+        run1(src, "classify", &[Value::I32(1)]),
+        Ok(Some(Value::I32(200)))
+    );
+    assert_eq!(
+        run1(src, "classify", &[Value::I32(2)]),
+        Ok(Some(Value::I32(300)))
+    );
     // Out-of-range uses the default (last) target.
-    assert_eq!(run1(src, "classify", &[Value::I32(77)]), Ok(Some(Value::I32(300))));
+    assert_eq!(
+        run1(src, "classify", &[Value::I32(77)]),
+        Ok(Some(Value::I32(300)))
+    );
 }
 
 #[test]
@@ -118,7 +136,10 @@ fn division_semantics() {
       (func (export "div_u") (param i32 i32) (result i32)
         local.get 0 local.get 1 i32.div_u))"#;
     let mut inst = instantiate(src);
-    assert_eq!(inst.invoke("div_s", &[Value::I32(-7), Value::I32(2)]), Ok(Some(Value::I32(-3))));
+    assert_eq!(
+        inst.invoke("div_s", &[Value::I32(-7), Value::I32(2)]),
+        Ok(Some(Value::I32(-3)))
+    );
     assert_eq!(
         inst.invoke("div_s", &[Value::I32(1), Value::I32(0)]),
         Err(Trap::IntegerDivByZero)
@@ -145,7 +166,10 @@ fn shift_masking() {
       (func (export "shl") (param i32 i32) (result i32)
         local.get 0 local.get 1 i32.shl))"#;
     // Shift amount is masked to 5 bits: 33 & 31 == 1.
-    assert_eq!(run1(src, "shl", &[Value::I32(1), Value::I32(33)]), Ok(Some(Value::I32(2))));
+    assert_eq!(
+        run1(src, "shl", &[Value::I32(1), Value::I32(33)]),
+        Ok(Some(Value::I32(2)))
+    );
 }
 
 #[test]
@@ -156,14 +180,35 @@ fn float_conversions_trap_or_saturate() {
       (func (export "sat") (param f64) (result i32)
         local.get 0 i32.trunc_sat_f64_s))"#;
     let mut inst = instantiate(src);
-    assert_eq!(inst.invoke("trunc", &[Value::F64(3.99)]), Ok(Some(Value::I32(3))));
-    assert_eq!(inst.invoke("trunc", &[Value::F64(-3.99)]), Ok(Some(Value::I32(-3))));
-    assert_eq!(inst.invoke("trunc", &[Value::F64(f64::NAN)]), Err(Trap::InvalidConversion));
-    assert_eq!(inst.invoke("trunc", &[Value::F64(1e12)]), Err(Trap::InvalidConversion));
+    assert_eq!(
+        inst.invoke("trunc", &[Value::F64(3.99)]),
+        Ok(Some(Value::I32(3)))
+    );
+    assert_eq!(
+        inst.invoke("trunc", &[Value::F64(-3.99)]),
+        Ok(Some(Value::I32(-3)))
+    );
+    assert_eq!(
+        inst.invoke("trunc", &[Value::F64(f64::NAN)]),
+        Err(Trap::InvalidConversion)
+    );
+    assert_eq!(
+        inst.invoke("trunc", &[Value::F64(1e12)]),
+        Err(Trap::InvalidConversion)
+    );
     // Saturating versions clamp instead.
-    assert_eq!(inst.invoke("sat", &[Value::F64(1e12)]), Ok(Some(Value::I32(i32::MAX))));
-    assert_eq!(inst.invoke("sat", &[Value::F64(-1e12)]), Ok(Some(Value::I32(i32::MIN))));
-    assert_eq!(inst.invoke("sat", &[Value::F64(f64::NAN)]), Ok(Some(Value::I32(0))));
+    assert_eq!(
+        inst.invoke("sat", &[Value::F64(1e12)]),
+        Ok(Some(Value::I32(i32::MAX)))
+    );
+    assert_eq!(
+        inst.invoke("sat", &[Value::F64(-1e12)]),
+        Ok(Some(Value::I32(i32::MIN)))
+    );
+    assert_eq!(
+        inst.invoke("sat", &[Value::F64(f64::NAN)]),
+        Ok(Some(Value::I32(0)))
+    );
 }
 
 #[test]
@@ -175,14 +220,21 @@ fn float_min_max_nan_and_zero() {
         local.get 0 local.get 1 f64.max))"#;
     let mut inst = instantiate(src);
     let min = |inst: &mut Instance<()>, a: f64, b: f64| {
-        inst.invoke("min", &[Value::F64(a), Value::F64(b)]).unwrap().unwrap().as_f64()
+        inst.invoke("min", &[Value::F64(a), Value::F64(b)])
+            .unwrap()
+            .unwrap()
+            .as_f64()
     };
     assert!(min(&mut inst, f64::NAN, 1.0).is_nan());
     assert!(min(&mut inst, 1.0, f64::NAN).is_nan());
     // min(+0, -0) must be -0.
     assert!(min(&mut inst, 0.0, -0.0).is_sign_negative());
     assert_eq!(min(&mut inst, -5.0, 3.0), -5.0);
-    let max = inst.invoke("max", &[Value::F64(0.0), Value::F64(-0.0)]).unwrap().unwrap().as_f64();
+    let max = inst
+        .invoke("max", &[Value::F64(0.0), Value::F64(-0.0)])
+        .unwrap()
+        .unwrap()
+        .as_f64();
     assert!(max.is_sign_positive());
 }
 
@@ -197,7 +249,11 @@ fn memory_load_store_roundtrip() {
         local.get 0
         i64.load))"#;
     assert_eq!(
-        run1(src, "store_load", &[Value::I32(1000), Value::I64(-12345678901234)]),
+        run1(
+            src,
+            "store_load",
+            &[Value::I32(1000), Value::I64(-12345678901234)]
+        ),
         Ok(Some(Value::I64(-12345678901234)))
     );
 }
@@ -213,12 +269,18 @@ fn memory_oob_traps_and_instance_survives() {
         i32.const 1))"#;
     let mut inst = instantiate(src);
     // In-bounds works.
-    assert_eq!(inst.invoke("poke", &[Value::I32(0)]), Ok(Some(Value::I32(1))));
+    assert_eq!(
+        inst.invoke("poke", &[Value::I32(0)]),
+        Ok(Some(Value::I32(1)))
+    );
     // Out-of-bounds traps...
     let trap = inst.invoke("poke", &[Value::I32(65536)]).unwrap_err();
     assert!(matches!(trap, Trap::MemoryOutOfBounds { .. }));
     // ...and the instance keeps working afterwards (the paper's §5.D story).
-    assert_eq!(inst.invoke("poke", &[Value::I32(16)]), Ok(Some(Value::I32(1))));
+    assert_eq!(
+        inst.invoke("poke", &[Value::I32(16)]),
+        Ok(Some(Value::I32(1)))
+    );
     assert_eq!(inst.stats().traps, 1);
     assert_eq!(inst.stats().invokes, 2);
 }
@@ -234,8 +296,14 @@ fn memory_grow_and_limits() {
         memory.size))"#;
     let mut inst = instantiate(src);
     assert_eq!(inst.invoke("size", &[]), Ok(Some(Value::I32(1))));
-    assert_eq!(inst.invoke("grow", &[Value::I32(1)]), Ok(Some(Value::I32(1))));
-    assert_eq!(inst.invoke("grow", &[Value::I32(5)]), Ok(Some(Value::I32(-1))));
+    assert_eq!(
+        inst.invoke("grow", &[Value::I32(1)]),
+        Ok(Some(Value::I32(1)))
+    );
+    assert_eq!(
+        inst.invoke("grow", &[Value::I32(5)]),
+        Ok(Some(Value::I32(-1)))
+    );
     assert_eq!(inst.invoke("size", &[]), Ok(Some(Value::I32(2))));
 }
 
@@ -251,7 +319,10 @@ fn call_stack_depth_limited() {
       (func $inf (export "inf") call $inf))"#;
     let bytes = wat::assemble(src).unwrap();
     let module = load_module(&bytes).unwrap();
-    let limits = ExecLimits { max_call_depth: 100, ..ExecLimits::default() };
+    let limits = ExecLimits {
+        max_call_depth: 100,
+        ..ExecLimits::default()
+    };
     let mut inst = Instance::with_limits(module.into(), &Linker::<()>::new(), (), limits).unwrap();
     assert_eq!(inst.invoke("inf", &[]), Err(Trap::StackOverflow));
 }
@@ -334,17 +405,32 @@ fn host_functions_called_with_memory_access() {
     let bytes = wat::assemble(src).unwrap();
     let module = load_module(&bytes).unwrap();
     let mut linker: Linker<u32> = Linker::new();
-    linker.func("env", "add3", &[ValType::I32], &[ValType::I32], |calls, _mem, args| {
-        *calls += 1;
-        Ok(Some(Value::I32(args[0].as_i32() + 3)))
-    });
-    linker.func("env", "peek", &[ValType::I32], &[ValType::I32], |_calls, mem, args| {
-        let b = mem.read::<1>(args[0].as_u32(), 0)?;
-        Ok(Some(Value::I32(b[0] as i32)))
-    });
+    linker.func(
+        "env",
+        "add3",
+        &[ValType::I32],
+        &[ValType::I32],
+        |calls, _mem, args| {
+            *calls += 1;
+            Ok(Some(Value::I32(args[0].as_i32() + 3)))
+        },
+    );
+    linker.func(
+        "env",
+        "peek",
+        &[ValType::I32],
+        &[ValType::I32],
+        |_calls, mem, args| {
+            let b = mem.read::<1>(args[0].as_u32(), 0)?;
+            Ok(Some(Value::I32(b[0] as i32)))
+        },
+    );
     let mut inst = Instance::new(module.into(), &linker, 0u32).unwrap();
     // add3(10) + mem[64] = 13 + 42 = 55
-    assert_eq!(inst.invoke("f", &[Value::I32(10)]), Ok(Some(Value::I32(55))));
+    assert_eq!(
+        inst.invoke("f", &[Value::I32(10)]),
+        Ok(Some(Value::I32(55)))
+    );
     assert_eq!(inst.data, 1);
 }
 
@@ -356,7 +442,9 @@ fn host_error_propagates_as_trap() {
     let bytes = wat::assemble(src).unwrap();
     let module = load_module(&bytes).unwrap();
     let mut linker: Linker<()> = Linker::new();
-    linker.func("env", "fail", &[], &[], |_, _, _| Err(Trap::HostError("boom".into())));
+    linker.func("env", "fail", &[], &[], |_, _, _| {
+        Err(Trap::HostError("boom".into()))
+    });
     let mut inst = Instance::new(module.into(), &linker, ()).unwrap();
     assert_eq!(inst.invoke("f", &[]), Err(Trap::HostError("boom".into())));
 }
@@ -406,15 +494,24 @@ fn call_indirect_dispatch_and_traps() {
     mb.end_func().unwrap();
     mb.elem(0, &[double, square, noargs]);
     let apply = mb.begin_func(sig_apply);
-    mb.code().local_get(1).local_get(0).call_indirect(sig_i32_i32);
+    mb.code()
+        .local_get(1)
+        .local_get(0)
+        .call_indirect(sig_i32_i32);
     mb.end_func().unwrap();
     mb.export_func("apply", apply);
     let module = mb.finish().unwrap();
     waran_wasm::validate::validate(&module).unwrap();
     let mut inst = Instance::new(module.into(), &Linker::<()>::new(), ()).unwrap();
 
-    assert_eq!(inst.invoke("apply", &[Value::I32(0), Value::I32(21)]), Ok(Some(Value::I32(42))));
-    assert_eq!(inst.invoke("apply", &[Value::I32(1), Value::I32(7)]), Ok(Some(Value::I32(49))));
+    assert_eq!(
+        inst.invoke("apply", &[Value::I32(0), Value::I32(21)]),
+        Ok(Some(Value::I32(42)))
+    );
+    assert_eq!(
+        inst.invoke("apply", &[Value::I32(1), Value::I32(7)]),
+        Ok(Some(Value::I32(49)))
+    );
     // Slot 2 holds a function of the wrong type.
     assert_eq!(
         inst.invoke("apply", &[Value::I32(2), Value::I32(7)]),
@@ -474,9 +571,15 @@ fn start_function_runs_at_instantiation() {
 fn invoke_binding_errors() {
     let src = r#"(module (func (export "f") (param i32)))"#;
     let mut inst = instantiate(src);
-    assert!(matches!(inst.invoke("missing", &[]), Err(Trap::HostError(_))));
+    assert!(matches!(
+        inst.invoke("missing", &[]),
+        Err(Trap::HostError(_))
+    ));
     assert!(matches!(inst.invoke("f", &[]), Err(Trap::HostError(_)))); // arity
-    assert!(matches!(inst.invoke("f", &[Value::I64(1)]), Err(Trap::HostError(_)))); // type
+    assert!(matches!(
+        inst.invoke("f", &[Value::I64(1)]),
+        Err(Trap::HostError(_))
+    )); // type
     assert_eq!(inst.invoke("f", &[Value::I32(1)]), Ok(None));
 }
 
@@ -498,8 +601,14 @@ fn sign_extension_ops() {
     let src = r#"(module
       (func (export "ext8") (param i32) (result i32)
         local.get 0 i32.extend8_s))"#;
-    assert_eq!(run1(src, "ext8", &[Value::I32(0x80)]), Ok(Some(Value::I32(-128))));
-    assert_eq!(run1(src, "ext8", &[Value::I32(0x7f)]), Ok(Some(Value::I32(127))));
+    assert_eq!(
+        run1(src, "ext8", &[Value::I32(0x80)]),
+        Ok(Some(Value::I32(-128)))
+    );
+    assert_eq!(
+        run1(src, "ext8", &[Value::I32(0x7f)]),
+        Ok(Some(Value::I32(127)))
+    );
 }
 
 #[test]
@@ -510,8 +619,14 @@ fn select_instruction() {
         f64.const 2.5
         local.get 0
         select))"#;
-    assert_eq!(run1(src, "pick", &[Value::I32(1)]), Ok(Some(Value::F64(1.5))));
-    assert_eq!(run1(src, "pick", &[Value::I32(0)]), Ok(Some(Value::F64(2.5))));
+    assert_eq!(
+        run1(src, "pick", &[Value::I32(1)]),
+        Ok(Some(Value::F64(1.5)))
+    );
+    assert_eq!(
+        run1(src, "pick", &[Value::I32(0)]),
+        Ok(Some(Value::F64(2.5)))
+    );
 }
 
 #[test]
@@ -551,8 +666,14 @@ fn nested_loops_with_mixed_branches() {
           end
         end
         local.get $count))"#;
-    assert_eq!(run1(src, "primes", &[Value::I32(30)]), Ok(Some(Value::I32(10))));
-    assert_eq!(run1(src, "primes", &[Value::I32(2)]), Ok(Some(Value::I32(0))));
+    assert_eq!(
+        run1(src, "primes", &[Value::I32(30)]),
+        Ok(Some(Value::I32(10)))
+    );
+    assert_eq!(
+        run1(src, "primes", &[Value::I32(2)]),
+        Ok(Some(Value::I32(0)))
+    );
 }
 
 #[test]
@@ -569,10 +690,14 @@ fn float_math_pipeline() {
         local.get $sample
         f64.mul
         f64.add))"#;
-    let got = run1(src, "ewma", &[Value::F64(10.0), Value::F64(20.0), Value::F64(0.25)])
-        .unwrap()
-        .unwrap()
-        .as_f64();
+    let got = run1(
+        src,
+        "ewma",
+        &[Value::F64(10.0), Value::F64(20.0), Value::F64(0.25)],
+    )
+    .unwrap()
+    .unwrap()
+    .as_f64();
     assert!((got - 12.5).abs() < 1e-12);
 }
 
@@ -599,7 +724,10 @@ fn value_stack_limit_enforced() {
     // emulate with a tiny limit instead.
     let bytes = wat::assemble(src).unwrap();
     let module = load_module(&bytes).unwrap();
-    let limits = ExecLimits { max_value_stack: 3, ..ExecLimits::default() };
+    let limits = ExecLimits {
+        max_value_stack: 3,
+        ..ExecLimits::default()
+    };
     let mut inst = Instance::with_limits(module.into(), &Linker::<()>::new(), (), limits).unwrap();
     assert_eq!(inst.invoke("deep", &[]), Err(Trap::ValueStackExhausted));
 }
@@ -609,7 +737,10 @@ fn reinterpret_bits() {
     let src = r#"(module
       (func (export "f") (param f32) (result i32)
         local.get 0 i32.reinterpret_f32))"#;
-    assert_eq!(run1(src, "f", &[Value::F32(1.0)]), Ok(Some(Value::I32(0x3f800000))));
+    assert_eq!(
+        run1(src, "f", &[Value::F32(1.0)]),
+        Ok(Some(Value::I32(0x3f800000)))
+    );
 }
 
 #[test]
@@ -618,7 +749,11 @@ fn rotations() {
       (func (export "rotl") (param i32 i32) (result i32)
         local.get 0 local.get 1 i32.rotl))"#;
     assert_eq!(
-        run1(src, "rotl", &[Value::I32(0x80000000u32 as i32), Value::I32(1)]),
+        run1(
+            src,
+            "rotl",
+            &[Value::I32(0x80000000u32 as i32), Value::I32(1)]
+        ),
         Ok(Some(Value::I32(1)))
     );
 }
@@ -630,10 +765,22 @@ fn clz_ctz_popcnt() {
       (func (export "ctz") (param i32) (result i32) local.get 0 i32.ctz)
       (func (export "pop") (param i32) (result i32) local.get 0 i32.popcnt))"#;
     let mut inst = instantiate(src);
-    assert_eq!(inst.invoke("clz", &[Value::I32(1)]), Ok(Some(Value::I32(31))));
-    assert_eq!(inst.invoke("clz", &[Value::I32(0)]), Ok(Some(Value::I32(32))));
-    assert_eq!(inst.invoke("ctz", &[Value::I32(8)]), Ok(Some(Value::I32(3))));
-    assert_eq!(inst.invoke("pop", &[Value::I32(0x0f0f0f0f)]), Ok(Some(Value::I32(16))));
+    assert_eq!(
+        inst.invoke("clz", &[Value::I32(1)]),
+        Ok(Some(Value::I32(31)))
+    );
+    assert_eq!(
+        inst.invoke("clz", &[Value::I32(0)]),
+        Ok(Some(Value::I32(32)))
+    );
+    assert_eq!(
+        inst.invoke("ctz", &[Value::I32(8)]),
+        Ok(Some(Value::I32(3)))
+    );
+    assert_eq!(
+        inst.invoke("pop", &[Value::I32(0x0f0f0f0f)]),
+        Ok(Some(Value::I32(16)))
+    );
 }
 
 #[test]

@@ -8,7 +8,9 @@ use waran_wasm::{load_module, wat, Trap};
 fn run(src: &str, name: &str, args: &[Value]) -> Result<Option<Value>, Trap> {
     let bytes = wat::assemble(src).expect("assembles");
     let module = load_module(&bytes).expect("validates");
-    Instance::new(module.into(), &Linker::<()>::new(), ()).expect("instantiates").invoke(name, args)
+    Instance::new(module.into(), &Linker::<()>::new(), ())
+        .expect("instantiates")
+        .invoke(name, args)
 }
 
 #[test]
@@ -105,7 +107,10 @@ fn memarg_offset_overflow_traps() {
       (func (export "f") (result i32)
         i32.const -1
         i32.load offset=100))"#;
-    assert!(matches!(run(src, "f", &[]), Err(Trap::MemoryOutOfBounds { .. })));
+    assert!(matches!(
+        run(src, "f", &[]),
+        Err(Trap::MemoryOutOfBounds { .. })
+    ));
 }
 
 #[test]
@@ -149,7 +154,10 @@ fn wrap_and_extend_are_exact() {
         inst.invoke("ext_u", &[Value::I32(-1)]),
         Ok(Some(Value::I64(0xffff_ffff)))
     );
-    assert_eq!(inst.invoke("ext_s", &[Value::I32(-1)]), Ok(Some(Value::I64(-1))));
+    assert_eq!(
+        inst.invoke("ext_s", &[Value::I32(-1)]),
+        Ok(Some(Value::I64(-1)))
+    );
 }
 
 #[test]
@@ -170,7 +178,11 @@ fn partial_oob_store_traps_before_writing() {
     let module = load_module(&bytes).unwrap();
     let mut inst = Instance::new(module.into(), &Linker::<()>::new(), ()).unwrap();
     assert!(inst.invoke("poke", &[]).is_err());
-    assert_eq!(inst.invoke("peek", &[]), Ok(Some(Value::I32(0))), "no partial write");
+    assert_eq!(
+        inst.invoke("peek", &[]),
+        Ok(Some(Value::I32(0))),
+        "no partial write"
+    );
 }
 
 #[test]
@@ -185,12 +197,19 @@ fn float_arithmetic_ieee_corner_cases() {
     let mut inst = Instance::new(module.into(), &Linker::<()>::new(), ()).unwrap();
     // 1/0 = inf, -1/0 = -inf, 0/0 = NaN; float division never traps.
     let div = |inst: &mut Instance<()>, a: f64, b: f64| {
-        inst.invoke("div", &[Value::F64(a), Value::F64(b)]).unwrap().unwrap().as_f64()
+        inst.invoke("div", &[Value::F64(a), Value::F64(b)])
+            .unwrap()
+            .unwrap()
+            .as_f64()
     };
     assert_eq!(div(&mut inst, 1.0, 0.0), f64::INFINITY);
     assert_eq!(div(&mut inst, -1.0, 0.0), f64::NEG_INFINITY);
     assert!(div(&mut inst, 0.0, 0.0).is_nan());
-    let s = inst.invoke("sqrt", &[Value::F64(-1.0)]).unwrap().unwrap().as_f64();
+    let s = inst
+        .invoke("sqrt", &[Value::F64(-1.0)])
+        .unwrap()
+        .unwrap()
+        .as_f64();
     assert!(s.is_nan());
 }
 
@@ -199,8 +218,17 @@ fn nearest_rounds_ties_to_even() {
     let src = r#"(module
       (func (export "n") (param f64) (result f64)
         local.get 0 f64.nearest))"#;
-    for (input, expect) in [(0.5, 0.0), (1.5, 2.0), (2.5, 2.0), (-0.5, 0.0), (-1.5, -2.0)] {
-        let got = run(src, "n", &[Value::F64(input)]).unwrap().unwrap().as_f64();
+    for (input, expect) in [
+        (0.5, 0.0),
+        (1.5, 2.0),
+        (2.5, 2.0),
+        (-0.5, 0.0),
+        (-1.5, -2.0),
+    ] {
+        let got = run(src, "n", &[Value::F64(input)])
+            .unwrap()
+            .unwrap()
+            .as_f64();
         assert_eq!(got, expect, "nearest({input})");
     }
 }
@@ -273,10 +301,16 @@ fn copysign_and_neg_affect_sign_bit_only() {
     let src = r#"(module
       (func (export "cs") (param f64 f64) (result f64)
         local.get 0 local.get 1 f64.copysign))"#;
-    let got = run(src, "cs", &[Value::F64(3.5), Value::F64(-0.0)]).unwrap().unwrap().as_f64();
+    let got = run(src, "cs", &[Value::F64(3.5), Value::F64(-0.0)])
+        .unwrap()
+        .unwrap()
+        .as_f64();
     assert_eq!(got, -3.5);
     // copysign on NaN keeps NaN-ness.
-    let got = run(src, "cs", &[Value::F64(f64::NAN), Value::F64(-1.0)]).unwrap().unwrap().as_f64();
+    let got = run(src, "cs", &[Value::F64(f64::NAN), Value::F64(-1.0)])
+        .unwrap()
+        .unwrap()
+        .as_f64();
     assert!(got.is_nan() && got.is_sign_negative());
 }
 

@@ -19,7 +19,11 @@ fn main() {
     for (power, antenna) in commands {
         wire_a.extend_from_slice(&vendor_a.encode(&[power, antenna]).expect("fits"));
     }
-    println!("vendor A wire ({} records): {:02x?}", commands.len(), wire_a);
+    println!(
+        "vendor A wire ({} records): {:02x?}",
+        commands.len(),
+        wire_a
+    );
 
     // Without adaptation, vendor B misreads every field:
     let misread = vendor_b.decode(&wire_a[..2]).expect("decodes structurally");

@@ -43,7 +43,9 @@ fn main() {
     println!("phase 1: MT plugin (weak UE starved)…");
     phase(&mut scenario, "after MT");
 
-    scenario.swap_plugin("mvno", SchedKind::ProportionalFair).expect("swap");
+    scenario
+        .swap_plugin("mvno", SchedKind::ProportionalFair)
+        .expect("swap");
     println!("phase 2: hot-swapped to PF mid-run (no gNB restart, no UE detach)…");
     phase(&mut scenario, "after PF swap");
 
@@ -61,7 +63,9 @@ fn main() {
         ),
     );
 
-    scenario.swap_plugin("mvno", SchedKind::RoundRobin).expect("swap");
+    scenario
+        .swap_plugin("mvno", SchedKind::RoundRobin)
+        .expect("swap");
     println!("phase 4: operator pushed a fixed plugin (quarantine cleared by swap)…");
     phase(&mut scenario, "after RR fix");
 

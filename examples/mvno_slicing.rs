@@ -23,9 +23,27 @@ fn main() {
         .slice(
             SliceSpec::new("iot-carrier", SchedKind::RoundRobin)
                 .target_mbps(3.0)
-                .ue(ChannelSpec::Static(8), TrafficSpec::Poisson { pps: 200.0, bytes: 600 })
-                .ue(ChannelSpec::Static(6), TrafficSpec::Poisson { pps: 150.0, bytes: 600 })
-                .ue(ChannelSpec::Static(10), TrafficSpec::Poisson { pps: 250.0, bytes: 600 }),
+                .ue(
+                    ChannelSpec::Static(8),
+                    TrafficSpec::Poisson {
+                        pps: 200.0,
+                        bytes: 600,
+                    },
+                )
+                .ue(
+                    ChannelSpec::Static(6),
+                    TrafficSpec::Poisson {
+                        pps: 150.0,
+                        bytes: 600,
+                    },
+                )
+                .ue(
+                    ChannelSpec::Static(10),
+                    TrafficSpec::Poisson {
+                        pps: 250.0,
+                        bytes: 600,
+                    },
+                ),
         )
         // A budget MVNO chasing peak rates with MT.
         .slice(
@@ -47,7 +65,10 @@ fn main() {
     println!("simulating 10 s with four slices (all schedulers are Wasm plugins)…\n");
     let report = scenario.run().expect("runs");
 
-    println!("{:<16} {:>9} {:>10} {:>7} {:>8}", "slice", "target", "achieved", "faults", "p99[µs]");
+    println!(
+        "{:<16} {:>9} {:>10} {:>7} {:>8}",
+        "slice", "target", "achieved", "faults", "p99[µs]"
+    );
     for slice in &report.slices {
         let target = match slice.name.as_str() {
             "embb-carrier" => "15.0",
@@ -61,15 +82,18 @@ fn main() {
             .unwrap_or_else(|| "-".into());
         println!(
             "{:<16} {:>9} {:>10.2} {:>7} {:>8}",
-            slice.name, target, slice.mean_rate_mbps(), slice.scheduler_faults, p99
+            slice.name,
+            target,
+            slice.mean_rate_mbps(),
+            slice.scheduler_faults,
+            p99
         );
         for ue in &slice.ues {
             println!("    ue {:<4} {:>25.2} Mb/s", ue.ue_id, ue.mean_rate_mbps);
         }
     }
 
-    let util: f64 =
-        report.utilization.iter().sum::<f64>() / report.utilization.len().max(1) as f64;
+    let util: f64 = report.utilization.iter().sum::<f64>() / report.utilization.len().max(1) as f64;
     println!("\nmean PRB utilization: {:.0}%", util * 100.0);
     println!(
         "note: the IoT slice's achieved rate tracks its offered Poisson load, \

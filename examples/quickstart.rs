@@ -49,14 +49,23 @@ fn main() {
     let module = wa_ran::wasm::load_module(&wasm).expect("valid .wasm");
     println!(
         "module exports: {:?}",
-        module.exports.iter().map(|e| e.name.as_str()).collect::<Vec<_>>()
+        module
+            .exports
+            .iter()
+            .map(|e| e.name.as_str())
+            .collect::<Vec<_>>()
     );
 
     // ------------------------------------------------------------------
     // 2. Sandbox it and call it directly through the byte ABI.
     // ------------------------------------------------------------------
-    let mut plugin = Plugin::new(&wasm, &Linker::<()>::new(), (), SandboxPolicy::slot_budget())
-        .expect("instantiates");
+    let mut plugin = Plugin::new(
+        &wasm,
+        &Linker::<()>::new(),
+        (),
+        SandboxPolicy::slot_budget(),
+    )
+    .expect("instantiates");
     let req = wa_ran::abi::sched::SchedRequest {
         slot: 0,
         prbs_granted: 52,
@@ -84,7 +93,11 @@ fn main() {
     // 3. Run a full gNB scenario with a standard plugin from the library.
     // ------------------------------------------------------------------
     let mut scenario = ScenarioBuilder::new()
-        .slice(SliceSpec::new("mvno-1", SchedKind::ProportionalFair).target_mbps(12.0).ues(3))
+        .slice(
+            SliceSpec::new("mvno-1", SchedKind::ProportionalFair)
+                .target_mbps(12.0)
+                .ues(3),
+        )
         .seconds(2.0)
         .build()
         .expect("scenario builds");

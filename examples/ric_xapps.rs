@@ -8,7 +8,9 @@
 //!
 //! Run with: `cargo run --release --example ric_xapps`
 
-use wa_ran::core::{ChannelSpec, HandoverModel, RicLoop, ScenarioBuilder, SchedKind, SliceSpec, TrafficSpec};
+use wa_ran::core::{
+    ChannelSpec, HandoverModel, RicLoop, ScenarioBuilder, SchedKind, SliceSpec, TrafficSpec,
+};
 use wa_ran::ric::comm::TlvCodec;
 use wa_ran::ric::ric::{NearRtRic, SliceSlaAssurance, TrafficSteering};
 
@@ -36,11 +38,16 @@ fn main() {
     ric_loop.run_slots(&mut scenario, 6000);
 
     let report = scenario.report();
-    println!("E2 agent: {} indications sent, {} actions received",
-        ric_loop.agent().indications_sent, ric_loop.agent().actions_received);
+    println!(
+        "E2 agent: {} indications sent, {} actions received",
+        ric_loop.agent().indications_sent,
+        ric_loop.agent().actions_received
+    );
     println!("RIC: xApps deployed = {:?}", ric_loop.ric().xapp_names());
-    println!("applied: {} handovers, {} slice-target updates\n",
-        ric_loop.applied_handovers, ric_loop.applied_slice_targets);
+    println!(
+        "applied: {} handovers, {} slice-target updates\n",
+        ric_loop.applied_handovers, ric_loop.applied_slice_targets
+    );
 
     let series = &report.ue(edge_ue).expect("ue").series_mbps;
     let early = series[0];

@@ -11,9 +11,21 @@ fn paper_fig5a_shape_holds_in_miniature() {
     // A 6-second cut of the Fig. 5a experiment: three Wasm-scheduled MVNOs
     // with targets 3/12/15 Mb/s co-exist and track their targets.
     let mut scenario = ScenarioBuilder::new()
-        .slice(SliceSpec::new("mt", SchedKind::MaxThroughput).target_mbps(3.0).ues(2))
-        .slice(SliceSpec::new("rr", SchedKind::RoundRobin).target_mbps(12.0).ues(3))
-        .slice(SliceSpec::new("pf", SchedKind::ProportionalFair).target_mbps(15.0).ues(3))
+        .slice(
+            SliceSpec::new("mt", SchedKind::MaxThroughput)
+                .target_mbps(3.0)
+                .ues(2),
+        )
+        .slice(
+            SliceSpec::new("rr", SchedKind::RoundRobin)
+                .target_mbps(12.0)
+                .ues(3),
+        )
+        .slice(
+            SliceSpec::new("pf", SchedKind::ProportionalFair)
+                .target_mbps(15.0)
+                .ues(3),
+        )
         .seconds(6.0)
         .seed(2)
         .build()
@@ -53,9 +65,13 @@ fn paper_fig5b_shape_holds_in_miniature() {
     assert!(weak_mt < 1.0, "MT starves MCS-20: {weak_mt}");
     assert!(best_mt > 18.0, "MT saturates MCS-28: {best_mt}");
 
-    scenario.swap_plugin("mvno", SchedKind::ProportionalFair).expect("swap");
+    scenario
+        .swap_plugin("mvno", SchedKind::ProportionalFair)
+        .expect("swap");
     scenario.run_seconds(2.0);
-    scenario.swap_plugin("mvno", SchedKind::RoundRobin).expect("swap");
+    scenario
+        .swap_plugin("mvno", SchedKind::RoundRobin)
+        .expect("swap");
     scenario.run_seconds(2.0);
 
     let report = scenario.report();
@@ -65,7 +81,10 @@ fn paper_fig5b_shape_holds_in_miniature() {
         s[s.len() - 10..].iter().sum::<f64>() / 10.0
     };
     let (a, b, c) = (recent(ues[0]), recent(ues[1]), recent(ues[2]));
-    assert!(a > 3.0 && b > 3.0 && c > 3.0, "RR serves everyone: {a}/{b}/{c}");
+    assert!(
+        a > 3.0 && b > 3.0 && c > 3.0,
+        "RR serves everyone: {a}/{b}/{c}"
+    );
     assert_eq!(report.slice("mvno").expect("slice").scheduler_faults, 0);
 }
 
@@ -92,9 +111,13 @@ fn paper_5d_safety_table_holds() {
         ("double-free", plugins::faulty::DOUBLE_FREE),
     ] {
         let wasm = plugins::compile_faulty(src);
-        let mut plugin =
-            Plugin::new(&wasm, &Linker::<()>::new(), (), SandboxPolicy::slot_budget())
-                .expect("instantiates");
+        let mut plugin = Plugin::new(
+            &wasm,
+            &Linker::<()>::new(),
+            (),
+            SandboxPolicy::slot_budget(),
+        )
+        .expect("instantiates");
         let result = plugin.call_sched(&req);
         assert!(result.is_err(), "{name} must be caught");
         // The same process continues scheduling with a healthy plugin.
@@ -147,7 +170,9 @@ fn custom_plugc_plugin_runs_in_scenario() {
         .seconds(1.0)
         .build()
         .expect("builds");
-    scenario.swap_plugin_bytes("custom", &wasm).expect("installs");
+    scenario
+        .swap_plugin_bytes("custom", &wasm)
+        .expect("installs");
     let report = scenario.run().expect("runs");
     let slice = report.slice("custom").expect("slice");
     assert_eq!(slice.scheduler_faults, 0);

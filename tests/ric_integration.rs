@@ -8,7 +8,14 @@ use wa_ran::ric::e2::{ControlAction, Indication, KpiReport};
 use wa_ran::ric::ric::{NearRtRic, WasmXApp};
 
 fn kpi(ue: u32, slice: u32, cqi: u8, tput: f64) -> KpiReport {
-    KpiReport { ue_id: ue, slice_id: slice, cqi, mcs: cqi * 2, buffer_bytes: 5_000, tput_bps: tput }
+    KpiReport {
+        ue_id: ue,
+        slice_id: slice,
+        cqi,
+        mcs: cqi * 2,
+        buffer_bytes: 5_000,
+        tput_bps: tput,
+    }
 }
 
 #[test]
@@ -45,13 +52,23 @@ fn wasm_xapp_emits_control_actions() {
 
     let actions = ric.handle_indication(&Indication {
         slot: 5,
-        reports: vec![kpi(70, 0, 12, 8e6), kpi(71, 0, 3, 0.2e6), kpi(72, 0, 4, 0.3e6)],
+        reports: vec![
+            kpi(70, 0, 12, 8e6),
+            kpi(71, 0, 3, 0.2e6),
+            kpi(72, 0, 4, 0.3e6),
+        ],
     });
     assert_eq!(
         actions,
         vec![
-            ControlAction::Handover { ue_id: 71, target_cell: 7 },
-            ControlAction::Handover { ue_id: 72, target_cell: 7 },
+            ControlAction::Handover {
+                ue_id: 71,
+                target_cell: 7
+            },
+            ControlAction::Handover {
+                ue_id: 72,
+                target_cell: 7
+            },
         ]
     );
 }
@@ -105,13 +122,22 @@ fn wasm_xapps_message_each_other_via_host_functions() {
     ric.add_xapp(Box::new(sender));
     ric.add_xapp(Box::new(sink));
 
-    let ind = Indication { slot: 0, reports: vec![] };
+    let ind = Indication {
+        slot: 0,
+        reports: vec![],
+    };
     // Indication 1: sender posts; sink's mailbox is still empty this round.
     let a1 = ric.handle_indication(&ind);
     assert!(a1.is_empty());
     // Indication 2: sink drains the message and reacts.
     let a2 = ric.handle_indication(&ind);
-    assert_eq!(a2, vec![ControlAction::SetCqiTable { ue_id: 99, table: 42 }]);
+    assert_eq!(
+        a2,
+        vec![ControlAction::SetCqiTable {
+            ue_id: 99,
+            table: 42
+        }]
+    );
 }
 
 #[test]
@@ -134,11 +160,17 @@ fn wasm_comm_plugin_passthrough_wire() {
     .expect("loads");
     let codec = WasmCommPlugin::new(plugin, "identity");
 
-    let ind = Indication { slot: 77, reports: vec![kpi(1, 0, 9, 3e6), kpi(2, 1, 11, 5e6)] };
+    let ind = Indication {
+        slot: 77,
+        reports: vec![kpi(1, 0, 9, 3e6), kpi(2, 1, 11, 5e6)],
+    };
     let bytes = codec.encode_indication(&ind);
     assert_eq!(codec.decode_indication(&bytes).expect("roundtrips"), ind);
 
-    let actions = vec![ControlAction::Handover { ue_id: 1, target_cell: 2 }];
+    let actions = vec![ControlAction::Handover {
+        ue_id: 1,
+        target_cell: 2,
+    }];
     let bytes = codec.encode_actions(&actions);
     assert_eq!(codec.decode_actions(&bytes).expect("roundtrips"), actions);
 }
