@@ -25,8 +25,11 @@ pub mod wasm_sched;
 
 pub use multicell::{
     CellReport, CellSpec, MultiCellReport, MultiCellScenario, MultiCellScenarioBuilder,
+    RicPlaneReport,
 };
-pub use ric_glue::{HandoverModel, RicLoop};
+pub use ric_glue::{
+    apply_action, sample_kpis, AppliedAction, CellE2Driver, HandoverModel, RicAttachment, RicLoop,
+};
 pub use scenario::{
     Backend, ChannelSpec, Report, Scenario, ScenarioBuilder, ScenarioError, SchedKind, SliceReport,
     SliceSpec, TrafficSpec, UeReport,

@@ -18,6 +18,14 @@
 //! * Per-worker execution-time measurements land in
 //!   [`ShardedExecStats`] shards and are merged after the join, so the
 //!   hot loop never touches a shared accumulator.
+//! * A deployment can attach the whole fleet to one near-RT RIC service
+//!   thread ([`MultiCellScenarioBuilder::ric`]): every cell's E2 driver
+//!   publishes onto a bounded bus and applies mailboxed actions at report
+//!   boundaries. In deterministic delivery mode the per-cell digests stay
+//!   bit-identical across worker counts *with the RIC in the loop*; in
+//!   lossy mode a stalled RIC sheds load visibly
+//!   ([`RicPlaneReport::service`] drop counters) instead of growing node
+//!   memory.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -25,7 +33,9 @@ use std::time::Instant;
 
 use waran_host::plugin::SandboxPolicy;
 use waran_host::{ExecTimeStats, ShardedExecStats};
+use waran_ric::bus::{RicBus, ServiceReport};
 
+use crate::ric_glue::{CellE2Driver, RicAttachment};
 use crate::scenario::{Report, Scenario, ScenarioBuilder, ScenarioError, SchedKind, SliceSpec};
 
 // The engine moves whole `Scenario`s into worker threads; this is the
@@ -74,6 +84,7 @@ pub struct MultiCellScenarioBuilder {
     seconds: f64,
     base_seed: u64,
     policy: SandboxPolicy,
+    ric: Option<RicAttachment>,
 }
 
 impl Default for MultiCellScenarioBuilder {
@@ -90,7 +101,15 @@ impl MultiCellScenarioBuilder {
             seconds: 1.0,
             base_seed: 1,
             policy: SandboxPolicy::slot_budget(),
+            ric: None,
         }
+    }
+
+    /// Attach the deployment to the RIC plane: one service thread hosts
+    /// every cell's RIC state; cells publish over a bounded bus.
+    pub fn ric(mut self, attachment: RicAttachment) -> Self {
+        self.ric = Some(attachment);
+        self
     }
 
     /// Add a cell.
@@ -152,10 +171,19 @@ impl MultiCellScenarioBuilder {
                 cell_id,
                 seed,
                 scenario,
+                driver: None,
                 report: None,
             }));
         }
-        Ok(MultiCellScenario { cells })
+        let bus = self.ric.map(|attachment| {
+            let mut bus = attachment.build_bus();
+            for cell in &cells {
+                let mut cell = cell.lock().expect("cell lock poisoned");
+                cell.driver = Some(attachment.driver(cell.cell_id, &mut bus));
+            }
+            bus
+        });
+        Ok(MultiCellScenario { cells, bus })
     }
 }
 
@@ -174,12 +202,15 @@ struct CellRuntime {
     cell_id: u32,
     seed: u64,
     scenario: Scenario,
+    driver: Option<CellE2Driver>,
     report: Option<Report>,
 }
 
 /// A built multi-cell deployment, runnable on any number of workers.
 pub struct MultiCellScenario {
     cells: Vec<Mutex<CellRuntime>>,
+    /// Present until [`MultiCellScenario::run`] starts the service.
+    bus: Option<RicBus>,
 }
 
 impl MultiCellScenario {
@@ -224,12 +255,13 @@ impl MultiCellScenario {
         let started = Instant::now();
         let n_cells = self.cells.len();
         let workers = workers.clamp(1, n_cells.max(1));
+        let service = self.bus.take().map(RicBus::start);
 
-        let shards = if workers <= 1 {
-            let mut shard = ExecTimeStats::new();
+        let shards: Vec<(ExecTimeStats, ExecTimeStats)> = if workers <= 1 {
+            let mut shard = (ExecTimeStats::new(), ExecTimeStats::new());
             for cell in &self.cells {
                 let mut cell = cell.lock().expect("cell lock poisoned");
-                run_cell(&mut cell, &mut shard);
+                run_cell(&mut cell, &mut shard.0, &mut shard.1);
             }
             vec![shard]
         } else {
@@ -239,16 +271,17 @@ impl MultiCellScenario {
                 let handles: Vec<_> = (0..workers)
                     .map(|_| {
                         scope.spawn(|| {
-                            let mut shard = ExecTimeStats::new();
+                            let mut exec_shard = ExecTimeStats::new();
+                            let mut chunk_shard = ExecTimeStats::new();
                             loop {
                                 let idx = next.fetch_add(1, Ordering::Relaxed);
                                 if idx >= n_cells {
                                     break;
                                 }
                                 let mut cell = cells[idx].lock().expect("cell lock poisoned");
-                                run_cell(&mut cell, &mut shard);
+                                run_cell(&mut cell, &mut exec_shard, &mut chunk_shard);
                             }
-                            shard
+                            (exec_shard, chunk_shard)
                         })
                     })
                     .collect();
@@ -260,7 +293,33 @@ impl MultiCellScenario {
         };
 
         let wall_seconds = started.elapsed().as_secs_f64();
-        let exec = ShardedExecStats::from_shards(shards).merged();
+        let (exec_shards, chunk_shards): (Vec<_>, Vec<_>) = shards.into_iter().unzip();
+        let exec = ShardedExecStats::from_shards(exec_shards).merged();
+        let mut slot_chunks = ExecTimeStats::new();
+        for shard in &chunk_shards {
+            slot_chunks.merge(shard);
+        }
+
+        // Workers are done: stop the service and fold the plane's counters.
+        let ric = service.map(|service| {
+            let mut plane = RicPlaneReport {
+                service: service.stop(),
+                ..RicPlaneReport::default()
+            };
+            for cell in &self.cells {
+                let cell = cell.lock().expect("cell lock poisoned");
+                if let Some(driver) = &cell.driver {
+                    plane.indications_sent += driver.indications_sent;
+                    plane.action_batches_received += driver.action_batches_received;
+                    plane.applied_slice_targets += driver.applied_slice_targets;
+                    plane.applied_handovers += driver.applied_handovers;
+                    plane.rejected_actions += driver.rejected_actions;
+                    plane.agent_decode_errors += driver.decode_errors;
+                    plane.detached_cells += u64::from(!driver.is_attached());
+                }
+            }
+            plane
+        });
 
         let mut cell_reports = Vec::with_capacity(n_cells);
         for cell in &self.cells {
@@ -283,25 +342,80 @@ impl MultiCellScenario {
         MultiCellReport {
             cells: cell_reports,
             exec,
+            slot_chunks,
             workers,
             wall_seconds,
             total_slots,
             total_sched_calls,
+            ric,
         }
     }
 }
 
-/// Run one cell to its configured end and fold its plugin execution
-/// times into the worker's shard.
-fn run_cell(cell: &mut CellRuntime, shard: &mut ExecTimeStats) {
-    let remaining = cell.scenario.remaining_slots();
-    cell.scenario.run_slots(remaining);
+/// Chunk length for detached cells, slots. Matches the default RIC
+/// reporting period so attached-vs-detached chunk latencies compare
+/// like-for-like.
+const DETACHED_CHUNK_SLOTS: u64 = 100;
+
+/// Run one cell to its configured end in report-period chunks, timing
+/// each chunk into `chunk_shard` and folding the cell's plugin execution
+/// times into `exec_shard`. Attached cells run the E2 boundary protocol
+/// between chunks.
+fn run_cell(
+    cell: &mut CellRuntime,
+    exec_shard: &mut ExecTimeStats,
+    chunk_shard: &mut ExecTimeStats,
+) {
+    let chunk_len = cell
+        .driver
+        .as_ref()
+        .map(|d| d.report_period_slots)
+        .unwrap_or(DETACHED_CHUNK_SLOTS)
+        .max(1);
+    while cell.scenario.remaining_slots() > 0 {
+        let slot = cell.scenario.gnb.slot();
+        if let Some(driver) = cell.driver.as_mut() {
+            if driver.due(slot) {
+                driver.on_boundary(&mut cell.scenario);
+            }
+        }
+        let to_boundary = chunk_len - (slot % chunk_len);
+        let n = to_boundary.min(cell.scenario.remaining_slots());
+        let chunk_started = Instant::now();
+        cell.scenario.run_slots(n);
+        chunk_shard.record(chunk_started.elapsed());
+    }
+    if let Some(driver) = cell.driver.as_mut() {
+        driver.finish(&mut cell.scenario);
+    }
     cell.report = Some(cell.scenario.report());
     for name in cell.scenario.slice_names().to_vec() {
         if let Some(stats) = cell.scenario.plugin_stats(&name) {
-            shard.merge(&stats);
+            exec_shard.merge(&stats);
         }
     }
+}
+
+/// Aggregate view of the RIC plane after a run.
+#[derive(Debug, Clone, Default)]
+pub struct RicPlaneReport {
+    /// What the service thread saw (queue accounting, per-cell drops,
+    /// xApp activity).
+    pub service: ServiceReport,
+    /// Indications published across all cells.
+    pub indications_sent: u64,
+    /// Action batches received across all cells.
+    pub action_batches_received: u64,
+    /// Slice-target actions applied.
+    pub applied_slice_targets: u64,
+    /// Handovers applied.
+    pub applied_handovers: u64,
+    /// Actions that could not be applied.
+    pub rejected_actions: u64,
+    /// Cell-side decode failures (bad batches + skipped records).
+    pub agent_decode_errors: u64,
+    /// Cells that lost the service mid-run and detached.
+    pub detached_cells: u64,
 }
 
 /// Total scheduler-plugin calls a cell has made so far.
@@ -336,6 +450,9 @@ pub struct MultiCellReport {
     pub cells: Vec<CellReport>,
     /// Plugin execution-time statistics merged across all workers.
     pub exec: ExecTimeStats,
+    /// Wall time of each report-period slot chunk, merged across workers
+    /// (the slot-loop latency the RIC attachment must not inflate).
+    pub slot_chunks: ExecTimeStats,
     /// Worker threads actually used.
     pub workers: usize,
     /// Wall-clock duration of the run, seconds.
@@ -344,6 +461,8 @@ pub struct MultiCellReport {
     pub total_slots: u64,
     /// Scheduler-plugin calls, summed over cells.
     pub total_sched_calls: u64,
+    /// RIC-plane accounting when the deployment ran attached.
+    pub ric: Option<RicPlaneReport>,
 }
 
 impl MultiCellReport {

@@ -1,15 +1,28 @@
 //! Closing the loop: gNB ↔ near-RT RIC.
 //!
-//! [`RicLoop`] wires a [`Scenario`]'s gNB to a [`NearRtRic`] through the
-//! plugin-wrapped E2 substitute: the gNB-side agent reports KPI
-//! indications at a fixed period; xApps turn them into control actions;
-//! the agent applies the actions back onto the gNB (slice targets,
-//! handovers). Everything in between is a `CommCodec` — so two deployments
-//! can disagree on the wire and still interoperate via an adapter plugin.
+//! Two drivers share the same KPI-sampling and action-application logic:
+//!
+//! * [`RicLoop`] — the original synchronous single-cell loop: node and
+//!   RIC alternate turns over an unbounded duplex link, for examples and
+//!   single-scenario studies.
+//! * [`CellE2Driver`] — the multi-cell async plane's cell-side driver:
+//!   publishes indications onto a bounded [`RicBus`] at each report
+//!   boundary and applies the mailboxed action batches at the *next*
+//!   boundary, in `(answers_slot, arrival)` order. In
+//!   [`DeliveryMode::Deterministic`] it rendezvouses on the reply to its
+//!   previous indication first, which pins per-cell results regardless of
+//!   how many workers drive the deployment; in [`DeliveryMode::Lossy`] it
+//!   never waits and the bus sheds load by dropping its oldest frames.
+//!
+//! Everything on the wire is a `CommCodec` — so two deployments can
+//! disagree on the encoding and still interoperate via an adapter plugin.
 
+use std::time::Duration;
+
+use waran_ric::bus::{ActionBatch, CellPort, DeliveryMode, RicBus};
 use waran_ric::comm::CommCodec;
 use waran_ric::e2::{ControlAction, Indication, KpiReport};
-use waran_ric::link::{duplex, E2Agent, RicRuntime};
+use waran_ric::link::{duplex, E2Agent, RecvOutcome, RicRuntime};
 use waran_ric::ric::NearRtRic;
 
 use waran_ransim::channel::{DistanceChannel, MarkovFadingChannel};
@@ -24,6 +37,69 @@ pub enum HandoverModel {
     ToGoodCell,
     /// Target cell at the given distance.
     ToDistance(f64),
+}
+
+/// Snapshot the gNB's per-UE state as E2 KPI reports.
+pub fn sample_kpis(scenario: &Scenario) -> Vec<KpiReport> {
+    scenario
+        .gnb
+        .ue_kpis()
+        .into_iter()
+        .map(|(slice_id, ue_id, cqi, mcs, buffer, tput)| KpiReport {
+            ue_id,
+            slice_id,
+            cqi,
+            mcs,
+            buffer_bytes: buffer.min(u32::MAX as u64) as u32,
+            tput_bps: tput,
+        })
+        .collect()
+}
+
+/// What applying a control action did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AppliedAction {
+    /// A slice target was set.
+    SliceTarget,
+    /// A handover was realized as a channel change.
+    Handover,
+    /// The action could not be applied (unknown id, unmodelled knob).
+    Rejected,
+}
+
+/// Apply one control action onto a scenario's gNB.
+pub fn apply_action(
+    scenario: &mut Scenario,
+    handover: HandoverModel,
+    action: ControlAction,
+) -> AppliedAction {
+    match action {
+        ControlAction::SetSliceTarget {
+            slice_id,
+            target_bps,
+        } => {
+            scenario.gnb.set_slice_target(slice_id, Some(target_bps));
+            AppliedAction::SliceTarget
+        }
+        ControlAction::Handover {
+            ue_id,
+            target_cell: _,
+        } => {
+            let channel: Box<dyn waran_ransim::channel::ChannelModel> = match handover {
+                HandoverModel::ToGoodCell => Box::new(MarkovFadingChannel::good()),
+                HandoverModel::ToDistance(m) => Box::new(DistanceChannel::new(m)),
+            };
+            if scenario.gnb.set_ue_channel(ue_id, channel) {
+                AppliedAction::Handover
+            } else {
+                AppliedAction::Rejected
+            }
+        }
+        ControlAction::SetCqiTable { .. } => {
+            // Link-adaptation table switching is not modelled; count it.
+            AppliedAction::Rejected
+        }
+    }
 }
 
 /// The driver connecting a scenario to a RIC.
@@ -84,55 +160,254 @@ impl RicLoop {
             }
             let slot = scenario.gnb.slot();
             if self.agent.due(slot) {
-                let reports: Vec<KpiReport> = scenario
-                    .gnb
-                    .ue_kpis()
-                    .into_iter()
-                    .map(|(slice_id, ue_id, cqi, mcs, buffer, tput)| KpiReport {
-                        ue_id,
-                        slice_id,
-                        cqi,
-                        mcs,
-                        buffer_bytes: buffer.min(u32::MAX as u64) as u32,
-                        tput_bps: tput,
-                    })
-                    .collect();
+                let reports = sample_kpis(scenario);
                 self.agent.report(&Indication { slot, reports });
                 self.runtime.poll();
                 for action in self.agent.poll_actions() {
-                    self.apply(scenario, action);
+                    match apply_action(scenario, self.handover, action) {
+                        AppliedAction::SliceTarget => self.applied_slice_targets += 1,
+                        AppliedAction::Handover => self.applied_handovers += 1,
+                        AppliedAction::Rejected => self.rejected_actions += 1,
+                    }
                 }
             }
             scenario.run_slots(1);
         }
     }
+}
 
-    fn apply(&mut self, scenario: &mut Scenario, action: ControlAction) {
-        match action {
-            ControlAction::SetSliceTarget {
-                slice_id,
-                target_bps,
-            } => {
-                scenario.gnb.set_slice_target(slice_id, Some(target_bps));
-                self.applied_slice_targets += 1;
-            }
-            ControlAction::Handover {
-                ue_id,
-                target_cell: _,
-            } => {
-                let channel: Box<dyn waran_ransim::channel::ChannelModel> = match self.handover {
-                    HandoverModel::ToGoodCell => Box::new(MarkovFadingChannel::good()),
-                    HandoverModel::ToDistance(m) => Box::new(DistanceChannel::new(m)),
-                };
-                if scenario.gnb.set_ue_channel(ue_id, channel) {
-                    self.applied_handovers += 1;
-                } else {
-                    self.rejected_actions += 1;
+// ---------------------------------------------------------------------
+// The multi-cell attachment
+// ---------------------------------------------------------------------
+
+/// Builds the per-cell node codec and the service-side codec+RIC.
+pub type CodecFactory = Box<dyn Fn() -> Box<dyn CommCodec> + Send + Sync>;
+/// Builds a cell's RIC state (xApps included), keyed by cell id.
+pub type RicFactory = Box<dyn Fn(u32) -> NearRtRic + Send + Sync>;
+
+/// Configuration for attaching a multi-cell deployment to the RIC plane.
+pub struct RicAttachment {
+    /// Reporting period, slots (reports land at period *ends*).
+    pub report_period_slots: u64,
+    /// Bound on in-flight indications on the shared bus.
+    pub bus_capacity: usize,
+    /// Bound on each cell's action mailbox.
+    pub mailbox_capacity: usize,
+    /// Delivery discipline (deterministic rendezvous vs lossy drop-oldest).
+    pub mode: DeliveryMode,
+    /// Injected per-indication service delay (stall simulation).
+    pub service_delay: Duration,
+    /// Handover realization for applied actions.
+    pub handover: HandoverModel,
+    codec_factory: CodecFactory,
+    ric_factory: RicFactory,
+}
+
+impl RicAttachment {
+    /// Attachment with deployment defaults: deterministic delivery,
+    /// 100-slot reporting, a 64-frame bus, 16-batch mailboxes.
+    pub fn new(codec_factory: CodecFactory, ric_factory: RicFactory) -> Self {
+        RicAttachment {
+            report_period_slots: 100,
+            bus_capacity: 64,
+            mailbox_capacity: 16,
+            mode: DeliveryMode::Deterministic,
+            service_delay: Duration::ZERO,
+            handover: HandoverModel::ToGoodCell,
+            codec_factory,
+            ric_factory,
+        }
+    }
+
+    /// Set the reporting period, slots.
+    pub fn report_period_slots(mut self, period: u64) -> Self {
+        self.report_period_slots = period.max(1);
+        self
+    }
+
+    /// Set the bus capacity, frames.
+    pub fn bus_capacity(mut self, capacity: usize) -> Self {
+        self.bus_capacity = capacity.max(1);
+        self
+    }
+
+    /// Set the per-cell mailbox capacity, batches.
+    pub fn mailbox_capacity(mut self, capacity: usize) -> Self {
+        self.mailbox_capacity = capacity.max(1);
+        self
+    }
+
+    /// Set the delivery discipline.
+    pub fn mode(mut self, mode: DeliveryMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Inject a per-indication service delay (soak/stall testing).
+    pub fn service_delay(mut self, delay: Duration) -> Self {
+        self.service_delay = delay;
+        self
+    }
+
+    /// Set the handover realization.
+    pub fn handover_model(mut self, model: HandoverModel) -> Self {
+        self.handover = model;
+        self
+    }
+
+    /// The bus this attachment describes (cells still unregistered).
+    pub fn build_bus(&self) -> RicBus {
+        RicBus::new(self.bus_capacity, self.mode)
+            .mailbox_capacity(self.mailbox_capacity)
+            .service_delay(self.service_delay)
+    }
+
+    /// Register `cell_id` on `bus` and return its driver.
+    pub fn driver(&self, cell_id: u32, bus: &mut RicBus) -> CellE2Driver {
+        let port = bus.register(cell_id, (self.codec_factory)(), (self.ric_factory)(cell_id));
+        CellE2Driver {
+            port,
+            codec: (self.codec_factory)(),
+            mode: self.mode,
+            handover: self.handover,
+            report_period_slots: self.report_period_slots,
+            attached: true,
+            awaiting_reply: false,
+            indications_sent: 0,
+            action_batches_received: 0,
+            applied_slice_targets: 0,
+            applied_handovers: 0,
+            rejected_actions: 0,
+            decode_errors: 0,
+        }
+    }
+}
+
+/// How long a deterministic cell waits on a rendezvous before concluding
+/// the RIC is gone. Generous: a healthy service answers in microseconds;
+/// only a wedged (not merely slow) RIC hits this, and the cell then
+/// detaches rather than stalling the RAN forever.
+const REPLY_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Cell-side driver for the async RIC plane (see module docs).
+pub struct CellE2Driver {
+    port: CellPort,
+    codec: Box<dyn CommCodec>,
+    mode: DeliveryMode,
+    handover: HandoverModel,
+    /// Reporting period, slots.
+    pub report_period_slots: u64,
+    attached: bool,
+    awaiting_reply: bool,
+    /// Indications published.
+    pub indications_sent: u64,
+    /// Action batches received (including empty ones).
+    pub action_batches_received: u64,
+    /// Slice-target actions applied.
+    pub applied_slice_targets: u64,
+    /// Handovers applied.
+    pub applied_handovers: u64,
+    /// Actions that could not be applied.
+    pub rejected_actions: u64,
+    /// Undecodable batches plus skipped action records.
+    pub decode_errors: u64,
+}
+
+impl CellE2Driver {
+    /// Still connected to a live service?
+    pub fn is_attached(&self) -> bool {
+        self.attached
+    }
+
+    /// True when `slot` closes a reporting period (same end-of-period
+    /// rule as [`E2Agent::due`]).
+    pub fn due(&self, slot: u64) -> bool {
+        slot > 0 && slot.is_multiple_of(self.report_period_slots)
+    }
+
+    /// Run the boundary protocol at the scenario's current slot:
+    /// rendezvous/collect pending action batches, apply them in
+    /// `(answers_slot, arrival)` order, then sample and publish this
+    /// period's indication.
+    pub fn on_boundary(&mut self, scenario: &mut Scenario) {
+        if !self.attached {
+            return;
+        }
+        let batches = match self.mode {
+            DeliveryMode::Deterministic => {
+                let mut batches = Vec::new();
+                if self.awaiting_reply {
+                    self.awaiting_reply = false;
+                    match self.port.await_reply(REPLY_TIMEOUT) {
+                        RecvOutcome::Msg(batch) => batches.push(batch),
+                        RecvOutcome::Empty | RecvOutcome::Disconnected => self.attached = false,
+                    }
                 }
+                batches
             }
-            ControlAction::SetCqiTable { .. } => {
-                // Link-adaptation table switching is not modelled; count it.
-                self.rejected_actions += 1;
+            DeliveryMode::Lossy => self.port.collect(),
+        };
+        self.apply_batches(scenario, batches);
+        if !self.attached {
+            return;
+        }
+        let slot = scenario.gnb.slot();
+        let reports = sample_kpis(scenario);
+        let frame = self.codec.encode_indication(&Indication { slot, reports });
+        if self.port.publish(slot, frame) {
+            self.indications_sent += 1;
+            self.awaiting_reply = self.mode == DeliveryMode::Deterministic;
+        } else {
+            self.attached = false;
+        }
+    }
+
+    /// Settle at end of run: consume the outstanding reply (if any) and
+    /// whatever else reached the mailbox, so counters are reproducible in
+    /// deterministic mode and nothing is left queued against the service.
+    pub fn finish(&mut self, scenario: &mut Scenario) {
+        if !self.attached {
+            return;
+        }
+        let mut batches = Vec::new();
+        if self.mode == DeliveryMode::Deterministic && self.awaiting_reply {
+            self.awaiting_reply = false;
+            if let RecvOutcome::Msg(batch) = self.port.await_reply(REPLY_TIMEOUT) {
+                batches.push(batch);
+            }
+        }
+        batches.extend(self.port.collect());
+        self.apply_batches(scenario, batches);
+    }
+
+    /// Bus-level queue accounting as seen from this cell.
+    pub fn ingress_stats(&self) -> waran_host::QueueDepthStats {
+        self.port.ingress_stats()
+    }
+
+    /// Indications currently queued at the service.
+    pub fn ingress_depth(&self) -> usize {
+        self.port.ingress_depth()
+    }
+
+    fn apply_batches(&mut self, scenario: &mut Scenario, mut batches: Vec<ActionBatch>) {
+        // Deterministic application order: stable sort by the answered
+        // slot keeps arrival order within a slot.
+        batches.sort_by_key(|b| b.answers_slot);
+        for batch in batches {
+            self.action_batches_received += 1;
+            match self.codec.decode_actions(&batch.frame) {
+                Ok((actions, skipped)) => {
+                    self.decode_errors += skipped as u64;
+                    for action in actions {
+                        match apply_action(scenario, self.handover, action) {
+                            AppliedAction::SliceTarget => self.applied_slice_targets += 1,
+                            AppliedAction::Handover => self.applied_handovers += 1,
+                            AppliedAction::Rejected => self.rejected_actions += 1,
+                        }
+                    }
+                }
+                Err(_) => self.decode_errors += 1,
             }
         }
     }
@@ -218,9 +493,79 @@ mod tests {
         let mut ric_loop =
             RicLoop::new(Box::new(TlvCodec), Box::new(TlvCodec), NearRtRic::new(), 50);
         ric_loop.run_slots(&mut scenario, 1000);
-        assert_eq!(ric_loop.agent().indications_sent, 20);
+        // End-of-period reporting: slots 50, 100, …, 950 → 19 indications
+        // (slot 0 carries no traffic and slot 1000 is past the run).
+        assert_eq!(ric_loop.agent().indications_sent, 19);
         let kpis = ric_loop.ric().kpis();
         assert_eq!(kpis.ues().count(), 3);
         assert!(kpis.slice_tput_bps(0) > 0.0);
+    }
+
+    #[test]
+    fn cell_driver_applies_actions_at_next_boundary() {
+        let mut scenario = ScenarioBuilder::new()
+            .slice(
+                SliceSpec::new("s", SchedKind::ProportionalFair)
+                    .ue(ChannelSpec::FadingGood, TrafficSpec::FullBuffer)
+                    .ue(ChannelSpec::Distance(900.0), TrafficSpec::FullBuffer),
+            )
+            .seconds(2.0)
+            .build()
+            .unwrap();
+        let attachment = RicAttachment::new(
+            Box::new(|| Box::new(TlvCodec)),
+            Box::new(|_cell| {
+                let mut ric = NearRtRic::new();
+                ric.add_xapp(Box::new(TrafficSteering::new(5, 2, 1)));
+                ric
+            }),
+        )
+        .report_period_slots(100);
+        let mut bus = attachment.build_bus();
+        let mut driver = attachment.driver(0, &mut bus);
+        let service = bus.start();
+
+        while scenario.remaining_slots() > 0 {
+            let slot = scenario.gnb.slot();
+            if driver.due(slot) {
+                driver.on_boundary(&mut scenario);
+            }
+            scenario.run_slots(100 - (slot % 100));
+        }
+        driver.finish(&mut scenario);
+        let report = service.stop();
+
+        assert!(driver.is_attached());
+        assert_eq!(driver.indications_sent, 19);
+        // Every indication was answered (reply-per-indication protocol).
+        assert_eq!(driver.action_batches_received, 19);
+        assert!(driver.applied_handovers >= 1, "steering should fire");
+        assert_eq!(report.indications_handled, 19);
+        assert_eq!(driver.decode_errors, 0);
+    }
+
+    #[test]
+    fn cell_driver_detaches_when_service_dies() {
+        let mut scenario = ScenarioBuilder::new()
+            .slice(SliceSpec::new("s", SchedKind::RoundRobin).ues(1))
+            .seconds(1.0)
+            .build()
+            .unwrap();
+        let attachment = RicAttachment::new(
+            Box::new(|| Box::new(TlvCodec)),
+            Box::new(|_| NearRtRic::new()),
+        );
+        let mut bus = attachment.build_bus();
+        let mut driver = attachment.driver(0, &mut bus);
+        // The service never starts; dropping the bus kills the plane.
+        drop(bus);
+
+        scenario.run_slots(100);
+        driver.on_boundary(&mut scenario);
+        assert!(!driver.is_attached(), "driver must detach, not stall");
+        scenario.run_slots(100);
+        driver.on_boundary(&mut scenario); // no-op, still must not block
+        driver.finish(&mut scenario);
+        assert_eq!(driver.indications_sent, 0);
     }
 }

@@ -39,4 +39,4 @@ pub mod stats;
 pub use host::{PluginHost, SlotHandle, SlotHealth, SlotState};
 pub use plugin::{ModuleCache, Plugin, PluginError, SandboxPolicy};
 pub use pool::PluginPool;
-pub use stats::{ExactQuantiles, ExecTimeStats, P2Quantile, ShardedExecStats};
+pub use stats::{ExactQuantiles, ExecTimeStats, P2Quantile, QueueDepthStats, ShardedExecStats};

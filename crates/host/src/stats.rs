@@ -430,6 +430,37 @@ impl ExecTimeStats {
     }
 }
 
+/// Depth/drop accounting for one bounded queue (the RIC plane's
+/// indication bus and per-cell action mailboxes): how many items were
+/// accepted, how many a full queue displaced, and the deepest the queue
+/// ever got. Mergeable like every other accumulator here, so the
+/// multi-cell engine can fold per-cell mailbox gauges into one deployment
+/// view the same way it merges per-worker [`ExecTimeStats`] shards.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueueDepthStats {
+    /// Items accepted into the queue.
+    pub enqueued: u64,
+    /// Items displaced or refused by a full queue.
+    pub dropped: u64,
+    /// High-water mark of the queue depth.
+    pub max_depth: u64,
+}
+
+impl QueueDepthStats {
+    /// Empty gauge.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold another queue's gauges into this one: counters add, the
+    /// high-water mark takes the maximum.
+    pub fn merge(&mut self, other: &QueueDepthStats) {
+        self.enqueued += other.enqueued;
+        self.dropped += other.dropped;
+        self.max_depth = self.max_depth.max(other.max_depth);
+    }
+}
+
 /// Per-worker execution-time accumulators with contention-free recording:
 /// each worker writes only its own shard (no locks, no shared cache
 /// lines) and readers merge all shards into one [`ExecTimeStats`].
@@ -643,6 +674,31 @@ mod tests {
         assert_eq!(merged.max_us(), single.max_us());
         assert!((merged.p50_us() - single.p50_us()).abs() < 10.0);
         assert!((merged.p99_us() - single.p99_us()).abs() < 10.0);
+    }
+
+    #[test]
+    fn queue_depth_stats_merge() {
+        let mut a = QueueDepthStats {
+            enqueued: 10,
+            dropped: 2,
+            max_depth: 7,
+        };
+        let b = QueueDepthStats {
+            enqueued: 5,
+            dropped: 0,
+            max_depth: 12,
+        };
+        a.merge(&b);
+        assert_eq!(
+            a,
+            QueueDepthStats {
+                enqueued: 15,
+                dropped: 2,
+                max_depth: 12,
+            }
+        );
+        a.merge(&QueueDepthStats::new());
+        assert_eq!(a.enqueued, 15);
     }
 
     #[test]

@@ -25,7 +25,12 @@ pub trait CommCodec: Send {
     /// Encode a batch of control actions.
     fn encode_actions(&self, actions: &[ControlAction]) -> Vec<u8>;
     /// Decode a batch of control actions.
-    fn decode_actions(&self, bytes: &[u8]) -> Result<Vec<ControlAction>, CodecError>;
+    ///
+    /// Returns the decoded actions plus the number of records the codec
+    /// had to skip (unknown tags, a truncated trailing record): skips are
+    /// not errors — the rest of the frame is still usable — but callers
+    /// fold them into their decode-error counters so they stay visible.
+    fn decode_actions(&self, bytes: &[u8]) -> Result<(Vec<ControlAction>, usize), CodecError>;
     /// Codec name for reports.
     fn name(&self) -> &'static str;
 }
@@ -96,7 +101,7 @@ impl CommCodec for TlvCodec {
         w.finish()
     }
 
-    fn decode_actions(&self, bytes: &[u8]) -> Result<Vec<ControlAction>, CodecError> {
+    fn decode_actions(&self, bytes: &[u8]) -> Result<(Vec<ControlAction>, usize), CodecError> {
         let reader = TlvReader::new(bytes);
         let field = reader.require(tlv_tags::ACTIONS)?;
         Ok(ControlAction::list_from_bytes(field.value))
@@ -174,7 +179,7 @@ impl CommCodec for PbCodec {
         w.finish()
     }
 
-    fn decode_actions(&self, bytes: &[u8]) -> Result<Vec<ControlAction>, CodecError> {
+    fn decode_actions(&self, bytes: &[u8]) -> Result<(Vec<ControlAction>, usize), CodecError> {
         let reader = PbReader::new(bytes);
         let value = reader
             .find(1)?
@@ -276,7 +281,7 @@ impl CommCodec for JsonCodec {
         Json::Arr(items).encode().into_bytes()
     }
 
-    fn decode_actions(&self, bytes: &[u8]) -> Result<Vec<ControlAction>, CodecError> {
+    fn decode_actions(&self, bytes: &[u8]) -> Result<(Vec<ControlAction>, usize), CodecError> {
         let text = std::str::from_utf8(bytes)
             .map_err(|_| CodecError::Malformed("invalid UTF-8".into()))?;
         let v = Json::decode(text)?;
@@ -288,29 +293,35 @@ impl CommCodec for JsonCodec {
                 .and_then(Json::as_num)
                 .ok_or_else(|| CodecError::Malformed(format!("missing `{key}`")))
         };
-        arr.iter()
-            .map(|item| {
-                let ty = item
-                    .get("type")
-                    .and_then(Json::as_str)
-                    .ok_or_else(|| CodecError::Malformed("missing `type`".into()))?;
-                Ok(match ty {
-                    "slice_target" => ControlAction::SetSliceTarget {
-                        slice_id: num(item, "slice")? as u32,
-                        target_bps: num(item, "target")?,
-                    },
-                    "handover" => ControlAction::Handover {
-                        ue_id: num(item, "ue")? as u32,
-                        target_cell: num(item, "cell")? as u32,
-                    },
-                    "cqi_table" => ControlAction::SetCqiTable {
-                        ue_id: num(item, "ue")? as u32,
-                        table: num(item, "table")? as u8,
-                    },
-                    other => return Err(CodecError::Malformed(format!("unknown type `{other}`"))),
-                })
-            })
-            .collect()
+        let mut actions = Vec::with_capacity(arr.len());
+        let mut skipped = 0usize;
+        for item in arr {
+            // A missing or unknown `type` is this codec's unknown-tag case:
+            // skip the record (counted) instead of failing the whole frame.
+            let Some(ty) = item.get("type").and_then(Json::as_str) else {
+                skipped += 1;
+                continue;
+            };
+            actions.push(match ty {
+                "slice_target" => ControlAction::SetSliceTarget {
+                    slice_id: num(item, "slice")? as u32,
+                    target_bps: num(item, "target")?,
+                },
+                "handover" => ControlAction::Handover {
+                    ue_id: num(item, "ue")? as u32,
+                    target_cell: num(item, "cell")? as u32,
+                },
+                "cqi_table" => ControlAction::SetCqiTable {
+                    ue_id: num(item, "ue")? as u32,
+                    table: num(item, "table")? as u8,
+                },
+                _ => {
+                    skipped += 1;
+                    continue;
+                }
+            });
+        }
+        Ok((actions, skipped))
     }
 
     fn name(&self) -> &'static str {
@@ -369,7 +380,7 @@ impl CommCodec for WasmCommPlugin {
             .unwrap_or_default()
     }
 
-    fn decode_actions(&self, bytes: &[u8]) -> Result<Vec<ControlAction>, CodecError> {
+    fn decode_actions(&self, bytes: &[u8]) -> Result<(Vec<ControlAction>, usize), CodecError> {
         let out = self
             .call("decode_actions", bytes)
             .map_err(|e| CodecError::Malformed(format!("comm plugin fault: {e}")))?;
@@ -430,8 +441,9 @@ mod tests {
 
         let acts = actions();
         let bytes = codec.encode_actions(&acts);
-        let decoded = codec.decode_actions(&bytes).unwrap();
+        let (decoded, skipped) = codec.decode_actions(&bytes).unwrap();
         assert_eq!(decoded, acts, "{} actions roundtrip", codec.name());
+        assert_eq!(skipped, 0, "{} clean frame skips nothing", codec.name());
     }
 
     #[test]

@@ -66,7 +66,13 @@ impl Indication {
         }
         let slot = u64::from_le_bytes(buf[0..8].try_into().ok()?);
         let n = u32::from_le_bytes(buf[8..12].try_into().ok()?) as usize;
-        if buf.len() < KPI_HEADER_LEN + n * KPI_RECORD_LEN {
+        // `n` comes off the wire: the size computation must not overflow
+        // `usize` (a hostile header on a 32-bit target could otherwise wrap
+        // past `buf.len()` and drive the record loop out of bounds).
+        let need = n
+            .checked_mul(KPI_RECORD_LEN)
+            .and_then(|b| b.checked_add(KPI_HEADER_LEN))?;
+        if buf.len() < need {
             return None;
         }
         let mut reports = Vec::with_capacity(n);
@@ -176,10 +182,23 @@ impl ControlAction {
     }
 
     /// Decode a packed list of action records.
-    pub fn list_from_bytes(buf: &[u8]) -> Vec<ControlAction> {
-        buf.chunks_exact(ACTION_RECORD_LEN)
-            .filter_map(ControlAction::from_bytes)
-            .collect()
+    ///
+    /// Returns the decoded actions plus the number of records that were
+    /// skipped: unknown-tag records and a truncated trailing record (a
+    /// buffer length that is not a multiple of [`ACTION_RECORD_LEN`]).
+    /// Callers fold `skipped` into their decode-error counters so a
+    /// misbehaving RIC is visible, never silently tolerated.
+    pub fn list_from_bytes(buf: &[u8]) -> (Vec<ControlAction>, usize) {
+        let chunks = buf.chunks_exact(ACTION_RECORD_LEN);
+        let mut skipped = usize::from(!chunks.remainder().is_empty());
+        let mut actions = Vec::with_capacity(buf.len() / ACTION_RECORD_LEN);
+        for chunk in chunks {
+            match ControlAction::from_bytes(chunk) {
+                Some(a) => actions.push(a),
+                None => skipped += 1,
+            }
+        }
+        (actions, skipped)
     }
 
     /// Encode a list of actions.
@@ -253,17 +272,52 @@ mod tests {
         ];
         let bytes = ControlAction::list_to_bytes(&actions);
         assert_eq!(bytes.len(), 3 * ACTION_RECORD_LEN);
-        assert_eq!(ControlAction::list_from_bytes(&bytes), actions);
+        assert_eq!(ControlAction::list_from_bytes(&bytes), (actions, 0));
     }
 
     #[test]
-    fn unknown_action_tags_skipped() {
+    fn unknown_action_tags_counted_as_skipped() {
         let mut bytes = ControlAction::list_to_bytes(&[ControlAction::Handover {
             ue_id: 1,
             target_cell: 2,
         }]);
         bytes.extend_from_slice(&[99u8; ACTION_RECORD_LEN]); // bogus tag
-        let decoded = ControlAction::list_from_bytes(&bytes);
+        let (decoded, skipped) = ControlAction::list_from_bytes(&bytes);
         assert_eq!(decoded.len(), 1);
+        assert_eq!(skipped, 1);
+    }
+
+    #[test]
+    fn truncated_trailing_record_counted_as_skipped() {
+        let actions = vec![
+            ControlAction::Handover {
+                ue_id: 1,
+                target_cell: 2,
+            },
+            ControlAction::SetCqiTable { ue_id: 3, table: 1 },
+        ];
+        let bytes = ControlAction::list_to_bytes(&actions);
+        // Chop the last record short: the intact prefix decodes, the
+        // remainder counts as exactly one skip.
+        let (decoded, skipped) = ControlAction::list_from_bytes(&bytes[..bytes.len() - 5]);
+        assert_eq!(decoded, actions[..1]);
+        assert_eq!(skipped, 1);
+        // A bare fragment decodes to nothing but is still counted.
+        let (decoded, skipped) = ControlAction::list_from_bytes(&bytes[..3]);
+        assert!(decoded.is_empty());
+        assert_eq!(skipped, 1);
+        let (_, skipped) = ControlAction::list_from_bytes(&[]);
+        assert_eq!(skipped, 0);
+    }
+
+    #[test]
+    fn hostile_report_count_is_rejected_without_overflow() {
+        // Header claiming u32::MAX reports: the checked size computation
+        // must reject it (and on 32-bit targets must not wrap `usize`).
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&7u64.to_le_bytes());
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        assert!(Indication::from_xapp_bytes(&bytes).is_none());
     }
 }

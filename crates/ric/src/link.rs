@@ -3,23 +3,286 @@
 //!
 //! Frames are opaque byte vectors — whatever the chosen
 //! [`CommCodec`] produced — carried over a duplex
-//! pair of lossless channels. This stands in for the paper's
+//! pair of channels. This stands in for the paper's
 //! ZeroMQ/Kafka/SCTP transport choice while keeping the plugin-wrapped
 //! encode/decode path identical.
+//!
+//! Two link disciplines exist:
+//!
+//! * [`duplex`] — the original unbounded pair, for the synchronous
+//!   single-cell [`RicLoop`](../../waran_core/ric_glue/struct.RicLoop.html)
+//!   where the node and RIC alternate turns and depth can never grow.
+//! * [`duplex_bounded`] — a bounded pair with **drop-oldest** overflow and
+//!   depth/drop accounting ([`QueueDepthStats`]). This is the discipline
+//!   the multi-cell RIC plane ([`crate::bus`]) runs on: a stalled or slow
+//!   RIC must cost stale frames, never node memory.
 
-use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use waran_host::QueueDepthStats;
 
 use crate::comm::CommCodec;
 use crate::e2::{ControlAction, Indication};
 
+// ---------------------------------------------------------------------
+// The queue primitive: MPSC, optionally bounded with drop-oldest
+// ---------------------------------------------------------------------
+
+struct QueueState<T> {
+    items: VecDeque<T>,
+    senders: usize,
+    rx_alive: bool,
+    enqueued: u64,
+    dropped: u64,
+    max_depth: u64,
+}
+
+struct QueueShared<T> {
+    /// `None` = unbounded; `Some(c)` = at most `c` queued items.
+    cap: Option<usize>,
+    state: Mutex<QueueState<T>>,
+    recv_cv: Condvar,
+    send_cv: Condvar,
+}
+
+impl<T> QueueShared<T> {
+    fn stats(&self) -> QueueDepthStats {
+        let s = self.state.lock().expect("queue lock never poisoned");
+        QueueDepthStats {
+            enqueued: s.enqueued,
+            dropped: s.dropped,
+            max_depth: s.max_depth,
+        }
+    }
+
+    fn depth(&self) -> usize {
+        self.state
+            .lock()
+            .expect("queue lock never poisoned")
+            .items
+            .len()
+    }
+}
+
+/// What happened to a lossy send.
+#[derive(Debug, PartialEq, Eq)]
+pub enum SendOutcome<T> {
+    /// Queued without displacing anything.
+    Queued,
+    /// Queued; the queue was full, so its oldest item was dropped and is
+    /// returned (so the caller can attribute the loss).
+    Displaced(T),
+    /// The receiver is gone; the item is returned undelivered.
+    Disconnected(T),
+}
+
+/// What a receive produced.
+#[derive(Debug, PartialEq, Eq)]
+pub enum RecvOutcome<T> {
+    /// One item.
+    Msg(T),
+    /// Nothing available (yet).
+    Empty,
+    /// Nothing available and every sender is gone.
+    Disconnected,
+}
+
+/// Sending half of a [`queue`]. Cloneable: the RIC bus hands one to every
+/// cell agent.
+pub struct QueueSender<T>(Arc<QueueShared<T>>);
+
+/// Receiving half of a [`queue`] (single consumer).
+pub struct QueueReceiver<T>(Arc<QueueShared<T>>);
+
+/// An MPSC queue; `capacity: None` is unbounded, `Some(c)` bounds the
+/// depth at `c.max(1)` with the overflow policy chosen per send call
+/// (lossy drop-oldest or blocking).
+pub fn queue<T>(capacity: Option<usize>) -> (QueueSender<T>, QueueReceiver<T>) {
+    let shared = Arc::new(QueueShared {
+        cap: capacity.map(|c| c.max(1)),
+        state: Mutex::new(QueueState {
+            items: VecDeque::new(),
+            senders: 1,
+            rx_alive: true,
+            enqueued: 0,
+            dropped: 0,
+            max_depth: 0,
+        }),
+        recv_cv: Condvar::new(),
+        send_cv: Condvar::new(),
+    });
+    (QueueSender(shared.clone()), QueueReceiver(shared))
+}
+
+impl<T> Clone for QueueSender<T> {
+    fn clone(&self) -> Self {
+        self.0
+            .state
+            .lock()
+            .expect("queue lock never poisoned")
+            .senders += 1;
+        QueueSender(self.0.clone())
+    }
+}
+
+impl<T> Drop for QueueSender<T> {
+    fn drop(&mut self) {
+        let mut s = self.0.state.lock().expect("queue lock never poisoned");
+        s.senders -= 1;
+        if s.senders == 0 {
+            drop(s);
+            self.0.recv_cv.notify_all();
+        }
+    }
+}
+
+impl<T> Drop for QueueReceiver<T> {
+    fn drop(&mut self) {
+        self.0
+            .state
+            .lock()
+            .expect("queue lock never poisoned")
+            .rx_alive = false;
+        self.0.send_cv.notify_all();
+    }
+}
+
+impl<T> QueueSender<T> {
+    /// Lossy send: never blocks. On a full queue the **oldest** item is
+    /// displaced (and returned) — the freshest control state wins, and a
+    /// stalled receiver costs stale frames instead of memory.
+    pub fn send(&self, item: T) -> SendOutcome<T> {
+        let mut s = self.0.state.lock().expect("queue lock never poisoned");
+        if !s.rx_alive {
+            return SendOutcome::Disconnected(item);
+        }
+        let displaced = match self.0.cap {
+            Some(cap) if s.items.len() >= cap => {
+                s.dropped += 1;
+                s.items.pop_front()
+            }
+            _ => None,
+        };
+        s.items.push_back(item);
+        s.enqueued += 1;
+        s.max_depth = s.max_depth.max(s.items.len() as u64);
+        drop(s);
+        self.0.recv_cv.notify_one();
+        match displaced {
+            Some(v) => SendOutcome::Displaced(v),
+            None => SendOutcome::Queued,
+        }
+    }
+
+    /// Blocking send: waits for space instead of displacing (the
+    /// deterministic delivery mode, where no frame may be lost). Returns
+    /// the item if the receiver disappears.
+    pub fn send_wait(&self, item: T) -> Result<(), T> {
+        let mut s = self.0.state.lock().expect("queue lock never poisoned");
+        loop {
+            if !s.rx_alive {
+                return Err(item);
+            }
+            let full = matches!(self.0.cap, Some(cap) if s.items.len() >= cap);
+            if !full {
+                s.items.push_back(item);
+                s.enqueued += 1;
+                s.max_depth = s.max_depth.max(s.items.len() as u64);
+                drop(s);
+                self.0.recv_cv.notify_one();
+                return Ok(());
+            }
+            s = self.0.send_cv.wait(s).expect("queue lock never poisoned");
+        }
+    }
+
+    /// Depth/drop accounting for this queue.
+    pub fn stats(&self) -> QueueDepthStats {
+        self.0.stats()
+    }
+
+    /// Items currently queued.
+    pub fn depth(&self) -> usize {
+        self.0.depth()
+    }
+}
+
+impl<T> QueueReceiver<T> {
+    /// Receive one item if available.
+    pub fn try_recv(&self) -> RecvOutcome<T> {
+        let mut s = self.0.state.lock().expect("queue lock never poisoned");
+        match s.items.pop_front() {
+            Some(item) => {
+                drop(s);
+                self.0.send_cv.notify_one();
+                RecvOutcome::Msg(item)
+            }
+            None if s.senders == 0 => RecvOutcome::Disconnected,
+            None => RecvOutcome::Empty,
+        }
+    }
+
+    /// Receive one item, waiting up to `timeout`.
+    pub fn recv_timeout(&self, timeout: Duration) -> RecvOutcome<T> {
+        let deadline = Instant::now() + timeout;
+        let mut s = self.0.state.lock().expect("queue lock never poisoned");
+        loop {
+            if let Some(item) = s.items.pop_front() {
+                drop(s);
+                self.0.send_cv.notify_one();
+                return RecvOutcome::Msg(item);
+            }
+            if s.senders == 0 {
+                return RecvOutcome::Disconnected;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return RecvOutcome::Empty;
+            }
+            let (ns, _) = self
+                .0
+                .recv_cv
+                .wait_timeout(s, deadline - now)
+                .expect("queue lock never poisoned");
+            s = ns;
+        }
+    }
+
+    /// Drain everything currently queued.
+    pub fn drain(&self) -> Vec<T> {
+        let mut out = Vec::new();
+        while let RecvOutcome::Msg(item) = self.try_recv() {
+            out.push(item);
+        }
+        out
+    }
+
+    /// Depth/drop accounting for this queue.
+    pub fn stats(&self) -> QueueDepthStats {
+        self.0.stats()
+    }
+
+    /// Items currently queued.
+    pub fn depth(&self) -> usize {
+        self.0.depth()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Duplex byte-frame endpoints
+// ---------------------------------------------------------------------
+
 /// One end of a duplex byte-frame link.
 pub struct Endpoint {
-    tx: Sender<Vec<u8>>,
-    rx: Receiver<Vec<u8>>,
+    tx: QueueSender<Vec<u8>>,
+    rx: QueueReceiver<Vec<u8>>,
 }
 
 impl Endpoint {
-    /// Send one frame (never blocks; the link is unbounded).
+    /// Send one frame (never blocks; a bounded link displaces its oldest
+    /// frame, an unbounded link always queues).
     pub fn send(&self, frame: Vec<u8>) {
         // A disconnected peer just drops frames (the node keeps running —
         // losing the RIC must not take down the RAN).
@@ -29,25 +292,47 @@ impl Endpoint {
     /// Receive one frame if available.
     pub fn try_recv(&self) -> Option<Vec<u8>> {
         match self.rx.try_recv() {
-            Ok(f) => Some(f),
-            Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => None,
+            RecvOutcome::Msg(f) => Some(f),
+            RecvOutcome::Empty | RecvOutcome::Disconnected => None,
         }
     }
 
     /// Drain all pending frames.
     pub fn drain(&self) -> Vec<Vec<u8>> {
-        let mut out = Vec::new();
-        while let Some(f) = self.try_recv() {
-            out.push(f);
-        }
-        out
+        self.rx.drain()
+    }
+
+    /// Depth/drop accounting for the outbound queue.
+    pub fn send_stats(&self) -> QueueDepthStats {
+        self.tx.stats()
+    }
+
+    /// Depth/drop accounting for the inbound queue.
+    pub fn recv_stats(&self) -> QueueDepthStats {
+        self.rx.stats()
+    }
+
+    /// Frames waiting to be received.
+    pub fn pending(&self) -> usize {
+        self.rx.depth()
     }
 }
 
-/// Create a connected pair of endpoints.
+/// Create a connected pair of unbounded endpoints.
 pub fn duplex() -> (Endpoint, Endpoint) {
-    let (a_tx, b_rx) = unbounded();
-    let (b_tx, a_rx) = unbounded();
+    duplex_with(None)
+}
+
+/// Create a connected pair of bounded endpoints: each direction holds at
+/// most `capacity` frames and displaces its oldest on overflow (counted in
+/// the [`QueueDepthStats`]).
+pub fn duplex_bounded(capacity: usize) -> (Endpoint, Endpoint) {
+    duplex_with(Some(capacity))
+}
+
+fn duplex_with(capacity: Option<usize>) -> (Endpoint, Endpoint) {
+    let (a_tx, b_rx) = queue(capacity);
+    let (b_tx, a_rx) = queue(capacity);
     (
         Endpoint { tx: a_tx, rx: a_rx },
         Endpoint { tx: b_tx, rx: b_rx },
@@ -65,8 +350,9 @@ pub struct E2Agent {
     pub indications_sent: u64,
     /// Actions received.
     pub actions_received: u64,
-    /// Frames that failed to decode (counted, then dropped — a misbehaving
-    /// RIC cannot crash the node).
+    /// Frames that failed to decode plus action records that had to be
+    /// skipped (counted, then dropped — a misbehaving RIC cannot crash
+    /// the node).
     pub decode_errors: u64,
 }
 
@@ -83,9 +369,12 @@ impl E2Agent {
         }
     }
 
-    /// True when `slot` is a reporting slot.
+    /// True when `slot` closes a reporting period. Reports happen at the
+    /// *end* of each period — the first at `report_period_slots` — so an
+    /// indication always covers real traffic; sampling at slot 0 would
+    /// feed all-zero KPIs into every xApp hysteresis window.
     pub fn due(&self, slot: u64) -> bool {
-        slot.is_multiple_of(self.report_period_slots)
+        slot > 0 && slot.is_multiple_of(self.report_period_slots)
     }
 
     /// Send an indication (the embedder calls this on reporting slots).
@@ -95,13 +384,15 @@ impl E2Agent {
         self.indications_sent += 1;
     }
 
-    /// Drain and decode control actions from the RIC.
+    /// Drain and decode control actions from the RIC. Skipped records
+    /// (unknown tags, truncated trailers) fold into `decode_errors`.
     pub fn poll_actions(&mut self) -> Vec<ControlAction> {
         let mut actions = Vec::new();
         for frame in self.endpoint.drain() {
             match self.codec.decode_actions(&frame) {
-                Ok(mut a) => {
+                Ok((mut a, skipped)) => {
                     self.actions_received += a.len() as u64;
+                    self.decode_errors += skipped as u64;
                     actions.append(&mut a);
                 }
                 Err(_) => self.decode_errors += 1,
@@ -160,7 +451,7 @@ impl RicRuntime {
 mod tests {
     use super::*;
     use crate::comm::{JsonCodec, PbCodec, TlvCodec};
-    use crate::e2::KpiReport;
+    use crate::e2::{KpiReport, ACTION_RECORD_LEN};
     use crate::ric::{NearRtRic, TrafficSteering};
 
     fn kpi(ue: u32, cqi: u8) -> KpiReport {
@@ -185,6 +476,48 @@ mod tests {
     }
 
     #[test]
+    fn bounded_duplex_drops_oldest_and_counts() {
+        let (a, b) = duplex_bounded(2);
+        a.send(vec![1]);
+        a.send(vec![2]);
+        a.send(vec![3]); // displaces [1]
+        assert_eq!(b.pending(), 2);
+        assert_eq!(b.try_recv(), Some(vec![2]));
+        assert_eq!(b.try_recv(), Some(vec![3]));
+        assert_eq!(b.try_recv(), None);
+        let stats = a.send_stats();
+        assert_eq!(stats.enqueued, 3);
+        assert_eq!(stats.dropped, 1);
+        assert_eq!(stats.max_depth, 2);
+    }
+
+    #[test]
+    fn queue_blocking_send_respects_capacity() {
+        let (tx, rx) = queue::<u32>(Some(1));
+        tx.send_wait(1).unwrap();
+        let t = std::thread::spawn(move || tx.send_wait(2).is_ok());
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(rx.recv_timeout(Duration::from_secs(1)), RecvOutcome::Msg(1));
+        assert!(t.join().unwrap());
+        assert_eq!(rx.recv_timeout(Duration::from_secs(1)), RecvOutcome::Msg(2));
+        // All senders gone: the receiver observes disconnection.
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            RecvOutcome::Disconnected
+        );
+    }
+
+    #[test]
+    fn dropped_receiver_unblocks_senders() {
+        let (tx, rx) = queue::<u32>(Some(1));
+        assert!(tx.send_wait(1).is_ok());
+        let t = std::thread::spawn(move || tx.send_wait(2));
+        std::thread::sleep(Duration::from_millis(20));
+        drop(rx);
+        assert_eq!(t.join().unwrap(), Err(2));
+    }
+
+    #[test]
     fn end_to_end_indication_action_loop() {
         let (node_ep, ric_ep) = duplex();
         let mut agent = E2Agent::new(Box::new(TlvCodec), node_ep, 10);
@@ -192,8 +525,10 @@ mod tests {
         ric.add_xapp(Box::new(TrafficSteering::new(5, 2, 7)));
         let mut runtime = RicRuntime::new(Box::new(TlvCodec), ric_ep, ric);
 
-        // Two bad reports trigger a handover on the second.
-        for slot in [0u64, 10] {
+        // Reporting lands at period ends; two bad reports trigger a
+        // handover on the second.
+        assert!(!agent.due(0), "no report before any traffic has run");
+        for slot in [10u64, 20] {
             assert!(agent.due(slot));
             agent.report(&Indication {
                 slot,
@@ -221,7 +556,7 @@ mod tests {
         let mut agent = E2Agent::new(Box::new(TlvCodec), node_ep, 1);
         let mut runtime = RicRuntime::new(Box::new(JsonCodec), ric_ep, NearRtRic::new());
         agent.report(&Indication {
-            slot: 0,
+            slot: 1,
             reports: vec![kpi(1, 9)],
         });
         assert_eq!(runtime.poll(), 0);
@@ -250,5 +585,30 @@ mod tests {
         let actions = agent.poll_actions();
         assert!(actions.is_empty());
         assert_eq!(agent.decode_errors, 1);
+    }
+
+    #[test]
+    fn skipped_action_records_fold_into_decode_errors() {
+        let (node_ep, ric_ep) = duplex();
+        let mut agent = E2Agent::new(Box::new(TlvCodec), node_ep, 1);
+        // One good action followed by an unknown-tag record and a
+        // truncated trailer, wrapped in a valid TLV frame.
+        let mut packed =
+            ControlAction::list_to_bytes(&[ControlAction::SetCqiTable { ue_id: 9, table: 1 }]);
+        packed.extend_from_slice(&[0x77; ACTION_RECORD_LEN]); // unknown tag
+        packed.extend_from_slice(&[0x01; 5]); // truncated trailer
+        let frame = {
+            let mut w = waran_abi::tlv::TlvWriter::new();
+            w.bytes(3, &packed);
+            w.finish()
+        };
+        ric_ep.send(frame);
+        let actions = agent.poll_actions();
+        assert_eq!(
+            actions,
+            vec![ControlAction::SetCqiTable { ue_id: 9, table: 1 }]
+        );
+        assert_eq!(agent.actions_received, 1);
+        assert_eq!(agent.decode_errors, 2, "unknown tag + truncation counted");
     }
 }

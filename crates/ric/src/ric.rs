@@ -63,6 +63,10 @@ pub struct XAppCtx<'a> {
     pub inbox: Vec<Vec<u8>>,
     /// Messages to deliver to other xApps: `(destination xApp, payload)`.
     pub outbox: Vec<(String, Vec<u8>)>,
+    /// Malformed action records the xApp's output decoder skipped this
+    /// turn (set by [`WasmXApp`]; the RIC folds it into
+    /// [`NearRtRic::action_decode_skips`]).
+    pub decode_skips: u64,
 }
 
 /// An application hosted by the near-RT RIC.
@@ -83,6 +87,8 @@ pub struct NearRtRic {
     pub actions_emitted: u64,
     /// xApp faults observed (a faulting xApp skips its turn, §6.A).
     pub xapp_faults: u64,
+    /// Malformed action records skipped while decoding xApp output.
+    pub action_decode_skips: u64,
 }
 
 impl Default for NearRtRic {
@@ -100,6 +106,7 @@ impl NearRtRic {
             mailboxes: HashMap::new(),
             actions_emitted: 0,
             xapp_faults: 0,
+            action_decode_skips: 0,
         }
     }
 
@@ -136,10 +143,12 @@ impl NearRtRic {
                 kpis: &self.kpis,
                 inbox,
                 outbox: Vec::new(),
+                decode_skips: 0,
             };
             let actions = xapp.on_indication(&mut ctx, ind);
             all_actions.extend(actions);
             routed.append(&mut ctx.outbox);
+            self.action_decode_skips += ctx.decode_skips;
         }
         for (dst, msg) in routed {
             if let Some(q) = self.mailboxes.get_mut(&dst) {
@@ -362,7 +371,9 @@ impl XApp for WasmXApp {
             Ok(out) => {
                 let state = &mut self.plugin.instance_mut().data;
                 ctx.outbox.append(&mut state.outgoing);
-                ControlAction::list_from_bytes(&out)
+                let (actions, skipped) = ControlAction::list_from_bytes(&out);
+                ctx.decode_skips += skipped as u64;
+                actions
             }
             Err(_fault) => {
                 // A faulty xApp yields no actions; the RIC keeps running.

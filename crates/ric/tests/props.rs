@@ -70,8 +70,9 @@ proptest! {
     fn all_codecs_roundtrip_actions(actions in proptest::collection::vec(arb_action(), 0..16)) {
         for codec in [&TlvCodec as &dyn CommCodec, &PbCodec, &JsonCodec] {
             let bytes = codec.encode_actions(&actions);
-            let back = codec.decode_actions(&bytes)
+            let (back, skipped) = codec.decode_actions(&bytes)
                 .unwrap_or_else(|e| panic!("{} failed: {e}", codec.name()));
+            prop_assert_eq!(skipped, 0, "{} clean frame skips nothing", codec.name());
             if codec.name() == "json" {
                 // JSON f64 round-trips the target exactly (both sides f64).
                 prop_assert_eq!(back.len(), actions.len());

@@ -7,3 +7,12 @@ cargo build --release
 cargo test -q
 cargo clippy --workspace --all-targets -- -D warnings
 cargo fmt --check
+
+# Multi-cell + RIC determinism: per-cell digests of the attached
+# deployment must not depend on the worker count.
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+cargo run -q --release -p waran-bench --bin bench_pr4 -- digests 2 > "$tmpdir/digests_2w.txt"
+cargo run -q --release -p waran-bench --bin bench_pr4 -- digests 8 > "$tmpdir/digests_8w.txt"
+diff "$tmpdir/digests_2w.txt" "$tmpdir/digests_8w.txt"
+echo "RIC-attached digests identical across 2 and 8 workers"

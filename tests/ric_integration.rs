@@ -172,7 +172,10 @@ fn wasm_comm_plugin_passthrough_wire() {
         target_cell: 2,
     }];
     let bytes = codec.encode_actions(&actions);
-    assert_eq!(codec.decode_actions(&bytes).expect("roundtrips"), actions);
+    assert_eq!(
+        codec.decode_actions(&bytes).expect("roundtrips"),
+        (actions, 0)
+    );
 }
 
 #[test]
