@@ -1,0 +1,443 @@
+//! PR 5 evidence run: cross-cell mobility over the sharded engine.
+//!
+//! Four sections, written to `BENCH_PR5.json`:
+//!
+//! 1. **Determinism under churn** — a 32-cell grid with mixed scheduling
+//!    policies, mobile UEs handing over continuously (A3 events plus
+//!    RIC-forced steering) executed with 1, 2, 4 and 8 workers: per-cell
+//!    digests, mobility counters and RIC-plane counters must all be
+//!    identical across every worker count.
+//! 2. **Handover census** — cross-cell handovers split by cause, the
+//!    interruption-time distribution (one exchange window by
+//!    construction), and the bounded-bus queue depth underneath.
+//! 3. **Worker scaling** — wall-clock speedup of the lockstep engine
+//!    from 1 to 8 workers, with and without core pinning; effective CPU
+//!    placement is recorded, not assumed.
+//! 4. **Verdict** — a single OK/MISMATCH line gating on all of the above.
+//!
+//! A lightweight argv mode supports CI digest diffing:
+//! `bench_pr5 digests <workers>` runs the churn deployment once and
+//! prints one `cell digest` line per cell, nothing else.
+//!
+//! Run with: `cargo run -p waran-bench --release --bin bench_pr5`
+
+use waran_abi::sjson::Json;
+use waran_bench::{banner, f2, table};
+use waran_core::{
+    CellSpec, ChannelSpec, MobilityAttachment, MultiCellReport, MultiCellScenarioBuilder,
+    RicAttachment, SchedKind, SliceSpec, TrafficSpec,
+};
+use waran_ric::bus::DeliveryMode;
+use waran_ric::comm::TlvCodec;
+use waran_ric::ric::{NearRtRic, TrafficSteering};
+
+const CELLS: usize = 32;
+const SECONDS: f64 = 1.0;
+const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const BUS_CAPACITY: usize = 8;
+const EXCHANGE_PERIOD_SLOTS: u64 = 20;
+
+/// Millisecond-precision JSON number (keeps the artifact diffable).
+fn num3(v: f64) -> Json {
+    Json::Num((v * 1000.0).round() / 1000.0)
+}
+
+/// The churn deployment: a 32-cell grid at 60 m inter-site distance,
+/// each cell with two mobile UEs (50 and 25 m/s — fast enough that A3
+/// events fire all run long) under a per-cell mix of scheduling
+/// policies, plus a stationary IoT UE that never migrates.
+fn deployment() -> MultiCellScenarioBuilder {
+    let policies = [
+        SchedKind::ProportionalFair,
+        SchedKind::RoundRobin,
+        SchedKind::MaxThroughput,
+    ];
+    let mut b = MultiCellScenarioBuilder::new()
+        .seconds(SECONDS)
+        .base_seed(5005)
+        .mobility(
+            MobilityAttachment::new()
+                .isd_m(60.0)
+                .exchange_period_slots(EXCHANGE_PERIOD_SLOTS)
+                .ttt_windows(1)
+                .hold_windows(2),
+        );
+    for i in 0..CELLS {
+        b = b.cell(
+            CellSpec::new(&format!("cell{i:02}"))
+                .slice(
+                    SliceSpec::new("embb", policies[i % policies.len()])
+                        .target_mbps(8.0)
+                        .ue(
+                            ChannelSpec::Mobile { speed_mps: 50.0 },
+                            TrafficSpec::FullBuffer,
+                        )
+                        .ue(
+                            ChannelSpec::Mobile { speed_mps: 25.0 },
+                            TrafficSpec::FullBuffer,
+                        )
+                        .native(),
+                )
+                .slice(
+                    SliceSpec::new("iot", SchedKind::RoundRobin)
+                        .target_mbps(2.0)
+                        .ue(
+                            ChannelSpec::Static(13),
+                            TrafficSpec::Poisson {
+                                pps: 150.0,
+                                bytes: 900,
+                            },
+                        )
+                        .native(),
+                ),
+        );
+    }
+    b
+}
+
+/// Steering xApps aim each cell at its clockwise neighbour; threshold 12
+/// catches mobile UEs drifting to a cell edge while the CQI-13 IoT UE is
+/// never steered, so forced handovers ride the exchange alongside A3.
+fn attachment() -> RicAttachment {
+    RicAttachment::new(
+        Box::new(|| Box::new(TlvCodec)),
+        Box::new(|cell| {
+            let mut ric = NearRtRic::new();
+            let target = (cell + 1) % CELLS as u32;
+            ric.add_xapp(Box::new(TrafficSteering::new(12, 2, target)));
+            ric
+        }),
+    )
+    .report_period_slots(2 * EXCHANGE_PERIOD_SLOTS)
+    .bus_capacity(BUS_CAPACITY)
+    .mode(DeliveryMode::Deterministic)
+}
+
+fn run_churn(workers: usize, pin: bool) -> MultiCellReport {
+    deployment()
+        .ric(attachment())
+        .pin_workers(pin)
+        .build()
+        .expect("deployment builds")
+        .run(workers)
+}
+
+fn main() {
+    // CI mode: print per-cell digests for one worker count and exit.
+    let args: Vec<String> = std::env::args().collect();
+    if args.len() == 3 && args[1] == "digests" {
+        let workers: usize = args[2].parse().expect("digests <workers>");
+        let report = run_churn(workers, false);
+        for (cell, digest) in report.cells.iter().zip(report.cell_digests()) {
+            println!("{} {digest:016x}", cell.name);
+        }
+        return;
+    }
+
+    banner(
+        "BENCH_PR5",
+        "cross-cell mobility: deterministic handover churn over the lockstep exchange engine",
+    );
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!("host CPUs visible to the runtime: {host_cpus}\n");
+
+    // ---- determinism + scaling across worker counts ----
+    println!(
+        "churn deployment: {CELLS} cells x {SECONDS} s of 1 ms slots, \
+         exchange every {EXCHANGE_PERIOD_SLOTS} slots, RIC attached…\n"
+    );
+    let mut runs: Vec<MultiCellReport> = Vec::new();
+    let mut rows = Vec::new();
+    for &workers in &WORKER_COUNTS {
+        let report = run_churn(workers, false);
+        let mob = report.mobility.as_ref().expect("mobility report present");
+        let ric = report.ric.as_ref().expect("attached run reports the plane");
+        rows.push(vec![
+            format!("{workers}"),
+            format!("{}", mob.cross_cell_handovers),
+            format!("{}", mob.a3_departures),
+            format!("{}", mob.forced_departures),
+            format!("{}", ric.service.ingress.max_depth),
+            f2(report.wall_seconds),
+            format!(
+                "{:.2}x",
+                runs.first().map_or(1.0, |first: &MultiCellReport| {
+                    first.wall_seconds / report.wall_seconds
+                })
+            ),
+        ]);
+        runs.push(report);
+    }
+    table(
+        &[
+            "workers",
+            "handovers",
+            "a3",
+            "forced",
+            "bus depth",
+            "wall[s]",
+            "speedup",
+        ],
+        &rows,
+    );
+
+    let digests = runs[0].cell_digests();
+    let deterministic = runs.iter().all(|r| r.cell_digests() == digests);
+    assert!(
+        deterministic,
+        "per-cell outputs diverged across worker counts with UEs migrating"
+    );
+    let first_mob = runs[0].mobility.as_ref().unwrap();
+    let mobility_deterministic = runs.iter().all(|r| {
+        let mob = r.mobility.as_ref().unwrap();
+        mob.cross_cell_handovers == first_mob.cross_cell_handovers
+            && mob.a3_departures == first_mob.a3_departures
+            && mob.forced_departures == first_mob.forced_departures
+            && mob.rejected_admissions == first_mob.rejected_admissions
+            && mob.interruption.count == first_mob.interruption.count
+    });
+    assert!(
+        mobility_deterministic,
+        "mobility counters diverged across worker counts"
+    );
+    let first_ric = runs[0].ric.as_ref().unwrap();
+    let plane_deterministic = runs.iter().all(|r| {
+        let ric = r.ric.as_ref().unwrap();
+        ric.indications_sent == first_ric.indications_sent
+            && ric.action_batches_received == ric.indications_sent
+            && ric.applied_handovers == first_ric.applied_handovers
+            && ric.service.ingress.dropped == 0
+            && ric.detached_cells == 0
+            && ric.agent_decode_errors == 0
+    });
+    assert!(
+        plane_deterministic,
+        "RIC-plane counters diverged across worker counts"
+    );
+    let churning = first_mob.cross_cell_handovers > 0 && first_mob.forced_departures > 0;
+    assert!(
+        churning,
+        "the churn deployment must actually migrate UEs, got {first_mob:?}"
+    );
+    let bus_bounded = runs
+        .iter()
+        .all(|r| r.ric.as_ref().unwrap().service.ingress.max_depth <= BUS_CAPACITY as u64);
+    assert!(bus_bounded, "RIC queue depth exceeded the configured bound");
+    println!(
+        "\nper-cell digests, mobility and plane counters identical across workers \
+         {{1, 2, 4, 8}}: true ({} cross-cell handovers per run: {} A3, {} RIC-forced)",
+        first_mob.cross_cell_handovers, first_mob.a3_departures, first_mob.forced_departures
+    );
+
+    // ---- handover census + interruption ----
+    let interruption = &first_mob.interruption;
+    let slot_ms = 1.0; // 1 ms slots throughout the repo's deployments
+    println!("\nhandover interruption time (UE detached while in transit):");
+    table(
+        &["metric", "value"],
+        &[
+            vec![
+                "admitted handovers".into(),
+                format!("{}", interruption.count),
+            ],
+            vec!["mean".into(), format!("{} ms", f2(interruption.mean_ms))],
+            vec![
+                "min / max".into(),
+                format!(
+                    "{} / {} ms",
+                    f2(interruption.min_ms),
+                    f2(interruption.max_ms)
+                ),
+            ],
+            vec![
+                "exchange window".into(),
+                format!(
+                    "{EXCHANGE_PERIOD_SLOTS} slots = {} ms",
+                    f2(EXCHANGE_PERIOD_SLOTS as f64 * slot_ms)
+                ),
+            ],
+            vec![
+                "rejected admissions".into(),
+                format!("{}", first_mob.rejected_admissions),
+            ],
+        ],
+    );
+    let window_ms = EXCHANGE_PERIOD_SLOTS as f64 * slot_ms;
+    let interruption_exact = interruption.count == first_mob.cross_cell_handovers
+        && (interruption.mean_ms - window_ms).abs() < 1e-9;
+    assert!(
+        interruption_exact,
+        "one-window transit must pin interruption to the exchange period"
+    );
+
+    // ---- pinned rerun: effective placement + digest stability ----
+    println!("\npinned rerun (4 workers, sched_setaffinity)…");
+    let pinned = run_churn(4, true);
+    assert_eq!(
+        pinned.cell_digests(),
+        digests,
+        "core pinning must not change simulation output"
+    );
+    let pins_effective = pinned.worker_pins.iter().filter(|p| p.is_some()).count();
+    println!(
+        "requested {} workers -> effective {}, pinned {}/{} ({})",
+        pinned.requested_workers,
+        pinned.workers,
+        pins_effective,
+        pinned.worker_pins.len(),
+        pinned
+            .worker_pins
+            .iter()
+            .map(|p| p.map_or("-".into(), |c| format!("cpu{c}")))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+
+    // ---- emit BENCH_PR5.json ----
+    let scaling_runs = WORKER_COUNTS
+        .iter()
+        .zip(runs.iter())
+        .map(|(&workers, report)| {
+            let mob = report.mobility.as_ref().unwrap();
+            let ric = report.ric.as_ref().unwrap();
+            Json::obj(vec![
+                (
+                    "requested_workers",
+                    Json::Num(report.requested_workers as f64),
+                ),
+                ("effective_workers", Json::Num(report.workers as f64)),
+                ("workers", Json::Num(workers as f64)),
+                (
+                    "cross_cell_handovers",
+                    Json::Num(mob.cross_cell_handovers as f64),
+                ),
+                ("a3_departures", Json::Num(mob.a3_departures as f64)),
+                ("forced_departures", Json::Num(mob.forced_departures as f64)),
+                (
+                    "ric_ingress_max_depth",
+                    Json::Num(ric.service.ingress.max_depth as f64),
+                ),
+                ("wall_seconds", num3(report.wall_seconds)),
+                (
+                    "speedup_vs_1_worker",
+                    num3(runs[0].wall_seconds / report.wall_seconds),
+                ),
+            ])
+        })
+        .collect();
+
+    let ok = deterministic
+        && mobility_deterministic
+        && plane_deterministic
+        && churning
+        && bus_bounded
+        && interruption_exact;
+    let json = Json::obj(vec![
+        ("pr", Json::Num(5.0)),
+        (
+            "title",
+            Json::Str(
+                "Cross-cell mobility: deterministic UE handover over the sharded multi-cell \
+                 engine"
+                    .into(),
+            ),
+        ),
+        ("host_cpus", Json::Num(host_cpus as f64)),
+        (
+            "churn",
+            Json::obj(vec![
+                ("cells", Json::Num(CELLS as f64)),
+                ("seconds_per_cell", Json::Num(SECONDS)),
+                ("isd_m", Json::Num(60.0)),
+                (
+                    "exchange_period_slots",
+                    Json::Num(EXCHANGE_PERIOD_SLOTS as f64),
+                ),
+                (
+                    "worker_counts",
+                    Json::Arr(WORKER_COUNTS.iter().map(|&w| Json::Num(w as f64)).collect()),
+                ),
+                ("per_cell_digests_identical", Json::Bool(deterministic)),
+                (
+                    "mobility_counters_identical",
+                    Json::Bool(mobility_deterministic),
+                ),
+                ("plane_counters_identical", Json::Bool(plane_deterministic)),
+                (
+                    "cell_digests",
+                    Json::Arr(
+                        digests
+                            .iter()
+                            .map(|d| Json::Str(format!("{d:016x}")))
+                            .collect(),
+                    ),
+                ),
+                ("runs", Json::Arr(scaling_runs)),
+            ]),
+        ),
+        (
+            "handovers",
+            Json::obj(vec![
+                (
+                    "cross_cell_total",
+                    Json::Num(first_mob.cross_cell_handovers as f64),
+                ),
+                ("a3", Json::Num(first_mob.a3_departures as f64)),
+                ("ric_forced", Json::Num(first_mob.forced_departures as f64)),
+                (
+                    "rejected_admissions",
+                    Json::Num(first_mob.rejected_admissions as f64),
+                ),
+                (
+                    "interruption_ms",
+                    Json::obj(vec![
+                        ("count", Json::Num(interruption.count as f64)),
+                        ("mean", num3(interruption.mean_ms)),
+                        ("min", num3(interruption.min_ms)),
+                        ("max", num3(interruption.max_ms)),
+                    ]),
+                ),
+            ]),
+        ),
+        (
+            "pinning",
+            Json::obj(vec![
+                (
+                    "requested_workers",
+                    Json::Num(pinned.requested_workers as f64),
+                ),
+                ("effective_workers", Json::Num(pinned.workers as f64)),
+                (
+                    "worker_pins",
+                    Json::Arr(
+                        pinned
+                            .worker_pins
+                            .iter()
+                            .map(|p| p.map_or(Json::Null, |c| Json::Num(c as f64)))
+                            .collect(),
+                    ),
+                ),
+                (
+                    "digests_match_unpinned",
+                    Json::Bool(pinned.cell_digests() == digests),
+                ),
+                ("wall_seconds", num3(pinned.wall_seconds)),
+            ]),
+        ),
+    ]);
+    std::fs::write("BENCH_PR5.json", json.encode_pretty()).expect("write BENCH_PR5.json");
+    println!("\n[json written to BENCH_PR5.json]");
+
+    println!(
+        "\nresult: {}",
+        if ok {
+            "OK — UEs migrate continuously across the 32-cell grid, per-cell digests and every \
+             counter are worker-count independent, interruption is pinned to one exchange \
+             window, and the RIC bus stays bounded"
+        } else {
+            "MISMATCH — see rows above"
+        }
+    );
+}

@@ -1,0 +1,112 @@
+//! Opt-in worker core pinning for the multi-cell engine.
+//!
+//! Pinning is a raw `sched_setaffinity` syscall on Linux (x86_64 and
+//! aarch64) — the workspace carries no libc binding, and the two-register
+//! call does not justify one. Everywhere else pinning is a no-op that
+//! reports `None`, which the bench JSON surfaces as "not pinned" rather
+//! than silently lying about placement.
+
+/// Pin the calling thread to CPU `worker_idx % available_parallelism`.
+/// Returns the CPU actually pinned to, or `None` when pinning is
+/// unsupported on this platform or the kernel refused.
+pub fn pin_current_thread(worker_idx: usize) -> Option<usize> {
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let cpu = worker_idx % cpus;
+    set_affinity(cpu).then_some(cpu)
+}
+
+#[cfg(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+))]
+fn set_affinity(cpu: usize) -> bool {
+    // A fixed 1024-bit cpu_set_t, the kernel's default mask width.
+    let mut mask = [0u64; 16];
+    if cpu >= 64 * mask.len() {
+        return false;
+    }
+    mask[cpu / 64] = 1u64 << (cpu % 64);
+    // pid 0 = the calling thread.
+    let ret = unsafe { sched_setaffinity_raw(0, std::mem::size_of_val(&mask), mask.as_ptr()) };
+    ret == 0
+}
+
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+unsafe fn sched_setaffinity_raw(pid: i64, len: usize, mask: *const u64) -> i64 {
+    let ret: i64;
+    // SAFETY: syscall 203 (sched_setaffinity) reads `len` bytes from
+    // `mask`, which points at a live, fully initialized array.
+    unsafe {
+        core::arch::asm!(
+            "syscall",
+            inlateout("rax") 203_i64 => ret,
+            in("rdi") pid,
+            in("rsi") len,
+            in("rdx") mask,
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack),
+        );
+    }
+    ret
+}
+
+#[cfg(all(target_os = "linux", target_arch = "aarch64"))]
+unsafe fn sched_setaffinity_raw(pid: i64, len: usize, mask: *const u64) -> i64 {
+    let ret: i64;
+    // SAFETY: syscall 122 (sched_setaffinity) reads `len` bytes from
+    // `mask`, which points at a live, fully initialized array.
+    unsafe {
+        core::arch::asm!(
+            "svc 0",
+            in("x8") 122_i64,
+            inlateout("x0") pid => ret,
+            in("x1") len,
+            in("x2") mask,
+            options(nostack),
+        );
+    }
+    ret
+}
+
+#[cfg(not(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+)))]
+fn set_affinity(_cpu: usize) -> bool {
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pin_reports_platform_truthfully() {
+        let pinned = std::thread::spawn(|| pin_current_thread(0)).join().unwrap();
+        if cfg!(all(
+            target_os = "linux",
+            any(target_arch = "x86_64", target_arch = "aarch64")
+        )) {
+            assert_eq!(pinned, Some(0), "linux must pin worker 0 to cpu 0");
+        } else {
+            assert_eq!(pinned, None, "non-linux must report unpinned");
+        }
+    }
+
+    #[test]
+    fn worker_index_wraps_to_available_cpus() {
+        let cpus = std::thread::available_parallelism().unwrap().get();
+        let pinned = std::thread::spawn(move || pin_current_thread(cpus))
+            .join()
+            .unwrap();
+        if cfg!(all(
+            target_os = "linux",
+            any(target_arch = "x86_64", target_arch = "aarch64")
+        )) {
+            assert_eq!(pinned, Some(0), "index wraps modulo cpu count");
+        }
+    }
+}

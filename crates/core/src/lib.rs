@@ -14,15 +14,28 @@
 //! * [`multicell`] — the sharded deployment engine: N independent cells
 //!   executed by a fixed worker pool, per-cell outputs independent of the
 //!   worker count.
+//! * [`mobility`] — the cross-cell handover subsystem: A3 measurement
+//!   events over a grid [`mobility::CellLayout`], hysteresis /
+//!   time-to-trigger state machines, and the deterministic inter-slot
+//!   exchange barrier that migrates UEs between cells bit-identically at
+//!   every worker count.
+//! * [`affinity`] — opt-in worker core pinning (raw `sched_setaffinity`
+//!   on Linux, no-op elsewhere).
 //! * [`ric_glue`] — the gNB↔near-RT-RIC loop over plugin-wrapped
 //!   communication, with xApps steering traffic and assuring slice SLAs.
 
+pub mod affinity;
+pub mod mobility;
 pub mod multicell;
 pub mod plugins;
 pub mod ric_glue;
 pub mod scenario;
 pub mod wasm_sched;
 
+pub use mobility::{
+    sort_departures, sort_handovers, A3Config, CellLayout, CellMobility, HandoverMsg,
+    InterruptionStats, MobilityAttachment, MobilityReport,
+};
 pub use multicell::{
     CellReport, CellSpec, MultiCellReport, MultiCellScenario, MultiCellScenarioBuilder,
     RicPlaneReport,

@@ -27,14 +27,19 @@
 //!   ([`RicPlaneReport::service`] drop counters) instead of growing node
 //!   memory.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier, Mutex};
 use std::time::Instant;
 
 use waran_host::plugin::SandboxPolicy;
 use waran_host::{ExecTimeStats, ShardedExecStats};
 use waran_ric::bus::{RicBus, ServiceReport};
 
+use crate::affinity;
+use crate::mobility::{
+    sort_departures, CellLayout, CellMobility, Departure, InterruptionStats, MobilityAttachment,
+    MobilityReport,
+};
 use crate::ric_glue::{CellE2Driver, RicAttachment};
 use crate::scenario::{Report, Scenario, ScenarioBuilder, ScenarioError, SchedKind, SliceSpec};
 
@@ -85,6 +90,8 @@ pub struct MultiCellScenarioBuilder {
     base_seed: u64,
     policy: SandboxPolicy,
     ric: Option<RicAttachment>,
+    mobility: Option<MobilityAttachment>,
+    pin_workers: bool,
 }
 
 impl Default for MultiCellScenarioBuilder {
@@ -102,6 +109,8 @@ impl MultiCellScenarioBuilder {
             base_seed: 1,
             policy: SandboxPolicy::slot_budget(),
             ric: None,
+            mobility: None,
+            pin_workers: false,
         }
     }
 
@@ -109,6 +118,23 @@ impl MultiCellScenarioBuilder {
     /// every cell's RIC state; cells publish over a bounded bus.
     pub fn ric(mut self, attachment: RicAttachment) -> Self {
         self.ric = Some(attachment);
+        self
+    }
+
+    /// Attach cross-cell mobility: cells are placed on a grid, mobile
+    /// UEs roam it, and [`MultiCellScenario::run`] switches to lockstep
+    /// exchange-window execution so UEs migrate deterministically. Every
+    /// cell gets a disjoint UE-id range (ids stay unique in flight).
+    pub fn mobility(mut self, attachment: MobilityAttachment) -> Self {
+        self.mobility = Some(attachment);
+        self
+    }
+
+    /// Pin worker threads to CPU cores (worker *i* → core
+    /// `i % cores`). Linux-only; elsewhere workers run unpinned and the
+    /// report says so. See [`crate::affinity`].
+    pub fn pin_workers(mut self, pin: bool) -> Self {
+        self.pin_workers = pin;
         self
     }
 
@@ -143,6 +169,23 @@ impl MultiCellScenarioBuilder {
                 "a deployment needs at least one cell".into(),
             ));
         }
+        if let (Some(mobility), Some(ric)) = (&self.mobility, &self.ric) {
+            // E2 boundaries are only visited at exchange-window starts,
+            // so every report boundary must *be* a window start.
+            if !ric
+                .report_period_slots
+                .is_multiple_of(mobility.exchange_period_slots)
+            {
+                return Err(ScenarioError::Invalid(format!(
+                    "RIC report period ({} slots) must be a multiple of the \
+                     mobility exchange period ({} slots)",
+                    ric.report_period_slots, mobility.exchange_period_slots
+                )));
+            }
+        }
+        let layout = self
+            .mobility
+            .map(|m| Arc::new(CellLayout::grid(self.cells.len(), m.isd_m)));
         let mut cells = Vec::with_capacity(self.cells.len());
         for (idx, spec) in self.cells.into_iter().enumerate() {
             let cell_id = idx as u32;
@@ -162,16 +205,29 @@ impl MultiCellScenarioBuilder {
                 .seed(seed)
                 .cell_id(cell_id)
                 .sandbox_policy(self.policy);
+            if let Some(layout) = &layout {
+                // Disjoint per-cell UE-id ranges: an id stays unique
+                // deployment-wide while its UE migrates.
+                builder = builder
+                    .cell_position(layout.pos(idx))
+                    .mobility_area(layout.area())
+                    .first_ue_id(70 + cell_id * 100_000);
+            }
             for slice in spec.slices {
                 builder = builder.slice(slice);
             }
             let scenario = builder.build()?;
+            let mobility = self
+                .mobility
+                .zip(layout.clone())
+                .map(|(m, layout)| CellMobility::new(cell_id, layout, m.a3));
             cells.push(Mutex::new(CellRuntime {
                 name: spec.name,
                 cell_id,
                 seed,
                 scenario,
                 driver: None,
+                mobility,
                 report: None,
             }));
         }
@@ -183,7 +239,12 @@ impl MultiCellScenarioBuilder {
             }
             bus
         });
-        Ok(MultiCellScenario { cells, bus })
+        Ok(MultiCellScenario {
+            cells,
+            bus,
+            mobility_cfg: self.mobility,
+            pin_workers: self.pin_workers,
+        })
     }
 }
 
@@ -203,14 +264,26 @@ struct CellRuntime {
     seed: u64,
     scenario: Scenario,
     driver: Option<CellE2Driver>,
+    mobility: Option<CellMobility>,
     report: Option<Report>,
 }
+
+/// One worker's timing shards: (plugin execution times, slot-chunk wall
+/// times).
+type WorkerShard = (ExecTimeStats, ExecTimeStats);
+
+/// What the lockstep engine hands back to `run`: per-worker timing
+/// shards, per-worker effective pins, and `(depart_slot, admit_slot)`
+/// pairs for every admitted handover.
+type LockstepOutcome = (Vec<WorkerShard>, Vec<Option<usize>>, Vec<(u64, u64)>);
 
 /// A built multi-cell deployment, runnable on any number of workers.
 pub struct MultiCellScenario {
     cells: Vec<Mutex<CellRuntime>>,
     /// Present until [`MultiCellScenario::run`] starts the service.
     bus: Option<RicBus>,
+    mobility_cfg: Option<MobilityAttachment>,
+    pin_workers: bool,
 }
 
 impl MultiCellScenario {
@@ -251,45 +324,29 @@ impl MultiCellScenario {
     /// Run every cell to completion on `workers` threads (0 and 1 both
     /// mean in-place sequential execution) and report per-cell and
     /// aggregate results. Per-cell outputs are independent of `workers`.
+    ///
+    /// With mobility attached the engine switches from free-running
+    /// cells to lockstep exchange windows: every cell runs exactly one
+    /// window, a barrier closes, one worker (the barrier leader)
+    /// serially admits the *previous* window's in-transit departures in
+    /// `(slot, src_cell, ue_id)` order and collects this window's, and
+    /// the next window opens. Departures therefore ride in transit for
+    /// exactly one window — the handover interruption time — and the
+    /// admission sequence is a pure function of the simulation state,
+    /// never of worker scheduling.
     pub fn run(&mut self, workers: usize) -> MultiCellReport {
         let started = Instant::now();
         let n_cells = self.cells.len();
+        let requested_workers = workers;
         let workers = workers.clamp(1, n_cells.max(1));
         let service = self.bus.take().map(RicBus::start);
 
-        let shards: Vec<(ExecTimeStats, ExecTimeStats)> = if workers <= 1 {
-            let mut shard = (ExecTimeStats::new(), ExecTimeStats::new());
-            for cell in &self.cells {
-                let mut cell = cell.lock().expect("cell lock poisoned");
-                run_cell(&mut cell, &mut shard.0, &mut shard.1);
+        let (shards, worker_pins, handover_records) = match self.mobility_cfg {
+            Some(cfg) => self.run_lockstep(workers, cfg),
+            None => {
+                let (shards, pins) = self.run_free(workers);
+                (shards, pins, Vec::new())
             }
-            vec![shard]
-        } else {
-            let next = AtomicUsize::new(0);
-            let cells = &self.cells;
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = (0..workers)
-                    .map(|_| {
-                        scope.spawn(|| {
-                            let mut exec_shard = ExecTimeStats::new();
-                            let mut chunk_shard = ExecTimeStats::new();
-                            loop {
-                                let idx = next.fetch_add(1, Ordering::Relaxed);
-                                if idx >= n_cells {
-                                    break;
-                                }
-                                let mut cell = cells[idx].lock().expect("cell lock poisoned");
-                                run_cell(&mut cell, &mut exec_shard, &mut chunk_shard);
-                            }
-                            (exec_shard, chunk_shard)
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("worker panicked"))
-                    .collect()
-            })
         };
 
         let wall_seconds = started.elapsed().as_secs_f64();
@@ -339,15 +396,188 @@ impl MultiCellScenario {
         }
         let total_slots = cell_reports.iter().map(|c| c.report.slots).sum();
         let total_sched_calls = cell_reports.iter().map(|c| c.sched_calls).sum();
+
+        let mobility = self.mobility_cfg.map(|cfg| {
+            let slot_seconds = self.cells[0]
+                .lock()
+                .expect("cell lock poisoned")
+                .scenario
+                .gnb
+                .slot_seconds();
+            let mut report = MobilityReport {
+                exchange_period_slots: cfg.exchange_period_slots,
+                interruption: InterruptionStats::from_records(&handover_records, slot_seconds),
+                ..MobilityReport::default()
+            };
+            for cell in &self.cells {
+                let cell = cell.lock().expect("cell lock poisoned");
+                if let Some(m) = &cell.mobility {
+                    report.cross_cell_handovers += m.counters.admissions;
+                    report.a3_departures += m.counters.a3_departures;
+                    report.forced_departures += m.counters.forced_departures;
+                    report.rejected_admissions += m.counters.rejected_admissions;
+                }
+            }
+            report
+        });
+
         MultiCellReport {
             cells: cell_reports,
             exec,
             slot_chunks,
             workers,
+            requested_workers,
+            worker_pins,
             wall_seconds,
             total_slots,
             total_sched_calls,
             ric,
+            mobility,
+        }
+    }
+
+    /// The PR 2 free-running engine: workers claim whole cells off an
+    /// atomic cursor and run each to completion independently.
+    fn run_free(&self, workers: usize) -> (Vec<WorkerShard>, Vec<Option<usize>>) {
+        let n_cells = self.cells.len();
+        if workers <= 1 && !self.pin_workers {
+            let mut shard = (ExecTimeStats::new(), ExecTimeStats::new());
+            for cell in &self.cells {
+                let mut cell = cell.lock().expect("cell lock poisoned");
+                run_cell(&mut cell, &mut shard.0, &mut shard.1);
+            }
+            return (vec![shard], vec![None]);
+        }
+        let next = AtomicUsize::new(0);
+        let next = &next;
+        let cells = &self.cells;
+        let pin = self.pin_workers;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    scope.spawn(move || {
+                        let pinned = pin.then(|| affinity::pin_current_thread(w)).flatten();
+                        let mut exec_shard = ExecTimeStats::new();
+                        let mut chunk_shard = ExecTimeStats::new();
+                        loop {
+                            let idx = next.fetch_add(1, Ordering::Relaxed);
+                            if idx >= n_cells {
+                                break;
+                            }
+                            let mut cell = cells[idx].lock().expect("cell lock poisoned");
+                            run_cell(&mut cell, &mut exec_shard, &mut chunk_shard);
+                        }
+                        ((exec_shard, chunk_shard), pinned)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .unzip()
+        })
+    }
+
+    /// The mobility engine: lockstep exchange windows with a serial
+    /// leader-side exchange between barriers (see [`MultiCellScenario::run`]).
+    fn run_lockstep(&self, workers: usize, cfg: MobilityAttachment) -> LockstepOutcome {
+        let n_cells = self.cells.len();
+        let window = cfg.exchange_period_slots.max(1);
+
+        let mut records = Vec::new();
+        if workers <= 1 && !self.pin_workers {
+            let mut shard = (ExecTimeStats::new(), ExecTimeStats::new());
+            let mut in_transit = Vec::new();
+            loop {
+                for cell in &self.cells {
+                    let mut cell = cell.lock().expect("cell lock poisoned");
+                    run_cell_window(&mut cell, window, &mut shard.1);
+                }
+                if lockstep_exchange(&self.cells, &mut in_transit, &mut records) {
+                    break;
+                }
+            }
+            let pins = vec![None];
+            self.finish_lockstep_cells(&mut shard.0);
+            return (vec![shard], pins, records);
+        }
+
+        let cursor = AtomicUsize::new(0);
+        let done = AtomicBool::new(false);
+        let in_transit: Mutex<Vec<Departure>> = Mutex::new(Vec::new());
+        let records_shared: Mutex<Vec<(u64, u64)>> = Mutex::new(Vec::new());
+        let barrier = Barrier::new(workers);
+        let (cursor, done, in_transit, records_ref, barrier) =
+            (&cursor, &done, &in_transit, &records_shared, &barrier);
+        let cells = &self.cells;
+        let pin = self.pin_workers;
+        let (mut shards, pins): (Vec<_>, Vec<_>) = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    scope.spawn(move || {
+                        let pinned = pin.then(|| affinity::pin_current_thread(w)).flatten();
+                        let mut chunk_shard = ExecTimeStats::new();
+                        loop {
+                            loop {
+                                let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                                if idx >= n_cells {
+                                    break;
+                                }
+                                let mut cell = cells[idx].lock().expect("cell lock poisoned");
+                                run_cell_window(&mut cell, window, &mut chunk_shard);
+                            }
+                            if barrier.wait().is_leader() {
+                                // Serial section: every other worker is
+                                // parked at the second barrier.
+                                let mut transit = in_transit.lock().expect("transit lock poisoned");
+                                let mut recs = records_ref.lock().expect("records lock poisoned");
+                                let all_done = lockstep_exchange(cells, &mut transit, &mut recs);
+                                cursor.store(0, Ordering::Relaxed);
+                                done.store(all_done, Ordering::Relaxed);
+                            }
+                            barrier.wait();
+                            if done.load(Ordering::Relaxed) {
+                                break;
+                            }
+                        }
+                        ((ExecTimeStats::new(), chunk_shard), pinned)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .unzip()
+        });
+        records = records_shared.into_inner().expect("records lock poisoned");
+        if let Some(first) = shards.first_mut() {
+            self.finish_lockstep_cells(&mut first.0);
+        }
+        (shards, pins, records)
+    }
+
+    /// Serial post-pass of the lockstep engine: settle E2 drivers, take
+    /// report snapshots and fold plugin execution stats — single-threaded
+    /// so the order (and thus the RIC counters) is deterministic.
+    fn finish_lockstep_cells(&self, exec_shard: &mut ExecTimeStats) {
+        for cell in &self.cells {
+            let mut cell = cell.lock().expect("cell lock poisoned");
+            let CellRuntime {
+                scenario,
+                driver,
+                mobility,
+                report,
+                ..
+            } = &mut *cell;
+            if let Some(driver) = driver.as_mut() {
+                driver.finish(scenario, mobility.as_mut());
+            }
+            *report = Some(scenario.report());
+            for name in scenario.slice_names().to_vec() {
+                if let Some(stats) = scenario.plugin_stats(&name) {
+                    exec_shard.merge(&stats);
+                }
+            }
         }
     }
 }
@@ -376,7 +606,7 @@ fn run_cell(
         let slot = cell.scenario.gnb.slot();
         if let Some(driver) = cell.driver.as_mut() {
             if driver.due(slot) {
-                driver.on_boundary(&mut cell.scenario);
+                driver.on_boundary(&mut cell.scenario, None);
             }
         }
         let to_boundary = chunk_len - (slot % chunk_len);
@@ -386,7 +616,7 @@ fn run_cell(
         chunk_shard.record(chunk_started.elapsed());
     }
     if let Some(driver) = cell.driver.as_mut() {
-        driver.finish(&mut cell.scenario);
+        driver.finish(&mut cell.scenario, None);
     }
     cell.report = Some(cell.scenario.report());
     for name in cell.scenario.slice_names().to_vec() {
@@ -394,6 +624,81 @@ fn run_cell(
             exec_shard.merge(&stats);
         }
     }
+}
+
+/// Run one cell for one exchange window (the lockstep engine's unit of
+/// work): visit the E2 boundary if one lands on this window's start,
+/// then advance `window_slots` slots. Mobility evaluation happens in
+/// the serial exchange, not here.
+/// The serial exchange at a window boundary: admit the previous window's
+/// in-transit departures in admission order, then collect this window's
+/// (cells visited in declaration order — the collection order is erased
+/// by the sort anyway). Returns true when every cell has finished. A free
+/// function over the cell slice so the threaded lockstep path can share
+/// it without capturing the (non-`Sync`) scenario itself.
+fn lockstep_exchange(
+    cells: &[Mutex<CellRuntime>],
+    in_transit: &mut Vec<Departure>,
+    records: &mut Vec<(u64, u64)>,
+) -> bool {
+    for dep in in_transit.drain(..) {
+        let mut cell = cells[dep.msg.dst_cell as usize]
+            .lock()
+            .expect("cell lock poisoned");
+        let depart_slot = dep.msg.slot;
+        let admit_slot = cell.scenario.gnb.slot();
+        let CellRuntime {
+            scenario, mobility, ..
+        } = &mut *cell;
+        let mob = mobility.as_mut().expect("mobility attached");
+        if mob.admit(scenario, dep) {
+            records.push((depart_slot, admit_slot));
+        }
+    }
+    let mut fresh = Vec::new();
+    let mut all_done = true;
+    for cell in cells {
+        let mut cell = cell.lock().expect("cell lock poisoned");
+        if cell.scenario.remaining_slots() == 0 {
+            continue;
+        }
+        all_done = false;
+        let slot = cell.scenario.gnb.slot();
+        let CellRuntime {
+            scenario, mobility, ..
+        } = &mut *cell;
+        if let Some(mob) = mobility.as_mut() {
+            fresh.extend(mob.evaluate(scenario, slot));
+        }
+    }
+    sort_departures(&mut fresh);
+    *in_transit = fresh;
+    all_done
+}
+
+/// Run one cell for at most one exchange window, handling a due E2
+/// boundary first (boundaries only land on window starts — the builder
+/// validates the period divides).
+fn run_cell_window(cell: &mut CellRuntime, window_slots: u64, chunk_shard: &mut ExecTimeStats) {
+    if cell.scenario.remaining_slots() == 0 {
+        return;
+    }
+    let slot = cell.scenario.gnb.slot();
+    let CellRuntime {
+        scenario,
+        driver,
+        mobility,
+        ..
+    } = &mut *cell;
+    if let Some(driver) = driver.as_mut() {
+        if driver.due(slot) {
+            driver.on_boundary(scenario, mobility.as_mut());
+        }
+    }
+    let n = window_slots.min(scenario.remaining_slots());
+    let chunk_started = Instant::now();
+    scenario.run_slots(n);
+    chunk_shard.record(chunk_started.elapsed());
 }
 
 /// Aggregate view of the RIC plane after a run.
@@ -453,8 +758,16 @@ pub struct MultiCellReport {
     /// Wall time of each report-period slot chunk, merged across workers
     /// (the slot-loop latency the RIC attachment must not inflate).
     pub slot_chunks: ExecTimeStats,
-    /// Worker threads actually used.
+    /// Worker threads actually used ([`MultiCellScenario::run`] clamps
+    /// the request to the cell count).
     pub workers: usize,
+    /// Worker threads the caller asked for, pre-clamp.
+    pub requested_workers: usize,
+    /// Per-worker effective core pinning: `Some(cpu)` where
+    /// `sched_setaffinity` succeeded, `None` where pinning was off,
+    /// unsupported, or refused. One entry per worker thread; a single
+    /// `None` for the in-place sequential path.
+    pub worker_pins: Vec<Option<usize>>,
     /// Wall-clock duration of the run, seconds.
     pub wall_seconds: f64,
     /// Slots simulated, summed over cells.
@@ -463,6 +776,8 @@ pub struct MultiCellReport {
     pub total_sched_calls: u64,
     /// RIC-plane accounting when the deployment ran attached.
     pub ric: Option<RicPlaneReport>,
+    /// Mobility accounting when the deployment ran with mobility.
+    pub mobility: Option<MobilityReport>,
 }
 
 impl MultiCellReport {
@@ -601,6 +916,112 @@ mod tests {
         assert_eq!(
             report.cells[0].report.digest(),
             report.cells[1].report.digest()
+        );
+    }
+
+    fn mobile_deployment(cells: usize, seconds: f64) -> MultiCellScenarioBuilder {
+        let mut b = MultiCellScenarioBuilder::new()
+            .seconds(seconds)
+            .base_seed(9)
+            .mobility(
+                MobilityAttachment::new()
+                    .isd_m(60.0)
+                    .exchange_period_slots(20)
+                    .ttt_windows(1)
+                    .hold_windows(1),
+            );
+        for i in 0..cells {
+            b = b.cell(
+                CellSpec::new(&format!("c{i}")).slice(
+                    SliceSpec::new("s", SchedKind::RoundRobin)
+                        .target_mbps(6.0)
+                        .ue(
+                            crate::ChannelSpec::Mobile { speed_mps: 60.0 },
+                            crate::TrafficSpec::FullBuffer,
+                        )
+                        .ue(
+                            crate::ChannelSpec::Mobile { speed_mps: 30.0 },
+                            crate::TrafficSpec::FullBuffer,
+                        )
+                        .native(),
+                ),
+            );
+        }
+        b
+    }
+
+    #[test]
+    fn lockstep_mobility_is_worker_count_independent() {
+        let one = mobile_deployment(4, 0.3).build().unwrap().run(1);
+        let two = mobile_deployment(4, 0.3).build().unwrap().run(2);
+        assert_eq!(one.cell_digests(), two.cell_digests());
+        let mob = one.mobility.as_ref().expect("mobility report present");
+        assert!(
+            mob.cross_cell_handovers > 0,
+            "close cells + fast UEs must churn, got {mob:?}"
+        );
+        assert_eq!(
+            mob.cross_cell_handovers,
+            two.mobility.as_ref().unwrap().cross_cell_handovers
+        );
+        // One-window transit: interruption is exactly the exchange
+        // period (20 slots of 1 ms).
+        assert_eq!(mob.interruption.count, mob.cross_cell_handovers);
+        assert!((mob.interruption.mean_ms - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn workers_clamped_and_recorded() {
+        let report = deployment(2, 0.05).run(8);
+        assert_eq!(report.requested_workers, 8);
+        assert_eq!(report.workers, 2);
+        assert_eq!(report.worker_pins.len(), 2);
+        assert!(report.worker_pins.iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn pinned_run_reports_effective_cores_and_keeps_digests() {
+        let plain = deployment(3, 0.1).run(2);
+        let mut b = MultiCellScenarioBuilder::new()
+            .seconds(0.1)
+            .base_seed(42)
+            .pin_workers(true);
+        for i in 0..3 {
+            b = b.cell(
+                CellSpec::new(&format!("cell{i}")).slice(
+                    SliceSpec::new("mvno", SchedKind::RoundRobin)
+                        .target_mbps(8.0)
+                        .ues(2),
+                ),
+            );
+        }
+        let pinned = b.build().unwrap().run(2);
+        assert_eq!(plain.cell_digests(), pinned.cell_digests());
+        assert_eq!(pinned.worker_pins.len(), 2);
+        if cfg!(all(
+            target_os = "linux",
+            any(target_arch = "x86_64", target_arch = "aarch64")
+        )) {
+            assert!(pinned.worker_pins.iter().all(Option::is_some));
+        }
+    }
+
+    #[test]
+    fn mobility_rejects_misaligned_ric_period() {
+        use waran_ric::comm::TlvCodec;
+        use waran_ric::ric::NearRtRic;
+        let result = mobile_deployment(2, 0.1)
+            .ric(
+                RicAttachment::new(
+                    Box::new(|| Box::new(TlvCodec)),
+                    Box::new(|_| NearRtRic::new()),
+                )
+                .report_period_slots(30),
+            )
+            .build();
+        assert!(
+            matches!(result, Err(ScenarioError::Invalid(_))),
+            "30 not a multiple of the 20-slot exchange window"
         );
     }
 

@@ -27,6 +27,7 @@ use waran_ric::ric::NearRtRic;
 
 use waran_ransim::channel::{DistanceChannel, MarkovFadingChannel};
 
+use crate::mobility::CellMobility;
 use crate::scenario::Scenario;
 
 /// How a handover is realized in the simulator: the UE's channel becomes
@@ -329,7 +330,12 @@ impl CellE2Driver {
     /// rendezvous/collect pending action batches, apply them in
     /// `(answers_slot, arrival)` order, then sample and publish this
     /// period's indication.
-    pub fn on_boundary(&mut self, scenario: &mut Scenario) {
+    ///
+    /// With `mobility` attached, `ControlAction::Handover` becomes a
+    /// *cross-cell* command queued for the next exchange boundary; the
+    /// channel-swap [`HandoverModel`] stays the degenerate within-cell
+    /// case for detached-mobility deployments.
+    pub fn on_boundary(&mut self, scenario: &mut Scenario, mobility: Option<&mut CellMobility>) {
         if !self.attached {
             return;
         }
@@ -347,7 +353,7 @@ impl CellE2Driver {
             }
             DeliveryMode::Lossy => self.port.collect(),
         };
-        self.apply_batches(scenario, batches);
+        self.apply_batches(scenario, mobility, batches);
         if !self.attached {
             return;
         }
@@ -365,7 +371,7 @@ impl CellE2Driver {
     /// Settle at end of run: consume the outstanding reply (if any) and
     /// whatever else reached the mailbox, so counters are reproducible in
     /// deterministic mode and nothing is left queued against the service.
-    pub fn finish(&mut self, scenario: &mut Scenario) {
+    pub fn finish(&mut self, scenario: &mut Scenario, mobility: Option<&mut CellMobility>) {
         if !self.attached {
             return;
         }
@@ -377,7 +383,7 @@ impl CellE2Driver {
             }
         }
         batches.extend(self.port.collect());
-        self.apply_batches(scenario, batches);
+        self.apply_batches(scenario, mobility, batches);
     }
 
     /// Bus-level queue accounting as seen from this cell.
@@ -390,7 +396,12 @@ impl CellE2Driver {
         self.port.ingress_depth()
     }
 
-    fn apply_batches(&mut self, scenario: &mut Scenario, mut batches: Vec<ActionBatch>) {
+    fn apply_batches(
+        &mut self,
+        scenario: &mut Scenario,
+        mut mobility: Option<&mut CellMobility>,
+        mut batches: Vec<ActionBatch>,
+    ) {
         // Deterministic application order: stable sort by the answered
         // slot keeps arrival order within a slot.
         batches.sort_by_key(|b| b.answers_slot);
@@ -400,6 +411,16 @@ impl CellE2Driver {
                 Ok((actions, skipped)) => {
                     self.decode_errors += skipped as u64;
                     for action in actions {
+                        if let (ControlAction::Handover { ue_id, target_cell }, Some(mob)) =
+                            (&action, mobility.as_deref_mut())
+                        {
+                            if mob.queue_forced(*ue_id, *target_cell) {
+                                self.applied_handovers += 1;
+                            } else {
+                                self.rejected_actions += 1;
+                            }
+                            continue;
+                        }
                         match apply_action(scenario, self.handover, action) {
                             AppliedAction::SliceTarget => self.applied_slice_targets += 1,
                             AppliedAction::Handover => self.applied_handovers += 1,
@@ -528,11 +549,11 @@ mod tests {
         while scenario.remaining_slots() > 0 {
             let slot = scenario.gnb.slot();
             if driver.due(slot) {
-                driver.on_boundary(&mut scenario);
+                driver.on_boundary(&mut scenario, None);
             }
             scenario.run_slots(100 - (slot % 100));
         }
-        driver.finish(&mut scenario);
+        driver.finish(&mut scenario, None);
         let report = service.stop();
 
         assert!(driver.is_attached());
@@ -561,11 +582,11 @@ mod tests {
         drop(bus);
 
         scenario.run_slots(100);
-        driver.on_boundary(&mut scenario);
+        driver.on_boundary(&mut scenario, None);
         assert!(!driver.is_attached(), "driver must detach, not stall");
         scenario.run_slots(100);
-        driver.on_boundary(&mut scenario); // no-op, still must not block
-        driver.finish(&mut scenario);
+        driver.on_boundary(&mut scenario, None); // no-op, still must not block
+        driver.finish(&mut scenario, None);
         assert_eq!(driver.indications_sent, 0);
     }
 }

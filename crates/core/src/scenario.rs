@@ -19,11 +19,13 @@ use std::sync::Arc;
 use waran_host::plugin::{PluginError, SandboxPolicy};
 use waran_host::{ExecTimeStats, PluginHost};
 use waran_ransim::channel::{
-    ChannelModel, DistanceChannel, FixedMcsChannel, MarkovFadingChannel, StaticChannel,
+    ChannelModel, DistanceChannel, FixedMcsChannel, MarkovFadingChannel, MobileChannel,
+    StaticChannel,
 };
 use waran_ransim::gnb::{Gnb, GnbConfig, SliceConfig};
 use waran_ransim::sched::{MaxThroughput, ProportionalFair, RoundRobin, SliceScheduler};
 use waran_ransim::traffic::{Cbr, FullBuffer, PoissonPackets, TrafficSource};
+use waran_ransim::ue::UeState;
 
 use crate::plugins;
 use crate::wasm_sched::{install_plugin, WasmSliceScheduler};
@@ -89,18 +91,66 @@ pub enum ChannelSpec {
     FadingCellEdge,
     /// Distance-based, meters from the gNB.
     Distance(f64),
+    /// A moving UE: waypoint walk at the given speed (m/s) inside the
+    /// builder's mobility area, SNR tracking the serving-site distance.
+    /// Start position and trajectory derive from the scenario seed.
+    Mobile {
+        /// Ground speed, meters per second.
+        speed_mps: f64,
+    },
 }
 
+/// Geometry and seeding context a [`ChannelSpec`] is instantiated with.
+struct ChannelBuildCtx {
+    cell_pos: [f64; 2],
+    area: [f64; 4],
+    slot_seconds: f64,
+    /// Per-UE seed derived from (scenario seed, UE index).
+    ue_seed: u64,
+}
+
+/// How far from the serving site a mobile UE may start, meters.
+const MOBILE_START_SPREAD_M: f64 = 50.0;
+
 impl ChannelSpec {
-    fn build(self) -> Box<dyn ChannelModel> {
+    fn build(self, ctx: &ChannelBuildCtx) -> Box<dyn ChannelModel> {
         match self {
             ChannelSpec::Static(cqi) => Box::new(StaticChannel::new(cqi)),
             ChannelSpec::FixedMcs(mcs) => Box::new(FixedMcsChannel::new(mcs)),
             ChannelSpec::FadingGood => Box::new(MarkovFadingChannel::good()),
             ChannelSpec::FadingCellEdge => Box::new(MarkovFadingChannel::cell_edge()),
             ChannelSpec::Distance(m) => Box::new(DistanceChannel::new(m)),
+            ChannelSpec::Mobile { speed_mps } => {
+                // Start uniformly within ±spread of the serving site; two
+                // SplitMix64 outputs give the offsets, a third seeds the
+                // walk — all pure functions of (scenario seed, UE index).
+                let sx = splitmix64(ctx.ue_seed);
+                let sy = splitmix64(sx);
+                let unit = |z: u64| (z >> 11) as f64 / (1u64 << 53) as f64;
+                let start = [
+                    ctx.cell_pos[0] + (unit(sx) * 2.0 - 1.0) * MOBILE_START_SPREAD_M,
+                    ctx.cell_pos[1] + (unit(sy) * 2.0 - 1.0) * MOBILE_START_SPREAD_M,
+                ];
+                let step_m = speed_mps.max(0.0) * ctx.slot_seconds;
+                Box::new(MobileChannel::new(
+                    start,
+                    step_m,
+                    ctx.area,
+                    ctx.cell_pos,
+                    splitmix64(sy),
+                ))
+            }
         }
     }
+}
+
+/// SplitMix64 step: the seed-derivation mixer used wherever the scenario
+/// layer needs decorrelated deterministic sub-seeds.
+pub(crate) fn splitmix64(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 /// Traffic specification for one UE.
@@ -216,6 +266,8 @@ pub struct ScenarioBuilder {
     seed: u64,
     gnb_config: GnbConfig,
     policy: SandboxPolicy,
+    cell_position: [f64; 2],
+    mobility_area: [f64; 4],
 }
 
 impl Default for ScenarioBuilder {
@@ -233,6 +285,8 @@ impl ScenarioBuilder {
             seed: 1,
             gnb_config: GnbConfig::default(),
             policy: SandboxPolicy::slot_budget(),
+            cell_position: [0.0, 0.0],
+            mobility_area: [-500.0, -500.0, 500.0, 500.0],
         }
     }
 
@@ -257,6 +311,28 @@ impl ScenarioBuilder {
     /// Cell identity stamped on the gNB (multi-cell deployments).
     pub fn cell_id(mut self, cell_id: u32) -> Self {
         self.gnb_config.cell_id = cell_id;
+        self
+    }
+
+    /// Serving-site position in meters — the anchor for
+    /// [`ChannelSpec::Mobile`] UEs (start near here, SNR tracks the
+    /// distance to here).
+    pub fn cell_position(mut self, pos: [f64; 2]) -> Self {
+        self.cell_position = pos;
+        self
+    }
+
+    /// Deployment-area bounds `[min_x, min_y, max_x, max_y]` (meters)
+    /// that mobile UEs walk within.
+    pub fn mobility_area(mut self, area: [f64; 4]) -> Self {
+        self.mobility_area = area;
+        self
+    }
+
+    /// First UE id the gNB assigns. Multi-cell mobility deployments give
+    /// every cell a disjoint range so ids stay unique while UEs migrate.
+    pub fn first_ue_id(mut self, id: u32) -> Self {
+        self.gnb_config.first_ue_id = id;
         self
     }
 
@@ -292,6 +368,7 @@ impl ScenarioBuilder {
         let mut slice_ids = HashMap::new();
         let mut slice_order = Vec::new();
         let mut ue_ids: HashMap<String, Vec<u32>> = HashMap::new();
+        let mut ue_index: u32 = 0;
 
         for spec in &self.slices {
             if slice_ids.contains_key(&spec.name) {
@@ -318,7 +395,16 @@ impl ScenarioBuilder {
             slice_order.push(spec.name.clone());
             let ues = ue_ids.entry(spec.name.clone()).or_default();
             for (channel, traffic) in &spec.ues {
-                ues.push(gnb.add_ue(slice_id, channel.build(), traffic.build()));
+                let ctx = ChannelBuildCtx {
+                    cell_pos: self.cell_position,
+                    area: self.mobility_area,
+                    slot_seconds: gnb.slot_seconds(),
+                    ue_seed: splitmix64(
+                        self.seed ^ 0x5851_f42d_4c95_7f2d_u64.wrapping_mul(u64::from(ue_index) + 1),
+                    ),
+                };
+                ue_index += 1;
+                ues.push(gnb.add_ue(slice_id, channel.build(&ctx), traffic.build()));
             }
         }
 
@@ -331,6 +417,7 @@ impl ScenarioBuilder {
             slice_order,
             ue_ids,
             remaining_slots: total_slots,
+            cell_position: self.cell_position,
         })
     }
 }
@@ -345,6 +432,7 @@ pub struct Scenario {
     slice_order: Vec<String>,
     ue_ids: HashMap<String, Vec<u32>>,
     remaining_slots: u64,
+    cell_position: [f64; 2],
 }
 
 impl Scenario {
@@ -391,6 +479,45 @@ impl Scenario {
     /// UE ids of a slice.
     pub fn slice_ues(&self, name: &str) -> &[u32] {
         self.ue_ids.get(name).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Serving-site position, meters (see
+    /// [`ScenarioBuilder::cell_position`]).
+    pub fn cell_position(&self) -> [f64; 2] {
+        self.cell_position
+    }
+
+    /// Detach a UE — the RAN-side departure half of a cross-cell
+    /// handover. The UE leaves the gNB and the report index; its slice
+    /// name and full MAC state come back so the destination cell can
+    /// [`Scenario::attach_ue`] it.
+    pub fn detach_ue(&mut self, ue_id: u32) -> Option<(String, UeState)> {
+        let (slice_id, state) = self.gnb.remove_ue(ue_id)?;
+        let name = self
+            .slice_order
+            .iter()
+            .find(|n| self.slice_ids[n.as_str()] == slice_id)
+            .cloned()?;
+        if let Some(ids) = self.ue_ids.get_mut(&name) {
+            ids.retain(|&u| u != ue_id);
+        }
+        Some((name, state))
+    }
+
+    /// Attach a previously detached UE into the named slice — the
+    /// admission half of a handover. On failure (unknown slice, or the
+    /// id already attached) the state is handed back untouched.
+    pub fn attach_ue(&mut self, slice: &str, ue: UeState) -> Result<(), UeState> {
+        let Some(&slice_id) = self.slice_ids.get(slice) else {
+            return Err(ue);
+        };
+        let ue_id = ue.ue_id;
+        self.gnb.admit_ue(slice_id, ue)?;
+        self.ue_ids
+            .entry(slice.to_string())
+            .or_default()
+            .push(ue_id);
+        Ok(())
     }
 
     /// Hot-swap a Wasm slice's scheduler to another standard policy (the
@@ -705,6 +832,49 @@ mod tests {
             "rate {}",
             slice.mean_rate_mbps()
         );
+    }
+
+    #[test]
+    fn mobile_ues_report_positions_and_migrate() {
+        let mut a = ScenarioBuilder::new()
+            .slice(
+                SliceSpec::new("s", SchedKind::RoundRobin)
+                    .ue(
+                        ChannelSpec::Mobile { speed_mps: 30.0 },
+                        TrafficSpec::FullBuffer,
+                    )
+                    .ue(ChannelSpec::Static(10), TrafficSpec::FullBuffer),
+            )
+            .seconds(0.4)
+            .seed(5)
+            .cell_position([100.0, 0.0])
+            .build()
+            .unwrap();
+        let mut b = ScenarioBuilder::new()
+            .slice(SliceSpec::new("s", SchedKind::RoundRobin).ues(1))
+            .seconds(0.4)
+            .seed(6)
+            .first_ue_id(500)
+            .cell_position([200.0, 0.0])
+            .build()
+            .unwrap();
+        a.run_seconds(0.2);
+        b.run_seconds(0.2);
+
+        let mobiles = a.gnb.mobile_ues();
+        assert_eq!(mobiles.len(), 1, "only the mobile UE reports a position");
+        let ue = mobiles[0].1;
+        let (slice, mut state) = a.detach_ue(ue).expect("detach");
+        assert_eq!(slice, "s");
+        assert!(!a.slice_ues("s").contains(&ue));
+        state.channel.retarget(b.cell_position());
+        b.attach_ue("s", state).expect("admit");
+        assert!(b.slice_ues("s").contains(&ue));
+
+        a.run_seconds(0.2);
+        b.run_seconds(0.2);
+        assert!(b.report().ue(ue).is_some(), "migrant shows in dst report");
+        assert!(a.report().ue(ue).is_none(), "migrant left src report");
     }
 
     #[test]

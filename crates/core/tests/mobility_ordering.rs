@@ -1,0 +1,74 @@
+//! Property tests for the mobility exchange ordering rule: the admission
+//! sequence at a window boundary is a pure function of the *set* of
+//! in-transit handovers, never of the order workers happened to collect
+//! them in.
+
+use proptest::prelude::*;
+
+use waran_core::{sort_handovers, HandoverMsg};
+
+fn arb_msg() -> impl Strategy<Value = HandoverMsg> {
+    (0u64..400, 0u32..16, 0u32..16, 0u32..2048).prop_map(|(slot, src, dst, ue)| HandoverMsg {
+        slot,
+        src_cell: src,
+        dst_cell: dst,
+        ue_id: ue,
+        forced: ue & 1 == 0,
+    })
+}
+
+/// Fisher–Yates with a splitmix64 stream: a deterministic shuffle keyed
+/// off the generated seed, standing in for arbitrary worker collection
+/// order.
+fn shuffle(msgs: &mut [HandoverMsg], mut seed: u64) {
+    let mut next = move || {
+        seed = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = seed;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    };
+    for i in (1..msgs.len()).rev() {
+        let j = (next() % (i as u64 + 1)) as usize;
+        msgs.swap(i, j);
+    }
+}
+
+proptest! {
+    #[test]
+    fn admission_sequence_is_arrival_order_independent(
+        msgs in proptest::collection::vec(arb_msg(), 0..64),
+        seed in 0u64..u64::MAX,
+    ) {
+        let mut canonical = msgs.clone();
+        sort_handovers(&mut canonical);
+
+        let mut shuffled = msgs.clone();
+        shuffle(&mut shuffled, seed);
+        sort_handovers(&mut shuffled);
+
+        prop_assert_eq!(&canonical, &shuffled);
+    }
+
+    #[test]
+    fn sorted_sequence_is_totally_ordered_by_admission_key(
+        msgs in proptest::collection::vec(arb_msg(), 0..64),
+    ) {
+        let mut sorted = msgs.clone();
+        sort_handovers(&mut sorted);
+        for pair in sorted.windows(2) {
+            prop_assert!(
+                pair[0].admission_key() <= pair[1].admission_key(),
+                "admission keys out of order: {:?} then {:?}",
+                pair[0],
+                pair[1]
+            );
+        }
+        // The sort only reorders — the multiset of handovers survives.
+        let mut back: Vec<_> = msgs.clone();
+        sort_handovers(&mut back);
+        let mut expected = msgs;
+        expected.sort_by_key(HandoverMsg::admission_key);
+        prop_assert_eq!(back, expected);
+    }
+}

@@ -12,6 +12,17 @@ pub trait ChannelModel: Send {
 
     /// Short name for reports.
     fn name(&self) -> &'static str;
+
+    /// Current 2-D position in meters, for models that track one (the
+    /// mobility subsystem reads this to run its measurement events).
+    fn position(&self) -> Option<[f64; 2]> {
+        None
+    }
+
+    /// Re-anchor the model to a new serving-cell position (how a
+    /// handover is realized for a mobile UE: same trajectory, new site).
+    /// Models without geometry ignore it.
+    fn retarget(&mut self, _serving_pos: [f64; 2]) {}
 }
 
 /// A channel pinned to a constant CQI (lab bench with fixed attenuation).
@@ -129,6 +140,15 @@ impl ChannelModel for MarkovFadingChannel {
     }
 }
 
+/// Log-distance path-loss SNR: 38 dB at 10 m, −35 dB/decade. The single
+/// link-budget formula shared by [`DistanceChannel`], [`MobileChannel`]
+/// and the mobility subsystem's A3 measurements (so a measured neighbor
+/// SNR and the SNR the UE would actually see after handover agree).
+pub fn path_loss_snr_db(distance_m: f64) -> f64 {
+    let d = distance_m.max(1.0);
+    38.0 - 35.0 * (d / 10.0).log10()
+}
+
 /// Distance-based model: log-distance path loss + AR(1) shadowing.
 #[derive(Debug, Clone)]
 pub struct DistanceChannel {
@@ -142,10 +162,8 @@ impl DistanceChannel {
     /// and ~500 m is cell edge.
     pub fn new(distance_m: f64) -> Self {
         let d = distance_m.max(1.0);
-        // SNR(d) = 38 dB at 10 m, −35 dB/decade.
-        let mean_snr = 38.0 - 35.0 * (d / 10.0).log10();
         DistanceChannel {
-            inner: MarkovFadingChannel::new(mean_snr, 3.0, 0.98),
+            inner: MarkovFadingChannel::new(path_loss_snr_db(d), 3.0, 0.98),
             distance_m: d,
         }
     }
@@ -158,6 +176,131 @@ impl ChannelModel for DistanceChannel {
 
     fn name(&self) -> &'static str {
         "distance"
+    }
+}
+
+/// A moving UE: 2-D waypoint walk inside a bounded deployment area, with
+/// per-slot SNR derived from the distance to the serving site via
+/// [`path_loss_snr_db`] plus AR(1) shadowing.
+///
+/// The walk and the shadowing draw from the channel's **own** RNG
+/// (seeded at construction), never from the cell RNG passed to
+/// [`ChannelModel::sample_cqi`]. A UE's trajectory is therefore a pure
+/// function of its seed: migrating the UE between cells neither perturbs
+/// any cell's RNG stream nor changes where the UE goes — the property
+/// the multi-cell exchange barrier's determinism argument leans on.
+pub struct MobileChannel {
+    pos: [f64; 2],
+    waypoint: [f64; 2],
+    /// Deployment-area bounds `[min_x, min_y, max_x, max_y]`, meters.
+    area: [f64; 4],
+    /// Meters traveled per slot.
+    step_m: f64,
+    serving_pos: [f64; 2],
+    shadow_sigma_db: f64,
+    shadow_rho: f64,
+    shadow_db: f64,
+    rng: rand::rngs::StdRng,
+    last_slot: u64,
+}
+
+impl MobileChannel {
+    /// A UE starting at `start`, walking at `step_m` meters per slot
+    /// toward uniformly drawn waypoints inside `area`, served by a site
+    /// at `serving_pos`. `seed` pins the trajectory and the shadowing.
+    pub fn new(
+        start: [f64; 2],
+        step_m: f64,
+        area: [f64; 4],
+        serving_pos: [f64; 2],
+        seed: u64,
+    ) -> Self {
+        use rand::SeedableRng;
+        let mut ch = MobileChannel {
+            pos: clamp_to_area(start, area),
+            waypoint: start,
+            area,
+            step_m: step_m.max(0.0),
+            serving_pos,
+            shadow_sigma_db: 3.0,
+            shadow_rho: 0.98,
+            shadow_db: 0.0,
+            rng: rand::rngs::StdRng::seed_from_u64(seed),
+            last_slot: 0,
+        };
+        ch.waypoint = ch.draw_waypoint();
+        ch
+    }
+
+    /// Current position, meters.
+    pub fn pos(&self) -> [f64; 2] {
+        self.pos
+    }
+
+    fn draw_waypoint(&mut self) -> [f64; 2] {
+        use rand::Rng;
+        let x = self
+            .rng
+            .gen_range(self.area[0]..self.area[2].max(self.area[0] + 1e-9));
+        let y = self
+            .rng
+            .gen_range(self.area[1]..self.area[3].max(self.area[1] + 1e-9));
+        [x, y]
+    }
+
+    /// Advance the walk by one slot.
+    fn advance(&mut self) {
+        if self.step_m <= 0.0 {
+            return;
+        }
+        let dx = self.waypoint[0] - self.pos[0];
+        let dy = self.waypoint[1] - self.pos[1];
+        let dist = (dx * dx + dy * dy).sqrt();
+        if dist <= self.step_m {
+            self.pos = self.waypoint;
+            self.waypoint = self.draw_waypoint();
+        } else {
+            self.pos[0] += dx / dist * self.step_m;
+            self.pos[1] += dy / dist * self.step_m;
+        }
+    }
+
+    fn snr_db(&self) -> f64 {
+        let dx = self.pos[0] - self.serving_pos[0];
+        let dy = self.pos[1] - self.serving_pos[1];
+        path_loss_snr_db((dx * dx + dy * dy).sqrt()) + self.shadow_db
+    }
+}
+
+fn clamp_to_area(p: [f64; 2], area: [f64; 4]) -> [f64; 2] {
+    [p[0].clamp(area[0], area[2]), p[1].clamp(area[1], area[3])]
+}
+
+impl ChannelModel for MobileChannel {
+    fn sample_cqi(&mut self, slot: u64, _rng: &mut dyn rand::RngCore) -> u8 {
+        // Catch up on slots not sampled (e.g. the in-transit window of a
+        // handover): motion is per-slot regardless of who serves the UE.
+        let steps = slot.saturating_sub(self.last_slot).clamp(1, 10_000);
+        self.last_slot = slot;
+        for _ in 0..steps {
+            self.advance();
+        }
+        let noise: f64 = sample_gaussian(&mut self.rng) * self.shadow_sigma_db;
+        self.shadow_db = self.shadow_rho * self.shadow_db
+            + (1.0 - self.shadow_rho * self.shadow_rho).sqrt() * noise;
+        snr_to_cqi(self.snr_db())
+    }
+
+    fn name(&self) -> &'static str {
+        "mobile"
+    }
+
+    fn position(&self) -> Option<[f64; 2]> {
+        Some(self.pos)
+    }
+
+    fn retarget(&mut self, serving_pos: [f64; 2]) {
+        self.serving_pos = serving_pos;
     }
 }
 
@@ -241,6 +384,52 @@ mod tests {
         let far = mean_cqi(600.0, &mut rng);
         assert!(near > mid, "near {near} mid {mid}");
         assert!(mid > far, "mid {mid} far {far}");
+    }
+
+    #[test]
+    fn mobile_channel_moves_and_is_deterministic() {
+        let area = [0.0, 0.0, 1000.0, 1000.0];
+        let run = |seed: u64| {
+            let mut ch = MobileChannel::new([100.0, 100.0], 5.0, area, [0.0, 0.0], seed);
+            let mut rng = StdRng::seed_from_u64(999);
+            let cqis: Vec<u8> = (0..500).map(|s| ch.sample_cqi(s, &mut rng)).collect();
+            (ch.pos(), cqis)
+        };
+        let (pos_a, cqi_a) = run(7);
+        let (pos_b, cqi_b) = run(7);
+        assert_eq!(pos_a, pos_b, "trajectory is a pure function of the seed");
+        assert_eq!(cqi_a, cqi_b);
+        let (pos_c, _) = run(8);
+        assert_ne!(pos_a, pos_c, "different seeds walk differently");
+        // 500 slots at 5 m/slot: the UE actually moved.
+        let moved = ((pos_a[0] - 100.0).powi(2) + (pos_a[1] - 100.0).powi(2)).sqrt();
+        assert!(moved > 10.0, "moved {moved} m");
+    }
+
+    #[test]
+    fn mobile_channel_quality_tracks_serving_distance() {
+        let area = [0.0, 0.0, 10_000.0, 10_000.0];
+        // Zero speed: quality is pinned by geometry alone.
+        let mut near = MobileChannel::new([10.0, 0.0], 0.0, area, [0.0, 0.0], 3);
+        let mut far = MobileChannel::new([900.0, 0.0], 0.0, area, [0.0, 0.0], 3);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mean = |ch: &mut MobileChannel, rng: &mut StdRng| {
+            (0..2000).map(|s| ch.sample_cqi(s, rng) as f64).sum::<f64>() / 2000.0
+        };
+        assert!(mean(&mut near, &mut rng) > mean(&mut far, &mut rng) + 2.0);
+        // Retargeting to a nearby site restores quality.
+        far.retarget([900.0, 10.0]);
+        assert!(mean(&mut far, &mut rng) > 10.0);
+        assert_eq!(far.position().unwrap(), [900.0, 0.0]);
+    }
+
+    #[test]
+    fn path_loss_shared_formula_matches_distance_channel() {
+        // DistanceChannel's link budget and the standalone formula agree.
+        assert!((path_loss_snr_db(10.0) - 38.0).abs() < 1e-9);
+        assert!(path_loss_snr_db(100.0) < path_loss_snr_db(50.0));
+        // Clamped below 1 m.
+        assert_eq!(path_loss_snr_db(0.0), path_loss_snr_db(1.0));
     }
 
     #[test]

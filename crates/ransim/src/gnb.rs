@@ -77,6 +77,10 @@ pub struct GnbConfig {
     pub metrics_window_slots: u64,
     /// Cap on token-bucket accumulation, seconds of target rate.
     pub token_cap_seconds: f64,
+    /// First UE id this gNB assigns. Multi-cell mobility deployments give
+    /// every cell a disjoint range so a UE id stays unique while the UE
+    /// migrates across cells.
+    pub first_ue_id: u32,
 }
 
 impl Default for GnbConfig {
@@ -88,6 +92,7 @@ impl Default for GnbConfig {
             pf_time_constant_slots: 1000.0,
             metrics_window_slots: 100,
             token_cap_seconds: 0.05,
+            first_ue_id: 70,
         }
     }
 }
@@ -133,6 +138,7 @@ impl Gnb {
         let slot_seconds = config.carrier.numerology.slot_seconds();
         let metrics = MetricsRecorder::new(config.metrics_window_slots, slot_seconds);
         let rng = StdRng::seed_from_u64(config.seed);
+        let next_ue_id = config.first_ue_id;
         Gnb {
             config,
             slices: Vec::new(),
@@ -140,7 +146,7 @@ impl Gnb {
             slot: 0,
             rng,
             metrics,
-            next_ue_id: 70,
+            next_ue_id,
         }
     }
 
@@ -246,6 +252,54 @@ impl Gnb {
             }
         }
         false
+    }
+
+    /// Detach a UE from the gNB, returning its slice id and full MAC
+    /// state (buffer, averages, channel, traffic) so another cell can
+    /// admit it — the RAN-side half of a handover. The metrics recorder
+    /// keeps the UE registered: its rate series continues (at zero) in
+    /// this cell's report, which keeps window alignment deterministic.
+    pub fn remove_ue(&mut self, ue_id: u32) -> Option<(u32, UeState)> {
+        for slice in &mut self.slices {
+            if let Some(pos) = slice.ues.iter().position(|u| u.ue_id == ue_id) {
+                return Some((slice.slice_id, slice.ues.remove(pos)));
+            }
+        }
+        None
+    }
+
+    /// Admit a previously detached UE into `slice_id`, preserving its MAC
+    /// state. Returns `false` (and drops nothing — the caller keeps the
+    /// state) if the slice does not exist or the id is already attached.
+    pub fn admit_ue(&mut self, slice_id: u32, ue: UeState) -> Result<(), UeState> {
+        if self
+            .slices
+            .iter()
+            .any(|s| s.ues.iter().any(|u| u.ue_id == ue.ue_id))
+        {
+            return Err(ue);
+        }
+        let Some(slice) = self.slices.get_mut(slice_id as usize) else {
+            return Err(ue);
+        };
+        self.metrics.register(slice_id, ue.ue_id);
+        slice.ues.push(ue);
+        Ok(())
+    }
+
+    /// Positions of every UE whose channel tracks one:
+    /// `(slice_id, ue_id, position)` — what the mobility subsystem's
+    /// measurement pass consumes.
+    pub fn mobile_ues(&self) -> Vec<(u32, u32, [f64; 2])> {
+        let mut out = Vec::new();
+        for slice in &self.slices {
+            for ue in &slice.ues {
+                if let Some(pos) = ue.channel.position() {
+                    out.push((slice.slice_id, ue.ue_id, pos));
+                }
+            }
+        }
+        out
     }
 
     /// KPI snapshot across all UEs: `(slice_id, ue_id, cqi, mcs,
@@ -475,6 +529,43 @@ mod tests {
         gnb.run_seconds(3.0);
         let rate = gnb.metrics().slice_mean_mbps(s);
         assert!((rate - 5.0).abs() < 0.3, "rate {rate}");
+    }
+
+    #[test]
+    fn remove_admit_round_trip_preserves_ue_state() {
+        let mut gnb = basic_gnb();
+        let s = gnb.add_slice(SliceConfig::best_effort("s"), Box::new(RoundRobin::new()));
+        let ue = gnb.add_ue(s, Box::new(StaticChannel::new(12)), Box::new(FullBuffer));
+        gnb.run_seconds(0.2);
+        let before = gnb.metrics().ue_mean_mbps(ue);
+        assert!(before > 0.0);
+
+        let (slice_id, state) = gnb.remove_ue(ue).expect("ue attached");
+        assert_eq!(slice_id, s);
+        assert!(gnb.remove_ue(ue).is_none(), "already detached");
+        assert!(gnb.ue_kpis().iter().all(|k| k.1 != ue));
+
+        // Readmission keeps the same id and buffer; a duplicate id or a
+        // bogus slice is rejected and hands the state back.
+        gnb.admit_ue(s, state).expect("readmit");
+        let dup = UeState::new(ue, Box::new(StaticChannel::new(1)), Box::new(FullBuffer));
+        assert!(gnb.admit_ue(s, dup).is_err(), "duplicate id rejected");
+        let orphan = UeState::new(999, Box::new(StaticChannel::new(1)), Box::new(FullBuffer));
+        assert!(gnb.admit_ue(42, orphan).is_err(), "unknown slice rejected");
+
+        gnb.run_seconds(0.2);
+        assert!(gnb.metrics().ue_mean_mbps(ue) > 0.0, "serves again");
+    }
+
+    #[test]
+    fn first_ue_id_offsets_assignment() {
+        let mut gnb = Gnb::new(GnbConfig {
+            first_ue_id: 1_000,
+            ..GnbConfig::default()
+        });
+        let s = gnb.add_slice(SliceConfig::best_effort("s"), Box::new(RoundRobin::new()));
+        let ue = gnb.add_ue(s, Box::new(StaticChannel::new(12)), Box::new(FullBuffer));
+        assert_eq!(ue, 1_000);
     }
 
     #[test]

@@ -16,3 +16,10 @@ cargo run -q --release -p waran-bench --bin bench_pr4 -- digests 2 > "$tmpdir/di
 cargo run -q --release -p waran-bench --bin bench_pr4 -- digests 8 > "$tmpdir/digests_8w.txt"
 diff "$tmpdir/digests_2w.txt" "$tmpdir/digests_8w.txt"
 echo "RIC-attached digests identical across 2 and 8 workers"
+
+# Mobility determinism: the lockstep exchange engine must keep per-cell
+# digests worker-count independent while UEs migrate between cells.
+cargo run -q --release -p waran-bench --bin bench_pr5 -- digests 2 > "$tmpdir/mobility_2w.txt"
+cargo run -q --release -p waran-bench --bin bench_pr5 -- digests 8 > "$tmpdir/mobility_8w.txt"
+diff "$tmpdir/mobility_2w.txt" "$tmpdir/mobility_8w.txt"
+echo "Mobility-enabled digests identical across 2 and 8 workers"
