@@ -42,7 +42,7 @@ fn bench_dispatch(c: &mut Criterion) {
         ("rr", plugins::rr_wasm()),
     ] {
         for n_ues in [1usize, 10, 20] {
-            for mode in [ExecMode::Reference, ExecMode::Compiled] {
+            for mode in [ExecMode::Reference, ExecMode::Compiled, ExecMode::Reg] {
                 let mut plugin =
                     Plugin::new(wasm, &Linker::<()>::new(), (), SandboxPolicy::default())
                         .expect("plugin instantiates");

@@ -6,7 +6,7 @@ use std::time::{Duration, Instant};
 
 use waran_abi::sched::{SchedRequest, SchedResponse};
 use waran_abi::CodecError;
-use waran_wasm::instance::{ExecLimits, Instance, InstantiateError, Linker};
+use waran_wasm::instance::{ExecLimits, ExecMode, Instance, InstantiateError, Linker};
 use waran_wasm::interp::Value;
 use waran_wasm::types::ValType;
 use waran_wasm::{LoadError, Module, Trap};
@@ -30,6 +30,11 @@ pub struct SandboxPolicy {
     pub max_response_bytes: u32,
     /// Consecutive faults before the host quarantines the plugin.
     pub quarantine_after: u32,
+    /// Which interpreter tier runs the plugin (reference tree walker,
+    /// flat IR, or register form). All tiers are semantically identical —
+    /// this only trades dispatch overhead, so it is a policy knob rather
+    /// than a correctness one.
+    pub exec_mode: ExecMode,
 }
 
 impl Default for SandboxPolicy {
@@ -41,6 +46,7 @@ impl Default for SandboxPolicy {
             max_call_depth: 512,
             max_response_bytes: 1 << 20,
             quarantine_after: 3,
+            exec_mode: ExecMode::default(),
         }
     }
 }
@@ -297,6 +303,7 @@ impl<T> Plugin<T> {
         let mut instance = Instance::with_limits(module, linker, data, limits)
             .map_err(PluginError::Instantiate)?;
         instance.set_deadline(policy.deadline);
+        instance.set_exec_mode(policy.exec_mode);
         let alloc_fn = Self::resolve_abi(&instance, "wrn_alloc", &[ValType::I32]);
         let reset_fn = if instance.has_export("wrn_reset") {
             Some(Self::resolve_abi(&instance, "wrn_reset", &[]))

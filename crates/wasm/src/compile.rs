@@ -90,7 +90,7 @@ impl I32Op {
         })
     }
 
-    fn commutative(self) -> bool {
+    pub(crate) fn commutative(self) -> bool {
         matches!(
             self,
             I32Op::Add | I32Op::Mul | I32Op::And | I32Op::Or | I32Op::Xor | I32Op::Eq | I32Op::Ne
@@ -100,7 +100,7 @@ impl I32Op {
     /// Logical negation, defined for comparisons only (integer comparisons
     /// are a total order, so `!(a < b) == a >= b` always holds — unlike
     /// floats, which is why float compares never fuse with `i32.eqz`).
-    fn negate(self) -> Option<I32Op> {
+    pub(crate) fn negate(self) -> Option<I32Op> {
         Some(match self {
             I32Op::Eq => I32Op::Ne,
             I32Op::Ne => I32Op::Eq,

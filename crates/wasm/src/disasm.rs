@@ -11,6 +11,7 @@ use std::fmt::Write as _;
 
 use crate::instr::Instr;
 use crate::module::{ConstExpr, ExportKind, ImportKind, Module};
+use crate::regalloc::{RBranch, ROp, RegFunc};
 use crate::types::{BlockType, FuncType, Mutability, ValType};
 
 /// Render a module as WAT-style text.
@@ -253,6 +254,173 @@ pub fn render(instr: &Instr) -> String {
     }
 }
 
+/// Render every function's register-form lowering ([`crate::regalloc`])
+/// as a stable, line-oriented listing — the debugging companion to
+/// [`disassemble`] for the `ExecMode::Reg` tier. Registers print as
+/// `r{n}`; `r0..r{n_locals}` are the locals, the rest are stack slots.
+/// Forces lowering of every body.
+pub fn disassemble_reg(module: &Module) -> String {
+    let mut out = String::new();
+    let n_imports = module.num_imported_funcs();
+    for i in 0..module.funcs.len() as u32 {
+        let rf = module.reg_func(i);
+        let _ = writeln!(
+            out,
+            "func $f{} (args {} -> {}, locals r0..r{}, frame {}):",
+            n_imports + i,
+            rf.argc,
+            rf.ret_arity,
+            rf.n_locals,
+            rf.frame_size
+        );
+        for (pc, op) in rf.ops.iter().enumerate() {
+            let _ = writeln!(out, "  {pc:>4}  {}", render_rop(op, rf));
+        }
+    }
+    out
+}
+
+/// Render a branch descriptor: destination pc plus the carried-value move.
+fn render_rbranch(rb: &RBranch) -> String {
+    if rb.n == 0 {
+        format!("->{}", rb.pc)
+    } else {
+        format!("->{} (r{}..+{} => r{})", rb.pc, rb.src, rb.n, rb.dst)
+    }
+}
+
+/// Render one register-form op. One line, stable format.
+fn render_rop(op: &ROp, rf: &RegFunc) -> String {
+    let br = |bi: u32| render_rbranch(&rf.branches[bi as usize]);
+    match *op {
+        ROp::Meter { cost, entry, peak } => {
+            format!("meter cost={cost} entry={entry} peak={peak}")
+        }
+        ROp::Unreachable => "unreachable".into(),
+        ROp::Br(b) => format!("br {}", br(b)),
+        ROp::BrIf { cond, br: b } => format!("br_if r{cond} {}", br(b)),
+        ROp::BrIfZ { cond, br: b } => format!("br_ifz r{cond} {}", br(b)),
+        ROp::BrIfCmp { op, a, b, br: bi } => {
+            format!("br_if (i32.{op:?} r{a} r{b}) {}", br(bi))
+        }
+        ROp::BrIfCmpC { op, a, k, br: bi } => {
+            format!("br_if (i32.{op:?} r{a} {k}) {}", br(bi))
+        }
+        ROp::BrTable { sel, start, n } => {
+            let arms: Vec<String> = (start..=start + n).map(br).collect();
+            format!("br_table r{sel} [{}]", arms.join(", "))
+        }
+        ROp::Return { src } => format!("return r{src}"),
+        ROp::CallWasm { f, base } => format!("call $f{f} window=r{base}"),
+        ROp::CallHost { f, base, argc, ret } => {
+            format!("call_host {f} window=r{base} argc={argc} ret={ret}")
+        }
+        ROp::CallIndirect { ty, base } => {
+            format!("call_indirect (type {ty}) window=r{base}")
+        }
+        ROp::Copy { dst, src } => format!("r{dst} = r{src}"),
+        ROp::ConstI32 { dst, k } => format!("r{dst} = i32.const {k}"),
+        ROp::Const { dst, idx } => {
+            format!("r{dst} = const[{idx}] ; {:?}", rf.consts[idx as usize])
+        }
+        ROp::Select { dst, cond, b } => {
+            format!("r{dst} = select r{cond} ? r{dst} : r{b}")
+        }
+        ROp::GlobalGet { dst, g } => format!("r{dst} = global.get {g}"),
+        ROp::GlobalSet { g, src } => format!("global.set {g} = r{src}"),
+        ROp::MemorySize { dst } => format!("r{dst} = memory.size"),
+        ROp::MemoryGrow { dst, delta } => format!("r{dst} = memory.grow r{delta}"),
+        ROp::MemoryCopy { dst, src, len } => {
+            format!("memory.copy r{dst} r{src} r{len}")
+        }
+        ROp::MemoryFill { dst, val, len } => {
+            format!("memory.fill r{dst} r{val} r{len}")
+        }
+        ROp::I32Bin { op, dst, a, b } => format!("r{dst} = i32.{op:?} r{a} r{b}"),
+        ROp::I32BinC { op, dst, a, k } => format!("r{dst} = i32.{op:?} r{a} {k}"),
+        ROp::I64Bin { op, dst, a, b } => format!("r{dst} = {op:?} r{a} r{b}"),
+        ROp::Bin { op, dst, a, b } => format!("r{dst} = {op:?} r{a} r{b}"),
+        ROp::Un { op, dst, a } => format!("r{dst} = {op:?} r{a}"),
+        ROp::Load {
+            kind,
+            dst,
+            addr,
+            off,
+        } => {
+            format!("r{dst} = load.{kind:?} [r{addr}+{off}]")
+        }
+        ROp::Store {
+            kind,
+            addr,
+            val,
+            off,
+        } => {
+            format!("store.{kind:?} [r{addr}+{off}] = r{val}")
+        }
+        ROp::LoadAt {
+            kind,
+            dst,
+            a,
+            k,
+            off,
+        } => {
+            format!("r{dst} = load.{kind:?} [r{a}{k:+}+{off}]")
+        }
+        ROp::LoadRR {
+            kind,
+            dst,
+            a,
+            b,
+            off,
+        } => {
+            format!("r{dst} = load.{kind:?} [r{a}+r{b}+{off}]")
+        }
+        ROp::StoreAt {
+            kind,
+            a,
+            k,
+            val,
+            off,
+        } => {
+            format!("store.{kind:?} [r{a}{k:+}+{off}] = r{val}")
+        }
+        ROp::StoreRR {
+            kind,
+            a,
+            b,
+            val,
+            off,
+        } => {
+            format!("store.{kind:?} [r{a}+r{b}+{off}] = r{val}")
+        }
+        ROp::LoadBis {
+            kind,
+            dst,
+            a,
+            b,
+            sh,
+            k,
+            off,
+        } => {
+            format!("r{dst} = load.{kind:?} [r{a}+(r{b}<<{sh}){k:+}+{off}]")
+        }
+        ROp::StoreBis {
+            kind,
+            a,
+            b,
+            sh,
+            k,
+            val,
+            off,
+        } => {
+            format!("store.{kind:?} [r{a}+(r{b}<<{sh}){k:+}+{off}] = r{val}")
+        }
+        ROp::StoreCAt { kind, a, k, v, off } => {
+            format!("store.{kind:?} [r{a}{k:+}+{off}] = const {v:#x}")
+        }
+    }
+}
+
 /// `I32TruncSatF64U` → `i32.trunc_sat_f64_u`, etc.
 fn variant_to_wat(variant: &str) -> String {
     let mut out = String::new();
@@ -380,5 +548,53 @@ mod tests {
     #[test]
     fn escape_bytes_printable_and_hex() {
         assert_eq!(escape_bytes(b"a\"b\\c\x01"), "a\\\"b\\\\c\\01");
+    }
+
+    #[test]
+    fn register_form_snapshot_is_stable() {
+        // Snapshot of the register-form listing for two tiny functions:
+        // straight-line arithmetic (constant fused, local reused in place)
+        // and an if/else diamond (fused compare-and-branch, join flush).
+        // The exact text is load-bearing for debugging the lowering pass;
+        // update it deliberately when the lowering changes.
+        let bytes = wat::assemble(
+            r#"(module
+                 (func (export "madd") (param i32 i32) (result i32)
+                   local.get 0
+                   local.get 1
+                   i32.mul
+                   i32.const 3
+                   i32.add)
+                 (func (export "pick") (param i32) (result i32)
+                   local.get 0
+                   if (result i32)
+                     i32.const 7
+                   else
+                     i32.const 9
+                   end))"#,
+        )
+        .unwrap();
+        let module = crate::load_module(&bytes).unwrap();
+        let text = disassemble_reg(&module);
+        assert_eq!(
+            text,
+            "\
+func $f0 (args 2 -> 1, locals r0..r2, frame 3):
+     0  meter cost=6 entry=0 peak=2
+     1  r2 = i32.Mul r0 r1
+     2  r2 = i32.Add r2 3
+     3  return r2
+func $f1 (args 1 -> 1, locals r0..r1, frame 2):
+     0  meter cost=2 entry=0 peak=1
+     1  br_ifz r0 ->5
+     2  meter cost=2 entry=0 peak=1
+     3  r1 = i32.const 7
+     4  br ->7
+     5  meter cost=1 entry=0 peak=1
+     6  r1 = i32.const 9
+     7  meter cost=2 entry=1 peak=0
+     8  return r1
+"
+        );
     }
 }

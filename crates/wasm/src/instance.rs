@@ -15,6 +15,7 @@ use crate::compile::Op;
 use crate::instr::Instr;
 use crate::interp::{Memory, Table, Value};
 use crate::module::{ConstExpr, ExportKind, ImportKind, Module};
+use crate::regalloc::{LoadKind, ROp, StoreKind};
 use crate::trap::Trap;
 use crate::types::{FuncType, Limits, ValType};
 
@@ -173,6 +174,11 @@ pub enum ExecMode {
     /// The original decoded-[`Instr`] tree walker, kept as the semantic
     /// reference for differential testing and ablation benchmarks.
     Reference,
+    /// The register-form executor (see [`crate::regalloc`]): the flat IR
+    /// lowered to three-address code over a per-frame virtual register
+    /// file, so push/pop traffic disappears from the hot loop. Identical
+    /// result/trap/fuel semantics to the other tiers.
+    Reg,
 }
 
 /// Cumulative execution statistics.
@@ -208,6 +214,10 @@ pub struct Instance<T> {
     scratch_stack: Vec<Value>,
     scratch_locals: Vec<Value>,
     scratch_frames: Vec<CFrame>,
+    /// Register-tier buffers: one flat register file shared by all frames
+    /// (windows overlap at call boundaries) plus its frame stack.
+    scratch_regs: Vec<Value>,
+    scratch_rframes: Vec<RFrame>,
 }
 
 impl<T> std::fmt::Debug for Instance<T> {
@@ -336,6 +346,8 @@ impl<T> Instance<T> {
             scratch_stack: Vec::with_capacity(64),
             scratch_locals: Vec::with_capacity(64),
             scratch_frames: Vec::with_capacity(16),
+            scratch_regs: Vec::with_capacity(128),
+            scratch_rframes: Vec::with_capacity(16),
         };
 
         if let Some(start) = inst.module.start {
@@ -447,6 +459,7 @@ impl<T> Instance<T> {
         let result = match self.mode {
             ExecMode::Compiled => self.exec_compiled(func, args, deadline, &mut instrs),
             ExecMode::Reference => self.exec(func, args, deadline, &mut instrs),
+            ExecMode::Reg => self.exec_reg(func, args, deadline, &mut instrs),
         };
         // Flushed here unconditionally so every exit path — including the
         // out-of-fuel one, which used to skip it — counts its instructions.
@@ -1956,6 +1969,494 @@ impl<T> Instance<T> {
         }
         Ok(())
     }
+
+    /// Run `entry` on the register-form IR. Reuses the instance's register
+    /// file and frame stack so steady-state invocations allocate nothing.
+    fn exec_reg(
+        &mut self,
+        entry: u32,
+        args: &[Value],
+        deadline: Option<Instant>,
+        instrs: &mut u64,
+    ) -> Result<Option<Value>, Trap> {
+        let module = Arc::clone(&self.module);
+        let n_imports = module.num_imported_funcs();
+
+        // Direct host-function entry (rare but legal via re-export).
+        if entry < n_imports {
+            let def = &self.host_funcs[entry as usize];
+            let func = Arc::clone(&def.func);
+            return func(&mut self.data, &mut self.memory, args);
+        }
+
+        let mut regs = std::mem::take(&mut self.scratch_regs);
+        let mut frames = std::mem::take(&mut self.scratch_rframes);
+        regs.clear();
+        frames.clear();
+
+        let entry_local = entry - n_imports;
+        let rf = module.reg_func(entry_local);
+        let ret_arity = rf.ret_arity;
+        regs.extend_from_slice(args);
+        regs.extend_from_slice(&rf.locals_init);
+        regs.resize(rf.frame_size as usize, Value::I32(0));
+        frames.push(RFrame {
+            func: entry_local,
+            pc: 0,
+            base: 0,
+            vbase: 0,
+        });
+
+        let result = self.run_reg(&module, deadline, instrs, &mut regs, &mut frames);
+        let out = result.map(|()| if ret_arity == 1 { Some(regs[0]) } else { None });
+
+        self.scratch_regs = regs;
+        self.scratch_rframes = frames;
+        out
+    }
+
+    /// The register-tier hot loop: dispatch [`ROp`]s until the entry frame
+    /// returns. Mirrors [`Self::run_compiled`] op-for-op on semantics —
+    /// fuel, deadlines, stack bounds and traps are bit-identical — but all
+    /// operands are frame-relative register indices; there is no value
+    /// stack and no locals arena, only `regs`.
+    fn run_reg(
+        &mut self,
+        module: &Arc<Module>,
+        deadline: Option<Instant>,
+        instrs: &mut u64,
+        regs: &mut Vec<Value>,
+        frames: &mut Vec<RFrame>,
+    ) -> Result<(), Trap> {
+        let n_imports = module.num_imported_funcs();
+        let mut until_deadline_check = DEADLINE_CHECK_INTERVAL as i64;
+
+        'frames: loop {
+            // Per-activation state, cached in locals until a call/return
+            // switches frames.
+            let frame = *frames.last().expect("at least one frame");
+            let mut pc = frame.pc as usize;
+            let base = frame.base as usize;
+            let vbase = frame.vbase as usize;
+            let rf = module.reg_func(frame.func);
+            let ops = &rf.ops;
+            let rbranches = &rf.branches;
+            let consts = &rf.consts;
+            let n_locals = rf.n_locals as usize;
+
+            macro_rules! reg {
+                ($i:expr) => {
+                    regs[base + $i as usize]
+                };
+            }
+            /// Take a side-table branch; evaluates to the new pc. The
+            /// carried window (`n ≤ 1` in the MVP) moves down to the
+            /// target height; `n == 0` when the windows already coincide.
+            macro_rules! rbranch_to {
+                ($bi:expr) => {{
+                    let rb = rbranches[$bi as usize];
+                    if rb.n > 0 {
+                        let src = base + rb.src as usize;
+                        regs.copy_within(src..src + rb.n as usize, base + rb.dst as usize);
+                    }
+                    rb.pc as usize
+                }};
+            }
+
+            loop {
+                let op = ops[pc];
+                pc += 1;
+                match op {
+                    ROp::Meter { cost, entry, peak } => {
+                        if let Some(fuel) = self.fuel.as_mut() {
+                            if *fuel < cost as u64 {
+                                // The reference walker would retire exactly
+                                // the remaining fuel before trapping.
+                                *instrs += *fuel;
+                                self.fuel = Some(0);
+                                return Err(Trap::OutOfFuel);
+                            }
+                            *fuel -= cost as u64;
+                        }
+                        *instrs += cost as u64;
+                        if let Some(dl) = deadline {
+                            until_deadline_check -= cost as i64;
+                            if until_deadline_check <= 0 {
+                                until_deadline_check = DEADLINE_CHECK_INTERVAL as i64;
+                                if Instant::now() > dl {
+                                    return Err(Trap::DeadlineExceeded);
+                                }
+                            }
+                        }
+                        // `vbase + entry` is exactly the flat tier's
+                        // `stack.len()` at this block header.
+                        if vbase + entry as usize + peak as usize > self.limits.max_value_stack {
+                            return Err(Trap::ValueStackExhausted);
+                        }
+                    }
+                    ROp::Unreachable => return Err(Trap::Unreachable),
+                    ROp::Br(b) => pc = rbranch_to!(b),
+                    ROp::BrIf { cond, br } => {
+                        if reg!(cond).as_i32() != 0 {
+                            pc = rbranch_to!(br);
+                        }
+                    }
+                    ROp::BrIfZ { cond, br } => {
+                        if reg!(cond).as_i32() == 0 {
+                            pc = rbranch_to!(br);
+                        }
+                    }
+                    ROp::BrIfCmp { op, a, b, br } => {
+                        if op.eval(reg!(a).as_i32(), reg!(b).as_i32()) != 0 {
+                            pc = rbranch_to!(br);
+                        }
+                    }
+                    ROp::BrIfCmpC { op, a, k, br } => {
+                        if op.eval(reg!(a).as_i32(), k) != 0 {
+                            pc = rbranch_to!(br);
+                        }
+                    }
+                    ROp::BrTable { sel, start, n } => {
+                        let s = reg!(sel).as_u32().min(n);
+                        pc = rbranch_to!(start + s);
+                    }
+                    ROp::Return { src } => {
+                        if rf.ret_arity == 1 {
+                            regs[base] = regs[base + src as usize];
+                        }
+                        frames.pop();
+                        if frames.is_empty() {
+                            return Ok(());
+                        }
+                        continue 'frames;
+                    }
+                    ROp::CallWasm { f, base: wbase } => {
+                        if frames.len() >= self.limits.max_call_depth {
+                            return Err(Trap::StackOverflow);
+                        }
+                        frames.last_mut().expect("at least one frame").pc = pc as u32;
+                        let callee = module.reg_func(f);
+                        let abs = base + wbase as usize;
+                        let need = abs + callee.frame_size as usize;
+                        if regs.len() < need {
+                            regs.resize(need, Value::I32(0));
+                        }
+                        // Arguments are already in place at `abs..abs+argc`
+                        // (register-window overlap); declared locals still
+                        // need their zero values.
+                        regs[abs + callee.argc as usize..abs + callee.n_locals as usize]
+                            .copy_from_slice(&callee.locals_init);
+                        frames.push(RFrame {
+                            func: f,
+                            pc: 0,
+                            base: abs as u32,
+                            // The flat tier's stack height at this call
+                            // site: `wbase - n_locals` is the caller's
+                            // abstract height minus the moved args.
+                            vbase: (vbase + wbase as usize - n_locals) as u32,
+                        });
+                        continue 'frames;
+                    }
+                    ROp::CallHost {
+                        f,
+                        base: wbase,
+                        argc,
+                        ret,
+                    } => {
+                        let expected = match ret {
+                            0 => None,
+                            1 => Some(ValType::I32),
+                            2 => Some(ValType::I64),
+                            3 => Some(ValType::F32),
+                            _ => Some(ValType::F64),
+                        };
+                        self.call_host_reg(
+                            f,
+                            argc as usize,
+                            expected,
+                            regs,
+                            base + wbase as usize,
+                        )?;
+                    }
+                    ROp::CallIndirect { ty, base: wbase } => {
+                        let abs = base + wbase as usize;
+                        let expected = &module.types[ty as usize];
+                        let argc = expected.params.len();
+                        let idx = regs[abs + argc].as_u32();
+                        let func = self.table.get(idx)?;
+                        let actual = module.func_type(func).ok_or(Trap::UninitializedElement)?;
+                        if actual != expected {
+                            return Err(Trap::IndirectCallTypeMismatch);
+                        }
+                        if func < n_imports {
+                            let ret = expected.results.first().copied();
+                            self.call_host_reg(func, argc, ret, regs, abs)?;
+                        } else {
+                            if frames.len() >= self.limits.max_call_depth {
+                                return Err(Trap::StackOverflow);
+                            }
+                            frames.last_mut().expect("at least one frame").pc = pc as u32;
+                            let local_func = func - n_imports;
+                            let callee = module.reg_func(local_func);
+                            let need = abs + callee.frame_size as usize;
+                            if regs.len() < need {
+                                regs.resize(need, Value::I32(0));
+                            }
+                            regs[abs + callee.argc as usize..abs + callee.n_locals as usize]
+                                .copy_from_slice(&callee.locals_init);
+                            frames.push(RFrame {
+                                func: local_func,
+                                pc: 0,
+                                base: abs as u32,
+                                vbase: (vbase + wbase as usize - n_locals) as u32,
+                            });
+                            continue 'frames;
+                        }
+                    }
+                    ROp::Copy { dst, src } => reg!(dst) = reg!(src),
+                    ROp::ConstI32 { dst, k } => reg!(dst) = Value::I32(k),
+                    ROp::Const { dst, idx } => reg!(dst) = consts[idx as usize],
+                    ROp::Select { dst, cond, b } => {
+                        // `dst` already holds the true-arm value.
+                        if reg!(cond).as_i32() == 0 {
+                            reg!(dst) = reg!(b);
+                        }
+                    }
+                    ROp::GlobalGet { dst, g } => reg!(dst) = self.globals[g as usize],
+                    ROp::GlobalSet { g, src } => self.globals[g as usize] = reg!(src),
+                    ROp::MemorySize { dst } => {
+                        reg!(dst) = Value::I32(self.memory.size_pages() as i32)
+                    }
+                    ROp::MemoryGrow { dst, delta } => {
+                        let delta = reg!(delta).as_u32();
+                        let result = self.memory.grow(delta).map(|p| p as i32).unwrap_or(-1);
+                        reg!(dst) = Value::I32(result);
+                    }
+                    ROp::MemoryCopy { dst, src, len } => {
+                        self.memory.copy(
+                            reg!(dst).as_u32(),
+                            reg!(src).as_u32(),
+                            reg!(len).as_u32(),
+                        )?;
+                    }
+                    ROp::MemoryFill { dst, val, len } => {
+                        self.memory.fill(
+                            reg!(dst).as_u32(),
+                            reg!(val).as_i32() as u8,
+                            reg!(len).as_u32(),
+                        )?;
+                    }
+                    ROp::I32Bin { op, dst, a, b } => {
+                        let v = op.eval(reg!(a).as_i32(), reg!(b).as_i32());
+                        reg!(dst) = Value::I32(v);
+                    }
+                    ROp::I32BinC { op, dst, a, k } => {
+                        let v = op.eval(reg!(a).as_i32(), k);
+                        reg!(dst) = Value::I32(v);
+                    }
+                    ROp::I64Bin { op, dst, a, b } => {
+                        reg!(dst) = op.eval(reg!(a).as_i64(), reg!(b).as_i64());
+                    }
+                    ROp::Bin { op, dst, a, b } => {
+                        reg!(dst) = op.eval(reg!(a), reg!(b))?;
+                    }
+                    ROp::Un { op, dst, a } => {
+                        reg!(dst) = op.eval(reg!(a))?;
+                    }
+                    ROp::Load {
+                        kind,
+                        dst,
+                        addr,
+                        off,
+                    } => {
+                        let a = reg!(addr).as_u32();
+                        reg!(dst) = self.mem_load(kind, a, off)?;
+                    }
+                    ROp::Store {
+                        kind,
+                        addr,
+                        val,
+                        off,
+                    } => {
+                        let v = reg!(val);
+                        let a = reg!(addr).as_u32();
+                        self.mem_store(kind, a, off, v)?;
+                    }
+                    ROp::LoadAt {
+                        kind,
+                        dst,
+                        a,
+                        k,
+                        off,
+                    } => {
+                        let a = reg!(a as u32).as_i32().wrapping_add(k) as u32;
+                        reg!(dst) = self.mem_load(kind, a, off)?;
+                    }
+                    ROp::LoadRR {
+                        kind,
+                        dst,
+                        a,
+                        b,
+                        off,
+                    } => {
+                        let a = reg!(a as u32)
+                            .as_i32()
+                            .wrapping_add(reg!(b as u32).as_i32())
+                            as u32;
+                        reg!(dst) = self.mem_load(kind, a, off)?;
+                    }
+                    ROp::StoreAt {
+                        kind,
+                        a,
+                        k,
+                        val,
+                        off,
+                    } => {
+                        let v = reg!(val as u32);
+                        let a = reg!(a as u32).as_i32().wrapping_add(k) as u32;
+                        self.mem_store(kind, a, off, v)?;
+                    }
+                    ROp::StoreRR {
+                        kind,
+                        a,
+                        b,
+                        val,
+                        off,
+                    } => {
+                        let v = reg!(val as u32);
+                        let a = reg!(a as u32)
+                            .as_i32()
+                            .wrapping_add(reg!(b as u32).as_i32())
+                            as u32;
+                        self.mem_store(kind, a, off, v)?;
+                    }
+                    ROp::LoadBis {
+                        kind,
+                        dst,
+                        a,
+                        b,
+                        sh,
+                        k,
+                        off,
+                    } => {
+                        let a = reg!(a as u32)
+                            .as_i32()
+                            .wrapping_add(reg!(b as u32).as_i32().wrapping_shl(sh as u32))
+                            .wrapping_add(k as i32) as u32;
+                        reg!(dst as u32) = self.mem_load(kind, a, off)?;
+                    }
+                    ROp::StoreBis {
+                        kind,
+                        a,
+                        b,
+                        sh,
+                        k,
+                        val,
+                        off,
+                    } => {
+                        let v = reg!(val as u32);
+                        let a = reg!(a as u32)
+                            .as_i32()
+                            .wrapping_add(reg!(b as u32).as_i32().wrapping_shl(sh as u32))
+                            .wrapping_add(k as i32) as u32;
+                        self.mem_store(kind, a, off, v)?;
+                    }
+                    ROp::StoreCAt { kind, a, k, v, off } => {
+                        let a = reg!(a as u32).as_i32().wrapping_add(k) as u32;
+                        let v = if matches!(kind, StoreKind::F32) {
+                            Value::F32(f32::from_bits(v))
+                        } else {
+                            Value::I32(v as i32)
+                        };
+                        self.mem_store(kind, a, off, v)?;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Width-dispatched load for the register loop (shared by the plain
+    /// and address-fused forms; `a` is the fully computed i32 address).
+    #[inline]
+    fn mem_load(&mut self, kind: LoadKind, a: u32, off: u32) -> Result<Value, Trap> {
+        let m = &mut self.memory;
+        Ok(match kind {
+            LoadKind::I32 => Value::I32(i32::from_le_bytes(m.read::<4>(a, off)?)),
+            LoadKind::I64 => Value::I64(i64::from_le_bytes(m.read::<8>(a, off)?)),
+            LoadKind::F32 => Value::F32(f32::from_le_bytes(m.read::<4>(a, off)?)),
+            LoadKind::F64 => Value::F64(f64::from_le_bytes(m.read::<8>(a, off)?)),
+            LoadKind::I32S8 => Value::I32(m.read::<1>(a, off)?[0] as i8 as i32),
+            LoadKind::I32U8 => Value::I32(m.read::<1>(a, off)?[0] as i32),
+            LoadKind::I32S16 => Value::I32(i16::from_le_bytes(m.read::<2>(a, off)?) as i32),
+            LoadKind::I32U16 => Value::I32(u16::from_le_bytes(m.read::<2>(a, off)?) as i32),
+            LoadKind::I64S8 => Value::I64(m.read::<1>(a, off)?[0] as i8 as i64),
+            LoadKind::I64U8 => Value::I64(m.read::<1>(a, off)?[0] as i64),
+            LoadKind::I64S16 => Value::I64(i16::from_le_bytes(m.read::<2>(a, off)?) as i64),
+            LoadKind::I64U16 => Value::I64(u16::from_le_bytes(m.read::<2>(a, off)?) as i64),
+            LoadKind::I64S32 => Value::I64(i32::from_le_bytes(m.read::<4>(a, off)?) as i64),
+            LoadKind::I64U32 => Value::I64(u32::from_le_bytes(m.read::<4>(a, off)?) as i64),
+        })
+    }
+
+    /// Width-dispatched store for the register loop.
+    #[inline]
+    fn mem_store(&mut self, kind: StoreKind, a: u32, off: u32, v: Value) -> Result<(), Trap> {
+        match kind {
+            StoreKind::I32 => self.memory.write(a, off, v.as_i32().to_le_bytes()),
+            StoreKind::I64 => self.memory.write(a, off, v.as_i64().to_le_bytes()),
+            StoreKind::F32 => self.memory.write(a, off, v.as_f32().to_le_bytes()),
+            StoreKind::F64 => self.memory.write(a, off, v.as_f64().to_le_bytes()),
+            StoreKind::I32Lo8 => self.memory.write(a, off, [(v.as_i32() & 0xff) as u8]),
+            StoreKind::I32Lo16 => self.memory.write(a, off, (v.as_i32() as u16).to_le_bytes()),
+            StoreKind::I64Lo8 => self.memory.write(a, off, [(v.as_i64() & 0xff) as u8]),
+            StoreKind::I64Lo16 => self.memory.write(a, off, (v.as_i64() as u16).to_le_bytes()),
+            StoreKind::I64Lo32 => self.memory.write(a, off, (v.as_i64() as u32).to_le_bytes()),
+        }
+    }
+
+    /// Host call from the register loop: args are read from a register
+    /// window (no per-call allocation); the result overwrites the window
+    /// base, which the lowering pass reserved as the call's result cell.
+    fn call_host_reg(
+        &mut self,
+        f: u32,
+        argc: usize,
+        expected: Option<ValType>,
+        regs: &mut [Value],
+        abs_base: usize,
+    ) -> Result<(), Trap> {
+        let func = Arc::clone(&self.host_funcs[f as usize].func);
+        let result = func(
+            &mut self.data,
+            &mut self.memory,
+            &regs[abs_base..abs_base + argc],
+        );
+        match (expected, result?) {
+            (Some(e), Some(v)) if e == v.ty() => regs[abs_base] = v,
+            (None, None) => {}
+            (expected, got) => {
+                return Err(Trap::HostError(format!(
+                    "host function returned {got:?}, signature says {expected:?}"
+                )))
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A register-tier call frame: all values live in the shared register
+/// file, so the frame itself is four words.
+#[derive(Debug, Clone, Copy)]
+struct RFrame {
+    /// Index into `module.funcs` (local function space).
+    func: u32,
+    /// Next op index (saved across calls).
+    pc: u32,
+    /// Absolute base of this frame's register window.
+    base: u32,
+    /// The flat tier's `stack.len()` equivalent at frame entry, carried so
+    /// `Meter`'s value-stack bound check stays bit-identical across tiers.
+    vbase: u32,
 }
 
 /// A compiled-executor call frame: all state lives in the shared stack and
@@ -2022,7 +2523,7 @@ struct Label {
 // Float min/max and trapping truncation per the WebAssembly spec.
 // ---------------------------------------------------------------------
 
-fn wasm_fmin32(a: f32, b: f32) -> f32 {
+pub(crate) fn wasm_fmin32(a: f32, b: f32) -> f32 {
     if a.is_nan() || b.is_nan() {
         f32::NAN
     } else if a == b {
@@ -2039,7 +2540,7 @@ fn wasm_fmin32(a: f32, b: f32) -> f32 {
     }
 }
 
-fn wasm_fmax32(a: f32, b: f32) -> f32 {
+pub(crate) fn wasm_fmax32(a: f32, b: f32) -> f32 {
     if a.is_nan() || b.is_nan() {
         f32::NAN
     } else if a == b {
@@ -2055,7 +2556,7 @@ fn wasm_fmax32(a: f32, b: f32) -> f32 {
     }
 }
 
-fn wasm_fmin64(a: f64, b: f64) -> f64 {
+pub(crate) fn wasm_fmin64(a: f64, b: f64) -> f64 {
     if a.is_nan() || b.is_nan() {
         f64::NAN
     } else if a == b {
@@ -2071,7 +2572,7 @@ fn wasm_fmin64(a: f64, b: f64) -> f64 {
     }
 }
 
-fn wasm_fmax64(a: f64, b: f64) -> f64 {
+pub(crate) fn wasm_fmax64(a: f64, b: f64) -> f64 {
     if a.is_nan() || b.is_nan() {
         f64::NAN
     } else if a == b {
@@ -2087,7 +2588,7 @@ fn wasm_fmax64(a: f64, b: f64) -> f64 {
     }
 }
 
-fn trunc_f32_to_i32_s(a: f32) -> Result<i32, Trap> {
+pub(crate) fn trunc_f32_to_i32_s(a: f32) -> Result<i32, Trap> {
     if a.is_nan() {
         return Err(Trap::InvalidConversion);
     }
@@ -2099,7 +2600,7 @@ fn trunc_f32_to_i32_s(a: f32) -> Result<i32, Trap> {
     }
 }
 
-fn trunc_f32_to_u32(a: f32) -> Result<u32, Trap> {
+pub(crate) fn trunc_f32_to_u32(a: f32) -> Result<u32, Trap> {
     if a.is_nan() {
         return Err(Trap::InvalidConversion);
     }
@@ -2110,7 +2611,7 @@ fn trunc_f32_to_u32(a: f32) -> Result<u32, Trap> {
     }
 }
 
-fn trunc_f64_to_i32_s(a: f64) -> Result<i32, Trap> {
+pub(crate) fn trunc_f64_to_i32_s(a: f64) -> Result<i32, Trap> {
     if a.is_nan() {
         return Err(Trap::InvalidConversion);
     }
@@ -2121,7 +2622,7 @@ fn trunc_f64_to_i32_s(a: f64) -> Result<i32, Trap> {
     }
 }
 
-fn trunc_f64_to_u32(a: f64) -> Result<u32, Trap> {
+pub(crate) fn trunc_f64_to_u32(a: f64) -> Result<u32, Trap> {
     if a.is_nan() {
         return Err(Trap::InvalidConversion);
     }
@@ -2132,7 +2633,7 @@ fn trunc_f64_to_u32(a: f64) -> Result<u32, Trap> {
     }
 }
 
-fn trunc_f32_to_i64_s(a: f32) -> Result<i64, Trap> {
+pub(crate) fn trunc_f32_to_i64_s(a: f32) -> Result<i64, Trap> {
     if a.is_nan() {
         return Err(Trap::InvalidConversion);
     }
@@ -2143,7 +2644,7 @@ fn trunc_f32_to_i64_s(a: f32) -> Result<i64, Trap> {
     }
 }
 
-fn trunc_f32_to_u64(a: f32) -> Result<u64, Trap> {
+pub(crate) fn trunc_f32_to_u64(a: f32) -> Result<u64, Trap> {
     if a.is_nan() {
         return Err(Trap::InvalidConversion);
     }
@@ -2154,7 +2655,7 @@ fn trunc_f32_to_u64(a: f32) -> Result<u64, Trap> {
     }
 }
 
-fn trunc_f64_to_i64_s(a: f64) -> Result<i64, Trap> {
+pub(crate) fn trunc_f64_to_i64_s(a: f64) -> Result<i64, Trap> {
     if a.is_nan() {
         return Err(Trap::InvalidConversion);
     }
@@ -2165,7 +2666,7 @@ fn trunc_f64_to_i64_s(a: f64) -> Result<i64, Trap> {
     }
 }
 
-fn trunc_f64_to_u64(a: f64) -> Result<u64, Trap> {
+pub(crate) fn trunc_f64_to_u64(a: f64) -> Result<u64, Trap> {
     if a.is_nan() {
         return Err(Trap::InvalidConversion);
     }

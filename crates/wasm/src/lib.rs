@@ -12,6 +12,9 @@
 //!   linear [`Memory`](interp::Memory) with hard bounds checks, tables,
 //!   globals, traps, fuel metering and wall-clock deadlines,
 //! * [`instance`] — instantiation, host-function linking and typed calls,
+//! * [`regalloc`] — the register-form execution tier (`ExecMode::Reg`):
+//!   lowers the flat IR into three-address code over a per-frame virtual
+//!   register file, eliminating value-stack traffic from the hot loop,
 //! * [`wat`] — a WAT-subset text assembler for tests and examples,
 //! * [`disasm`] — the inverse: render any decoded module as WAT-style
 //!   text (the operator's pre-deployment inspection tool, §3.A).
@@ -54,6 +57,7 @@ pub mod instr;
 pub mod interp;
 pub mod leb128;
 pub mod module;
+pub mod regalloc;
 pub mod trap;
 pub mod types;
 pub mod validate;

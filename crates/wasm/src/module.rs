@@ -3,6 +3,7 @@
 
 use crate::compile::{CompiledCell, CompiledFunc};
 use crate::instr::Instr;
+use crate::regalloc::{RegCell, RegFunc};
 use crate::types::{FuncType, GlobalType, Limits, ValType};
 
 /// What an import provides.
@@ -62,6 +63,9 @@ pub struct FuncBody {
     /// instance holding the same `Arc<Module>`, so hot swap back to a
     /// cached module re-instantiates without recompiling.
     pub compiled: CompiledCell,
+    /// Lazily lowered register-form IR (see [`crate::regalloc`]), derived
+    /// from the flat IR and cached the same way for `ExecMode::Reg`.
+    pub reg: RegCell,
 }
 
 impl FuncBody {
@@ -72,6 +76,7 @@ impl FuncBody {
             locals,
             code,
             compiled: CompiledCell::new(),
+            reg: RegCell::new(),
         }
     }
 }
@@ -201,6 +206,15 @@ impl Module {
             .get_or_compile(self, local_idx)
     }
 
+    /// The register-form lowering of a module-local function (index into
+    /// [`Module::funcs`]), lowering (and flat-compiling) on first use. The
+    /// body must have been validated.
+    pub fn reg_func(&self, local_idx: u32) -> &RegFunc {
+        self.funcs[local_idx as usize]
+            .reg
+            .get_or_lower(self, local_idx)
+    }
+
     /// Force flat-IR compilation of every function body now.
     ///
     /// Lowering is otherwise lazy (first call per function, behind a
@@ -212,6 +226,7 @@ impl Module {
     pub fn precompile(&self) {
         for local_idx in 0..self.funcs.len() as u32 {
             self.compiled_func(local_idx);
+            self.reg_func(local_idx);
         }
     }
 }
@@ -227,6 +242,7 @@ const _: () = {
     const fn assert_send_sync<T: Send + Sync>() {}
     assert_send_sync::<Module>();
     assert_send_sync::<CompiledFunc>();
+    assert_send_sync::<RegFunc>();
 };
 
 #[cfg(test)]

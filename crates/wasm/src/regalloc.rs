@@ -1,0 +1,2227 @@
+//! Register-form lowering of the flat IR: the `ExecMode::Reg` tier.
+//!
+//! A per-function abstract-interpretation pass walks the already-lowered
+//! [`CompiledFunc`] (so side-table branches, basic-block fuel metering,
+//! superinstruction fusion and leaf-call inlining all carry forward for
+//! free) and assigns every operand-stack slot a *virtual register* in a
+//! flat, frame-indexed register file:
+//!
+//! * registers `0 .. n_locals` are the wasm locals (local `i` *is*
+//!   register `i`),
+//! * the stack cell at frame height `h` is register `n_locals + h`.
+//!
+//! Ops become three-address form (`dst`, `lhs`, `rhs` indices into one
+//! `[Value]` frame) and push/pop traffic disappears from the interpreter
+//! loop. The pass additionally tracks three abstract value kinds per
+//! stack cell — materialized [`Abs::Slot`], lazy local alias
+//! [`Abs::Local`] and lazy constant [`Abs::Const`] — so `local.get`,
+//! `const` and most copies are *deleted* rather than merely cheapened,
+//! folds constant i32 arithmetic, and re-fuses compare-and-branch over
+//! register operands ([`ROp::BrIfCmp`]/[`ROp::BrIfCmpC`]).
+//!
+//! Fuel accounting is unchanged: every flat [`Op::Meter`] lowers to an
+//! [`ROp::Meter`] with the *same* `cost` (source-instruction count of the
+//! basic block), so fuel totals and `OutOfFuel` points stay bit-identical
+//! with the other two tiers. The value-stack bound is enforced against
+//! the *virtual* stack height (`vbase + entry + peak`), which equals the
+//! flat tier's `stack.len() + peak` at every meter.
+//!
+//! Calls pass arguments by *register-window overlap*: the callee's frame
+//! base is placed exactly where the caller materialized the arguments, so
+//! a wasm→wasm call copies nothing.
+
+use std::sync::OnceLock;
+
+use crate::compile::{CompiledFunc, I32Op, Op};
+use crate::instance::{
+    trunc_f32_to_i32_s, trunc_f32_to_i64_s, trunc_f32_to_u32, trunc_f32_to_u64, trunc_f64_to_i32_s,
+    trunc_f64_to_i64_s, trunc_f64_to_u32, trunc_f64_to_u64, wasm_fmax32, wasm_fmax64, wasm_fmin32,
+    wasm_fmin64,
+};
+use crate::interp::Value;
+use crate::module::Module;
+use crate::trap::Trap;
+
+/// Defines an operator enum whose variants mirror a subset of [`Op`]
+/// one-to-one, plus the `from_op` table that maps them over.
+macro_rules! mirror_ops {
+    ($(#[$meta:meta])* $name:ident: $($v:ident),* $(,)?) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+        pub enum $name { $($v),* }
+        impl $name {
+            pub(crate) fn from_op(op: Op) -> Option<$name> {
+                match op {
+                    $(Op::$v => Some($name::$v),)*
+                    _ => None,
+                }
+            }
+        }
+    };
+}
+
+mirror_ops! {
+    /// Non-trapping i64 binary operators (arithmetic and comparisons;
+    /// comparisons produce an i32).
+    I64Op:
+    I64Add, I64Sub, I64Mul, I64And, I64Or, I64Xor, I64Shl, I64ShrS, I64ShrU,
+    I64Rotl, I64Rotr, I64Eq, I64Ne, I64LtS, I64LtU, I64GtS, I64GtU, I64LeS,
+    I64LeU, I64GeS, I64GeU,
+}
+
+impl I64Op {
+    #[inline(always)]
+    pub(crate) fn eval(self, a: i64, b: i64) -> Value {
+        use I64Op::*;
+        match self {
+            I64Add => Value::I64(a.wrapping_add(b)),
+            I64Sub => Value::I64(a.wrapping_sub(b)),
+            I64Mul => Value::I64(a.wrapping_mul(b)),
+            I64And => Value::I64(a & b),
+            I64Or => Value::I64(a | b),
+            I64Xor => Value::I64(a ^ b),
+            I64Shl => Value::I64(a.wrapping_shl(b as u32)),
+            I64ShrS => Value::I64(a.wrapping_shr(b as u32)),
+            I64ShrU => Value::I64(((a as u64).wrapping_shr(b as u32)) as i64),
+            I64Rotl => Value::I64(a.rotate_left(b as u32 & 63)),
+            I64Rotr => Value::I64(a.rotate_right(b as u32 & 63)),
+            I64Eq => Value::I32((a == b) as i32),
+            I64Ne => Value::I32((a != b) as i32),
+            I64LtS => Value::I32((a < b) as i32),
+            I64LtU => Value::I32(((a as u64) < (b as u64)) as i32),
+            I64GtS => Value::I32((a > b) as i32),
+            I64GtU => Value::I32(((a as u64) > (b as u64)) as i32),
+            I64LeS => Value::I32((a <= b) as i32),
+            I64LeU => Value::I32(((a as u64) <= (b as u64)) as i32),
+            I64GeS => Value::I32((a >= b) as i32),
+            I64GeU => Value::I32(((a as u64) >= (b as u64)) as i32),
+        }
+    }
+}
+
+mirror_ops! {
+    /// Binary operators that either trap (integer div/rem) or operate on
+    /// floats — the generic [`ROp::Bin`] payload. Kept out of the hot
+    /// [`ROp::I32Bin`]/[`ROp::I64Bin`] paths.
+    BinOp:
+    I32DivS, I32DivU, I32RemS, I32RemU, I64DivS, I64DivU, I64RemS, I64RemU,
+    F32Eq, F32Ne, F32Lt, F32Gt, F32Le, F32Ge,
+    F64Eq, F64Ne, F64Lt, F64Gt, F64Le, F64Ge,
+    F32Add, F32Sub, F32Mul, F32Div, F32Min, F32Max, F32Copysign,
+    F64Add, F64Sub, F64Mul, F64Div, F64Min, F64Max, F64Copysign,
+}
+
+impl BinOp {
+    #[inline(always)]
+    pub(crate) fn eval(self, a: Value, b: Value) -> Result<Value, Trap> {
+        use BinOp::*;
+        Ok(match self {
+            I32DivS => {
+                let (a, b) = (a.as_i32(), b.as_i32());
+                if b == 0 {
+                    return Err(Trap::IntegerDivByZero);
+                }
+                if a == i32::MIN && b == -1 {
+                    return Err(Trap::IntegerOverflow);
+                }
+                Value::I32(a.wrapping_div(b))
+            }
+            I32DivU => {
+                let (a, b) = (a.as_i32(), b.as_i32());
+                if b == 0 {
+                    return Err(Trap::IntegerDivByZero);
+                }
+                Value::I32(((a as u32) / (b as u32)) as i32)
+            }
+            I32RemS => {
+                let (a, b) = (a.as_i32(), b.as_i32());
+                if b == 0 {
+                    return Err(Trap::IntegerDivByZero);
+                }
+                Value::I32(a.wrapping_rem(b))
+            }
+            I32RemU => {
+                let (a, b) = (a.as_i32(), b.as_i32());
+                if b == 0 {
+                    return Err(Trap::IntegerDivByZero);
+                }
+                Value::I32(((a as u32) % (b as u32)) as i32)
+            }
+            I64DivS => {
+                let (a, b) = (a.as_i64(), b.as_i64());
+                if b == 0 {
+                    return Err(Trap::IntegerDivByZero);
+                }
+                if a == i64::MIN && b == -1 {
+                    return Err(Trap::IntegerOverflow);
+                }
+                Value::I64(a.wrapping_div(b))
+            }
+            I64DivU => {
+                let (a, b) = (a.as_i64(), b.as_i64());
+                if b == 0 {
+                    return Err(Trap::IntegerDivByZero);
+                }
+                Value::I64(((a as u64) / (b as u64)) as i64)
+            }
+            I64RemS => {
+                let (a, b) = (a.as_i64(), b.as_i64());
+                if b == 0 {
+                    return Err(Trap::IntegerDivByZero);
+                }
+                Value::I64(a.wrapping_rem(b))
+            }
+            I64RemU => {
+                let (a, b) = (a.as_i64(), b.as_i64());
+                if b == 0 {
+                    return Err(Trap::IntegerDivByZero);
+                }
+                Value::I64(((a as u64) % (b as u64)) as i64)
+            }
+            F32Eq => Value::I32((a.as_f32() == b.as_f32()) as i32),
+            F32Ne => Value::I32((a.as_f32() != b.as_f32()) as i32),
+            F32Lt => Value::I32((a.as_f32() < b.as_f32()) as i32),
+            F32Gt => Value::I32((a.as_f32() > b.as_f32()) as i32),
+            F32Le => Value::I32((a.as_f32() <= b.as_f32()) as i32),
+            F32Ge => Value::I32((a.as_f32() >= b.as_f32()) as i32),
+            F64Eq => Value::I32((a.as_f64() == b.as_f64()) as i32),
+            F64Ne => Value::I32((a.as_f64() != b.as_f64()) as i32),
+            F64Lt => Value::I32((a.as_f64() < b.as_f64()) as i32),
+            F64Gt => Value::I32((a.as_f64() > b.as_f64()) as i32),
+            F64Le => Value::I32((a.as_f64() <= b.as_f64()) as i32),
+            F64Ge => Value::I32((a.as_f64() >= b.as_f64()) as i32),
+            F32Add => Value::F32(a.as_f32() + b.as_f32()),
+            F32Sub => Value::F32(a.as_f32() - b.as_f32()),
+            F32Mul => Value::F32(a.as_f32() * b.as_f32()),
+            F32Div => Value::F32(a.as_f32() / b.as_f32()),
+            F32Min => Value::F32(wasm_fmin32(a.as_f32(), b.as_f32())),
+            F32Max => Value::F32(wasm_fmax32(a.as_f32(), b.as_f32())),
+            F32Copysign => Value::F32(a.as_f32().copysign(b.as_f32())),
+            F64Add => Value::F64(a.as_f64() + b.as_f64()),
+            F64Sub => Value::F64(a.as_f64() - b.as_f64()),
+            F64Mul => Value::F64(a.as_f64() * b.as_f64()),
+            F64Div => Value::F64(a.as_f64() / b.as_f64()),
+            F64Min => Value::F64(wasm_fmin64(a.as_f64(), b.as_f64())),
+            F64Max => Value::F64(wasm_fmax64(a.as_f64(), b.as_f64())),
+            F64Copysign => Value::F64(a.as_f64().copysign(b.as_f64())),
+        })
+    }
+}
+
+mirror_ops! {
+    /// Unary operators (unops, conversions, reinterprets, saturating and
+    /// trapping truncations) — the [`ROp::Un`] payload.
+    UnOp:
+    I32Eqz, I32Clz, I32Ctz, I32Popcnt,
+    I64Eqz, I64Clz, I64Ctz, I64Popcnt,
+    F32Abs, F32Neg, F32Ceil, F32Floor, F32Trunc, F32Nearest, F32Sqrt,
+    F64Abs, F64Neg, F64Ceil, F64Floor, F64Trunc, F64Nearest, F64Sqrt,
+    I32WrapI64, I32TruncF32S, I32TruncF32U, I32TruncF64S, I32TruncF64U,
+    I64ExtendI32S, I64ExtendI32U, I64TruncF32S, I64TruncF32U, I64TruncF64S,
+    I64TruncF64U, F32ConvertI32S, F32ConvertI32U, F32ConvertI64S,
+    F32ConvertI64U, F32DemoteF64, F64ConvertI32S, F64ConvertI32U,
+    F64ConvertI64S, F64ConvertI64U, F64PromoteF32, I32ReinterpretF32,
+    I64ReinterpretF64, F32ReinterpretI32, F64ReinterpretI64,
+    I32Extend8S, I32Extend16S, I64Extend8S, I64Extend16S, I64Extend32S,
+    I32TruncSatF32S, I32TruncSatF32U, I32TruncSatF64S, I32TruncSatF64U,
+    I64TruncSatF32S, I64TruncSatF32U, I64TruncSatF64S, I64TruncSatF64U,
+}
+
+impl UnOp {
+    #[inline(always)]
+    pub(crate) fn eval(self, a: Value) -> Result<Value, Trap> {
+        use UnOp::*;
+        Ok(match self {
+            I32Eqz => Value::I32((a.as_i32() == 0) as i32),
+            I32Clz => Value::I32(a.as_i32().leading_zeros() as i32),
+            I32Ctz => Value::I32(a.as_i32().trailing_zeros() as i32),
+            I32Popcnt => Value::I32(a.as_i32().count_ones() as i32),
+            I64Eqz => Value::I32((a.as_i64() == 0) as i32),
+            I64Clz => Value::I64(a.as_i64().leading_zeros() as i64),
+            I64Ctz => Value::I64(a.as_i64().trailing_zeros() as i64),
+            I64Popcnt => Value::I64(a.as_i64().count_ones() as i64),
+            F32Abs => Value::F32(a.as_f32().abs()),
+            F32Neg => Value::F32(-a.as_f32()),
+            F32Ceil => Value::F32(a.as_f32().ceil()),
+            F32Floor => Value::F32(a.as_f32().floor()),
+            F32Trunc => Value::F32(a.as_f32().trunc()),
+            F32Nearest => Value::F32(a.as_f32().round_ties_even()),
+            F32Sqrt => Value::F32(a.as_f32().sqrt()),
+            F64Abs => Value::F64(a.as_f64().abs()),
+            F64Neg => Value::F64(-a.as_f64()),
+            F64Ceil => Value::F64(a.as_f64().ceil()),
+            F64Floor => Value::F64(a.as_f64().floor()),
+            F64Trunc => Value::F64(a.as_f64().trunc()),
+            F64Nearest => Value::F64(a.as_f64().round_ties_even()),
+            F64Sqrt => Value::F64(a.as_f64().sqrt()),
+            I32WrapI64 => Value::I32(a.as_i64() as i32),
+            I32TruncF32S => Value::I32(trunc_f32_to_i32_s(a.as_f32())?),
+            I32TruncF32U => Value::I32(trunc_f32_to_u32(a.as_f32())? as i32),
+            I32TruncF64S => Value::I32(trunc_f64_to_i32_s(a.as_f64())?),
+            I32TruncF64U => Value::I32(trunc_f64_to_u32(a.as_f64())? as i32),
+            I64ExtendI32S => Value::I64(a.as_i32() as i64),
+            I64ExtendI32U => Value::I64(a.as_i32() as u32 as i64),
+            I64TruncF32S => Value::I64(trunc_f32_to_i64_s(a.as_f32())?),
+            I64TruncF32U => Value::I64(trunc_f32_to_u64(a.as_f32())? as i64),
+            I64TruncF64S => Value::I64(trunc_f64_to_i64_s(a.as_f64())?),
+            I64TruncF64U => Value::I64(trunc_f64_to_u64(a.as_f64())? as i64),
+            F32ConvertI32S => Value::F32(a.as_i32() as f32),
+            F32ConvertI32U => Value::F32(a.as_i32() as u32 as f32),
+            F32ConvertI64S => Value::F32(a.as_i64() as f32),
+            F32ConvertI64U => Value::F32(a.as_i64() as u64 as f32),
+            F32DemoteF64 => Value::F32(a.as_f64() as f32),
+            F64ConvertI32S => Value::F64(a.as_i32() as f64),
+            F64ConvertI32U => Value::F64(a.as_i32() as u32 as f64),
+            F64ConvertI64S => Value::F64(a.as_i64() as f64),
+            F64ConvertI64U => Value::F64(a.as_i64() as u64 as f64),
+            F64PromoteF32 => Value::F64(a.as_f32() as f64),
+            I32ReinterpretF32 => Value::I32(a.as_f32().to_bits() as i32),
+            I64ReinterpretF64 => Value::I64(a.as_f64().to_bits() as i64),
+            F32ReinterpretI32 => Value::F32(f32::from_bits(a.as_i32() as u32)),
+            F64ReinterpretI64 => Value::F64(f64::from_bits(a.as_i64() as u64)),
+            I32Extend8S => Value::I32(a.as_i32() as i8 as i32),
+            I32Extend16S => Value::I32(a.as_i32() as i16 as i32),
+            I64Extend8S => Value::I64(a.as_i64() as i8 as i64),
+            I64Extend16S => Value::I64(a.as_i64() as i16 as i64),
+            I64Extend32S => Value::I64(a.as_i64() as i32 as i64),
+            I32TruncSatF32S => Value::I32(a.as_f32() as i32),
+            I32TruncSatF32U => Value::I32(a.as_f32() as u32 as i32),
+            I32TruncSatF64S => Value::I32(a.as_f64() as i32),
+            I32TruncSatF64U => Value::I32(a.as_f64() as u32 as i32),
+            I64TruncSatF32S => Value::I64(a.as_f32() as i64),
+            I64TruncSatF32U => Value::I64(a.as_f32() as u64 as i64),
+            I64TruncSatF64S => Value::I64(a.as_f64() as i64),
+            I64TruncSatF64U => Value::I64(a.as_f64() as u64 as i64),
+        })
+    }
+}
+
+/// Memory load flavour: result type plus access width/extension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadKind {
+    I32,
+    I64,
+    F32,
+    F64,
+    I32S8,
+    I32U8,
+    I32S16,
+    I32U16,
+    I64S8,
+    I64U8,
+    I64S16,
+    I64U16,
+    I64S32,
+    I64U32,
+}
+
+/// Memory store flavour: operand type plus stored width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreKind {
+    I32,
+    I64,
+    F32,
+    F64,
+    I32Lo8,
+    I32Lo16,
+    I64Lo8,
+    I64Lo16,
+    I64Lo32,
+}
+
+impl LoadKind {
+    fn from_op(op: Op) -> Option<(LoadKind, u32)> {
+        Some(match op {
+            Op::I32Load(off) => (LoadKind::I32, off),
+            Op::I64Load(off) => (LoadKind::I64, off),
+            Op::F32Load(off) => (LoadKind::F32, off),
+            Op::F64Load(off) => (LoadKind::F64, off),
+            Op::I32Load8S(off) => (LoadKind::I32S8, off),
+            Op::I32Load8U(off) => (LoadKind::I32U8, off),
+            Op::I32Load16S(off) => (LoadKind::I32S16, off),
+            Op::I32Load16U(off) => (LoadKind::I32U16, off),
+            Op::I64Load8S(off) => (LoadKind::I64S8, off),
+            Op::I64Load8U(off) => (LoadKind::I64U8, off),
+            Op::I64Load16S(off) => (LoadKind::I64S16, off),
+            Op::I64Load16U(off) => (LoadKind::I64U16, off),
+            Op::I64Load32S(off) => (LoadKind::I64S32, off),
+            Op::I64Load32U(off) => (LoadKind::I64U32, off),
+            _ => return None,
+        })
+    }
+}
+
+impl StoreKind {
+    fn from_op(op: Op) -> Option<(StoreKind, u32)> {
+        Some(match op {
+            Op::I32Store(off) => (StoreKind::I32, off),
+            Op::I64Store(off) => (StoreKind::I64, off),
+            Op::F32Store(off) => (StoreKind::F32, off),
+            Op::F64Store(off) => (StoreKind::F64, off),
+            Op::I32Store8(off) => (StoreKind::I32Lo8, off),
+            Op::I32Store16(off) => (StoreKind::I32Lo16, off),
+            Op::I64Store8(off) => (StoreKind::I64Lo8, off),
+            Op::I64Store16(off) => (StoreKind::I64Lo16, off),
+            Op::I64Store32(off) => (StoreKind::I64Lo32, off),
+            _ => return None,
+        })
+    }
+}
+
+/// One register-form operation. All register operands (`dst`/`a`/`b`/…)
+/// index the current frame's register window (`frame.base + reg`);
+/// branch-carrying ops index [`RegFunc::branches`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ROp {
+    /// Basic-block header: identical fuel/deadline semantics to
+    /// [`Op::Meter`]; `entry` is the abstract stack height at block entry
+    /// so the value-stack bound check is `vbase + entry + peak`.
+    Meter {
+        cost: u32,
+        entry: u32,
+        peak: u32,
+    },
+    Unreachable,
+    Br(u32),
+    /// Branch when `regs[cond] != 0`.
+    BrIf {
+        cond: u32,
+        br: u32,
+    },
+    /// Branch when `regs[cond] == 0`.
+    BrIfZ {
+        cond: u32,
+        br: u32,
+    },
+    /// Branch when `op(regs[a], regs[b])` holds (fused compare+br_if over
+    /// arbitrary registers — subsumes the flat tier's `BrIfLL`).
+    BrIfCmp {
+        op: I32Op,
+        a: u32,
+        b: u32,
+        br: u32,
+    },
+    /// Branch when `op(regs[a], k)` holds.
+    BrIfCmpC {
+        op: I32Op,
+        a: u32,
+        k: i32,
+        br: u32,
+    },
+    /// Take `branches[start + min(regs[sel], n)]`.
+    BrTable {
+        sel: u32,
+        start: u32,
+        n: u32,
+    },
+    /// Move `regs[src]` to register 0 of the frame (when `ret_arity == 1`)
+    /// and pop the frame.
+    Return {
+        src: u32,
+    },
+    /// Call local function `f`; its frame starts at register `base`, where
+    /// the arguments are already materialized (register-window overlap —
+    /// nothing is copied).
+    CallWasm {
+        f: u32,
+        base: u32,
+    },
+    /// Call imported host function `f`; `argc` args start at `base` and
+    /// the result (decoded from `ret` as in [`Op::CallHost`]) lands at
+    /// `base`.
+    CallHost {
+        f: u32,
+        base: u32,
+        argc: u16,
+        ret: u8,
+    },
+    /// Indirect call through the table; the selector sits at
+    /// `base + argc(ty)`, the args at `base`.
+    CallIndirect {
+        ty: u32,
+        base: u32,
+    },
+    Copy {
+        dst: u32,
+        src: u32,
+    },
+    ConstI32 {
+        dst: u32,
+        k: i32,
+    },
+    /// Load a non-i32 constant from [`RegFunc::consts`].
+    Const {
+        dst: u32,
+        idx: u32,
+    },
+    /// `dst` already holds the true-arm value; replace it with `regs[b]`
+    /// when `regs[cond] == 0`.
+    Select {
+        dst: u32,
+        cond: u32,
+        b: u32,
+    },
+    GlobalGet {
+        dst: u32,
+        g: u32,
+    },
+    GlobalSet {
+        g: u32,
+        src: u32,
+    },
+    MemorySize {
+        dst: u32,
+    },
+    MemoryGrow {
+        dst: u32,
+        delta: u32,
+    },
+    MemoryCopy {
+        dst: u32,
+        src: u32,
+        len: u32,
+    },
+    MemoryFill {
+        dst: u32,
+        val: u32,
+        len: u32,
+    },
+    /// `regs[dst] = op(regs[a], regs[b])` — the hot i32 path.
+    I32Bin {
+        op: I32Op,
+        dst: u32,
+        a: u32,
+        b: u32,
+    },
+    /// `regs[dst] = op(regs[a], k)`.
+    I32BinC {
+        op: I32Op,
+        dst: u32,
+        a: u32,
+        k: i32,
+    },
+    /// `regs[dst] = op(regs[a], regs[b])` on i64 operands.
+    I64Bin {
+        op: I64Op,
+        dst: u32,
+        a: u32,
+        b: u32,
+    },
+    /// Trapping/float binop.
+    Bin {
+        op: BinOp,
+        dst: u32,
+        a: u32,
+        b: u32,
+    },
+    /// Unop/conversion.
+    Un {
+        op: UnOp,
+        dst: u32,
+        a: u32,
+    },
+    /// `regs[dst] = load(regs[addr] + off)`.
+    Load {
+        kind: LoadKind,
+        dst: u32,
+        addr: u32,
+        off: u32,
+    },
+    /// `store(regs[addr] + off, regs[val])`.
+    Store {
+        kind: StoreKind,
+        addr: u32,
+        val: u32,
+        off: u32,
+    },
+    /// `regs[dst] = load((regs[a] +wrap k) + off)` — an address-compute
+    /// `i32.add const` folded into the access. The i32 add wraps exactly
+    /// like the standalone op did, then the static offset extends to u64,
+    /// so bounds/trap behaviour is bit-identical to the two-op sequence.
+    LoadAt {
+        kind: LoadKind,
+        dst: u32,
+        a: u16,
+        k: i32,
+        off: u32,
+    },
+    /// `regs[dst] = load((regs[a] +wrap regs[b]) + off)` — the
+    /// register-register address form (`base + scaled index`).
+    LoadRR {
+        kind: LoadKind,
+        dst: u32,
+        a: u16,
+        b: u16,
+        off: u32,
+    },
+    /// `store((regs[a] +wrap k) + off, regs[val])`.
+    StoreAt {
+        kind: StoreKind,
+        a: u16,
+        k: i32,
+        val: u16,
+        off: u32,
+    },
+    /// `store((regs[a] +wrap regs[b]) + off, regs[val])`.
+    StoreRR {
+        kind: StoreKind,
+        a: u16,
+        b: u16,
+        val: u16,
+        off: u32,
+    },
+    /// `regs[dst] = load((regs[a] +wrap (regs[b] <<wrap sh) +wrap k) + off)`
+    /// — a whole base-index-scale-displacement address chain (up to three
+    /// adds/shifts/muls) folded into the access. Every removed op was a
+    /// non-trapping wrapping i32 op, so folding preserves trap order, and
+    /// wrapping add/shift are associative so the sum is bit-identical.
+    LoadBis {
+        kind: LoadKind,
+        dst: u16,
+        a: u16,
+        b: u16,
+        sh: u8,
+        k: i16,
+        off: u32,
+    },
+    /// `store((regs[a] +wrap (regs[b] <<wrap sh) +wrap k) + off, regs[val])`.
+    StoreBis {
+        kind: StoreKind,
+        a: u16,
+        b: u16,
+        sh: u8,
+        k: i16,
+        val: u16,
+        off: u32,
+    },
+    /// `store((regs[a] +wrap k) + off, v)` — a constant store value folded
+    /// in as raw bits (i32 value or f32 bit pattern, per `kind`), so the
+    /// constant never needs a register at all.
+    StoreCAt {
+        kind: StoreKind,
+        a: u16,
+        k: i32,
+        v: u32,
+        off: u32,
+    },
+}
+
+impl ROp {
+    /// Registers-only result slot of a *pure* op — the set the lowering
+    /// pass may retarget when fusing a `local.set`/`local.tee` write-back.
+    fn dst_mut(&mut self) -> Option<&mut u32> {
+        match self {
+            ROp::I32Bin { dst, .. }
+            | ROp::I32BinC { dst, .. }
+            | ROp::I64Bin { dst, .. }
+            | ROp::Bin { dst, .. }
+            | ROp::Un { dst, .. }
+            | ROp::Load { dst, .. }
+            | ROp::LoadAt { dst, .. }
+            | ROp::LoadRR { dst, .. }
+            | ROp::GlobalGet { dst, .. }
+            | ROp::MemorySize { dst } => Some(dst),
+            _ => None,
+        }
+    }
+}
+
+/// A branch descriptor for the register tier: jump to `pc` after moving
+/// the `n` carried values from registers `src..src+n` down to
+/// `dst..dst+n` (`n == 0` when source and destination windows coincide).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RBranch {
+    pub pc: u32,
+    pub src: u32,
+    pub dst: u32,
+    pub n: u32,
+}
+
+/// A function body lowered to register form, ready to execute.
+#[derive(Debug, Clone)]
+pub struct RegFunc {
+    pub ops: Box<[ROp]>,
+    pub branches: Box<[RBranch]>,
+    /// Pool for non-i32 constants referenced by [`ROp::Const`].
+    pub consts: Box<[Value]>,
+    /// Zero-values for the declared (non-parameter) locals.
+    pub locals_init: Box<[Value]>,
+    pub argc: u32,
+    pub ret_arity: u32,
+    /// Locals (params + declared): registers `0..n_locals`.
+    pub n_locals: u32,
+    /// Total registers the frame needs (`n_locals` + max stack height).
+    pub frame_size: u32,
+}
+
+/// Per-function lazily-lowered register body, cached exactly like
+/// `CompiledCell` caches the flat form.
+#[derive(Debug, Default)]
+pub struct RegCell(OnceLock<RegFunc>);
+
+impl RegCell {
+    pub const fn new() -> Self {
+        RegCell(OnceLock::new())
+    }
+
+    pub fn get_or_lower(&self, module: &Module, local_idx: u32) -> &RegFunc {
+        self.0.get_or_init(|| lower_func(module, local_idx))
+    }
+}
+
+impl Clone for RegCell {
+    fn clone(&self) -> Self {
+        let cell = RegCell::new();
+        if let Some(rf) = self.0.get() {
+            let _ = cell.0.set(rf.clone());
+        }
+        cell
+    }
+}
+
+impl PartialEq for RegCell {
+    /// Lowering is a pure function of the body; the cache never affects
+    /// module equality.
+    fn eq(&self, _other: &Self) -> bool {
+        true
+    }
+}
+
+/// Abstract value of one operand-stack cell during lowering. `Slot` means
+/// the value is materialized in its stack register; the other two are
+/// lazy and emit *nothing* until a consumer or a control-flow merge
+/// forces them into a register.
+#[derive(Debug, Clone, Copy)]
+enum Abs {
+    Slot,
+    Local(u32),
+    Const(Value),
+}
+
+/// Operand source for the unified i32-binop lowering helper.
+#[derive(Clone, Copy)]
+enum BinSrc {
+    /// Abstract stack cell (index into the lowering stack; popped).
+    Stack(usize),
+    /// Local register (from a flat fused form; not on the stack).
+    Local(u32),
+    /// Immediate (from a flat fused form).
+    Konst(i32),
+}
+
+struct Lowerer<'m> {
+    module: &'m Module,
+    cf: &'m CompiledFunc,
+    n_locals: u32,
+    rops: Vec<ROp>,
+    rbranches: Vec<RBranch>,
+    consts: Vec<Value>,
+    stack: Vec<Abs>,
+    /// Max abstract stack height seen (drives `frame_size`).
+    max_h: u32,
+    /// flat pc -> register-form pc.
+    pc_map: Vec<u32>,
+    /// Whether the current flat pc is reachable; dead ops lower to
+    /// nothing (they still get a pc mapping for the side table).
+    reachable: bool,
+    /// `(rop index, dst register)` of the last emitted op when it is pure
+    /// and retargetable — fuel for write-back and compare-branch fusion.
+    last_pure: Option<(usize, u32)>,
+    /// Live address-expression fusion candidates (see [`Pending`]); unlike
+    /// `last_pure` they survive intervening pure ops, so a store value
+    /// computed between an address chain and the store still fuses, and
+    /// multi-op chains (`base + idx*scale + disp`) compose across entries.
+    pendings: Vec<Pending>,
+}
+
+/// Lower `module`'s local function `local_idx` from flat to register
+/// form. Requires (and triggers) the flat compilation.
+pub fn lower_func(module: &Module, local_idx: u32) -> RegFunc {
+    let cf = module.compiled_func(local_idx);
+    let n_locals = cf.argc + cf.locals_init.len() as u32;
+
+    // Entry stack height of every branch target (u32::MAX = not a
+    // target): the target block starts at `height` plus the carried
+    // values. Function-level targets point at the shared `Return`
+    // trampoline and recover `ret_arity` the same way.
+    let mut entry_height = vec![u32::MAX; cf.ops.len()];
+    for bt in cf.branches.iter() {
+        entry_height[bt.pc as usize] = bt.height + bt.arity as u32;
+    }
+
+    let mut lw = Lowerer {
+        module,
+        cf,
+        n_locals,
+        rops: Vec::with_capacity(cf.ops.len()),
+        rbranches: cf
+            .branches
+            .iter()
+            .map(|bt| RBranch {
+                pc: bt.pc,
+                src: 0,
+                dst: 0,
+                n: 0,
+            })
+            .collect(),
+        consts: Vec::new(),
+        stack: Vec::new(),
+        max_h: 0,
+        pc_map: vec![0; cf.ops.len()],
+        reachable: true,
+        last_pure: None,
+        pendings: Vec::with_capacity(PENDING_CAP),
+    };
+
+    for pc in 0..cf.ops.len() {
+        lw.lower_op(pc, cf.ops[pc], &entry_height);
+    }
+
+    // Retarget the side table from flat pcs to register-form pcs.
+    let mut rbranches = lw.rbranches;
+    for rb in &mut rbranches {
+        rb.pc = lw.pc_map[rb.pc as usize];
+    }
+
+    RegFunc {
+        ops: lw.rops.into_boxed_slice(),
+        branches: rbranches.into_boxed_slice(),
+        consts: lw.consts.into_boxed_slice(),
+        locals_init: cf.locals_init.clone(),
+        argc: cf.argc,
+        ret_arity: cf.ret_arity,
+        n_locals,
+        frame_size: n_locals + lw.max_h,
+    }
+}
+
+impl Lowerer<'_> {
+    fn h(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// Register of stack cell `i`.
+    fn slot(&self, i: usize) -> u32 {
+        self.n_locals + i as u32
+    }
+
+    fn push(&mut self, a: Abs) {
+        self.stack.push(a);
+        self.max_h = self.max_h.max(self.stack.len() as u32);
+    }
+
+    fn emit(&mut self, op: ROp) {
+        self.last_pure = None;
+        self.pendings.clear();
+        self.rops.push(op);
+    }
+
+    /// Expression currently held by register `r`, plus the pending entry
+    /// (by index) that computes it, when one is live.
+    fn resolve(&self, r: u32) -> (AddrExpr, Option<usize>) {
+        match self.pendings.iter().position(|p| p.dst == r) {
+            Some(i) => (self.pendings[i].expr, Some(i)),
+            None => (AddrExpr::leaf(r), None),
+        }
+    }
+
+    /// When `op` extends an address computation, build the composed
+    /// pending entry it would create (chaining through entries its
+    /// operands resolve to). `at` is the rop index `op` will occupy.
+    fn addr_candidate(&self, op: &ROp, dst: u32, at: usize) -> Option<Pending> {
+        let single = |expr| Pending::single(at, dst, expr);
+        match *op {
+            ROp::I32BinC {
+                op: I32Op::Add,
+                dst: d,
+                a,
+                k,
+            } if d == dst => {
+                let (ea, src) = self.resolve(a);
+                let expr = AddrExpr {
+                    k: ea.k.wrapping_add(k),
+                    ..ea
+                };
+                match src {
+                    Some(i) => Pending::chained(at, dst, expr, Some(&self.pendings[i]), None).or(
+                        Some(single(AddrExpr {
+                            k,
+                            ..AddrExpr::leaf(a)
+                        })),
+                    ),
+                    None => Some(single(expr)),
+                }
+            }
+            ROp::I32BinC {
+                op: I32Op::Mul,
+                dst: d,
+                a,
+                k,
+            } if d == dst && k > 0 => {
+                let sh = (k as u32)
+                    .is_power_of_two()
+                    .then(|| k.trailing_zeros() as u8)?;
+                let (ea, src) = self.resolve(a);
+                match src.and_then(|i| Some((ea.shl(sh)?, i))) {
+                    Some((expr, i)) => {
+                        Pending::chained(at, dst, expr, Some(&self.pendings[i]), None)
+                            .or(Some(single(AddrExpr::leaf(a).shl(sh)?)))
+                    }
+                    None => Some(single(AddrExpr::leaf(a).shl(sh)?)),
+                }
+            }
+            ROp::I32BinC {
+                op: I32Op::Shl,
+                dst: d,
+                a,
+                k,
+            } if d == dst && (0..32).contains(&k) => {
+                let sh = k as u8;
+                let (ea, src) = self.resolve(a);
+                match src.and_then(|i| Some((ea.shl(sh)?, i))) {
+                    Some((expr, i)) => {
+                        Pending::chained(at, dst, expr, Some(&self.pendings[i]), None)
+                            .or(Some(single(AddrExpr::leaf(a).shl(sh)?)))
+                    }
+                    None => Some(single(AddrExpr::leaf(a).shl(sh)?)),
+                }
+            }
+            ROp::I32Bin {
+                op: I32Op::Add,
+                dst: d,
+                a,
+                b,
+            } if d == dst && a != b => {
+                let (ea, sa) = self.resolve(a);
+                let (eb, sb) = self.resolve(b);
+                let fallback = || AddrExpr::leaf(a).add(AddrExpr::leaf(b)).map(single);
+                match ea.add(eb) {
+                    Some(expr) => Pending::chained(
+                        at,
+                        dst,
+                        expr,
+                        sa.map(|i| &self.pendings[i]),
+                        sb.map(|i| &self.pendings[i]),
+                    )
+                    .or_else(fallback),
+                    None => fallback(),
+                }
+            }
+            _ => None,
+        }
+    }
+
+    fn emit_pure(&mut self, op: ROp, dst: u32) {
+        let at = self.rops.len();
+        // Compose a new address-chain candidate *before* the kill pass, so
+        // entries this op consumes transfer their emitted ops into it.
+        let cand = self.addr_candidate(&op, dst, at);
+        // Kill every entry the op invalidates: result register overwritten,
+        // a leaf operand overwritten, or its result consumed here (the
+        // consumed chain either transfers into `cand` or must stay emitted).
+        match pure_reads(&op) {
+            Some(reads) => self
+                .pendings
+                .retain(|e| e.dst != dst && !e.expr.uses(dst) && !reads.contains(&e.dst)),
+            None => self.pendings.clear(),
+        }
+        self.rops.push(op);
+        self.last_pure = Some((at, dst));
+        if let Some(p) = cand {
+            if self.pendings.len() == PENDING_CAP {
+                self.pendings.remove(0);
+            }
+            self.pendings.push(p);
+        }
+    }
+
+    fn const_idx(&mut self, v: Value) -> u32 {
+        if let Some(i) = self.consts.iter().position(|c| c == &v) {
+            return i as u32;
+        }
+        self.consts.push(v);
+        (self.consts.len() - 1) as u32
+    }
+
+    fn emit_const_to(&mut self, dst: u32, v: Value) {
+        match v {
+            Value::I32(k) => self.emit(ROp::ConstI32 { dst, k }),
+            v => {
+                let idx = self.const_idx(v);
+                self.emit(ROp::Const { dst, idx });
+            }
+        }
+    }
+
+    /// Force stack cell `i` into its register.
+    fn materialize(&mut self, i: usize) {
+        match self.stack[i] {
+            Abs::Slot => {}
+            Abs::Local(l) => {
+                let dst = self.slot(i);
+                self.emit(ROp::Copy { dst, src: l });
+                self.stack[i] = Abs::Slot;
+            }
+            Abs::Const(v) => {
+                let dst = self.slot(i);
+                self.emit_const_to(dst, v);
+                self.stack[i] = Abs::Slot;
+            }
+        }
+    }
+
+    /// Flush the whole abstract stack into registers (control-flow merge
+    /// discipline: branches and block entries see only materialized
+    /// values).
+    fn materialize_all(&mut self) {
+        for i in 0..self.stack.len() {
+            self.materialize(i);
+        }
+    }
+
+    /// Materialize every cell aliasing local `l` *before* `l` is
+    /// overwritten.
+    fn invalidate_local(&mut self, l: u32) {
+        for i in 0..self.stack.len() {
+            if matches!(self.stack[i], Abs::Local(x) if x == l) {
+                self.materialize(i);
+            }
+        }
+    }
+
+    /// Register holding stack cell `i` (materializes constants).
+    fn operand_reg(&mut self, i: usize) -> u32 {
+        match self.stack[i] {
+            Abs::Slot => self.slot(i),
+            Abs::Local(l) => l,
+            Abs::Const(_) => {
+                self.materialize(i);
+                self.slot(i)
+            }
+        }
+    }
+
+    fn const_i32_at(&self, i: usize) -> Option<i32> {
+        match self.stack[i] {
+            Abs::Const(Value::I32(k)) => Some(k),
+            _ => None,
+        }
+    }
+
+    /// Compute the move descriptor for branch record `b` from the current
+    /// (fully materialized) stack height.
+    fn fill_branch(&mut self, b: u32) {
+        let bt = self.cf.branches[b as usize];
+        let arity = bt.arity as u32;
+        let src = self.n_locals + self.stack.len() as u32 - arity;
+        let dst = self.n_locals + bt.height;
+        self.rbranches[b as usize] = RBranch {
+            pc: bt.pc,
+            src,
+            dst,
+            n: if src == dst { 0 } else { arity },
+        };
+    }
+
+    /// Try to rewrite the just-emitted pure op (whose result is the
+    /// top-of-stack slot) to write local `l` directly. Fails when the
+    /// producer isn't the immediately preceding op or when a live stack
+    /// cell still aliases `l` (the alias would observe the new value).
+    fn try_writeback(&mut self, l: u32) -> bool {
+        let top = self.stack.len() - 1;
+        if !matches!(self.stack[top], Abs::Slot) {
+            return false;
+        }
+        if self.stack[..top]
+            .iter()
+            .any(|a| matches!(a, Abs::Local(x) if *x == l))
+        {
+            return false;
+        }
+        if let Some((i, d)) = self.last_pure {
+            if i + 1 == self.rops.len() && d == self.slot(top) {
+                *self.rops[i].dst_mut().expect("pure ops are retargetable") = l;
+                self.last_pure = None;
+                // The retargeted op may be (or may clobber) the pending
+                // address add — no longer safe to fuse.
+                self.pendings.clear();
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Unified lowering for every flat i32-binop form: folds constant
+    /// operands, canonicalizes constants to the `k` side of
+    /// [`ROp::I32BinC`] (swapping when commutative), and writes either a
+    /// fresh stack slot (`wb == None`) or a local.
+    fn i32bin(&mut self, op: I32Op, a: BinSrc, b: BinSrc, wb: Option<u32>) {
+        let kof = |this: &Self, s: BinSrc| match s {
+            BinSrc::Stack(i) => this.const_i32_at(i),
+            BinSrc::Konst(k) => Some(k),
+            BinSrc::Local(_) => None,
+        };
+        let pops = matches!(a, BinSrc::Stack(_)) as usize + matches!(b, BinSrc::Stack(_)) as usize;
+        let (ka, kb) = (kof(self, a), kof(self, b));
+
+        if let (Some(ka), Some(kb)) = (ka, kb) {
+            let folded = Value::I32(op.eval(ka, kb));
+            self.stack.truncate(self.stack.len() - pops);
+            match wb {
+                None => self.push(Abs::Const(folded)),
+                Some(l) => {
+                    self.invalidate_local(l);
+                    self.emit_const_to(l, folded);
+                }
+            }
+            return;
+        }
+
+        let rof = |this: &mut Self, s: BinSrc| match s {
+            BinSrc::Stack(i) => this.operand_reg(i),
+            BinSrc::Local(l) => l,
+            BinSrc::Konst(_) => unreachable!("const operands handled above"),
+        };
+        enum Form {
+            RC { a: u32, k: i32 },
+            RR { a: u32, b: u32 },
+        }
+        let form = if let Some(k) = kb {
+            let a = rof(self, a);
+            Form::RC { a, k }
+        } else if let (Some(k), true) = (ka, op.commutative()) {
+            let a = rof(self, b);
+            Form::RC { a, k }
+        } else {
+            let ra = rof(self, a);
+            let rb = rof(self, b);
+            Form::RR { a: ra, b: rb }
+        };
+        self.stack.truncate(self.stack.len() - pops);
+        let dst = match wb {
+            None => self.slot(self.stack.len()),
+            Some(l) => {
+                self.invalidate_local(l);
+                l
+            }
+        };
+        let rop = match form {
+            Form::RC { a, k } => ROp::I32BinC { op, dst, a, k },
+            Form::RR { a, b } => ROp::I32Bin { op, dst, a, b },
+        };
+        match wb {
+            None => {
+                self.push(Abs::Slot);
+                self.emit_pure(rop, dst);
+            }
+            Some(_) => self.emit(rop),
+        }
+    }
+
+    /// Conditional branch on the abstract top of stack. `negate` = branch
+    /// on zero. Folds constant conditions and fuses an immediately
+    /// preceding i32 compare/binop into `BrIfCmp`/`BrIfCmpC`.
+    fn cond_branch(&mut self, br: u32, negate: bool) {
+        let top = self.stack.len() - 1;
+        if let Some(k) = self.const_i32_at(top) {
+            self.stack.pop();
+            if (k != 0) != negate {
+                self.materialize_all();
+                self.fill_branch(br);
+                self.emit(ROp::Br(br));
+                self.reachable = false;
+            }
+            return;
+        }
+        if matches!(self.stack[top], Abs::Slot) {
+            if let Some((i, d)) = self.last_pure {
+                if i + 1 == self.rops.len() && d == self.slot(top) {
+                    // `BrIfCmp` branches when the fused op is non-zero, so
+                    // any producer fuses directly; the zero-branch needs
+                    // the comparison's total-order dual.
+                    let fused = match self.rops[i] {
+                        ROp::I32Bin { op, dst, a, b } if dst == d => {
+                            let fop = if negate { op.negate() } else { Some(op) };
+                            fop.map(|op| ROp::BrIfCmp { op, a, b, br })
+                        }
+                        ROp::I32BinC { op, dst, a, k } if dst == d => {
+                            let fop = if negate { op.negate() } else { Some(op) };
+                            fop.map(|op| ROp::BrIfCmpC { op, a, k, br })
+                        }
+                        _ => None,
+                    };
+                    if let Some(rop) = fused {
+                        self.rops.pop();
+                        self.last_pure = None;
+                        self.pendings.clear();
+                        self.stack.pop();
+                        self.materialize_all();
+                        self.fill_branch(br);
+                        self.emit(rop);
+                        return;
+                    }
+                }
+            }
+        }
+        let cond = self.operand_reg(top);
+        self.stack.pop();
+        self.materialize_all();
+        self.fill_branch(br);
+        self.emit(if negate {
+            ROp::BrIfZ { cond, br }
+        } else {
+            ROp::BrIf { cond, br }
+        });
+    }
+
+    /// Common call shape: materialize the top `argc` cells as the callee
+    /// window, pop them, push the (single) result slot.
+    fn call_window(&mut self, argc: usize, ret_arity: u32, mk: impl FnOnce(u32) -> ROp) {
+        let h = self.stack.len();
+        for i in (h - argc)..h {
+            self.materialize(i);
+        }
+        let base = self.slot(h - argc);
+        self.stack.truncate(h - argc);
+        let rop = mk(base);
+        if ret_arity == 1 {
+            self.push(Abs::Slot);
+        }
+        self.emit(rop);
+    }
+
+    fn load_push(&mut self, kind: LoadKind, addr: u32, off: u32) {
+        let dst = self.slot(self.stack.len());
+        self.push(Abs::Slot);
+        self.emit_pure(
+            ROp::Load {
+                kind,
+                dst,
+                addr,
+                off,
+            },
+            dst,
+        );
+    }
+
+    /// When the address in stack cell `cell` was produced by a still-live
+    /// address chain (see [`Lowerer::pendings`]), remove the chain's ops
+    /// from the emitted stream and return its shape so the caller can
+    /// fold the whole address computation into the memory access itself
+    /// (every intermediate result slot is consumed by the access, hence
+    /// dead). `forbidden` names a register the caller will overwrite
+    /// *before* the fused access runs (a constant store value
+    /// materializing into its slot) — a chain leaf living there must not
+    /// be carried across that write. `at_only` restricts the match to
+    /// the register-plus-constant shape (the only one with a const-value
+    /// store form); non-matching entries are left alive and unfused.
+    fn take_addr(&mut self, cell: usize, forbidden: u32, at_only: bool) -> Option<AddrForm> {
+        if !matches!(self.stack[cell], Abs::Slot) {
+            return None;
+        }
+        let dst = self.slot(cell);
+        let pos = self.pendings.iter().position(|p| p.dst == dst)?;
+        let e = &self.pendings[pos].expr;
+        if e.uses(forbidden) {
+            return None;
+        }
+        let lim = u16::MAX as u32;
+        let form = match (e.base, e.idx) {
+            (Some(a), None) if a <= lim => AddrForm::At {
+                a: a as u16,
+                k: e.k,
+            },
+            _ if at_only => return None,
+            (Some(a), Some((b, 0))) if e.k == 0 && a <= lim && b <= lim => AddrForm::Rr {
+                a: a as u16,
+                b: b as u16,
+            },
+            (Some(a), Some((b, sh))) if a <= lim && b <= lim => AddrForm::Bis {
+                a: a as u16,
+                b: b as u16,
+                sh,
+                k: i16::try_from(e.k).ok()?,
+            },
+            _ => return None,
+        };
+        let p = self.pendings.remove(pos);
+        // Ops emitted after a removed chain op shift down; their flat pcs
+        // are not branch targets (a target would have cleared the
+        // candidate at the join), so the side table never sees the skew.
+        let removed = &p.idxs[..p.n as usize];
+        for &idx in removed.iter().rev() {
+            self.rops.remove(idx as usize);
+        }
+        for other in &mut self.pendings {
+            for j in 0..other.n as usize {
+                let shift = removed.iter().filter(|&&r| r < other.idxs[j]).count();
+                other.idxs[j] -= shift as u32;
+            }
+        }
+        self.last_pure = None;
+        Some(form)
+    }
+
+    /// A narrow store keeps only the low bits, so a just-emitted low-bit
+    /// mask of the stored value is redundant — drop the `and` and store
+    /// the unmasked register: `(x & 0xff) as u8 == x as u8`. The mask is
+    /// non-trapping and its result is consumed solely by this store, so
+    /// result, trap order and fuel (block meters count source ops) are
+    /// all unchanged.
+    fn drop_store_mask(&mut self, kind: StoreKind, h: usize) {
+        let mask = match kind {
+            StoreKind::I32Lo8 => 0xff,
+            StoreKind::I32Lo16 => 0xffff,
+            _ => return,
+        };
+        if !matches!(self.stack[h - 1], Abs::Slot) {
+            return;
+        }
+        let Some((i, d)) = self.last_pure else { return };
+        if i + 1 != self.rops.len() || d != self.slot(h - 1) {
+            return;
+        }
+        if let ROp::I32BinC {
+            op: I32Op::And,
+            dst,
+            a,
+            k,
+        } = self.rops[i]
+        {
+            // A stack operand always lands back in its own slot (`a == d`);
+            // a fused-local operand re-points the cell at the local.
+            if dst == d && k == mask && (a == d || a < self.n_locals) {
+                self.rops.pop();
+                self.last_pure = None;
+                if a != d {
+                    self.stack[h - 1] = Abs::Local(a);
+                }
+            }
+        }
+    }
+
+    /// Rebuild a taken-but-unfusable base-index-scale chain in place:
+    /// `regs[dst] = regs[a] + (regs[b] << sh) + k` via plain ops (cold
+    /// fallback when a packed field doesn't fit).
+    fn reemit_chain(&mut self, dst: u32, a: u16, b: u16, sh: u8, k: i16) {
+        self.emit(ROp::I32BinC {
+            op: I32Op::Shl,
+            dst,
+            a: b as u32,
+            k: sh as i32,
+        });
+        self.emit(ROp::I32Bin {
+            op: I32Op::Add,
+            dst,
+            a: a as u32,
+            b: dst,
+        });
+        if k != 0 {
+            self.emit(ROp::I32BinC {
+                op: I32Op::Add,
+                dst,
+                a: dst,
+                k: k as i32,
+            });
+        }
+    }
+
+    /// Lower a flat store: fold a small-width constant value into the op
+    /// itself when possible, and fold any pending address chain into the
+    /// access.
+    fn lower_store(&mut self, kind: StoreKind, off: u32) {
+        let h = self.h();
+        self.drop_store_mask(kind, h);
+        // An i32 value or f32 bit pattern rides in the op directly — the
+        // constant then never needs a register, so no pending address
+        // chain is clobbered by materializing it.
+        let cbits = match (self.stack[h - 1], kind) {
+            (
+                Abs::Const(Value::I32(v)),
+                StoreKind::I32 | StoreKind::I32Lo8 | StoreKind::I32Lo16,
+            ) => Some(v as u32),
+            (Abs::Const(Value::F32(f)), StoreKind::F32) => Some(f.to_bits()),
+            _ => None,
+        };
+        if let Some(v) = cbits {
+            if let Some(AddrForm::At { a, k }) = self.take_addr(h - 2, u32::MAX, true) {
+                self.stack.truncate(h - 2);
+                self.emit(ROp::StoreCAt { kind, a, k, v, off });
+                return;
+            }
+            let addr = self.operand_reg(h - 2);
+            if let Ok(a) = u16::try_from(addr) {
+                self.stack.truncate(h - 2);
+                self.emit(ROp::StoreCAt {
+                    kind,
+                    a,
+                    k: 0,
+                    v,
+                    off,
+                });
+                return;
+            }
+            // Address register out of packed range: take the value path.
+        }
+        // A constant store value materializes into `slot(h-1)` between
+        // the address chain and the fused access, so a chain leaf living
+        // there cannot be carried across.
+        let forbidden = if matches!(self.stack[h - 1], Abs::Const(_)) {
+            self.slot(h - 1)
+        } else {
+            u32::MAX
+        };
+        let fused = self.take_addr(h - 2, forbidden, false);
+        let val = self.operand_reg(h - 1);
+        let fits = val <= u16::MAX as u32;
+        let rop = match fused {
+            Some(AddrForm::At { a, k }) if fits => ROp::StoreAt {
+                kind,
+                a,
+                k,
+                val: val as u16,
+                off,
+            },
+            Some(AddrForm::Rr { a, b }) if fits => ROp::StoreRR {
+                kind,
+                a,
+                b,
+                val: val as u16,
+                off,
+            },
+            Some(AddrForm::Bis { a, b, sh, k }) if fits => ROp::StoreBis {
+                kind,
+                a,
+                b,
+                sh,
+                k,
+                val: val as u16,
+                off,
+            },
+            // Value register out of u16 range: rebuild the peeled-off
+            // address chain and fall back to the plain store.
+            Some(AddrForm::At { a, k }) => {
+                let addr = self.slot(h - 2);
+                self.emit(ROp::I32BinC {
+                    op: I32Op::Add,
+                    dst: addr,
+                    a: a as u32,
+                    k,
+                });
+                ROp::Store {
+                    kind,
+                    addr,
+                    val,
+                    off,
+                }
+            }
+            Some(AddrForm::Rr { a, b }) => {
+                let addr = self.slot(h - 2);
+                self.emit(ROp::I32Bin {
+                    op: I32Op::Add,
+                    dst: addr,
+                    a: a as u32,
+                    b: b as u32,
+                });
+                ROp::Store {
+                    kind,
+                    addr,
+                    val,
+                    off,
+                }
+            }
+            Some(AddrForm::Bis { a, b, sh, k }) => {
+                let addr = self.slot(h - 2);
+                self.reemit_chain(addr, a, b, sh, k);
+                ROp::Store {
+                    kind,
+                    addr,
+                    val,
+                    off,
+                }
+            }
+            None => {
+                let addr = self.operand_reg(h - 2);
+                ROp::Store {
+                    kind,
+                    addr,
+                    val,
+                    off,
+                }
+            }
+        };
+        self.stack.truncate(h - 2);
+        self.emit(rop);
+    }
+}
+
+/// How many live address-chain candidates to track at once.
+const PENDING_CAP: usize = 4;
+/// Longest chain of emitted ops a single candidate may replace.
+const CHAIN_CAP: usize = 4;
+
+/// Affine address expression over leaf registers:
+/// `base? +wrap (idx <<wrap sh)? +wrap k`, all i32 wrapping arithmetic —
+/// the closure of add/shift/mul-by-power-of-two chains that memory
+/// accesses can absorb.
+#[derive(Clone, Copy)]
+struct AddrExpr {
+    base: Option<u32>,
+    idx: Option<(u32, u8)>,
+    k: i32,
+}
+
+impl AddrExpr {
+    fn leaf(r: u32) -> AddrExpr {
+        AddrExpr {
+            base: Some(r),
+            idx: None,
+            k: 0,
+        }
+    }
+
+    fn uses(&self, r: u32) -> bool {
+        self.base == Some(r) || matches!(self.idx, Some((b, _)) if b == r)
+    }
+
+    /// Wrapping sum of two expressions, when the result still fits the
+    /// base-index-scale shape (a spare base can serve as an unscaled
+    /// index, and vice versa).
+    fn add(self, o: AddrExpr) -> Option<AddrExpr> {
+        let k = self.k.wrapping_add(o.k);
+        let mut base = None;
+        let mut idx = None;
+        for b in [self.base, o.base].into_iter().flatten() {
+            if base.is_none() {
+                base = Some(b);
+            } else if idx.is_none() {
+                idx = Some((b, 0));
+            } else {
+                return None;
+            }
+        }
+        for i in [self.idx, o.idx].into_iter().flatten() {
+            if idx.is_none() {
+                idx = Some(i);
+            } else if base.is_none() && i.1 == 0 {
+                base = Some(i.0);
+            } else if base.is_none() && idx.is_some_and(|(_, s)| s == 0) {
+                base = idx.map(|(r, _)| r);
+                idx = Some(i);
+            } else {
+                return None;
+            }
+        }
+        Some(AddrExpr { base, idx, k })
+    }
+
+    /// `(self << sh)`: distributes over the wrapping sum, but only a
+    /// base-plus-constant expression stays representable (nested scaling
+    /// is not).
+    fn shl(self, sh: u8) -> Option<AddrExpr> {
+        match (self.base, self.idx) {
+            (Some(b), None) => Some(AddrExpr {
+                base: None,
+                idx: Some((b, sh)),
+                k: self.k.wrapping_shl(sh as u32),
+            }),
+            _ => None,
+        }
+    }
+}
+
+/// The fusable shapes a consumed address chain collapses to.
+#[derive(Clone, Copy)]
+enum AddrForm {
+    /// `regs[a] + k`
+    At { a: u16, k: i32 },
+    /// `regs[a] + regs[b]`
+    Rr { a: u16, b: u16 },
+    /// `regs[a] + (regs[b] << sh) + k`
+    Bis { a: u16, b: u16, sh: u8, k: i16 },
+}
+
+/// A live address-chain candidate: `rops[idxs[..n]]` together compute
+/// `dst = expr`. The candidate dies the moment any op could invalidate
+/// the fusion — an impure emit, a write to a leaf register or the
+/// destination, a read of the destination by an op that doesn't extend
+/// the chain, a control-flow join, or a write-back retarget.
+struct Pending {
+    /// Emitted-op indices of the chain, ascending; all removed on fusion.
+    idxs: [u32; CHAIN_CAP],
+    n: u8,
+    dst: u32,
+    expr: AddrExpr,
+}
+
+impl Pending {
+    fn single(at: usize, dst: u32, expr: AddrExpr) -> Pending {
+        let mut idxs = [0u32; CHAIN_CAP];
+        idxs[0] = at as u32;
+        Pending {
+            idxs,
+            n: 1,
+            dst,
+            expr,
+        }
+    }
+
+    /// Chain `at` onto the ops of up to two consumed source entries;
+    /// fails when the combined chain outgrows [`CHAIN_CAP`].
+    fn chained(
+        at: usize,
+        dst: u32,
+        expr: AddrExpr,
+        a: Option<&Pending>,
+        b: Option<&Pending>,
+    ) -> Option<Pending> {
+        let na = a.map_or(0, |p| p.n as usize);
+        let nb = b.map_or(0, |p| p.n as usize);
+        if na + nb + 1 > CHAIN_CAP {
+            return None;
+        }
+        let mut idxs = [0u32; CHAIN_CAP];
+        let mut n = 0;
+        for src in [a, b].into_iter().flatten() {
+            idxs[n..n + src.n as usize].copy_from_slice(&src.idxs[..src.n as usize]);
+            n += src.n as usize;
+        }
+        idxs[n] = at as u32;
+        n += 1;
+        idxs[..n].sort_unstable();
+        Some(Pending {
+            idxs,
+            n: n as u8,
+            dst,
+            expr,
+        })
+    }
+}
+
+/// Register operands read by a pure op — a closed set (everything routed
+/// through `emit_pure`); `None` means "unknown, assume it reads anything".
+/// `u32::MAX` pads unused positions (no frame register reaches it).
+fn pure_reads(op: &ROp) -> Option<[u32; 2]> {
+    const NO: u32 = u32::MAX;
+    Some(match *op {
+        ROp::I32Bin { a, b, .. } => [a, b],
+        ROp::I64Bin { a, b, .. } => [a, b],
+        ROp::Bin { a, b, .. } => [a, b],
+        ROp::LoadRR { a, b, .. } => [a as u32, b as u32],
+        ROp::I32BinC { a, .. } | ROp::Un { a, .. } => [a, NO],
+        ROp::Load { addr, .. } => [addr, NO],
+        ROp::LoadAt { a, .. } => [a as u32, NO],
+        ROp::GlobalGet { .. } | ROp::MemorySize { .. } => [NO, NO],
+        _ => return None,
+    })
+}
+
+impl Lowerer<'_> {
+    fn lower_op(&mut self, pc: usize, op: Op, eh: &[u32]) {
+        if !self.reachable {
+            let e = eh[pc];
+            if e == u32::MAX {
+                // Dead op: skip, but keep the pc mapping monotone.
+                self.pc_map[pc] = self.rops.len() as u32;
+                return;
+            }
+            // Branch target: resume with a fully materialized stack of
+            // the recorded entry height.
+            self.stack.clear();
+            self.stack.resize(e as usize, Abs::Slot);
+            self.max_h = self.max_h.max(e);
+            self.reachable = true;
+            self.last_pure = None;
+            self.pendings.clear();
+        } else if eh[pc] != u32::MAX {
+            // Join point reachable by both fall-through and branch: flush
+            // so the abstract state matches what branch arrivals leave in
+            // the registers (a branch arrival did not run the fall-through
+            // ops, so nothing emitted above may be fused past this line).
+            self.materialize_all();
+            self.last_pure = None;
+            self.pendings.clear();
+            debug_assert_eq!(self.stack.len() as u32, eh[pc]);
+        }
+        self.pc_map[pc] = self.rops.len() as u32;
+
+        match op {
+            Op::Meter { cost, peak } => {
+                let entry = self.stack.len() as u32;
+                self.emit(ROp::Meter { cost, entry, peak });
+            }
+            Op::Unreachable => {
+                self.emit(ROp::Unreachable);
+                self.reachable = false;
+            }
+            Op::Br(b) => {
+                self.materialize_all();
+                self.fill_branch(b);
+                self.emit(ROp::Br(b));
+                self.reachable = false;
+            }
+            Op::BrIf(b) => self.cond_branch(b, false),
+            Op::BrIfZ(b) => self.cond_branch(b, true),
+            Op::BrIfCmp { op, br } => {
+                let h = self.h();
+                let (ia, ib) = (h - 2, h - 1);
+                match (self.const_i32_at(ia), self.const_i32_at(ib)) {
+                    (Some(ka), Some(kb)) => {
+                        self.stack.truncate(ia);
+                        if op.eval(ka, kb) != 0 {
+                            self.materialize_all();
+                            self.fill_branch(br);
+                            self.emit(ROp::Br(br));
+                            self.reachable = false;
+                        }
+                    }
+                    (_, Some(k)) => {
+                        let a = self.operand_reg(ia);
+                        self.stack.truncate(ia);
+                        self.materialize_all();
+                        self.fill_branch(br);
+                        self.emit(ROp::BrIfCmpC { op, a, k, br });
+                    }
+                    (Some(k), None) if op.commutative() => {
+                        let a = self.operand_reg(ib);
+                        self.stack.truncate(ia);
+                        self.materialize_all();
+                        self.fill_branch(br);
+                        self.emit(ROp::BrIfCmpC { op, a, k, br });
+                    }
+                    _ => {
+                        let a = self.operand_reg(ia);
+                        let b = self.operand_reg(ib);
+                        self.stack.truncate(ia);
+                        self.materialize_all();
+                        self.fill_branch(br);
+                        self.emit(ROp::BrIfCmp { op, a, b, br });
+                    }
+                }
+            }
+            Op::BrIfLL { op, a, b, br } => {
+                self.materialize_all();
+                self.fill_branch(br);
+                self.emit(ROp::BrIfCmp {
+                    op,
+                    a: a as u32,
+                    b: b as u32,
+                    br,
+                });
+            }
+            Op::BrTable { start, n } => {
+                let top = self.h() - 1;
+                if let Some(k) = self.const_i32_at(top) {
+                    self.stack.pop();
+                    let chosen = start + (k as u32).min(n);
+                    self.materialize_all();
+                    self.fill_branch(chosen);
+                    self.emit(ROp::Br(chosen));
+                } else {
+                    let sel = self.operand_reg(top);
+                    self.stack.pop();
+                    self.materialize_all();
+                    for i in 0..=n {
+                        self.fill_branch(start + i);
+                    }
+                    self.emit(ROp::BrTable { sel, start, n });
+                }
+                self.reachable = false;
+            }
+            Op::Return => {
+                let src = if self.cf.ret_arity == 1 {
+                    self.operand_reg(self.h() - 1)
+                } else {
+                    0
+                };
+                self.emit(ROp::Return { src });
+                self.reachable = false;
+            }
+            Op::CallWasm(f) => {
+                let callee = self.module.compiled_func(f);
+                let (argc, ret) = (callee.argc as usize, callee.ret_arity);
+                self.call_window(argc, ret, |base| ROp::CallWasm { f, base });
+            }
+            Op::CallHost { f, argc, ret } => {
+                self.call_window((argc) as usize, (ret != 0) as u32, |base| ROp::CallHost {
+                    f,
+                    base,
+                    argc,
+                    ret,
+                });
+            }
+            Op::CallIndirect(ty) => {
+                let ft = &self.module.types[ty as usize];
+                let (argc, ret) = (ft.params.len(), ft.results.len() as u32);
+                let h = self.h();
+                for i in (h - argc - 1)..h {
+                    self.materialize(i);
+                }
+                let base = self.slot(h - argc - 1);
+                self.stack.truncate(h - argc - 1);
+                if ret == 1 {
+                    self.push(Abs::Slot);
+                }
+                self.emit(ROp::CallIndirect { ty, base });
+            }
+            Op::Drop => {
+                self.stack.pop();
+            }
+            Op::Select => {
+                let h = self.h();
+                let (ia, ib, ic) = (h - 3, h - 2, h - 1);
+                if let Some(k) = self.const_i32_at(ic) {
+                    self.stack.pop();
+                    if k != 0 {
+                        self.stack.pop(); // keep a, drop b
+                    } else {
+                        // keep b at a's position
+                        if matches!(self.stack[ib], Abs::Slot) {
+                            let (dst, src) = (self.slot(ia), self.slot(ib));
+                            self.emit(ROp::Copy { dst, src });
+                            self.stack[ia] = Abs::Slot;
+                        } else {
+                            self.stack[ia] = self.stack[ib];
+                        }
+                        self.stack.pop();
+                    }
+                } else {
+                    self.materialize(ia);
+                    let b = self.operand_reg(ib);
+                    let cond = self.operand_reg(ic);
+                    let dst = self.slot(ia);
+                    self.stack.truncate(ib);
+                    self.emit(ROp::Select { dst, cond, b });
+                }
+            }
+            Op::LocalGet(l) => self.push(Abs::Local(l)),
+            Op::LocalGet2 { a, b } => {
+                self.push(Abs::Local(a as u32));
+                self.push(Abs::Local(b as u32));
+            }
+            Op::LocalSet(l) => {
+                let top = self.h() - 1;
+                match self.stack[top] {
+                    Abs::Local(src) if src == l => {
+                        self.stack.pop();
+                    }
+                    Abs::Local(src) => {
+                        self.stack.pop();
+                        self.invalidate_local(l);
+                        self.emit(ROp::Copy { dst: l, src });
+                    }
+                    Abs::Const(v) => {
+                        self.stack.pop();
+                        self.invalidate_local(l);
+                        self.emit_const_to(l, v);
+                    }
+                    Abs::Slot => {
+                        if self.try_writeback(l) {
+                            self.stack.pop();
+                        } else {
+                            let src = self.slot(top);
+                            self.stack.pop();
+                            self.invalidate_local(l);
+                            self.emit(ROp::Copy { dst: l, src });
+                        }
+                    }
+                }
+            }
+            Op::LocalTee(l) => {
+                let top = self.h() - 1;
+                match self.stack[top] {
+                    Abs::Local(src) if src == l => {}
+                    Abs::Local(src) => {
+                        self.invalidate_local(l);
+                        self.emit(ROp::Copy { dst: l, src });
+                    }
+                    Abs::Const(v) => {
+                        self.invalidate_local(l);
+                        self.emit_const_to(l, v);
+                    }
+                    Abs::Slot => {
+                        if self.try_writeback(l) {
+                            self.stack[top] = Abs::Local(l);
+                        } else {
+                            let src = self.slot(top);
+                            self.invalidate_local(l);
+                            self.emit(ROp::Copy { dst: l, src });
+                        }
+                    }
+                }
+            }
+            Op::LocalSetC { dst, k } => {
+                self.invalidate_local(dst as u32);
+                self.emit(ROp::ConstI32 { dst: dst as u32, k });
+            }
+            Op::LocalCopy { src, dst } => {
+                if src != dst {
+                    self.invalidate_local(dst as u32);
+                    self.emit(ROp::Copy {
+                        dst: dst as u32,
+                        src: src as u32,
+                    });
+                }
+            }
+            Op::GlobalGet(g) => {
+                let dst = self.slot(self.h());
+                self.push(Abs::Slot);
+                self.emit_pure(ROp::GlobalGet { dst, g }, dst);
+            }
+            Op::GlobalSet(g) => {
+                let src = self.operand_reg(self.h() - 1);
+                self.stack.pop();
+                self.emit(ROp::GlobalSet { g, src });
+            }
+            Op::I32Bin(op) => {
+                let h = self.h();
+                self.i32bin(op, BinSrc::Stack(h - 2), BinSrc::Stack(h - 1), None);
+            }
+            Op::I32BinLL { op, a, b } => {
+                self.i32bin(op, BinSrc::Local(a as u32), BinSrc::Local(b as u32), None)
+            }
+            Op::I32BinSL { op, b } => {
+                let h = self.h();
+                self.i32bin(op, BinSrc::Stack(h - 1), BinSrc::Local(b as u32), None);
+            }
+            Op::I32BinSC { op, k } => {
+                let h = self.h();
+                self.i32bin(op, BinSrc::Stack(h - 1), BinSrc::Konst(k), None);
+            }
+            Op::I32BinLC { op, a, k } => {
+                self.i32bin(op, BinSrc::Local(a as u32), BinSrc::Konst(k), None)
+            }
+            Op::I32BinLLSet { op, a, b, dst } => self.i32bin(
+                op,
+                BinSrc::Local(a as u32),
+                BinSrc::Local(b as u32),
+                Some(dst as u32),
+            ),
+            Op::I32BinLCSet { op, a, k, dst } => self.i32bin(
+                op,
+                BinSrc::Local(a as u32),
+                BinSrc::Konst(k),
+                Some(dst as u32),
+            ),
+            Op::I32BinSLSet { op, b, dst } => {
+                let h = self.h();
+                self.i32bin(
+                    op,
+                    BinSrc::Stack(h - 1),
+                    BinSrc::Local(b as u32),
+                    Some(dst as u32),
+                );
+            }
+            Op::I32BinSCSet { op, k, dst } => {
+                let h = self.h();
+                self.i32bin(op, BinSrc::Stack(h - 1), BinSrc::Konst(k), Some(dst as u32));
+            }
+            Op::I32LoadL { l, off } => self.load_push(LoadKind::I32, l as u32, off),
+            Op::I64LoadL { l, off } => self.load_push(LoadKind::I64, l as u32, off),
+            Op::F64LoadL { l, off } => self.load_push(LoadKind::F64, l as u32, off),
+            Op::I32Load8UL { l, off } => self.load_push(LoadKind::I32U8, l as u32, off),
+            Op::I32LoadSet { off, dst } => {
+                let top = self.h() - 1;
+                let kind = LoadKind::I32;
+                let fused = self.take_addr(top, u32::MAX, false);
+                let addr = match fused {
+                    Some(_) => 0, // unused; the fused forms carry a/b/k
+                    None => self.operand_reg(top),
+                };
+                self.stack.pop();
+                self.invalidate_local(dst as u32);
+                let dst = dst as u32;
+                self.emit(match fused {
+                    Some(AddrForm::At { a, k }) => ROp::LoadAt {
+                        kind,
+                        dst,
+                        a,
+                        k,
+                        off,
+                    },
+                    Some(AddrForm::Rr { a, b }) => ROp::LoadRR {
+                        kind,
+                        dst,
+                        a,
+                        b,
+                        off,
+                    },
+                    // A flat-op local index always fits the packed field.
+                    Some(AddrForm::Bis { a, b, sh, k }) => ROp::LoadBis {
+                        kind,
+                        dst: dst as u16,
+                        a,
+                        b,
+                        sh,
+                        k,
+                        off,
+                    },
+                    None => ROp::Load {
+                        kind,
+                        dst,
+                        addr,
+                        off,
+                    },
+                });
+            }
+            Op::I32LoadLSet { l, off, dst } => {
+                self.invalidate_local(dst as u32);
+                self.emit(ROp::Load {
+                    kind: LoadKind::I32,
+                    dst: dst as u32,
+                    addr: l as u32,
+                    off,
+                });
+            }
+            Op::MemorySize => {
+                let dst = self.slot(self.h());
+                self.push(Abs::Slot);
+                self.emit_pure(ROp::MemorySize { dst }, dst);
+            }
+            Op::MemoryGrow => {
+                let top = self.h() - 1;
+                let delta = self.operand_reg(top);
+                let dst = self.slot(top);
+                self.stack[top] = Abs::Slot;
+                self.emit(ROp::MemoryGrow { dst, delta });
+            }
+            Op::MemoryCopy => {
+                let h = self.h();
+                let len = self.operand_reg(h - 1);
+                let src = self.operand_reg(h - 2);
+                let dst = self.operand_reg(h - 3);
+                self.stack.truncate(h - 3);
+                self.emit(ROp::MemoryCopy { dst, src, len });
+            }
+            Op::MemoryFill => {
+                let h = self.h();
+                let len = self.operand_reg(h - 1);
+                let val = self.operand_reg(h - 2);
+                let dst = self.operand_reg(h - 3);
+                self.stack.truncate(h - 3);
+                self.emit(ROp::MemoryFill { dst, val, len });
+            }
+            Op::I32Const(k) => self.push(Abs::Const(Value::I32(k))),
+            Op::I64Const(k) => self.push(Abs::Const(Value::I64(k))),
+            Op::F32Const(k) => self.push(Abs::Const(Value::F32(k))),
+            Op::F64Const(k) => self.push(Abs::Const(Value::F64(k))),
+            other => {
+                if let Some(op) = I64Op::from_op(other) {
+                    let h = self.h();
+                    let a = self.operand_reg(h - 2);
+                    let b = self.operand_reg(h - 1);
+                    let dst = self.slot(h - 2);
+                    self.stack.truncate(h - 1);
+                    self.stack[h - 2] = Abs::Slot;
+                    self.emit_pure(ROp::I64Bin { op, dst, a, b }, dst);
+                } else if let Some(op) = BinOp::from_op(other) {
+                    let h = self.h();
+                    let a = self.operand_reg(h - 2);
+                    let b = self.operand_reg(h - 1);
+                    let dst = self.slot(h - 2);
+                    self.stack.truncate(h - 1);
+                    self.stack[h - 2] = Abs::Slot;
+                    self.emit_pure(ROp::Bin { op, dst, a, b }, dst);
+                } else if let Some(op) = UnOp::from_op(other) {
+                    let top = self.h() - 1;
+                    // Fold a constant operand when the conversion can't
+                    // trap on this value (a trapping conversion must stay
+                    // at runtime, in trap order); fuel is unchanged — the
+                    // block meter counts source instructions.
+                    let folded = match self.stack[top] {
+                        Abs::Const(v) => op.eval(v).ok(),
+                        _ => None,
+                    };
+                    match folded {
+                        Some(v) => self.stack[top] = Abs::Const(v),
+                        None => {
+                            let a = self.operand_reg(top);
+                            let dst = self.slot(top);
+                            self.stack[top] = Abs::Slot;
+                            self.emit_pure(ROp::Un { op, dst, a }, dst);
+                        }
+                    }
+                } else if let Some((kind, off)) = LoadKind::from_op(other) {
+                    let top = self.h() - 1;
+                    let fused = self.take_addr(top, u32::MAX, false);
+                    let dst = self.slot(top);
+                    match fused {
+                        Some(AddrForm::At { a, k }) => {
+                            self.stack[top] = Abs::Slot;
+                            self.emit_pure(
+                                ROp::LoadAt {
+                                    kind,
+                                    dst,
+                                    a,
+                                    k,
+                                    off,
+                                },
+                                dst,
+                            );
+                        }
+                        Some(AddrForm::Rr { a, b }) => {
+                            self.stack[top] = Abs::Slot;
+                            self.emit_pure(
+                                ROp::LoadRR {
+                                    kind,
+                                    dst,
+                                    a,
+                                    b,
+                                    off,
+                                },
+                                dst,
+                            );
+                        }
+                        Some(AddrForm::Bis { a, b, sh, k }) => {
+                            self.stack[top] = Abs::Slot;
+                            match u16::try_from(dst) {
+                                // `LoadBis` packs `dst` into 16 bits and is
+                                // not write-back-retargetable, so it goes
+                                // through the impure emit.
+                                Ok(d) => self.emit(ROp::LoadBis {
+                                    kind,
+                                    dst: d,
+                                    a,
+                                    b,
+                                    sh,
+                                    k,
+                                    off,
+                                }),
+                                Err(_) => {
+                                    self.reemit_chain(dst, a, b, sh, k);
+                                    self.emit_pure(
+                                        ROp::Load {
+                                            kind,
+                                            dst,
+                                            addr: dst,
+                                            off,
+                                        },
+                                        dst,
+                                    );
+                                }
+                            }
+                        }
+                        None => {
+                            let addr = self.operand_reg(top);
+                            self.stack[top] = Abs::Slot;
+                            self.emit_pure(
+                                ROp::Load {
+                                    kind,
+                                    dst,
+                                    addr,
+                                    off,
+                                },
+                                dst,
+                            );
+                        }
+                    }
+                } else if let Some((kind, off)) = StoreKind::from_op(other) {
+                    self.lower_store(kind, off);
+                } else {
+                    unreachable!("unlowered flat op {other:?}");
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ModuleBuilder;
+    use crate::types::ValType;
+
+    #[test]
+    fn rop_enum_stays_small() {
+        assert!(
+            std::mem::size_of::<ROp>() <= 16,
+            "ROp grew to {} bytes",
+            std::mem::size_of::<ROp>()
+        );
+    }
+
+    #[test]
+    fn straight_line_lowers_to_three_address_form() {
+        let mut b = ModuleBuilder::new();
+        let sig = b.func_type(&[ValType::I32], &[ValType::I32]);
+        b.begin_func(sig);
+        b.code().local_get(0).i32_const(2).i32_mul();
+        b.end_func().unwrap();
+        let m = b.finish().expect("valid");
+        let rf = lower_func(&m, 0);
+        // Meter + mul-by-const straight into the result slot + return; no
+        // copies, no const materialization.
+        assert!(
+            matches!(rf.ops[0], ROp::Meter { cost: 4, .. }),
+            "ops: {:?}",
+            rf.ops
+        );
+        assert!(
+            matches!(
+                rf.ops[1],
+                ROp::I32BinC {
+                    op: I32Op::Mul,
+                    dst: 1,
+                    a: 0,
+                    k: 2
+                }
+            ),
+            "ops: {:?}",
+            rf.ops
+        );
+        assert!(
+            matches!(rf.ops[2], ROp::Return { src: 1 }),
+            "ops: {:?}",
+            rf.ops
+        );
+        assert_eq!(rf.n_locals, 1);
+        assert!(rf.frame_size >= 2);
+    }
+
+    #[test]
+    fn local_write_back_retargets_pure_op() {
+        let mut b = ModuleBuilder::new();
+        let sig = b.func_type(&[ValType::I32, ValType::I32], &[ValType::I32]);
+        b.begin_func(sig);
+        // l0 = l0 + l1, then return l0.
+        b.code()
+            .local_get(0)
+            .local_get(1)
+            .i32_add()
+            .local_set(0)
+            .local_get(0);
+        b.end_func().unwrap();
+        let m = b.finish().expect("valid");
+        let rf = lower_func(&m, 0);
+        // The add must write local 0 directly — no Copy in the body.
+        assert!(
+            !rf.ops.iter().any(|op| matches!(op, ROp::Copy { .. })),
+            "ops: {:?}",
+            rf.ops
+        );
+        assert!(
+            rf.ops
+                .iter()
+                .any(|op| matches!(op, ROp::I32Bin { dst: 0, .. } | ROp::I32BinC { dst: 0, .. })),
+            "ops: {:?}",
+            rf.ops
+        );
+    }
+
+    #[test]
+    fn const_pool_dedupes_wide_constants() {
+        let mut b = ModuleBuilder::new();
+        let sig = b.func_type(&[], &[ValType::I64]);
+        b.begin_func(sig);
+        b.code()
+            .i64_const(7)
+            .drop()
+            .i64_const(7)
+            .drop()
+            .i64_const(7);
+        b.end_func().unwrap();
+        let m = b.finish().expect("valid");
+        let rf = lower_func(&m, 0);
+        assert_eq!(rf.consts.len(), 1, "consts: {:?}", rf.consts);
+    }
+}

@@ -1,9 +1,9 @@
-//! Differential execution: the flat-IR compiled executor vs the reference
-//! instruction walker.
+//! Differential execution: the flat-IR compiled executor and the
+//! register-form executor vs the reference instruction walker.
 //!
 //! Programs are generated in PlugC (the plugin language real workloads are
-//! written in), compiled to Wasm, and run under both [`ExecMode`]s. The two
-//! executors must agree on:
+//! written in), compiled to Wasm, and run under all three [`ExecMode`]s.
+//! The executors must agree on:
 //!
 //! * the result value (bit-for-bit) or the trap,
 //! * `fuel_consumed()` and `ExecStats::instrs` on complete executions,
@@ -134,7 +134,7 @@ fn gen_program(seed: u64) -> String {
 }
 
 // ---------------------------------------------------------------------
-// Dual-mode runner
+// Three-mode runner
 // ---------------------------------------------------------------------
 
 type Outcome = (Result<Option<Value>, Trap>, Option<u64>, u64, u64);
@@ -153,26 +153,41 @@ fn exec_one(wasm: &[u8], mode: ExecMode, args: &[Value], fuel: u64) -> Outcome {
     )
 }
 
-/// Run both executors and assert the documented agreement contract.
+/// Run all three executors and assert the documented agreement contract.
 /// Returns the fuel consumed when the program completed successfully.
 fn assert_modes_agree(wasm: &[u8], args: &[Value], fuel: u64, ctx: &str) -> Option<u64> {
     let (r_res, r_fuel, r_instrs, r_traps) = exec_one(wasm, ExecMode::Reference, args, fuel);
-    let (c_res, c_fuel, c_instrs, c_traps) = exec_one(wasm, ExecMode::Compiled, args, fuel);
-
-    assert_eq!(r_res, c_res, "result diverged ({ctx})");
-    assert_eq!(r_traps, c_traps, "trap count diverged ({ctx})");
+    for mode in [ExecMode::Compiled, ExecMode::Reg] {
+        let (c_res, c_fuel, c_instrs, c_traps) = exec_one(wasm, mode, args, fuel);
+        assert_eq!(r_res, c_res, "result diverged vs {mode:?} ({ctx})");
+        assert_eq!(r_traps, c_traps, "trap count diverged vs {mode:?} ({ctx})");
+        match &r_res {
+            Ok(_) => {
+                assert_eq!(
+                    r_fuel, c_fuel,
+                    "fuel diverged on success vs {mode:?} ({ctx})"
+                );
+                assert_eq!(
+                    r_instrs, c_instrs,
+                    "instrs diverged on success vs {mode:?} ({ctx})"
+                );
+            }
+            Err(Trap::OutOfFuel) => {
+                assert_eq!(
+                    r_fuel, c_fuel,
+                    "fuel diverged on exhaustion vs {mode:?} ({ctx})"
+                );
+                assert_eq!(
+                    r_instrs, c_instrs,
+                    "instrs diverged on exhaustion vs {mode:?} ({ctx})"
+                );
+            }
+            // Mid-block traps: fuel may differ by < 1 block (documented).
+            Err(_) => {}
+        }
+    }
     match &r_res {
-        Ok(_) => {
-            assert_eq!(r_fuel, c_fuel, "fuel diverged on success ({ctx})");
-            assert_eq!(r_instrs, c_instrs, "instrs diverged on success ({ctx})");
-            r_fuel
-        }
-        Err(Trap::OutOfFuel) => {
-            assert_eq!(r_fuel, c_fuel, "fuel diverged on exhaustion ({ctx})");
-            assert_eq!(r_instrs, c_instrs, "instrs diverged on exhaustion ({ctx})");
-            None
-        }
-        // Mid-block traps: fuel may differ by < 1 block (documented).
+        Ok(_) => r_fuel,
         Err(_) => None,
     }
 }

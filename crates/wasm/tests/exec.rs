@@ -794,7 +794,7 @@ fn out_of_fuel_still_counts_retired_instrs() {
         loop $l
           br $l
         end))"#;
-    for mode in [ExecMode::Reference, ExecMode::Compiled] {
+    for mode in [ExecMode::Reference, ExecMode::Compiled, ExecMode::Reg] {
         let mut inst = instantiate(src);
         inst.set_exec_mode(mode);
         inst.set_fuel(Some(10_000));
@@ -829,4 +829,5 @@ fn exec_modes_agree_on_results_and_fuel() {
         (out, inst.fuel_consumed(), inst.stats().instrs)
     };
     assert_eq!(run(ExecMode::Reference), run(ExecMode::Compiled));
+    assert_eq!(run(ExecMode::Reference), run(ExecMode::Reg));
 }

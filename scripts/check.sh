@@ -4,7 +4,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release
-cargo test -q
+cargo test -q --workspace
 cargo clippy --workspace --all-targets -- -D warnings
 cargo fmt --check
 
@@ -23,3 +23,21 @@ cargo run -q --release -p waran-bench --bin bench_pr5 -- digests 2 > "$tmpdir/mo
 cargo run -q --release -p waran-bench --bin bench_pr5 -- digests 8 > "$tmpdir/mobility_8w.txt"
 diff "$tmpdir/mobility_2w.txt" "$tmpdir/mobility_8w.txt"
 echo "Mobility-enabled digests identical across 2 and 8 workers"
+
+# Register-tier determinism: the register-form executor must produce the
+# same per-cell digests as the flat tier, at any worker count.
+cargo run -q --release -p waran-bench --bin bench_pr6 -- digests 2 compiled > "$tmpdir/reg_flat_2w.txt"
+cargo run -q --release -p waran-bench --bin bench_pr6 -- digests 2 reg > "$tmpdir/reg_2w.txt"
+cargo run -q --release -p waran-bench --bin bench_pr6 -- digests 8 reg > "$tmpdir/reg_8w.txt"
+diff "$tmpdir/reg_flat_2w.txt" "$tmpdir/reg_2w.txt"
+diff "$tmpdir/reg_2w.txt" "$tmpdir/reg_8w.txt"
+echo "Register-tier digests identical to the flat tier across 2 and 8 workers"
+
+# Perf regression gate: compare the live register-tier deployment
+# throughput against the newest committed benchmark snapshot.
+newest="$(ls -t BENCH_*.json 2>/dev/null | head -1 || true)"
+if [ -n "$newest" ]; then
+    cargo run -q --release -p waran-bench --bin bench_pr6 -- gate "$newest"
+else
+    echo "no BENCH_*.json baseline found — skipping the perf regression gate"
+fi

@@ -1,0 +1,618 @@
+//! Minimal offline shim for the `proptest` 1.x API surface this
+//! workspace uses.
+//!
+//! It keeps the property-based *interface* — `proptest!` test functions
+//! with `arg in strategy` bindings, `Strategy`/`BoxedStrategy`,
+//! `any::<T>()`, range and tuple strategies, `Just`, `prop_oneof!`,
+//! `prop_map`, `prop_recursive`, `collection::vec`, `option::of`,
+//! `prop_assert!`/`prop_assert_eq!`, `ProptestConfig::with_cases` — but
+//! swaps the engine for plain deterministic random sampling (SplitMix64
+//! seeded from the test's module path and name). No shrinking, no
+//! persisted regressions; a failing case panics with the rendered
+//! assertion message. Case counts match upstream defaults (256, or the
+//! `proptest_config` override).
+
+pub mod test_runner {
+    /// Run-time configuration; only `cases` is honoured.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            Self { cases: 256 }
+        }
+    }
+
+    /// Deterministic SplitMix64 stream used by all strategies.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seed from a test's fully qualified name (FNV-1a), so every
+        /// property gets a distinct but reproducible stream.
+        pub fn from_name(name: &str) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            Self { state: h }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        pub fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        /// Uniform index in `0..bound` (`bound` must be non-zero).
+        pub fn index(&mut self, bound: usize) -> usize {
+            debug_assert!(bound > 0);
+            (self.next_u64() % bound as u64) as usize
+        }
+
+        /// Uniform float in `[0, 1)` with 53 random mantissa bits.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+    use std::ops::{Range, RangeInclusive};
+    use std::rc::Rc;
+
+    /// A generator of values of type `Self::Value`. Object safe so it can
+    /// live behind [`BoxedStrategy`].
+    pub trait Strategy {
+        type Value;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Rc::new(self))
+        }
+
+        /// Build a recursive strategy by applying `recurse` `depth`
+        /// times, bottoming out at `self`. The `_desired_size` and
+        /// `_expected_branch_size` hints are accepted for signature
+        /// compatibility but unused; termination comes from the finite
+        /// composition depth.
+        fn prop_recursive<S2, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            recurse: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            S2: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> S2,
+        {
+            let mut strat = self.boxed();
+            for _ in 0..depth {
+                strat = recurse(strat).boxed();
+            }
+            strat
+        }
+    }
+
+    /// Reference-counted type-erased strategy; cheap to clone.
+    pub struct BoxedStrategy<T>(Rc<dyn Strategy<Value = T>>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            Self(Rc::clone(&self.0))
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            self.0.sample(rng)
+        }
+    }
+
+    /// Always yields a clone of the wrapped value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, F, O> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn sample(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// Uniform choice between boxed alternatives (`prop_oneof!`).
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Self { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            let i = rng.index(self.options.len());
+            self.options[i].sample(rng)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    (self.start as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "empty range strategy");
+                    let span = (end as i128 - start as i128 + 1) as u128;
+                    (start as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! float_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    self.start + (self.end - self.start) * rng.unit_f64() as $t
+                }
+            }
+        )*};
+    }
+
+    float_range_strategy!(f32, f64);
+
+    macro_rules! tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.sample(rng),)+)
+                }
+            }
+        };
+    }
+
+    tuple_strategy!(A);
+    tuple_strategy!(A, B);
+    tuple_strategy!(A, B, C);
+    tuple_strategy!(A, B, C, D);
+    tuple_strategy!(A, B, C, D, E);
+    tuple_strategy!(A, B, C, D, E, F);
+    tuple_strategy!(A, B, C, D, E, F, G);
+    tuple_strategy!(A, B, C, D, E, F, G, H);
+    tuple_strategy!(A, B, C, D, E, F, G, H, I);
+    tuple_strategy!(A, B, C, D, E, F, G, H, I, J);
+    tuple_strategy!(A, B, C, D, E, F, G, H, I, J, K);
+    tuple_strategy!(A, B, C, D, E, F, G, H, I, J, K, L);
+
+    /// String-pattern strategy: upstream proptest treats a `&str` as a
+    /// full regex; this shim honours the one shape the workspace uses —
+    /// `\PC{lo,hi}` (printable chars, bounded repetition) — and treats
+    /// any other pattern as a literal. Generated text mixes ASCII with
+    /// occasional multi-byte scalars so UTF-8 handling gets exercised.
+    impl Strategy for &str {
+        type Value = String;
+        fn sample(&self, rng: &mut TestRng) -> String {
+            const WIDE: [char; 8] = ['é', 'Δ', '中', '¬', '٭', 'ß', '→', '🦀'];
+            fn split_repetition(pat: &str) -> Option<(&str, usize, usize)> {
+                let (body, rep) = pat.strip_suffix('}')?.split_at(pat.rfind('{')?);
+                let (lo, hi) = rep[1..].split_once(',')?;
+                Some((body, lo.parse().ok()?, hi.parse().ok()?))
+            }
+            let (body, lo, hi) = split_repetition(self).unwrap_or((self, 1, 1));
+            if body != "\\PC" {
+                return body.repeat(lo + rng.index(hi - lo + 1));
+            }
+            let len = lo + rng.index(hi - lo + 1);
+            (0..len)
+                .map(|_| match rng.index(8) {
+                    0 => WIDE[rng.index(WIDE.len())],
+                    _ => (0x20 + rng.index(0x5f) as u8) as char,
+                })
+                .collect()
+        }
+    }
+
+    /// Strategy returned by [`crate::arbitrary::any`].
+    pub struct Any<T>(pub(crate) PhantomData<T>);
+
+    impl<T: crate::arbitrary::Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+}
+
+pub mod arbitrary {
+    use crate::strategy::Any;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    pub trait Arbitrary: Sized {
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! int_arbitrary {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            // Mix finite magnitudes with the occasional special value,
+            // mirroring upstream's default float coverage.
+            match rng.next_u64() % 16 {
+                0 => f64::NAN,
+                1 => f64::INFINITY,
+                2 => f64::NEG_INFINITY,
+                3 => 0.0,
+                4 => -0.0,
+                _ => {
+                    let mag = (rng.next_u64() >> 11) as f64;
+                    let scale = 2f64.powi((rng.next_u64() % 129) as i32 - 64);
+                    let v = mag * scale;
+                    if rng.next_u64() & 1 == 1 {
+                        -v
+                    } else {
+                        v
+                    }
+                }
+            }
+        }
+    }
+
+    impl Arbitrary for f32 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            f64::arbitrary(rng) as f32
+        }
+    }
+
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Inclusive-min / exclusive-max element-count range.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        max_exclusive: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty collection size range");
+            Self {
+                min: r.start,
+                max_exclusive: r.end,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            Self {
+                min: *r.start(),
+                max_exclusive: r.end() + 1,
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self {
+                min: n,
+                max_exclusive: n + 1,
+            }
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let span = self.size.max_exclusive - self.size.min;
+            let len = self.size.min + rng.index(span.max(1));
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    pub struct OptionStrategy<S>(S);
+
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            // Some three times out of four, like upstream's default.
+            if rng.next_u64() % 4 == 0 {
+                None
+            } else {
+                Some(self.0.sample(rng))
+            }
+        }
+    }
+}
+
+/// `proptest! { ... }`: turns `fn name(arg in strategy, ...) { body }`
+/// items into `#[test]`-able functions that sample each strategy `cases`
+/// times. `prop_assert*` failures short-circuit the case via an `Err`
+/// return and panic with the rendered message.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!($cfg; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!($crate::test_runner::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ($cfg:expr;) => {};
+    ($cfg:expr;
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:pat in $strat:expr),* $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut proptest_rng = $crate::test_runner::TestRng::from_name(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            for proptest_case in 0..config.cases {
+                let outcome: ::core::result::Result<(), ::std::string::String> = (|| {
+                    $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut proptest_rng);)*
+                    $body
+                    ::core::result::Result::Ok(())
+                })();
+                if let ::core::result::Result::Err(message) = outcome {
+                    ::std::panic!(
+                        "proptest case {}/{} failed: {}",
+                        proptest_case + 1,
+                        config.cases,
+                        message
+                    );
+                }
+            }
+        }
+        $crate::__proptest_fns!($cfg; $($rest)*);
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond));
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err(::std::format!($($fmt)+));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return ::core::result::Result::Err(::std::format!(
+                "assertion failed: `{:?}` == `{:?}`",
+                left,
+                right
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return ::core::result::Result::Err(::std::format!(
+                "{}: `{:?}` == `{:?}`",
+                ::std::format!($($fmt)+),
+                left,
+                right
+            ));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if *left == *right {
+            return ::core::result::Result::Err(::std::format!(
+                "assertion failed: `{:?}` != `{:?}`",
+                left,
+                right
+            ));
+        }
+    }};
+}
+
+/// Uniform choice between strategies that share a `Value` type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn ranges_stay_in_bounds(a in 3u32..=9, b in -50i64..50, x in 0.25f64..0.75) {
+            prop_assert!((3..=9).contains(&a));
+            prop_assert!((-50..50).contains(&b));
+            prop_assert!((0.25..0.75).contains(&x));
+        }
+
+        #[test]
+        fn tuples_and_vecs_compose(
+            pair in (any::<u8>(), 1u32..=32),
+            bytes in crate::collection::vec(any::<u8>(), 0..16),
+            maybe in crate::option::of(any::<u16>()),
+        ) {
+            prop_assert!(pair.1 >= 1 && pair.1 <= 32);
+            prop_assert!(bytes.len() < 16);
+            if let Some(v) = maybe {
+                prop_assert_eq!(u32::from(v), v as u32);
+            }
+        }
+
+        #[test]
+        fn oneof_and_map_sample(v in prop_oneof![
+            Just(0i64),
+            any::<i64>().prop_map(|x| x.wrapping_abs()),
+        ]) {
+            prop_assert!(v == 0 || v == v.wrapping_abs());
+        }
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        #[derive(Debug, Clone)]
+        enum Tree {
+            Leaf(i64),
+            Node(Vec<Tree>),
+        }
+        fn depth(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf(_) => 1,
+                Tree::Node(kids) => 1 + kids.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        let leaf = any::<i64>().prop_map(Tree::Leaf);
+        let tree = leaf.prop_recursive(4, 32, 2, |inner| {
+            crate::collection::vec(inner, 0..3).prop_map(Tree::Node)
+        });
+        let mut rng = crate::test_runner::TestRng::from_name("recursive");
+        for _ in 0..200 {
+            let t = tree.sample(&mut rng);
+            assert!(depth(&t) <= 5);
+        }
+    }
+}
