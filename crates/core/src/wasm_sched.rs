@@ -10,10 +10,9 @@
 use std::sync::Arc;
 
 use waran_abi::sched::{SchedRequest, SchedResponse};
-use waran_host::plugin::{Plugin, PluginError, SandboxPolicy};
-use waran_host::{PluginHost, SlotHandle};
+use waran_host::plugin::{PluginError, SandboxPolicy};
+use waran_host::{Linker, PluginHost, SlotHandle, TemplateCache};
 use waran_ransim::sched::{SchedulerFault, SliceScheduler};
-use waran_wasm::instance::Linker;
 
 /// A [`SliceScheduler`] backed by a named plugin in a [`PluginHost`].
 pub struct WasmSliceScheduler {
@@ -45,10 +44,12 @@ impl WasmSliceScheduler {
         wasm: &[u8],
         policy: SandboxPolicy,
     ) -> Result<Self, PluginError> {
-        // Cached load: binding the same plugin to many slices/cells shares
-        // one validated module and its compiled IR.
-        let plugin = Plugin::new_cached(wasm, &Linker::new(), (), policy)?;
-        host.install(slot_name, plugin);
+        // Template-cached: binding the same plugin to many slices/cells
+        // shares one validated module, its compiled IR, one resolved
+        // import vector and one state snapshot — each install past the
+        // first is a memcpy stamp-out.
+        let pre = TemplateCache::global().get_or_build(&Linker::new(), wasm, policy)?;
+        host.install(slot_name, pre.instantiate(())?);
         Ok(Self::new(host, slot_name))
     }
 
@@ -92,14 +93,19 @@ impl SliceScheduler for WasmSliceScheduler {
 
 /// Install a plugin compiled from `.wasm` bytes into `host` under `name`
 /// (hot swap if the slot exists).
+///
+/// Swaps go through the content-addressed [`TemplateCache`]: installing
+/// *different* bytes builds (or re-uses) a different template, so the new
+/// slot epoch can never be stamped from the previous module's snapshot,
+/// while re-installing identical bytes intentionally reuses one.
 pub fn install_plugin(
     host: &PluginHost<()>,
     name: &str,
     wasm: &[u8],
     policy: SandboxPolicy,
 ) -> Result<(), PluginError> {
-    let plugin = Plugin::new_cached(wasm, &Linker::new(), (), policy)?;
-    host.install(name, plugin);
+    let pre = TemplateCache::global().get_or_build(&Linker::new(), wasm, policy)?;
+    host.install(name, pre.instantiate(())?);
     Ok(())
 }
 

@@ -1,0 +1,144 @@
+//! Regression suite for snapshot provenance across epoch live swaps.
+//!
+//! With snapshot instantiation on, every install stamps the slot's plugin
+//! out of a cached [`waran_host::PluginPre`]. The hazard this pins down:
+//! a live swap that installs *different* bytes must never produce an
+//! instance stamped from the *previous* module's snapshot (stale memory,
+//! stale globals). The template cache is content-addressed, so aliasing
+//! would require two different byte strings to resolve to one template —
+//! these tests hold that line from the outside.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use waran_core::install_plugin;
+use waran_host::{Linker, PluginHost, SandboxPolicy, TemplateCache};
+
+/// A module whose observable behavior is exactly its data segment: `run`
+/// returns guest memory `[0, 4)`, which segment init seeds with `tag`.
+fn tagged_wasm(tag: &str) -> Vec<u8> {
+    assert_eq!(tag.len(), 4);
+    waran_wasm::wat::assemble(&format!(
+        r#"(module
+             (memory (export "memory") 1)
+             (data (i32.const 0) "{tag}")
+             (func (export "run") (param i32 i32) (result i64)
+               i64.const 4))"#
+    ))
+    .expect("tagged module assembles")
+}
+
+fn snapshot_policy() -> SandboxPolicy {
+    let policy = SandboxPolicy::default();
+    assert!(
+        policy.snapshot_instantiation,
+        "snapshot instantiation must be the default for this regression to bite"
+    );
+    policy
+}
+
+#[test]
+fn live_swap_stamps_from_new_modules_snapshot() {
+    let host = PluginHost::new();
+    let a = tagged_wasm("AAAA");
+    let b = tagged_wasm("BBBB");
+    let policy = snapshot_policy();
+
+    install_plugin(&host, "slot", &a, policy).unwrap();
+    // Pin a handle *before* the swap: the regression path is a caller that
+    // adopts the new epoch at its next call boundary.
+    let handle = host.handle("slot").unwrap();
+    for _ in 0..32 {
+        assert_eq!(handle.call("run", &[]).unwrap(), b"AAAA");
+    }
+
+    install_plugin(&host, "slot", &b, policy).unwrap();
+    for _ in 0..32 {
+        assert_eq!(
+            handle.call("run", &[]).unwrap(),
+            b"BBBB",
+            "post-swap instance served the old module's snapshot"
+        );
+    }
+
+    // Swapping *back* must revive A's data segment — and is allowed (in
+    // fact expected) to reuse A's cached template to do it.
+    install_plugin(&host, "slot", &a, policy).unwrap();
+    assert_eq!(handle.call("run", &[]).unwrap(), b"AAAA");
+}
+
+#[test]
+fn live_swap_mid_soak_under_parallel_callers() {
+    let host = Arc::new(PluginHost::new());
+    let a = tagged_wasm("AAAA");
+    let b = tagged_wasm("BBBB");
+    let policy = snapshot_policy();
+    install_plugin(&host, "slot", &a, policy).unwrap();
+
+    let swapped = Arc::new(AtomicBool::new(false));
+    let caller = {
+        let host = Arc::clone(&host);
+        let swapped = Arc::clone(&swapped);
+        std::thread::spawn(move || {
+            let handle = host.handle("slot").unwrap();
+            let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+            loop {
+                let out = handle.call("run", &[]).unwrap();
+                // Never a torn or stale-mixed response: each call lands
+                // wholly in one epoch's snapshot.
+                assert!(out == b"AAAA" || out == b"BBBB", "torn response {out:?}");
+                if out == b"BBBB" {
+                    // Adoption must only ever happen after the swap.
+                    assert!(
+                        swapped.load(Ordering::SeqCst),
+                        "B served before its install"
+                    );
+                    return;
+                }
+                assert!(
+                    std::time::Instant::now() < deadline,
+                    "caller never adopted the new snapshot"
+                );
+            }
+        })
+    };
+
+    // Swap to B mid-soak; the pinned caller must adopt it at an upcoming
+    // call boundary.
+    swapped.store(true, Ordering::SeqCst);
+    install_plugin(&host, "slot", &b, policy).unwrap();
+    caller.join().unwrap();
+}
+
+#[test]
+fn swapped_bytes_never_alias_one_template() {
+    let cache = TemplateCache::new();
+    let linker = Linker::<()>::new();
+    let a = tagged_wasm("AAAA");
+    let b = tagged_wasm("BBBB");
+    let policy = snapshot_policy();
+
+    let pre_a = cache.get_or_build(&linker, &a, policy).unwrap();
+    let pre_b = cache.get_or_build(&linker, &b, policy).unwrap();
+    assert!(
+        !Arc::ptr_eq(pre_a.module(), pre_b.module()),
+        "different bytes must never share a template"
+    );
+    assert_eq!(cache.len(), 2);
+
+    let inst_a = pre_a.instantiate(()).unwrap();
+    let inst_b = pre_b.instantiate(()).unwrap();
+    assert_eq!(
+        inst_a.instance().memory().read_bytes(0, 4).unwrap(),
+        b"AAAA"
+    );
+    assert_eq!(
+        inst_b.instance().memory().read_bytes(0, 4).unwrap(),
+        b"BBBB"
+    );
+
+    // Re-requesting A's bytes is the swap-back path: one template, reused.
+    let pre_a2 = cache.get_or_build(&linker, &a, policy).unwrap();
+    assert!(Arc::ptr_eq(pre_a.module(), pre_a2.module()));
+    assert_eq!(cache.len(), 2);
+}

@@ -10,6 +10,12 @@
 //! * [`plugin::Plugin`] — one loaded instance + its [`plugin::SandboxPolicy`],
 //!   with the byte-buffer ABI (`wrn_alloc` / `entry(ptr, len) -> packed` /
 //!   `wrn_reset`) and typed scheduler calls.
+//! * [`linker::Linker`] — the two-level (`module` → `name`) host-function
+//!   namespace with shadowing control; [`linker::PluginPre`] — the
+//!   pre-validated instantiation template (resolved imports + sandbox
+//!   policy + post-segment-init snapshot) fleets stamp instances from in
+//!   O(µs); [`linker::TemplateCache`] — the content-addressed fleet-wide
+//!   template store.
 //! * [`host::PluginHost`] — the named registry: atomic [`host::PluginHost::install`]
 //!   (hot swap), per-slot health and quarantine, per-slot execution-time
 //!   statistics.
@@ -32,11 +38,13 @@
 //! ```
 
 pub mod host;
+pub mod linker;
 pub mod plugin;
 pub mod pool;
 pub mod stats;
 
 pub use host::{PluginHost, SlotHandle, SlotHealth, SlotState};
+pub use linker::{Linker, PluginPre, ShadowError, TemplateCache};
 pub use plugin::{ModuleCache, Plugin, PluginError, SandboxPolicy};
 pub use pool::PluginPool;
 pub use stats::{ExactQuantiles, ExecTimeStats, P2Quantile, QueueDepthStats, ShardedExecStats};

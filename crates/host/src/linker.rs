@@ -1,0 +1,621 @@
+//! Two-level linker and pre-validated plugin templates.
+//!
+//! Production fleets install the *same* plugin into hundreds of cells.
+//! Before this module existed, every install re-ran import resolution,
+//! import type-checking, ABI export resolution and data/elem-segment
+//! initialization per instance. The types here hoist all of that to
+//! per-*module* work:
+//!
+//! * [`Linker`] — a wasmtime-style two-level (`module` → `name`) namespace
+//!   of host functions with shadowing control. Definitions are
+//!   type-checked against a guest module exactly once, when a template is
+//!   built.
+//! * [`PluginPre`] — the pre-validated instantiation template: a
+//!   [`waran_wasm::InstancePre`] (resolved import vector + post-segment-init
+//!   memory/table/globals snapshot) plus the [`SandboxPolicy`] applied at
+//!   stamp-out and the pre-resolved byte-buffer ABI table.
+//!   [`PluginPre::instantiate`] is a memcpy of the snapshot, a handful of
+//!   `Arc` bumps and the start function — O(µs), independent of module
+//!   size.
+//! * [`TemplateCache`] — the fleet-wide template store, content-addressed
+//!   by `(bytecode, policy, linker)`. Content addressing is what makes
+//!   epoch live swaps safe: swapping different bytes into a slot *cannot*
+//!   reuse the old module's snapshot, because the new bytes hash to a
+//!   different template.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use waran_wasm::instance::{ExecLimits, InstancePre, Linker as WasmLinker};
+use waran_wasm::interp::{Memory, Value};
+use waran_wasm::types::{FuncType, ValType};
+use waran_wasm::{Module, Trap};
+
+use crate::plugin::{fnv1a, AbiTable, ModuleCache, Plugin, PluginError, SandboxPolicy};
+
+/// A definition registered twice under the same `(module, name)` pair with
+/// shadowing disabled.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShadowError {
+    /// Import-module namespace of the rejected definition.
+    pub module: String,
+    /// Field name of the rejected definition.
+    pub name: String,
+}
+
+impl std::fmt::Display for ShadowError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "`{}.{}` is already defined and shadowing is disallowed",
+            self.module, self.name
+        )
+    }
+}
+
+impl std::error::Error for ShadowError {}
+
+/// A two-level (`module` → `name`) namespace of host functions.
+///
+/// This wraps the engine-level [`waran_wasm::Linker`] (the flat resolver
+/// instances consume) with the bookkeeping an embedder needs: per-module
+/// namespaces, redefinition ("shadowing") control as in wasmtime's linker,
+/// and a structural fingerprint so template caches can key on linker
+/// configuration. The fingerprint covers names and signatures — two
+/// linkers that register different *behavior* under identical names are
+/// the embedder's responsibility to keep apart (the same contract as any
+/// config-keyed cache).
+pub struct Linker<T> {
+    inner: WasmLinker<T>,
+    /// `module` → `name` → registered signature.
+    namespaces: HashMap<String, HashMap<String, FuncType>>,
+    allow_shadowing: bool,
+    /// Order-independent XOR of per-definition hashes; shadowed
+    /// definitions are XORed back out, so the fingerprint reflects the
+    /// *surviving* definitions only.
+    fingerprint: u64,
+}
+
+impl<T> Default for Linker<T> {
+    fn default() -> Self {
+        Linker {
+            inner: WasmLinker::new(),
+            namespaces: HashMap::new(),
+            allow_shadowing: false,
+            fingerprint: 0,
+        }
+    }
+}
+
+impl<T> Clone for Linker<T> {
+    fn clone(&self) -> Self {
+        Linker {
+            inner: self.inner.clone(),
+            namespaces: self.namespaces.clone(),
+            allow_shadowing: self.allow_shadowing,
+            fingerprint: self.fingerprint,
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for Linker<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Linker")
+            .field("definitions", &self.len())
+            .field("allow_shadowing", &self.allow_shadowing)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<T> Linker<T> {
+    /// An empty linker that rejects redefinitions.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allow (or forbid) redefining an existing `(module, name)` pair.
+    /// Later definitions shadow earlier ones, as in wasmtime.
+    pub fn allow_shadowing(&mut self, allow: bool) -> &mut Self {
+        self.allow_shadowing = allow;
+        self
+    }
+
+    /// Register a host function under `module.name` with the given
+    /// signature.
+    ///
+    /// Errors when the pair is already defined and shadowing is off; with
+    /// shadowing on, the new definition replaces the old one.
+    pub fn func(
+        &mut self,
+        module: &str,
+        name: &str,
+        params: &[ValType],
+        results: &[ValType],
+        f: impl Fn(&mut T, &mut Memory, &[Value]) -> Result<Option<Value>, Trap> + Send + Sync + 'static,
+    ) -> Result<&mut Self, ShadowError> {
+        let ns = self.namespaces.entry(module.to_string()).or_default();
+        if let Some(prev) = ns.get(name) {
+            if !self.allow_shadowing {
+                return Err(ShadowError {
+                    module: module.to_string(),
+                    name: name.to_string(),
+                });
+            }
+            self.fingerprint ^= def_hash(module, name, prev);
+        }
+        let ty = FuncType::new(params, results);
+        self.fingerprint ^= def_hash(module, name, &ty);
+        ns.insert(name.to_string(), ty);
+        self.inner.func(module, name, params, results, f);
+        Ok(self)
+    }
+
+    /// True when `module.name` is defined.
+    pub fn defines(&self, module: &str, name: &str) -> bool {
+        self.namespaces
+            .get(module)
+            .is_some_and(|ns| ns.contains_key(name))
+    }
+
+    /// The registered signature of `module.name`, if any.
+    pub fn signature(&self, module: &str, name: &str) -> Option<&FuncType> {
+        self.namespaces.get(module)?.get(name)
+    }
+
+    /// Total number of definitions across all module namespaces.
+    pub fn len(&self) -> usize {
+        self.namespaces.values().map(HashMap::len).sum()
+    }
+
+    /// True when nothing is defined.
+    pub fn is_empty(&self) -> bool {
+        self.namespaces.is_empty()
+    }
+
+    /// Structural fingerprint of the surviving definitions (names +
+    /// signatures, order-independent). [`TemplateCache`] keys on this.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// The engine-level resolver view of this linker, as consumed by
+    /// [`waran_wasm::Instance`] and [`waran_wasm::InstancePre`].
+    pub fn wasm(&self) -> &WasmLinker<T> {
+        &self.inner
+    }
+
+    /// Resolve + type-check `module`'s imports against this linker once,
+    /// returning the reusable instantiation template.
+    pub fn instantiate_pre(
+        &self,
+        module: Arc<Module>,
+        policy: SandboxPolicy,
+    ) -> Result<PluginPre<T>, PluginError> {
+        PluginPre::new(module, &self.inner, policy)
+    }
+
+    /// One-shot convenience: build a snapshot-less template and stamp a
+    /// single [`Plugin`] out of it.
+    pub fn instantiate(
+        &self,
+        module: Arc<Module>,
+        data: T,
+        policy: SandboxPolicy,
+    ) -> Result<Plugin<T>, PluginError> {
+        Plugin::from_module(module, &self.inner, data, policy)
+    }
+}
+
+/// Hash of one linker definition, mixed into the structural fingerprint.
+fn def_hash(module: &str, name: &str, ty: &FuncType) -> u64 {
+    fnv1a(format!("{module}\u{0}{name}\u{0}{ty}").as_bytes())
+}
+
+/// A pre-validated plugin instantiation template.
+///
+/// Bundles the engine-level [`InstancePre`] (resolved imports + state
+/// snapshot) with the host-level context every stamped instance needs: the
+/// [`SandboxPolicy`] (deadline, exec tier, fuel — applied at stamp-out
+/// time) and the pre-resolved byte-buffer [`AbiTable`].
+///
+/// Cloning is a few `Arc` bumps; a template is `Send + Sync` and meant to
+/// be built once per `(module, policy)` and shared by every worker.
+pub struct PluginPre<T> {
+    pre: InstancePre<T>,
+    policy: SandboxPolicy,
+    abi: AbiTable,
+}
+
+impl<T> Clone for PluginPre<T> {
+    fn clone(&self) -> Self {
+        PluginPre {
+            pre: self.pre.clone(),
+            policy: self.policy,
+            abi: self.abi,
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for PluginPre<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PluginPre")
+            .field("pre", &self.pre)
+            .field("policy", &self.policy)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<T> PluginPre<T> {
+    /// Build a template for `module` under `policy`, snapshotting per the
+    /// policy's `snapshot_instantiation` knob.
+    pub fn new(
+        module: Arc<Module>,
+        linker: &WasmLinker<T>,
+        policy: SandboxPolicy,
+    ) -> Result<Self, PluginError> {
+        Self::with_snapshot(module, linker, policy, policy.snapshot_instantiation)
+    }
+
+    /// Build a template with an explicit snapshot decision (the one-shot
+    /// construction path forces it off: state used once is copied never).
+    pub fn with_snapshot(
+        module: Arc<Module>,
+        linker: &WasmLinker<T>,
+        policy: SandboxPolicy,
+        snapshot: bool,
+    ) -> Result<Self, PluginError> {
+        let limits = ExecLimits {
+            max_call_depth: policy.max_call_depth,
+            max_memory_pages: policy.max_memory_pages,
+            ..ExecLimits::default()
+        };
+        let abi = AbiTable::resolve(&module);
+        let pre = InstancePre::new_with(module, linker, limits, snapshot)
+            .map_err(PluginError::Instantiate)?;
+        Ok(PluginPre { pre, policy, abi })
+    }
+
+    /// The templated module.
+    pub fn module(&self) -> &Arc<Module> {
+        self.pre.module()
+    }
+
+    /// The sandbox policy stamped instances run under.
+    pub fn policy(&self) -> SandboxPolicy {
+        self.policy
+    }
+
+    /// True when stamp-outs copy a captured snapshot instead of re-running
+    /// segment init.
+    pub fn has_snapshot(&self) -> bool {
+        self.pre.has_snapshot()
+    }
+
+    /// Stamp out a live [`Plugin`] with host state `data`: memcpy the
+    /// snapshot, arm the policy's deadline and exec tier, run `start`.
+    pub fn instantiate(&self, data: T) -> Result<Plugin<T>, PluginError> {
+        let mut instance = self
+            .pre
+            .instantiate(data)
+            .map_err(PluginError::Instantiate)?;
+        instance.set_deadline(self.policy.deadline);
+        instance.set_exec_mode(self.policy.exec_mode);
+        Ok(Plugin::from_parts(instance, self.policy, self.abi))
+    }
+}
+
+/// All cached templates whose bytecode shares one FNV-1a hash.
+type TemplateBucket<T> = Vec<TemplateEntry<T>>;
+
+struct TemplateEntry<T> {
+    bytes: Arc<[u8]>,
+    policy: SandboxPolicy,
+    linker_fp: u64,
+    pre: PluginPre<T>,
+}
+
+impl<T> Clone for TemplateEntry<T> {
+    fn clone(&self) -> Self {
+        TemplateEntry {
+            bytes: Arc::clone(&self.bytes),
+            policy: self.policy,
+            linker_fp: self.linker_fp,
+            pre: self.pre.clone(),
+        }
+    }
+}
+
+/// A fleet-wide cache of [`PluginPre`] templates, content-addressed by
+/// `(bytecode, policy, linker fingerprint)`.
+///
+/// Sits one level above [`ModuleCache`]: where the module cache dedupes
+/// decode + validate + IR lowering per distinct bytecode, the template
+/// cache additionally dedupes import resolution, ABI resolution and the
+/// segment-init snapshot per distinct *deployment* of that bytecode.
+/// Installing one xApp into 100 cells costs one template build and 100
+/// memcpy stamp-outs.
+///
+/// Content addressing doubles as live-swap correctness: an epoch swap that
+/// installs different bytes necessarily builds (or re-uses) a *different*
+/// template, so post-swap instances can never be stamped from the old
+/// module's snapshot. Swapping back to previous bytes deliberately re-uses
+/// the previous template — the snapshot is a pure function of its key.
+///
+/// Keys are FNV-1a hashes verified by byte equality (collisions can never
+/// alias two plugins), same discipline as [`ModuleCache`]; the mutex only
+/// guards the map, with byte verification running outside the lock.
+pub struct TemplateCache<T> {
+    entries: Mutex<HashMap<u64, TemplateBucket<T>>>,
+}
+
+impl<T> TemplateCache<T> {
+    /// An empty cache.
+    pub fn new() -> Self {
+        TemplateCache {
+            entries: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Return the cached template for `(bytes, policy, linker)`, building
+    /// it (module via the global [`ModuleCache`], then a [`PluginPre`])
+    /// on the first request.
+    pub fn get_or_build(
+        &self,
+        linker: &Linker<T>,
+        bytes: &[u8],
+        policy: SandboxPolicy,
+    ) -> Result<PluginPre<T>, PluginError> {
+        let key = fnv1a(bytes);
+        let fp = linker.fingerprint();
+        if let Some(pre) = self.lookup(key, bytes, policy, fp) {
+            return Ok(pre);
+        }
+        // Build outside the lock: decode/validate/snapshot are the
+        // expensive paths and concurrent installs must not serialize.
+        let module = ModuleCache::global()
+            .load(bytes)
+            .map_err(PluginError::Load)?;
+        let pre = PluginPre::new(module, linker.wasm(), policy)?;
+        let mut entries = self.entries.lock().expect("template cache poisoned");
+        let bucket = entries.entry(key).or_default();
+        // A racing install may have added it between unlock and relock.
+        for entry in bucket.iter() {
+            if entry.matches(bytes, policy, fp) {
+                return Ok(entry.pre.clone());
+            }
+        }
+        bucket.push(TemplateEntry {
+            bytes: Arc::from(bytes),
+            policy,
+            linker_fp: fp,
+            pre: pre.clone(),
+        });
+        Ok(pre)
+    }
+
+    /// Hit path: snapshot the bucket under the lock, verify byte equality
+    /// after releasing it.
+    fn lookup(
+        &self,
+        key: u64,
+        bytes: &[u8],
+        policy: SandboxPolicy,
+        linker_fp: u64,
+    ) -> Option<PluginPre<T>> {
+        let bucket: TemplateBucket<T> = {
+            let entries = self.entries.lock().expect("template cache poisoned");
+            entries.get(&key)?.clone()
+        };
+        bucket
+            .iter()
+            .find(|entry| entry.matches(bytes, policy, linker_fp))
+            .map(|entry| entry.pre.clone())
+    }
+
+    /// Number of distinct templates cached.
+    pub fn len(&self) -> usize {
+        self.entries
+            .lock()
+            .expect("template cache poisoned")
+            .values()
+            .map(Vec::len)
+            .sum()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop every template whose bytecode is `bytes` (all policies and
+    /// linkers), e.g. after an operator retires a plugin version. Returns
+    /// the number of templates dropped; live clones stay valid.
+    pub fn invalidate(&self, bytes: &[u8]) -> usize {
+        let key = fnv1a(bytes);
+        let mut entries = self.entries.lock().expect("template cache poisoned");
+        let Some(bucket) = entries.get_mut(&key) else {
+            return 0;
+        };
+        let before = bucket.len();
+        bucket.retain(|entry| entry.bytes.as_ref() != bytes);
+        let dropped = before - bucket.len();
+        if bucket.is_empty() {
+            entries.remove(&key);
+        }
+        dropped
+    }
+
+    /// Drop every cached template (live clones stay valid).
+    pub fn clear(&self) {
+        self.entries
+            .lock()
+            .expect("template cache poisoned")
+            .clear();
+    }
+}
+
+impl<T> TemplateEntry<T> {
+    fn matches(&self, bytes: &[u8], policy: SandboxPolicy, linker_fp: u64) -> bool {
+        self.linker_fp == linker_fp && self.policy == policy && self.bytes.as_ref() == bytes
+    }
+}
+
+impl<T> Default for TemplateCache<T> {
+    fn default() -> Self {
+        TemplateCache::new()
+    }
+}
+
+impl TemplateCache<()> {
+    /// The process-wide cache used by the scenario engine's stateless
+    /// (`T = ()`) plugin installs.
+    pub fn global() -> &'static TemplateCache<()> {
+        static GLOBAL: OnceLock<TemplateCache<()>> = OnceLock::new();
+        GLOBAL.get_or_init(TemplateCache::new)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counter_wasm() -> Vec<u8> {
+        waran_wasm::wat::assemble(
+            r#"(module
+                 (memory 1)
+                 (data (i32.const 16) "seeded")
+                 (global $g (mut i32) (i32.const 7))
+                 (func (export "bump") (result i32)
+                   global.get $g
+                   i32.const 1
+                   i32.add
+                   global.set $g
+                   global.get $g))"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn shadowing_is_rejected_then_allowed() {
+        let mut linker = Linker::<()>::new();
+        linker
+            .func("env", "f", &[], &[], |_, _, _| Ok(None))
+            .unwrap();
+        let err = linker
+            .func("env", "f", &[], &[], |_, _, _| Ok(None))
+            .unwrap_err();
+        assert_eq!(err.module, "env");
+        assert_eq!(err.name, "f");
+        // Same name in a different module namespace is not shadowing.
+        linker
+            .func("env2", "f", &[], &[], |_, _, _| Ok(None))
+            .unwrap();
+        linker.allow_shadowing(true);
+        linker
+            .func("env", "f", &[ValType::I32], &[], |_, _, _| Ok(None))
+            .unwrap();
+        assert_eq!(linker.len(), 2);
+        assert_eq!(
+            linker.signature("env", "f").unwrap().params,
+            vec![ValType::I32]
+        );
+    }
+
+    #[test]
+    fn fingerprint_tracks_surviving_definitions() {
+        let mut a = Linker::<()>::new();
+        let mut b = Linker::<()>::new();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        a.func("env", "f", &[], &[], |_, _, _| Ok(None)).unwrap();
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        // Same names+signatures, different registration order: equal.
+        a.func("env", "g", &[ValType::I32], &[], |_, _, _| Ok(None))
+            .unwrap();
+        b.func("env", "g", &[ValType::I32], &[], |_, _, _| Ok(None))
+            .unwrap();
+        b.func("env", "f", &[], &[], |_, _, _| Ok(None)).unwrap();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        // Shadowing with a different signature changes the fingerprint…
+        a.allow_shadowing(true);
+        a.func("env", "f", &[ValType::I64], &[], |_, _, _| Ok(None))
+            .unwrap();
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        // …and shadowing back restores it.
+        a.func("env", "f", &[], &[], |_, _, _| Ok(None)).unwrap();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn template_stamps_are_isolated_and_seeded() {
+        let wasm = counter_wasm();
+        let module = ModuleCache::new().load(&wasm).unwrap();
+        let pre = Linker::<()>::new()
+            .instantiate_pre(module, SandboxPolicy::default())
+            .unwrap();
+        assert!(pre.has_snapshot());
+        let mut p1 = pre.instantiate(()).unwrap();
+        let mut p2 = pre.instantiate(()).unwrap();
+        // Data segment present in every stamp-out.
+        assert_eq!(p1.instance().memory().read_bytes(16, 6).unwrap(), b"seeded");
+        // Globals start from the snapshot and diverge per instance.
+        let bump = |p: &mut Plugin<()>| p.instance_mut().invoke("bump", &[]).unwrap();
+        assert_eq!(bump(&mut p1), Some(Value::I32(8)));
+        assert_eq!(bump(&mut p1), Some(Value::I32(9)));
+        assert_eq!(bump(&mut p2), Some(Value::I32(8)));
+        // Mutating a stamped instance never leaks back into the template.
+        p1.instance_mut()
+            .memory_mut()
+            .write_bytes(16, b"dirty!")
+            .unwrap();
+        let p3 = pre.instantiate(()).unwrap();
+        assert_eq!(p3.instance().memory().read_bytes(16, 6).unwrap(), b"seeded");
+    }
+
+    #[test]
+    fn template_cache_keys_on_bytes_policy_and_linker() {
+        let cache = TemplateCache::new();
+        let linker = Linker::<()>::new();
+        let wasm = counter_wasm();
+        let p1 = cache
+            .get_or_build(&linker, &wasm, SandboxPolicy::default())
+            .unwrap();
+        let p2 = cache
+            .get_or_build(&linker, &wasm, SandboxPolicy::default())
+            .unwrap();
+        assert!(Arc::ptr_eq(p1.module(), p2.module()));
+        assert_eq!(cache.len(), 1);
+        // Different policy → different template.
+        cache
+            .get_or_build(&linker, &wasm, SandboxPolicy::slot_budget())
+            .unwrap();
+        assert_eq!(cache.len(), 2);
+        // Different linker config → different template.
+        let mut other = Linker::<()>::new();
+        other
+            .func("env", "h", &[], &[], |_, _, _| Ok(None))
+            .unwrap();
+        cache
+            .get_or_build(&other, &wasm, SandboxPolicy::default())
+            .unwrap();
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.invalidate(&wasm), 3);
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn snapshot_off_policy_is_honored() {
+        let wasm = counter_wasm();
+        let module = ModuleCache::new().load(&wasm).unwrap();
+        let policy = SandboxPolicy {
+            snapshot_instantiation: false,
+            ..SandboxPolicy::default()
+        };
+        let pre = Linker::<()>::new().instantiate_pre(module, policy).unwrap();
+        assert!(!pre.has_snapshot());
+        let mut p = pre.instantiate(()).unwrap();
+        assert_eq!(
+            p.instance_mut().invoke("bump", &[]).unwrap(),
+            Some(Value::I32(8))
+        );
+    }
+}

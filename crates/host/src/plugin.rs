@@ -6,16 +6,18 @@ use std::time::{Duration, Instant};
 
 use waran_abi::sched::{SchedRequest, SchedResponse};
 use waran_abi::CodecError;
-use waran_wasm::instance::{ExecLimits, ExecMode, Instance, InstantiateError, Linker};
+use waran_wasm::instance::{ExecMode, Instance, InstantiateError, Linker};
 use waran_wasm::interp::Value;
 use waran_wasm::types::ValType;
 use waran_wasm::{LoadError, Module, Trap};
+
+use crate::linker::PluginPre;
 
 /// Per-plugin sandbox policy.
 ///
 /// Defaults are sized for the paper's setting: a scheduler plugin that must
 /// finish well inside a 1 ms slot with a few MiB of state.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SandboxPolicy {
     /// Hard cap on linear-memory pages (layered under the module's own
     /// declared maximum). 64 pages = 4 MiB.
@@ -35,6 +37,12 @@ pub struct SandboxPolicy {
     /// this only trades dispatch overhead, so it is a policy knob rather
     /// than a correctness one.
     pub exec_mode: ExecMode,
+    /// Stamp instances out of a captured post-segment-init snapshot
+    /// (memcpy) instead of re-running data/elem/global initialization per
+    /// instance. Like `exec_mode` this is observationally neutral — the
+    /// parity proptests pin snapshot-on and snapshot-off to bit-identical
+    /// state — so it is a perf knob, on by default.
+    pub snapshot_instantiation: bool,
 }
 
 impl Default for SandboxPolicy {
@@ -47,6 +55,7 @@ impl Default for SandboxPolicy {
             max_response_bytes: 1 << 20,
             quarantine_after: 3,
             exec_mode: ExecMode::default(),
+            snapshot_instantiation: true,
         }
     }
 }
@@ -224,7 +233,7 @@ impl Default for ModuleCache {
 }
 
 /// 64-bit FNV-1a over the module bytecode.
-fn fnv1a(bytes: &[u8]) -> u64 {
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in bytes {
         h ^= b as u64;
@@ -244,6 +253,47 @@ enum AbiFn {
     /// Absent or wrongly typed: fall back to the name-based `invoke`,
     /// which reports the precise binding error.
     Dynamic,
+}
+
+/// The byte-buffer ABI entry points, pre-resolved against a module.
+///
+/// Resolution is a property of the *module*, not of any one instance, so a
+/// [`crate::linker::PluginPre`] resolves this table once at template build
+/// and every stamped-out [`Plugin`] copies it — the same table the one-shot
+/// construction path uses, so the uncached and pooled paths cannot drift.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct AbiTable {
+    /// `wrn_alloc(len) -> ptr`.
+    alloc: AbiFn,
+    /// `wrn_reset()`; `None` when the module doesn't export it.
+    reset: Option<AbiFn>,
+}
+
+impl AbiTable {
+    /// Resolve the fixed ABI exports from `module`.
+    pub(crate) fn resolve(module: &Module) -> AbiTable {
+        AbiTable {
+            alloc: resolve_export(module, "wrn_alloc", &[ValType::I32]),
+            reset: if module.exported_func("wrn_reset").is_some() {
+                Some(resolve_export(module, "wrn_reset", &[]))
+            } else {
+                None
+            },
+        }
+    }
+}
+
+/// Resolve an exported function whose parameters must be exactly `params`.
+/// Anything else stays [`AbiFn::Dynamic`] so the per-call binding error
+/// matches the name-based path.
+fn resolve_export(module: &Module, name: &str, params: &[ValType]) -> AbiFn {
+    match module
+        .exported_func(name)
+        .and_then(|idx| module.func_type(idx).map(|ty| (idx, ty)))
+    {
+        Some((idx, ty)) if ty.params == params => AbiFn::Ok(idx),
+        _ => AbiFn::Dynamic,
+    }
 }
 
 pub struct Plugin<T> {
@@ -289,48 +339,31 @@ impl<T> Plugin<T> {
     }
 
     /// Instantiate an already-validated module.
+    ///
+    /// One-shot construction rides the same [`PluginPre`] template path the
+    /// fleet pools use — import resolution, sandbox-limit derivation and ABI
+    /// pre-resolution exist exactly once — just without a snapshot, since
+    /// state built for a single instance would be copied zero times.
     pub fn from_module(
         module: Arc<Module>,
         linker: &Linker<T>,
         data: T,
         policy: SandboxPolicy,
     ) -> Result<Plugin<T>, PluginError> {
-        let limits = ExecLimits {
-            max_call_depth: policy.max_call_depth,
-            max_memory_pages: policy.max_memory_pages,
-            ..ExecLimits::default()
-        };
-        let mut instance = Instance::with_limits(module, linker, data, limits)
-            .map_err(PluginError::Instantiate)?;
-        instance.set_deadline(policy.deadline);
-        instance.set_exec_mode(policy.exec_mode);
-        let alloc_fn = Self::resolve_abi(&instance, "wrn_alloc", &[ValType::I32]);
-        let reset_fn = if instance.has_export("wrn_reset") {
-            Some(Self::resolve_abi(&instance, "wrn_reset", &[]))
-        } else {
-            None
-        };
-        Ok(Plugin {
+        PluginPre::with_snapshot(module, linker, policy, false)?.instantiate(data)
+    }
+
+    /// Wire an already-stamped instance to its policy and pre-resolved ABI
+    /// table (the [`PluginPre::instantiate`] back half).
+    pub(crate) fn from_parts(instance: Instance<T>, policy: SandboxPolicy, abi: AbiTable) -> Self {
+        Plugin {
             instance,
             policy,
             last_call: None,
-            alloc_fn,
-            reset_fn,
+            alloc_fn: abi.alloc,
+            reset_fn: abi.reset,
             entry_cache: None,
             scratch: Vec::new(),
-        })
-    }
-
-    /// Resolve an exported ABI function whose parameters must be exactly
-    /// `params`. Anything else stays [`AbiFn::Dynamic`] so the per-call
-    /// binding error matches the name-based path.
-    fn resolve_abi(instance: &Instance<T>, name: &str, params: &[ValType]) -> AbiFn {
-        match (
-            instance.module().exported_func(name),
-            instance.export_type(name),
-        ) {
-            (Some(idx), Some(ty)) if ty.params == params => AbiFn::Ok(idx),
-            _ => AbiFn::Dynamic,
         }
     }
 
@@ -421,7 +454,8 @@ impl<T> Plugin<T> {
         let args = [Value::I32(in_ptr as i32), Value::I32(len as i32)];
         let result = match &self.entry_cache {
             Some((name, f)) if name == entry => self.instance.call_func(*f, &args)?,
-            _ => match Self::resolve_abi(&self.instance, entry, &[ValType::I32, ValType::I32]) {
+            _ => match resolve_export(self.instance.module(), entry, &[ValType::I32, ValType::I32])
+            {
                 AbiFn::Ok(f) => {
                     self.entry_cache = Some((entry.to_string(), f));
                     self.instance.call_func(f, &args)?

@@ -1,64 +1,81 @@
-//! Per-worker plugin instance pools over one shared compiled module.
+//! Per-worker plugin instance pools stamped from one shared template.
 //!
 //! The sharded scenario engine follows the cache's compile-once rule to
-//! its conclusion: *compile per bytecode hash, instantiate per worker*.
-//! A [`PluginPool`] is the per-worker half — a set of ready instances all
-//! created from the same `Arc<Module>`, so N workers running the same
-//! xApp share one decoded, validated, flat-IR-lowered module and differ
+//! its conclusion: *compile per bytecode hash, template per deployment,
+//! stamp per worker*. A [`PluginPool`] is the per-worker half — a set of
+//! ready instances all stamped from the same [`PluginPre`], so N workers
+//! running the same xApp share one decoded, validated, flat-IR-lowered
+//! module *and* one resolved import vector + state snapshot, and differ
 //! only in the cheap mutable state (memory, globals, host data).
 //!
 //! A pool is meant to be *owned by one worker thread*: none of its
 //! methods lock, because exclusive ownership is the synchronization. The
-//! compile-level sharing happens before the pool exists, in
-//! [`ModuleCache::load`]. `Plugin<T>: Send` (for `T: Send`) is what lets
-//! a pool built on the control thread move into its worker.
+//! template-level sharing happens before the pool exists, in
+//! [`ModuleCache::load`] / [`PluginPre`] construction. `Plugin<T>: Send`
+//! (for `T: Send`) is what lets a pool built on the control thread move
+//! into its worker.
 
 use std::sync::Arc;
 
 use waran_wasm::instance::Linker;
-use waran_wasm::{LoadError, Module};
+use waran_wasm::Module;
 
+use crate::linker::PluginPre;
 use crate::plugin::{ModuleCache, Plugin, PluginError, SandboxPolicy};
 
-/// A worker-owned pool of plugin instances sharing one compiled module.
+/// A worker-owned pool of plugin instances stamped from one shared
+/// template.
 ///
 /// Instances are addressed by index — the sharded engine uses one index
 /// per cell assigned to the worker — and the pool can grow on demand when
 /// cells migrate between workers.
 pub struct PluginPool<T> {
-    module: Arc<Module>,
-    linker: Linker<T>,
-    policy: SandboxPolicy,
+    pre: PluginPre<T>,
     plugins: Vec<Plugin<T>>,
 }
 
 impl<T> PluginPool<T> {
     /// Build a pool from raw bytecode, deduplicating the compiled module
     /// through `cache`. Every pool built from the same bytes (across all
-    /// workers) shares one `Arc<Module>`.
+    /// workers) shares one `Arc<Module>`; this pool additionally gets its
+    /// own instantiation template (import resolution + snapshot run once
+    /// here, not per spawn).
     pub fn from_cache(
         cache: &ModuleCache,
         bytes: &[u8],
         linker: Linker<T>,
         policy: SandboxPolicy,
-    ) -> Result<Self, LoadError> {
-        let module = cache.load(bytes)?;
-        Ok(Self::from_module(module, linker, policy))
+    ) -> Result<Self, PluginError> {
+        let module = cache.load(bytes).map_err(PluginError::Load)?;
+        Self::from_module(module, linker, policy)
     }
 
     /// Build an empty pool over an already-compiled module.
-    pub fn from_module(module: Arc<Module>, linker: Linker<T>, policy: SandboxPolicy) -> Self {
+    pub fn from_module(
+        module: Arc<Module>,
+        linker: Linker<T>,
+        policy: SandboxPolicy,
+    ) -> Result<Self, PluginError> {
+        Ok(Self::from_pre(PluginPre::new(module, &linker, policy)?))
+    }
+
+    /// Build an empty pool stamping from an existing (possibly fleet-wide
+    /// shared) template.
+    pub fn from_pre(pre: PluginPre<T>) -> Self {
         PluginPool {
-            module,
-            linker,
-            policy,
+            pre,
             plugins: Vec::new(),
         }
     }
 
     /// The shared module this pool instantiates from.
     pub fn module(&self) -> &Arc<Module> {
-        &self.module
+        self.pre.module()
+    }
+
+    /// The template this pool stamps from.
+    pub fn pre(&self) -> &PluginPre<T> {
+        &self.pre
     }
 
     /// Number of live instances.
@@ -71,11 +88,9 @@ impl<T> PluginPool<T> {
         self.plugins.is_empty()
     }
 
-    /// Append one fresh instance with host data `data`; returns its index.
+    /// Stamp one fresh instance with host data `data`; returns its index.
     pub fn spawn(&mut self, data: T) -> Result<usize, PluginError> {
-        let plugin =
-            Plugin::from_module(Arc::clone(&self.module), &self.linker, data, self.policy)?;
-        self.plugins.push(plugin);
+        self.plugins.push(self.pre.instantiate(data)?);
         Ok(self.plugins.len() - 1)
     }
 
@@ -107,6 +122,7 @@ impl<T> std::fmt::Debug for PluginPool<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("PluginPool")
             .field("instances", &self.plugins.len())
+            .field("snapshot", &self.pre.has_snapshot())
             .finish_non_exhaustive()
     }
 }
@@ -160,6 +176,19 @@ mod tests {
     }
 
     #[test]
+    fn pools_can_share_one_template() {
+        let wasm = counter_wasm();
+        let cache = ModuleCache::new();
+        let module = cache.load(&wasm).unwrap();
+        let pre = PluginPre::new(module, &Linker::<()>::new(), SandboxPolicy::default()).unwrap();
+        let mut a = PluginPool::from_pre(pre.clone());
+        let mut b = PluginPool::from_pre(pre);
+        a.grow_to(2, |_| ()).unwrap();
+        b.grow_to(2, |_| ()).unwrap();
+        assert!(Arc::ptr_eq(a.module(), b.module()));
+    }
+
+    #[test]
     fn pool_moves_into_worker_thread() {
         let wasm = counter_wasm();
         let cache = ModuleCache::new();
@@ -167,8 +196,8 @@ mod tests {
             PluginPool::from_cache(&cache, &wasm, Linker::<()>::new(), SandboxPolicy::default())
                 .unwrap();
         pool.grow_to(1, |_| ()).unwrap();
-        // `Plugin<T>: Send` for `T: Send` — a control thread builds the
-        // pool, a worker runs it.
+        // `Plugin<T>: Send` — a control thread builds the pool, a worker
+        // runs it.
         let handle = std::thread::spawn(move || {
             let p = pool.get_mut(0).unwrap();
             p.instance_mut().invoke("bump", &[]).unwrap()

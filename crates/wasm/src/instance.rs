@@ -8,7 +8,7 @@
 //! (the 5G slot budget).
 
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use crate::compile::Op;
@@ -198,8 +198,9 @@ pub struct Instance<T> {
     memory: Memory,
     table: Table,
     globals: Vec<Value>,
-    /// Host functions in import order.
-    host_funcs: Vec<HostFuncDef<T>>,
+    /// Host functions in import order, shared with the [`InstancePre`] the
+    /// instance was stamped from (one atomic refcount bump per stamp-out).
+    host_funcs: Arc<[HostFuncDef<T>]>,
     /// Embedder state handed to host functions.
     pub data: T,
     limits: ExecLimits,
@@ -218,6 +219,19 @@ pub struct Instance<T> {
     /// (windows overlap at call boundaries) plus its frame stack.
     scratch_regs: Vec<Value>,
     scratch_rframes: Vec<RFrame>,
+    /// The template snapshot this instance was stamped from, if any: on
+    /// drop, the linear-memory buffer is re-zeroed up to its dirty
+    /// high-water mark and returned to the template's pool, so the next
+    /// stamp-out skips the full-buffer allocation + memset.
+    recycle_to: Option<Arc<StateSnapshot>>,
+}
+
+impl<T> Drop for Instance<T> {
+    fn drop(&mut self) {
+        if let Some(snap) = self.recycle_to.take() {
+            snap.reclaim(&mut self.memory);
+        }
+    }
 }
 
 impl<T> std::fmt::Debug for Instance<T> {
@@ -244,6 +258,7 @@ fn _instance_send_audit<T: Send>() {
     fn is_send<X: Send>() {}
     is_send::<Instance<T>>();
     is_send::<Linker<T>>();
+    is_send::<InstancePre<T>>();
     is_send::<Memory>();
 }
 #[allow(dead_code)]
@@ -251,51 +266,66 @@ fn _linker_sync_audit<T: Send + Sync>() {
     // One `Linker` may be shared by many workers instantiating pools.
     fn is_sync<X: Sync>() {}
     is_sync::<Linker<T>>();
+    // An `InstancePre` is the fleet-wide instantiation template: one per
+    // plugin, read concurrently by every worker stamping out instances.
+    is_sync::<InstancePre<T>>();
 }
 
-impl<T> Instance<T> {
-    /// Instantiate `module` with imports from `linker` and host state `data`,
-    /// using default [`ExecLimits`].
-    pub fn new(module: Arc<Module>, linker: &Linker<T>, data: T) -> Result<Self, InstantiateError> {
-        Self::with_limits(module, linker, data, ExecLimits::default())
-    }
-
-    /// Instantiate with explicit limits.
-    pub fn with_limits(
-        module: Arc<Module>,
-        linker: &Linker<T>,
-        data: T,
-        limits: ExecLimits,
-    ) -> Result<Self, InstantiateError> {
-        // Resolve imports.
-        let mut host_funcs = Vec::new();
-        for imp in &module.imports {
-            let ImportKind::Func { type_idx } = imp.kind;
-            let expected = &module.types[type_idx as usize];
-            let def = linker.resolve(&imp.module, &imp.name).ok_or_else(|| {
-                InstantiateError::MissingImport {
-                    module: imp.module.clone(),
-                    name: imp.name.clone(),
-                }
-            })?;
-            if def.ty != *expected {
-                return Err(InstantiateError::ImportTypeMismatch {
-                    module: imp.module.clone(),
-                    name: imp.name.clone(),
-                    expected: Box::new(expected.clone()),
-                    found: Box::new(def.ty.clone()),
-                });
+/// Resolve a module's function imports against a linker, type-checking
+/// each one. This is the single import-resolution path: the cold
+/// [`Instance::with_limits`] and the pre-validated [`InstancePre`] both go
+/// through it, so their error behavior cannot drift.
+fn resolve_imports<T>(
+    module: &Module,
+    linker: &Linker<T>,
+) -> Result<Vec<HostFuncDef<T>>, InstantiateError> {
+    let mut host_funcs = Vec::with_capacity(module.imports.len());
+    for imp in &module.imports {
+        let ImportKind::Func { type_idx } = imp.kind;
+        let expected = &module.types[type_idx as usize];
+        let def = linker.resolve(&imp.module, &imp.name).ok_or_else(|| {
+            InstantiateError::MissingImport {
+                module: imp.module.clone(),
+                name: imp.name.clone(),
             }
-            host_funcs.push(def.clone());
+        })?;
+        if def.ty != *expected {
+            return Err(InstantiateError::ImportTypeMismatch {
+                module: imp.module.clone(),
+                name: imp.name.clone(),
+                expected: Box::new(expected.clone()),
+                found: Box::new(def.ty.clone()),
+            });
         }
+        host_funcs.push(def.clone());
+    }
+    Ok(host_funcs)
+}
 
+/// The mutable state of an instance right after segment initialization:
+/// linear memory with active data segments applied, table with element
+/// segments installed, globals at their initializer values — and the start
+/// function *not yet run*.
+///
+/// This is the unit the template/live-state split revolves around: built
+/// fresh from the module on the cold path, or captured once in an
+/// [`InstancePre`] snapshot and stamped into each new instance by memcpy.
+struct InstanceState {
+    memory: Memory,
+    table: Table,
+    globals: Vec<Value>,
+}
+
+impl InstanceState {
+    /// Initialize from the module's segments (the cold path, and the one
+    /// snapshot capture per template).
+    fn init(module: &Module, limits: &ExecLimits) -> Result<Self, InstantiateError> {
         // Memory + data segments.
-        let memory = match module.memory {
+        let mut memory = match module.memory {
             Some(mem_limits) => Memory::new(mem_limits, limits.max_memory_pages)
                 .map_err(InstantiateError::MemoryPolicy)?,
             None => Memory::empty(),
         };
-        let mut memory = memory;
         for seg in &module.data {
             let ConstExpr::I32(offset) = seg.offset else {
                 return Err(InstantiateError::DataSegmentOutOfBounds);
@@ -330,6 +360,240 @@ impl<T> Instance<T> {
             })
             .collect();
 
+        Ok(InstanceState {
+            memory,
+            table,
+            globals,
+        })
+    }
+}
+
+/// Upper bound on pooled linear-memory buffers per template: enough to
+/// cover a worker fleet's stamp/drop churn, small enough that an idle
+/// template pins at most a few MiB.
+const MEMORY_POOL_CAP: usize = 32;
+
+/// The captured post-segment-init state an [`InstancePre`] stamps
+/// instances from, plus the recycling pool that makes stamp-out O(dirty
+/// bytes) instead of O(memory size).
+///
+/// `init_len` is the memory's dirty high-water mark at capture time:
+/// every byte past it is zero, so stamping from a pristine (all-zero)
+/// recycled buffer only needs to copy `init_len` bytes. Dropped
+/// instances re-zero their own dirty prefix and return the buffer here.
+struct StateSnapshot {
+    state: InstanceState,
+    /// Initialized extent of the captured memory image (bytes).
+    init_len: usize,
+    /// Pristine all-zero buffers of exactly `state.memory.size_bytes()`.
+    pool: Mutex<Vec<Vec<u8>>>,
+}
+
+impl StateSnapshot {
+    fn new(state: InstanceState) -> StateSnapshot {
+        StateSnapshot {
+            init_len: state.memory.dirty_max(),
+            pool: Mutex::new(Vec::new()),
+            state,
+        }
+    }
+
+    /// Stamp a fresh [`InstanceState`]: pop a pristine buffer and copy the
+    /// initialized prefix, or fall back to a full clone of the image when
+    /// the pool is empty (the first few stamps, or under deep churn).
+    fn stamp(&self) -> InstanceState {
+        let recycled = self.pool.lock().ok().and_then(|mut pool| pool.pop());
+        let memory = match recycled {
+            Some(buf) => Memory::from_recycled(buf, &self.state.memory, self.init_len),
+            None => self.state.memory.clone(),
+        };
+        InstanceState {
+            memory,
+            table: self.state.table.clone(),
+            globals: self.state.globals.clone(),
+        }
+    }
+
+    /// Take back a dropped instance's memory buffer. Buffers that no
+    /// longer match the template's size (the instance grew its memory)
+    /// are discarded; the rest are re-zeroed up to their dirty high-water
+    /// mark — O(bytes the instance actually wrote) — and pooled.
+    fn reclaim(&self, memory: &mut Memory) {
+        let len = self.state.memory.size_bytes();
+        if len == 0 || memory.size_bytes() != len {
+            return;
+        }
+        memory.zero_all();
+        if let Ok(mut pool) = self.pool.lock() {
+            if pool.len() < MEMORY_POOL_CAP {
+                pool.push(memory.take_data());
+            }
+        }
+    }
+}
+
+/// A pre-validated instantiation template: the module, its fully resolved
+/// and type-checked import vector, and (optionally) a snapshot of the
+/// post-segment-init mutable state.
+///
+/// Building an `InstancePre` runs decode-adjacent work — import
+/// resolution, type checks, memory allocation, data/elem-segment
+/// initialization — exactly once. [`InstancePre::instantiate`] then stamps
+/// out a live [`Instance`] as a memcpy of the snapshot plus a handful of
+/// `Arc` bumps, which is what keeps per-worker plugin spin-up in the
+/// microsecond range for hundred-cell fleets.
+///
+/// The snapshot is captured *before* the start function: `start` may call
+/// host functions against the instance's own host state, so it must run
+/// per stamp-out for snapshot instantiation to be observationally
+/// identical to the cold path.
+///
+/// Cloning is cheap (three `Arc` bumps); a template is `Send + Sync` and
+/// meant to be shared across worker threads.
+pub struct InstancePre<T> {
+    module: Arc<Module>,
+    host_funcs: Arc<[HostFuncDef<T>]>,
+    /// `None` when snapshotting is disabled: [`Self::instantiate`] then
+    /// re-runs segment init per instance (imports stay pre-resolved).
+    snapshot: Option<Arc<StateSnapshot>>,
+    limits: ExecLimits,
+}
+
+impl<T> Clone for InstancePre<T> {
+    fn clone(&self) -> Self {
+        InstancePre {
+            module: Arc::clone(&self.module),
+            host_funcs: Arc::clone(&self.host_funcs),
+            snapshot: self.snapshot.clone(),
+            limits: self.limits,
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for InstancePre<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("InstancePre")
+            .field("imports", &self.host_funcs.len())
+            .field("snapshot", &self.snapshot.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<T> InstancePre<T> {
+    /// Resolve + type-check `module`'s imports against `linker` and capture
+    /// the post-segment-init state snapshot.
+    pub fn new(
+        module: Arc<Module>,
+        linker: &Linker<T>,
+        limits: ExecLimits,
+    ) -> Result<Self, InstantiateError> {
+        Self::new_with(module, linker, limits, true)
+    }
+
+    /// Like [`Self::new`] with an explicit snapshot knob. With `snapshot`
+    /// off the template still skips per-instance import resolution but
+    /// runs segment init on every [`Self::instantiate`] — the ablation
+    /// point between "cold" and "snapshot" instantiation, and the route
+    /// one-shot construction takes (init exactly once, copied zero times).
+    /// Segment errors consequently surface at build time with the snapshot
+    /// on, and at stamp-out time with it off.
+    pub fn new_with(
+        module: Arc<Module>,
+        linker: &Linker<T>,
+        limits: ExecLimits,
+        snapshot: bool,
+    ) -> Result<Self, InstantiateError> {
+        let host_funcs: Arc<[HostFuncDef<T>]> = resolve_imports(&module, linker)?.into();
+        let snapshot = if snapshot {
+            Some(Arc::new(StateSnapshot::new(InstanceState::init(
+                &module, &limits,
+            )?)))
+        } else {
+            None
+        };
+        Ok(InstancePre {
+            module,
+            host_funcs,
+            snapshot,
+            limits,
+        })
+    }
+
+    /// The templated module.
+    pub fn module(&self) -> &Arc<Module> {
+        &self.module
+    }
+
+    /// The execution limits instances are stamped with.
+    pub fn limits(&self) -> ExecLimits {
+        self.limits
+    }
+
+    /// True when stamp-outs copy the captured snapshot instead of
+    /// re-running segment init.
+    pub fn has_snapshot(&self) -> bool {
+        self.snapshot.is_some()
+    }
+
+    /// Stamp out a live instance: copy the snapshot's initialized prefix
+    /// into a pooled buffer (or re-init when snapshotting is off), bump
+    /// the shared import vector, run `start`.
+    pub fn instantiate(&self, data: T) -> Result<Instance<T>, InstantiateError> {
+        let (state, recycle_to) = match &self.snapshot {
+            Some(snap) => (snap.stamp(), Some(Arc::clone(snap))),
+            None => (InstanceState::init(&self.module, &self.limits)?, None),
+        };
+        Instance::assemble(
+            Arc::clone(&self.module),
+            Arc::clone(&self.host_funcs),
+            state,
+            data,
+            self.limits,
+            recycle_to,
+        )
+    }
+}
+
+impl<T> Instance<T> {
+    /// Instantiate `module` with imports from `linker` and host state `data`,
+    /// using default [`ExecLimits`].
+    pub fn new(module: Arc<Module>, linker: &Linker<T>, data: T) -> Result<Self, InstantiateError> {
+        Self::with_limits(module, linker, data, ExecLimits::default())
+    }
+
+    /// Instantiate with explicit limits. This is the *cold* path: imports
+    /// are resolved and the mutable state initialized from the module's
+    /// segments on every call. Fleets stamping out many instances of one
+    /// module should build an [`InstancePre`] once and instantiate from it.
+    pub fn with_limits(
+        module: Arc<Module>,
+        linker: &Linker<T>,
+        data: T,
+        limits: ExecLimits,
+    ) -> Result<Self, InstantiateError> {
+        let host_funcs: Arc<[HostFuncDef<T>]> = resolve_imports(&module, linker)?.into();
+        let state = InstanceState::init(&module, &limits)?;
+        Self::assemble(module, host_funcs, state, data, limits, None)
+    }
+
+    /// Final construction step shared by the cold path and
+    /// [`InstancePre::instantiate`]: wire the parts together and run the
+    /// start function (which must execute per *instance*, never per
+    /// template — it may call host functions against this instance's own
+    /// `data`).
+    fn assemble(
+        module: Arc<Module>,
+        host_funcs: Arc<[HostFuncDef<T>]>,
+        state: InstanceState,
+        data: T,
+        limits: ExecLimits,
+        recycle_to: Option<Arc<StateSnapshot>>,
+    ) -> Result<Self, InstantiateError> {
+        let InstanceState {
+            memory,
+            table,
+            globals,
+        } = state;
         let mut inst = Instance {
             module,
             memory,
@@ -348,6 +612,7 @@ impl<T> Instance<T> {
             scratch_frames: Vec::with_capacity(16),
             scratch_regs: Vec::with_capacity(128),
             scratch_rframes: Vec::with_capacity(16),
+            recycle_to,
         };
 
         if let Some(start) = inst.module.start {

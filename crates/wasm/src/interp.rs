@@ -132,6 +132,12 @@ pub struct Memory {
     max_pages: u32,
     /// High-water mark of pages ever reached (for host-side accounting).
     peak_pages: u32,
+    /// High-water mark of *written* bytes: every byte at index
+    /// `>= dirty_max` is still zero (conservative — writes of zero bytes
+    /// advance it too). Template pools use this to re-zero only the
+    /// touched prefix when recycling a buffer, which is what keeps
+    /// snapshot stamp-out from paying a full-memory memset per instance.
+    dirty_max: usize,
 }
 
 impl Memory {
@@ -150,6 +156,7 @@ impl Memory {
             data: vec![0; limits.min as usize * PAGE_SIZE],
             max_pages,
             peak_pages: limits.min,
+            dirty_max: 0,
         })
     }
 
@@ -159,7 +166,45 @@ impl Memory {
             data: Vec::new(),
             max_pages: 0,
             peak_pages: 0,
+            dirty_max: 0,
         }
+    }
+
+    /// High-water mark of written bytes: everything at and past this
+    /// index is guaranteed zero.
+    pub fn dirty_max(&self) -> usize {
+        self.dirty_max
+    }
+
+    #[inline]
+    fn mark_dirty(&mut self, end: usize) {
+        if end > self.dirty_max {
+            self.dirty_max = end;
+        }
+    }
+
+    /// Surrender the backing buffer (for template-pool recycling); the
+    /// memory is left empty.
+    pub(crate) fn take_data(&mut self) -> Vec<u8> {
+        self.dirty_max = 0;
+        std::mem::take(&mut self.data)
+    }
+
+    /// Rebuild a memory around a pristine all-zero `data` buffer, copying
+    /// the first `init_len` bytes from `image` (the template's captured
+    /// post-segment-init state). Limits and accounting come from `image`;
+    /// the buffer must already match its size.
+    pub(crate) fn from_recycled(data: Vec<u8>, image: &Memory, init_len: usize) -> Memory {
+        debug_assert_eq!(data.len(), image.data.len());
+        let mut mem = Memory {
+            data,
+            max_pages: image.max_pages,
+            peak_pages: image.peak_pages,
+            dirty_max: 0,
+        };
+        mem.data[..init_len].copy_from_slice(&image.data[..init_len]);
+        mem.mark_dirty(init_len);
+        mem
     }
 
     /// Current size in pages.
@@ -230,6 +275,7 @@ impl Memory {
     ) -> Result<(), Trap> {
         let start = self.check(addr, offset, N as u32)?;
         self.data[start..start + N].copy_from_slice(&bytes);
+        self.mark_dirty(start + N);
         Ok(())
     }
 
@@ -248,6 +294,7 @@ impl Memory {
         })?;
         let start = self.check(addr, 0, len)?;
         self.data[start..start + bytes.len()].copy_from_slice(bytes);
+        self.mark_dirty(start + bytes.len());
         Ok(())
     }
 
@@ -255,6 +302,7 @@ impl Memory {
     pub fn fill(&mut self, dst: u32, byte: u8, len: u32) -> Result<(), Trap> {
         let start = self.check(dst, 0, len)?;
         self.data[start..start + len as usize].fill(byte);
+        self.mark_dirty(start + len as usize);
         Ok(())
     }
 
@@ -263,13 +311,17 @@ impl Memory {
         let s = self.check(src, 0, len)?;
         let d = self.check(dst, 0, len)?;
         self.data.copy_within(s..s + len as usize, d);
+        self.mark_dirty(d + len as usize);
         Ok(())
     }
 
     /// Reset all memory contents to zero without changing the size.
     /// Used by the plugin host when recycling an instance.
     pub fn zero_all(&mut self) {
-        self.data.fill(0);
+        // Only the written prefix can be nonzero.
+        let dirty = self.dirty_max.min(self.data.len());
+        self.data[..dirty].fill(0);
+        self.dirty_max = 0;
     }
 }
 

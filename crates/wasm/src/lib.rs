@@ -63,7 +63,7 @@ pub mod types;
 pub mod validate;
 pub mod wat;
 
-pub use instance::{Instance, Linker};
+pub use instance::{Instance, InstancePre, Linker};
 pub use interp::Value;
 pub use module::Module;
 pub use trap::Trap;

@@ -418,6 +418,11 @@ impl Assembler {
                             deferred_exports.push((name, target.to_string(), *dline));
                         }
                         Some("memory") => mb.export_memory(&name),
+                        Some("global") => {
+                            let target = desc.get(1).and_then(Node::as_atom).unwrap_or("");
+                            let idx = self.resolve_global(target, *dline)?;
+                            mb.export_global(&name, idx);
+                        }
                         _ => return err(*dline, "unsupported export kind"),
                     }
                 }

@@ -1,0 +1,140 @@
+//! Regression tests for the template memory pool behind
+//! [`InstancePre`]: dropped instances re-zero their dirty prefix and
+//! donate the buffer back, so a stamp-out after churn must be
+//! bit-identical to the very first stamp-out — no matter what the
+//! previous tenant wrote, filled, copied or grew.
+
+use waran_wasm::instance::{ExecLimits, InstancePre, Linker};
+use waran_wasm::interp::Value;
+use waran_wasm::{load_module, wat};
+
+const PAGE: u32 = 65536;
+
+/// A module with a data segment, a mutable global and store/fill probes.
+fn pool_module() -> InstancePre<()> {
+    let bytes = wat::assemble(
+        r#"(module
+             (memory (export "memory") 1 4)
+             (data (i32.const 64) "snapshot-image")
+             (global $g (mut i32) (i32.const 7))
+             (export "g" (global $g))
+             (func (export "poke") (param i32 i32)
+               local.get 0 local.get 1 i32.store)
+             (func (export "bump") (result i32)
+               global.get $g i32.const 1 i32.add global.set $g global.get $g)
+             (func (export "grow") (result i32)
+               i32.const 1 memory.grow))"#,
+    )
+    .expect("assembles");
+    let module = load_module(&bytes).expect("validates");
+    InstancePre::new(module.into(), &Linker::new(), ExecLimits::default()).expect("pre builds")
+}
+
+/// Full-memory image plus globals: everything a stamp-out must restore.
+fn image(pre: &InstancePre<()>) -> (Vec<u8>, Value) {
+    let inst = pre.instantiate(()).unwrap();
+    let mem = inst.memory().read_bytes(0, PAGE).unwrap().to_vec();
+    let g = inst.get_global("g").unwrap();
+    (mem, g)
+}
+
+#[test]
+fn restamp_after_mutation_matches_first_stamp() {
+    let pre = pool_module();
+    let (first_mem, first_g) = image(&pre);
+    assert_eq!(&first_mem[64..78], b"snapshot-image");
+
+    // Dirty a tenant far beyond the data segment, mutate its global, drop
+    // it — the buffer goes back to the pool.
+    {
+        let mut inst = pre.instantiate(()).unwrap();
+        inst.invoke("poke", &[Value::I32(0), Value::I32(-1)])
+            .unwrap();
+        inst.invoke(
+            "poke",
+            &[Value::I32((PAGE - 4) as i32), Value::I32(0x5a5a_5a5a)],
+        )
+        .unwrap();
+        inst.invoke("bump", &[]).unwrap();
+    }
+
+    // The next stamp-out reuses that buffer and must be pristine.
+    let (mem, g) = image(&pre);
+    assert_eq!(
+        mem, first_mem,
+        "recycled buffer leaked a previous tenant's writes"
+    );
+    assert_eq!(g, first_g, "globals must be restamped from the snapshot");
+}
+
+#[test]
+fn host_side_writes_are_reclaimed_too() {
+    let pre = pool_module();
+    let (first_mem, _) = image(&pre);
+
+    // Dirty memory through every host-side mutation path — write_bytes,
+    // fill, copy — at addresses the guest never touches.
+    {
+        let mut inst = pre.instantiate(()).unwrap();
+        let mem = inst.memory_mut();
+        mem.write_bytes(1000, b"host-dirt").unwrap();
+        mem.fill(30_000, 0xaa, 512).unwrap();
+        mem.copy(60_000, 64, 14).unwrap();
+    }
+
+    let (mem, _) = image(&pre);
+    assert_eq!(mem, first_mem, "host-side writes leaked through the pool");
+}
+
+#[test]
+fn grown_memories_are_not_recycled() {
+    let pre = pool_module();
+
+    // A tenant grows to 2 pages and writes into the grown page.
+    {
+        let mut inst = pre.instantiate(()).unwrap();
+        assert_eq!(inst.invoke("grow", &[]).unwrap(), Some(Value::I32(1)));
+        inst.invoke("poke", &[Value::I32((PAGE + 100) as i32), Value::I32(77)])
+            .unwrap();
+    }
+
+    // The next stamp-out is back at the template's declared 1 page.
+    let inst = pre.instantiate(()).unwrap();
+    assert_eq!(inst.memory().size_pages(), 1);
+    assert_eq!(
+        &inst.memory().read_bytes(64, 14).unwrap(),
+        &b"snapshot-image"
+    );
+}
+
+#[test]
+fn live_siblings_never_share_a_buffer() {
+    let pre = pool_module();
+    let mut a = pre.instantiate(()).unwrap();
+    let b = pre.instantiate(()).unwrap();
+
+    a.invoke("poke", &[Value::I32(128), Value::I32(0x0bad_f00d)])
+        .unwrap();
+    assert_eq!(b.memory().read::<4>(128, 0).unwrap(), [0; 4]);
+
+    // And the template image itself is untouched by either tenant.
+    drop(a);
+    let c = pre.instantiate(()).unwrap();
+    assert_eq!(c.memory().read::<4>(128, 0).unwrap(), [0; 4]);
+}
+
+#[test]
+fn churn_reuses_buffers_without_unbounded_growth() {
+    let pre = pool_module();
+    // Interleaved stamp/drop churn with tenants that dirty their memory:
+    // correctness (each stamp pristine) is the assertion; boundedness is
+    // covered by the pool cap and the bench's RSS gate.
+    let (first_mem, _) = image(&pre);
+    for round in 0..100 {
+        let mut inst = pre.instantiate(()).unwrap();
+        inst.invoke("poke", &[Value::I32(4096), Value::I32(round)])
+            .unwrap();
+        let (mem, _) = image(&pre);
+        assert_eq!(mem, first_mem, "round {round} saw a dirty stamp-out");
+    }
+}

@@ -33,11 +33,23 @@ diff "$tmpdir/reg_flat_2w.txt" "$tmpdir/reg_2w.txt"
 diff "$tmpdir/reg_2w.txt" "$tmpdir/reg_8w.txt"
 echo "Register-tier digests identical to the flat tier across 2 and 8 workers"
 
+# Snapshot-instantiation determinism: stamping plugins out of cached
+# templates must leave per-cell digests identical to cold segment init,
+# at any worker count.
+cargo run -q --release -p waran-bench --bin bench_pr7 -- digests 2 on > "$tmpdir/snap_2w_on.txt"
+cargo run -q --release -p waran-bench --bin bench_pr7 -- digests 8 on > "$tmpdir/snap_8w_on.txt"
+cargo run -q --release -p waran-bench --bin bench_pr7 -- digests 8 off > "$tmpdir/snap_8w_off.txt"
+diff "$tmpdir/snap_2w_on.txt" "$tmpdir/snap_8w_on.txt"
+diff "$tmpdir/snap_8w_on.txt" "$tmpdir/snap_8w_off.txt"
+echo "Snapshot-instantiation digests identical across 2 and 8 workers and snapshot on/off"
+
 # Perf regression gate: compare the live register-tier deployment
-# throughput against the newest committed benchmark snapshot.
+# throughput — and, when the baseline records it, snapshot instantiation
+# latency — against the newest committed benchmark snapshot.
 newest="$(ls -t BENCH_*.json 2>/dev/null | head -1 || true)"
 if [ -n "$newest" ]; then
     cargo run -q --release -p waran-bench --bin bench_pr6 -- gate "$newest"
+    cargo run -q --release -p waran-bench --bin bench_pr7 -- gate "$newest"
 else
     echo "no BENCH_*.json baseline found — skipping the perf regression gate"
 fi
