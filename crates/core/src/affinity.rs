@@ -28,7 +28,9 @@ fn set_affinity(cpu: usize) -> bool {
         return false;
     }
     mask[cpu / 64] = 1u64 << (cpu % 64);
-    // pid 0 = the calling thread.
+    // SAFETY: `mask` is a live stack array and `len` is its exact byte
+    // size; pid 0 targets the calling thread, so no other thread's state
+    // is touched.
     let ret = unsafe { sched_setaffinity_raw(0, std::mem::size_of_val(&mask), mask.as_ptr()) };
     ret == 0
 }

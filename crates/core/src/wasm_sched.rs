@@ -80,6 +80,7 @@ impl SliceScheduler for WasmSliceScheduler {
                 PluginError::Codec(_) => "codec".to_string(),
                 PluginError::Quarantined { .. } => "quarantined".to_string(),
                 PluginError::NoSuchPlugin(_) => "missing".to_string(),
+                PluginError::Admission { .. } => "admission".to_string(),
                 PluginError::Load(_) | PluginError::Instantiate(_) => "load".to_string(),
             },
             detail: e.to_string(),

@@ -26,6 +26,7 @@
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
 
+use waran_wasm::analysis::Bound;
 use waran_wasm::instance::{ExecLimits, InstancePre, Linker as WasmLinker};
 use waran_wasm::interp::{Memory, Value};
 use waran_wasm::types::{FuncType, ValType};
@@ -206,6 +207,64 @@ impl<T> Linker<T> {
     }
 }
 
+/// Admission gate: check every exported function's static resource
+/// bounds against the policy. Runs at template build time — i.e. at
+/// `install_plugin` / `TemplateCache` population — so a rejected plugin
+/// never stamps an instance.
+///
+/// Opt-in gates (`max_fuel_bound`, `no_unbounded_loops`) reject anything
+/// the analyzer could not prove conforming. The always-on stack/depth
+/// gates reject only *provable* violations — a finite worst case that
+/// exceeds the runtime limit — so plugins the analyzer cannot bound keep
+/// today's behavior (the runtime meters still trap them).
+fn admit(module: &Module, policy: &SandboxPolicy) -> Result<(), PluginError> {
+    let analysis = module
+        .analysis()
+        .expect("template construction already validated the lowering");
+    for r in analysis.exports() {
+        let func = r.export.clone().unwrap_or_default();
+        if let Some(limit) = policy.max_fuel_bound {
+            if r.fuel > Bound::Finite(limit) {
+                return Err(PluginError::Admission {
+                    func,
+                    bound: "fuel",
+                    value: r.fuel,
+                    limit,
+                });
+            }
+        }
+        if policy.no_unbounded_loops && (r.unbounded_loops || r.recursive) {
+            return Err(PluginError::Admission {
+                func,
+                bound: "loop-bound",
+                value: Bound::Unbounded,
+                limit: 0,
+            });
+        }
+        if let Bound::Finite(s) = r.stack {
+            if s > policy.max_value_stack as u64 {
+                return Err(PluginError::Admission {
+                    func,
+                    bound: "value-stack",
+                    value: r.stack,
+                    limit: policy.max_value_stack as u64,
+                });
+            }
+        }
+        if let Bound::Finite(d) = r.frames {
+            if d > policy.max_call_depth as u64 {
+                return Err(PluginError::Admission {
+                    func,
+                    bound: "call-depth",
+                    value: r.frames,
+                    limit: policy.max_call_depth as u64,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Hash of one linker definition, mixed into the structural fingerprint.
 fn def_hash(module: &str, name: &str, ty: &FuncType) -> u64 {
     fnv1a(format!("{module}\u{0}{name}\u{0}{ty}").as_bytes())
@@ -266,12 +325,13 @@ impl<T> PluginPre<T> {
     ) -> Result<Self, PluginError> {
         let limits = ExecLimits {
             max_call_depth: policy.max_call_depth,
+            max_value_stack: policy.max_value_stack,
             max_memory_pages: policy.max_memory_pages,
-            ..ExecLimits::default()
         };
         let abi = AbiTable::resolve(&module);
         let pre = InstancePre::new_with(module, linker, limits, snapshot)
             .map_err(PluginError::Instantiate)?;
+        admit(pre.module(), &policy)?;
         Ok(PluginPre { pre, policy, abi })
     }
 

@@ -28,8 +28,23 @@ pub struct SandboxPolicy {
     pub deadline: Option<Duration>,
     /// Maximum nested call depth inside the plugin.
     pub max_call_depth: usize,
+    /// Maximum operand-stack slots a call may use. Enforced at runtime by
+    /// the block meters and at install time against the static per-export
+    /// bound from load-time analysis.
+    pub max_value_stack: usize,
     /// Upper bound on the byte length a plugin may return through the ABI.
     pub max_response_bytes: u32,
+    /// Admission gate: require every exported function's *static*
+    /// worst-case fuel bound to be finite and at most this value
+    /// (`None` = no requirement). A real-time deployment class sets this
+    /// so a plugin that could blow the slot budget is rejected at
+    /// install time instead of trapping mid-slot.
+    pub max_fuel_bound: Option<u64>,
+    /// Admission gate: reject plugins whose exported call trees contain a
+    /// loop the analyzer cannot bound (data-dependent trip count) or
+    /// recursion. Stricter than `max_fuel_bound` alone: it also forbids
+    /// code whose bound exists but is data-dependent.
+    pub no_unbounded_loops: bool,
     /// Consecutive faults before the host quarantines the plugin.
     pub quarantine_after: u32,
     /// Which interpreter tier runs the plugin (reference tree walker,
@@ -52,7 +67,10 @@ impl Default for SandboxPolicy {
             fuel_per_call: Some(50_000_000),
             deadline: Some(Duration::from_millis(10)),
             max_call_depth: 512,
+            max_value_stack: 1 << 20,
             max_response_bytes: 1 << 20,
+            max_fuel_bound: None,
+            no_unbounded_loops: false,
             quarantine_after: 3,
             exec_mode: ExecMode::default(),
             snapshot_instantiation: true,
@@ -102,6 +120,21 @@ pub enum PluginError {
     },
     /// Unknown plugin name.
     NoSuchPlugin(String),
+    /// Load-time admission rejected the plugin: a static resource bound
+    /// from the analyzer violates this policy's limits. Carries which
+    /// bound, for which exported function, against which limit, so the
+    /// operator can tell a policy problem from a plugin bug.
+    Admission {
+        /// The exported function whose bound failed the gate.
+        func: String,
+        /// Which bound failed (`"fuel"`, `"value-stack"`, `"call-depth"`,
+        /// `"loop-bound"`).
+        bound: &'static str,
+        /// The statically computed worst case.
+        value: waran_wasm::analysis::Bound,
+        /// The policy limit it must not exceed.
+        limit: u64,
+    },
 }
 
 impl std::fmt::Display for PluginError {
@@ -114,6 +147,15 @@ impl std::fmt::Display for PluginError {
             PluginError::Codec(e) => write!(f, "payload: {e}"),
             PluginError::Quarantined { name } => write!(f, "plugin `{name}` is quarantined"),
             PluginError::NoSuchPlugin(name) => write!(f, "no plugin named `{name}`"),
+            PluginError::Admission {
+                func,
+                bound,
+                value,
+                limit,
+            } => write!(
+                f,
+                "admission: export `{func}` static {bound} bound {value} exceeds policy limit {limit}"
+            ),
         }
     }
 }

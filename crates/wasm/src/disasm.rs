@@ -9,6 +9,7 @@
 
 use std::fmt::Write as _;
 
+use crate::compile::{CompiledFunc, Op};
 use crate::instr::Instr;
 use crate::module::{ConstExpr, ExportKind, ImportKind, Module};
 use crate::regalloc::{RBranch, ROp, RegFunc};
@@ -421,6 +422,239 @@ fn render_rop(op: &ROp, rf: &RegFunc) -> String {
     }
 }
 
+/// Render every function's flat-IR lowering ([`crate::compile`]) as a
+/// stable, line-oriented listing — the `ExecMode::Compiled` companion to
+/// [`disassemble_reg`]. Forces compilation of every body.
+pub fn disassemble_flat(module: &Module) -> String {
+    let mut out = String::new();
+    let n_imports = module.num_imported_funcs();
+    for i in 0..module.funcs.len() as u32 {
+        let cf = module.compiled_func(i);
+        let _ = writeln!(
+            out,
+            "func $f{} (args {} -> {}, locals {}):",
+            n_imports + i,
+            cf.argc,
+            cf.ret_arity,
+            cf.argc as usize + cf.locals_init.len()
+        );
+        for (pc, op) in cf.ops.iter().enumerate() {
+            let _ = writeln!(out, "  {pc:>4}  {}", render_op(op, cf));
+        }
+    }
+    out
+}
+
+/// Render a flat branch target: destination pc plus the stack the target
+/// expects (`height` slots below `arity` carried values).
+fn render_branch(bt: &crate::compile::BranchTarget) -> String {
+    if bt.height == 0 && bt.arity == 0 {
+        format!("->{}", bt.pc)
+    } else {
+        format!("->{} (h={} n={})", bt.pc, bt.height, bt.arity)
+    }
+}
+
+/// Render one flat-IR op. The match is deliberately exhaustive (no `_`
+/// arm): a new [`Op`] variant fails compilation here until it is given a
+/// rendering, so new ops cannot silently skip the operator tooling.
+fn render_op(op: &Op, cf: &CompiledFunc) -> String {
+    let br = |bi: u32| render_branch(&cf.branches[bi as usize]);
+    match *op {
+        Op::Meter { cost, peak } => format!("meter cost={cost} peak={peak}"),
+        Op::Unreachable => "unreachable".into(),
+        Op::Br(b) => format!("br {}", br(b)),
+        Op::BrIf(b) => format!("br_if {}", br(b)),
+        Op::BrIfZ(b) => format!("br_ifz {}", br(b)),
+        Op::BrIfCmp { op, br: b } => format!("br_if (i32.{op:?}) {}", br(b)),
+        Op::BrIfLL { op, a, b, br: bi } => {
+            format!("br_if (i32.{op:?} l{a} l{b}) {}", br(bi))
+        }
+        Op::BrTable { start, n } => {
+            let arms: Vec<String> = (start..=start + n).map(br).collect();
+            format!("br_table [{}]", arms.join(", "))
+        }
+        Op::Return => "return".into(),
+        Op::CallWasm(f) => format!("call $f{f}"),
+        Op::CallHost { f, argc, ret } => format!("call_host {f} argc={argc} ret={ret}"),
+        Op::CallIndirect(ty) => format!("call_indirect (type {ty})"),
+        Op::Drop => "drop".into(),
+        Op::Select => "select".into(),
+        Op::LocalGet(l) => format!("local.get {l}"),
+        Op::LocalGet2 { a, b } => format!("local.get2 {a} {b}"),
+        Op::LocalSet(l) => format!("local.set {l}"),
+        Op::LocalTee(l) => format!("local.tee {l}"),
+        Op::LocalSetC { dst, k } => format!("l{dst} = i32.const {k}"),
+        Op::LocalCopy { src, dst } => format!("l{dst} = l{src}"),
+        Op::GlobalGet(g) => format!("global.get {g}"),
+        Op::GlobalSet(g) => format!("global.set {g}"),
+        Op::I32Bin(op) => format!("i32.{op:?}"),
+        Op::I32BinLL { op, a, b } => format!("i32.{op:?} l{a} l{b}"),
+        Op::I32BinSL { op, b } => format!("i32.{op:?} s l{b}"),
+        Op::I32BinSC { op, k } => format!("i32.{op:?} s {k}"),
+        Op::I32BinLC { op, a, k } => format!("i32.{op:?} l{a} {k}"),
+        Op::I32BinLLSet { op, a, b, dst } => format!("l{dst} = i32.{op:?} l{a} l{b}"),
+        Op::I32BinLCSet { op, a, k, dst } => format!("l{dst} = i32.{op:?} l{a} {k}"),
+        Op::I32BinSLSet { op, b, dst } => format!("l{dst} = i32.{op:?} s l{b}"),
+        Op::I32BinSCSet { op, k, dst } => format!("l{dst} = i32.{op:?} s {k}"),
+        Op::I32LoadL { l, off } => format!("i32.load [l{l}+{off}]"),
+        Op::I64LoadL { l, off } => format!("i64.load [l{l}+{off}]"),
+        Op::F64LoadL { l, off } => format!("f64.load [l{l}+{off}]"),
+        Op::I32Load8UL { l, off } => format!("i32.load8_u [l{l}+{off}]"),
+        Op::I32LoadSet { off, dst } => format!("l{dst} = i32.load [s+{off}]"),
+        Op::I32LoadLSet { l, off, dst } => format!("l{dst} = i32.load [l{l}+{off}]"),
+        Op::I32Load(off) => format!("i32.load offset={off}"),
+        Op::I64Load(off) => format!("i64.load offset={off}"),
+        Op::F32Load(off) => format!("f32.load offset={off}"),
+        Op::F64Load(off) => format!("f64.load offset={off}"),
+        Op::I32Load8S(off) => format!("i32.load8_s offset={off}"),
+        Op::I32Load8U(off) => format!("i32.load8_u offset={off}"),
+        Op::I32Load16S(off) => format!("i32.load16_s offset={off}"),
+        Op::I32Load16U(off) => format!("i32.load16_u offset={off}"),
+        Op::I64Load8S(off) => format!("i64.load8_s offset={off}"),
+        Op::I64Load8U(off) => format!("i64.load8_u offset={off}"),
+        Op::I64Load16S(off) => format!("i64.load16_s offset={off}"),
+        Op::I64Load16U(off) => format!("i64.load16_u offset={off}"),
+        Op::I64Load32S(off) => format!("i64.load32_s offset={off}"),
+        Op::I64Load32U(off) => format!("i64.load32_u offset={off}"),
+        Op::I32Store(off) => format!("i32.store offset={off}"),
+        Op::I64Store(off) => format!("i64.store offset={off}"),
+        Op::F32Store(off) => format!("f32.store offset={off}"),
+        Op::F64Store(off) => format!("f64.store offset={off}"),
+        Op::I32Store8(off) => format!("i32.store8 offset={off}"),
+        Op::I32Store16(off) => format!("i32.store16 offset={off}"),
+        Op::I64Store8(off) => format!("i64.store8 offset={off}"),
+        Op::I64Store16(off) => format!("i64.store16 offset={off}"),
+        Op::I64Store32(off) => format!("i64.store32 offset={off}"),
+        Op::MemorySize => "memory.size".into(),
+        Op::MemoryGrow => "memory.grow".into(),
+        Op::MemoryCopy => "memory.copy".into(),
+        Op::MemoryFill => "memory.fill".into(),
+        Op::I32Const(v) => format!("i32.const {v}"),
+        Op::I64Const(v) => format!("i64.const {v}"),
+        Op::F32Const(v) => format!("f32.const {v}"),
+        Op::F64Const(v) => format!("f64.const {v}"),
+        // The numeric long tail: unit variants whose WAT name derives
+        // mechanically from the variant name. Listed — not wildcarded —
+        // so exhaustiveness still holds.
+        Op::I32Eqz
+        | Op::I32Clz
+        | Op::I32Ctz
+        | Op::I32Popcnt
+        | Op::I32DivS
+        | Op::I32DivU
+        | Op::I32RemS
+        | Op::I32RemU
+        | Op::I64Eqz
+        | Op::I64Eq
+        | Op::I64Ne
+        | Op::I64LtS
+        | Op::I64LtU
+        | Op::I64GtS
+        | Op::I64GtU
+        | Op::I64LeS
+        | Op::I64LeU
+        | Op::I64GeS
+        | Op::I64GeU
+        | Op::I64Clz
+        | Op::I64Ctz
+        | Op::I64Popcnt
+        | Op::I64Add
+        | Op::I64Sub
+        | Op::I64Mul
+        | Op::I64DivS
+        | Op::I64DivU
+        | Op::I64RemS
+        | Op::I64RemU
+        | Op::I64And
+        | Op::I64Or
+        | Op::I64Xor
+        | Op::I64Shl
+        | Op::I64ShrS
+        | Op::I64ShrU
+        | Op::I64Rotl
+        | Op::I64Rotr
+        | Op::F32Eq
+        | Op::F32Ne
+        | Op::F32Lt
+        | Op::F32Gt
+        | Op::F32Le
+        | Op::F32Ge
+        | Op::F64Eq
+        | Op::F64Ne
+        | Op::F64Lt
+        | Op::F64Gt
+        | Op::F64Le
+        | Op::F64Ge
+        | Op::F32Abs
+        | Op::F32Neg
+        | Op::F32Ceil
+        | Op::F32Floor
+        | Op::F32Trunc
+        | Op::F32Nearest
+        | Op::F32Sqrt
+        | Op::F32Add
+        | Op::F32Sub
+        | Op::F32Mul
+        | Op::F32Div
+        | Op::F32Min
+        | Op::F32Max
+        | Op::F32Copysign
+        | Op::F64Abs
+        | Op::F64Neg
+        | Op::F64Ceil
+        | Op::F64Floor
+        | Op::F64Trunc
+        | Op::F64Nearest
+        | Op::F64Sqrt
+        | Op::F64Add
+        | Op::F64Sub
+        | Op::F64Mul
+        | Op::F64Div
+        | Op::F64Min
+        | Op::F64Max
+        | Op::F64Copysign
+        | Op::I32WrapI64
+        | Op::I32TruncF32S
+        | Op::I32TruncF32U
+        | Op::I32TruncF64S
+        | Op::I32TruncF64U
+        | Op::I64ExtendI32S
+        | Op::I64ExtendI32U
+        | Op::I64TruncF32S
+        | Op::I64TruncF32U
+        | Op::I64TruncF64S
+        | Op::I64TruncF64U
+        | Op::F32ConvertI32S
+        | Op::F32ConvertI32U
+        | Op::F32ConvertI64S
+        | Op::F32ConvertI64U
+        | Op::F32DemoteF64
+        | Op::F64ConvertI32S
+        | Op::F64ConvertI32U
+        | Op::F64ConvertI64S
+        | Op::F64ConvertI64U
+        | Op::F64PromoteF32
+        | Op::I32ReinterpretF32
+        | Op::I64ReinterpretF64
+        | Op::F32ReinterpretI32
+        | Op::F64ReinterpretI64
+        | Op::I32Extend8S
+        | Op::I32Extend16S
+        | Op::I64Extend8S
+        | Op::I64Extend16S
+        | Op::I64Extend32S
+        | Op::I32TruncSatF32S
+        | Op::I32TruncSatF32U
+        | Op::I32TruncSatF64S
+        | Op::I32TruncSatF64U
+        | Op::I64TruncSatF32S
+        | Op::I64TruncSatF32U
+        | Op::I64TruncSatF64S
+        | Op::I64TruncSatF64U => variant_to_wat(&format!("{op:?}")),
+    }
+}
+
 /// `I32TruncSatF64U` → `i32.trunc_sat_f64_u`, etc.
 fn variant_to_wat(variant: &str) -> String {
     let mut out = String::new();
@@ -548,6 +782,82 @@ mod tests {
     #[test]
     fn escape_bytes_printable_and_hex() {
         assert_eq!(escape_bytes(b"a\"b\\c\x01"), "a\\\"b\\\\c\\01");
+    }
+
+    #[test]
+    fn flat_form_snapshot_is_stable() {
+        // Snapshot of the flat-IR listing for the same two functions as
+        // the register-form snapshot below: fused three-address arithmetic
+        // and the if/else diamond with its interned branch targets. The
+        // exact text is load-bearing for debugging the flat compiler;
+        // update it deliberately when the lowering changes.
+        let bytes = wat::assemble(
+            r#"(module
+                 (func (export "madd") (param i32 i32) (result i32)
+                   local.get 0
+                   local.get 1
+                   i32.mul
+                   i32.const 3
+                   i32.add)
+                 (func (export "pick") (param i32) (result i32)
+                   local.get 0
+                   if (result i32)
+                     i32.const 7
+                   else
+                     i32.const 9
+                   end))"#,
+        )
+        .unwrap();
+        let module = crate::load_module(&bytes).unwrap();
+        let text = disassemble_flat(&module);
+        assert_eq!(
+            text,
+            "\
+func $f0 (args 2 -> 1, locals 2):
+     0  meter cost=6 peak=2
+     1  i32.Mul l0 l1
+     2  i32.Add s 3
+     3  return
+func $f1 (args 1 -> 1, locals 1):
+     0  meter cost=2 peak=1
+     1  local.get 0
+     2  br_ifz ->6
+     3  meter cost=2 peak=1
+     4  i32.const 7
+     5  br ->8 (h=0 n=1)
+     6  meter cost=1 peak=1
+     7  i32.const 9
+     8  meter cost=2 peak=0
+     9  return
+"
+        );
+    }
+
+    #[test]
+    fn flat_numeric_tail_renders_wat_names() {
+        // The long-tail arm derives names mechanically; spot-check the
+        // tricky shapes (operand-type suffixes, sat-conversions, extends).
+        let cf = crate::compile::CompiledFunc {
+            ops: Box::new([]),
+            branches: Box::new([]),
+            locals_init: Box::new([]),
+            argc: 0,
+            ret_arity: 0,
+        };
+        for (op, want) in [
+            (Op::I64Rotl, "i64.rotl"),
+            (Op::I32DivS, "i32.div_s"),
+            (Op::F64PromoteF32, "f64.promote_f32"),
+            (Op::I32TruncSatF64U, "i32.trunc_sat_f64_u"),
+            (Op::I64ExtendI32S, "i64.extend_i32_s"),
+            (Op::I64Extend32S, "i64.extend32_s"),
+            (Op::F32Copysign, "f32.copysign"),
+            (Op::I32ReinterpretF32, "i32.reinterpret_f32"),
+        ] {
+            assert_eq!(render_op(&op, &cf), want);
+        }
+        assert_eq!(render_op(&Op::MemoryGrow, &cf), "memory.grow");
+        assert_eq!(render_op(&Op::Select, &cf), "select");
     }
 
     #[test]

@@ -112,6 +112,9 @@ pub enum InstantiateError {
     MemoryPolicy(Trap),
     /// The start function trapped.
     StartTrap(Trap),
+    /// Load-time static analysis rejected the module: the register
+    /// lowering failed translation validation against the flat IR.
+    Analysis(crate::analysis::AnalysisError),
 }
 
 impl std::fmt::Display for InstantiateError {
@@ -135,6 +138,7 @@ impl std::fmt::Display for InstantiateError {
             InstantiateError::ElemSegmentOutOfBounds => write!(f, "element segment out of bounds"),
             InstantiateError::MemoryPolicy(t) => write!(f, "memory policy violation: {t}"),
             InstantiateError::StartTrap(t) => write!(f, "start function trapped: {t}"),
+            InstantiateError::Analysis(e) => write!(f, "static analysis: {e}"),
         }
     }
 }
@@ -504,6 +508,12 @@ impl<T> InstancePre<T> {
         snapshot: bool,
     ) -> Result<Self, InstantiateError> {
         let host_funcs: Arc<[HostFuncDef<T>]> = resolve_imports(&module, linker)?.into();
+        // Templates are the shared gateway for fleet deployment: prove
+        // the register lowering faithful (and cache the resource bounds)
+        // before any instance is stamped from this module.
+        module
+            .analysis()
+            .map_err(|e| InstantiateError::Analysis(e.clone()))?;
         let snapshot = if snapshot {
             Some(Arc::new(StateSnapshot::new(InstanceState::init(
                 &module, &limits,

@@ -47,6 +47,7 @@
 //! assert_eq!(out, Some(Value::I32(42)));
 //! ```
 
+pub mod analysis;
 pub mod builder;
 pub mod compile;
 pub mod decode;

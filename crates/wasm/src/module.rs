@@ -1,6 +1,7 @@
 //! The decoded, immutable module representation shared by the validator and
 //! the interpreter.
 
+use crate::analysis::{AnalysisCell, AnalysisError, ModuleAnalysis};
 use crate::compile::{CompiledCell, CompiledFunc};
 use crate::instr::Instr;
 use crate::regalloc::{RegCell, RegFunc};
@@ -154,6 +155,9 @@ pub struct Module {
     pub elems: Vec<ElemSegment>,
     /// Active data segments.
     pub data: Vec<DataSegment>,
+    /// Lazily computed load-time static analysis (translation validation
+    /// + resource bounds), cached module-wide like the compiled bodies.
+    pub analysis: AnalysisCell,
 }
 
 impl Module {
@@ -213,6 +217,13 @@ impl Module {
         self.funcs[local_idx as usize]
             .reg
             .get_or_lower(self, local_idx)
+    }
+
+    /// The module's static analysis report (translation validation and
+    /// worst-case resource bounds), computed on first use and cached.
+    /// The module must have been validated.
+    pub fn analysis(&self) -> Result<&ModuleAnalysis, AnalysisError> {
+        self.analysis.get_or_analyze(self)
     }
 
     /// Force flat-IR compilation of every function body now.

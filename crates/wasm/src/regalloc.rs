@@ -330,7 +330,7 @@ pub enum StoreKind {
 }
 
 impl LoadKind {
-    fn from_op(op: Op) -> Option<(LoadKind, u32)> {
+    pub(crate) fn from_op(op: Op) -> Option<(LoadKind, u32)> {
         Some(match op {
             Op::I32Load(off) => (LoadKind::I32, off),
             Op::I64Load(off) => (LoadKind::I64, off),
@@ -352,7 +352,7 @@ impl LoadKind {
 }
 
 impl StoreKind {
-    fn from_op(op: Op) -> Option<(StoreKind, u32)> {
+    pub(crate) fn from_op(op: Op) -> Option<(StoreKind, u32)> {
         Some(match op {
             Op::I32Store(off) => (StoreKind::I32, off),
             Op::I64Store(off) => (StoreKind::I64, off),
@@ -652,6 +652,10 @@ pub struct RegFunc {
     pub n_locals: u32,
     /// Total registers the frame needs (`n_locals` + max stack height).
     pub frame_size: u32,
+    /// Flat-pc → register-pc map (`u32::MAX` = dead flat op, not
+    /// lowered). Kept as the lowering's liveness/placement witness for
+    /// load-time translation validation.
+    pub pc_map: Box<[u32]>,
 }
 
 /// Per-function lazily-lowered register body, cached exactly like
@@ -778,8 +782,11 @@ pub fn lower_func(module: &Module, local_idx: u32) -> RegFunc {
     }
 
     // Retarget the side table from flat pcs to register-form pcs.
+    // Branch targets are always revived by `lower_op`, so their mapping
+    // is never the dead-op sentinel.
     let mut rbranches = lw.rbranches;
     for rb in &mut rbranches {
+        debug_assert_ne!(lw.pc_map[rb.pc as usize], u32::MAX);
         rb.pc = lw.pc_map[rb.pc as usize];
     }
 
@@ -792,6 +799,7 @@ pub fn lower_func(module: &Module, local_idx: u32) -> RegFunc {
         ret_arity: cf.ret_arity,
         n_locals,
         frame_size: n_locals + lw.max_h,
+        pc_map: lw.pc_map.into_boxed_slice(),
     }
 }
 
@@ -1621,8 +1629,10 @@ impl Lowerer<'_> {
         if !self.reachable {
             let e = eh[pc];
             if e == u32::MAX {
-                // Dead op: skip, but keep the pc mapping monotone.
-                self.pc_map[pc] = self.rops.len() as u32;
+                // Dead op: not lowered. The sentinel doubles as the
+                // liveness witness the static analyzer checks against
+                // its own reachability mirror.
+                self.pc_map[pc] = u32::MAX;
                 return;
             }
             // Branch target: resume with a fully materialized stack of

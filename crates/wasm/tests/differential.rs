@@ -25,113 +25,9 @@ use waran_wasm::interp::Value;
 use waran_wasm::types::{BlockType, ValType};
 use waran_wasm::{load_module, Trap};
 
-// ---------------------------------------------------------------------
-// Seeded PlugC program generator
-// ---------------------------------------------------------------------
-
-struct Rng(u64);
-
-impl Rng {
-    fn new(seed: u64) -> Self {
-        Rng(seed | 1)
-    }
-
-    fn next(&mut self) -> u64 {
-        // xorshift64* — deterministic, dependency-free.
-        let mut x = self.0;
-        x ^= x >> 12;
-        x ^= x << 25;
-        x ^= x >> 27;
-        self.0 = x;
-        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
-    }
-
-    fn below(&mut self, n: u64) -> u64 {
-        self.next() % n
-    }
-}
-
-const VARS: [&str; 4] = ["v0", "v1", "v2", "v3"];
-const BINOPS: [&str; 16] = [
-    "+", "-", "*", "/", "%", "&", "|", "^", "<<", ">>", "==", "!=", "<", "<=", ">", ">=",
-];
-
-/// A fully parenthesized i32 expression over the mutable variables.
-/// Division and remainder are reachable, so traps are part of the corpus.
-fn gen_expr(rng: &mut Rng, depth: u32) -> String {
-    if depth == 0 || rng.below(3) == 0 {
-        if rng.below(2) == 0 {
-            VARS[rng.below(VARS.len() as u64) as usize].to_string()
-        } else {
-            format!("{}", rng.below(1 << 14))
-        }
-    } else {
-        let op = BINOPS[rng.below(BINOPS.len() as u64) as usize];
-        format!(
-            "({} {} {})",
-            gen_expr(rng, depth - 1),
-            op,
-            gen_expr(rng, depth - 1)
-        )
-    }
-}
-
-/// Statements: assignments, if/else, bounded while loops. Loop counters
-/// (`c<depth>`) are reset before each loop and only incremented by the
-/// loop itself, so every generated program terminates.
-fn gen_stmts(rng: &mut Rng, depth: u32, loop_depth: usize, out: &mut String, indent: usize) {
-    let pad = " ".repeat(indent);
-    let n = 1 + rng.below(4);
-    for _ in 0..n {
-        match rng.below(6) {
-            0..=2 => {
-                let v = VARS[rng.below(VARS.len() as u64) as usize];
-                out.push_str(&format!("{pad}{v} = {};\n", gen_expr(rng, 3)));
-            }
-            3 if depth > 0 => {
-                out.push_str(&format!("{pad}if ({}) {{\n", gen_expr(rng, 2)));
-                gen_stmts(rng, depth - 1, loop_depth, out, indent + 2);
-                if rng.below(2) == 0 {
-                    out.push_str(&format!("{pad}}} else {{\n"));
-                    gen_stmts(rng, depth - 1, loop_depth, out, indent + 2);
-                }
-                out.push_str(&format!("{pad}}}\n"));
-            }
-            4 if depth > 0 && loop_depth < 4 => {
-                let c = format!("c{loop_depth}");
-                let bound = 1 + rng.below(8);
-                out.push_str(&format!("{pad}{c} = 0;\n"));
-                out.push_str(&format!("{pad}while (({c} < {bound})) {{\n"));
-                gen_stmts(rng, depth - 1, loop_depth + 1, out, indent + 2);
-                out.push_str(&format!("{pad}  {c} = ({c} + 1);\n"));
-                out.push_str(&format!("{pad}}}\n"));
-            }
-            _ => {}
-        }
-    }
-}
-
-fn gen_program(seed: u64) -> String {
-    let mut rng = Rng::new(seed);
-    let mut body = String::new();
-    gen_stmts(&mut rng, 3, 0, &mut body, 4);
-    let k2 = rng.below(1 << 14);
-    let k3 = rng.below(1 << 14);
-    format!(
-        "export fn main(a: i32, b: i32) -> i32 {{\n\
-         \x20   var v0: i32 = a;\n\
-         \x20   var v1: i32 = b;\n\
-         \x20   var v2: i32 = {k2};\n\
-         \x20   var v3: i32 = {k3};\n\
-         \x20   var c0: i32 = 0;\n\
-         \x20   var c1: i32 = 0;\n\
-         \x20   var c2: i32 = 0;\n\
-         \x20   var c3: i32 = 0;\n\
-         {body}\
-         \x20   return ((((v0 ^ v1) + v2) ^ v3) + ((c0 + c1) + (c2 + c3)));\n\
-         }}\n"
-    )
-}
+#[path = "util/gen.rs"]
+mod gen;
+use gen::gen_program;
 
 // ---------------------------------------------------------------------
 // Three-mode runner

@@ -12,6 +12,12 @@ cargo fmt --check
 # deployment must not depend on the worker count.
 tmpdir="$(mktemp -d)"
 trap 'rm -rf "$tmpdir"' EXIT
+
+# Static analysis: translation validation (register lowering proven
+# equivalent to the flat IR) plus resource-bound reports over every
+# builtin example/fig5 plugin. Nonzero exit = a lowering failed its proof.
+cargo run -q --release -p waran-bench --bin analyze -- --builtin > "$tmpdir/analyze.txt"
+echo "static analyzer validated every builtin plugin lowering"
 cargo run -q --release -p waran-bench --bin bench_pr4 -- digests 2 > "$tmpdir/digests_2w.txt"
 cargo run -q --release -p waran-bench --bin bench_pr4 -- digests 8 > "$tmpdir/digests_8w.txt"
 diff "$tmpdir/digests_2w.txt" "$tmpdir/digests_8w.txt"
