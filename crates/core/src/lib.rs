@@ -37,8 +37,8 @@ pub use mobility::{
     InterruptionStats, MobilityAttachment, MobilityReport,
 };
 pub use multicell::{
-    CellReport, CellSpec, MultiCellReport, MultiCellScenario, MultiCellScenarioBuilder,
-    RicPlaneReport,
+    CellGovernance, CellReport, CellSpec, MultiCellReport, MultiCellScenario,
+    MultiCellScenarioBuilder, RicPlaneReport,
 };
 pub use ric_glue::{
     apply_action, sample_kpis, AppliedAction, CellE2Driver, HandoverModel, RicAttachment, RicLoop,

@@ -453,6 +453,10 @@ pub struct MobilityReport {
     pub forced_departures: u64,
     /// Arrivals no cell could admit.
     pub rejected_admissions: u64,
+    /// In-transit departures dropped at the exchange because the
+    /// destination was unserviceable (out-of-range cell id from a hostile
+    /// RIC action, or a faulted destination cell).
+    pub dropped_departures: u64,
     /// Interruption-time statistics across completed handovers.
     pub interruption: InterruptionStats,
 }

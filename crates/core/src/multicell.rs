@@ -27,12 +27,13 @@
 //!   ([`RicPlaneReport::service`] drop counters) instead of growing node
 //!   memory.
 
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Barrier, Mutex};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier, Mutex, MutexGuard, PoisonError};
 use std::time::Instant;
 
 use waran_host::plugin::SandboxPolicy;
-use waran_host::{ExecTimeStats, ShardedExecStats};
+use waran_host::{fnv1a, ExecTimeStats, ShardedExecStats, SlotState, StrikeCounters};
 use waran_ric::bus::{RicBus, ServiceReport};
 
 use crate::affinity;
@@ -50,6 +51,19 @@ const _: () = {
     const fn assert_send<T: Send>() {}
     assert_send::<Scenario>();
 };
+
+/// Lock a deployment-internal mutex, recovering from poisoning.
+///
+/// A worker that panics mid-cell poisons that cell's lock; with plain
+/// `.expect("poisoned")` every later toucher — the exchange leader, the
+/// report fold, the *other* cells' workers joining through shared state —
+/// aborts too, turning one cell's fault into a deployment-wide crash.
+/// Panicked cells are instead marked `faulted` (see [`run_cell_guarded`])
+/// and skipped, so recovering the guard here is safe: the data behind a
+/// poisoned cell lock is only ever read for final reporting.
+fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Declarative description of one cell in a deployment.
 #[derive(Clone)]
@@ -92,6 +106,7 @@ pub struct MultiCellScenarioBuilder {
     ric: Option<RicAttachment>,
     mobility: Option<MobilityAttachment>,
     pin_workers: bool,
+    pushes: Vec<PushSpec>,
 }
 
 impl Default for MultiCellScenarioBuilder {
@@ -111,7 +126,24 @@ impl MultiCellScenarioBuilder {
             ric: None,
             mobility: None,
             pin_workers: false,
+            pushes: Vec::new(),
         }
+    }
+
+    /// Schedule a fleet-wide plugin push: at simulated slot `slot`, every
+    /// cell hot-swaps `slice`'s scheduler to `wasm` (the operator "push an
+    /// xApp to the fleet mid-run" move). Each cell applies the push at its
+    /// first chunk/window boundary at or after `slot`, so churn soaks stay
+    /// deterministic across worker counts. A push that fails to install
+    /// (bad bytes, admission rejection) counts into the cell's
+    /// `push_failures` instead of aborting the run.
+    pub fn push_at(mut self, slot: u64, slice: &str, wasm: &[u8]) -> Self {
+        self.pushes.push(PushSpec {
+            slot,
+            slice: slice.to_string(),
+            bytes: Arc::new(wasm.to_vec()),
+        });
+        self
     }
 
     /// Attach the deployment to the RIC plane: one service thread hosts
@@ -189,9 +221,10 @@ impl MultiCellScenarioBuilder {
         let mut cells = Vec::with_capacity(self.cells.len());
         for (idx, spec) in self.cells.into_iter().enumerate() {
             let cell_id = idx as u32;
-            if cells.iter().any(|c: &Mutex<CellRuntime>| {
-                c.lock().expect("cell lock poisoned").name == spec.name
-            }) {
+            if cells
+                .iter()
+                .any(|c: &Mutex<CellRuntime>| lock_recover(c).name == spec.name)
+            {
                 return Err(ScenarioError::Invalid(format!(
                     "duplicate cell `{}`",
                     spec.name
@@ -221,6 +254,8 @@ impl MultiCellScenarioBuilder {
                 .mobility
                 .zip(layout.clone())
                 .map(|(m, layout)| CellMobility::new(cell_id, layout, m.a3));
+            let mut pushes = self.pushes.clone();
+            pushes.sort_by_key(|p| p.slot);
             cells.push(Mutex::new(CellRuntime {
                 name: spec.name,
                 cell_id,
@@ -229,12 +264,15 @@ impl MultiCellScenarioBuilder {
                 driver: None,
                 mobility,
                 report: None,
+                pushes,
+                push_failures: 0,
+                faulted: false,
             }));
         }
         let bus = self.ric.map(|attachment| {
             let mut bus = attachment.build_bus();
             for cell in &cells {
-                let mut cell = cell.lock().expect("cell lock poisoned");
+                let mut cell = lock_recover(cell);
                 cell.driver = Some(attachment.driver(cell.cell_id, &mut bus));
             }
             bus
@@ -258,6 +296,17 @@ fn derive_seed(base: u64, cell_id: u32) -> u64 {
     z ^ (z >> 31)
 }
 
+/// One scheduled fleet-wide plugin push: at simulated slot `slot`, swap
+/// `slice`'s scheduler to `bytes` (applied per cell at its next chunk or
+/// window boundary at/after the slot — a pure function of simulation
+/// time, never of wall clock or worker schedule).
+#[derive(Clone)]
+struct PushSpec {
+    slot: u64,
+    slice: String,
+    bytes: Arc<Vec<u8>>,
+}
+
 struct CellRuntime {
     name: String,
     cell_id: u32,
@@ -266,6 +315,33 @@ struct CellRuntime {
     driver: Option<CellE2Driver>,
     mobility: Option<CellMobility>,
     report: Option<Report>,
+    /// Scheduled plugin pushes not yet applied, sorted by slot.
+    pushes: Vec<PushSpec>,
+    /// Scheduled pushes that failed to install (bad bytes, admission).
+    push_failures: u64,
+    /// A worker panicked inside this cell; it is skipped from then on and
+    /// reported as faulted instead of aborting the deployment.
+    faulted: bool,
+}
+
+/// Apply every scheduled push whose slot has been reached. Called at
+/// chunk/window starts, so the application slot is a deterministic
+/// function of the cell's slot sequence.
+fn apply_due_pushes(cell: &mut CellRuntime) {
+    while cell
+        .pushes
+        .first()
+        .is_some_and(|p| cell.scenario.gnb.slot() >= p.slot)
+    {
+        let push = cell.pushes.remove(0);
+        if cell
+            .scenario
+            .swap_plugin_bytes(&push.slice, &push.bytes)
+            .is_err()
+        {
+            cell.push_failures += 1;
+        }
+    }
 }
 
 /// One worker's timing shards: (plugin execution times, slot-chunk wall
@@ -273,9 +349,10 @@ struct CellRuntime {
 type WorkerShard = (ExecTimeStats, ExecTimeStats);
 
 /// What the lockstep engine hands back to `run`: per-worker timing
-/// shards, per-worker effective pins, and `(depart_slot, admit_slot)`
-/// pairs for every admitted handover.
-type LockstepOutcome = (Vec<WorkerShard>, Vec<Option<usize>>, Vec<(u64, u64)>);
+/// shards, per-worker effective pins, `(depart_slot, admit_slot)` pairs
+/// for every admitted handover, and the count of in-transit departures
+/// dropped at the exchange (unserviceable destination).
+type LockstepOutcome = (Vec<WorkerShard>, Vec<Option<usize>>, Vec<(u64, u64)>, u64);
 
 /// A built multi-cell deployment, runnable on any number of workers.
 pub struct MultiCellScenario {
@@ -296,7 +373,7 @@ impl MultiCellScenario {
     pub fn cell_names(&self) -> Vec<String> {
         self.cells
             .iter()
-            .map(|c| c.lock().expect("cell lock poisoned").name.clone())
+            .map(|c| lock_recover(c).name.clone())
             .collect()
     }
 
@@ -312,13 +389,9 @@ impl MultiCellScenario {
         let runtime = self
             .cells
             .iter()
-            .find(|c| c.lock().expect("cell lock poisoned").name == cell)
+            .find(|c| lock_recover(c).name == cell)
             .ok_or_else(|| ScenarioError::Invalid(format!("no cell `{cell}`")))?;
-        runtime
-            .lock()
-            .expect("cell lock poisoned")
-            .scenario
-            .swap_plugin(slice, kind)
+        lock_recover(runtime).scenario.swap_plugin(slice, kind)
     }
 
     /// Run every cell to completion on `workers` threads (0 and 1 both
@@ -341,11 +414,11 @@ impl MultiCellScenario {
         let workers = workers.clamp(1, n_cells.max(1));
         let service = self.bus.take().map(RicBus::start);
 
-        let (shards, worker_pins, handover_records) = match self.mobility_cfg {
+        let (shards, worker_pins, handover_records, dropped_departures) = match self.mobility_cfg {
             Some(cfg) => self.run_lockstep(workers, cfg),
             None => {
                 let (shards, pins) = self.run_free(workers);
-                (shards, pins, Vec::new())
+                (shards, pins, Vec::new(), 0)
             }
         };
 
@@ -364,13 +437,18 @@ impl MultiCellScenario {
                 ..RicPlaneReport::default()
             };
             for cell in &self.cells {
-                let cell = cell.lock().expect("cell lock poisoned");
+                let cell = lock_recover(cell);
                 if let Some(driver) = &cell.driver {
                     plane.indications_sent += driver.indications_sent;
                     plane.action_batches_received += driver.action_batches_received;
                     plane.applied_slice_targets += driver.applied_slice_targets;
                     plane.applied_handovers += driver.applied_handovers;
                     plane.rejected_actions += driver.rejected_actions;
+                    if driver.rejected_actions > 0 {
+                        plane
+                            .rejected_by_cell
+                            .push((cell.cell_id, driver.rejected_actions));
+                    }
                     plane.agent_decode_errors += driver.decode_errors;
                     plane.detached_cells += u64::from(!driver.is_attached());
                 }
@@ -380,17 +458,32 @@ impl MultiCellScenario {
 
         let mut cell_reports = Vec::with_capacity(n_cells);
         for cell in &self.cells {
-            let cell = cell.lock().expect("cell lock poisoned");
+            let cell = lock_recover(cell);
             let report = cell
                 .report
                 .clone()
                 .unwrap_or_else(|| cell.scenario.report());
             let sched_calls = cell_sched_calls(&cell.scenario);
+            let mut governance = CellGovernance {
+                push_failures: cell.push_failures,
+                ..CellGovernance::default()
+            };
+            for name in cell.scenario.slice_names() {
+                if let Some(health) = cell.scenario.plugin_health(name) {
+                    governance.strikes.merge(&health.strikes);
+                    governance.rollbacks += health.rollbacks;
+                }
+                if cell.scenario.plugin_state(name) == Some(SlotState::Quarantined) {
+                    governance.quarantined_slices += 1;
+                }
+            }
             cell_reports.push(CellReport {
                 name: cell.name.clone(),
                 cell_id: cell.cell_id,
                 seed: cell.seed,
                 sched_calls,
+                governance,
+                faulted: cell.faulted,
                 report,
             });
         }
@@ -398,19 +491,15 @@ impl MultiCellScenario {
         let total_sched_calls = cell_reports.iter().map(|c| c.sched_calls).sum();
 
         let mobility = self.mobility_cfg.map(|cfg| {
-            let slot_seconds = self.cells[0]
-                .lock()
-                .expect("cell lock poisoned")
-                .scenario
-                .gnb
-                .slot_seconds();
+            let slot_seconds = lock_recover(&self.cells[0]).scenario.gnb.slot_seconds();
             let mut report = MobilityReport {
                 exchange_period_slots: cfg.exchange_period_slots,
+                dropped_departures,
                 interruption: InterruptionStats::from_records(&handover_records, slot_seconds),
                 ..MobilityReport::default()
             };
             for cell in &self.cells {
-                let cell = cell.lock().expect("cell lock poisoned");
+                let cell = lock_recover(cell);
                 if let Some(m) = &cell.mobility {
                     report.cross_cell_handovers += m.counters.admissions;
                     report.a3_departures += m.counters.a3_departures;
@@ -443,8 +532,8 @@ impl MultiCellScenario {
         if workers <= 1 && !self.pin_workers {
             let mut shard = (ExecTimeStats::new(), ExecTimeStats::new());
             for cell in &self.cells {
-                let mut cell = cell.lock().expect("cell lock poisoned");
-                run_cell(&mut cell, &mut shard.0, &mut shard.1);
+                let mut cell = lock_recover(cell);
+                run_cell_guarded(&mut cell, &mut shard.0, &mut shard.1);
             }
             return (vec![shard], vec![None]);
         }
@@ -464,8 +553,8 @@ impl MultiCellScenario {
                             if idx >= n_cells {
                                 break;
                             }
-                            let mut cell = cells[idx].lock().expect("cell lock poisoned");
-                            run_cell(&mut cell, &mut exec_shard, &mut chunk_shard);
+                            let mut cell = lock_recover(&cells[idx]);
+                            run_cell_guarded(&mut cell, &mut exec_shard, &mut chunk_shard);
                         }
                         ((exec_shard, chunk_shard), pinned)
                     })
@@ -488,27 +577,35 @@ impl MultiCellScenario {
         if workers <= 1 && !self.pin_workers {
             let mut shard = (ExecTimeStats::new(), ExecTimeStats::new());
             let mut in_transit = Vec::new();
+            let mut dropped = 0u64;
             loop {
                 for cell in &self.cells {
-                    let mut cell = cell.lock().expect("cell lock poisoned");
-                    run_cell_window(&mut cell, window, &mut shard.1);
+                    let mut cell = lock_recover(cell);
+                    run_cell_window_guarded(&mut cell, window, &mut shard.1);
                 }
-                if lockstep_exchange(&self.cells, &mut in_transit, &mut records) {
+                if lockstep_exchange(&self.cells, &mut in_transit, &mut records, &mut dropped) {
                     break;
                 }
             }
             let pins = vec![None];
             self.finish_lockstep_cells(&mut shard.0);
-            return (vec![shard], pins, records);
+            return (vec![shard], pins, records, dropped);
         }
 
         let cursor = AtomicUsize::new(0);
         let done = AtomicBool::new(false);
         let in_transit: Mutex<Vec<Departure>> = Mutex::new(Vec::new());
         let records_shared: Mutex<Vec<(u64, u64)>> = Mutex::new(Vec::new());
+        let dropped_shared = AtomicU64::new(0);
         let barrier = Barrier::new(workers);
-        let (cursor, done, in_transit, records_ref, barrier) =
-            (&cursor, &done, &in_transit, &records_shared, &barrier);
+        let (cursor, done, in_transit, records_ref, dropped_ref, barrier) = (
+            &cursor,
+            &done,
+            &in_transit,
+            &records_shared,
+            &dropped_shared,
+            &barrier,
+        );
         let cells = &self.cells;
         let pin = self.pin_workers;
         let (mut shards, pins): (Vec<_>, Vec<_>) = std::thread::scope(|scope| {
@@ -523,15 +620,18 @@ impl MultiCellScenario {
                                 if idx >= n_cells {
                                     break;
                                 }
-                                let mut cell = cells[idx].lock().expect("cell lock poisoned");
-                                run_cell_window(&mut cell, window, &mut chunk_shard);
+                                let mut cell = lock_recover(&cells[idx]);
+                                run_cell_window_guarded(&mut cell, window, &mut chunk_shard);
                             }
                             if barrier.wait().is_leader() {
                                 // Serial section: every other worker is
                                 // parked at the second barrier.
-                                let mut transit = in_transit.lock().expect("transit lock poisoned");
-                                let mut recs = records_ref.lock().expect("records lock poisoned");
-                                let all_done = lockstep_exchange(cells, &mut transit, &mut recs);
+                                let mut transit = lock_recover(in_transit);
+                                let mut recs = lock_recover(records_ref);
+                                let mut dropped = 0u64;
+                                let all_done =
+                                    lockstep_exchange(cells, &mut transit, &mut recs, &mut dropped);
+                                dropped_ref.fetch_add(dropped, Ordering::Relaxed);
                                 cursor.store(0, Ordering::Relaxed);
                                 done.store(all_done, Ordering::Relaxed);
                             }
@@ -549,11 +649,13 @@ impl MultiCellScenario {
                 .map(|h| h.join().expect("worker panicked"))
                 .unzip()
         });
-        records = records_shared.into_inner().expect("records lock poisoned");
+        records = records_shared
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner);
         if let Some(first) = shards.first_mut() {
             self.finish_lockstep_cells(&mut first.0);
         }
-        (shards, pins, records)
+        (shards, pins, records, dropped_shared.into_inner())
     }
 
     /// Serial post-pass of the lockstep engine: settle E2 drivers, take
@@ -561,7 +663,7 @@ impl MultiCellScenario {
     /// so the order (and thus the RIC counters) is deterministic.
     fn finish_lockstep_cells(&self, exec_shard: &mut ExecTimeStats) {
         for cell in &self.cells {
-            let mut cell = cell.lock().expect("cell lock poisoned");
+            let mut cell = lock_recover(cell);
             let CellRuntime {
                 scenario,
                 driver,
@@ -587,6 +689,46 @@ impl MultiCellScenario {
 /// like-for-like.
 const DETACHED_CHUNK_SLOTS: u64 = 100;
 
+/// Run one cell under a panic boundary: a panic anywhere inside the cell
+/// (a poisoned internal lock, a logic bug tickled by hostile input) marks
+/// the cell faulted and is swallowed, so one cell degrades to "stopped,
+/// reported as faulted" instead of unwinding through the worker and
+/// aborting the whole deployment. `AssertUnwindSafe` is justified the
+/// same way the poison recovery is: a faulted cell is never executed
+/// again, only read for final reporting.
+fn run_cell_guarded(
+    cell: &mut CellRuntime,
+    exec_shard: &mut ExecTimeStats,
+    chunk_shard: &mut ExecTimeStats,
+) {
+    if cell.faulted {
+        return;
+    }
+    if catch_unwind(AssertUnwindSafe(|| run_cell(cell, exec_shard, chunk_shard))).is_err() {
+        cell.faulted = true;
+    }
+}
+
+/// [`run_cell_window`] under the same panic boundary as
+/// [`run_cell_guarded`]; a faulted cell reads as finished to the lockstep
+/// protocol, so the other cells keep exchanging without it.
+fn run_cell_window_guarded(
+    cell: &mut CellRuntime,
+    window_slots: u64,
+    chunk_shard: &mut ExecTimeStats,
+) {
+    if cell.faulted {
+        return;
+    }
+    if catch_unwind(AssertUnwindSafe(|| {
+        run_cell_window(cell, window_slots, chunk_shard)
+    }))
+    .is_err()
+    {
+        cell.faulted = true;
+    }
+}
+
 /// Run one cell to its configured end in report-period chunks, timing
 /// each chunk into `chunk_shard` and folding the cell's plugin execution
 /// times into `exec_shard`. Attached cells run the E2 boundary protocol
@@ -603,6 +745,7 @@ fn run_cell(
         .unwrap_or(DETACHED_CHUNK_SLOTS)
         .max(1);
     while cell.scenario.remaining_slots() > 0 {
+        apply_due_pushes(cell);
         let slot = cell.scenario.gnb.slot();
         if let Some(driver) = cell.driver.as_mut() {
             if driver.due(slot) {
@@ -610,7 +753,16 @@ fn run_cell(
             }
         }
         let to_boundary = chunk_len - (slot % chunk_len);
-        let n = to_boundary.min(cell.scenario.remaining_slots());
+        // Stop early at the next scheduled push, so the swap lands at
+        // exactly its slot (same slot at any worker count).
+        let to_push = cell
+            .pushes
+            .first()
+            .map(|p| p.slot.saturating_sub(slot).max(1))
+            .unwrap_or(u64::MAX);
+        let n = to_boundary
+            .min(to_push)
+            .min(cell.scenario.remaining_slots());
         let chunk_started = Instant::now();
         cell.scenario.run_slots(n);
         chunk_shard.record(chunk_started.elapsed());
@@ -640,17 +792,37 @@ fn lockstep_exchange(
     cells: &[Mutex<CellRuntime>],
     in_transit: &mut Vec<Departure>,
     records: &mut Vec<(u64, u64)>,
+    dropped: &mut u64,
 ) -> bool {
     for dep in in_transit.drain(..) {
-        let mut cell = cells[dep.msg.dst_cell as usize]
-            .lock()
-            .expect("cell lock poisoned");
+        // A hostile or buggy RIC action can put an out-of-range (or
+        // otherwise unserviceable) destination in flight; indexing
+        // unchecked here would panic the exchange leader and poison every
+        // cell lock. Drop such departures instead, with per-cell
+        // attribution on the *source* cell's mobility counters.
+        let Some(dst) = cells.get(dep.msg.dst_cell as usize) else {
+            *dropped += 1;
+            reject_at_source(cells, dep.msg.src_cell);
+            continue;
+        };
+        let mut cell = lock_recover(dst);
         let depart_slot = dep.msg.slot;
         let admit_slot = cell.scenario.gnb.slot();
         let CellRuntime {
-            scenario, mobility, ..
+            scenario,
+            mobility,
+            faulted,
+            ..
         } = &mut *cell;
-        let mob = mobility.as_mut().expect("mobility attached");
+        // A faulted destination (or one without mobility wired — only
+        // possible via a corrupted message) cannot admit; the departure
+        // is dropped, not panicked on.
+        let (false, Some(mob)) = (*faulted, mobility.as_mut()) else {
+            *dropped += 1;
+            drop(cell);
+            reject_at_source(cells, dep.msg.src_cell);
+            continue;
+        };
         if mob.admit(scenario, dep) {
             records.push((depart_slot, admit_slot));
         }
@@ -658,8 +830,8 @@ fn lockstep_exchange(
     let mut fresh = Vec::new();
     let mut all_done = true;
     for cell in cells {
-        let mut cell = cell.lock().expect("cell lock poisoned");
-        if cell.scenario.remaining_slots() == 0 {
+        let mut cell = lock_recover(cell);
+        if cell.faulted || cell.scenario.remaining_slots() == 0 {
             continue;
         }
         all_done = false;
@@ -676,6 +848,17 @@ fn lockstep_exchange(
     all_done
 }
 
+/// Attribute a dropped in-transit departure to its source cell's mobility
+/// counters (the cell whose UE is now lost to the deployment report, not
+/// to a panic).
+fn reject_at_source(cells: &[Mutex<CellRuntime>], src_cell: u32) {
+    if let Some(src) = cells.get(src_cell as usize) {
+        if let Some(mob) = lock_recover(src).mobility.as_mut() {
+            mob.counters.rejected_admissions += 1;
+        }
+    }
+}
+
 /// Run one cell for at most one exchange window, handling a due E2
 /// boundary first (boundaries only land on window starts — the builder
 /// validates the period divides).
@@ -683,6 +866,9 @@ fn run_cell_window(cell: &mut CellRuntime, window_slots: u64, chunk_shard: &mut 
     if cell.scenario.remaining_slots() == 0 {
         return;
     }
+    // Lockstep cells apply scheduled pushes at window starts (windows are
+    // the deterministic boundary the exchange protocol already provides).
+    apply_due_pushes(cell);
     let slot = cell.scenario.gnb.slot();
     let CellRuntime {
         scenario,
@@ -717,6 +903,11 @@ pub struct RicPlaneReport {
     pub applied_handovers: u64,
     /// Actions that could not be applied.
     pub rejected_actions: u64,
+    /// Per-cell attribution of rejected actions: `(cell_id, rejected)`
+    /// for every cell that rejected at least one, in declaration order.
+    /// A hostile xApp shows up here as a hot spot instead of vanishing
+    /// into the aggregate.
+    pub rejected_by_cell: Vec<(u32, u64)>,
     /// Cell-side decode failures (bad batches + skipped records).
     pub agent_decode_errors: u64,
     /// Cells that lost the service mid-run and detached.
@@ -733,6 +924,20 @@ fn cell_sched_calls(scenario: &Scenario) -> u64 {
         .sum()
 }
 
+/// Governance counters for one cell, folded across its plugin slots at
+/// report time: the ops-plane view of how the cell's plugins behaved.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CellGovernance {
+    /// Faults by kind, summed over the cell's plugin slots.
+    pub strikes: StrikeCounters,
+    /// Automatic rollbacks to the last-good module.
+    pub rollbacks: u64,
+    /// Slots still quarantined at the end of the run.
+    pub quarantined_slices: u64,
+    /// Scheduled plugin pushes that failed to install on this cell.
+    pub push_failures: u64,
+}
+
 /// One cell's results.
 #[derive(Debug, Clone)]
 pub struct CellReport {
@@ -744,6 +949,11 @@ pub struct CellReport {
     pub seed: u64,
     /// Scheduler-plugin calls made by this cell.
     pub sched_calls: u64,
+    /// Strike / rollback / quarantine accounting for this cell.
+    pub governance: CellGovernance,
+    /// True when the cell panicked mid-run and was fenced off; its
+    /// report is a snapshot at the fault point.
+    pub faulted: bool,
     /// The cell's full measurement snapshot.
     pub report: Report,
 }
@@ -788,9 +998,51 @@ impl MultiCellReport {
 
     /// Per-cell report digests in declaration order; equal vectors across
     /// runs mean byte-identical per-cell outputs (the worker-count
-    /// independence check).
+    /// independence check). Governance counters (strikes, rollbacks,
+    /// quarantines, push failures, fault fencing) fold into the digest,
+    /// so the check also covers the ops plane: a quarantine or rollback
+    /// that fires on one worker count but not another breaks the gate.
     pub fn cell_digests(&self) -> Vec<u64> {
-        self.cells.iter().map(|c| c.report.digest()).collect()
+        self.cells
+            .iter()
+            .map(|c| {
+                let g = &c.governance;
+                let mut bytes = [0u8; 64];
+                for (i, v) in [
+                    g.strikes.trap,
+                    g.strikes.fuel_exhausted,
+                    g.strikes.deadline,
+                    g.strikes.other,
+                    g.rollbacks,
+                    g.quarantined_slices,
+                    g.push_failures,
+                    u64::from(c.faulted),
+                ]
+                .into_iter()
+                .enumerate()
+                {
+                    bytes[i * 8..i * 8 + 8].copy_from_slice(&v.to_le_bytes());
+                }
+                c.report.digest() ^ fnv1a(&bytes)
+            })
+            .collect()
+    }
+
+    /// Governance counters merged across all cells.
+    pub fn governance(&self) -> CellGovernance {
+        let mut total = CellGovernance::default();
+        for cell in &self.cells {
+            total.strikes.merge(&cell.governance.strikes);
+            total.rollbacks += cell.governance.rollbacks;
+            total.quarantined_slices += cell.governance.quarantined_slices;
+            total.push_failures += cell.governance.push_failures;
+        }
+        total
+    }
+
+    /// Cells that panicked mid-run and were fenced off.
+    pub fn faulted_cells(&self) -> u64 {
+        self.cells.iter().filter(|c| c.faulted).count() as u64
     }
 
     /// Aggregate scheduler-call throughput, calls per wall-clock second.
@@ -815,6 +1067,7 @@ impl MultiCellReport {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::mobility::HandoverMsg;
     use crate::scenario::SliceSpec;
 
     fn deployment(cells: usize, seconds: f64) -> MultiCellScenario {
@@ -844,6 +1097,86 @@ mod tests {
             .cell(CellSpec::new("a").slice(SliceSpec::new("s", SchedKind::RoundRobin).ues(1)))
             .build();
         assert!(matches!(dup, Err(ScenarioError::Invalid(_))));
+    }
+
+    #[test]
+    fn exchange_drops_unserviceable_destinations() {
+        // A hostile or buggy RIC can put a departure in flight whose
+        // destination is out of range, or whose destination has faulted
+        // mid-run. Both must be dropped (with per-cell attribution on
+        // the source), never indexed unchecked.
+        let mobile = || {
+            SliceSpec::new("m", SchedKind::RoundRobin)
+                .target_mbps(8.0)
+                .ue(
+                    crate::ChannelSpec::Mobile { speed_mps: 50.0 },
+                    crate::TrafficSpec::FullBuffer,
+                )
+                .ue(
+                    crate::ChannelSpec::Mobile { speed_mps: 25.0 },
+                    crate::TrafficSpec::FullBuffer,
+                )
+                .native()
+        };
+        let d = MultiCellScenarioBuilder::new()
+            .seconds(0.1)
+            .base_seed(7)
+            .mobility(
+                MobilityAttachment::new()
+                    .isd_m(60.0)
+                    .exchange_period_slots(20),
+            )
+            .cell(CellSpec::new("a").slice(mobile()))
+            .cell(CellSpec::new("b").slice(mobile()))
+            .build()
+            .unwrap();
+
+        let mut in_transit = Vec::new();
+        {
+            let mut cell = lock_recover(&d.cells[0]);
+            let ids: Vec<u32> = cell
+                .scenario
+                .gnb
+                .mobile_ues()
+                .iter()
+                .map(|(_, id, _)| *id)
+                .collect();
+            assert!(ids.len() >= 2);
+            for (i, ue_id) in ids.iter().take(2).enumerate() {
+                let (slice, ue) = cell.scenario.detach_ue(*ue_id).unwrap();
+                in_transit.push(Departure {
+                    msg: HandoverMsg {
+                        slot: 0,
+                        src_cell: 0,
+                        // One departure aims past the fleet, one at a
+                        // cell that faulted while it was in flight.
+                        dst_cell: if i == 0 { 99 } else { 1 },
+                        ue_id: *ue_id,
+                        forced: true,
+                    },
+                    slice,
+                    ue,
+                });
+            }
+        }
+        lock_recover(&d.cells[1]).faulted = true;
+
+        let mut records = Vec::new();
+        let mut dropped = 0u64;
+        lockstep_exchange(&d.cells, &mut in_transit, &mut records, &mut dropped);
+
+        assert_eq!(dropped, 2, "both unserviceable departures dropped");
+        assert!(records.is_empty(), "nothing was admitted");
+        assert_eq!(
+            lock_recover(&d.cells[0])
+                .mobility
+                .as_ref()
+                .unwrap()
+                .counters
+                .rejected_admissions,
+            2,
+            "drops attributed to the source cell"
+        );
     }
 
     #[test]

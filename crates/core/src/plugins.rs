@@ -243,6 +243,19 @@ export fn schedule(req: i32, len: i32) -> i64 {
 }
 "#;
 
+    /// Fuel burner: a long busy loop the fuel meter halts deterministically
+    /// (out-of-fuel, not the wall-clock deadline) — the resource-exhaustion
+    /// strike class for governance tests and churn soaks. The bound is far
+    /// beyond any sane per-call fuel budget but finite, so a meterless host
+    /// still terminates.
+    pub const FUEL_BURNER: &str = r#"
+export fn schedule(req: i32, len: i32) -> i64 {
+    var x: i32 = 0;
+    while (x < 2000000000) { x = x + 1; }
+    return pack(0, 0);
+}
+"#;
+
     /// The §5.D / Fig. 5c leaky scheduler: allocates on every invocation
     /// and never frees. Compiled **without** the ABI prelude so nothing
     /// recycles the heap; its memory growth is bounded only by the host's

@@ -17,7 +17,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use waran_host::plugin::{PluginError, SandboxPolicy};
-use waran_host::{ExecTimeStats, PluginHost};
+use waran_host::{ExecTimeStats, PluginHost, RollbackEvent, SlotHealth, SlotState};
 use waran_ransim::channel::{
     ChannelModel, DistanceChannel, FixedMcsChannel, MarkovFadingChannel, MobileChannel,
     StaticChannel,
@@ -543,6 +543,23 @@ impl Scenario {
     /// Plugin execution-time stats for a Wasm slice.
     pub fn plugin_stats(&self, slice: &str) -> Option<ExecTimeStats> {
         self.host.stats(slice)
+    }
+
+    /// Health counters (per-kind strikes, rollbacks, swap epoch) of a Wasm
+    /// slice's plugin slot.
+    pub fn plugin_health(&self, slice: &str) -> Option<SlotHealth> {
+        self.host.health(slice)
+    }
+
+    /// Quarantine state of a Wasm slice's plugin slot.
+    pub fn plugin_state(&self, slice: &str) -> Option<SlotState> {
+        self.host.state(slice)
+    }
+
+    /// Automatic rollbacks logged on a Wasm slice's plugin slot, oldest
+    /// first.
+    pub fn plugin_rollbacks(&self, slice: &str) -> Option<Vec<RollbackEvent>> {
+        self.host.rollback_log(slice)
     }
 
     /// Snapshot report of everything measured so far.

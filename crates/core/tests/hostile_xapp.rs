@@ -1,0 +1,120 @@
+//! Regression: a hostile (or buggy) xApp commanding handovers to
+//! out-of-range cells must degrade to rejected actions with per-cell
+//! attribution — never a panicked exchange leader, poisoned cell locks,
+//! or an aborted deployment — and the run must stay worker-count
+//! deterministic with the hostile plane attached.
+
+use waran_core::{
+    CellSpec, ChannelSpec, MobilityAttachment, MultiCellReport, MultiCellScenarioBuilder,
+    RicAttachment, SchedKind, SliceSpec, TrafficSpec,
+};
+use waran_ric::bus::DeliveryMode;
+use waran_ric::comm::TlvCodec;
+use waran_ric::ric::{NearRtRic, TrafficSteering};
+
+const CELLS: usize = 4;
+
+fn deployment(seconds: f64) -> MultiCellScenarioBuilder {
+    let mut b = MultiCellScenarioBuilder::new()
+        .seconds(seconds)
+        .base_seed(909)
+        .mobility(
+            MobilityAttachment::new()
+                .isd_m(60.0)
+                .exchange_period_slots(20)
+                .ttt_windows(1)
+                .hold_windows(1),
+        );
+    for i in 0..CELLS {
+        b = b.cell(
+            CellSpec::new(&format!("cell{i}")).slice(
+                SliceSpec::new("embb", SchedKind::ProportionalFair)
+                    .target_mbps(8.0)
+                    .ue(
+                        ChannelSpec::Mobile { speed_mps: 50.0 },
+                        TrafficSpec::FullBuffer,
+                    )
+                    .ue(
+                        ChannelSpec::Mobile { speed_mps: 25.0 },
+                        TrafficSpec::FullBuffer,
+                    )
+                    .native(),
+            ),
+        );
+    }
+    b
+}
+
+/// Every cell's steering xApp aims at cell 99 — far outside the fleet.
+fn hostile_attachment() -> RicAttachment {
+    RicAttachment::new(
+        Box::new(|| Box::new(TlvCodec)),
+        Box::new(|_cell| {
+            let mut ric = NearRtRic::new();
+            ric.add_xapp(Box::new(TrafficSteering::new(12, 2, 99)));
+            ric
+        }),
+    )
+    .report_period_slots(20)
+    .bus_capacity(8)
+    .mode(DeliveryMode::Deterministic)
+}
+
+fn run_hostile(workers: usize) -> MultiCellReport {
+    deployment(0.3)
+        .ric(hostile_attachment())
+        .build()
+        .expect("deployment builds")
+        .run(workers)
+}
+
+#[test]
+fn out_of_range_handovers_reject_with_per_cell_attribution() {
+    let report = run_hostile(2);
+
+    let ric = report.ric.as_ref().expect("plane report present");
+    assert!(
+        ric.rejected_actions > 0,
+        "hostile steering must be rejected, got {ric:?}"
+    );
+    // No out-of-range command was ever realized as a handover.
+    assert_eq!(ric.applied_handovers, 0);
+    let mob = report.mobility.as_ref().expect("mobility report present");
+    assert_eq!(mob.forced_departures, 0);
+
+    // Per-cell attribution: the rejects fold into `(cell_id, count)`
+    // entries that sum to the aggregate, so a single hostile xApp shows
+    // up as a locatable hot spot.
+    assert!(!ric.rejected_by_cell.is_empty());
+    let summed: u64 = ric.rejected_by_cell.iter().map(|(_, n)| n).sum();
+    assert_eq!(summed, ric.rejected_actions);
+    for (cell_id, count) in &ric.rejected_by_cell {
+        assert!((*cell_id as usize) < CELLS);
+        assert!(*count > 0);
+    }
+
+    // Every cell ran to completion: nothing panicked, nothing faulted.
+    assert_eq!(report.faulted_cells(), 0);
+    for cell in &report.cells {
+        assert!(cell.report.slots > 0);
+    }
+}
+
+#[test]
+fn hostile_plane_stays_worker_count_deterministic() {
+    let one = run_hostile(1);
+    let four = run_hostile(4);
+    assert_eq!(
+        one.cell_digests(),
+        four.cell_digests(),
+        "hostile RIC input must not break worker-count independence"
+    );
+    assert_eq!(
+        one.ric.as_ref().unwrap().rejected_actions,
+        four.ric.as_ref().unwrap().rejected_actions
+    );
+    assert_eq!(
+        one.ric.as_ref().unwrap().rejected_by_cell,
+        four.ric.as_ref().unwrap().rejected_by_cell
+    );
+}

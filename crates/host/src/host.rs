@@ -34,8 +34,9 @@ use parking_lot::{Mutex, RwLock};
 
 use waran_abi::sched::{SchedRequest, SchedResponse};
 
-use crate::plugin::{Plugin, PluginError};
+use crate::plugin::{GovernanceClass, Plugin, PluginError};
 use crate::stats::ExecTimeStats;
+use waran_wasm::Trap;
 
 /// Health of one plugin slot.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -46,6 +47,99 @@ pub enum SlotState {
     Quarantined,
 }
 
+/// The governance-relevant classification of one fault.
+///
+/// Strike accounting distinguishes *why* a plugin faulted: a trap points at
+/// buggy or hostile guest logic, fuel exhaustion at a blown deterministic
+/// budget, a deadline at wall-clock overrun. Operators tune strike budgets
+/// per class, so the counters must keep them apart.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// A guest trap other than a metering limit (OOB access, unreachable,
+    /// division by zero, …).
+    Trap,
+    /// The deterministic per-call fuel budget ran out.
+    FuelExhausted,
+    /// The wall-clock per-call deadline expired.
+    DeadlineExceeded,
+    /// Host-side faults: ABI violations, payload codec errors, anything
+    /// that is a plugin fault but not a trap.
+    Other,
+}
+
+impl FaultKind {
+    /// Classify a plugin error for strike accounting.
+    pub fn classify(err: &PluginError) -> FaultKind {
+        match err {
+            PluginError::Trap(Trap::OutOfFuel) => FaultKind::FuelExhausted,
+            PluginError::Trap(Trap::DeadlineExceeded) => FaultKind::DeadlineExceeded,
+            PluginError::Trap(_) => FaultKind::Trap,
+            _ => FaultKind::Other,
+        }
+    }
+}
+
+/// Per-kind lifetime strike counters (survive swaps and rollbacks).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StrikeCounters {
+    /// Guest traps other than metering limits.
+    pub trap: u64,
+    /// Fuel-exhaustion faults.
+    pub fuel_exhausted: u64,
+    /// Wall-clock deadline faults.
+    pub deadline: u64,
+    /// ABI/codec/other plugin faults.
+    pub other: u64,
+}
+
+impl StrikeCounters {
+    /// Record one fault of the given kind.
+    pub fn bump(&mut self, kind: FaultKind) {
+        match kind {
+            FaultKind::Trap => self.trap += 1,
+            FaultKind::FuelExhausted => self.fuel_exhausted += 1,
+            FaultKind::DeadlineExceeded => self.deadline += 1,
+            FaultKind::Other => self.other += 1,
+        }
+    }
+
+    /// Fold another counter set into this one (report aggregation).
+    pub fn merge(&mut self, other: &StrikeCounters) {
+        self.trap += other.trap;
+        self.fuel_exhausted += other.fuel_exhausted;
+        self.deadline += other.deadline;
+        self.other += other.other;
+    }
+
+    /// Total strikes across all kinds.
+    pub fn total(&self) -> u64 {
+        self.trap + self.fuel_exhausted + self.deadline + self.other
+    }
+}
+
+/// One automatic rollback: a freshly-swapped module crossed its strike
+/// budget and the host republished the retained last-good module through
+/// the epoch publication path.
+#[derive(Debug, Clone)]
+pub struct RollbackEvent {
+    /// Slot (plugin name) that rolled back.
+    pub name: String,
+    /// Publication epoch of the rollback (the "when" in swap time: the
+    /// bad module's adoption epoch is `epoch - 1`).
+    pub epoch: u64,
+    /// Governance class of the module that was rolled back.
+    pub class: GovernanceClass,
+    /// Lifetime strike counters at the moment of rollback.
+    pub strikes: StrikeCounters,
+    /// Consecutive faults that crossed the budget.
+    pub consecutive_faults: u32,
+    /// Content hash of the module rolled back *from* (the bad push), when
+    /// it came out of the template cache.
+    pub from_hash: Option<u64>,
+    /// Content hash of the last-good module rolled back *to*.
+    pub to_hash: Option<u64>,
+}
+
 /// Cumulative per-slot health counters.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct SlotHealth {
@@ -53,6 +147,10 @@ pub struct SlotHealth {
     pub consecutive_faults: u32,
     /// Total faults over the slot's lifetime (survives swaps).
     pub total_faults: u64,
+    /// Lifetime faults broken down by kind (trap / fuel / deadline / other).
+    pub strikes: StrikeCounters,
+    /// Automatic rollbacks to the last-good module.
+    pub rollbacks: u64,
     /// Successful calls.
     pub calls_ok: u64,
     /// Times the slot was hot-swapped.
@@ -66,7 +164,23 @@ struct Slot<T> {
     stats: ExecTimeStats,
     /// The publication epoch this slot last adopted.
     seen_epoch: u64,
+    /// Successful calls since the current plugin was adopted. A swapped-out
+    /// plugin is retained as last-good only when this is nonzero — a module
+    /// that never served a call is not a proven fallback.
+    ok_since_adopt: u64,
+    /// The previous module, retained at swap time while it was healthy;
+    /// republished automatically when its replacement crosses the strike
+    /// budget. `take()`n at rollback so a bad→bad chain cannot loop.
+    last_good: Option<Plugin<T>>,
+    /// Log of automatic rollbacks on this slot, newest last, capped at
+    /// [`ROLLBACK_LOG_CAP`] entries.
+    rollback_log: Vec<RollbackEvent>,
 }
+
+/// Retained [`RollbackEvent`]s per slot. A fleet that churns through
+/// push/rollback cycles for days must not grow host memory; the health
+/// counters keep the lifetime totals, the log keeps the recent forensics.
+const ROLLBACK_LOG_CAP: usize = 64;
 
 /// The shared identity of a named slot: callers hold the `inner` mutex for
 /// the duration of one plugin call; installers publish replacements
@@ -89,6 +203,9 @@ impl<T> SlotShared<T> {
                 health: SlotHealth::default(),
                 stats: ExecTimeStats::new(),
                 seen_epoch: 0,
+                ok_since_adopt: 0,
+                last_good: None,
+                rollback_log: Vec::new(),
             }),
             pending: Mutex::new(None),
             epoch: AtomicU64::new(0),
@@ -109,19 +226,38 @@ impl<T> SlotShared<T> {
             return;
         }
         if let Some(plugin) = self.pending.lock().take() {
-            slot.plugin = plugin;
+            let outgoing = std::mem::replace(&mut slot.plugin, plugin);
+            // Retain the outgoing module as the rollback target iff it was
+            // healthy: active (not quarantined, not the module a rollback
+            // is currently replacing) and proven by at least one
+            // successful call. A slot swapped bad→bad keeps its older
+            // last-good instead.
+            if slot.state == SlotState::Active && slot.ok_since_adopt > 0 {
+                slot.last_good = Some(outgoing);
+            }
             // The new code gets a fresh chance: quarantine and the
             // consecutive counter clear; lifetime counters survive.
             slot.state = SlotState::Active;
             slot.health.consecutive_faults = 0;
+            slot.ok_since_adopt = 0;
         }
         slot.seen_epoch = epoch;
     }
 }
 
 /// Run one closure against a synced slot under the fault policy.
+///
+/// The strike budget comes from the slot's own [`SandboxPolicy`]
+/// (`quarantine_after`, part of its governance class) unless the host was
+/// built with an explicit override. Crossing the budget rolls the slot
+/// back to its retained last-good module when one exists — republished
+/// through the same epoch path as an operator swap, adopted at the next
+/// call boundary — and quarantines the slot otherwise.
+///
+/// [`SandboxPolicy`]: crate::plugin::SandboxPolicy
 fn run_guarded<T, R>(
-    quarantine_after: u32,
+    shared: &SlotShared<T>,
+    quarantine_override: Option<u32>,
     name: &str,
     slot: &mut Slot<T>,
     f: impl FnOnce(&mut Plugin<T>) -> Result<R, PluginError>,
@@ -131,19 +267,55 @@ fn run_guarded<T, R>(
             name: name.to_string(),
         });
     }
-    match f(&mut slot.plugin) {
+    let budget = quarantine_override.unwrap_or(slot.plugin.policy().quarantine_after);
+    let seq_before = slot.plugin.call_seq();
+    let result = f(&mut slot.plugin);
+    // Record the call duration on both arms — trapping and fuel-exhausted
+    // calls are precisely the slow ones, and dropping them would deflate
+    // the reported tail latency. The sequence check keeps closures that
+    // failed before reaching a plugin call from re-recording a stale
+    // duration.
+    if slot.plugin.call_seq() != seq_before {
+        if let Some(d) = slot.plugin.last_call_duration() {
+            slot.stats.record(d);
+        }
+    }
+    match result {
         Ok(out) => {
             slot.health.calls_ok += 1;
             slot.health.consecutive_faults = 0;
-            if let Some(d) = slot.plugin.last_call_duration() {
-                slot.stats.record(d);
-            }
+            slot.ok_since_adopt += 1;
             Ok(out)
         }
         Err(e) => {
             slot.health.total_faults += 1;
             slot.health.consecutive_faults += 1;
-            if quarantine_after > 0 && slot.health.consecutive_faults >= quarantine_after {
+            slot.health.strikes.bump(FaultKind::classify(&e));
+            if budget > 0 && slot.health.consecutive_faults >= budget {
+                if let Some(good) = slot.last_good.take() {
+                    // Automatic rollback: republish the last-good module
+                    // through the epoch path. The next call on this slot
+                    // adopts it (clearing the quarantine below) exactly
+                    // like an operator-pushed swap would.
+                    let event = RollbackEvent {
+                        name: name.to_string(),
+                        epoch: shared.epoch.load(Ordering::Acquire) + 1,
+                        class: slot.plugin.policy().class,
+                        strikes: slot.health.strikes,
+                        consecutive_faults: slot.health.consecutive_faults,
+                        from_hash: slot.plugin.content_hash(),
+                        to_hash: good.content_hash(),
+                    };
+                    shared.publish(good);
+                    slot.health.rollbacks += 1;
+                    if slot.rollback_log.len() == ROLLBACK_LOG_CAP {
+                        slot.rollback_log.remove(0);
+                    }
+                    slot.rollback_log.push(event);
+                }
+                // Quarantined until the rollback (or any other pending
+                // publication) is adopted at the next call boundary; with
+                // no last-good retained this parks the slot for good.
                 slot.state = SlotState::Quarantined;
             }
             Err(e)
@@ -157,29 +329,34 @@ fn run_guarded<T, R>(
 /// different plugins proceed concurrently and a swap never tears a call.
 pub struct PluginHost<T> {
     slots: RwLock<HashMap<String, Arc<SlotShared<T>>>>,
-    quarantine_after: u32,
+    /// `None` ⇒ each slot's strike budget comes from its own plugin's
+    /// `SandboxPolicy::quarantine_after` (its governance class);
+    /// `Some(n)` ⇒ a host-wide override of `n` consecutive faults.
+    quarantine_override: Option<u32>,
 }
 
 impl<T> Default for PluginHost<T> {
     fn default() -> Self {
         PluginHost {
             slots: RwLock::new(HashMap::new()),
-            quarantine_after: 3,
+            quarantine_override: None,
         }
     }
 }
 
 impl<T> PluginHost<T> {
-    /// Host with the default fault budget (3 consecutive faults).
+    /// Host enforcing each plugin's own strike budget
+    /// (`SandboxPolicy::quarantine_after`, set by its governance class).
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Host quarantining after `n` consecutive faults (0 = never).
+    /// Host whose strike budget is a flat `n` consecutive faults for every
+    /// slot (0 = never), overriding the per-plugin policy budgets.
     pub fn with_quarantine_after(n: u32) -> Self {
         PluginHost {
             slots: RwLock::new(HashMap::new()),
-            quarantine_after: n,
+            quarantine_override: Some(n),
         }
     }
 
@@ -241,7 +418,7 @@ impl<T> PluginHost<T> {
         Some(SlotHandle {
             name: name.to_string(),
             shared,
-            quarantine_after: self.quarantine_after,
+            quarantine_override: self.quarantine_override,
         })
     }
 
@@ -266,7 +443,7 @@ impl<T> PluginHost<T> {
         let shared = self.slot(name)?;
         let mut slot = shared.inner.lock();
         shared.sync(&mut slot);
-        run_guarded(self.quarantine_after, name, &mut slot, f)
+        run_guarded(&shared, self.quarantine_override, name, &mut slot, f)
     }
 
     /// Lock, sync and read one slot. `f` also receives the slot's
@@ -308,6 +485,23 @@ impl<T> PluginHost<T> {
         self.read_slot(name, |s, _| s.plugin.last_call_duration())?
     }
 
+    /// Log of automatic rollbacks on the slot, oldest first.
+    pub fn rollback_log(&self, name: &str) -> Option<Vec<RollbackEvent>> {
+        self.read_slot(name, |s, _| s.rollback_log.clone())
+    }
+
+    /// True when the slot currently retains a last-good module to roll
+    /// back to.
+    pub fn has_last_good(&self, name: &str) -> Option<bool> {
+        self.read_slot(name, |s, _| s.last_good.is_some())
+    }
+
+    /// Content hash of the module currently serving the slot, when it came
+    /// out of a content-addressed template.
+    pub fn content_hash(&self, name: &str) -> Option<u64> {
+        self.read_slot(name, |s, _| s.plugin.content_hash())?
+    }
+
     /// Lift a quarantine without swapping (operator override).
     pub fn reset_quarantine(&self, name: &str) -> bool {
         match self.slot(name) {
@@ -341,7 +535,7 @@ impl<T> std::fmt::Debug for PluginHost<T> {
 pub struct SlotHandle<T> {
     name: String,
     shared: Arc<SlotShared<T>>,
-    quarantine_after: u32,
+    quarantine_override: Option<u32>,
 }
 
 impl<T> Clone for SlotHandle<T> {
@@ -349,7 +543,7 @@ impl<T> Clone for SlotHandle<T> {
         SlotHandle {
             name: self.name.clone(),
             shared: Arc::clone(&self.shared),
-            quarantine_after: self.quarantine_after,
+            quarantine_override: self.quarantine_override,
         }
     }
 }
@@ -378,7 +572,13 @@ impl<T> SlotHandle<T> {
     ) -> Result<R, PluginError> {
         let mut slot = self.shared.inner.lock();
         self.shared.sync(&mut slot);
-        run_guarded(self.quarantine_after, &self.name, &mut slot, f)
+        run_guarded(
+            &self.shared,
+            self.quarantine_override,
+            &self.name,
+            &mut slot,
+            f,
+        )
     }
 }
 

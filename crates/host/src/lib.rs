@@ -43,8 +43,10 @@ pub mod plugin;
 pub mod pool;
 pub mod stats;
 
-pub use host::{PluginHost, SlotHandle, SlotHealth, SlotState};
+pub use host::{
+    FaultKind, PluginHost, RollbackEvent, SlotHandle, SlotHealth, SlotState, StrikeCounters,
+};
 pub use linker::{Linker, PluginPre, ShadowError, TemplateCache};
-pub use plugin::{ModuleCache, Plugin, PluginError, SandboxPolicy};
+pub use plugin::{fnv1a, GovernanceClass, ModuleCache, Plugin, PluginError, SandboxPolicy};
 pub use pool::PluginPool;
 pub use stats::{ExactQuantiles, ExecTimeStats, P2Quantile, QueueDepthStats, ShardedExecStats};

@@ -283,6 +283,11 @@ pub struct PluginPre<T> {
     pre: InstancePre<T>,
     policy: SandboxPolicy,
     abi: AbiTable,
+    /// FNV-1a of the source bytecode, stamped by [`TemplateCache`] so every
+    /// instance knows which content-addressed version it came from (the
+    /// identity rollback logs report). `None` when the template was built
+    /// straight from a `Module` and the bytes were never seen.
+    content_hash: Option<u64>,
 }
 
 impl<T> Clone for PluginPre<T> {
@@ -291,6 +296,7 @@ impl<T> Clone for PluginPre<T> {
             pre: self.pre.clone(),
             policy: self.policy,
             abi: self.abi,
+            content_hash: self.content_hash,
         }
     }
 }
@@ -332,7 +338,24 @@ impl<T> PluginPre<T> {
         let pre = InstancePre::new_with(module, linker, limits, snapshot)
             .map_err(PluginError::Instantiate)?;
         admit(pre.module(), &policy)?;
-        Ok(PluginPre { pre, policy, abi })
+        Ok(PluginPre {
+            pre,
+            policy,
+            abi,
+            content_hash: None,
+        })
+    }
+
+    /// Stamp the bytecode content hash onto this template; every plugin
+    /// instantiated from it reports the hash as its version identity.
+    pub fn with_content_hash(mut self, hash: u64) -> Self {
+        self.content_hash = Some(hash);
+        self
+    }
+
+    /// The bytecode content hash, when known.
+    pub fn content_hash(&self) -> Option<u64> {
+        self.content_hash
     }
 
     /// The templated module.
@@ -360,7 +383,12 @@ impl<T> PluginPre<T> {
             .map_err(PluginError::Instantiate)?;
         instance.set_deadline(self.policy.deadline);
         instance.set_exec_mode(self.policy.exec_mode);
-        Ok(Plugin::from_parts(instance, self.policy, self.abi))
+        Ok(Plugin::from_parts(
+            instance,
+            self.policy,
+            self.abi,
+            self.content_hash,
+        ))
     }
 }
 
@@ -435,7 +463,7 @@ impl<T> TemplateCache<T> {
         let module = ModuleCache::global()
             .load(bytes)
             .map_err(PluginError::Load)?;
-        let pre = PluginPre::new(module, linker.wasm(), policy)?;
+        let pre = PluginPre::new(module, linker.wasm(), policy)?.with_content_hash(key);
         let mut entries = self.entries.lock().expect("template cache poisoned");
         let bucket = entries.entry(key).or_default();
         // A racing install may have added it between unlock and relock.

@@ -13,6 +13,41 @@ use waran_wasm::{LoadError, Module, Trap};
 
 use crate::linker::PluginPre;
 
+/// Named resource class a plugin is admitted under.
+///
+/// A class is an operator-facing label for a bundle of sandbox budgets
+/// (fuel, memory, deadline, strike budget). The numeric fields on
+/// [`SandboxPolicy`] stay the source of truth — the class records *which
+/// preset* produced them, so reports and rollback logs can say "realtime
+/// plugin exceeded its strike budget" instead of dumping raw numbers, and
+/// so two deployments can assert they run the same tier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GovernanceClass {
+    /// Strict tier for logic on the slot-critical path: one-slot deadline,
+    /// small fuel budget, low strike tolerance. See
+    /// [`SandboxPolicy::realtime`].
+    Realtime,
+    /// Flexible tier for non-critical logic: the default deadline/fuel
+    /// budgets with a generous strike budget. See
+    /// [`SandboxPolicy::besteffort`].
+    BestEffort,
+    /// Hand-tuned budgets that match no preset (the default for policies
+    /// built field-by-field).
+    #[default]
+    Custom,
+}
+
+impl GovernanceClass {
+    /// Stable lowercase label, used in reports and rollback logs.
+    pub fn label(&self) -> &'static str {
+        match self {
+            GovernanceClass::Realtime => "realtime",
+            GovernanceClass::BestEffort => "besteffort",
+            GovernanceClass::Custom => "custom",
+        }
+    }
+}
+
 /// Per-plugin sandbox policy.
 ///
 /// Defaults are sized for the paper's setting: a scheduler plugin that must
@@ -45,8 +80,13 @@ pub struct SandboxPolicy {
     /// recursion. Stricter than `max_fuel_bound` alone: it also forbids
     /// code whose bound exists but is data-dependent.
     pub no_unbounded_loops: bool,
-    /// Consecutive faults before the host quarantines the plugin.
+    /// Consecutive faults before the host quarantines the plugin (0 =
+    /// never). When a last-good module is retained for the slot, crossing
+    /// this budget rolls back to it instead of parking the slot.
     pub quarantine_after: u32,
+    /// The resource class these budgets came from (reporting only; the
+    /// numeric fields are authoritative).
+    pub class: GovernanceClass,
     /// Which interpreter tier runs the plugin (reference tree walker,
     /// flat IR, or register form). All tiers are semantically identical —
     /// this only trades dispatch overhead, so it is a policy knob rather
@@ -72,6 +112,7 @@ impl Default for SandboxPolicy {
             max_fuel_bound: None,
             no_unbounded_loops: false,
             quarantine_after: 3,
+            class: GovernanceClass::Custom,
             exec_mode: ExecMode::default(),
             snapshot_instantiation: true,
         }
@@ -94,6 +135,34 @@ impl SandboxPolicy {
         SandboxPolicy {
             fuel_per_call: None,
             deadline: None,
+            ..SandboxPolicy::default()
+        }
+    }
+
+    /// The `realtime` governance class: slot-critical budgets (one-slot
+    /// deadline, modest fuel, 4 MiB memory) with a *small* strike budget —
+    /// two consecutive faults and the host rolls the slot back to its
+    /// last-good module (or quarantines it when there is none).
+    pub fn realtime() -> Self {
+        SandboxPolicy {
+            max_memory_pages: 64,
+            fuel_per_call: Some(5_000_000),
+            deadline: Some(Duration::from_millis(1)),
+            quarantine_after: 2,
+            class: GovernanceClass::Realtime,
+            ..SandboxPolicy::default()
+        }
+    }
+
+    /// The `besteffort` governance class: off the slot-critical path, so
+    /// the budgets are generous (default deadline/fuel, 8 MiB memory) and
+    /// the strike budget tolerant (eight consecutive faults before
+    /// rollback/quarantine).
+    pub fn besteffort() -> Self {
+        SandboxPolicy {
+            max_memory_pages: 128,
+            quarantine_after: 8,
+            class: GovernanceClass::BestEffort,
             ..SandboxPolicy::default()
         }
     }
@@ -274,8 +343,9 @@ impl Default for ModuleCache {
     }
 }
 
-/// 64-bit FNV-1a over the module bytecode.
-pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
+/// 64-bit FNV-1a over the module bytecode — the content hash used by
+/// [`ModuleCache`], [`crate::linker::TemplateCache`] and rollback logs.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in bytes {
         h ^= b as u64;
@@ -341,8 +411,18 @@ fn resolve_export(module: &Module, name: &str, params: &[ValType]) -> AbiFn {
 pub struct Plugin<T> {
     instance: Instance<T>,
     policy: SandboxPolicy,
-    /// Wall-clock time of the most recent call (incl. ABI copies).
+    /// Wall-clock time of the most recent call (incl. ABI copies), stamped
+    /// on success *and* on fault — trapping calls are precisely the slow
+    /// ones, and fault accounting must see their cost.
     last_call: Option<Duration>,
+    /// Calls attempted over this plugin's lifetime (both arms). Lets the
+    /// host tell "the closure ran a plugin call" from "it failed before
+    /// reaching one", so stale durations are never re-recorded.
+    call_seq: u64,
+    /// FNV-1a hash of the module bytecode when the plugin came out of a
+    /// content-addressed template ([`crate::linker::TemplateCache`]);
+    /// `None` for instances built straight from a `Module`.
+    content_hash: Option<u64>,
     /// `wrn_alloc(len) -> ptr`, pre-resolved.
     alloc_fn: AbiFn,
     /// `wrn_reset()`, pre-resolved; `None` when the module doesn't export it.
@@ -397,11 +477,18 @@ impl<T> Plugin<T> {
 
     /// Wire an already-stamped instance to its policy and pre-resolved ABI
     /// table (the [`PluginPre::instantiate`] back half).
-    pub(crate) fn from_parts(instance: Instance<T>, policy: SandboxPolicy, abi: AbiTable) -> Self {
+    pub(crate) fn from_parts(
+        instance: Instance<T>,
+        policy: SandboxPolicy,
+        abi: AbiTable,
+        content_hash: Option<u64>,
+    ) -> Self {
         Plugin {
             instance,
             policy,
             last_call: None,
+            call_seq: 0,
+            content_hash,
             alloc_fn: abi.alloc,
             reset_fn: abi.reset,
             entry_cache: None,
@@ -414,9 +501,21 @@ impl<T> Plugin<T> {
         self.policy
     }
 
-    /// Wall-clock duration of the most recent [`Self::call`].
+    /// Wall-clock duration of the most recent [`Self::call`] or
+    /// [`Self::call_sched`], whether it succeeded or faulted.
     pub fn last_call_duration(&self) -> Option<Duration> {
         self.last_call
+    }
+
+    /// Calls attempted over this plugin's lifetime, success or fault.
+    pub fn call_seq(&self) -> u64 {
+        self.call_seq
+    }
+
+    /// FNV-1a content hash of the module bytecode, when the plugin was
+    /// stamped from a content-addressed template.
+    pub fn content_hash(&self) -> Option<u64> {
+        self.content_hash
     }
 
     /// Borrow the underlying instance (host-function state, stats, memory).
@@ -444,9 +543,19 @@ impl<T> Plugin<T> {
     ///
     /// Fuel is re-armed per call when the policy meters it. The measured
     /// duration (including both copies) is available via
-    /// [`Self::last_call_duration`].
+    /// [`Self::last_call_duration`] and is stamped on faults too — a call
+    /// that burns its whole fuel or deadline budget before trapping must
+    /// not vanish from the latency record.
     pub fn call(&mut self, entry: &str, input: &[u8]) -> Result<Vec<u8>, PluginError> {
         let start = Instant::now();
+        self.call_seq = self.call_seq.wrapping_add(1);
+        let result = self.call_abi(entry, input);
+        self.last_call = Some(start.elapsed());
+        result
+    }
+
+    /// The ABI dance of [`Self::call`], minus timing bookkeeping.
+    fn call_abi(&mut self, entry: &str, input: &[u8]) -> Result<Vec<u8>, PluginError> {
         let (out_ptr, out_len) = self.call_raw(entry, input)?;
         let output = self
             .instance
@@ -454,7 +563,7 @@ impl<T> Plugin<T> {
             .read_bytes(out_ptr, out_len)
             .map_err(|_| PluginError::Abi("plugin returned an out-of-bounds buffer".into()))?
             .to_vec();
-        self.finish_call(start)?;
+        self.finish_call()?;
         Ok(output)
     }
 
@@ -522,9 +631,10 @@ impl<T> Plugin<T> {
         Ok((out_ptr, out_len))
     }
 
-    /// Step 5: recycle the guest heap for the next slot, stamp the call
-    /// duration.
-    fn finish_call(&mut self, start: Instant) -> Result<(), PluginError> {
+    /// Step 5: recycle the guest heap for the next slot. (The call
+    /// duration is stamped by the `call`/`call_sched` wrappers so it lands
+    /// on the fault arm too.)
+    fn finish_call(&mut self) -> Result<(), PluginError> {
         match self.reset_fn {
             Some(AbiFn::Ok(f)) => {
                 self.instance.call_func(f, &[])?;
@@ -534,7 +644,6 @@ impl<T> Plugin<T> {
             }
             None => {}
         }
-        self.last_call = Some(start.elapsed());
         Ok(())
     }
 
@@ -547,6 +656,14 @@ impl<T> Plugin<T> {
     /// zero host-side allocations beyond the decoded allocation list.
     pub fn call_sched(&mut self, req: &SchedRequest) -> Result<SchedResponse, PluginError> {
         let start = Instant::now();
+        self.call_seq = self.call_seq.wrapping_add(1);
+        let result = self.call_sched_abi(req);
+        self.last_call = Some(start.elapsed());
+        result
+    }
+
+    /// The ABI dance of [`Self::call_sched`], minus timing bookkeeping.
+    fn call_sched_abi(&mut self, req: &SchedRequest) -> Result<SchedResponse, PluginError> {
         let mut input = std::mem::take(&mut self.scratch);
         input.clear();
         req.encode_into(&mut input);
@@ -561,7 +678,7 @@ impl<T> Plugin<T> {
                 .map_err(|_| PluginError::Abi("plugin returned an out-of-bounds buffer".into()))?;
             SchedResponse::decode(bytes, req.ues.len() + 8)
         };
-        self.finish_call(start)?;
+        self.finish_call()?;
         decoded.map_err(PluginError::Codec)
     }
 

@@ -49,6 +49,16 @@ diff "$tmpdir/snap_2w_on.txt" "$tmpdir/snap_8w_on.txt"
 diff "$tmpdir/snap_8w_on.txt" "$tmpdir/snap_8w_off.txt"
 echo "Snapshot-instantiation digests identical across 2 and 8 workers and snapshot on/off"
 
+# Governance determinism: with strike accounting and auto-rollback
+# active, a hostile mid-run push must strike out and roll back to the
+# retained last-good module identically on every cell — the per-cell
+# digests (governance counters folded in) must not depend on the worker
+# count. bench_pr9 also asserts the rollback invariants internally.
+cargo run -q --release -p waran-bench --bin bench_pr9 -- digests 2 > "$tmpdir/gov_2w.txt"
+cargo run -q --release -p waran-bench --bin bench_pr9 -- digests 8 > "$tmpdir/gov_8w.txt"
+diff "$tmpdir/gov_2w.txt" "$tmpdir/gov_8w.txt"
+echo "Governance-enabled digests identical across 2 and 8 workers"
+
 # Perf regression gate: compare the live register-tier deployment
 # throughput — and, when the baseline records it, snapshot instantiation
 # latency — against the newest committed benchmark snapshot.
@@ -56,6 +66,7 @@ newest="$(ls -t BENCH_*.json 2>/dev/null | head -1 || true)"
 if [ -n "$newest" ]; then
     cargo run -q --release -p waran-bench --bin bench_pr6 -- gate "$newest"
     cargo run -q --release -p waran-bench --bin bench_pr7 -- gate "$newest"
+    cargo run -q --release -p waran-bench --bin bench_pr9 -- gate "$newest"
 else
     echo "no BENCH_*.json baseline found — skipping the perf regression gate"
 fi
