@@ -37,14 +37,14 @@ pub use mobility::{
     InterruptionStats, MobilityAttachment, MobilityReport,
 };
 pub use multicell::{
-    CellGovernance, CellReport, CellSpec, MultiCellReport, MultiCellScenario,
+    CellGovernance, CellReport, CellSpec, FleetBackground, MultiCellReport, MultiCellScenario,
     MultiCellScenarioBuilder, RicPlaneReport,
 };
 pub use ric_glue::{
     apply_action, sample_kpis, AppliedAction, CellE2Driver, HandoverModel, RicAttachment, RicLoop,
 };
 pub use scenario::{
-    Backend, ChannelSpec, Report, Scenario, ScenarioBuilder, ScenarioError, SchedKind, SliceReport,
-    SliceSpec, TrafficSpec, UeReport,
+    Backend, BackgroundReport, BackgroundSpec, ChannelSpec, PopulationModel, Report, Scenario,
+    ScenarioBuilder, ScenarioError, SchedKind, SliceReport, SliceSpec, TrafficSpec, UeReport,
 };
 pub use wasm_sched::{install_plugin, WasmSliceScheduler};

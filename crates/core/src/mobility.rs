@@ -25,6 +25,17 @@
 //! (path loss only — shadowing stays inside the UE's own channel), and a
 //! mobile UE's trajectory is self-seeded, so nothing about migration
 //! perturbs any cell's RNG stream.
+//!
+//! Under the two-tier population model
+//! ([`crate::scenario::PopulationModel::TwoTier`]) this subsystem needs
+//! no special cases: a background UE promoted to foreground fidelity
+//! carries a position-bearing `PinnedChannel`, so it is A3-eligible like
+//! any other UE. When such a UE hands over, the destination gNB's
+//! `admit_ue` routes it into that cell's own massive plane when one
+//! exists for the slice (an *absorption* — the UE rejoins the aggregate
+//! tier there); otherwise it is admitted as a regular foreground UE. Its
+//! home plane tombstones the vacated row (`lost_to_handover`), keeping
+//! every plane's population ledger exact under churn.
 
 use std::collections::HashMap;
 use std::sync::Arc;

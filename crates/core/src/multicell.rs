@@ -42,7 +42,9 @@ use crate::mobility::{
     MobilityReport,
 };
 use crate::ric_glue::{CellE2Driver, RicAttachment};
-use crate::scenario::{Report, Scenario, ScenarioBuilder, ScenarioError, SchedKind, SliceSpec};
+use crate::scenario::{
+    PopulationModel, Report, Scenario, ScenarioBuilder, ScenarioError, SchedKind, SliceSpec,
+};
 
 // The engine moves whole `Scenario`s into worker threads; this is the
 // compile-time proof that every layer below (gNB, schedulers, channels,
@@ -107,6 +109,7 @@ pub struct MultiCellScenarioBuilder {
     mobility: Option<MobilityAttachment>,
     pin_workers: bool,
     pushes: Vec<PushSpec>,
+    population: PopulationModel,
 }
 
 impl Default for MultiCellScenarioBuilder {
@@ -127,7 +130,17 @@ impl MultiCellScenarioBuilder {
             mobility: None,
             pin_workers: false,
             pushes: Vec::new(),
+            population: PopulationModel::PerUe,
         }
+    }
+
+    /// How every cell materializes its [`SliceSpec::background`]
+    /// populations. `TwoTier` routes them into the struct-of-arrays
+    /// massive plane; the default (`PerUe`) keeps the classic path and
+    /// existing deployments byte-identical.
+    pub fn population(mut self, model: PopulationModel) -> Self {
+        self.population = model;
+        self
     }
 
     /// Schedule a fleet-wide plugin push: at simulated slot `slot`, every
@@ -237,7 +250,8 @@ impl MultiCellScenarioBuilder {
                 .seconds(self.seconds)
                 .seed(seed)
                 .cell_id(cell_id)
-                .sandbox_policy(self.policy);
+                .sandbox_policy(self.policy)
+                .population(self.population);
             if let Some(layout) = &layout {
                 // Disjoint per-cell UE-id ranges: an id stays unique
                 // deployment-wide while its UE migrates.
@@ -490,6 +504,29 @@ impl MultiCellScenario {
         let total_slots = cell_reports.iter().map(|c| c.report.slots).sum();
         let total_sched_calls = cell_reports.iter().map(|c| c.sched_calls).sum();
 
+        let mut background: Option<FleetBackground> = None;
+        for cell in &cell_reports {
+            let Some(bg) = &cell.report.background else {
+                continue;
+            };
+            let total = background.get_or_insert_with(FleetBackground::default);
+            total.delivered_bytes += bg.delivered_bytes;
+            for s in &bg.slices {
+                total.population += u64::from(s.population);
+                total.active += u64::from(s.active);
+                total.promoted += u64::from(s.promoted);
+                total.departed += u64::from(s.departed);
+                total.offered_bytes += s.offered_bytes;
+                total.scheduled_bytes += s.scheduled_bytes;
+                total.dropped_bytes += s.dropped_bytes;
+                total.buffered_bytes += s.buffered_bytes;
+                total.promotions += s.promotions;
+                total.demotions += s.demotions;
+                total.lost_to_handover += s.lost_to_handover;
+                total.absorbed += s.absorbed;
+            }
+        }
+
         let mobility = self.mobility_cfg.map(|cfg| {
             let slot_seconds = lock_recover(&self.cells[0]).scenario.gnb.slot_seconds();
             let mut report = MobilityReport {
@@ -522,6 +559,7 @@ impl MultiCellScenario {
             total_sched_calls,
             ric,
             mobility,
+            background,
         }
     }
 
@@ -938,6 +976,42 @@ pub struct CellGovernance {
     pub push_failures: u64,
 }
 
+/// Aggregate-tier totals folded across every cell that ran the massive
+/// plane ([`PopulationModel::TwoTier`]). The per-slice counters come
+/// from each cell's [`crate::scenario::BackgroundReport`]; this is the
+/// fleet-wide sum the benches and gates read.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FleetBackground {
+    /// Background rows (initial populations + absorbed arrivals),
+    /// summed over cells and slices.
+    pub population: u64,
+    /// Rows still multiplexed in the aggregate tier at run end.
+    pub active: u64,
+    /// Rows materialized as foreground UEs at run end.
+    pub promoted: u64,
+    /// Tombstoned rows (left their home cell while promoted).
+    pub departed: u64,
+    /// Bytes the aggregate flows offered.
+    pub offered_bytes: u64,
+    /// Bytes drained from background buffers by leftover-PRB service.
+    pub scheduled_bytes: u64,
+    /// Bytes dropped at per-row buffer ceilings.
+    pub dropped_bytes: u64,
+    /// Bytes still buffered at run end.
+    pub buffered_bytes: u64,
+    /// Lifetime promotions out of the background tier.
+    pub promotions: u64,
+    /// Lifetime demotions back into the background tier.
+    pub demotions: u64,
+    /// Promoted UEs that handed over away while promoted.
+    pub lost_to_handover: u64,
+    /// UEs absorbed from other cells' planes.
+    pub absorbed: u64,
+    /// Bytes delivered by background-running cells (foreground +
+    /// background), summed.
+    pub delivered_bytes: u64,
+}
+
 /// One cell's results.
 #[derive(Debug, Clone)]
 pub struct CellReport {
@@ -988,6 +1062,8 @@ pub struct MultiCellReport {
     pub ric: Option<RicPlaneReport>,
     /// Mobility accounting when the deployment ran with mobility.
     pub mobility: Option<MobilityReport>,
+    /// Massive-plane totals when any cell ran `PopulationModel::TwoTier`.
+    pub background: Option<FleetBackground>,
 }
 
 impl MultiCellReport {
@@ -1060,6 +1136,15 @@ impl MultiCellReport {
             self.total_slots as f64 / self.wall_seconds
         } else {
             0.0
+        }
+    }
+
+    /// Delivered-byte throughput of the massive-plane cells, bytes per
+    /// wall-clock second (0 when no cell ran `PopulationModel::TwoTier`).
+    pub fn bytes_scheduled_per_sec(&self) -> f64 {
+        match &self.background {
+            Some(bg) if self.wall_seconds > 0.0 => bg.delivered_bytes as f64 / self.wall_seconds,
+            _ => 0.0,
         }
     }
 }

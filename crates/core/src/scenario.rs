@@ -23,9 +23,11 @@ use waran_ransim::channel::{
     StaticChannel,
 };
 use waran_ransim::gnb::{Gnb, GnbConfig, SliceConfig};
+use waran_ransim::massive::{BackgroundSliceSnapshot, BackgroundSliceSpec, MassiveConfig};
 use waran_ransim::sched::{MaxThroughput, ProportionalFair, RoundRobin, SliceScheduler};
 use waran_ransim::traffic::{Cbr, FullBuffer, PoissonPackets, TrafficSource};
 use waran_ransim::ue::UeState;
+use waran_ransim::MassivePlane;
 
 use crate::plugins;
 use crate::wasm_sched::{install_plugin, WasmSliceScheduler};
@@ -179,6 +181,42 @@ impl TrafficSpec {
     }
 }
 
+/// How a scenario materializes its UE population.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum PopulationModel {
+    /// Every UE — including [`SliceSpec::background`] populations — is a
+    /// full per-UE simulation object. The classic path; also the ground
+    /// truth the aggregate model's conservation tests compare against.
+    #[default]
+    PerUe,
+    /// Background populations go into the massive plane
+    /// (`waran_ransim::massive`): struct-of-arrays state, one aggregate
+    /// flow per slice, with `foreground_per_slice` UEs rotated through
+    /// full fidelity every `rotation_period_slots`.
+    TwoTier {
+        /// Background UEs held at foreground fidelity per slice.
+        foreground_per_slice: u32,
+        /// Promote/demote cadence in slots (0 = initial fill only).
+        rotation_period_slots: u64,
+    },
+}
+
+/// A slice's background population (see [`SliceSpec::background`]).
+#[derive(Debug, Clone, Copy)]
+pub struct BackgroundSpec {
+    /// Number of background UEs.
+    pub ues: u32,
+    /// Mean offered rate per UE, kb/s.
+    pub per_ue_kbps: f64,
+    /// Burst granularity in bytes (0 = smooth CBR).
+    pub burst_bytes: f64,
+}
+
+/// Offset added to a cell's `first_ue_id` for its background id range,
+/// keeping background ids disjoint from foreground ids while staying
+/// inside the cell's 100 000-wide id block under mobility layouts.
+const BACKGROUND_ID_OFFSET: u32 = 50_000;
+
 /// Declarative slice description.
 #[derive(Debug, Clone)]
 pub struct SliceSpec {
@@ -191,6 +229,7 @@ pub struct SliceSpec {
     /// Target rate, Mb/s.
     pub target: Option<f64>,
     ues: Vec<(ChannelSpec, TrafficSpec)>,
+    background: Option<BackgroundSpec>,
 }
 
 impl SliceSpec {
@@ -202,7 +241,33 @@ impl SliceSpec {
             backend: Backend::Wasm,
             target: None,
             ues: Vec::new(),
+            background: None,
         }
+    }
+
+    /// Give the slice a background population of `n` UEs, each offering
+    /// a smooth `per_ue_kbps` kb/s. How it is materialized depends on
+    /// [`ScenarioBuilder::population`]: full per-UE objects (`PerUe`) or
+    /// the massive plane's aggregate tier (`TwoTier`).
+    pub fn background(mut self, n: u32, per_ue_kbps: f64) -> Self {
+        self.background = Some(BackgroundSpec {
+            ues: n,
+            per_ue_kbps,
+            burst_bytes: 0.0,
+        });
+        self
+    }
+
+    /// Like [`SliceSpec::background`] but bursty: arrivals come in
+    /// `burst_bytes`-sized units (Poisson per-UE / matched-variance
+    /// Gaussian aggregate).
+    pub fn background_bursty(mut self, n: u32, per_ue_kbps: f64, burst_bytes: f64) -> Self {
+        self.background = Some(BackgroundSpec {
+            ues: n,
+            per_ue_kbps,
+            burst_bytes: burst_bytes.max(0.0),
+        });
+        self
     }
 
     /// Set the target cumulative DL rate.
@@ -268,6 +333,7 @@ pub struct ScenarioBuilder {
     policy: SandboxPolicy,
     cell_position: [f64; 2],
     mobility_area: [f64; 4],
+    population: PopulationModel,
 }
 
 impl Default for ScenarioBuilder {
@@ -287,7 +353,15 @@ impl ScenarioBuilder {
             policy: SandboxPolicy::slot_budget(),
             cell_position: [0.0, 0.0],
             mobility_area: [-500.0, -500.0, 500.0, 500.0],
+            population: PopulationModel::PerUe,
         }
+    }
+
+    /// How [`SliceSpec::background`] populations are materialized. The
+    /// default (`PerUe`) changes nothing about existing scenarios.
+    pub fn population(mut self, model: PopulationModel) -> Self {
+        self.population = model;
+        self
     }
 
     /// Add a slice.
@@ -405,6 +479,79 @@ impl ScenarioBuilder {
                 };
                 ue_index += 1;
                 ues.push(gnb.add_ue(slice_id, channel.build(&ctx), traffic.build()));
+            }
+        }
+
+        // Materialize background populations under the chosen model.
+        match self.population {
+            PopulationModel::PerUe => {
+                // Ground truth: every background UE is a real simulation
+                // object at a deterministic position with its own CBR /
+                // Poisson source. Expensive at scale; exact.
+                for spec in &self.slices {
+                    let Some(bg) = spec.background else { continue };
+                    let slice_id = slice_ids[&spec.name];
+                    let ues = ue_ids.entry(spec.name.clone()).or_default();
+                    for i in 0..bg.ues {
+                        let h = splitmix64(
+                            self.seed
+                                ^ splitmix64(
+                                    ((u64::from(slice_id) + 1) << 32) ^ (u64::from(i) + 1),
+                                ),
+                        );
+                        let hx = splitmix64(h);
+                        let hy = splitmix64(hx);
+                        let unit = |z: u64| (z >> 11) as f64 / (1u64 << 53) as f64;
+                        let r = MassiveConfig::default().cell_radius_m;
+                        let x = (unit(hx) * 2.0 - 1.0) * r;
+                        let y = (unit(hy) * 2.0 - 1.0) * r;
+                        let rate_bps = bg.per_ue_kbps * 1000.0;
+                        let traffic: Box<dyn TrafficSource> = if bg.burst_bytes > 0.0 {
+                            Box::new(PoissonPackets::new(
+                                rate_bps / (8.0 * bg.burst_bytes),
+                                bg.burst_bytes as u64,
+                            ))
+                        } else {
+                            Box::new(Cbr::new(rate_bps))
+                        };
+                        ues.push(gnb.add_ue(
+                            slice_id,
+                            Box::new(DistanceChannel::new((x * x + y * y).sqrt())),
+                            traffic,
+                        ));
+                    }
+                }
+            }
+            PopulationModel::TwoTier {
+                foreground_per_slice,
+                rotation_period_slots,
+            } => {
+                let specs: Vec<BackgroundSliceSpec> = self
+                    .slices
+                    .iter()
+                    .filter_map(|s| {
+                        s.background.map(|bg| BackgroundSliceSpec {
+                            slice_id: slice_ids[&s.name],
+                            population: bg.ues,
+                            per_ue_rate_bps: bg.per_ue_kbps * 1000.0,
+                            burst_bytes: bg.burst_bytes,
+                        })
+                    })
+                    .collect();
+                if !specs.is_empty() {
+                    let plane = MassivePlane::new(
+                        MassiveConfig {
+                            seed: splitmix64(self.seed ^ 0x006d_6173_7369_7665),
+                            foreground_quota: foreground_per_slice,
+                            rotation_period_slots,
+                            cell_pos: self.cell_position,
+                            first_ue_id: self.gnb_config.first_ue_id + BACKGROUND_ID_OFFSET,
+                            ..MassiveConfig::default()
+                        },
+                        &specs,
+                    );
+                    gnb.attach_background(plane);
+                }
             }
         }
 
@@ -600,8 +747,22 @@ impl Scenario {
             window_seconds: metrics.window_seconds(),
             utilization: metrics.utilization_series().to_vec(),
             slots: metrics.slots(),
+            background: self.gnb.background().map(|plane| BackgroundReport {
+                slices: plane.snapshot(),
+                delivered_bytes: metrics.total_bits() / 8,
+            }),
         }
     }
+}
+
+/// Aggregate-tier results (present only when the scenario ran the
+/// massive plane — `PopulationModel::TwoTier`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BackgroundReport {
+    /// Per-slice background counters.
+    pub slices: Vec<BackgroundSliceSnapshot>,
+    /// Total bytes delivered by the cell (foreground + background).
+    pub delivered_bytes: u64,
 }
 
 /// Per-UE results.
@@ -664,6 +825,9 @@ pub struct Report {
     pub utilization: Vec<f64>,
     /// Slots simulated.
     pub slots: u64,
+    /// Massive-plane counters (None on the classic per-UE path, so
+    /// legacy digests are untouched).
+    pub background: Option<BackgroundReport>,
 }
 
 impl Report {
@@ -701,6 +865,28 @@ impl Report {
                 d.u64(u64::from(ue.ue_id));
                 d.f64(ue.mean_rate_mbps);
                 d.f64s(&ue.series_mbps);
+            }
+        }
+        // Aggregate-tier section, folded ONLY when the massive plane ran
+        // — classic per-UE reports keep their historical digests.
+        if let Some(bg) = &self.background {
+            d.bytes(b"background");
+            d.u64(bg.delivered_bytes);
+            d.u64(bg.slices.len() as u64);
+            for s in &bg.slices {
+                d.u64(u64::from(s.slice_id));
+                d.u64(u64::from(s.population));
+                d.u64(u64::from(s.active));
+                d.u64(u64::from(s.promoted));
+                d.u64(u64::from(s.departed));
+                d.u64(s.offered_bytes);
+                d.u64(s.scheduled_bytes);
+                d.u64(s.dropped_bytes);
+                d.u64(s.buffered_bytes);
+                d.u64(s.promotions);
+                d.u64(s.demotions);
+                d.u64(s.lost_to_handover);
+                d.u64(s.absorbed);
             }
         }
         d.finish()

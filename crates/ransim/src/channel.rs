@@ -304,8 +304,71 @@ impl ChannelModel for MobileChannel {
     }
 }
 
+/// A position-bearing channel for UEs promoted out of the background
+/// tier of the massive traffic plane (`crate::massive`).
+///
+/// The UE sits at a fixed position (background UEs do not walk); SNR is
+/// [`path_loss_snr_db`] to the serving site plus AR(1) shadowing seeded
+/// from the background entry's shadow state, so promotion is continuous:
+/// the foreground channel picks up exactly where the SoA row left off.
+/// Because `position()` is `Some`, a promoted UE is visible to the A3
+/// mobility machinery and can hand over like any mobile UE; `retarget`
+/// re-anchors it to the new serving site. The `name()` string `"pinned"`
+/// is the tier marker the gNB admission path keys on to absorb such UEs
+/// back into the destination cell's background plane.
+#[derive(Debug, Clone)]
+pub struct PinnedChannel {
+    pos: [f64; 2],
+    serving_pos: [f64; 2],
+    shadow_db: f64,
+    sigma_db: f64,
+    rho: f64,
+}
+
+impl PinnedChannel {
+    /// A stationary UE at `pos` served from `serving_pos`, resuming the
+    /// AR(1) shadowing process at `shadow_db`.
+    pub fn new(pos: [f64; 2], serving_pos: [f64; 2], shadow_db: f64) -> Self {
+        PinnedChannel {
+            pos,
+            serving_pos,
+            shadow_db,
+            sigma_db: 3.0,
+            rho: 0.98,
+        }
+    }
+
+    /// Current shadowing state, dB (read back on demotion).
+    pub fn shadow_db(&self) -> f64 {
+        self.shadow_db
+    }
+}
+
+impl ChannelModel for PinnedChannel {
+    fn sample_cqi(&mut self, _slot: u64, rng: &mut dyn rand::RngCore) -> u8 {
+        let mut r = rng;
+        let noise: f64 = sample_gaussian(&mut r) * self.sigma_db;
+        self.shadow_db = self.rho * self.shadow_db + (1.0 - self.rho * self.rho).sqrt() * noise;
+        let dx = self.pos[0] - self.serving_pos[0];
+        let dy = self.pos[1] - self.serving_pos[1];
+        snr_to_cqi(path_loss_snr_db((dx * dx + dy * dy).sqrt()) + self.shadow_db)
+    }
+
+    fn name(&self) -> &'static str {
+        "pinned"
+    }
+
+    fn position(&self) -> Option<[f64; 2]> {
+        Some(self.pos)
+    }
+
+    fn retarget(&mut self, serving_pos: [f64; 2]) {
+        self.serving_pos = serving_pos;
+    }
+}
+
 /// Box-Muller standard normal from a `RngCore`.
-fn sample_gaussian(rng: &mut dyn rand::RngCore) -> f64 {
+pub(crate) fn sample_gaussian(rng: &mut dyn rand::RngCore) -> f64 {
     let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
     let u2: f64 = rng.gen_range(0.0..1.0);
     (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
@@ -430,6 +493,22 @@ mod tests {
         assert!(path_loss_snr_db(100.0) < path_loss_snr_db(50.0));
         // Clamped below 1 m.
         assert_eq!(path_loss_snr_db(0.0), path_loss_snr_db(1.0));
+    }
+
+    #[test]
+    fn pinned_channel_tracks_distance_and_retargets() {
+        let mut near = PinnedChannel::new([20.0, 0.0], [0.0, 0.0], 0.0);
+        let mut far = PinnedChannel::new([800.0, 0.0], [0.0, 0.0], 0.0);
+        let mut rng = StdRng::seed_from_u64(21);
+        let mean = |ch: &mut PinnedChannel, rng: &mut StdRng| {
+            (0..2000).map(|s| ch.sample_cqi(s, rng) as f64).sum::<f64>() / 2000.0
+        };
+        assert!(mean(&mut near, &mut rng) > mean(&mut far, &mut rng) + 2.0);
+        assert_eq!(far.position().unwrap(), [800.0, 0.0]);
+        // Handover to a co-located site restores quality.
+        far.retarget([800.0, 10.0]);
+        assert!(mean(&mut far, &mut rng) > 10.0);
+        assert_eq!(far.name(), "pinned");
     }
 
     #[test]

@@ -22,6 +22,7 @@ use rand::SeedableRng;
 use waran_abi::sched::{SchedRequest, SchedResponse};
 
 use crate::channel::ChannelModel;
+use crate::massive::MassivePlane;
 use crate::metrics::MetricsRecorder;
 use crate::phy::Carrier;
 use crate::sched::{RoundRobin, SliceScheduler};
@@ -125,6 +126,8 @@ pub struct Gnb {
     rng: StdRng,
     metrics: MetricsRecorder,
     next_ue_id: u32,
+    /// Massive-UE background tier (None = classic per-UE path).
+    background: Option<MassivePlane>,
 }
 
 impl Gnb {
@@ -147,7 +150,65 @@ impl Gnb {
             rng,
             metrics,
             next_ue_id,
+            background: None,
         }
+    }
+
+    /// Attach the massive-UE background plane (after all slices are
+    /// added) and perform the initial promotion fill. Background slices
+    /// get slice-level metrics series; no per-UE state is materialized
+    /// for the multiplexed population.
+    pub fn attach_background(&mut self, plane: MassivePlane) {
+        for si in 0..plane.slice_count() {
+            self.metrics.register_slice(plane.slice_id(si));
+        }
+        self.background = Some(plane);
+        self.rotate_background(true);
+    }
+
+    /// The background plane, if one is attached.
+    pub fn background(&self) -> Option<&MassivePlane> {
+        self.background.as_ref()
+    }
+
+    /// Rotate which background UEs hold foreground fidelity: demote the
+    /// oldest promoted UEs back into their SoA rows, then promote the
+    /// next entries at the promotion cursor up to the quota. Driven by
+    /// the slot counter only, so it is identical at every worker count.
+    fn rotate_background(&mut self, initial: bool) {
+        // Take the plane out of `self` so `admit_ue`'s absorption check
+        // (which only fires while `background` is Some) cannot absorb
+        // the very UEs being promoted here.
+        let Some(mut plane) = self.background.take() else {
+            return;
+        };
+        let quota = plane.foreground_quota() as usize;
+        for si in 0..plane.slice_count() {
+            if !initial {
+                while plane.promoted_count(si) > 0 {
+                    let Some(ue_id) = plane.demote_candidate(si) else {
+                        break;
+                    };
+                    // None = the UE handed over away while promoted;
+                    // its row becomes a tombstone.
+                    let state = self.remove_ue(ue_id).map(|(_, ue)| ue);
+                    plane.complete_demotion(si, ue_id, state);
+                }
+            }
+            while plane.promoted_count(si) < quota {
+                let Some((slice_id, ue)) = plane.prepare_promotion(si) else {
+                    break;
+                };
+                match self.admit_ue(slice_id, ue) {
+                    Ok(()) => {}
+                    Err(ue) => {
+                        plane.abort_promotion(si, ue);
+                        break;
+                    }
+                }
+            }
+        }
+        self.background = Some(plane);
     }
 
     /// Add a slice with its intra-slice scheduler; returns the slice id.
@@ -272,6 +333,20 @@ impl Gnb {
     /// state. Returns `false` (and drops nothing — the caller keeps the
     /// state) if the slice does not exist or the id is already attached.
     pub fn admit_ue(&mut self, slice_id: u32, ue: UeState) -> Result<(), UeState> {
+        // Two-tier absorption: a UE promoted out of another cell's
+        // background plane arrives by handover with a `PinnedChannel`
+        // (`name() == "pinned"`). If this cell runs a background
+        // population for the slice, the UE joins it as a fresh SoA row
+        // instead of staying foreground forever. The rotation path
+        // bypasses this by taking the plane out of `self.background`
+        // before promoting.
+        if ue.channel.name() == "pinned" && self.slices.get(slice_id as usize).is_some() {
+            if let Some(plane) = self.background.as_mut() {
+                if plane.absorb(slice_id, &ue) {
+                    return Ok(());
+                }
+            }
+        }
         if self
             .slices
             .iter()
@@ -340,6 +415,14 @@ impl Gnb {
         let total_prbs = self.config.carrier.num_prbs();
         let slot = self.slot;
 
+        // 0. Deterministic tier rotation for the massive plane.
+        if let Some(plane) = &self.background {
+            let period = plane.rotation_period_slots();
+            if period > 0 && slot > 0 && slot.is_multiple_of(period) {
+                self.rotate_background(false);
+            }
+        }
+
         // 1. Arrivals + channel sounding; token accrual.
         for slice in &mut self.slices {
             for ue in &mut slice.ues {
@@ -351,16 +434,20 @@ impl Gnb {
                 slice.tokens_bits = slice.tokens_bits.min(cap).max(0.0);
             }
         }
+        if let Some(plane) = &mut self.background {
+            plane.begin_slot(slot, slot_seconds);
+        }
 
-        // 2. Inter-slice allocation.
+        // 2. Inter-slice allocation (foreground + background demand).
+        let background = &self.background;
         let demands: Vec<SliceDemand> = self
             .slices
             .iter()
             .map(|s| {
                 let backlogged: Vec<&UeState> =
                     s.ues.iter().filter(|u| u.buffer_bytes > 0).collect();
-                let demand_bits: f64 = backlogged.iter().map(|u| u.buffer_bytes as f64 * 8.0).sum();
-                let mean_prb_bits = if backlogged.is_empty() {
+                let fg_bits: f64 = backlogged.iter().map(|u| u.buffer_bytes as f64 * 8.0).sum();
+                let fg_mean = if backlogged.is_empty() {
                     0.0
                 } else {
                     backlogged
@@ -368,6 +455,18 @@ impl Gnb {
                         .map(|u| u.prb_capacity_bits() as f64)
                         .sum::<f64>()
                         / backlogged.len() as f64
+                };
+                let (bg_bits, bg_mean) = background
+                    .as_ref()
+                    .and_then(|p| p.slice_index(s.slice_id).map(|si| p.demand(si)))
+                    .unwrap_or((0, 0.0));
+                let bg_bits = bg_bits as f64;
+                let demand_bits = fg_bits + bg_bits;
+                // Blend the per-PRB capacities, weighted by backlog.
+                let mean_prb_bits = if demand_bits <= 0.0 {
+                    0.0
+                } else {
+                    (fg_bits * fg_mean + bg_bits * bg_mean) / demand_bits
                 };
                 SliceDemand {
                     slice_id: s.slice_id,
@@ -382,13 +481,23 @@ impl Gnb {
         let grants = self.inter.allocate(total_prbs, &demands);
         debug_assert!(grants.iter().sum::<u32>() <= total_prbs);
 
-        // 3-4. Intra-slice scheduling + delivery.
+        // 3-4. Intra-slice scheduling + delivery. The plane is taken out
+        // so its mutation doesn't alias the slice iteration.
+        let mut background = self.background.take();
         let mut prbs_used_total = 0u32;
         for (slice, grant) in self.slices.iter_mut().zip(&grants) {
             let grant = *grant;
+            let bg_si = background
+                .as_ref()
+                .and_then(|p| p.slice_index(slice.slice_id));
             // Per-UE delivered bits this slot (for the EWMA pass below).
             let mut delivered: Vec<u64> = vec![0; slice.ues.len()];
-            if grant > 0 {
+            let mut remaining = grant;
+            // A background-only slice (no foreground UEs) skips the
+            // scheduler and gives the whole grant to the aggregate tier;
+            // without a plane the classic path is unchanged.
+            let run_scheduler = grant > 0 && !(slice.ues.is_empty() && bg_si.is_some());
+            if run_scheduler {
                 let req = SchedRequest {
                     slot,
                     prbs_granted: grant,
@@ -406,25 +515,45 @@ impl Gnb {
                             .expect("native round robin cannot fault")
                     }
                 };
-                prbs_used_total += Self::apply_response(
+                let used = Self::apply_response(
                     slice,
                     &response,
                     grant,
                     &mut delivered,
                     &mut self.metrics,
                 );
+                prbs_used_total += used;
+                // PRBs the foreground schedule did not fill with data are
+                // leftovers for the background tier (a nominal claim that
+                // carried nothing does not occupy the grid).
+                remaining = grant - used;
+            }
+            // Background tier: serve the multiplexed population from the
+            // PRBs the foreground schedule left over.
+            if remaining > 0 {
+                if let (Some(plane), Some(si)) = (background.as_mut(), bg_si) {
+                    let (bits, used) = plane.serve(si, remaining);
+                    if bits > 0 {
+                        slice.tokens_bits -= bits as f64;
+                        self.metrics.record_slice_delivery(slice.slice_id, bits);
+                        prbs_used_total += used;
+                    }
+                }
             }
             // 5. EWMA update for every UE.
             for (ue, bits) in slice.ues.iter_mut().zip(&delivered) {
                 ue.update_average(*bits, slot_seconds, self.config.pf_time_constant_slots);
             }
         }
+        self.background = background;
 
         self.metrics.end_slot(prbs_used_total, total_prbs);
         self.slot += 1;
     }
 
-    /// Sanitize and apply a scheduler response; returns PRBs actually used.
+    /// Sanitize and apply a scheduler response; returns PRBs actually
+    /// used (only PRBs that carried data count — the caller hands
+    /// `grant - used` to the background tier as leftovers).
     fn apply_response(
         slice: &mut SliceRuntime,
         response: &SchedResponse,
@@ -686,7 +815,9 @@ mod tests {
                 allocs: vec![
                     waran_abi::sched::Allocation {
                         ue_id: ue,
-                        prbs: (req.prbs_granted * 10) as u16,
+                        // Saturate: a grant over 6553 PRBs must clamp to
+                        // u16::MAX, not silently wrap to a small claim.
+                        prbs: (req.prbs_granted * 10).min(u16::MAX as u32) as u16,
                         priority: 0,
                     },
                     waran_abi::sched::Allocation {
@@ -744,6 +875,67 @@ mod tests {
         };
         assert_eq!(run(42), run(42));
         assert_ne!(run(42), run(43));
+    }
+
+    #[test]
+    fn background_plane_serves_rotates_and_conserves() {
+        use crate::massive::{BackgroundSliceSpec, MassiveConfig, MassivePlane};
+        let mut gnb = basic_gnb();
+        let s = gnb.add_slice(SliceConfig::best_effort("bg"), Box::new(RoundRobin::new()));
+        let plane = MassivePlane::new(
+            MassiveConfig {
+                seed: 7,
+                foreground_quota: 2,
+                rotation_period_slots: 100,
+                ..MassiveConfig::default()
+            },
+            &[BackgroundSliceSpec {
+                slice_id: s,
+                population: 500,
+                per_ue_rate_bps: 16_000.0,
+                burst_bytes: 0.0,
+            }],
+        );
+        gnb.attach_background(plane);
+        assert_eq!(gnb.slice_ues(s).len(), 2, "initial promotion fill");
+        gnb.run_seconds(2.0);
+        let snap = gnb.background().unwrap().snapshot()[0];
+        // Rotation churned through the population (20 rotations × 2).
+        assert!(snap.promotions > 20, "promotions {}", snap.promotions);
+        assert!(snap.demotions > 18, "demotions {}", snap.demotions);
+        assert_eq!(snap.promoted, 2);
+        assert_eq!(snap.active + snap.promoted, 500);
+        assert!(snap.offered_bytes > 0);
+        assert!(snap.scheduled_bytes > 0);
+        // 500 UEs × 16 kb/s = 8 Mb/s offered, well under carrier
+        // capacity: the slice mean (foreground + aggregate deliveries)
+        // lands near the offered rate.
+        let rate = gnb.metrics().slice_mean_mbps(s);
+        assert!(rate > 6.0 && rate < 9.0, "rate {rate}");
+    }
+
+    #[test]
+    fn background_plane_is_deterministic() {
+        use crate::massive::{BackgroundSliceSpec, MassiveConfig, MassivePlane};
+        let run = || {
+            let mut gnb = basic_gnb();
+            let s = gnb.add_slice(SliceConfig::best_effort("bg"), Box::new(RoundRobin::new()));
+            gnb.attach_background(MassivePlane::new(
+                MassiveConfig {
+                    seed: 11,
+                    ..MassiveConfig::default()
+                },
+                &[BackgroundSliceSpec {
+                    slice_id: s,
+                    population: 300,
+                    per_ue_rate_bps: 32_000.0,
+                    burst_bytes: 600.0,
+                }],
+            ));
+            gnb.run_seconds(1.0);
+            gnb.background().unwrap().snapshot()
+        };
+        assert_eq!(run(), run());
     }
 
     #[test]

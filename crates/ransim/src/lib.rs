@@ -39,6 +39,7 @@
 
 pub mod channel;
 pub mod gnb;
+pub mod massive;
 pub mod metrics;
 pub mod phy;
 pub mod sched;
@@ -47,6 +48,7 @@ pub mod traffic;
 pub mod ue;
 
 pub use gnb::{Gnb, GnbConfig, SliceConfig, SliceHealth};
+pub use massive::{BackgroundSliceSnapshot, BackgroundSliceSpec, MassiveConfig, MassivePlane};
 pub use metrics::MetricsRecorder;
 pub use phy::{Carrier, Numerology};
 pub use sched::{MaxThroughput, ProportionalFair, RoundRobin, SchedulerFault, SliceScheduler};

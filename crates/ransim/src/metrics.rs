@@ -60,6 +60,27 @@ impl MetricsRecorder {
         *self.slice_total_bits.entry(slice_id).or_insert(0) += bits;
     }
 
+    /// Ensure a slice shows up in reports without registering any UE —
+    /// the massive plane's background tier has no per-UE series (a
+    /// million UEs must never materialize a million map entries here).
+    pub fn register_slice(&mut self, slice_id: u32) {
+        self.slice_series.entry(slice_id).or_default();
+        self.slice_total_bits.entry(slice_id).or_insert(0);
+    }
+
+    /// Record a slice-level delivery with no per-UE attribution (the
+    /// background tier's aggregate service path).
+    pub fn record_slice_delivery(&mut self, slice_id: u32, bits: u64) {
+        *self.slice_window_bits.entry(slice_id).or_insert(0) += bits;
+        *self.slice_total_bits.entry(slice_id).or_insert(0) += bits;
+    }
+
+    /// Lifetime delivered bits across all slices (foreground UE
+    /// deliveries plus background aggregate deliveries).
+    pub fn total_bits(&self) -> u64 {
+        self.slice_total_bits.values().sum()
+    }
+
     /// Close the slot; rolls the window when due.
     pub fn end_slot(&mut self, prbs_used: u32, prbs_total: u32) {
         self.prbs_used_window += prbs_used as u64;
@@ -242,6 +263,20 @@ mod tests {
         }
         let j = m.jain_fairness(&[1, 2, 3, 4]);
         assert!(j < 0.5, "jain {j}");
+    }
+
+    #[test]
+    fn slice_only_path_records_without_ue_series() {
+        let mut m = MetricsRecorder::new(10, 0.001);
+        m.register_slice(3);
+        for _ in 0..1000 {
+            m.record_slice_delivery(3, 8_000); // 8 Mb/s
+            m.end_slot(20, 52);
+        }
+        assert!((m.slice_mean_mbps(3) - 8.0).abs() < 1e-9);
+        assert_eq!(m.slice_series_mbps(3).len(), 100);
+        assert!(m.ue_ids().is_empty(), "no per-UE state materialized");
+        assert_eq!(m.total_bits(), 8_000_000);
     }
 
     #[test]

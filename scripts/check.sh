@@ -59,6 +59,16 @@ cargo run -q --release -p waran-bench --bin bench_pr9 -- digests 8 > "$tmpdir/go
 diff "$tmpdir/gov_2w.txt" "$tmpdir/gov_8w.txt"
 echo "Governance-enabled digests identical across 2 and 8 workers"
 
+# Massive-plane determinism: the million-UE two-tier deployment (500
+# cells x 2000 background UEs, promotion/demotion churn) must keep
+# per-cell digests — massive-plane counters folded in — independent of
+# the worker count. bench_pr10 also asserts the population-ledger and
+# byte-conservation invariants internally.
+cargo run -q --release -p waran-bench --bin bench_pr10 -- digests 2 > "$tmpdir/massive_2w.txt"
+cargo run -q --release -p waran-bench --bin bench_pr10 -- digests 8 > "$tmpdir/massive_8w.txt"
+diff "$tmpdir/massive_2w.txt" "$tmpdir/massive_8w.txt"
+echo "Massive-plane digests identical across 2 and 8 workers"
+
 # Perf regression gate: compare the live register-tier deployment
 # throughput — and, when the baseline records it, snapshot instantiation
 # latency — against the newest committed benchmark snapshot.
@@ -67,6 +77,7 @@ if [ -n "$newest" ]; then
     cargo run -q --release -p waran-bench --bin bench_pr6 -- gate "$newest"
     cargo run -q --release -p waran-bench --bin bench_pr7 -- gate "$newest"
     cargo run -q --release -p waran-bench --bin bench_pr9 -- gate "$newest"
+    cargo run -q --release -p waran-bench --bin bench_pr10 -- gate "$newest"
 else
     echo "no BENCH_*.json baseline found — skipping the perf regression gate"
 fi
